@@ -1,0 +1,94 @@
+// Shared helpers for the Table 1 / Figure 1 bench binaries: fixed-width
+// table printing in the style of the paper's rows, plus common run setups.
+// Each bench binary prints its paper-style tables first (the reproduction
+// artifact) and then runs google-benchmark timings.
+#pragma once
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ba/adversaries/adversaries.hpp"
+#include "ba/harness.hpp"
+
+namespace mewc::bench {
+
+inline void heading(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+inline void subheading(const char* title) {
+  std::printf("\n--- %s ---\n", title);
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void row(const std::vector<std::string>& cells) { rows_.push_back(cells); }
+
+  void print() const {
+    std::vector<std::size_t> width(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      width[c] = columns_[c].size();
+      for (const auto& r : rows_) {
+        if (c < r.size()) width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (std::size_t c = 0; c < columns_.size(); ++c) {
+        const std::string& s = c < cells.size() ? cells[c] : std::string();
+        std::printf(" %-*s |", static_cast<int>(width[c]), s.c_str());
+      }
+      std::printf("\n");
+    };
+    line(columns_);
+    std::printf("|");
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      std::printf("%s|", std::string(width[c] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string u64(std::uint64_t v) { return std::to_string(v); }
+
+inline std::string fixed2(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+inline std::vector<ProcessId> first_f(std::uint32_t f) {
+  std::vector<ProcessId> v;
+  for (std::uint32_t i = 0; i < f; ++i) v.push_back(i);
+  return v;
+}
+
+/// The largest f for which the adaptive regime holds at (n, t).
+inline std::uint32_t adaptive_boundary(std::uint32_t n, std::uint32_t t) {
+  return n - commit_quorum(n, t);
+}
+
+/// Number of phase windows (fixed length, back to back) that carried any
+/// correct traffic — the observable non-silent phase count, including
+/// phases whose leader was corrupted mid-phase.
+inline std::uint32_t active_windows(const Meter& m, Round first, Round len,
+                                    std::uint64_t count) {
+  std::uint32_t active = 0;
+  for (std::uint64_t j = 0; j < count; ++j) {
+    const Round lo = first + static_cast<Round>(j * len);
+    if (m.words_in_rounds(lo, lo + len) > 0) ++active;
+  }
+  return active;
+}
+
+}  // namespace mewc::bench

@@ -1,0 +1,99 @@
+// Substrate microbenchmarks: signing, verification, threshold combination
+// (both backends) and wire codec throughput. Not a paper artifact — these
+// exist so library users can see what the crypto substitution (DESIGN.md
+// SUB-2) costs and where simulation time goes.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "crypto/multisig.hpp"
+#include "crypto/shamir.hpp"
+#include "wire/codec.hpp"
+#include "ba/weak_ba/messages.hpp"
+
+namespace mewc::bench {
+namespace {
+
+void bm_sign(benchmark::State& state) {
+  Pki pki(64);
+  const PrivateKey key = pki.issue_key(0);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const Digest d = DigestBuilder("b").field(i++).done();
+    benchmark::DoNotOptimize(key.sign(d));
+  }
+}
+BENCHMARK(bm_sign);
+
+void bm_verify(benchmark::State& state) {
+  Pki pki(64);
+  const Signature sig =
+      pki.issue_key(0).sign(DigestBuilder("b").field(1).done());
+  for (auto _ : state) benchmark::DoNotOptimize(pki.verify(sig));
+}
+BENCHMARK(bm_verify);
+
+void bm_aggregate_verify(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  Pki pki(n);
+  const Digest d = DigestBuilder("b").field(1).done();
+  AggSignature agg = aggregate_start(n, pki.issue_key(0).sign(d));
+  for (ProcessId p = 1; p < n; ++p) aggregate_add(agg, pki.issue_key(p).sign(d));
+  for (auto _ : state) benchmark::DoNotOptimize(aggregate_verify(pki, agg));
+}
+BENCHMARK(bm_aggregate_verify)->Arg(16)->Arg(64)->Arg(256);
+
+template <typename Scheme>
+void bm_threshold_combine(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t n = 2 * k;
+  Scheme scheme(k, n, 0xbe7c);
+  const Digest d = DigestBuilder("b").field(1).done();
+  std::vector<PartialSig> partials;
+  for (ProcessId p = 0; p < k; ++p) {
+    partials.push_back(scheme.issue_share(p).partial_sign(d));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.combine(partials));
+  }
+}
+BENCHMARK(bm_threshold_combine<SimThreshold>)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(bm_threshold_combine<ShamirThreshold>)->Arg(4)->Arg(16)->Arg(64);
+
+void bm_codec_roundtrip(benchmark::State& state) {
+  ThresholdFamily family(7, 3);
+  wba::FallbackMsg msg;
+  std::vector<PartialSig> ps;
+  for (ProcessId p = 0; p < 4; ++p) {
+    ps.push_back(family.scheme(4).issue_share(p).partial_sign(
+        DigestBuilder("b").field(1).done()));
+  }
+  msg.fallback_qc = *family.scheme(4).combine(ps);
+  msg.has_decision = true;
+  msg.value = WireValue::plain(Value(9));
+  msg.proof_phase = 2;
+  msg.decide_proof = msg.fallback_qc;
+  for (auto _ : state) {
+    const auto bytes = wire::encode(msg);
+    benchmark::DoNotOptimize(wire::decode(*bytes));
+  }
+}
+BENCHMARK(bm_codec_roundtrip);
+
+void bm_trusted_setup(benchmark::State& state) {
+  const auto t = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    ThresholdFamily family(n_for_t(t), t, ThresholdBackend::kShamir);
+    benchmark::DoNotOptimize(family.n());
+  }
+}
+BENCHMARK(bm_trusted_setup)->Arg(10)->Arg(50)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace mewc::bench
+
+int main(int argc, char** argv) {
+  mewc::bench::heading("substrate microbenchmarks (crypto + codec)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Threshold-cryptography tour: the substrate that makes "every word count".
+//
+// The paper's whole design space opens up because k signatures compress
+// into one constant-size certificate (Section 2), and closes around one
+// observation: at n = 2t+1 the familiar n-t certificate loses its
+// intersection property, and ceil((n+t+1)/2) restores it (Section 6). This
+// example walks both facts with the library's real Shamir/Lagrange backend.
+#include <cstdio>
+#include <vector>
+
+#include "crypto/family.hpp"
+#include "crypto/multisig.hpp"
+
+int main() {
+  using namespace mewc;
+
+  constexpr std::uint32_t kT = 3;
+  constexpr std::uint32_t kN = n_for_t(kT);  // 7
+
+  // Trusted setup with the real Shamir backend: per-process keys plus
+  // shares for the three thresholds the protocols use.
+  ThresholdFamily family(kN, kT, ThresholdBackend::kShamir);
+  std::vector<KeyBundle> bundles;
+  for (ProcessId p = 0; p < kN; ++p) bundles.push_back(family.issue_bundle(p));
+
+  std::printf("system: n = %u, t = %u\n\n", kN, kT);
+
+  // 1. Individual signatures.
+  const Digest d = DigestBuilder("tour.message").field(Value(42)).done();
+  const Signature sig = bundles[2].signer().sign(d);
+  std::printf("1. individual signature by p2: verifies = %s\n",
+              family.pki().verify(sig) ? "yes" : "no");
+  Signature forged = sig;
+  forged.signer = 3;
+  std::printf("   re-attributed to p3:        verifies = %s\n",
+              family.pki().verify(forged) ? "yes" : "no");
+
+  // 2. Multisignature aggregation (the Dolev-Strong chains): any set of
+  //    signatures on one digest folds into a single tag.
+  AggSignature agg = aggregate_start(kN, bundles[0].signer().sign(d));
+  for (ProcessId p = 1; p < kN; ++p) {
+    aggregate_add(agg, bundles[p].signer().sign(d));
+  }
+  std::printf("\n2. aggregate of %u signatures: %zu words on the wire, "
+              "verifies = %s\n",
+              agg.signers.count(), agg.words(),
+              aggregate_verify(family.pki(), agg) ? "yes" : "no");
+
+  // 3. Threshold certificates: t+1 partial signatures -> one word.
+  const std::uint32_t k = kT + 1;
+  std::vector<PartialSig> partials;
+  for (ProcessId p = 0; p < k; ++p) {
+    partials.push_back(bundles[p].share(k).partial_sign(d));
+  }
+  const auto cert = family.scheme(k).combine(partials);
+  std::printf("\n3. (%u,%u)-threshold certificate: %zu word(s), verifies = "
+              "%s\n",
+              k, kN, cert->words(),
+              family.scheme(k).verify(*cert) ? "yes" : "no");
+
+  // Lagrange magic: ANY k shares give the SAME certificate.
+  std::vector<PartialSig> other;
+  for (ProcessId p = kN - k; p < kN; ++p) {
+    other.push_back(bundles[p].share(k).partial_sign(d));
+  }
+  const auto cert2 = family.scheme(k).combine(other);
+  std::printf("   a disjoint share subset reconstructs the same tag: %s\n",
+              cert->tag == cert2->tag ? "yes" : "no");
+
+  // 4. The Section 6 quorum observation, demonstrated with real shares.
+  //    With f = t corrupted shares signing both of two conflicting values,
+  //    can the adversary assemble two certificates?
+  auto try_conflicting = [&](std::uint32_t quorum) {
+    SimThreshold scheme(quorum, kN, 0x70ab);
+    const Digest dv = DigestBuilder("tour.conflict").field(1).done();
+    const Digest dw = DigestBuilder("tour.conflict").field(2).done();
+    std::vector<PartialSig> a, b;
+    for (ProcessId p = 0; p < kT; ++p) {  // corrupted: sign both
+      a.push_back(scheme.issue_share(p).partial_sign(dv));
+      b.push_back(scheme.issue_share(p).partial_sign(dw));
+    }
+    ProcessId next = kT;  // correct processes vote once, split
+    while (a.size() < quorum && next < kN) {
+      a.push_back(scheme.issue_share(next++).partial_sign(dv));
+    }
+    while (b.size() < quorum && next < kN) {
+      b.push_back(scheme.issue_share(next++).partial_sign(dw));
+    }
+    return scheme.combine(a).has_value() && scheme.combine(b).has_value();
+  };
+  std::printf("\n4. conflicting certificates with f = t corrupted shares:\n");
+  std::printf("   quorum n-t = %u:            forged = %s  (unsafe!)\n",
+              kN - kT, try_conflicting(kN - kT) ? "yes" : "no");
+  std::printf("   quorum ceil((n+t+1)/2) = %u: forged = %s  (the paper's "
+              "choice)\n",
+              commit_quorum(kN, kT),
+              try_conflicting(commit_quorum(kN, kT)) ? "yes" : "no");
+
+  std::printf("\nEvery certificate above costs one word — that is what lets\n"
+              "the protocols spend O(n(f+1)) words while still moving the\n"
+              "Ω(nt) signatures Dolev-Reischuk proved unavoidable.\n");
+  return 0;
+}

@@ -1,0 +1,531 @@
+#include "ba/adversaries/adversaries.hpp"
+
+#include <algorithm>
+
+#include "ba/bb/bb.hpp"
+#include "ba/strong_ba/strong_ba.hpp"
+#include "ba/validity/predicate.hpp"
+#include "ba/weak_ba/messages.hpp"
+#include "crypto/signer_set.hpp"
+
+namespace mewc::adv {
+
+// ---------------------------------------------------------------------------
+// CrashAdversary
+// ---------------------------------------------------------------------------
+
+void CrashAdversary::setup(AdversaryControl& ctrl) {
+  if (from_round_ <= 1) {
+    for (ProcessId v : victims_) ctrl.corrupt(v);
+  }
+}
+
+void CrashAdversary::pre_round(Round r, AdversaryControl& ctrl) {
+  if (r == from_round_ && from_round_ > 1) {
+    for (ProcessId v : victims_) ctrl.corrupt(v);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveLeaderCrash
+// ---------------------------------------------------------------------------
+
+void AdaptiveLeaderCrash::pre_round(Round r, AdversaryControl& ctrl) {
+  if (r < first_ || budget_ == 0) return;
+  const Round offset = r - first_;
+  if (offset % len_ != 0) return;  // not a phase boundary
+  const std::uint64_t phase = offset / len_ + 1;
+  if (phase > phases_) return;
+  const auto leader = static_cast<ProcessId>((phase - 1) % ctrl.n());
+  if (ctrl.is_corrupted(leader)) return;
+  if (ctrl.corrupt(leader)) --budget_;
+}
+
+// ---------------------------------------------------------------------------
+// BbEquivocatingSender
+// ---------------------------------------------------------------------------
+
+void BbEquivocatingSender::setup(AdversaryControl& ctrl) {
+  ctrl.corrupt(sender_);
+}
+
+void BbEquivocatingSender::act(Round r, AdversaryControl& ctrl) {
+  if (r != 1 || mode_ == SenderMode::kSilent) return;
+  const auto& key = ctrl.bundle(sender_).signer();
+
+  auto signed_value = [&](Value v) {
+    auto msg = std::make_shared<bb::SenderValueMsg>();
+    msg->value =
+        WireValue::signed_by(v, key.sign(bb_sender_digest(instance_, v)));
+    return msg;
+  };
+
+  if (mode_ == SenderMode::kEquivocate) {
+    const auto m0 = signed_value(v0_);
+    const auto m1 = signed_value(v1_);
+    for (ProcessId p = 0; p < ctrl.n(); ++p) {
+      ctrl.send_as(sender_, p, (p % 2 == 0) ? PayloadPtr(m0) : PayloadPtr(m1));
+    }
+  } else {  // kPartial
+    const auto m0 = signed_value(v0_);
+    for (ProcessId p = 0; p < std::min(reach_, ctrl.n()); ++p) {
+      ctrl.send_as(sender_, p, m0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WbaCertSplit
+// ---------------------------------------------------------------------------
+
+void WbaCertSplit::setup(AdversaryControl& ctrl) {
+  leader_ = static_cast<ProcessId>((phase_ - 1) % ctrl.n());
+  ctrl.corrupt(leader_);
+  // Extra corrupted voters to help reach the quorum.
+  for (ProcessId p = 0; extra_ > 0 && p < ctrl.n(); ++p) {
+    if (p == leader_ || ctrl.is_corrupted(p)) continue;
+    if (ctrl.corrupted_count() >= ctrl.t()) break;
+    if (ctrl.corrupt(p)) --extra_;
+  }
+}
+
+void WbaCertSplit::act(Round r, AdversaryControl& ctrl) {
+  const auto& fam = ctrl.crypto();
+  const std::uint32_t quorum = commit_quorum(ctrl.n(), ctrl.t());
+  const Digest commit_d =
+      wba::commit_digest(instance_, phase_, value_.content_digest());
+  const Digest finalize_d =
+      wba::finalize_digest(instance_, phase_, value_.content_digest());
+
+  if (r == phase_round(1)) {
+    auto msg = std::make_shared<wba::ProposeMsg>();
+    msg->phase = phase_;
+    msg->value = value_;
+    ctrl.broadcast_as(leader_, msg);
+    return;
+  }
+
+  if (r == phase_round(2)) {
+    // Capture correct votes off the wire and add corrupted shares.
+    SignerSet seen(ctrl.n());
+    for (const Message& m : ctrl.posted_this_round()) {
+      const auto* v = payload_cast<wba::VoteMsg>(m.body);
+      if (v == nullptr || v->phase != phase_) continue;
+      if (v->partial.digest != commit_d || v->partial.k != quorum) continue;
+      if (!fam.scheme(quorum).verify_partial(v->partial)) continue;
+      if (!seen.insert(v->partial.signer)) continue;
+      votes_.push_back(v->partial);
+    }
+    for (ProcessId p = 0; p < ctrl.n(); ++p) {
+      if (!ctrl.is_corrupted(p) || seen.contains(p)) continue;
+      seen.insert(p);
+      votes_.push_back(ctrl.bundle(p).share(quorum).partial_sign(commit_d));
+    }
+    return;
+  }
+
+  if (r == phase_round(3)) {
+    if (votes_.size() < quorum) return;
+    commit_qc_ = fam.scheme(quorum).combine(votes_);
+    if (!commit_qc_) return;
+    auto msg = std::make_shared<wba::CommitMsg>();
+    msg->phase = phase_;
+    msg->value = value_;
+    msg->level = phase_;
+    msg->qc = *commit_qc_;
+    ctrl.broadcast_as(leader_, msg);  // everyone commits...
+    return;
+  }
+
+  if (r == phase_round(4)) {
+    if (!commit_qc_) return;
+    SignerSet seen(ctrl.n());
+    for (const Message& m : ctrl.posted_this_round()) {
+      const auto* d = payload_cast<wba::DecideMsg>(m.body);
+      if (d == nullptr || d->phase != phase_) continue;
+      if (d->partial.digest != finalize_d || d->partial.k != quorum) continue;
+      if (!fam.scheme(quorum).verify_partial(d->partial)) continue;
+      if (!seen.insert(d->partial.signer)) continue;
+      decides_.push_back(d->partial);
+    }
+    for (ProcessId p = 0; p < ctrl.n(); ++p) {
+      if (!ctrl.is_corrupted(p) || seen.contains(p)) continue;
+      seen.insert(p);
+      decides_.push_back(
+          ctrl.bundle(p).share(quorum).partial_sign(finalize_d));
+    }
+    return;
+  }
+
+  if (r == phase_round(5)) {
+    // ...but only a chosen few learn the finalize certificate.
+    if (decides_.size() < quorum) return;
+    finalize_qc_ = fam.scheme(quorum).combine(decides_);
+    if (!finalize_qc_) return;
+    if (poison_help_) return;  // withhold entirely; disclose at help time
+    auto msg = std::make_shared<wba::FinalizedMsg>();
+    msg->phase = phase_;
+    msg->value = value_;
+    msg->qc = *finalize_qc_;
+    std::uint32_t sent = 0;
+    for (ProcessId p = 0; p < ctrl.n() && sent < finalize_recipients_; ++p) {
+      if (ctrl.is_corrupted(p)) continue;
+      ctrl.send_as(leader_, p, msg);
+      ++sent;
+    }
+    return;
+  }
+
+  // NOTE-2 attack: disclose the withheld finalize proof through a help
+  // message to exactly one correct process, timed so that its fallback
+  // certificate (broadcast this same round) carried no decision.
+  if (poison_help_ && finalize_qc_ &&
+      r == static_cast<Round>(5 * ctrl.n() + 2)) {
+    auto msg = std::make_shared<wba::HelpMsg>();
+    msg->value = value_;
+    msg->proof_phase = phase_;
+    msg->decide_proof = *finalize_qc_;
+    for (ProcessId p = ctrl.n(); p-- > 0;) {
+      if (ctrl.is_corrupted(p)) continue;
+      ctrl.send_as(leader_, p, msg);
+      break;  // one victim only
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WbaTwoPhaseConflict
+// ---------------------------------------------------------------------------
+
+void WbaTwoPhaseConflict::setup(AdversaryControl& ctrl) {
+  leader1_ = static_cast<ProcessId>((phase_ - 1) % ctrl.n());
+  leader2_ = static_cast<ProcessId>(phase_ % ctrl.n());
+  ctrl.corrupt(leader1_);
+  ctrl.corrupt(leader2_);
+  for (ProcessId p = 0; extra_ > 0 && p < ctrl.n(); ++p) {
+    if (ctrl.is_corrupted(p)) continue;
+    if (ctrl.corrupted_count() >= ctrl.t()) break;
+    if (ctrl.corrupt(p)) --extra_;
+  }
+}
+
+void WbaTwoPhaseConflict::harvest_votes(AdversaryControl& ctrl,
+                                        std::uint64_t phase,
+                                        const WireValue& value,
+                                        std::vector<PartialSig>& into) {
+  const auto& fam = ctrl.crypto();
+  const std::uint32_t quorum = commit_quorum(ctrl.n(), ctrl.t());
+  const Digest d = wba::commit_digest(instance_, phase, value.content_digest());
+  SignerSet seen(ctrl.n());
+  for (const PartialSig& p : into) seen.insert(p.signer);
+  for (const Message& m : ctrl.posted_this_round()) {
+    const auto* v = payload_cast<wba::VoteMsg>(m.body);
+    if (v == nullptr || v->phase != phase) continue;
+    if (v->partial.digest != d || v->partial.k != quorum) continue;
+    if (!fam.scheme(quorum).verify_partial(v->partial)) continue;
+    if (!seen.insert(v->partial.signer)) continue;
+    into.push_back(v->partial);
+  }
+  for (ProcessId p = 0; p < ctrl.n(); ++p) {
+    if (!ctrl.is_corrupted(p) || seen.contains(p)) continue;
+    seen.insert(p);
+    into.push_back(ctrl.bundle(p).share(quorum).partial_sign(d));
+  }
+}
+
+void WbaTwoPhaseConflict::act(Round r, AdversaryControl& ctrl) {
+  const auto& fam = ctrl.crypto();
+  const std::uint32_t quorum = commit_quorum(ctrl.n(), ctrl.t());
+
+  // --- Phase `phase_`: commit v, reveal to a chosen few, never finalize.
+  if (r == phase_round(phase_, 1)) {
+    auto msg = std::make_shared<wba::ProposeMsg>();
+    msg->phase = phase_;
+    msg->value = v_;
+    ctrl.broadcast_as(leader1_, msg);
+  } else if (r == phase_round(phase_, 2)) {
+    harvest_votes(ctrl, phase_, v_, votes_v_);
+  } else if (r == phase_round(phase_, 3)) {
+    if (votes_v_.size() < quorum) return;
+    commit_v_ = fam.scheme(quorum).combine(votes_v_);
+    if (!commit_v_) return;
+    auto msg = std::make_shared<wba::CommitMsg>();
+    msg->phase = phase_;
+    msg->value = v_;
+    msg->level = phase_;
+    msg->qc = *commit_v_;
+    std::uint32_t sent = 0;
+    for (ProcessId p = 0; p < ctrl.n() && sent < reveal_; ++p) {
+      if (ctrl.is_corrupted(p)) continue;
+      ctrl.send_as(leader1_, p, msg);
+      ++sent;
+    }
+  }
+
+  // --- Phase `phase_+1`: drive w through commit and finalize.
+  const std::uint64_t p2 = phase_ + 1;
+  if (r == phase_round(p2, 1)) {
+    auto msg = std::make_shared<wba::ProposeMsg>();
+    msg->phase = p2;
+    msg->value = w_;
+    ctrl.broadcast_as(leader2_, msg);
+  } else if (r == phase_round(p2, 2)) {
+    harvest_votes(ctrl, p2, w_, votes_w_);
+  } else if (r == phase_round(p2, 3)) {
+    if (votes_w_.size() < quorum) return;
+    commit_w_ = fam.scheme(quorum).combine(votes_w_);
+    if (!commit_w_) return;
+    auto msg = std::make_shared<wba::CommitMsg>();
+    msg->phase = p2;
+    msg->value = w_;
+    msg->level = p2;
+    msg->qc = *commit_w_;
+    ctrl.broadcast_as(leader2_, msg);
+  } else if (r == phase_round(p2, 4)) {
+    if (!commit_w_) return;
+    const Digest d =
+        wba::finalize_digest(instance_, p2, w_.content_digest());
+    SignerSet seen(ctrl.n());
+    for (const Message& m : ctrl.posted_this_round()) {
+      const auto* dm = payload_cast<wba::DecideMsg>(m.body);
+      if (dm == nullptr || dm->phase != p2) continue;
+      if (dm->partial.digest != d || dm->partial.k != quorum) continue;
+      if (!fam.scheme(quorum).verify_partial(dm->partial)) continue;
+      if (!seen.insert(dm->partial.signer)) continue;
+      decides_w_.push_back(dm->partial);
+    }
+    for (ProcessId p = 0; p < ctrl.n(); ++p) {
+      if (!ctrl.is_corrupted(p) || seen.contains(p)) continue;
+      seen.insert(p);
+      decides_w_.push_back(ctrl.bundle(p).share(quorum).partial_sign(d));
+    }
+  } else if (r == phase_round(p2, 5)) {
+    if (decides_w_.size() < quorum) return;
+    auto qc = fam.scheme(quorum).combine(decides_w_);
+    if (!qc) return;
+    finalized_w_ = true;
+    auto msg = std::make_shared<wba::FinalizedMsg>();
+    msg->phase = p2;
+    msg->value = w_;
+    msg->qc = *qc;
+    ctrl.broadcast_as(leader2_, msg);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WbaHelpSpam
+// ---------------------------------------------------------------------------
+
+void WbaHelpSpam::setup(AdversaryControl& ctrl) {
+  for (ProcessId p = ctrl.n(); p-- > 0 && corrupted_.size() < corruptions_;) {
+    if (ctrl.corrupt(p)) corrupted_.push_back(p);
+  }
+}
+
+void WbaHelpSpam::act(Round r, AdversaryControl& ctrl) {
+  const auto& fam = ctrl.crypto();
+  const std::uint32_t k = ctrl.t() + 1;
+  const Digest d = wba::help_req_digest(instance_);
+
+  if (r == help_round_) {
+    for (ProcessId p : corrupted_) {
+      auto msg = std::make_shared<wba::HelpReqMsg>();
+      msg->partial = ctrl.bundle(p).share(k).partial_sign(d);
+      ctrl.broadcast_as(p, msg);
+    }
+    // Steal any correct help_req partials off the wire (rushing view) for
+    // the certificate minted next round.
+    for (const Message& m : ctrl.posted_this_round()) {
+      const auto* h = payload_cast<wba::HelpReqMsg>(m.body);
+      if (h == nullptr || h->partial.digest != d) continue;
+      if (!fam.scheme(k).verify_partial(h->partial)) continue;
+      stolen_.push_back(h->partial);
+    }
+    return;
+  }
+
+  if (r == help_round_ + 1 && form_certificate_) {
+    // Mint a fallback certificate from corrupted partials plus the stolen
+    // correct ones, and reveal it to a chosen few.
+    std::vector<PartialSig> partials = stolen_;
+    for (ProcessId p : corrupted_) {
+      partials.push_back(ctrl.bundle(p).share(k).partial_sign(d));
+    }
+    auto qc = fam.scheme(k).combine(partials);
+    if (!qc) return;
+    auto msg = std::make_shared<wba::FallbackMsg>();
+    msg->fallback_qc = *qc;
+    std::uint32_t sent = 0;
+    for (ProcessId p = 0; p < ctrl.n() && sent < cert_recipients_; ++p) {
+      if (ctrl.is_corrupted(p)) continue;
+      ctrl.send_as(corrupted_.front(), p, msg);
+      ++sent;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BbPartialRelay
+// ---------------------------------------------------------------------------
+
+void BbPartialRelay::setup(AdversaryControl& ctrl) {
+  leader_ = static_cast<ProcessId>((phase_ - 1) % ctrl.n());
+  ctrl.corrupt(leader_);
+}
+
+void BbPartialRelay::act(Round r, AdversaryControl& ctrl) {
+  const auto& fam = ctrl.crypto();
+  const std::uint32_t k = ctrl.t() + 1;
+
+  if (r == phase_round(1)) {
+    auto msg = std::make_shared<bb::HelpReqMsg>();
+    msg->phase = phase_;
+    ctrl.broadcast_as(leader_, msg);
+    return;
+  }
+
+  if (r == phase_round(2)) {
+    // Collect the correct processes' idk partials off the wire, plus our own.
+    SignerSet seen(ctrl.n());
+    const Digest want = bb_idk_digest(instance_, phase_);
+    for (const Message& m : ctrl.posted_this_round()) {
+      const auto* idk = payload_cast<bb::IdkMsg>(m.body);
+      if (idk == nullptr || idk->phase != phase_) continue;
+      if (idk->partial.digest != want) continue;
+      if (!fam.scheme(k).verify_partial(idk->partial)) continue;
+      if (!seen.insert(idk->partial.signer)) continue;
+      idk_partials_.push_back(idk->partial);
+    }
+    if (!seen.contains(leader_)) {
+      idk_partials_.push_back(ctrl.bundle(leader_).share(k).partial_sign(want));
+    }
+    return;
+  }
+
+  if (r == phase_round(3)) {
+    if (idk_partials_.size() < k) return;
+    auto qc = fam.scheme(k).combine(idk_partials_);
+    if (!qc) return;
+    auto msg = std::make_shared<bb::LeaderValueMsg>();
+    msg->phase = phase_;
+    msg->value = WireValue::certified(kIdkValue, *qc, /*aux=*/phase_);
+    // Reveal the certificate only to the highest-id correct processes.
+    std::uint32_t sent = 0;
+    for (ProcessId p = ctrl.n(); p-- > 0 && sent < reach_;) {
+      if (ctrl.is_corrupted(p)) continue;
+      ctrl.send_as(leader_, p, msg);
+      ++sent;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Alg5Withhold
+// ---------------------------------------------------------------------------
+
+void Alg5Withhold::setup(AdversaryControl& ctrl) {
+  ctrl.corrupt(sba::StrongBaProcess::kLeader);
+}
+
+void Alg5Withhold::act(Round r, AdversaryControl& ctrl) {
+  if (mode_ == Alg5Mode::kSilent) return;
+  const auto& fam = ctrl.crypto();
+  const ProcessId leader = sba::StrongBaProcess::kLeader;
+
+  if (r == 1) {
+    // Capture everyone's input partials; add the leader's own on both
+    // values (a Byzantine process signs whatever helps).
+    SignerSet seen[2] = {SignerSet(ctrl.n()), SignerSet(ctrl.n())};
+    for (const Message& m : ctrl.posted_this_round()) {
+      const auto* in = payload_cast<sba::InputMsg>(m.body);
+      if (in == nullptr || in->value.raw > 1) continue;
+      if (in->partial.k != ctrl.t() + 1) continue;
+      if (!fam.scheme(ctrl.t() + 1).verify_partial(in->partial)) continue;
+      if (!seen[in->value.raw].insert(in->partial.signer)) continue;
+      inputs_[in->value.raw].push_back(in->partial);
+    }
+    for (ProcessId p = 0; p < ctrl.n(); ++p) {
+      if (!ctrl.is_corrupted(p)) continue;
+      for (int v = 0; v < 2; ++v) {
+        if (seen[v].contains(p)) continue;
+        seen[v].insert(p);
+        inputs_[v].push_back(ctrl.bundle(p).share(ctrl.t() + 1).partial_sign(
+            sba::propose_digest(instance_, Value(v))));
+      }
+    }
+    return;
+  }
+
+  if (r == 2) {
+    auto cert_for = [&](int v) -> std::optional<sba::ProposeCertMsg> {
+      if (inputs_[v].size() < ctrl.t() + 1) return std::nullopt;
+      auto qc = fam.scheme(ctrl.t() + 1).combine(inputs_[v]);
+      if (!qc) return std::nullopt;
+      sba::ProposeCertMsg msg;
+      msg.value = Value(static_cast<std::uint64_t>(v));
+      msg.qc = *qc;
+      return msg;
+    };
+    if (mode_ == Alg5Mode::kSplitPropose) {
+      const auto c0 = cert_for(0);
+      const auto c1 = cert_for(1);
+      if (c0 && c1) {
+        for (ProcessId p = 0; p < ctrl.n(); ++p) {
+          auto msg = std::make_shared<sba::ProposeCertMsg>(p % 2 == 0 ? *c0
+                                                                      : *c1);
+          ctrl.send_as(leader, p, msg);
+        }
+      } else if (c0 || c1) {
+        ctrl.broadcast_as(leader,
+                          std::make_shared<sba::ProposeCertMsg>(c0 ? *c0 : *c1));
+        proposed_ = (c0 ? c0 : c1)->value;
+      }
+    } else {  // kHideDecide: behave honestly here
+      for (int v = 0; v < 2; ++v) {
+        if (auto c = cert_for(v)) {
+          ctrl.broadcast_as(leader, std::make_shared<sba::ProposeCertMsg>(*c));
+          proposed_ = c->value;
+          break;
+        }
+      }
+    }
+    return;
+  }
+
+  if (r == 3 && proposed_) {
+    SignerSet seen(ctrl.n());
+    const Digest want = sba::decide_digest(instance_, *proposed_);
+    for (const Message& m : ctrl.posted_this_round()) {
+      const auto* d = payload_cast<sba::DecideVoteMsg>(m.body);
+      if (d == nullptr || d->partial.k != ctrl.n()) continue;
+      if (d->partial.digest != want) continue;
+      if (!fam.scheme(ctrl.n()).verify_partial(d->partial)) continue;
+      if (!seen.insert(d->partial.signer)) continue;
+      decide_partials_.push_back(d->partial);
+    }
+    for (ProcessId p = 0; p < ctrl.n(); ++p) {
+      if (!ctrl.is_corrupted(p) || seen.contains(p)) continue;
+      seen.insert(p);
+      decide_partials_.push_back(
+          ctrl.bundle(p).share(ctrl.n()).partial_sign(want));
+    }
+    return;
+  }
+
+  if (r == 4 && mode_ == Alg5Mode::kHideDecide && proposed_) {
+    if (decide_partials_.size() < ctrl.n()) return;
+    auto qc = fam.scheme(ctrl.n()).combine(decide_partials_);
+    if (!qc) return;
+    auto msg = std::make_shared<sba::DecideCertMsg>();
+    msg->value = *proposed_;
+    msg->qc = *qc;
+    std::uint32_t sent = 0;
+    for (ProcessId p = 0; p < ctrl.n() && sent < reach_; ++p) {
+      if (ctrl.is_corrupted(p)) continue;
+      ctrl.send_as(leader, p, msg);
+      ++sent;
+    }
+  }
+}
+
+}  // namespace mewc::adv

@@ -1,0 +1,324 @@
+// Adversary strategy library (DESIGN.md S8). Each strategy drives a
+// specific Byzantine branch of the protocols:
+//
+//  * NullAdversary            — f = 0 runs.
+//  * CrashAdversary           — victims never send (covers silent-Byzantine
+//                               and the classic crash pattern; from_round
+//                               models mid-run crashes).
+//  * AdaptiveLeaderCrash      — adaptively corrupts the upcoming phase
+//                               leader right before its phase, maximizing
+//                               non-silent phases: the worst-case pattern
+//                               behind the O(n(f+1)) bound.
+//  * BbEquivocatingSender     — BB sender signs different values to
+//                               different halves (or only a subset).
+//  * WbaCertSplit             — Byzantine weak-BA phase leader forms a real
+//                               commit certificate but reveals the finalize
+//                               certificate to a chosen few, creating
+//                               decided/undecided splits (exercises commit
+//                               levels, help round, Lemma 15).
+//  * WbaHelpSpam              — corrupted processes spam help_req partials,
+//                               driving the O(nf) help-answer cost and the
+//                               fallback-certificate echo path.
+//  * Alg5Withhold             — Byzantine Algorithm 5 leader: splits
+//                               propose certificates between halves or
+//                               reveals the decide certificate to a chosen
+//                               few (exercises the 2δ window adoption).
+//  * Composite                — runs several strategies side by side.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ba/value.hpp"
+#include "common/rng.hpp"
+#include "sim/adversary.hpp"
+
+namespace mewc::adv {
+
+class NullAdversary final : public Adversary {};
+
+class CrashAdversary final : public Adversary {
+ public:
+  explicit CrashAdversary(std::vector<ProcessId> victims, Round from_round = 1)
+      : victims_(std::move(victims)), from_round_(from_round) {}
+
+  void setup(AdversaryControl& ctrl) override;
+  void pre_round(Round r, AdversaryControl& ctrl) override;
+
+ private:
+  std::vector<ProcessId> victims_;
+  Round from_round_;
+};
+
+/// Corrupts the leader of each upcoming phase (while budget lasts) just
+/// before the phase begins, then keeps it silent. Parameterized by the
+/// protocol's phase geometry so it works for BB and weak BA alike.
+class AdaptiveLeaderCrash final : public Adversary {
+ public:
+  AdaptiveLeaderCrash(Round first_phase_round, Round phase_len,
+                      std::uint64_t num_phases, std::uint32_t budget)
+      : first_(first_phase_round),
+        len_(phase_len),
+        phases_(num_phases),
+        budget_(budget) {}
+
+  void pre_round(Round r, AdversaryControl& ctrl) override;
+
+ private:
+  Round first_;
+  Round len_;
+  std::uint64_t phases_;
+  std::uint32_t budget_;
+};
+
+/// BB sender behaviors.
+enum class SenderMode {
+  kSilent,     // never sends (forces the idk path; decision must be ⊥)
+  kEquivocate, // signs v0 for even recipients, v1 for odd ones
+  kPartial,    // signs one value but only tells the first `reach` processes
+};
+
+class BbEquivocatingSender final : public Adversary {
+ public:
+  BbEquivocatingSender(ProcessId sender, std::uint64_t instance,
+                       SenderMode mode, Value v0, Value v1,
+                       std::uint32_t reach = 0)
+      : sender_(sender),
+        instance_(instance),
+        mode_(mode),
+        v0_(v0),
+        v1_(v1),
+        reach_(reach) {}
+
+  void setup(AdversaryControl& ctrl) override;
+  void act(Round r, AdversaryControl& ctrl) override;
+
+ private:
+  ProcessId sender_;
+  std::uint64_t instance_;
+  SenderMode mode_;
+  Value v0_;
+  Value v1_;
+  std::uint32_t reach_;
+};
+
+/// Byzantine weak-BA leader of phase `phase`: proposes `value`, builds a
+/// commit certificate from the real votes (plus corrupted shares), reveals
+/// it to everyone, then reveals the finalize certificate to only
+/// `finalize_recipients` correct processes.
+class WbaCertSplit final : public Adversary {
+ public:
+  /// With `poison_help` set, the finalize certificate is withheld during
+  /// the phases entirely (finalize_recipients ignored) and instead
+  /// disclosed through a <help> message to exactly one correct process in
+  /// the help-reply round — the NOTE-2 attack: the lone last-moment
+  /// decider must still drag everyone to its value through the window.
+  WbaCertSplit(std::uint64_t instance, std::uint64_t phase, WireValue value,
+               std::uint32_t extra_corruptions,
+               std::uint32_t finalize_recipients, bool poison_help = false)
+      : instance_(instance),
+        phase_(phase),
+        value_(value),
+        extra_(extra_corruptions),
+        finalize_recipients_(finalize_recipients),
+        poison_help_(poison_help) {}
+
+  void setup(AdversaryControl& ctrl) override;
+  void act(Round r, AdversaryControl& ctrl) override;
+
+ private:
+  [[nodiscard]] Round phase_round(Round local) const {
+    return static_cast<Round>(5 * (phase_ - 1)) + local;
+  }
+
+  std::uint64_t instance_;
+  std::uint64_t phase_;
+  WireValue value_;
+  std::uint32_t extra_;
+  std::uint32_t finalize_recipients_;
+  bool poison_help_ = false;
+  ProcessId leader_ = kNoProcess;
+  std::vector<PartialSig> votes_;
+  std::vector<PartialSig> decides_;
+  std::optional<ThresholdSig> commit_qc_;
+  std::optional<ThresholdSig> finalize_qc_;
+};
+
+/// The strongest Lemma 15 stressor: two consecutive Byzantine-led phases
+/// try to commit CONFLICTING values. Phase `phase`: propose v, form a real
+/// commit certificate from the votes, reveal it to only `reveal` correct
+/// processes, and withhold the finalize certificate entirely. Phase
+/// phase+1: propose w to everyone, harvest votes from the processes that
+/// never saw the v-commit, add corrupted shares, and push w through commit
+/// AND finalize. The quorum arithmetic of Section 6 must make at most one
+/// finalize certificate formable — the adversary forms whichever it can
+/// and the run must stay in agreement.
+class WbaTwoPhaseConflict final : public Adversary {
+ public:
+  WbaTwoPhaseConflict(std::uint64_t instance, std::uint64_t phase,
+                      WireValue v, WireValue w, std::uint32_t extra,
+                      std::uint32_t reveal)
+      : instance_(instance),
+        phase_(phase),
+        v_(v),
+        w_(w),
+        extra_(extra),
+        reveal_(reveal) {}
+
+  void setup(AdversaryControl& ctrl) override;
+  void act(Round r, AdversaryControl& ctrl) override;
+
+  /// Whether the adversary managed to mint each artifact (for tests).
+  [[nodiscard]] bool committed_v() const { return commit_v_.has_value(); }
+  [[nodiscard]] bool committed_w() const { return commit_w_.has_value(); }
+  [[nodiscard]] bool finalized_w() const { return finalized_w_; }
+
+ private:
+  [[nodiscard]] Round phase_round(std::uint64_t phase, Round local) const {
+    return static_cast<Round>(5 * (phase - 1)) + local;
+  }
+  void harvest_votes(AdversaryControl& ctrl, std::uint64_t phase,
+                     const WireValue& value, std::vector<PartialSig>& into);
+
+  std::uint64_t instance_;
+  std::uint64_t phase_;
+  WireValue v_;
+  WireValue w_;
+  std::uint32_t extra_;
+  std::uint32_t reveal_;
+  ProcessId leader1_ = kNoProcess;
+  ProcessId leader2_ = kNoProcess;
+  std::vector<PartialSig> votes_v_;
+  std::vector<PartialSig> votes_w_;
+  std::vector<PartialSig> decides_w_;
+  std::optional<ThresholdSig> commit_v_;
+  std::optional<ThresholdSig> commit_w_;
+  bool finalized_w_ = false;
+};
+
+/// Corrupted processes broadcast help_req partials in the weak-BA help
+/// round even though nothing is wrong, forcing decided processes to answer
+/// (the Section 6 O(nf) help cost) and possibly minting a fallback
+/// certificate from thin air plus `steal_correct_partials` captured ones.
+class WbaHelpSpam final : public Adversary {
+ public:
+  WbaHelpSpam(std::uint64_t instance, Round help_round,
+              std::uint32_t corruptions, bool form_certificate,
+              std::uint32_t cert_recipients)
+      : instance_(instance),
+        help_round_(help_round),
+        corruptions_(corruptions),
+        form_certificate_(form_certificate),
+        cert_recipients_(cert_recipients) {}
+
+  void setup(AdversaryControl& ctrl) override;
+  void act(Round r, AdversaryControl& ctrl) override;
+
+ private:
+  std::uint64_t instance_;
+  Round help_round_;
+  std::uint32_t corruptions_;
+  bool form_certificate_;
+  std::uint32_t cert_recipients_;
+  std::vector<ProcessId> corrupted_;
+  std::vector<PartialSig> stolen_;
+};
+
+/// Byzantine BB vetting leader (NOTE-1 driver): runs its phase honestly —
+/// help_req, collect idk partials, mint the idk certificate — but reveals
+/// the resulting value to only the `reach` highest-id correct processes.
+/// Later correct value-less leaders must then relay the certificate they
+/// learn from reached processes (the generalized Algorithm 2 line 23).
+class BbPartialRelay final : public Adversary {
+ public:
+  BbPartialRelay(std::uint64_t instance, std::uint64_t phase,
+                 std::uint32_t reach)
+      : instance_(instance), phase_(phase), reach_(reach) {}
+
+  void setup(AdversaryControl& ctrl) override;
+  void act(Round r, AdversaryControl& ctrl) override;
+
+ private:
+  // BB phase j occupies rounds 3(j-1)+2 .. 3(j-1)+4.
+  [[nodiscard]] Round phase_round(Round local) const {
+    return static_cast<Round>(3 * (phase_ - 1)) + 1 + local;
+  }
+
+  std::uint64_t instance_;
+  std::uint64_t phase_;
+  std::uint32_t reach_;
+  ProcessId leader_ = kNoProcess;
+  std::vector<PartialSig> idk_partials_;
+};
+
+/// Algorithm 5 Byzantine leader behaviors.
+enum class Alg5Mode {
+  kSilent,        // leader never speaks: everyone falls back
+  kSplitPropose,  // certify both values if possible; split between halves
+  kHideDecide,    // run honestly but reveal the decide certificate to only
+                  // `reach` correct processes
+};
+
+class Alg5Withhold final : public Adversary {
+ public:
+  Alg5Withhold(std::uint64_t instance, Alg5Mode mode, std::uint32_t reach = 1)
+      : instance_(instance), mode_(mode), reach_(reach) {}
+
+  void setup(AdversaryControl& ctrl) override;
+  void act(Round r, AdversaryControl& ctrl) override;
+
+ private:
+  std::uint64_t instance_;
+  Alg5Mode mode_;
+  std::uint32_t reach_;
+  std::vector<PartialSig> inputs_[2];
+  std::vector<PartialSig> decide_partials_;
+  std::optional<Value> proposed_;
+};
+
+/// Adaptive corruption fuzzer: corrupts random processes at random rounds
+/// (up to `budget`), each victim silenced from its corruption round on.
+/// Sweeps the adaptive-adversary dimension of the model (Section 2) that
+/// static-victim strategies never reach.
+class RandomAdaptiveCrash final : public Adversary {
+ public:
+  RandomAdaptiveCrash(std::uint64_t seed, std::uint32_t budget,
+                      Round horizon, ProcessId spare = kNoProcess)
+      : rng_(seed), budget_(budget), horizon_(horizon), spare_(spare) {}
+
+  void pre_round(Round r, AdversaryControl& ctrl) override {
+    if (budget_ == 0 || r > horizon_) return;
+    // Expected ~budget corruptions spread across the horizon.
+    if (!rng_.chance(2 * budget_, 2 * horizon_)) return;
+    const auto pid = static_cast<ProcessId>(rng_.below(ctrl.n()));
+    if (pid == spare_ || ctrl.is_corrupted(pid)) return;
+    if (ctrl.corrupt(pid)) --budget_;
+  }
+
+ private:
+  Rng rng_;
+  std::uint32_t budget_;
+  Round horizon_;
+  ProcessId spare_;
+};
+
+class Composite final : public Adversary {
+ public:
+  explicit Composite(std::vector<std::unique_ptr<Adversary>> parts)
+      : parts_(std::move(parts)) {}
+
+  void setup(AdversaryControl& ctrl) override {
+    for (auto& p : parts_) p->setup(ctrl);
+  }
+  void pre_round(Round r, AdversaryControl& ctrl) override {
+    for (auto& p : parts_) p->pre_round(r, ctrl);
+  }
+  void act(Round r, AdversaryControl& ctrl) override {
+    for (auto& p : parts_) p->act(r, ctrl);
+  }
+
+ private:
+  std::vector<std::unique_ptr<Adversary>> parts_;
+};
+
+}  // namespace mewc::adv

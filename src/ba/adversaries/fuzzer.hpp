@@ -1,0 +1,45 @@
+// Randomized Byzantine traffic generator ("fuzz adversary"): every round,
+// corrupted processes inject protocol messages of random types with random
+// or subtly-corrupted fields — garbage certificates, mismatched digests,
+// foreign thresholds, replayed correct traffic under a Byzantine link
+// identity, and real partial signatures attached to the wrong claims.
+//
+// Purpose: failure injection for the validation layers. No matter what this
+// adversary emits, every protocol invariant (agreement, termination,
+// validity) must survive; tests sweep it over seeds and system sizes.
+#pragma once
+
+#include "common/rng.hpp"
+#include "sim/adversary.hpp"
+
+namespace mewc::adv {
+
+class Fuzzer final : public Adversary {
+ public:
+  /// `messages_per_round` random injections per corrupted process per
+  /// round. Corruptions are spread across the id space, skipping `spare`
+  /// (so tests can keep a designated sender/leader correct).
+  Fuzzer(std::uint64_t instance, std::uint64_t seed, std::uint32_t corruptions,
+         std::uint32_t messages_per_round, ProcessId spare = kNoProcess)
+      : instance_(instance),
+        rng_(seed),
+        corruptions_(corruptions),
+        per_round_(messages_per_round),
+        spare_(spare) {}
+
+  void setup(AdversaryControl& ctrl) override;
+  void act(Round r, AdversaryControl& ctrl) override;
+
+ private:
+  [[nodiscard]] PayloadPtr random_payload(Round r, AdversaryControl& ctrl,
+                                          ProcessId as);
+
+  std::uint64_t instance_;
+  Rng rng_;
+  std::uint32_t corruptions_;
+  std::uint32_t per_round_;
+  ProcessId spare_;
+  std::vector<ProcessId> corrupted_;
+};
+
+}  // namespace mewc::adv

@@ -1,0 +1,50 @@
+// Non-adaptive baselines for the Table 1 comparisons (DESIGN.md S9).
+//
+//  * DolevStrongBbProcess — the classic authenticated Byzantine Broadcast
+//    (Dolev-Strong 1983): a single sender instance relayed for t+1 rounds.
+//    Correct for any f <= t but never cheaper than Θ(n^2) messages, even
+//    failure-free: the non-adaptive comparator for the paper's O(n(f+1)) BB.
+//
+//  * AlwaysFallbackBaProcess — strong BA that skips every adaptive
+//    mechanism and runs A_fallback unconditionally: the non-adaptive
+//    comparator for weak BA / Algorithm 5 (an alias of FallbackBaProcess,
+//    named for what it represents in experiments).
+#pragma once
+
+#include "ba/fallback/fallback_process.hpp"
+
+namespace mewc::baseline {
+
+class DolevStrongBbProcess final : public IProcess {
+ public:
+  DolevStrongBbProcess(const ProtocolContext& ctx, ProcessId sender,
+                       Value input)
+      : sender_(sender), engine_(ctx) {
+    engine_.activate();
+    engine_.set_broadcaster(ctx.id == sender);
+    if (ctx.id == sender) engine_.set_input(WireValue::plain(input));
+  }
+
+  [[nodiscard]] static Round total_rounds(std::uint32_t t) {
+    return fallback::DolevStrongEngine::rounds(t);
+  }
+
+  void on_send(Round r, Outbox& out) override { engine_.on_send(r, out); }
+  void on_receive(Round r, std::span<const Message> inbox) override {
+    engine_.on_receive(r, inbox);
+  }
+
+  /// The broadcast outcome: the sender's value, or ⊥ for a Byzantine sender
+  /// caught equivocating or staying silent.
+  [[nodiscard]] Value decision() const {
+    return engine_.slot(sender_).value;
+  }
+
+ private:
+  ProcessId sender_;
+  fallback::DolevStrongEngine engine_;
+};
+
+using AlwaysFallbackBaProcess = fallback::FallbackBaProcess;
+
+}  // namespace mewc::baseline

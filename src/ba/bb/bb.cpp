@@ -1,0 +1,192 @@
+#include "ba/bb/bb.hpp"
+
+#include "common/check.hpp"
+#include "crypto/signer_set.hpp"
+
+namespace mewc::bb {
+
+BbProcess::BbProcess(const ProtocolContext& ctx, ProcessId sender, Value input)
+    : ctx_(ctx),
+      sender_(sender),
+      input_(input),
+      predicate_(
+          std::make_shared<BbValid>(*ctx.crypto, ctx.instance, sender)) {
+  MEWC_CHECK(sender < ctx.n);
+}
+
+void BbProcess::ensure_wba() {
+  if (!wba_) {
+    // Algorithm 1, line 9: enter weak BA with the vetted value. Lemma 11
+    // guarantees v_i is BB_valid here for every correct process.
+    wba_.emplace(ctx_, predicate_, vi_);
+  }
+}
+
+void BbProcess::phase_send(std::uint64_t j, Round local, Outbox& out) {
+  const ProcessId leader = leader_of(j, ctx_.n);
+  switch (local) {
+    case 1: {  // lines 15-16: a value-less leader asks for help
+      ph_ = PhaseScratch{};
+      if (leader == ctx_.id && vi_.is_bottom()) {
+        auto msg = std::make_shared<HelpReqMsg>();
+        msg->phase = j;
+        out.broadcast(msg);
+        stats_.led_nonsilent_phase = true;
+      }
+      break;
+    }
+    case 2: {  // lines 17-21: answer with the value or an idk partial
+      if (!ph_.reply_needed) break;
+      if (!vi_.is_bottom()) {
+        auto msg = std::make_shared<ReplyValueMsg>();
+        msg->phase = j;
+        msg->value = vi_;
+        out.send(leader, msg);
+      } else {
+        auto msg = std::make_shared<IdkMsg>();
+        msg->phase = j;
+        msg->partial =
+            ctx_.partial_sign(ctx_.t + 1, bb_idk_digest(ctx_.instance, j));
+        out.send(leader, msg);
+      }
+      break;
+    }
+    case 3: {  // lines 22-27: leader relays a valid value or batches idk
+      if (leader != ctx_.id) break;
+      if (ph_.best_reply) {
+        auto msg = std::make_shared<LeaderValueMsg>();
+        msg->phase = j;
+        msg->value = *ph_.best_reply;
+        out.broadcast(msg);
+      } else if (ph_.idk_partials.size() >= ctx_.t + 1) {
+        auto qc = ctx_.scheme(ctx_.t + 1).combine(ph_.idk_partials);
+        MEWC_CHECK_MSG(qc.has_value(), "verified idk partials must combine");
+        auto msg = std::make_shared<LeaderValueMsg>();
+        msg->phase = j;
+        msg->value = WireValue::certified(kIdkValue, *qc, /*aux=*/j);
+        out.broadcast(msg);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void BbProcess::phase_receive(std::uint64_t j, Round local,
+                              std::span<const Message> inbox) {
+  const ProcessId leader = leader_of(j, ctx_.n);
+  switch (local) {
+    case 1: {
+      for (const Message& m : inbox) {
+        if (m.from != leader) continue;
+        const auto* h = payload_cast<HelpReqMsg>(m.body);
+        if (h == nullptr || h->phase != j) continue;
+        ph_.reply_needed = true;
+        break;
+      }
+      break;
+    }
+    case 2: {  // leader aggregates replies
+      if (leader != ctx_.id) break;
+      SignerSet idk_seen(ctx_.n);
+      const Digest idk_want = bb_idk_digest(ctx_.instance, j);
+      for (const Message& m : inbox) {
+        if (const auto* rv = payload_cast<ReplyValueMsg>(m.body)) {
+          if (rv->phase != j || !predicate_->validate(rv->value)) continue;
+          // Prefer a sender-signed value (line 23); NOTE-1: otherwise any
+          // BB_valid value (an earlier idk certificate) is relayable.
+          const bool is_sender_signed = rv->value.prov == Provenance::kSigned;
+          if (!ph_.best_reply ||
+              (is_sender_signed &&
+               ph_.best_reply->prov != Provenance::kSigned)) {
+            ph_.best_reply = rv->value;
+          }
+        } else if (const auto* idk = payload_cast<IdkMsg>(m.body)) {
+          if (idk->phase != j) continue;
+          if (idk->partial.k != ctx_.t + 1 ||
+              idk->partial.digest != idk_want ||
+              idk->partial.signer != m.from) {
+            continue;
+          }
+          if (!ctx_.scheme(ctx_.t + 1).verify_partial(idk->partial)) continue;
+          if (!idk_seen.insert(idk->partial.signer)) continue;
+          ph_.idk_partials.push_back(idk->partial);
+        }
+      }
+      break;
+    }
+    case 3: {  // lines 28-31 + Algorithm 1 lines 7-8: adopt returned value
+      for (const Message& m : inbox) {
+        if (m.from != leader) continue;
+        const auto* lv = payload_cast<LeaderValueMsg>(m.body);
+        if (lv == nullptr || lv->phase != j) continue;
+        if (!predicate_->validate(lv->value)) continue;
+        vi_ = lv->value;
+        break;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void BbProcess::on_send(Round r, Outbox& out) {
+  if (r == 1) {  // Algorithm 1, lines 1-2
+    if (sender_ == ctx_.id) {
+      auto msg = std::make_shared<SenderValueMsg>();
+      msg->value = WireValue::signed_by(
+          input_, ctx_.sign(bb_sender_digest(ctx_.instance, input_)));
+      out.broadcast(msg);
+    }
+    return;
+  }
+  if (r < wba_first_round()) {
+    phase_send(phase_of(r), phase_local(r), out);
+    return;
+  }
+  ensure_wba();
+  wba_->on_send(r - (wba_first_round() - 1), out);
+}
+
+void BbProcess::on_receive(Round r, std::span<const Message> inbox) {
+  if (r == 1) {  // Algorithm 1, lines 3-4
+    for (const Message& m : inbox) {
+      if (m.from != sender_) continue;
+      const auto* sv = payload_cast<SenderValueMsg>(m.body);
+      if (sv == nullptr || !predicate_->validate(sv->value)) continue;
+      if (sv->value.prov != Provenance::kSigned) continue;
+      vi_ = sv->value;
+      stats_.adopted_from_sender = true;
+      break;  // the sender signs one value; take the first valid one
+    }
+    return;
+  }
+  if (r < wba_first_round()) {
+    phase_receive(phase_of(r), phase_local(r), inbox);
+    return;
+  }
+  ensure_wba();
+  wba_->on_receive(r - (wba_first_round() - 1), inbox);
+
+  if (r == last_round()) {
+    // Algorithm 1, lines 10-13: a sender-signed BA decision yields its
+    // value; anything else (including an idk certificate) yields ⊥.
+    const WireValue& ba_decision = wba_->decision();
+    stats_.decided = wba_->stats().decided;
+    stats_.fallback_participant = wba_->stats().fallback_participant;
+    if (wba_->stats().decided_round > 0) {
+      stats_.decided_round =
+          wba_first_round() - 1 + wba_->stats().decided_round;
+    }
+    if (ba_decision.prov == Provenance::kSigned &&
+        predicate_->validate(ba_decision)) {
+      stats_.decision = ba_decision.value;
+    } else {
+      stats_.decision = kBottom;
+    }
+  }
+}
+
+}  // namespace mewc::bb

@@ -1,0 +1,161 @@
+// Adaptive Byzantine Broadcast (paper Section 5, Algorithms 1 + 2):
+// O(n(f+1)) words at resilience n = 2t + 1.
+//
+// Structure: (1) the designated sender disseminates its signed value;
+// (2) n vetting phases with rotating leaders — a leader that still has no
+// value asks for help, and either relays a BB_valid value it learns or
+// batches t+1 idk partial signatures into an idk quorum certificate, itself
+// a decidable value meaning "the sender never spoke"; (3) a weak BA run
+// with the BB_valid predicate; a decision of the form <v>_sender yields v,
+// anything else yields ⊥.
+//
+// Phases led by correct processes that already hold a value are silent,
+// which bounds non-silent phases by O(f+1) (Section 5.1).
+//
+// NOTE-1 (faithful completion, see DESIGN.md): Algorithm 2 line 23 has the
+// leader re-broadcast a received value only when it is sender-signed. If
+// some correct processes hold an idk certificate from an earlier phase and
+// the rest hold nothing, a correct leader would receive neither a
+// sender-signed value nor t+1 fresh idk replies and the phase guarantee
+// (Lemma 9) would fail. We generalize the check to "any BB_valid value,
+// preferring sender-signed" — receivers already accept exactly that (line
+// 28), and when the sender is correct no idk certificate can exist (Lemma
+// 10), so all lemmas are preserved.
+//
+// Round schedule: round 1 = dissemination; phase j = rounds 3(j-1)+2 ..
+// 3(j-1)+4 (help_req / reply / leader value); weak BA occupies the rest.
+#pragma once
+
+#include <optional>
+
+#include "ba/context.hpp"
+#include "ba/validity/predicate.hpp"
+#include "ba/weak_ba/weak_ba.hpp"
+#include "net/payload.hpp"
+#include "sim/process.hpp"
+
+namespace mewc::bb {
+
+/// <v>_sender, broadcast in round 1 (Algorithm 1, line 2).
+struct SenderValueMsg final : public Payload {
+  WireValue value;  // prov == kSigned by the designated sender
+
+  [[nodiscard]] std::size_t words() const override { return value.words(); }
+  [[nodiscard]] std::size_t logical_signatures() const override {
+    return value.logical_signatures();
+  }
+  [[nodiscard]] const char* kind() const override { return "bb.sender_value"; }
+};
+
+/// <help_req, j>_leader (Algorithm 2, line 16).
+struct HelpReqMsg final : public Payload {
+  std::uint64_t phase = 0;
+
+  [[nodiscard]] std::size_t words() const override { return 1; }
+  [[nodiscard]] const char* kind() const override { return "bb.help_req"; }
+};
+
+/// <v_i, j> reply to the leader (line 19).
+struct ReplyValueMsg final : public Payload {
+  std::uint64_t phase = 0;
+  WireValue value;
+
+  [[nodiscard]] std::size_t words() const override { return value.words(); }
+  [[nodiscard]] std::size_t logical_signatures() const override {
+    return value.logical_signatures();
+  }
+  [[nodiscard]] const char* kind() const override { return "bb.reply_value"; }
+};
+
+/// <idk, j>_pi reply: a (t+1)-scheme partial over bb_idk_digest (line 21).
+struct IdkMsg final : public Payload {
+  std::uint64_t phase = 0;
+  PartialSig partial;
+
+  [[nodiscard]] std::size_t words() const override { return 1; }
+  [[nodiscard]] std::size_t logical_signatures() const override { return 1; }
+  [[nodiscard]] const char* kind() const override { return "bb.idk"; }
+};
+
+/// <v, j> from the leader (lines 24 and 27): a sender-signed value, a
+/// previously-certified value (NOTE-1), or a fresh idk certificate.
+struct LeaderValueMsg final : public Payload {
+  std::uint64_t phase = 0;
+  WireValue value;
+
+  [[nodiscard]] std::size_t words() const override { return value.words(); }
+  [[nodiscard]] std::size_t logical_signatures() const override {
+    return value.logical_signatures();
+  }
+  [[nodiscard]] const char* kind() const override { return "bb.leader_value"; }
+};
+
+struct BbStats {
+  bool decided = false;
+  Value decision = kBottom;       // ⊥ when the weak BA output was not <v>_sender
+  bool led_nonsilent_phase = false;
+  bool adopted_from_sender = false;
+  bool fallback_participant = false;
+  Round decided_round = 0;        // round the inner weak BA decided (global
+                                  // numbering); the BB output is fixed then
+};
+
+class BbProcess final : public IProcess {
+ public:
+  /// `input` is meaningful only at the designated sender (v_sender).
+  BbProcess(const ProtocolContext& ctx, ProcessId sender, Value input);
+
+  [[nodiscard]] static Round total_rounds(std::uint32_t n, std::uint32_t t) {
+    return 1 + 3 * n + wba::WeakBaProcess::total_rounds(n, t);
+  }
+
+  void on_send(Round r, Outbox& out) override;
+  void on_receive(Round r, std::span<const Message> inbox) override;
+
+  [[nodiscard]] bool decided() const { return stats_.decided; }
+  [[nodiscard]] Value decision() const { return stats_.decision; }
+  [[nodiscard]] const BbStats& stats() const { return stats_; }
+
+  /// The underlying weak BA outcome (for tests/experiments).
+  [[nodiscard]] const wba::WeakBaProcess* weak_ba() const {
+    return wba_ ? &*wba_ : nullptr;
+  }
+
+  [[nodiscard]] static ProcessId leader_of(std::uint64_t phase,
+                                           std::uint32_t n) {
+    return static_cast<ProcessId>((phase - 1) % n);
+  }
+
+ private:
+  [[nodiscard]] Round wba_first_round() const { return 1 + 3 * ctx_.n + 1; }
+  [[nodiscard]] Round last_round() const {
+    return total_rounds(ctx_.n, ctx_.t);
+  }
+  [[nodiscard]] static std::uint64_t phase_of(Round r) { return (r - 2) / 3 + 1; }
+  [[nodiscard]] static Round phase_local(Round r) { return (r - 2) % 3 + 1; }
+
+  void phase_send(std::uint64_t j, Round local, Outbox& out);
+  void phase_receive(std::uint64_t j, Round local,
+                     std::span<const Message> inbox);
+  void ensure_wba();
+
+  ProtocolContext ctx_;
+  ProcessId sender_;
+  Value input_;
+  std::shared_ptr<const BbValid> predicate_;
+
+  WireValue vi_ = bottom_value();  // current BA initial value (Algorithm 1)
+
+  // Per-phase scratch.
+  struct PhaseScratch {
+    bool reply_needed = false;
+    std::optional<WireValue> best_reply;  // sender-signed preferred
+    std::vector<PartialSig> idk_partials;
+  };
+  PhaseScratch ph_;
+
+  std::optional<wba::WeakBaProcess> wba_;
+  BbStats stats_;
+};
+
+}  // namespace mewc::bb

@@ -1,0 +1,34 @@
+// Per-process protocol context: identity, system parameters, run instance
+// tag, and crypto capabilities. Shared by every protocol implementation.
+#pragma once
+
+#include "common/types.hpp"
+#include "crypto/family.hpp"
+
+namespace mewc {
+
+struct ProtocolContext {
+  ProcessId id = kNoProcess;
+  std::uint32_t n = 0;
+  std::uint32_t t = 0;
+  std::uint64_t instance = 0;  // run nonce; domain-separates digests per run
+  const ThresholdFamily* crypto = nullptr;
+  const KeyBundle* keys = nullptr;
+
+  [[nodiscard]] const Pki& pki() const { return crypto->pki(); }
+
+  [[nodiscard]] Signature sign(Digest d) const { return keys->signer().sign(d); }
+
+  [[nodiscard]] PartialSig partial_sign(std::uint32_t k, Digest d) const {
+    return keys->share(k).partial_sign(d);
+  }
+
+  [[nodiscard]] const ThresholdScheme& scheme(std::uint32_t k) const {
+    return crypto->scheme(k);
+  }
+
+  /// ceil((n+t+1)/2), the Section 6 quorum.
+  [[nodiscard]] std::uint32_t quorum() const { return commit_quorum(n, t); }
+};
+
+}  // namespace mewc

@@ -1,0 +1,23 @@
+// Modeled word cost of a Momose-Ren fallback execution (DESIGN.md SUB-1).
+//
+// Momose-Ren (DISC 2021) solves synchronous strong BA at n = 2t+1 in O(n^2)
+// words. Our substituted Dolev-Strong fallback is correct but costs O(n^3)
+// worst case, so benches that enter the fallback regime report, next to the
+// measured words, the modeled quadratic cost a Momose-Ren execution would
+// incur. The constant is calibrated to their protocol's structure: a small
+// constant number of all-to-all rounds of constant-size (threshold-
+// certificate-compressed) messages per view over O(1) amortized views.
+#pragma once
+
+#include <cstdint>
+
+namespace mewc::fallback {
+
+/// Modeled words for one fallback execution at system size n.
+[[nodiscard]] constexpr std::uint64_t modeled_momose_ren_words(
+    std::uint64_t n) {
+  // ~6 all-to-all exchanges of 2-word messages across the execution.
+  return 12 * n * n;
+}
+
+}  // namespace mewc::fallback

@@ -1,0 +1,144 @@
+#include "ba/fallback/dolev_strong.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.hpp"
+
+namespace mewc::fallback {
+
+bool wire_value_less(const WireValue& a, const WireValue& b) {
+  auto key = [](const WireValue& w) {
+    return std::tuple(w.value.raw, static_cast<std::uint8_t>(w.prov), w.aux,
+                      w.sig ? w.sig->tag : 0, w.cert ? w.cert->tag : 0);
+  };
+  return key(a) < key(b);
+}
+
+DolevStrongEngine::DolevStrongEngine(const ProtocolContext& ctx)
+    : ctx_(ctx), extracted_(ctx.n) {}
+
+Digest ds_relay_digest(std::uint64_t run_instance, ProcessId ds_instance,
+                       const WireValue& v) {
+  return DigestBuilder("ds.value")
+      .field(run_instance)
+      .field(ds_instance)
+      .field(v.content_digest().bits)
+      .done();
+}
+
+Digest DolevStrongEngine::relay_digest(ProcessId instance,
+                                       const WireValue& v) const {
+  return ds_relay_digest(ctx_.instance, instance, v);
+}
+
+void DolevStrongEngine::on_send(Round local_r, Outbox& out) {
+  if (!active_) return;
+  if (local_r == 1) {
+    if (!broadcaster_) return;
+    // Start my own instance: broadcast my input with a 1-signature chain.
+    auto msg = std::make_shared<DsRelayMsg>();
+    msg->instance = ctx_.id;
+    msg->value = input_;
+    msg->chain = aggregate_start(
+        ctx_.n, ctx_.sign(relay_digest(ctx_.id, input_)));
+    out.broadcast(msg);
+    return;
+  }
+  for (auto& relay : pending_relays_) out.broadcast(relay);
+  pending_relays_.clear();
+}
+
+void DolevStrongEngine::accept(Round local_r, ProcessId instance,
+                               const WireValue& v,
+                               const AggSignature& chain) {
+  auto& set = extracted_[instance];
+  if (set.size() >= 2) return;  // instance owner already proven Byzantine
+  if (std::find(set.begin(), set.end(), v) != set.end()) return;
+  set.push_back(v);
+
+  // Relay with my signature appended, unless the schedule has ended (an
+  // acceptance in round t+1 needs no relay: its chain of t+1 signers
+  // contains a correct process that already relayed it earlier).
+  if (local_r > ctx_.t) return;
+  auto msg = std::make_shared<DsRelayMsg>();
+  msg->instance = instance;
+  msg->value = v;
+  msg->chain = chain;
+  if (!msg->chain.signers.contains(ctx_.id)) {
+    aggregate_add(msg->chain, ctx_.sign(relay_digest(instance, v)));
+  }
+  pending_relays_.push_back(std::move(msg));
+}
+
+void DolevStrongEngine::on_receive(Round local_r,
+                                   std::span<const Message> inbox) {
+  if (!active_) return;
+  if (local_r > ctx_.t + 1) return;  // final round: nothing new can qualify
+  for (const Message& m : inbox) {
+    const auto* relay = payload_cast<DsRelayMsg>(m.body);
+    if (relay == nullptr) continue;
+    if (relay->instance >= ctx_.n) continue;
+    // Dolev-Strong acceptance: a valid chain of >= r distinct signers that
+    // includes the instance owner, over exactly this value.
+    if (relay->chain.signers.count() < local_r) continue;
+    if (!relay->chain.signers.contains(relay->instance)) continue;
+    if (relay->chain.digest != relay_digest(relay->instance, relay->value)) {
+      continue;
+    }
+    if (!aggregate_verify(ctx_.pki(), relay->chain)) continue;
+    accept(local_r, relay->instance, relay->value, relay->chain);
+  }
+}
+
+WireValue DolevStrongEngine::slot(ProcessId instance) const {
+  const auto& set = extracted_[instance];
+  return set.size() == 1 ? set.front() : bottom_value();
+}
+
+WireValue DolevStrongEngine::decide() const {
+  // Majority over raw values; the representative content for the winning
+  // raw is the most frequent content, ties broken by wire_value_less. All
+  // correct processes hold identical slot vectors, so any deterministic
+  // rule preserves agreement.
+  std::map<std::uint64_t, std::uint32_t> raw_count;
+  std::vector<WireValue> slots;
+  for (ProcessId i = 0; i < ctx_.n; ++i) {
+    WireValue s = slot(i);
+    if (s.is_bottom()) continue;
+    slots.push_back(s);
+    ++raw_count[s.value.raw];
+  }
+  if (slots.empty()) return bottom_value();
+
+  std::uint64_t best_raw = 0;
+  std::uint32_t best_count = 0;
+  for (const auto& [raw, count] : raw_count) {
+    if (count > best_count) {  // map iteration is ordered: ties keep smaller
+      best_count = count;
+      best_raw = raw;
+    }
+  }
+
+  std::vector<WireValue> candidates;
+  for (const WireValue& s : slots) {
+    if (s.value.raw == best_raw) candidates.push_back(s);
+  }
+  std::map<std::size_t, std::uint32_t> content_count;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    for (std::size_t j = 0; j < candidates.size(); ++j) {
+      if (candidates[i] == candidates[j]) ++content_count[i];
+    }
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    if (content_count[i] > content_count[best] ||
+        (content_count[i] == content_count[best] &&
+         wire_value_less(candidates[i], candidates[best]))) {
+      best = i;
+    }
+  }
+  return candidates[best];
+}
+
+}  // namespace mewc::fallback

@@ -1,0 +1,110 @@
+// A_fallback: a deterministic synchronous strong BA for n = 2t + 1.
+//
+// The paper plugs in Momose-Ren (DISC 2021, O(n^2) words) as a black box.
+// Per DESIGN.md SUB-1, we substitute a provably correct classic: every
+// process broadcasts its input through an authenticated Dolev-Strong
+// instance (t+1 rounds; signature chains compressed into one aggregate tag
+// plus a signer bitmap), after which all correct processes hold identical
+// output vectors and apply a deterministic raw-value majority.
+//
+//   * Agreement: Dolev-Strong gives every correct process the same per-slot
+//     extraction, hence the same vector, hence the same majority.
+//   * Strong unanimity: if all correct processes input value v, the >= t+1
+//     slots of correct senders all extract v, and no other raw value can
+//     reach t+1 slots, so the majority is v.
+//   * Termination: fixed t+2 round schedule.
+//
+// Word cost is O(n^3) worst case (each correct process relays at most two
+// values per instance); the bench harness also reports the modeled O(n^2)
+// cost of a Momose-Ren execution for shape comparison (cost_model.hpp).
+#pragma once
+
+#include <vector>
+
+#include "ba/context.hpp"
+#include "ba/value.hpp"
+#include "net/message.hpp"
+#include "net/outbox.hpp"
+#include "net/payload.hpp"
+#include "crypto/multisig.hpp"
+
+namespace mewc::fallback {
+
+/// Relay message of instance `instance` carrying `value` with an aggregated
+/// signature chain. The chain must contain the instance owner and at least
+/// r distinct signers to be accepted in local round r.
+struct DsRelayMsg final : public Payload {
+  ProcessId instance = kNoProcess;
+  WireValue value;
+  AggSignature chain;
+
+  [[nodiscard]] std::size_t words() const override {
+    return value.words() + chain.words();
+  }
+  [[nodiscard]] std::size_t logical_signatures() const override {
+    return value.logical_signatures() + chain.signers.count();
+  }
+  [[nodiscard]] const char* kind() const override { return "ds.relay"; }
+};
+
+/// Deterministic total order on WireValue used for tie-breaking; any fixed
+/// order preserves agreement because all correct processes order identical
+/// candidate sets.
+[[nodiscard]] bool wire_value_less(const WireValue& a, const WireValue& b);
+
+/// Digest every chain signature covers: run instance, the broadcasting
+/// instance's identity, and the full value content.
+[[nodiscard]] Digest ds_relay_digest(std::uint64_t run_instance,
+                                     ProcessId ds_instance,
+                                     const WireValue& v);
+
+class DolevStrongEngine {
+ public:
+  explicit DolevStrongEngine(const ProtocolContext& ctx);
+
+  /// Number of local rounds the engine needs: the classic t+1 (messages
+  /// sent in a round are delivered within it, so no landing round is
+  /// needed; decide() is meaningful after on_receive(t+1)).
+  [[nodiscard]] static Round rounds(std::uint32_t t) { return t + 1; }
+
+  /// Sets this process's fallback input (the paper's bu_decision).
+  void set_input(const WireValue& v) { input_ = v; }
+
+  /// Marks this process as a fallback participant. Inactive engines send
+  /// nothing and ignore traffic (their holder decided without the fallback).
+  void activate() { active_ = true; }
+  [[nodiscard]] bool active() const { return active_; }
+
+  /// When false, this process relays but never starts its own instance.
+  /// Used by the classic single-sender Dolev-Strong BB baseline.
+  void set_broadcaster(bool broadcaster) { broadcaster_ = broadcaster; }
+
+  void on_send(Round local_r, Outbox& out);
+  void on_receive(Round local_r, std::span<const Message> inbox);
+
+  /// The strong-BA decision; valid after rounds(t) local rounds.
+  [[nodiscard]] WireValue decide() const;
+
+  /// Per-instance extraction (for tests): the value broadcast by `instance`
+  /// if exactly one was extracted, bottom otherwise.
+  [[nodiscard]] WireValue slot(ProcessId instance) const;
+
+ private:
+  [[nodiscard]] Digest relay_digest(ProcessId instance,
+                                    const WireValue& v) const;
+  void accept(Round local_r, ProcessId instance, const WireValue& v,
+              const AggSignature& chain);
+
+  ProtocolContext ctx_;
+  bool active_ = false;
+  bool broadcaster_ = true;
+  WireValue input_ = bottom_value();
+
+  // Extracted values per instance (Dolev-Strong W_i, capped at 2: a second
+  // distinct value already proves the instance owner Byzantine).
+  std::vector<std::vector<WireValue>> extracted_;
+  // Relays scheduled for the next local round.
+  std::vector<PayloadPtr> pending_relays_;
+};
+
+}  // namespace mewc::fallback

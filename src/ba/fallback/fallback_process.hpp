@@ -1,0 +1,35 @@
+// Standalone IProcess wrapper around the A_fallback engine, so the fallback
+// can be tested and benchmarked as an independent strong BA protocol (it is
+// one: Momose-Ren's role in the paper).
+#pragma once
+
+#include "ba/fallback/dolev_strong.hpp"
+#include "sim/process.hpp"
+
+namespace mewc::fallback {
+
+class FallbackBaProcess final : public IProcess {
+ public:
+  FallbackBaProcess(const ProtocolContext& ctx, WireValue input)
+      : engine_(ctx) {
+    engine_.set_input(input);
+    engine_.activate();
+  }
+
+  [[nodiscard]] static Round total_rounds(std::uint32_t t) {
+    return DolevStrongEngine::rounds(t);
+  }
+
+  void on_send(Round r, Outbox& out) override { engine_.on_send(r, out); }
+  void on_receive(Round r, std::span<const Message> inbox) override {
+    engine_.on_receive(r, inbox);
+  }
+
+  [[nodiscard]] WireValue decision() const { return engine_.decide(); }
+  [[nodiscard]] const DolevStrongEngine& engine() const { return engine_; }
+
+ private:
+  DolevStrongEngine engine_;
+};
+
+}  // namespace mewc::fallback

@@ -1,0 +1,362 @@
+#include "ba/harness.hpp"
+
+#include <algorithm>
+
+#include "ba/vector/interactive_consistency.hpp"
+#include "wire/codec.hpp"
+
+namespace mewc::harness {
+
+namespace {
+
+/// Shared run skeleton: builds the setup, processes via `make`, runs
+/// `rounds`, and extracts per-process results via `collect`.
+template <typename Proc, typename Result, typename MakeFn, typename CollectFn>
+Result run_protocol(const RunSpec& spec, Round rounds, Adversary& adversary,
+                    MakeFn make, CollectFn collect) {
+  ThresholdFamily family(spec.n, spec.t, spec.backend, spec.seed);
+
+  std::vector<KeyBundle> bundles;
+  bundles.reserve(spec.n);
+  for (ProcessId p = 0; p < spec.n; ++p) {
+    bundles.push_back(family.issue_bundle(p));
+  }
+
+  std::vector<std::unique_ptr<IProcess>> processes;
+  processes.reserve(spec.n);
+  for (ProcessId p = 0; p < spec.n; ++p) {
+    ProtocolContext ctx;
+    ctx.id = p;
+    ctx.n = spec.n;
+    ctx.t = spec.t;
+    ctx.instance = spec.instance;
+    ctx.crypto = &family;
+    ctx.keys = &bundles[p];
+    processes.push_back(make(ctx, family));
+  }
+
+  Executor exec(family, std::move(bundles), std::move(processes), adversary);
+  if (spec.codec_roundtrip) exec.set_payload_transform(wire::roundtrip);
+  if (spec.recorder) exec.set_message_recorder(spec.recorder);
+  exec.run(rounds);
+
+  Result res;
+  res.meter = exec.meter();
+  res.corrupted = exec.corrupted();
+  res.signatures_issued = family.pki().signatures_issued();
+  res.rounds = rounds;
+  for (ProcessId p = 0; p < spec.n; ++p) {
+    if (exec.is_corrupted(p)) {
+      collect(res, p, nullptr);
+    } else {
+      collect(res, p, static_cast<const Proc*>(&exec.process(p)));
+    }
+  }
+  return res;
+}
+
+template <typename Stats>
+bool stats_all_decided(const std::vector<std::optional<Stats>>& stats) {
+  return std::all_of(stats.begin(), stats.end(), [](const auto& s) {
+    return !s.has_value() || s->decided;
+  });
+}
+
+}  // namespace
+
+bool RunOutcome::is_corrupted(ProcessId p) const {
+  return std::find(corrupted.begin(), corrupted.end(), p) != corrupted.end();
+}
+
+// ---------------------------------------------------------------------------
+// BB
+// ---------------------------------------------------------------------------
+
+BbResult run_bb(const RunSpec& spec, ProcessId sender, Value sender_input,
+                Adversary& adversary) {
+  auto res = run_protocol<bb::BbProcess, BbResult>(
+      spec, bb::BbProcess::total_rounds(spec.n, spec.t), adversary,
+      [&](const ProtocolContext& ctx, const ThresholdFamily&) {
+        return std::make_unique<bb::BbProcess>(ctx, sender, sender_input);
+      },
+      [](BbResult& r, ProcessId, const bb::BbProcess* p) {
+        r.stats.push_back(p ? std::optional(p->stats()) : std::nullopt);
+      });
+  res.sender = sender;
+  return res;
+}
+
+bool BbResult::all_decided() const { return stats_all_decided(stats); }
+
+bool BbResult::agreement() const {
+  std::optional<Value> seen;
+  for (const auto& s : stats) {
+    if (!s) continue;
+    if (!seen) {
+      seen = s->decision;
+    } else if (*seen != s->decision) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Value BbResult::decision() const {
+  for (const auto& s : stats) {
+    if (s) return s->decision;
+  }
+  return kBottom;
+}
+
+std::uint32_t BbResult::nonsilent_leaders() const {
+  std::uint32_t c = 0;
+  for (const auto& s : stats) c += (s && s->led_nonsilent_phase) ? 1 : 0;
+  return c;
+}
+
+bool BbResult::any_fallback() const {
+  return std::any_of(stats.begin(), stats.end(), [](const auto& s) {
+    return s && s->fallback_participant;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Weak BA
+// ---------------------------------------------------------------------------
+
+PredicateFactory always_valid_factory() {
+  return [](const ThresholdFamily&, std::uint64_t) {
+    return std::make_shared<const AlwaysValid>();
+  };
+}
+
+WbaResult run_weak_ba(const RunSpec& spec,
+                      const std::vector<WireValue>& inputs,
+                      const PredicateFactory& predicate,
+                      Adversary& adversary) {
+  MEWC_CHECK(inputs.size() == spec.n);
+  return run_protocol<wba::WeakBaProcess, WbaResult>(
+      spec, wba::WeakBaProcess::total_rounds(spec.n, spec.t), adversary,
+      [&](const ProtocolContext& ctx, const ThresholdFamily& fam) {
+        return std::make_unique<wba::WeakBaProcess>(
+            ctx, predicate(fam, spec.instance), inputs[ctx.id]);
+      },
+      [](WbaResult& r, ProcessId, const wba::WeakBaProcess* p) {
+        r.stats.push_back(p ? std::optional(p->stats()) : std::nullopt);
+      });
+}
+
+bool WbaResult::all_decided() const { return stats_all_decided(stats); }
+
+bool WbaResult::agreement() const {
+  std::optional<WireValue> seen;
+  for (const auto& s : stats) {
+    if (!s) continue;
+    if (!seen) {
+      seen = s->decision;
+    } else if (!(*seen == s->decision)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+WireValue WbaResult::decision() const {
+  for (const auto& s : stats) {
+    if (s) return s->decision;
+  }
+  return bottom_value();
+}
+
+std::uint32_t WbaResult::nonsilent_leaders() const {
+  std::uint32_t c = 0;
+  for (const auto& s : stats) c += (s && s->led_nonsilent_phase) ? 1 : 0;
+  return c;
+}
+
+bool WbaResult::any_fallback() const {
+  return std::any_of(stats.begin(), stats.end(), [](const auto& s) {
+    return s && s->fallback_participant;
+  });
+}
+
+std::uint32_t WbaResult::help_reqs_sent() const {
+  std::uint32_t c = 0;
+  for (const auto& s : stats) c += (s && s->sent_help_req) ? 1 : 0;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Strong BA (Algorithm 5)
+// ---------------------------------------------------------------------------
+
+SbaResult run_strong_ba(const RunSpec& spec, const std::vector<Value>& inputs,
+                        Adversary& adversary) {
+  MEWC_CHECK(inputs.size() == spec.n);
+  return run_protocol<sba::StrongBaProcess, SbaResult>(
+      spec, sba::StrongBaProcess::total_rounds(spec.t), adversary,
+      [&](const ProtocolContext& ctx, const ThresholdFamily&) {
+        return std::make_unique<sba::StrongBaProcess>(ctx, inputs[ctx.id]);
+      },
+      [](SbaResult& r, ProcessId, const sba::StrongBaProcess* p) {
+        r.stats.push_back(p ? std::optional(p->stats()) : std::nullopt);
+      });
+}
+
+bool SbaResult::all_decided() const { return stats_all_decided(stats); }
+
+bool SbaResult::agreement() const {
+  std::optional<Value> seen;
+  for (const auto& s : stats) {
+    if (!s) continue;
+    if (!seen) {
+      seen = s->decision;
+    } else if (*seen != s->decision) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Value SbaResult::decision() const {
+  for (const auto& s : stats) {
+    if (s) return s->decision;
+  }
+  return kBottom;
+}
+
+bool SbaResult::any_fallback() const {
+  return std::any_of(stats.begin(), stats.end(), [](const auto& s) {
+    return s && s->fallback_participant;
+  });
+}
+
+bool SbaResult::all_fast() const {
+  return std::all_of(stats.begin(), stats.end(), [](const auto& s) {
+    return !s.has_value() || s->decided_fast;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// A_fallback standalone + Dolev-Strong BB baseline
+// ---------------------------------------------------------------------------
+
+FallbackResult run_fallback_ba(const RunSpec& spec,
+                               const std::vector<WireValue>& inputs,
+                               Adversary& adversary) {
+  MEWC_CHECK(inputs.size() == spec.n);
+  return run_protocol<fallback::FallbackBaProcess, FallbackResult>(
+      spec, fallback::FallbackBaProcess::total_rounds(spec.t), adversary,
+      [&](const ProtocolContext& ctx, const ThresholdFamily&) {
+        return std::make_unique<fallback::FallbackBaProcess>(ctx,
+                                                             inputs[ctx.id]);
+      },
+      [](FallbackResult& r, ProcessId, const fallback::FallbackBaProcess* p) {
+        r.decisions.push_back(p ? std::optional(p->decision()) : std::nullopt);
+      });
+}
+
+bool FallbackResult::agreement() const {
+  std::optional<WireValue> seen;
+  for (const auto& d : decisions) {
+    if (!d) continue;
+    if (!seen) {
+      seen = *d;
+    } else if (!(*seen == *d)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+WireValue FallbackResult::decision() const {
+  for (const auto& d : decisions) {
+    if (d) return *d;
+  }
+  return bottom_value();
+}
+
+DsBbResult run_ds_bb(const RunSpec& spec, ProcessId sender, Value sender_input,
+                     Adversary& adversary) {
+  return run_protocol<baseline::DolevStrongBbProcess, DsBbResult>(
+      spec, baseline::DolevStrongBbProcess::total_rounds(spec.t), adversary,
+      [&](const ProtocolContext& ctx, const ThresholdFamily&) {
+        return std::make_unique<baseline::DolevStrongBbProcess>(ctx, sender,
+                                                                sender_input);
+      },
+      [](DsBbResult& r, ProcessId, const baseline::DolevStrongBbProcess* p) {
+        r.decisions.push_back(p ? std::optional(p->decision()) : std::nullopt);
+      });
+}
+
+bool DsBbResult::agreement() const {
+  std::optional<Value> seen;
+  for (const auto& d : decisions) {
+    if (!d) continue;
+    if (!seen) {
+      seen = *d;
+    } else if (*seen != *d) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Value DsBbResult::decision() const {
+  for (const auto& d : decisions) {
+    if (d) return *d;
+  }
+  return kBottom;
+}
+
+// ---------------------------------------------------------------------------
+// Interactive consistency
+// ---------------------------------------------------------------------------
+
+IcResult run_ic(const RunSpec& spec, const std::vector<Value>& inputs,
+                Adversary& adversary) {
+  MEWC_CHECK(inputs.size() == spec.n);
+  return run_protocol<ic::InteractiveConsistencyProcess, IcResult>(
+      spec, ic::InteractiveConsistencyProcess::total_rounds(spec.n, spec.t),
+      adversary,
+      [&](const ProtocolContext& ctx, const ThresholdFamily&) {
+        return std::make_unique<ic::InteractiveConsistencyProcess>(
+            ctx, inputs[ctx.id]);
+      },
+      [](IcResult& r, ProcessId, const ic::InteractiveConsistencyProcess* p) {
+        if (p != nullptr && p->stats().decided) {
+          r.vectors.push_back(p->stats().vector);
+        } else {
+          r.vectors.push_back(std::nullopt);
+        }
+      });
+}
+
+bool IcResult::all_decided() const {
+  for (ProcessId p = 0; p < vectors.size(); ++p) {
+    if (!is_corrupted(p) && !vectors[p].has_value()) return false;
+  }
+  return true;
+}
+
+bool IcResult::agreement() const {
+  const std::vector<Value>* seen = nullptr;
+  for (const auto& v : vectors) {
+    if (!v) continue;
+    if (seen == nullptr) {
+      seen = &*v;
+    } else if (*seen != *v) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Value> IcResult::vector() const {
+  for (const auto& v : vectors) {
+    if (v) return *v;
+  }
+  return {};
+}
+
+}  // namespace mewc::harness

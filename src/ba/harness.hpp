@@ -1,0 +1,155 @@
+// One-call run harness: builds the trusted setup, the processes and the
+// executor for a protocol, runs the full round schedule against an
+// adversary, and collects decisions, stats and the word meter. Used by
+// tests, benches and examples alike.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "ba/baseline/baselines.hpp"
+#include "ba/bb/bb.hpp"
+#include "ba/strong_ba/strong_ba.hpp"
+#include "ba/weak_ba/weak_ba.hpp"
+#include "sim/executor.hpp"
+
+namespace mewc::harness {
+
+struct RunSpec {
+  std::uint32_t n = 0;
+  std::uint32_t t = 0;
+  std::uint64_t instance = 1;
+  ThresholdBackend backend = ThresholdBackend::kSim;
+  std::uint64_t seed = 0x5e7u;
+  /// Re-encode and re-parse every message through the byte-level wire
+  /// codec (src/wire): proves the run does not depend on in-memory payload
+  /// sharing. Off by default (it costs time, not behaviour).
+  bool codec_roundtrip = false;
+  /// Optional observer of every link-crossing message (trace tooling).
+  std::function<void(const Message&, bool correct)> recorder;
+
+  [[nodiscard]] static RunSpec for_t(std::uint32_t t) {
+    RunSpec s;
+    s.t = t;
+    s.n = n_for_t(t);
+    return s;
+  }
+
+  /// General resilience n >= 2t+1 (paper Section 8: the protocols carry
+  /// over; a larger gap widens the adaptive regime).
+  [[nodiscard]] static RunSpec with(std::uint32_t n, std::uint32_t t) {
+    MEWC_CHECK(n >= 2 * t + 1);
+    RunSpec s;
+    s.t = t;
+    s.n = n;
+    return s;
+  }
+};
+
+/// Fields common to every protocol run.
+struct RunOutcome {
+  Meter meter{0};
+  std::vector<ProcessId> corrupted;
+  std::uint64_t signatures_issued = 0;
+  Round rounds = 0;
+
+  [[nodiscard]] std::uint32_t f() const {
+    return static_cast<std::uint32_t>(corrupted.size());
+  }
+  [[nodiscard]] bool is_corrupted(ProcessId p) const;
+};
+
+struct BbResult : RunOutcome {
+  ProcessId sender = kNoProcess;
+  std::vector<std::optional<bb::BbStats>> stats;  // nullopt for corrupted
+
+  [[nodiscard]] bool all_decided() const;
+  [[nodiscard]] bool agreement() const;
+  /// The common decision (meaningful when agreement() holds).
+  [[nodiscard]] Value decision() const;
+  [[nodiscard]] std::uint32_t nonsilent_leaders() const;
+  [[nodiscard]] bool any_fallback() const;
+};
+
+struct WbaResult : RunOutcome {
+  std::vector<std::optional<wba::WbaStats>> stats;
+
+  [[nodiscard]] bool all_decided() const;
+  [[nodiscard]] bool agreement() const;
+  [[nodiscard]] WireValue decision() const;
+  [[nodiscard]] std::uint32_t nonsilent_leaders() const;
+  [[nodiscard]] bool any_fallback() const;
+  [[nodiscard]] std::uint32_t help_reqs_sent() const;
+};
+
+struct SbaResult : RunOutcome {
+  std::vector<std::optional<sba::SbaStats>> stats;
+
+  [[nodiscard]] bool all_decided() const;
+  [[nodiscard]] bool agreement() const;
+  [[nodiscard]] Value decision() const;
+  [[nodiscard]] bool any_fallback() const;
+  [[nodiscard]] bool all_fast() const;
+};
+
+struct FallbackResult : RunOutcome {
+  std::vector<std::optional<WireValue>> decisions;
+
+  [[nodiscard]] bool agreement() const;
+  [[nodiscard]] WireValue decision() const;
+};
+
+struct DsBbResult : RunOutcome {
+  std::vector<std::optional<Value>> decisions;
+
+  [[nodiscard]] bool agreement() const;
+  [[nodiscard]] Value decision() const;
+};
+
+struct IcResult : RunOutcome {
+  std::vector<std::optional<std::vector<Value>>> vectors;  // per process
+
+  [[nodiscard]] bool all_decided() const;
+  /// All correct processes hold the same vector.
+  [[nodiscard]] bool agreement() const;
+  [[nodiscard]] std::vector<Value> vector() const;
+};
+
+/// Builds the predicate for a weak BA run once the trusted setup exists.
+using PredicateFactory = std::function<std::shared_ptr<const ValidityPredicate>(
+    const ThresholdFamily&, std::uint64_t instance)>;
+
+[[nodiscard]] PredicateFactory always_valid_factory();
+
+/// Byzantine Broadcast (Algorithms 1 + 2 over weak BA).
+[[nodiscard]] BbResult run_bb(const RunSpec& spec, ProcessId sender,
+                              Value sender_input, Adversary& adversary);
+
+/// Adaptive weak BA (Algorithms 3 + 4). inputs[i] is process i's proposal.
+[[nodiscard]] WbaResult run_weak_ba(const RunSpec& spec,
+                                    const std::vector<WireValue>& inputs,
+                                    const PredicateFactory& predicate,
+                                    Adversary& adversary);
+
+/// Strong binary BA (Algorithm 5).
+[[nodiscard]] SbaResult run_strong_ba(const RunSpec& spec,
+                                      const std::vector<Value>& inputs,
+                                      Adversary& adversary);
+
+/// A_fallback run standalone as a strong BA.
+[[nodiscard]] FallbackResult run_fallback_ba(
+    const RunSpec& spec, const std::vector<WireValue>& inputs,
+    Adversary& adversary);
+
+/// Classic single-sender Dolev-Strong BB (baseline).
+[[nodiscard]] DsBbResult run_ds_bb(const RunSpec& spec, ProcessId sender,
+                                   Value sender_input, Adversary& adversary);
+
+/// Interactive consistency: n parallel BB lanes (src/ba/vector). inputs[i]
+/// is process i's proposal.
+[[nodiscard]] IcResult run_ic(const RunSpec& spec,
+                              const std::vector<Value>& inputs,
+                              Adversary& adversary);
+
+}  // namespace mewc::harness

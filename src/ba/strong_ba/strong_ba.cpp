@@ -1,0 +1,217 @@
+#include "ba/strong_ba/strong_ba.hpp"
+
+#include "common/check.hpp"
+#include "crypto/signer_set.hpp"
+
+namespace mewc::sba {
+
+StrongBaProcess::StrongBaProcess(const ProtocolContext& ctx, Value input)
+    : ctx_(ctx), input_(input), bu_decision_(input), ds_(ctx) {
+  MEWC_CHECK_MSG(input.raw <= 1, "Algorithm 5 is binary BA");
+}
+
+void StrongBaProcess::decide_now(Value v, bool fast, Round round) {
+  if (decided_) return;  // decide at most once (Lemma 29)
+  decided_ = true;
+  decision_ = v;
+  stats_.decided = true;
+  stats_.decision = v;
+  stats_.decided_fast = fast;
+  stats_.decided_round = round;
+}
+
+PayloadPtr StrongBaProcess::make_fallback_msg() const {
+  auto msg = std::make_shared<FallbackMsg>();
+  if (decided_ && decide_proof_) {
+    msg->has_decision = true;
+    msg->value = decision_;
+    msg->proof = *decide_proof_;
+  } else if (bu_proof_) {
+    msg->has_decision = true;
+    msg->value = bu_decision_;
+    msg->proof = *bu_proof_;
+  }
+  return msg;
+}
+
+void StrongBaProcess::on_send(Round r, Outbox& out) {
+  switch (r) {
+    case 1: {  // line 2: everyone sends its input to the leader
+      auto msg = std::make_shared<InputMsg>();
+      msg->value = input_;
+      msg->partial =
+          ctx_.partial_sign(ctx_.t + 1, propose_digest(ctx_.instance, input_));
+      out.send(kLeader, msg);
+      break;
+    }
+    case 2: {  // lines 3-6: leader batches a (t+1)-certificate
+      if (ctx_.id != kLeader) break;
+      for (int v = 0; v < 2; ++v) {
+        if (input_partials_[v].size() >= ctx_.t + 1) {
+          auto qc = ctx_.scheme(ctx_.t + 1).combine(input_partials_[v]);
+          MEWC_CHECK_MSG(qc.has_value(), "verified inputs must combine");
+          auto msg = std::make_shared<ProposeCertMsg>();
+          msg->value = Value(static_cast<std::uint64_t>(v));
+          msg->qc = *qc;
+          out.broadcast(msg);
+          proposed_ = msg->value;
+          break;
+        }
+      }
+      break;
+    }
+    case 3: {  // lines 7-8: decide vote on the certified value
+      if (decide_vote_value_) {
+        auto msg = std::make_shared<DecideVoteMsg>();
+        msg->value = *decide_vote_value_;
+        msg->partial = ctx_.partial_sign(
+            ctx_.n, decide_digest(ctx_.instance, *decide_vote_value_));
+        out.send(kLeader, msg);
+        sent_decide_vote_ = true;
+      }
+      break;
+    }
+    case 4: {  // lines 9-12: leader batches the (n, n)-certificate
+      if (ctx_.id != kLeader || !proposed_) break;
+      if (decide_partials_.size() >= ctx_.n) {
+        auto qc = ctx_.scheme(ctx_.n).combine(decide_partials_);
+        MEWC_CHECK_MSG(qc.has_value(), "verified decides must combine");
+        auto msg = std::make_shared<DecideCertMsg>();
+        msg->value = *proposed_;
+        msg->qc = *qc;
+        out.broadcast(msg);
+      }
+      break;
+    }
+    case 5: {  // lines 16-18: the undecided raise the alarm
+      if (!decided_) {
+        out.broadcast(make_fallback_msg());
+        fallback_broadcast_ = true;
+        heard_fallback_ = true;
+      }
+      break;
+    }
+    case 6: {  // lines 25-27: echo once, attaching decision and proof
+      if (echo_scheduled_ && !fallback_broadcast_) {
+        out.broadcast(make_fallback_msg());
+        fallback_broadcast_ = true;
+        echo_scheduled_ = false;
+      }
+      break;
+    }
+    default:
+      if (r >= ds_first_round() && r <= last_round()) {
+        ds_.on_send(r - (ds_first_round() - 1), out);
+      }
+      break;
+  }
+}
+
+void StrongBaProcess::on_receive(Round r, std::span<const Message> inbox) {
+  switch (r) {
+    case 1: {  // leader collects inputs (line 4)
+      if (ctx_.id != kLeader) break;
+      SignerSet seen(ctx_.n);
+      for (const Message& m : inbox) {
+        const auto* in = payload_cast<InputMsg>(m.body);
+        if (in == nullptr || in->value.raw > 1) continue;
+        if (in->partial.k != ctx_.t + 1 || in->partial.signer != m.from) {
+          continue;
+        }
+        if (in->partial.digest != propose_digest(ctx_.instance, in->value)) {
+          continue;
+        }
+        if (!ctx_.scheme(ctx_.t + 1).verify_partial(in->partial)) continue;
+        if (!seen.insert(in->partial.signer)) continue;
+        input_partials_[in->value.raw].push_back(in->partial);
+      }
+      break;
+    }
+    case 2: {  // accept the first valid propose certificate (line 7)
+      for (const Message& m : inbox) {
+        if (m.from != kLeader) continue;
+        const auto* p = payload_cast<ProposeCertMsg>(m.body);
+        if (p == nullptr || p->value.raw > 1) continue;
+        if (p->qc.k != ctx_.t + 1 ||
+            p->qc.digest != propose_digest(ctx_.instance, p->value) ||
+            !ctx_.scheme(ctx_.t + 1).verify(p->qc)) {
+          continue;
+        }
+        decide_vote_value_ = p->value;
+        break;  // sign a decide for at most one proposal
+      }
+      break;
+    }
+    case 3: {  // leader collects decide votes (line 10)
+      if (ctx_.id != kLeader || !proposed_) break;
+      SignerSet seen(ctx_.n);
+      const Digest want = decide_digest(ctx_.instance, *proposed_);
+      for (const Message& m : inbox) {
+        const auto* d = payload_cast<DecideVoteMsg>(m.body);
+        if (d == nullptr) continue;
+        if (d->partial.k != ctx_.n || d->partial.signer != m.from) continue;
+        if (d->partial.digest != want) continue;
+        if (!ctx_.scheme(ctx_.n).verify_partial(d->partial)) continue;
+        if (!seen.insert(d->partial.signer)) continue;
+        decide_partials_.push_back(d->partial);
+      }
+      break;
+    }
+    case 4: {  // lines 13-15: a decide certificate decides
+      for (const Message& m : inbox) {
+        if (m.from != kLeader) continue;
+        const auto* d = payload_cast<DecideCertMsg>(m.body);
+        if (d == nullptr || d->value.raw > 1) continue;
+        if (d->qc.k != ctx_.n ||
+            d->qc.digest != decide_digest(ctx_.instance, d->value) ||
+            !ctx_.scheme(ctx_.n).verify(d->qc)) {
+          continue;
+        }
+        decide_proof_ = d->qc;
+        decide_now(d->value, /*fast=*/true, r);
+        break;
+      }
+      break;
+    }
+    case 5:
+    case 6: {  // lines 19-27: the 2δ safety window
+      for (const Message& m : inbox) {
+        const auto* f = payload_cast<FallbackMsg>(m.body);
+        if (f == nullptr) continue;
+        if (!heard_fallback_ && !fallback_broadcast_) echo_scheduled_ = true;
+        heard_fallback_ = true;
+        if (f->has_decision && !decided_ && f->value.raw <= 1 &&
+            f->proof.k == ctx_.n &&
+            f->proof.digest == decide_digest(ctx_.instance, f->value) &&
+            ctx_.scheme(ctx_.n).verify(f->proof)) {
+          bu_decision_ = f->value;  // lines 22-24
+          bu_proof_ = f->proof;
+        }
+      }
+      if (r == 6 && heard_fallback_) {
+        // Window over: run A_fallback with bu_decision (line 28).
+        if (decided_) bu_decision_ = decision_;  // line 19
+        ds_.set_input(WireValue::plain(bu_decision_));
+        ds_.activate();
+        stats_.fallback_participant = true;
+      }
+      break;
+    }
+    default: {
+      if (r >= ds_first_round() && r <= last_round()) {
+        ds_.on_receive(r - (ds_first_round() - 1), inbox);
+        if (r == last_round() && !decided_) {
+          // lines 29-30, coerced into the binary domain so a Byzantine
+          // value majority can never push the decision outside {0, 1}.
+          const WireValue fallback_val = ds_.decide();
+          const Value v =
+              fallback_val.value.raw <= 1 ? fallback_val.value : Value(0);
+          decide_now(v, /*fast=*/false, r);
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace mewc::sba

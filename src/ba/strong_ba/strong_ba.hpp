@@ -1,0 +1,151 @@
+// Strong binary BA with O(n) words in the failure-free case (paper
+// Section 7, Algorithm 5).
+//
+// A single leader collects all initial values; with binary inputs and
+// n = 2t+1 some value has t+1 supporters, so the leader can always batch a
+// (t+1, n)-threshold propose certificate. It then collects decide
+// signatures from ALL n processes into an (n, n)-threshold decide
+// certificate; any process holding it decides. Any process that does not
+// decide broadcasts a fallback message, funneling everyone into A_fallback
+// after the 2δ safety window. Failure-free: 4 leader rounds, O(n) words and
+// zero fallback traffic (Lemma 8); otherwise O(fallback) = quadratic in the
+// paper (cubic for our substituted Dolev-Strong; DESIGN.md SUB-1).
+//
+// Round schedule: 1 inputs→leader, 2 propose cert, 3 decide votes→leader,
+// 4 decide cert, 5 decide-or-fallback broadcast, 6 echo/adopt window,
+// 7..7+t A_fallback.
+#pragma once
+
+#include <optional>
+
+#include "ba/context.hpp"
+#include "ba/fallback/dolev_strong.hpp"
+#include "net/payload.hpp"
+#include "sim/process.hpp"
+
+namespace mewc::sba {
+
+[[nodiscard]] inline Digest propose_digest(std::uint64_t instance, Value v) {
+  return DigestBuilder("sba.propose").field(instance).field(v).done();
+}
+
+[[nodiscard]] inline Digest decide_digest(std::uint64_t instance, Value v) {
+  return DigestBuilder("sba.decide").field(instance).field(v).done();
+}
+
+/// <v_i>_pi to the leader (line 2): the input plus a (t+1)-scheme partial.
+struct InputMsg final : public Payload {
+  Value value;
+  PartialSig partial;
+
+  [[nodiscard]] std::size_t words() const override { return 1; }
+  [[nodiscard]] std::size_t logical_signatures() const override { return 1; }
+  [[nodiscard]] const char* kind() const override { return "sba.input"; }
+};
+
+/// <propose, v, QC_propose(v)> from the leader (line 6).
+struct ProposeCertMsg final : public Payload {
+  Value value;
+  ThresholdSig qc;  // k = t+1
+
+  [[nodiscard]] std::size_t words() const override { return 1 + qc.words(); }
+  [[nodiscard]] std::size_t logical_signatures() const override { return qc.k; }
+  [[nodiscard]] const char* kind() const override { return "sba.propose_cert"; }
+};
+
+/// <decide, v>_pi to the leader (line 8): an (n)-scheme partial.
+struct DecideVoteMsg final : public Payload {
+  Value value;
+  PartialSig partial;
+
+  [[nodiscard]] std::size_t words() const override { return 1; }
+  [[nodiscard]] std::size_t logical_signatures() const override { return 1; }
+  [[nodiscard]] const char* kind() const override { return "sba.decide_vote"; }
+};
+
+/// <decide, v, QC_decide(v)> from the leader (line 12).
+struct DecideCertMsg final : public Payload {
+  Value value;
+  ThresholdSig qc;  // k = n
+
+  [[nodiscard]] std::size_t words() const override { return 1 + qc.words(); }
+  [[nodiscard]] std::size_t logical_signatures() const override { return qc.k; }
+  [[nodiscard]] const char* kind() const override { return "sba.decide_cert"; }
+};
+
+/// <fallback, v, proof> (lines 17 and 26).
+struct FallbackMsg final : public Payload {
+  bool has_decision = false;
+  Value value;
+  ThresholdSig proof;  // k = n, meaningful iff has_decision
+
+  [[nodiscard]] std::size_t words() const override {
+    return 1 + (has_decision ? proof.words() : 0);
+  }
+  [[nodiscard]] std::size_t logical_signatures() const override {
+    return has_decision ? proof.k : 0;
+  }
+  [[nodiscard]] const char* kind() const override { return "sba.fallback"; }
+};
+
+struct SbaStats {
+  bool decided = false;
+  Value decision = kBottom;
+  bool decided_fast = false;  // via the decide certificate (line 14)
+  bool fallback_participant = false;
+  Round decided_round = 0;    // early-stopping metric
+};
+
+class StrongBaProcess final : public IProcess {
+ public:
+  /// `input` must be binary (0 or 1).
+  StrongBaProcess(const ProtocolContext& ctx, Value input);
+
+  [[nodiscard]] static Round total_rounds(std::uint32_t t) {
+    return 6 + fallback::DolevStrongEngine::rounds(t);
+  }
+
+  void on_send(Round r, Outbox& out) override;
+  void on_receive(Round r, std::span<const Message> inbox) override;
+
+  [[nodiscard]] bool decided() const { return decided_; }
+  [[nodiscard]] Value decision() const { return decision_; }
+  [[nodiscard]] const SbaStats& stats() const { return stats_; }
+
+  static constexpr ProcessId kLeader = 0;  // the paper's p1
+
+ private:
+  [[nodiscard]] Round ds_first_round() const { return 7; }
+  [[nodiscard]] Round last_round() const { return total_rounds(ctx_.t); }
+
+  void decide_now(Value v, bool fast, Round round);
+  [[nodiscard]] PayloadPtr make_fallback_msg() const;
+
+  ProtocolContext ctx_;
+  Value input_;
+
+  bool decided_ = false;
+  Value decision_ = kBottom;
+  std::optional<ThresholdSig> decide_proof_;
+
+  // Leader scratch.
+  std::vector<PartialSig> input_partials_[2];   // by binary value
+  std::optional<Value> proposed_;
+  std::vector<PartialSig> decide_partials_;
+
+  // Voter scratch.
+  bool sent_decide_vote_ = false;
+  std::optional<Value> decide_vote_value_;
+
+  // Fallback cascade.
+  bool fallback_broadcast_ = false;
+  bool echo_scheduled_ = false;
+  bool heard_fallback_ = false;
+  Value bu_decision_ = kBottom;
+  std::optional<ThresholdSig> bu_proof_;
+
+  fallback::DolevStrongEngine ds_;
+  SbaStats stats_;
+};
+
+}  // namespace mewc::sba

@@ -1,0 +1,51 @@
+#include "ba/validity/predicate.hpp"
+
+namespace mewc {
+
+Digest bb_sender_digest(std::uint64_t instance, Value v) {
+  return DigestBuilder("bb.sender_value").field(instance).field(v).done();
+}
+
+Digest bb_idk_digest(std::uint64_t instance, std::uint64_t j) {
+  return DigestBuilder("bb.idk").field(instance).field(j).done();
+}
+
+bool BbValid::validate(const WireValue& v) const {
+  switch (v.prov) {
+    case Provenance::kSigned: {
+      // Signed by the designated sender over this instance's value digest.
+      if (!v.sig || v.sig->signer != sender_) return false;
+      if (v.value.is_bottom() || v.value.is_idk()) return false;
+      if (v.sig->digest != bb_sender_digest(instance_, v.value)) return false;
+      return crypto_->pki().verify(*v.sig);
+    }
+    case Provenance::kCertified: {
+      // An idk quorum certificate: t+1 processes signed <idk, j>.
+      if (!v.cert || v.value != kIdkValue) return false;
+      const std::uint32_t k = crypto_->t() + 1;
+      if (v.cert->k != k) return false;
+      if (v.cert->digest != bb_idk_digest(instance_, v.aux)) return false;
+      return crypto_->scheme(k).verify(*v.cert);
+    }
+    case Provenance::kPlain:
+      return false;
+  }
+  return false;
+}
+
+Digest input_attestation_digest(std::uint64_t instance, Value v) {
+  return DigestBuilder("ba.input_attestation").field(instance).field(v).done();
+}
+
+bool InputCertified::validate(const WireValue& v) const {
+  if (v.prov != Provenance::kCertified || !v.cert) return false;
+  if (v.value.is_bottom() || v.value.is_idk()) return false;
+  const std::uint32_t k = crypto_->t() + 1;
+  if (v.cert->k != k) return false;
+  if (v.cert->digest != input_attestation_digest(instance_, v.value)) {
+    return false;
+  }
+  return crypto_->scheme(k).verify(*v.cert);
+}
+
+}  // namespace mewc

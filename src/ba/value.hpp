@@ -1,0 +1,102 @@
+// WireValue: a protocol value together with its self-certifying provenance.
+//
+// In the paper, the objects processes agree on are not bare values but
+// signed values: Byzantine Broadcast decides <v>_sender (a value signed by
+// the designated sender), and the idk quorum certificate itself acts as a
+// decidable value meaning "the sender never spoke" (Section 5). WireValue
+// models that: a value plus an optional individual signature or threshold
+// certificate. Every protocol signature (votes, commits, finalizes) binds
+// the *content digest* of the full WireValue, so a Byzantine process cannot
+// re-attach different provenance to a certified value — exactly as in the
+// paper, where the certified object is the signed value itself.
+#pragma once
+
+#include <optional>
+
+#include "common/types.hpp"
+#include "crypto/digest.hpp"
+#include "crypto/keys.hpp"
+#include "crypto/threshold.hpp"
+
+namespace mewc {
+
+enum class Provenance : std::uint8_t {
+  kPlain = 0,      // bare value (standalone BA inputs)
+  kSigned = 1,     // value accompanied by one individual signature
+  kCertified = 2,  // value accompanied by a threshold certificate
+};
+
+struct WireValue {
+  Value value;
+  Provenance prov = Provenance::kPlain;
+  std::uint64_t aux = 0;  // predicate-specific context (e.g. idk phase j)
+  std::optional<Signature> sig;     // present iff prov == kSigned
+  std::optional<ThresholdSig> cert; // present iff prov == kCertified
+
+  [[nodiscard]] static WireValue plain(Value v) {
+    WireValue w;
+    w.value = v;
+    return w;
+  }
+
+  [[nodiscard]] static WireValue signed_by(Value v, Signature s) {
+    WireValue w;
+    w.value = v;
+    w.prov = Provenance::kSigned;
+    w.sig = s;
+    return w;
+  }
+
+  [[nodiscard]] static WireValue certified(Value v, ThresholdSig c,
+                                           std::uint64_t aux = 0) {
+    WireValue w;
+    w.value = v;
+    w.prov = Provenance::kCertified;
+    w.aux = aux;
+    w.cert = c;
+    return w;
+  }
+
+  [[nodiscard]] bool is_bottom() const { return value.is_bottom(); }
+
+  /// Wire size in words: the value plus one word per attachment.
+  [[nodiscard]] std::size_t words() const {
+    return 1 + (sig ? 1 : 0) + (cert ? 1 : 0);
+  }
+
+  /// Logical signatures carried: a threshold certificate stands for k of
+  /// them (see Payload::logical_signatures).
+  [[nodiscard]] std::size_t logical_signatures() const {
+    return (sig ? 1 : 0) + (cert ? cert->k : 0);
+  }
+
+  /// Commits to the full content, attachments included, so protocol
+  /// signatures bind the exact object being agreed on.
+  [[nodiscard]] Digest content_digest() const {
+    DigestBuilder b("mewc.wire_value");
+    b.field(value)
+        .field(static_cast<std::uint64_t>(prov))
+        .field(aux)
+        .field(sig ? sig->tag : 0)
+        .field(sig ? sig->signer : kNoProcess)
+        .field(cert ? cert->tag : 0)
+        .field(cert ? cert->k : 0);
+    return b.done();
+  }
+
+  friend bool operator==(const WireValue& a, const WireValue& b) {
+    return a.value == b.value && a.prov == b.prov && a.aux == b.aux &&
+           a.sig == b.sig &&
+           ((!a.cert && !b.cert) || (a.cert && b.cert && *a.cert == *b.cert));
+  }
+  friend bool operator!=(const WireValue& a, const WireValue& b) {
+    return !(a == b);
+  }
+};
+
+/// The distinguished bottom output (paper's "⊥ is allowed" in weak BA).
+[[nodiscard]] inline WireValue bottom_value() {
+  return WireValue::plain(kBottom);
+}
+
+}  // namespace mewc

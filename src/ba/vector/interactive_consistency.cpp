@@ -1,0 +1,54 @@
+#include "ba/vector/interactive_consistency.hpp"
+
+namespace mewc::ic {
+
+InteractiveConsistencyProcess::InteractiveConsistencyProcess(
+    const ProtocolContext& ctx, Value input)
+    : ctx_(ctx) {
+  lanes_.reserve(ctx.n);
+  for (ProcessId lane = 0; lane < ctx.n; ++lane) {
+    ProtocolContext lane_ctx = ctx;
+    // Domain-separate the lanes: signatures from lane i can never be
+    // replayed into lane j.
+    lane_ctx.instance = hash_combine(ctx.instance, 0x1c0ull + lane);
+    lanes_.push_back(std::make_unique<bb::BbProcess>(
+        lane_ctx, /*sender=*/lane, /*input=*/input));
+  }
+}
+
+void InteractiveConsistencyProcess::on_send(Round r, Outbox& out) {
+  for (std::uint32_t lane = 0; lane < ctx_.n; ++lane) {
+    Outbox lane_out(ctx_.n);
+    lanes_[lane]->on_send(r, lane_out);
+    LaneOutbox(out, lane).forward(lane_out);
+  }
+}
+
+void InteractiveConsistencyProcess::on_receive(
+    Round r, std::span<const Message> inbox) {
+  // Demultiplex into per-lane inboxes, preserving link-level sender stamps.
+  std::vector<std::vector<Message>> per_lane(ctx_.n);
+  for (const Message& m : inbox) {
+    const auto* mux = payload_cast<MuxMsg>(m.body);
+    if (mux == nullptr || mux->lane >= ctx_.n || mux->inner == nullptr) {
+      continue;  // foreign or malformed: noise
+    }
+    Message unwrapped = m;
+    unwrapped.body = mux->inner;
+    per_lane[mux->lane].push_back(std::move(unwrapped));
+  }
+  for (std::uint32_t lane = 0; lane < ctx_.n; ++lane) {
+    lanes_[lane]->on_receive(r, per_lane[lane]);
+  }
+
+  if (r == total_rounds(ctx_.n, ctx_.t)) {
+    stats_.decided = true;
+    stats_.vector.clear();
+    for (std::uint32_t lane = 0; lane < ctx_.n; ++lane) {
+      stats_.decided &= lanes_[lane]->decided();
+      stats_.vector.push_back(lanes_[lane]->decision());
+    }
+  }
+}
+
+}  // namespace mewc::ic

@@ -1,0 +1,158 @@
+// Wire messages and certificate digests of the adaptive weak BA
+// (Algorithms 3 and 4). All certificates bind the run instance, the phase
+// (commit level) and the full value content, so signatures can never be
+// replayed across runs, phases, or re-attached provenance.
+#pragma once
+
+#include "ba/value.hpp"
+#include "net/payload.hpp"
+
+namespace mewc::wba {
+
+/// Digest of the commit vote in phase `level` on a value: the
+/// (ceil((n+t+1)/2), n)-threshold certificate over it is QC_commit(v)
+/// (Algorithm 4, line 41).
+[[nodiscard]] inline Digest commit_digest(std::uint64_t instance,
+                                          std::uint64_t level,
+                                          Digest value_content) {
+  return DigestBuilder("wba.commit")
+      .field(instance)
+      .field(level)
+      .field(value_content.bits)
+      .done();
+}
+
+/// Digest of the decide vote in phase `phase`: the threshold certificate
+/// over it is QC_finalized(v) (Algorithm 4, line 50).
+[[nodiscard]] inline Digest finalize_digest(std::uint64_t instance,
+                                            std::uint64_t phase,
+                                            Digest value_content) {
+  return DigestBuilder("wba.finalize")
+      .field(instance)
+      .field(phase)
+      .field(value_content.bits)
+      .done();
+}
+
+/// Digest of <help_req>: the (t+1, n)-threshold certificate over it is
+/// QC_fallback (Algorithm 3, line 10).
+[[nodiscard]] inline Digest help_req_digest(std::uint64_t instance) {
+  return DigestBuilder("wba.help_req").field(instance).done();
+}
+
+/// <propose, v, j> from the phase leader (Algorithm 4, line 32).
+struct ProposeMsg final : public Payload {
+  std::uint64_t phase = 0;
+  WireValue value;
+
+  [[nodiscard]] std::size_t words() const override { return value.words(); }
+  [[nodiscard]] std::size_t logical_signatures() const override {
+    return value.logical_signatures();
+  }
+  [[nodiscard]] const char* kind() const override { return "wba.propose"; }
+};
+
+/// <vote, v, j> to the leader: a partial signature under the commit quorum
+/// scheme on commit_digest(instance, j, v) (Algorithm 4, line 34).
+struct VoteMsg final : public Payload {
+  std::uint64_t phase = 0;
+  PartialSig partial;
+
+  [[nodiscard]] std::size_t words() const override { return 1; }
+  [[nodiscard]] std::size_t logical_signatures() const override { return 1; }
+  [[nodiscard]] const char* kind() const override { return "wba.vote"; }
+};
+
+/// <commit, w, QC_commit(w), level, j>, both as a process's reply to a
+/// proposal when it is already committed (line 36) and as the leader's
+/// broadcast (lines 39 and 42). Receivers act only on copies arriving from
+/// the phase leader in the commit round.
+struct CommitMsg final : public Payload {
+  std::uint64_t phase = 0;
+  WireValue value;
+  std::uint64_t level = 0;  // phase in which the certificate was formed
+  ThresholdSig qc;
+
+  [[nodiscard]] std::size_t words() const override {
+    return value.words() + qc.words();
+  }
+  [[nodiscard]] std::size_t logical_signatures() const override {
+    return value.logical_signatures() + qc.k;
+  }
+  [[nodiscard]] const char* kind() const override { return "wba.commit"; }
+};
+
+/// <decide, v, j> to the leader: a partial signature on
+/// finalize_digest(instance, j, v) (Algorithm 4, line 44).
+struct DecideMsg final : public Payload {
+  std::uint64_t phase = 0;
+  PartialSig partial;
+
+  [[nodiscard]] std::size_t words() const override { return 1; }
+  [[nodiscard]] std::size_t logical_signatures() const override { return 1; }
+  [[nodiscard]] const char* kind() const override { return "wba.decide"; }
+};
+
+/// <finalized, v, QC_finalized(v), j> from the leader (line 51).
+struct FinalizedMsg final : public Payload {
+  std::uint64_t phase = 0;
+  WireValue value;
+  ThresholdSig qc;
+
+  [[nodiscard]] std::size_t words() const override {
+    return value.words() + qc.words();
+  }
+  [[nodiscard]] std::size_t logical_signatures() const override {
+    return value.logical_signatures() + qc.k;
+  }
+  [[nodiscard]] const char* kind() const override { return "wba.finalized"; }
+};
+
+/// <help_req>_pi broadcast by processes that are still undecided after the
+/// phases (Algorithm 3, line 6). Carries the (t+1)-scheme partial signature
+/// from which fallback certificates are batched.
+struct HelpReqMsg final : public Payload {
+  PartialSig partial;
+
+  [[nodiscard]] std::size_t words() const override { return 1; }
+  [[nodiscard]] std::size_t logical_signatures() const override { return 1; }
+  [[nodiscard]] const char* kind() const override { return "wba.help_req"; }
+};
+
+/// <help, decision, decide_proof> unicast back to a requester (line 8).
+struct HelpMsg final : public Payload {
+  WireValue value;
+  std::uint64_t proof_phase = 0;
+  ThresholdSig decide_proof;
+
+  [[nodiscard]] std::size_t words() const override {
+    return value.words() + decide_proof.words();
+  }
+  [[nodiscard]] std::size_t logical_signatures() const override {
+    return value.logical_signatures() + decide_proof.k;
+  }
+  [[nodiscard]] const char* kind() const override { return "wba.help"; }
+};
+
+/// <fallback, QC_fallback, decision, proof> (lines 11 and 22): announces
+/// that the fallback must run; carries the sender's decision and proof when
+/// it has one.
+struct FallbackMsg final : public Payload {
+  ThresholdSig fallback_qc;  // (t+1, n) certificate over help_req_digest
+  bool has_decision = false;
+  WireValue value;           // meaningful iff has_decision
+  std::uint64_t proof_phase = 0;
+  ThresholdSig decide_proof;
+
+  [[nodiscard]] std::size_t words() const override {
+    return fallback_qc.words() +
+           (has_decision ? value.words() + decide_proof.words() : 0);
+  }
+  [[nodiscard]] std::size_t logical_signatures() const override {
+    return fallback_qc.k +
+           (has_decision ? value.logical_signatures() + decide_proof.k : 0);
+  }
+  [[nodiscard]] const char* kind() const override { return "wba.fallback"; }
+};
+
+}  // namespace mewc::wba

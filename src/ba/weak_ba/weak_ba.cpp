@@ -1,0 +1,424 @@
+#include "ba/weak_ba/weak_ba.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "crypto/signer_set.hpp"
+
+namespace mewc::wba {
+
+WeakBaProcess::WeakBaProcess(const ProtocolContext& ctx,
+                             std::shared_ptr<const ValidityPredicate> predicate,
+                             WireValue input)
+    : ctx_(ctx),
+      predicate_(std::move(predicate)),
+      vi_(input),
+      bu_decision_(input),
+      ds_(ctx) {
+  MEWC_CHECK(predicate_ != nullptr);
+}
+
+bool WeakBaProcess::verify_commit_qc(const WireValue& v, std::uint64_t level,
+                                     const ThresholdSig& qc) const {
+  if (qc.k != ctx_.quorum()) return false;
+  if (qc.digest != commit_digest(ctx_.instance, level, v.content_digest())) {
+    return false;
+  }
+  return ctx_.scheme(ctx_.quorum()).verify(qc);
+}
+
+bool WeakBaProcess::verify_finalize_qc(const WireValue& v,
+                                       std::uint64_t phase,
+                                       const ThresholdSig& qc) const {
+  if (qc.k != ctx_.quorum()) return false;
+  if (qc.digest != finalize_digest(ctx_.instance, phase, v.content_digest())) {
+    return false;
+  }
+  return ctx_.scheme(ctx_.quorum()).verify(qc);
+}
+
+void WeakBaProcess::decide_now(const WireValue& v, std::uint64_t phase,
+                               const ThresholdSig& proof, Round round) {
+  if (decided_) return;  // correct processes decide at most once (Lemma 23)
+  decided_ = true;
+  decision_ = v;
+  decide_proof_ = proof;
+  decide_phase_ = phase;
+  stats_.decided = true;
+  stats_.decision = v;
+  stats_.decided_phase = phase;
+  stats_.decided_round = round;
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 4: one phase, five rounds.
+// ---------------------------------------------------------------------------
+
+void WeakBaProcess::phase_send(std::uint64_t j, Round local, Outbox& out) {
+  const ProcessId leader = leader_of(j, ctx_.n);
+  switch (local) {
+    case 1: {  // line 31-32: undecided leader proposes
+      ph_ = PhaseScratch{};
+      if (leader == ctx_.id && !decided_) {
+        auto msg = std::make_shared<ProposeMsg>();
+        msg->phase = j;
+        msg->value = vi_;
+        out.broadcast(msg);
+        stats_.led_nonsilent_phase = true;
+      }
+      break;
+    }
+    case 2: {  // lines 33-36: vote or report the existing commit
+      if (ph_.will_vote) {
+        auto msg = std::make_shared<VoteMsg>();
+        msg->phase = j;
+        msg->partial = ctx_.partial_sign(
+            ctx_.quorum(),
+            commit_digest(ctx_.instance, j, ph_.proposal.content_digest()));
+        out.send(leader, msg);
+      } else if (ph_.will_send_commit_info) {
+        auto msg = std::make_shared<CommitMsg>();
+        msg->phase = j;
+        msg->value = commit_;
+        msg->level = commit_level_;
+        msg->qc = commit_proof_;
+        out.send(leader, msg);
+      }
+      break;
+    }
+    case 3: {  // lines 37-42: leader echoes a commit or forms a fresh QC
+      if (leader != ctx_.id) break;
+      if (ph_.best_commit_info) {
+        auto msg = std::make_shared<CommitMsg>(*ph_.best_commit_info);
+        msg->phase = j;
+        out.broadcast(msg);
+        ph_.leader_broadcast_commit = true;
+        ph_.leader_commit_value = msg->value;
+        ph_.leader_commit_level = msg->level;
+      } else if (ph_.votes.size() >= ctx_.quorum()) {
+        auto qc = ctx_.scheme(ctx_.quorum()).combine(ph_.votes);
+        MEWC_CHECK_MSG(qc.has_value(), "verified votes must combine");
+        auto msg = std::make_shared<CommitMsg>();
+        msg->phase = j;
+        msg->value = ph_.proposal;  // leader's own proposal
+        msg->level = j;
+        msg->qc = *qc;
+        out.broadcast(msg);
+        ph_.leader_broadcast_commit = true;
+        ph_.leader_commit_value = msg->value;
+        ph_.leader_commit_level = j;
+      }
+      break;
+    }
+    case 4: {  // line 44: decide vote to the leader
+      if (ph_.will_send_decide) {
+        auto msg = std::make_shared<DecideMsg>();
+        msg->phase = j;
+        msg->partial = ph_.decide_partial;
+        out.send(leader, msg);
+      }
+      break;
+    }
+    case 5: {  // lines 48-51: leader finalizes
+      if (leader != ctx_.id) break;
+      if (ph_.decides.size() >= ctx_.quorum()) {
+        auto qc = ctx_.scheme(ctx_.quorum()).combine(ph_.decides);
+        MEWC_CHECK_MSG(qc.has_value(), "verified decides must combine");
+        auto msg = std::make_shared<FinalizedMsg>();
+        msg->phase = j;
+        msg->value = ph_.leader_commit_value;
+        msg->qc = *qc;
+        out.broadcast(msg);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void WeakBaProcess::phase_receive(std::uint64_t j, Round local,
+                                  std::span<const Message> inbox) {
+  const ProcessId leader = leader_of(j, ctx_.n);
+  switch (local) {
+    case 1: {  // record the first proposal from the leader (line 33)
+      for (const Message& m : inbox) {
+        if (m.from != leader) continue;
+        const auto* p = payload_cast<ProposeMsg>(m.body);
+        if (p == nullptr || p->phase != j) continue;
+        if (ph_.saw_proposal) break;  // at most one vote per phase
+        ph_.saw_proposal = true;
+        ph_.proposal = p->value;
+        if (!has_commit_ && validate(p->value)) {
+          ph_.will_vote = true;  // line 34
+        } else if (has_commit_) {
+          ph_.will_send_commit_info = true;  // line 36
+        }
+        break;
+      }
+      break;
+    }
+    case 2: {  // leader collects votes and commit reports (lines 38-41)
+      if (leader != ctx_.id) break;
+      SignerSet voters(ctx_.n);
+      const Digest want = ph_.saw_proposal
+                              ? commit_digest(ctx_.instance, j,
+                                              ph_.proposal.content_digest())
+                              : Digest{};
+      for (const Message& m : inbox) {
+        if (const auto* v = payload_cast<VoteMsg>(m.body)) {
+          if (v->phase != j || !ph_.saw_proposal) continue;
+          if (v->partial.k != ctx_.quorum() || v->partial.digest != want) {
+            continue;
+          }
+          if (v->partial.signer != m.from) continue;
+          if (!ctx_.scheme(ctx_.quorum()).verify_partial(v->partial)) continue;
+          if (!voters.insert(v->partial.signer)) continue;
+          ph_.votes.push_back(v->partial);
+        } else if (const auto* c = payload_cast<CommitMsg>(m.body)) {
+          if (c->phase != j) continue;
+          if (c->level == 0 || c->level > j) continue;  // no future certs
+          if (!verify_commit_qc(c->value, c->level, c->qc)) continue;
+          if (!ph_.best_commit_info ||
+              c->level > ph_.best_commit_info->level) {
+            ph_.best_commit_info = *c;  // line 39: maximal level wins
+          }
+        }
+      }
+      break;
+    }
+    case 3: {  // lines 43-47: adopt the leader's commit, prepare decide vote
+      for (const Message& m : inbox) {
+        if (m.from != leader) continue;
+        const auto* c = payload_cast<CommitMsg>(m.body);
+        if (c == nullptr || c->phase != j) continue;
+        if (c->level == 0 || c->level > j) continue;
+        if (c->level < commit_level_) continue;  // line 43: level >= ours
+        if (!verify_commit_qc(c->value, c->level, c->qc)) continue;
+        ph_.will_send_decide = true;
+        ph_.decide_partial = ctx_.partial_sign(
+            ctx_.quorum(),
+            finalize_digest(ctx_.instance, j, c->value.content_digest()));
+        has_commit_ = true;  // lines 45-47
+        commit_ = c->value;
+        commit_proof_ = c->qc;
+        commit_level_ = c->level;
+        break;  // act on at most one commit certificate per phase
+      }
+      break;
+    }
+    case 4: {  // leader collects decide votes (line 49)
+      if (leader != ctx_.id || !ph_.leader_broadcast_commit) break;
+      SignerSet sgn(ctx_.n);
+      const Digest want = finalize_digest(
+          ctx_.instance, j, ph_.leader_commit_value.content_digest());
+      for (const Message& m : inbox) {
+        const auto* d = payload_cast<DecideMsg>(m.body);
+        if (d == nullptr || d->phase != j) continue;
+        if (d->partial.k != ctx_.quorum() || d->partial.digest != want) {
+          continue;
+        }
+        if (d->partial.signer != m.from) continue;
+        if (!ctx_.scheme(ctx_.quorum()).verify_partial(d->partial)) continue;
+        if (!sgn.insert(d->partial.signer)) continue;
+        ph_.decides.push_back(d->partial);
+      }
+      break;
+    }
+    case 5: {  // lines 52-54: a finalize certificate decides
+      for (const Message& m : inbox) {
+        if (m.from != leader) continue;
+        const auto* f = payload_cast<FinalizedMsg>(m.body);
+        if (f == nullptr || f->phase != j) continue;
+        if (!verify_finalize_qc(f->value, j, f->qc)) continue;
+        decide_now(f->value, j, f->qc, static_cast<Round>(5 * j));
+        break;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 3 tail: help round, fallback certificate, safety window, and
+// the A_fallback execution.
+// ---------------------------------------------------------------------------
+
+PayloadPtr WeakBaProcess::make_fallback_msg() const {
+  auto msg = std::make_shared<FallbackMsg>();
+  msg->fallback_qc = fallback_cert_;
+  if (decided_ && decide_proof_) {
+    msg->has_decision = true;
+    msg->value = decision_;
+    msg->proof_phase = decide_phase_;
+    msg->decide_proof = *decide_proof_;
+  } else if (bu_proof_) {
+    msg->has_decision = true;
+    msg->value = bu_decision_;
+    msg->proof_phase = bu_proof_phase_;
+    msg->decide_proof = *bu_proof_;
+  }
+  return msg;
+}
+
+void WeakBaProcess::note_fallback_cert(const ThresholdSig& qc) {
+  if (!has_fallback_cert_) {
+    has_fallback_cert_ = true;
+    fallback_cert_ = qc;
+    if (!fallback_broadcast_) echo_scheduled_ = true;  // line 21-23
+  }
+}
+
+void WeakBaProcess::tail_send(Round r, Outbox& out) {
+  if (r == help_req_round()) {  // Alg 3, lines 5-6
+    if (!decided_) {
+      auto msg = std::make_shared<HelpReqMsg>();
+      msg->partial = ctx_.partial_sign(ctx_.t + 1,
+                                       help_req_digest(ctx_.instance));
+      out.broadcast(msg);
+      sent_help_req_ = true;
+      stats_.sent_help_req = true;
+    }
+    return;
+  }
+  if (r == help_reply_round()) {  // Alg 3, lines 7-12
+    if (decided_ && decide_proof_) {
+      for (const PartialSig& req : help_req_partials_) {
+        if (req.signer == ctx_.id) continue;
+        auto msg = std::make_shared<HelpMsg>();
+        msg->value = decision_;
+        msg->proof_phase = decide_phase_;
+        msg->decide_proof = *decide_proof_;
+        out.send(req.signer, msg);
+      }
+    }
+    if (help_req_partials_.size() >= ctx_.t + 1) {
+      auto qc = ctx_.scheme(ctx_.t + 1).combine(help_req_partials_);
+      MEWC_CHECK_MSG(qc.has_value(), "verified help_reqs must combine");
+      has_fallback_cert_ = true;
+      fallback_cert_ = *qc;
+      fallback_broadcast_ = true;
+      sent_decision_fallback_ = decided_;
+      out.broadcast(make_fallback_msg());
+    }
+    return;
+  }
+  if (r == adopt_round() || r == echo_round()) {
+    if (echo_scheduled_ && !fallback_broadcast_) {
+      // Alg 3 lines 21-23: echo the certificate once, with my decision and
+      // proof attached if I have them.
+      fallback_broadcast_ = true;
+      sent_decision_fallback_ = decided_;
+      echo_scheduled_ = false;
+      out.broadcast(make_fallback_msg());
+    } else if (has_fallback_cert_ && decided_ && !sent_decision_fallback_) {
+      // NOTE-2: I decided after my (decision-less) certificate broadcast —
+      // Lemma 19 needs every correct process to learn my decision during
+      // the safety window, so send it now.
+      sent_decision_fallback_ = true;
+      out.broadcast(make_fallback_msg());
+    }
+    return;
+  }
+  if (r >= ds_first_round() && r <= last_round()) {
+    ds_.on_send(r - (ds_first_round() - 1), out);
+  }
+}
+
+void WeakBaProcess::tail_receive(Round r, std::span<const Message> inbox) {
+  if (r == help_req_round()) {
+    // Collect distinct valid help_req partials (anyone may batch them).
+    SignerSet seen(ctx_.n);
+    const Digest want = help_req_digest(ctx_.instance);
+    for (const Message& m : inbox) {
+      const auto* h = payload_cast<HelpReqMsg>(m.body);
+      if (h == nullptr) continue;
+      if (h->partial.k != ctx_.t + 1 || h->partial.digest != want) continue;
+      if (h->partial.signer != m.from) continue;
+      if (!ctx_.scheme(ctx_.t + 1).verify_partial(h->partial)) continue;
+      if (!seen.insert(h->partial.signer)) continue;
+      help_req_partials_.push_back(h->partial);
+    }
+    return;
+  }
+
+  if (r == help_reply_round() || r == adopt_round() || r == echo_round()) {
+    for (const Message& m : inbox) {
+      if (const auto* h = payload_cast<HelpMsg>(m.body)) {
+        // Alg 3, lines 13-14 — processed in the paper's round 3 ONLY
+        // (= our help_reply_round). A help accepted later could mint a
+        // decision too late to re-broadcast inside the window (NOTE-2).
+        if (r != help_reply_round()) continue;
+        if (decided_) continue;
+        if (!validate(h->value)) continue;
+        if (!verify_finalize_qc(h->value, h->proof_phase, h->decide_proof)) {
+          continue;
+        }
+        decide_now(h->value, h->proof_phase, h->decide_proof, r);
+      } else if (const auto* f = payload_cast<FallbackMsg>(m.body)) {
+        // Alg 3, lines 16-23.
+        if (f->fallback_qc.k != ctx_.t + 1 ||
+            f->fallback_qc.digest != help_req_digest(ctx_.instance) ||
+            !ctx_.scheme(ctx_.t + 1).verify(f->fallback_qc)) {
+          continue;
+        }
+        note_fallback_cert(f->fallback_qc);
+        if (f->has_decision && !decided_ && validate(f->value) &&
+            verify_finalize_qc(f->value, f->proof_phase, f->decide_proof)) {
+          bu_decision_ = f->value;  // lines 18-20
+          bu_proof_ = f->decide_proof;
+          bu_proof_phase_ = f->proof_phase;
+        }
+      }
+    }
+    if (r == echo_round() && has_fallback_cert_) {
+      // Safety window over: enter A_fallback with bu_decision (line 24).
+      if (decided_) bu_decision_ = decision_;  // line 15
+      ds_.set_input(bu_decision_);
+      ds_.activate();
+      stats_.fallback_participant = true;
+    }
+    return;
+  }
+
+  if (r >= ds_first_round() && r <= last_round()) {
+    ds_.on_receive(r - (ds_first_round() - 1), inbox);
+    if (r == last_round() && !decided_) {
+      // Alg 3, lines 25-29.
+      if (ds_.active()) {
+        const WireValue fallback_val = ds_.decide();
+        decided_ = true;
+        decision_ = validate(fallback_val) ? fallback_val : bottom_value();
+        stats_.decided = true;
+        stats_.decision = decision_;
+        stats_.decided_round = r;
+      } else {
+        // Provably unreachable (Lemma 21); if an adversary strategy ever
+        // finds a hole, surface it as a visible liveness failure.
+        decided_ = true;
+        decision_ = bottom_value();
+        stats_.decided = false;
+      }
+    }
+  }
+}
+
+void WeakBaProcess::on_send(Round r, Outbox& out) {
+  if (r <= 5 * ctx_.n) {
+    phase_send(phase_of(r), phase_local(r), out);
+  } else {
+    tail_send(r, out);
+  }
+}
+
+void WeakBaProcess::on_receive(Round r, std::span<const Message> inbox) {
+  if (r <= 5 * ctx_.n) {
+    phase_receive(phase_of(r), phase_local(r), inbox);
+  } else {
+    tail_receive(r, inbox);
+  }
+}
+
+}  // namespace mewc::wba

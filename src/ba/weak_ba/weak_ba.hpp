@@ -1,0 +1,176 @@
+// Adaptive weak Byzantine Agreement (paper Section 6, Algorithms 3 + 4).
+//
+// n leader-rotating phases of five rounds each, built on the paper's key
+// observation: quorum certificates of ceil((n+t+1)/2) signatures intersect
+// in a correct process even at n = 2t+1, and commit levels make at most one
+// finalize certificate formable across all phases (Lemma 15). Phases led by
+// already-decided correct processes are silent, which is what makes the
+// word complexity O(n(f+1)) in the adaptive regime (Lemma 16 / Section
+// 6.1). When too many processes fail for quorums to form, a help round and
+// a fallback certificate funnel everyone into A_fallback (Section 6's
+// Momose-Ren black box; DESIGN.md SUB-1).
+//
+// Round schedule (global, 1-based):
+//   phases:    rounds 1 .. 5n                (phase j = rounds 5(j-1)+1..5j)
+//   help_req:  round 5n+1                    (Alg 3 round 1)
+//   help/cert: round 5n+2                    (Alg 3 round 2)
+//   adopt:     round 5n+3                    (Alg 3 round 3 + safety window)
+//   echo:      round 5n+4                    (2nd half of the 2δ window)
+//   fallback:  rounds 5n+5 .. 5n+4+(t+1)     (A_fallback with δ' = 2δ)
+//
+// The paper's wall-clock 2δ safety window and doubled fallback rounds exist
+// to overlap misaligned starts (Lemmas 17/18); in a round-lockstep simulator
+// starts are aligned by construction, and the window is represented by the
+// adopt/echo rounds (DESIGN.md SUB-3).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ba/context.hpp"
+#include "ba/fallback/dolev_strong.hpp"
+#include "ba/validity/predicate.hpp"
+#include "ba/weak_ba/messages.hpp"
+#include "sim/process.hpp"
+
+namespace mewc::wba {
+
+/// Per-process observable outcome, for tests and experiment harnesses.
+struct WbaStats {
+  bool decided = false;
+  WireValue decision = bottom_value();
+  std::uint64_t decided_phase = 0;  // 0: not decided during the phases
+  Round decided_round = 0;          // early-stopping metric: first round
+                                    // with a final decision
+  bool led_nonsilent_phase = false;
+  bool sent_help_req = false;
+  bool fallback_participant = false;
+};
+
+class WeakBaProcess final : public IProcess {
+ public:
+  /// `predicate` is the unique-validity predicate (Definition 3); `input`
+  /// must satisfy it (the paper's precondition that correct processes
+  /// propose valid values).
+  WeakBaProcess(const ProtocolContext& ctx,
+                std::shared_ptr<const ValidityPredicate> predicate,
+                WireValue input);
+
+  [[nodiscard]] static Round total_rounds(std::uint32_t n, std::uint32_t t) {
+    return 5 * n + 4 + fallback::DolevStrongEngine::rounds(t);
+  }
+
+  void on_send(Round r, Outbox& out) override;
+  void on_receive(Round r, std::span<const Message> inbox) override;
+
+  [[nodiscard]] bool decided() const { return decided_; }
+  [[nodiscard]] const WireValue& decision() const { return decision_; }
+  [[nodiscard]] const WbaStats& stats() const { return stats_; }
+
+  /// Finalize proof of the decision, when it came from the phase path or a
+  /// help/fallback message (absent after a bare fallback decision).
+  [[nodiscard]] const std::optional<ThresholdSig>& decide_proof() const {
+    return decide_proof_;
+  }
+
+  /// The phase leader rotation: phase j in 1..n is led by process (j-1)%n.
+  [[nodiscard]] static ProcessId leader_of(std::uint64_t phase,
+                                           std::uint32_t n) {
+    return static_cast<ProcessId>((phase - 1) % n);
+  }
+
+ private:
+  // Round-schedule geometry.
+  [[nodiscard]] Round help_req_round() const { return 5 * ctx_.n + 1; }
+  [[nodiscard]] Round help_reply_round() const { return 5 * ctx_.n + 2; }
+  [[nodiscard]] Round adopt_round() const { return 5 * ctx_.n + 3; }
+  [[nodiscard]] Round echo_round() const { return 5 * ctx_.n + 4; }
+  [[nodiscard]] Round ds_first_round() const { return 5 * ctx_.n + 5; }
+  [[nodiscard]] Round last_round() const {
+    return total_rounds(ctx_.n, ctx_.t);
+  }
+  /// Phase number (1-based) of a phase-window round, and the local round
+  /// 1..5 within it.
+  [[nodiscard]] static std::uint64_t phase_of(Round r) { return (r - 1) / 5 + 1; }
+  [[nodiscard]] static Round phase_local(Round r) { return (r - 1) % 5 + 1; }
+
+  [[nodiscard]] bool validate(const WireValue& v) const {
+    return predicate_->validate(v);
+  }
+  [[nodiscard]] bool verify_commit_qc(const WireValue& v, std::uint64_t level,
+                                      const ThresholdSig& qc) const;
+  [[nodiscard]] bool verify_finalize_qc(const WireValue& v,
+                                        std::uint64_t phase,
+                                        const ThresholdSig& qc) const;
+
+  void decide_now(const WireValue& v, std::uint64_t phase,
+                  const ThresholdSig& proof, Round round);
+
+  // Phase sub-steps (Algorithm 4).
+  void phase_send(std::uint64_t j, Round local, Outbox& out);
+  void phase_receive(std::uint64_t j, Round local,
+                     std::span<const Message> inbox);
+
+  // Post-phase sub-steps (Algorithm 3, lines 5-29).
+  void tail_send(Round r, Outbox& out);
+  void tail_receive(Round r, std::span<const Message> inbox);
+  [[nodiscard]] PayloadPtr make_fallback_msg() const;
+  void note_fallback_cert(const ThresholdSig& qc);
+
+  ProtocolContext ctx_;
+  std::shared_ptr<const ValidityPredicate> predicate_;
+
+  // Algorithm 3 state.
+  WireValue vi_;
+  bool decided_ = false;
+  WireValue decision_ = bottom_value();
+  std::optional<ThresholdSig> decide_proof_;
+  std::uint64_t decide_phase_ = 0;
+
+  // Commit state (Algorithm 4, carried across phases).
+  bool has_commit_ = false;
+  WireValue commit_ = bottom_value();
+  ThresholdSig commit_proof_;
+  std::uint64_t commit_level_ = 0;
+
+  // Per-phase scratch (reset at each phase boundary).
+  struct PhaseScratch {
+    bool saw_proposal = false;
+    WireValue proposal;
+    bool will_vote = false;
+    bool will_send_commit_info = false;
+    std::vector<PartialSig> votes;                     // leader only
+    std::optional<CommitMsg> best_commit_info;          // leader only
+    bool leader_broadcast_commit = false;               // leader only
+    WireValue leader_commit_value;                      // leader only
+    std::uint64_t leader_commit_level = 0;              // leader only
+    std::vector<PartialSig> decides;                    // leader only
+    bool will_send_decide = false;
+    PartialSig decide_partial;
+  };
+  PhaseScratch ph_;
+
+  // Fallback cascade state (Algorithm 3 tail).
+  std::vector<PartialSig> help_req_partials_;  // distinct help_req signers
+  bool sent_help_req_ = false;
+  bool has_fallback_cert_ = false;
+  ThresholdSig fallback_cert_;
+  bool fallback_broadcast_ = false;   // I already broadcast a fallback msg
+  bool echo_scheduled_ = false;       // first heard a cert; echo next round
+  // NOTE-2 (faithful completion, see weak_ba.cpp): whether a fallback
+  // message carrying my decision has gone out. A process that decides
+  // AFTER broadcasting a decision-less fallback certificate must
+  // re-broadcast once inside the window, or Lemma 19's "they receive v
+  // from p" premise fails and a Byzantine-disclosed finalize certificate
+  // could strand a lone decider against the fallback majority.
+  bool sent_decision_fallback_ = false;
+  WireValue bu_decision_ = bottom_value();
+  std::optional<ThresholdSig> bu_proof_;
+  std::uint64_t bu_proof_phase_ = 0;
+
+  fallback::DolevStrongEngine ds_;
+  WbaStats stats_;
+};
+
+}  // namespace mewc::wba

@@ -1,0 +1,29 @@
+// Invariant checking. MEWC_CHECK aborts with a message on violation; it is
+// active in all build types because protocol-invariant violations must never
+// be silently ignored in a correctness-focused reproduction.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mewc::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "MEWC_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace mewc::detail
+
+#define MEWC_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr)) ::mewc::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define MEWC_CHECK_MSG(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::mewc::detail::check_failed(#expr, __FILE__, __LINE__, (msg));   \
+  } while (false)

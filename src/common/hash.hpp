@@ -1,0 +1,51 @@
+// 64-bit mixing and incremental hashing used for message digests.
+//
+// This is not a cryptographic hash; within the simulation, unforgeability is
+// enforced by key custody (see crypto/keys.hpp), so the digest only needs
+// good distribution and determinism across runs.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mewc {
+
+/// splitmix64 finalizer; good avalanche, deterministic everywhere.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-sensitive combination of two words.
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                                   std::uint64_t v) {
+  return mix64(seed ^ (mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                       (seed >> 2)));
+}
+
+/// Incremental hasher for composing digests out of typed fields.
+class Hasher {
+ public:
+  constexpr Hasher() = default;
+  explicit constexpr Hasher(std::uint64_t seed) : state_(mix64(seed)) {}
+
+  constexpr Hasher& feed(std::uint64_t v) {
+    state_ = hash_combine(state_, v);
+    return *this;
+  }
+
+  Hasher& feed(std::string_view s) {
+    for (char c : s) state_ = hash_combine(state_, static_cast<unsigned char>(c));
+    state_ = hash_combine(state_, s.size());
+    return *this;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0x6d657763ULL;  // "mewc"
+};
+
+}  // namespace mewc

@@ -1,0 +1,59 @@
+// Deterministic RNG (xoshiro256**) for workload generation and adversary
+// scheduling. Every randomized test and bench takes an explicit seed so runs
+// are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#include "common/hash.hpp"
+
+namespace mewc {
+
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) {
+    // Seed the four lanes through splitmix64, as recommended by the
+    // xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& lane : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      lane = mix64(x);
+    }
+  }
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). bound must be positive.
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Bernoulli trial with probability num/den.
+  constexpr bool chance(std::uint64_t num, std::uint64_t den) {
+    return below(den) < num;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace mewc

@@ -1,0 +1,90 @@
+// Small statistics helpers for the experiment harnesses: summary stats and
+// least-squares fits used to check complexity *shapes* (e.g. the log-log
+// slope of words vs n should be ~1 for the adaptive protocols and ~2 for
+// the quadratic baseline).
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace mewc::stats {
+
+struct Summary {
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;
+};
+
+[[nodiscard]] inline Summary summarize(std::span<const double> xs) {
+  MEWC_CHECK(!xs.empty());
+  Summary s;
+  s.min = xs.front();
+  s.max = xs.front();
+  double sum = 0;
+  for (double x : xs) {
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+    sum += x;
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(xs.size()));
+  return s;
+}
+
+struct LinearFit {
+  double slope = 0;
+  double intercept = 0;
+  double r2 = 0;  // coefficient of determination
+};
+
+/// Ordinary least squares y = slope * x + intercept.
+[[nodiscard]] inline LinearFit fit_linear(std::span<const double> xs,
+                                          std::span<const double> ys) {
+  MEWC_CHECK(xs.size() == ys.size() && xs.size() >= 2);
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  LinearFit f;
+  const double denom = n * sxx - sx * sx;
+  MEWC_CHECK_MSG(denom != 0, "degenerate x values");
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+
+  const double ymean = sy / n;
+  double ss_res = 0, ss_tot = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double pred = f.slope * xs[i] + f.intercept;
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - ymean) * (ys[i] - ymean);
+  }
+  f.r2 = ss_tot == 0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return f;
+}
+
+/// Fits y = c * x^p by least squares in log-log space and returns the
+/// exponent p (the growth order) with its fit quality. All values must be
+/// positive.
+[[nodiscard]] inline LinearFit fit_power_law(std::span<const double> xs,
+                                             std::span<const double> ys) {
+  MEWC_CHECK(xs.size() == ys.size() && xs.size() >= 2);
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    MEWC_CHECK_MSG(xs[i] > 0 && ys[i] > 0, "power-law fit needs positives");
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  return fit_linear(lx, ly);  // slope == exponent
+}
+
+}  // namespace mewc::stats

@@ -1,0 +1,77 @@
+// Core identifier and value types shared by every module.
+//
+// The paper's model (Section 2): a static set of n = 2t + 1 processes,
+// values drawn from a finite domain, and a synchronous round structure.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mewc {
+
+/// Index of a process in the static set Pi = {0, ..., n-1}.
+using ProcessId = std::uint32_t;
+
+/// Synchronous round number. Round 0 never carries traffic; protocols start
+/// sending in round 1.
+using Round = std::uint32_t;
+
+/// Sentinel for "no process" (e.g. a message with no addressee yet).
+inline constexpr ProcessId kNoProcess = std::numeric_limits<ProcessId>::max();
+
+/// A protocol value from a finite domain, plus the distinguished "bottom"
+/// (the paper's special non-value) and the reserved "idk" marker value used
+/// by the Byzantine Broadcast reduction (Section 5: an idk quorum
+/// certificate acts as a decidable value meaning "the sender never spoke").
+struct Value {
+  std::uint64_t raw = kBottomRaw;
+
+  static constexpr std::uint64_t kBottomRaw =
+      std::numeric_limits<std::uint64_t>::max();
+  static constexpr std::uint64_t kIdkRaw = kBottomRaw - 1;
+
+  constexpr Value() = default;
+  explicit constexpr Value(std::uint64_t r) : raw(r) {}
+
+  [[nodiscard]] constexpr bool is_bottom() const { return raw == kBottomRaw; }
+  [[nodiscard]] constexpr bool is_idk() const { return raw == kIdkRaw; }
+
+  friend constexpr bool operator==(Value a, Value b) { return a.raw == b.raw; }
+  friend constexpr bool operator!=(Value a, Value b) { return a.raw != b.raw; }
+  friend constexpr bool operator<(Value a, Value b) { return a.raw < b.raw; }
+};
+
+/// The paper's bottom value.
+inline constexpr Value kBottom{Value::kBottomRaw};
+/// Reserved value carried by idk quorum certificates (BB reduction).
+inline constexpr Value kIdkValue{Value::kIdkRaw};
+
+/// Number of processes for a given fault threshold, n = 2t + 1.
+[[nodiscard]] constexpr std::uint32_t n_for_t(std::uint32_t t) {
+  return 2 * t + 1;
+}
+
+/// Fault threshold for a given n (requires odd n = 2t + 1).
+[[nodiscard]] constexpr std::uint32_t t_for_n(std::uint32_t n) {
+  return (n - 1) / 2;
+}
+
+/// The paper's key quorum size ceil((n + t + 1) / 2) (Section 6): two
+/// quorums of this size intersect in at least t + 1 processes, hence in at
+/// least one correct process, even at resilience n = 2t + 1.
+[[nodiscard]] constexpr std::uint32_t commit_quorum(std::uint32_t n,
+                                                    std::uint32_t t) {
+  return (n + t + 1 + 1) / 2;  // integer ceil((n+t+1)/2)
+}
+
+/// True when the run is in the adaptive regime of Section 6: enough correct
+/// processes remain for a commit quorum to be formed from correct votes
+/// alone, i.e. n - f >= ceil((n+t+1)/2). The paper states the slightly
+/// conservative bound f < (n-t-1)/2; this is the exact condition its proofs
+/// rely on.
+[[nodiscard]] constexpr bool adaptive_regime(std::uint32_t n, std::uint32_t t,
+                                             std::uint32_t f) {
+  return n - f >= commit_quorum(n, t);
+}
+
+}  // namespace mewc

@@ -1,0 +1,49 @@
+// Message digests. Every signature in the system signs a Digest, which is a
+// domain-separated 64-bit hash of the message's typed fields.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/hash.hpp"
+#include "common/types.hpp"
+
+namespace mewc {
+
+struct Digest {
+  std::uint64_t bits = 0;
+
+  friend constexpr bool operator==(Digest a, Digest b) {
+    return a.bits == b.bits;
+  }
+  friend constexpr bool operator!=(Digest a, Digest b) {
+    return a.bits != b.bits;
+  }
+};
+
+/// Builds digests with a domain-separation tag so that, e.g., a signature on
+/// <vote, v, j> can never be replayed as a signature on <decide, v, j>.
+class DigestBuilder {
+ public:
+  explicit DigestBuilder(std::string_view domain) { h_.feed(domain); }
+
+  DigestBuilder& field(std::uint64_t v) {
+    h_.feed(v);
+    return *this;
+  }
+  DigestBuilder& field(Value v) {
+    h_.feed(v.raw);
+    return *this;
+  }
+  DigestBuilder& field(std::string_view s) {
+    h_.feed(s);
+    return *this;
+  }
+
+  [[nodiscard]] Digest done() const { return Digest{h_.digest()}; }
+
+ private:
+  Hasher h_;
+};
+
+}  // namespace mewc

@@ -1,0 +1,41 @@
+#include "crypto/family.hpp"
+
+#include "crypto/shamir.hpp"
+
+namespace mewc {
+
+ThresholdFamily::ThresholdFamily(std::uint32_t n, std::uint32_t t,
+                                 ThresholdBackend backend, std::uint64_t seed)
+    : n_(n), t_(t), pki_(n, seed) {
+  // The paper presents its protocols at the optimal resilience n = 2t+1 and
+  // notes (Section 8) that BB and weak BA carry over to any n = αt+β with
+  // α > 1, β > 0 without losing the quorum intersection property; we
+  // therefore accept any n >= 2t+1 (see tests/ba/resilience_test.cpp).
+  MEWC_CHECK_MSG(n >= 2 * t + 1, "model requires n >= 2t + 1");
+  auto make = [&](std::uint32_t k) -> std::unique_ptr<ThresholdScheme> {
+    if (backend == ThresholdBackend::kShamir) {
+      return std::make_unique<ShamirThreshold>(k, n, pki_.master_seed());
+    }
+    return std::make_unique<SimThreshold>(k, n, pki_.master_seed());
+  };
+  for (std::uint32_t k : {t + 1, commit_quorum(n, t), n}) {
+    if (!schemes_.contains(k)) schemes_.emplace(k, make(k));
+  }
+}
+
+const ThresholdScheme& ThresholdFamily::scheme(std::uint32_t k) const {
+  auto it = schemes_.find(k);
+  MEWC_CHECK_MSG(it != schemes_.end(), "threshold not provisioned at setup");
+  return *it->second;
+}
+
+KeyBundle ThresholdFamily::issue_bundle(ProcessId pid) const {
+  KeyBundle bundle;
+  bundle.key.emplace(pki_.issue_key(pid));
+  for (const auto& [k, scheme] : schemes_) {
+    bundle.shares.emplace(k, scheme->issue_share(pid));
+  }
+  return bundle;
+}
+
+}  // namespace mewc

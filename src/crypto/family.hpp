@@ -1,0 +1,69 @@
+// Trusted-setup bundle: the PKI plus one (k, n)-threshold scheme per
+// threshold the protocols need — k = t+1 (idk / fallback certificates),
+// k = ceil((n+t+1)/2) (commit / finalize certificates, Section 6), and
+// k = n (Algorithm 5's decide certificate).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "crypto/keys.hpp"
+#include "crypto/threshold.hpp"
+
+namespace mewc {
+
+enum class ThresholdBackend {
+  kSim,     // ideal registry-enforced scheme
+  kShamir,  // real Shamir shares + Lagrange combination
+};
+
+/// All signing capabilities of one process: its individual key plus one
+/// share per threshold scheme. Move-only; handed to the process (or the
+/// adversary, for corrupted processes) by the executor.
+struct KeyBundle {
+  KeyBundle() = default;
+  KeyBundle(KeyBundle&&) noexcept = default;
+  KeyBundle& operator=(KeyBundle&&) noexcept = default;
+
+  std::optional<PrivateKey> key;
+  std::map<std::uint32_t, ShareKey> shares;  // by threshold k
+
+  [[nodiscard]] ProcessId owner() const { return key->owner(); }
+  [[nodiscard]] const PrivateKey& signer() const { return *key; }
+  [[nodiscard]] const ShareKey& share(std::uint32_t k) const {
+    auto it = shares.find(k);
+    MEWC_CHECK_MSG(it != shares.end(), "no share for this threshold");
+    return it->second;
+  }
+};
+
+/// Owns the PKI and the threshold schemes for one run.
+class ThresholdFamily {
+ public:
+  ThresholdFamily(std::uint32_t n, std::uint32_t t,
+                  ThresholdBackend backend = ThresholdBackend::kSim,
+                  std::uint64_t seed = 0x5e7u);
+
+  [[nodiscard]] std::uint32_t n() const { return n_; }
+  [[nodiscard]] std::uint32_t t() const { return t_; }
+
+  [[nodiscard]] const Pki& pki() const { return pki_; }
+  [[nodiscard]] Pki& pki() { return pki_; }
+
+  /// The scheme with threshold k. Aborts if k was not provisioned at setup
+  /// (the constructor provisions t+1, ceil((n+t+1)/2), and n).
+  [[nodiscard]] const ThresholdScheme& scheme(std::uint32_t k) const;
+
+  /// Issues the full key bundle for one process.
+  [[nodiscard]] KeyBundle issue_bundle(ProcessId pid) const;
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t t_;
+  Pki pki_;
+  std::map<std::uint32_t, std::unique_ptr<ThresholdScheme>> schemes_;
+};
+
+}  // namespace mewc

@@ -1,0 +1,64 @@
+// Arithmetic in GF(p) for p = 2^61 - 1 (a Mersenne prime), used by the
+// Shamir-based threshold backend. All values are canonical in [0, p).
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace mewc::fp {
+
+inline constexpr std::uint64_t kP = (1ULL << 61) - 1;
+
+[[nodiscard]] constexpr std::uint64_t reduce(std::uint64_t x) {
+  // For inputs < 2^62: fold the high bits once, then a conditional subtract.
+  x = (x & kP) + (x >> 61);
+  if (x >= kP) x -= kP;
+  return x;
+}
+
+[[nodiscard]] constexpr std::uint64_t add(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a + b;  // < 2^62, safe
+  if (s >= kP) s -= kP;
+  return s;
+}
+
+[[nodiscard]] constexpr std::uint64_t sub(std::uint64_t a, std::uint64_t b) {
+  return a >= b ? a - b : a + kP - b;
+}
+
+[[nodiscard]] constexpr std::uint64_t mul(std::uint64_t a, std::uint64_t b) {
+  const unsigned __int128 prod =
+      static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
+  // prod < p^2 < 2^122. Mersenne reduction: low 61 bits + high bits.
+  const std::uint64_t lo = static_cast<std::uint64_t>(prod) & kP;
+  const std::uint64_t hi = static_cast<std::uint64_t>(prod >> 61);
+  return reduce(lo + reduce(hi));
+}
+
+[[nodiscard]] constexpr std::uint64_t pow(std::uint64_t base,
+                                          std::uint64_t exp) {
+  std::uint64_t acc = 1;
+  std::uint64_t cur = reduce(base);
+  while (exp != 0) {
+    if (exp & 1) acc = mul(acc, cur);
+    cur = mul(cur, cur);
+    exp >>= 1;
+  }
+  return acc;
+}
+
+/// Multiplicative inverse via Fermat's little theorem. x must be nonzero.
+[[nodiscard]] constexpr std::uint64_t inv(std::uint64_t x) {
+  MEWC_CHECK_MSG(reduce(x) != 0, "no inverse of zero");
+  return pow(x, kP - 2);
+}
+
+/// Maps an arbitrary 64-bit hash into the field, never producing zero (zero
+/// would make every share-signature trivially zero).
+[[nodiscard]] constexpr std::uint64_t hash_point(std::uint64_t h) {
+  const std::uint64_t r = reduce(h);
+  return r == 0 ? 1 : r;
+}
+
+}  // namespace mewc::fp

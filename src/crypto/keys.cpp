@@ -1,0 +1,58 @@
+#include "crypto/keys.hpp"
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+
+namespace mewc {
+
+Pki::Pki(std::uint32_t n, std::uint64_t seed)
+    : master_seed_(mix64(seed ^ 0xc0ffee)) {
+  MEWC_CHECK_MSG(n >= 1, "PKI needs at least one process");
+  secrets_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    secrets_.push_back(mix64(master_seed_ ^ mix64(i + 1)));
+  }
+  per_signer_issued_.assign(n, 0);
+}
+
+PrivateKey Pki::issue_key(ProcessId pid) const {
+  MEWC_CHECK(pid < secrets_.size());
+  return PrivateKey(this, pid);
+}
+
+std::uint64_t Pki::mac(ProcessId signer, Digest d) const {
+  MEWC_CHECK(signer < secrets_.size());
+  return hash_combine(secrets_[signer], d.bits);
+}
+
+bool Pki::verify(const Signature& sig) const {
+  if (sig.signer >= secrets_.size()) return false;
+  return sig.tag == mac(sig.signer, sig.digest);
+}
+
+bool Pki::verify_mac_xor(Digest d, std::span<const ProcessId> signers,
+                         std::uint64_t tag) const {
+  std::uint64_t expected = 0;
+  for (ProcessId p : signers) {
+    if (p >= secrets_.size()) return false;
+    expected ^= mac(p, d);
+  }
+  return expected == tag;
+}
+
+void Pki::reset_signature_counters() {
+  signatures_issued_ = 0;
+  per_signer_issued_.assign(per_signer_issued_.size(), 0);
+}
+
+Signature PrivateKey::sign(Digest d) const {
+  Signature sig;
+  sig.signer = owner_;
+  sig.digest = d;
+  sig.tag = pki_->mac(owner_, d);
+  ++pki_->signatures_issued_;
+  ++pki_->per_signer_issued_[owner_];
+  return sig;
+}
+
+}  // namespace mewc

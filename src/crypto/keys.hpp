@@ -1,0 +1,102 @@
+// Trusted PKI setup and per-process signatures (paper Section 2).
+//
+// Unforgeability model (DESIGN.md SUB-2): the simulation runs in a single
+// address space, so signatures are modeled as keyed MACs whose key material
+// lives exclusively inside the Pki object. A process (or the adversary, for
+// corrupted processes) signs through a PrivateKey handle; the adversary API
+// only ever receives handles for corrupted processes, so within the
+// simulation a signature verifying under pid proves pid's handle produced it
+// — exactly the reliable-authenticated-link guarantee the paper assumes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "crypto/digest.hpp"
+
+namespace mewc {
+
+class Pki;
+
+/// An individual signature <m>_p: one word in the paper's cost model.
+struct Signature {
+  ProcessId signer = kNoProcess;
+  Digest digest;
+  std::uint64_t tag = 0;
+
+  friend bool operator==(const Signature& a, const Signature& b) {
+    return a.signer == b.signer && a.digest == b.digest && a.tag == b.tag;
+  }
+};
+
+/// Signing capability for one process. Move-only: custody of the handle is
+/// custody of the identity.
+class PrivateKey {
+ public:
+  PrivateKey(PrivateKey&&) noexcept = default;
+  PrivateKey& operator=(PrivateKey&&) noexcept = default;
+  PrivateKey(const PrivateKey&) = delete;
+  PrivateKey& operator=(const PrivateKey&) = delete;
+
+  [[nodiscard]] ProcessId owner() const { return owner_; }
+
+  /// Signs a digest. Also bumps the Pki signature-issuance counter, which
+  /// experiment E8 uses to reproduce the Dolev-Reischuk Omega(nt)-signatures
+  /// observation.
+  [[nodiscard]] Signature sign(Digest d) const;
+
+ private:
+  friend class Pki;
+  PrivateKey(const Pki* pki, ProcessId owner) : pki_(pki), owner_(owner) {}
+
+  const Pki* pki_;
+  ProcessId owner_;
+};
+
+/// Trusted setup: mints one key pair per process plus the threshold-scheme
+/// secrets (see crypto/threshold.hpp, crypto/shamir.hpp). One Pki per run.
+class Pki {
+ public:
+  explicit Pki(std::uint32_t n, std::uint64_t seed = 0x5e7u);
+
+  [[nodiscard]] std::uint32_t n() const {
+    return static_cast<std::uint32_t>(secrets_.size());
+  }
+
+  /// Hands out the signing handle for `pid`. Call once per identity; the
+  /// executor gives it to the process (or to the adversary if corrupted).
+  [[nodiscard]] PrivateKey issue_key(ProcessId pid) const;
+
+  [[nodiscard]] bool verify(const Signature& sig) const;
+
+  /// Verifies an XOR-aggregated MAC over `signers` (see crypto/multisig.hpp).
+  [[nodiscard]] bool verify_mac_xor(Digest d,
+                                    std::span<const ProcessId> signers,
+                                    std::uint64_t tag) const;
+
+  /// Total individual signatures issued so far (all signers).
+  [[nodiscard]] std::uint64_t signatures_issued() const {
+    return signatures_issued_;
+  }
+  [[nodiscard]] std::uint64_t signatures_issued_by(ProcessId pid) const {
+    return per_signer_issued_[pid];
+  }
+  void reset_signature_counters();
+
+  /// Master seed for deriving threshold-scheme secrets deterministically.
+  [[nodiscard]] std::uint64_t master_seed() const { return master_seed_; }
+
+ private:
+  friend class PrivateKey;
+  [[nodiscard]] std::uint64_t mac(ProcessId signer, Digest d) const;
+
+  std::vector<std::uint64_t> secrets_;
+  std::uint64_t master_seed_;
+  mutable std::uint64_t signatures_issued_ = 0;
+  mutable std::vector<std::uint64_t> per_signer_issued_;
+};
+
+}  // namespace mewc

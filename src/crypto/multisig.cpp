@@ -1,0 +1,26 @@
+#include "crypto/multisig.hpp"
+
+namespace mewc {
+
+AggSignature aggregate_start(std::uint32_t n, const Signature& sig) {
+  AggSignature agg;
+  agg.digest = sig.digest;
+  agg.signers = SignerSet(n);
+  agg.signers.insert(sig.signer);
+  agg.tag = sig.tag;
+  return agg;
+}
+
+bool aggregate_add(AggSignature& agg, const Signature& sig) {
+  if (sig.digest != agg.digest) return false;
+  if (!agg.signers.insert(sig.signer)) return false;
+  agg.tag ^= sig.tag;
+  return true;
+}
+
+bool aggregate_verify(const Pki& pki, const AggSignature& agg) {
+  const auto members = agg.signers.members();
+  return pki.verify_mac_xor(agg.digest, members, agg.tag);
+}
+
+}  // namespace mewc

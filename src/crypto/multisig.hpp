@@ -1,0 +1,40 @@
+// BLS-style aggregated multisignatures: any set of individual signatures on
+// the same digest compresses into one aggregate tag plus a signer bitmap.
+//
+// Used by the Dolev-Strong fallback (DESIGN.md SUB-1) to keep signature
+// chains at one tag regardless of chain length; the signer bitmap is metered
+// separately. The aggregate tag is the XOR of the individual MAC tags, which
+// the adversary cannot produce for a set containing a correct process
+// without that process's handle (XOR of unknown independent MACs).
+#pragma once
+
+#include <span>
+
+#include "crypto/keys.hpp"
+#include "crypto/signer_set.hpp"
+
+namespace mewc {
+
+struct AggSignature {
+  Digest digest;
+  SignerSet signers;
+  std::uint64_t tag = 0;
+
+  /// Wire size in words: one for the tag plus the signer bitmap.
+  [[nodiscard]] std::size_t words() const { return 1 + signers.words(); }
+};
+
+/// Starts an aggregate from a single signature.
+[[nodiscard]] AggSignature aggregate_start(std::uint32_t n,
+                                           const Signature& sig);
+
+/// Folds one more signature into the aggregate. Returns false (and leaves
+/// the aggregate unchanged) if the digest mismatches or the signer is
+/// already present.
+bool aggregate_add(AggSignature& agg, const Signature& sig);
+
+/// Verifies the aggregate against the PKI: every claimed signer's MAC on the
+/// digest must XOR to the tag.
+[[nodiscard]] bool aggregate_verify(const Pki& pki, const AggSignature& agg);
+
+}  // namespace mewc

@@ -1,0 +1,81 @@
+#include "crypto/shamir.hpp"
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "crypto/field.hpp"
+
+namespace mewc {
+
+ShamirThreshold::ShamirThreshold(std::uint32_t k, std::uint32_t n,
+                                 std::uint64_t seed)
+    : ThresholdScheme(k, n) {
+  MEWC_CHECK_MSG(k >= 1 && k <= n, "threshold k must be in [1, n]");
+  Rng rng(hash_combine(seed, hash_combine(k, n)) ^ 0x51a5eULL);
+
+  // Random degree-(k-1) polynomial P with nonzero secret P(0).
+  std::vector<std::uint64_t> coeffs(k);
+  do {
+    coeffs[0] = rng.below(fp::kP);
+  } while (coeffs[0] == 0);
+  for (std::uint32_t i = 1; i < k; ++i) coeffs[i] = rng.below(fp::kP);
+
+  secret_ = coeffs[0];
+  shares_.resize(n);
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    // Horner evaluation at x = pid + 1.
+    const std::uint64_t x = x_coord(pid);
+    std::uint64_t acc = 0;
+    for (std::uint32_t c = k; c-- > 0;) acc = fp::add(fp::mul(acc, x), coeffs[c]);
+    shares_[pid] = acc;
+  }
+}
+
+std::uint64_t ShamirThreshold::message_point(Digest d) const {
+  // Domain-separate by k so partials from schemes with different thresholds
+  // can never be mixed.
+  return fp::hash_point(hash_combine(d.bits, k()));
+}
+
+PartialSig ShamirThreshold::make_partial(ProcessId signer, Digest d) const {
+  MEWC_CHECK(signer < n());
+  PartialSig p;
+  p.signer = signer;
+  p.digest = d;
+  p.k = k();
+  p.tag = fp::mul(shares_[signer], message_point(d));
+  return p;
+}
+
+bool ShamirThreshold::verify_partial(const PartialSig& p) const {
+  if (p.signer >= n() || p.k != k()) return false;
+  return p.tag == fp::mul(shares_[p.signer], message_point(p.digest));
+}
+
+std::uint64_t ShamirThreshold::combine_tag(
+    std::span<const PartialSig> chosen) const {
+  // Lagrange interpolation at x = 0 over the k chosen share points:
+  //   s * H(d) = sum_i lambda_i * sigma_i,
+  //   lambda_i = prod_{j != i} x_j / (x_j - x_i).
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < chosen.size(); ++i) {
+    const std::uint64_t xi = x_coord(chosen[i].signer);
+    std::uint64_t num = 1;
+    std::uint64_t den = 1;
+    for (std::size_t j = 0; j < chosen.size(); ++j) {
+      if (j == i) continue;
+      const std::uint64_t xj = x_coord(chosen[j].signer);
+      num = fp::mul(num, xj);
+      den = fp::mul(den, fp::sub(xj, xi));
+    }
+    const std::uint64_t lambda = fp::mul(num, fp::inv(den));
+    acc = fp::add(acc, fp::mul(lambda, chosen[i].tag));
+  }
+  return acc;
+}
+
+bool ShamirThreshold::verify(const ThresholdSig& sig) const {
+  if (sig.k != k()) return false;
+  return sig.tag == fp::mul(secret_, message_point(sig.digest));
+}
+
+}  // namespace mewc

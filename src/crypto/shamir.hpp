@@ -1,0 +1,40 @@
+// Shamir-based (k, n)-threshold signatures over GF(2^61 - 1).
+//
+// Trusted setup deals shares s_i = P(i+1) of a secret s = P(0), where P is a
+// random degree-(k-1) polynomial. A partial signature on digest d is
+// sigma_i = s_i * H(d); combining any k partials with Lagrange coefficients
+// evaluated at zero reconstructs s * H(d), the group signature. This is the
+// algebra of BLS threshold signatures with the pairing replaced by a dealer
+// trapdoor for verification (DESIGN.md SUB-2): the verifier recomputes
+// s * H(d), which is sound inside the simulation because the adversary API
+// never exposes s or uncorrupted shares.
+#pragma once
+
+#include "crypto/threshold.hpp"
+
+namespace mewc {
+
+class ShamirThreshold final : public ThresholdScheme {
+ public:
+  ShamirThreshold(std::uint32_t k, std::uint32_t n, std::uint64_t seed);
+
+  [[nodiscard]] bool verify_partial(const PartialSig& p) const override;
+  [[nodiscard]] bool verify(const ThresholdSig& sig) const override;
+
+  /// Exposed for tests: the share point x_i = i + 1 of process i.
+  [[nodiscard]] static std::uint64_t x_coord(ProcessId pid) { return pid + 1; }
+
+ protected:
+  [[nodiscard]] PartialSig make_partial(ProcessId signer,
+                                        Digest d) const override;
+  [[nodiscard]] std::uint64_t combine_tag(
+      std::span<const PartialSig> chosen) const override;
+
+ private:
+  [[nodiscard]] std::uint64_t message_point(Digest d) const;
+
+  std::uint64_t secret_ = 0;             // P(0), the dealer trapdoor
+  std::vector<std::uint64_t> shares_;    // s_i = P(i + 1)
+};
+
+}  // namespace mewc

@@ -1,0 +1,62 @@
+// Compact set of process identities attached to aggregated signatures.
+//
+// Cost model: the bitmap costs ceil(n/64) machine words on the wire. For the
+// paper's asymptotics a signer bitmap is o(1) words for any realistic n, but
+// we meter it honestly (see net/message.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace mewc {
+
+class SignerSet {
+ public:
+  SignerSet() = default;
+  explicit SignerSet(std::uint32_t n) : n_(n), bits_((n + 63) / 64, 0) {}
+
+  [[nodiscard]] std::uint32_t universe() const { return n_; }
+
+  [[nodiscard]] bool contains(ProcessId pid) const {
+    if (pid >= n_) return false;
+    return (bits_[pid / 64] >> (pid % 64)) & 1u;
+  }
+
+  /// Returns false if pid was already present.
+  bool insert(ProcessId pid) {
+    MEWC_CHECK(pid < n_);
+    const std::uint64_t mask = 1ULL << (pid % 64);
+    if (bits_[pid / 64] & mask) return false;
+    bits_[pid / 64] |= mask;
+    ++count_;
+    return true;
+  }
+
+  [[nodiscard]] std::uint32_t count() const { return count_; }
+
+  [[nodiscard]] std::vector<ProcessId> members() const {
+    std::vector<ProcessId> out;
+    out.reserve(count_);
+    for (ProcessId p = 0; p < n_; ++p) {
+      if (contains(p)) out.push_back(p);
+    }
+    return out;
+  }
+
+  /// Wire size in words.
+  [[nodiscard]] std::size_t words() const { return bits_.size(); }
+
+  friend bool operator==(const SignerSet& a, const SignerSet& b) {
+    return a.n_ == b.n_ && a.bits_ == b.bits_;
+  }
+
+ private:
+  std::uint32_t n_ = 0;
+  std::uint32_t count_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace mewc

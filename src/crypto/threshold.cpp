@@ -1,0 +1,84 @@
+#include "crypto/threshold.hpp"
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+#include "crypto/signer_set.hpp"
+
+namespace mewc {
+
+PartialSig ShareKey::partial_sign(Digest d) const {
+  return scheme_->make_partial(owner_, d);
+}
+
+ShareKey ThresholdScheme::issue_share(ProcessId pid) const {
+  MEWC_CHECK(pid < n());
+  return ShareKey(this, pid);
+}
+
+std::optional<ThresholdSig> ThresholdScheme::combine(
+    std::span<const PartialSig> partials) const {
+  if (partials.empty()) return std::nullopt;
+  const Digest d = partials.front().digest;
+
+  SignerSet seen(n());
+  std::vector<PartialSig> chosen;
+  chosen.reserve(k());
+  for (const PartialSig& p : partials) {
+    if (p.digest != d || p.k != k()) continue;
+    if (!verify_partial(p)) continue;
+    if (!seen.insert(p.signer)) continue;  // duplicate signer
+    chosen.push_back(p);
+    if (chosen.size() == k()) break;
+  }
+  if (chosen.size() < k()) return std::nullopt;
+
+  ThresholdSig sig;
+  sig.digest = d;
+  sig.k = k();
+  sig.tag = combine_tag(chosen);
+  return sig;
+}
+
+SimThreshold::SimThreshold(std::uint32_t k, std::uint32_t n,
+                           std::uint64_t seed)
+    : ThresholdScheme(k, n),
+      secret_(mix64(seed ^ hash_combine(k, n) ^ 0x7e5a)) {
+  MEWC_CHECK_MSG(k >= 1 && k <= n, "threshold k must be in [1, n]");
+}
+
+std::uint64_t SimThreshold::share_tag(ProcessId signer, Digest d) const {
+  return hash_combine(hash_combine(secret_, signer + 1), d.bits);
+}
+
+std::uint64_t SimThreshold::group_tag(Digest d) const {
+  return hash_combine(secret_, hash_combine(d.bits, k()));
+}
+
+PartialSig SimThreshold::make_partial(ProcessId signer, Digest d) const {
+  MEWC_CHECK(signer < n());
+  PartialSig p;
+  p.signer = signer;
+  p.digest = d;
+  p.k = k();
+  p.tag = share_tag(signer, d);
+  return p;
+}
+
+bool SimThreshold::verify_partial(const PartialSig& p) const {
+  if (p.signer >= n() || p.k != k()) return false;
+  return p.tag == share_tag(p.signer, p.digest);
+}
+
+std::uint64_t SimThreshold::combine_tag(
+    std::span<const PartialSig> chosen) const {
+  // The combined tag depends only on the digest and scheme, never on which
+  // k shares were used — a property real threshold schemes (e.g. BLS) have.
+  return group_tag(chosen.front().digest);
+}
+
+bool SimThreshold::verify(const ThresholdSig& sig) const {
+  if (sig.k != k()) return false;
+  return sig.tag == group_tag(sig.digest);
+}
+
+}  // namespace mewc

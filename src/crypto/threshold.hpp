@@ -1,0 +1,126 @@
+// (k, n)-threshold signatures (paper Section 2): k unique partial signatures
+// on the same message batch into one threshold signature of constant size —
+// one word. The paper treats the scheme as ideal; we provide two backends
+// behind a common interface (DESIGN.md SUB-2):
+//
+//  * SimThreshold  — registry-enforced ideal scheme (this file).
+//  * ShamirThreshold — real share issuance + Lagrange combination over a
+//    61-bit prime field (crypto/shamir.hpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "crypto/digest.hpp"
+
+namespace mewc {
+
+/// One process's share-signature on a digest. One word on the wire.
+struct PartialSig {
+  ProcessId signer = kNoProcess;
+  Digest digest;
+  std::uint32_t k = 0;  // threshold of the scheme that produced it
+  std::uint64_t tag = 0;
+};
+
+/// A combined threshold signature: constant size (one word) regardless of k.
+struct ThresholdSig {
+  Digest digest;
+  std::uint32_t k = 0;
+  std::uint64_t tag = 0;
+
+  [[nodiscard]] std::size_t words() const { return 1; }
+
+  friend bool operator==(const ThresholdSig& a, const ThresholdSig& b) {
+    return a.digest == b.digest && a.k == b.k && a.tag == b.tag;
+  }
+};
+
+class ThresholdScheme;
+
+/// Share-signing capability of one process under one scheme. Move-only, like
+/// PrivateKey: custody of the handle is custody of the share.
+class ShareKey {
+ public:
+  ShareKey(ShareKey&&) noexcept = default;
+  ShareKey& operator=(ShareKey&&) noexcept = default;
+  ShareKey(const ShareKey&) = delete;
+  ShareKey& operator=(const ShareKey&) = delete;
+
+  [[nodiscard]] ProcessId owner() const { return owner_; }
+  [[nodiscard]] PartialSig partial_sign(Digest d) const;
+
+ private:
+  friend class ThresholdScheme;
+  ShareKey(const ThresholdScheme* scheme, ProcessId owner)
+      : scheme_(scheme), owner_(owner) {}
+
+  const ThresholdScheme* scheme_;
+  ProcessId owner_;
+};
+
+/// Abstract (k, n)-threshold scheme.
+class ThresholdScheme {
+ public:
+  ThresholdScheme(std::uint32_t k, std::uint32_t n) : k_(k), n_(n) {}
+  virtual ~ThresholdScheme() = default;
+  ThresholdScheme(const ThresholdScheme&) = delete;
+  ThresholdScheme& operator=(const ThresholdScheme&) = delete;
+
+  [[nodiscard]] std::uint32_t k() const { return k_; }
+  [[nodiscard]] std::uint32_t n() const { return n_; }
+
+  /// Issues the share handle for `pid` (trusted-setup step).
+  [[nodiscard]] ShareKey issue_share(ProcessId pid) const;
+
+  [[nodiscard]] virtual bool verify_partial(const PartialSig& p) const = 0;
+
+  /// Batches >= k valid partial signatures on the same digest, from distinct
+  /// signers, into a threshold signature. Returns nullopt when the inputs do
+  /// not contain k distinct valid partials on one digest.
+  [[nodiscard]] std::optional<ThresholdSig> combine(
+      std::span<const PartialSig> partials) const;
+
+  [[nodiscard]] virtual bool verify(const ThresholdSig& sig) const = 0;
+
+ protected:
+  friend class ShareKey;
+  [[nodiscard]] virtual PartialSig make_partial(ProcessId signer,
+                                                Digest d) const = 0;
+  /// Produces the combined tag from k verified partials (distinct signers,
+  /// same digest, already checked by combine()).
+  [[nodiscard]] virtual std::uint64_t combine_tag(
+      std::span<const PartialSig> chosen) const = 0;
+
+ private:
+  std::uint32_t k_;
+  std::uint32_t n_;
+};
+
+/// Ideal threshold scheme: tags are MACs under a scheme secret held only
+/// here. Unforgeable within the simulation by key custody.
+class SimThreshold final : public ThresholdScheme {
+ public:
+  SimThreshold(std::uint32_t k, std::uint32_t n, std::uint64_t seed);
+
+  [[nodiscard]] bool verify_partial(const PartialSig& p) const override;
+  [[nodiscard]] bool verify(const ThresholdSig& sig) const override;
+
+ protected:
+  [[nodiscard]] PartialSig make_partial(ProcessId signer,
+                                        Digest d) const override;
+  [[nodiscard]] std::uint64_t combine_tag(
+      std::span<const PartialSig> chosen) const override;
+
+ private:
+  [[nodiscard]] std::uint64_t share_tag(ProcessId signer, Digest d) const;
+  [[nodiscard]] std::uint64_t group_tag(Digest d) const;
+
+  std::uint64_t secret_;
+};
+
+}  // namespace mewc

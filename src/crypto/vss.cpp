@@ -1,0 +1,193 @@
+#include "crypto/vss.hpp"
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "crypto/signer_set.hpp"
+
+namespace mewc::vss {
+
+namespace {
+
+[[nodiscard]] std::uint64_t mod_mul(std::uint64_t a, std::uint64_t b,
+                                    std::uint64_t m) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % m);
+}
+
+[[nodiscard]] std::uint64_t mod_pow(std::uint64_t base, std::uint64_t exp,
+                                    std::uint64_t m) {
+  std::uint64_t acc = 1;
+  std::uint64_t cur = base % m;
+  while (exp != 0) {
+    if (exp & 1) acc = mod_mul(acc, cur, m);
+    cur = mod_mul(cur, cur, m);
+    exp >>= 1;
+  }
+  return acc;
+}
+
+/// x-coordinate of process i's share.
+[[nodiscard]] std::uint64_t x_coord(ProcessId pid) { return pid + 1; }
+
+/// Fiat-Shamir challenge for the DLEQ proof.
+[[nodiscard]] std::uint64_t dleq_challenge(std::uint64_t y, std::uint64_t hm,
+                                           std::uint64_t sigma,
+                                           std::uint64_t big_a,
+                                           std::uint64_t big_b, Digest d) {
+  Hasher h;
+  h.feed("vss.dleq")
+      .feed(kG)
+      .feed(y)
+      .feed(hm)
+      .feed(sigma)
+      .feed(big_a)
+      .feed(big_b)
+      .feed(d.bits);
+  return h.digest() % kR;
+}
+
+}  // namespace
+
+std::uint64_t mul_q(std::uint64_t a, std::uint64_t b) {
+  return mod_mul(a, b, kQ);
+}
+std::uint64_t pow_q(std::uint64_t base, std::uint64_t exp) {
+  return mod_pow(base, exp, kQ);
+}
+std::uint64_t mul_r(std::uint64_t a, std::uint64_t b) {
+  return mod_mul(a, b, kR);
+}
+std::uint64_t add_r(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t s = (a % kR) + (b % kR);
+  return s >= kR ? s - kR : s;
+}
+std::uint64_t sub_r(std::uint64_t a, std::uint64_t b) {
+  a %= kR;
+  b %= kR;
+  return a >= b ? a - b : a + kR - b;
+}
+std::uint64_t inv_r(std::uint64_t x) {
+  MEWC_CHECK_MSG(x % kR != 0, "no inverse of zero");
+  return mod_pow(x % kR, kR - 2, kR);  // r is prime
+}
+
+std::uint64_t message_base(Digest d) {
+  // Square into the quadratic-residue subgroup; never the identity.
+  std::uint64_t e = mix64(d.bits) % kQ;
+  if (e <= 1) e = 2;
+  const std::uint64_t h = mul_q(e, e);
+  return h == 1 ? kG : h;
+}
+
+Dealing::Dealing(std::uint32_t k, std::uint32_t n, std::uint64_t seed)
+    : k_(k) {
+  MEWC_CHECK_MSG(k >= 1 && k <= n, "threshold k must be in [1, n]");
+  Rng rng(hash_combine(seed, hash_combine(k, n)) ^ 0xf31d);
+
+  std::vector<std::uint64_t> coeffs(k);
+  do {
+    coeffs[0] = rng.below(kR);
+  } while (coeffs[0] == 0);
+  for (std::uint32_t j = 1; j < k; ++j) coeffs[j] = rng.below(kR);
+  secret_ = coeffs[0];
+
+  commitments_.reserve(k);
+  for (std::uint32_t j = 0; j < k; ++j) {
+    commitments_.push_back(pow_q(kG, coeffs[j]));
+  }
+
+  shares_.resize(n);
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    const std::uint64_t x = x_coord(pid);
+    std::uint64_t acc = 0;  // Horner over Z_r
+    for (std::uint32_t j = k; j-- > 0;) acc = add_r(mul_r(acc, x), coeffs[j]);
+    shares_[pid] = Share{pid, acc, pow_q(kG, acc)};
+  }
+}
+
+bool Dealing::verify_share(std::span<const std::uint64_t> commitments,
+                           const Share& share) {
+  if (commitments.empty()) return false;
+  // y_i must equal prod_j C_j^{x^j} — the committed polynomial evaluated
+  // in the exponent — and match g^{s_i}.
+  const std::uint64_t x = x_coord(share.owner);
+  std::uint64_t expected = 1;
+  std::uint64_t x_pow = 1;  // x^j mod r (exponents live in Z_r)
+  for (const std::uint64_t c : commitments) {
+    expected = mul_q(expected, pow_q(c, x_pow));
+    x_pow = mul_r(x_pow, x);
+  }
+  return expected == share.pub && pow_q(kG, share.secret) == share.pub;
+}
+
+VerifiablePartial Dealing::partial_sign(const Share& share, Digest d,
+                                        std::uint64_t nonce_seed) {
+  const std::uint64_t hm = message_base(d);
+  VerifiablePartial p;
+  p.signer = share.owner;
+  p.digest = d;
+  p.sigma = pow_q(hm, share.secret);
+
+  // Chaum-Pedersen with Fiat-Shamir.
+  Rng rng(hash_combine(nonce_seed, hash_combine(share.secret, d.bits)));
+  std::uint64_t w = 0;
+  while (w == 0) w = rng.below(kR);
+  p.big_a = pow_q(kG, w);
+  p.big_b = pow_q(hm, w);
+  const std::uint64_t c =
+      dleq_challenge(share.pub, hm, p.sigma, p.big_a, p.big_b, d);
+  p.z = add_r(w, mul_r(c, share.secret));
+  return p;
+}
+
+bool Dealing::verify_partial(const VerifiablePartial& p,
+                             std::uint64_t signer_pub) {
+  const std::uint64_t hm = message_base(p.digest);
+  const std::uint64_t c =
+      dleq_challenge(signer_pub, hm, p.sigma, p.big_a, p.big_b, p.digest);
+  // g^z == A * y^c  and  hm^z == B * sigma^c.
+  if (pow_q(kG, p.z) != mul_q(p.big_a, pow_q(signer_pub, c))) return false;
+  if (pow_q(hm, p.z) != mul_q(p.big_b, pow_q(p.sigma, c))) return false;
+  return true;
+}
+
+std::optional<std::uint64_t> Dealing::combine(
+    std::uint32_t k, std::span<const VerifiablePartial> partials,
+    std::span<const std::uint64_t> signer_pubs) {
+  if (partials.empty()) return std::nullopt;
+  const Digest d = partials.front().digest;
+
+  SignerSet seen(static_cast<std::uint32_t>(signer_pubs.size()));
+  std::vector<const VerifiablePartial*> chosen;
+  for (const VerifiablePartial& p : partials) {
+    if (p.digest != d || p.signer >= signer_pubs.size()) continue;
+    if (!verify_partial(p, signer_pubs[p.signer])) continue;
+    if (!seen.insert(p.signer)) continue;
+    chosen.push_back(&p);
+    if (chosen.size() == k) break;
+  }
+  if (chosen.size() < k) return std::nullopt;
+
+  // sigma = prod sigma_i^{lambda_i}, Lagrange at zero over Z_r.
+  std::uint64_t sigma = 1;
+  for (std::size_t i = 0; i < chosen.size(); ++i) {
+    const std::uint64_t xi = x_coord(chosen[i]->signer);
+    std::uint64_t num = 1, den = 1;
+    for (std::size_t j = 0; j < chosen.size(); ++j) {
+      if (j == i) continue;
+      const std::uint64_t xj = x_coord(chosen[j]->signer);
+      num = mul_r(num, xj);
+      den = mul_r(den, sub_r(xj, xi));
+    }
+    const std::uint64_t lambda = mul_r(num, inv_r(den));
+    sigma = mul_q(sigma, pow_q(chosen[i]->sigma, lambda));
+  }
+  return sigma;
+}
+
+std::uint64_t Dealing::expected_signature(Digest d) const {
+  return pow_q(message_base(d), secret_);
+}
+
+}  // namespace mewc::vss

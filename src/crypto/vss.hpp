@@ -1,0 +1,123 @@
+// Verifiable secret sharing and publicly verifiable partial signatures —
+// how far the SUB-2 idealization can be shrunk without pairings.
+//
+// The default threshold backends verify through dealer-held material
+// (DESIGN.md SUB-2). This module implements the genuinely public parts of
+// a discrete-log threshold scheme over the order-r subgroup of Z_q*
+// (q = 2r+1, a 61-bit safe prime; a structural model — 61-bit discrete
+// logs are NOT cryptographically hard, exactly like every other key length
+// in this simulation):
+//
+//   * Feldman-VSS dealing: commitments C_j = g^{a_j} publish the
+//     polynomial in the exponent; ANYONE can check a share s_i against
+//     y_i = prod C_j^{x_i^j} with no dealer secret.
+//   * Partial signatures sigma_i = h_m^{s_i} with Chaum-Pedersen DLEQ
+//     proofs (Fiat-Shamir): ANYONE can verify a partial against the public
+//     y_i — no trapdoor.
+//   * Lagrange combination in the exponent: any k verified partials
+//     recombine to the same group signature h_m^s.
+//
+// What still cannot be done without pairings: verifying a bare combined
+// signature against y_0 alone (that is DDH). A verifier here either
+// recombines from k DLEQ-verified partials or trusts a combiner — which is
+// why the protocol-facing backends keep the one-word certificate model and
+// this module stands alone as substrate depth (with its own test suite).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "crypto/digest.hpp"
+
+namespace mewc::vss {
+
+/// Group parameters: q = 2r + 1 (both prime), g generates the order-r
+/// subgroup of quadratic residues.
+inline constexpr std::uint64_t kQ = 2305843009213691579ull;  // 61-bit prime
+inline constexpr std::uint64_t kR = 1152921504606845789ull;  // (q-1)/2, prime
+inline constexpr std::uint64_t kG = 4;                       // 2^2 mod q
+
+// Arithmetic mod q (group) and mod r (exponents).
+[[nodiscard]] std::uint64_t mul_q(std::uint64_t a, std::uint64_t b);
+[[nodiscard]] std::uint64_t pow_q(std::uint64_t base, std::uint64_t exp);
+[[nodiscard]] std::uint64_t mul_r(std::uint64_t a, std::uint64_t b);
+[[nodiscard]] std::uint64_t add_r(std::uint64_t a, std::uint64_t b);
+[[nodiscard]] std::uint64_t sub_r(std::uint64_t a, std::uint64_t b);
+[[nodiscard]] std::uint64_t inv_r(std::uint64_t x);
+
+/// Maps a digest to a non-identity element of the subgroup.
+[[nodiscard]] std::uint64_t message_base(Digest d);
+
+/// A share with its public verification key.
+struct Share {
+  ProcessId owner = kNoProcess;
+  std::uint64_t secret = 0;  // s_i in Z_r (held by the owner)
+  std::uint64_t pub = 0;     // y_i = g^{s_i} (public)
+};
+
+/// A partial signature with its Chaum-Pedersen DLEQ proof
+/// (log_g y_i = log_{h_m} sigma_i). Publicly verifiable.
+struct VerifiablePartial {
+  ProcessId signer = kNoProcess;
+  Digest digest;
+  std::uint64_t sigma = 0;  // h_m^{s_i}
+  std::uint64_t big_a = 0;  // g^w
+  std::uint64_t big_b = 0;  // h_m^w
+  std::uint64_t z = 0;      // w + c*s_i mod r
+};
+
+/// One Feldman-VSS dealing for a (k, n) threshold.
+class Dealing {
+ public:
+  Dealing(std::uint32_t k, std::uint32_t n, std::uint64_t seed);
+
+  [[nodiscard]] std::uint32_t k() const { return k_; }
+  [[nodiscard]] std::uint32_t n() const {
+    return static_cast<std::uint32_t>(shares_.size());
+  }
+
+  /// The published commitments C_0..C_{k-1} (C_0 = g^s is the group key).
+  [[nodiscard]] const std::vector<std::uint64_t>& commitments() const {
+    return commitments_;
+  }
+
+  [[nodiscard]] const Share& share(ProcessId pid) const {
+    return shares_[pid];
+  }
+
+  /// PUBLIC check: does (x_i, s_i) lie on the committed polynomial?
+  [[nodiscard]] static bool verify_share(
+      std::span<const std::uint64_t> commitments, const Share& share);
+
+  /// Signs with a share, attaching the DLEQ proof. `nonce_seed` feeds the
+  /// prover's randomness (any value; proofs are publicly checkable anyway).
+  [[nodiscard]] static VerifiablePartial partial_sign(const Share& share,
+                                                      Digest d,
+                                                      std::uint64_t nonce_seed);
+
+  /// PUBLIC check of a partial against the signer's y_i.
+  [[nodiscard]] static bool verify_partial(const VerifiablePartial& p,
+                                           std::uint64_t signer_pub);
+
+  /// Combines exactly k verified partials (distinct signers, same digest)
+  /// into the group signature h_m^s via Lagrange in the exponent. Returns
+  /// nullopt if the inputs do not qualify.
+  [[nodiscard]] static std::optional<std::uint64_t> combine(
+      std::uint32_t k, std::span<const VerifiablePartial> partials,
+      std::span<const std::uint64_t> signer_pubs);
+
+  /// The dealer-side expected group signature (for tests: every k-subset
+  /// must recombine to exactly this).
+  [[nodiscard]] std::uint64_t expected_signature(Digest d) const;
+
+ private:
+  std::uint32_t k_;
+  std::uint64_t secret_;  // P(0) in Z_r
+  std::vector<std::uint64_t> commitments_;
+  std::vector<Share> shares_;
+};
+
+}  // namespace mewc::vss

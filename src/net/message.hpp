@@ -1,0 +1,26 @@
+// A message in flight. The network stamps the true sender (reliable
+// authenticated links, paper Section 2: a Byzantine process cannot spoof the
+// link-level identity of a correct process), and the word cost is computed
+// once when the message is posted.
+#pragma once
+
+#include <algorithm>
+
+#include "common/types.hpp"
+#include "net/payload.hpp"
+
+namespace mewc {
+
+struct Message {
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  Round round = 0;        // round in which the message was sent (= received)
+  PayloadPtr body;
+  std::size_t words = 1;  // >= 1 per the cost model
+
+  [[nodiscard]] static std::size_t cost_of(const Payload& p) {
+    return std::max<std::size_t>(1, p.words());
+  }
+};
+
+}  // namespace mewc

@@ -1,0 +1,88 @@
+// Synchronous network (paper Section 2): reliable authenticated links and a
+// known delay bound, modeled as lockstep rounds — a message sent at the
+// beginning of round r is received by every correct recipient within round
+// r. The network stamps the true link-level sender, delivers everything
+// (Byzantine processes can send garbage but cannot drop or forge correct
+// processes' messages), and meters words.
+//
+// Self-delivery is supported (pseudocode like "broadcast" includes the
+// sender) but costs zero words: only traffic that crosses a link counts.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "net/message.hpp"
+#include "net/meter.hpp"
+#include "net/outbox.hpp"
+
+namespace mewc {
+
+class SyncNetwork {
+ public:
+  explicit SyncNetwork(std::uint32_t n) : n_(n), meter_(n), inboxes_(n) {}
+
+  /// Installs a per-message transformer applied at post time — used by the
+  /// wire codec's round-trip mode to re-encode and re-parse every message,
+  /// proving nothing depends on in-memory payload sharing.
+  void set_transform(std::function<PayloadPtr(const PayloadPtr&)> transform) {
+    transform_ = std::move(transform);
+  }
+
+  /// Installs an observer invoked for every link-crossing message (self
+  /// deliveries excluded, matching the meter). Used by trace tooling.
+  void set_recorder(std::function<void(const Message&, bool correct)> rec) {
+    recorder_ = std::move(rec);
+  }
+
+  [[nodiscard]] std::uint32_t n() const { return n_; }
+
+  /// Posts everything a process sent this round. `correct` selects the meter
+  /// bucket (the paper's complexity counts correct senders only).
+  void post(ProcessId from, Round round, const Outbox& out, bool correct) {
+    MEWC_CHECK(from < n_);
+    for (const auto& [to, original] : out.sends()) {
+      MEWC_CHECK(original != nullptr);
+      const PayloadPtr body = transform_ ? transform_(original) : original;
+      MEWC_CHECK(body != nullptr);
+      Message m;
+      m.from = from;
+      m.to = to;
+      m.round = round;
+      m.words = Message::cost_of(*body);
+      m.body = body;
+      if (to != from) {
+        meter_.record(from, round, m.words, body->logical_signatures(),
+                      body->kind(), correct);
+        if (recorder_) recorder_(m, correct);
+      }
+      inboxes_[to].push_back(std::move(m));
+    }
+  }
+
+  /// All messages delivered to `pid` in the current round.
+  [[nodiscard]] std::span<const Message> inbox(ProcessId pid) const {
+    MEWC_CHECK(pid < n_);
+    return inboxes_[pid];
+  }
+
+  /// Clears inboxes at the end of a round. Synchrony: undelivered state
+  /// never carries over; what was sent in round r exists only in round r.
+  void end_round() {
+    for (auto& box : inboxes_) box.clear();
+  }
+
+  [[nodiscard]] const Meter& meter() const { return meter_; }
+  [[nodiscard]] Meter& meter() { return meter_; }
+
+ private:
+  std::uint32_t n_;
+  Meter meter_;
+  std::vector<std::vector<Message>> inboxes_;
+  std::function<PayloadPtr(const PayloadPtr&)> transform_;
+  std::function<void(const Message&, bool)> recorder_;
+};
+
+}  // namespace mewc

@@ -1,0 +1,42 @@
+// Per-step send buffer. Protocol code posts unicast/broadcast here; the
+// executor hands the buffer to the network, which stamps sender identity and
+// meters word costs. A broadcast over point-to-point links is n unicasts and
+// is metered as such (the paper's model has no multicast primitive).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/payload.hpp"
+
+namespace mewc {
+
+class Outbox {
+ public:
+  explicit Outbox(std::uint32_t n) : n_(n) {}
+
+  void send(ProcessId to, PayloadPtr body) {
+    if (to >= n_) return;  // tolerate adversarial junk addressing
+    sends_.emplace_back(to, std::move(body));
+  }
+
+  /// Sends to every process, including the sender itself (self-delivery is
+  /// free in the cost model and is filtered by the network's meter).
+  void broadcast(const PayloadPtr& body) {
+    for (ProcessId p = 0; p < n_; ++p) sends_.emplace_back(p, body);
+  }
+
+  [[nodiscard]] std::uint32_t n() const { return n_; }
+
+  [[nodiscard]] const std::vector<std::pair<ProcessId, PayloadPtr>>& sends()
+      const {
+    return sends_;
+  }
+
+ private:
+  std::uint32_t n_;
+  std::vector<std::pair<ProcessId, PayloadPtr>> sends_;
+};
+
+}  // namespace mewc

@@ -1,0 +1,39 @@
+// Type-erased message payloads. Each protocol defines payload structs
+// deriving from Payload; words() implements the paper's cost model (a word
+// holds a constant number of signatures and values; every message costs at
+// least one word — enforced in net/message.hpp).
+#pragma once
+
+#include <memory>
+
+namespace mewc {
+
+class Payload {
+ public:
+  virtual ~Payload() = default;
+
+  /// Wire size in words, per the paper's Section 2 cost model.
+  [[nodiscard]] virtual std::size_t words() const = 0;
+
+  /// Short stable name for traces and debugging, e.g. "bb.help_req".
+  [[nodiscard]] virtual const char* kind() const = 0;
+
+  /// Number of logical signatures this message represents: a k-threshold
+  /// certificate stands for k signatures even though it costs one word.
+  /// This is the quantity Dolev-Reischuk's Omega(nt) signature bound
+  /// constrains; threshold schemes compress it into O(1) words, which is
+  /// exactly the separation the paper exploits (experiment E8).
+  [[nodiscard]] virtual std::size_t logical_signatures() const { return 0; }
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+/// Downcast helper: returns nullptr when the payload is of another type.
+/// Receivers must treat foreign payload types as Byzantine noise and ignore
+/// them, which this makes mechanical.
+template <typename T>
+[[nodiscard]] const T* payload_cast(const PayloadPtr& p) {
+  return dynamic_cast<const T*>(p.get());
+}
+
+}  // namespace mewc

@@ -1,0 +1,78 @@
+// The adaptive adversary (paper Section 2): may corrupt up to t processes
+// at any point in the run; corrupted processes behave arbitrarily. The
+// executor gives the adversary a *rushing* position — in each round it acts
+// after observing every message correct processes sent in that round — and
+// hands it the key bundles (individual key + threshold shares) of corrupted
+// processes, modeling full key compromise. It can never sign for a process
+// it has not corrupted; that is the PKI assumption.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "crypto/family.hpp"
+#include "net/message.hpp"
+#include "net/outbox.hpp"
+
+namespace mewc {
+
+/// Executor-provided capabilities surface for the adversary. Corruption and
+/// traffic injection go through this object so the t-bound and key custody
+/// are enforced in one place.
+class AdversaryControl {
+ public:
+  virtual ~AdversaryControl() = default;
+
+  [[nodiscard]] virtual std::uint32_t n() const = 0;
+  [[nodiscard]] virtual std::uint32_t t() const = 0;
+
+  /// Corrupts `pid` (idempotent). Returns false if the t-bound would be
+  /// exceeded or pid is out of range; the process stops executing from the
+  /// next send step onward and its keys become available via bundle().
+  virtual bool corrupt(ProcessId pid) = 0;
+  [[nodiscard]] virtual bool is_corrupted(ProcessId pid) const = 0;
+  [[nodiscard]] virtual std::uint32_t corrupted_count() const = 0;
+
+  /// Key bundle of a corrupted process. Aborts if pid is not corrupted —
+  /// the adversary cannot touch uncompromised key material.
+  [[nodiscard]] virtual const KeyBundle& bundle(ProcessId pid) const = 0;
+
+  /// Injects a message from a corrupted process. Ignored if pid is not
+  /// corrupted (a Byzantine process cannot spoof a correct link).
+  virtual void send_as(ProcessId pid, ProcessId to, PayloadPtr body) = 0;
+  virtual void broadcast_as(ProcessId pid, const PayloadPtr& body) = 0;
+
+  /// Everything posted by correct processes in the current round (rushing
+  /// visibility). Byzantine recipients read their inboxes from here too.
+  [[nodiscard]] virtual std::span<const Message> posted_this_round() const = 0;
+
+  /// Crypto toolkit access for building certificates from captured partials.
+  [[nodiscard]] virtual const ThresholdFamily& crypto() const = 0;
+};
+
+/// Base adversary: corrupts nothing, sends nothing (f = 0 runs).
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// Called once before round 1; typical strategies corrupt their static
+  /// victim set here.
+  virtual void setup(AdversaryControl& ctrl) { (void)ctrl; }
+
+  /// Called at the top of each round, before correct processes send. This is
+  /// where adaptive strategies corrupt mid-run (e.g. the upcoming leader).
+  virtual void pre_round(Round r, AdversaryControl& ctrl) {
+    (void)r;
+    (void)ctrl;
+  }
+
+  /// Called after correct processes' round-r messages are posted (rushing).
+  /// Inject Byzantine traffic for round r here.
+  virtual void act(Round r, AdversaryControl& ctrl) {
+    (void)r;
+    (void)ctrl;
+  }
+};
+
+}  // namespace mewc

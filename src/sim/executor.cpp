@@ -1,0 +1,132 @@
+#include "sim/executor.hpp"
+
+#include "common/check.hpp"
+
+namespace mewc {
+
+/// Concrete capabilities surface handed to the adversary each round.
+class Executor::Control final : public AdversaryControl {
+ public:
+  explicit Control(Executor& e) : e_(e) {}
+
+  [[nodiscard]] std::uint32_t n() const override { return e_.network_.n(); }
+  [[nodiscard]] std::uint32_t t() const override { return e_.family_.t(); }
+
+  bool corrupt(ProcessId pid) override {
+    if (pid >= n()) return false;
+    if (e_.corrupted_[pid]) return true;
+    if (e_.corrupted_count_ >= t()) return false;
+    e_.corrupted_[pid] = true;
+    ++e_.corrupted_count_;
+    return true;
+  }
+
+  [[nodiscard]] bool is_corrupted(ProcessId pid) const override {
+    return pid < n() && e_.corrupted_[pid];
+  }
+
+  [[nodiscard]] std::uint32_t corrupted_count() const override {
+    return e_.corrupted_count_;
+  }
+
+  [[nodiscard]] const KeyBundle& bundle(ProcessId pid) const override {
+    MEWC_CHECK_MSG(is_corrupted(pid),
+                   "adversary touched uncompromised key material");
+    return e_.bundles_[pid];
+  }
+
+  void send_as(ProcessId pid, ProcessId to, PayloadPtr body) override {
+    if (!is_corrupted(pid) || body == nullptr) return;
+    Outbox out(n());
+    out.send(to, std::move(body));
+    e_.network_.post(pid, e_.current_round_, out, /*correct=*/false);
+  }
+
+  void broadcast_as(ProcessId pid, const PayloadPtr& body) override {
+    if (!is_corrupted(pid) || body == nullptr) return;
+    Outbox out(n());
+    out.broadcast(body);
+    e_.network_.post(pid, e_.current_round_, out, /*correct=*/false);
+  }
+
+  [[nodiscard]] std::span<const Message> posted_this_round() const override {
+    return e_.posted_this_round_;
+  }
+
+  [[nodiscard]] const ThresholdFamily& crypto() const override {
+    return e_.family_;
+  }
+
+ private:
+  Executor& e_;
+};
+
+Executor::Executor(const ThresholdFamily& family,
+                   std::vector<KeyBundle> bundles,
+                   std::vector<std::unique_ptr<IProcess>> processes,
+                   Adversary& adversary)
+    : family_(family),
+      network_(family.n()),
+      bundles_(std::move(bundles)),
+      processes_(std::move(processes)),
+      adversary_(adversary),
+      corrupted_(family.n(), false) {
+  MEWC_CHECK(bundles_.size() == family.n());
+  MEWC_CHECK(processes_.size() == family.n());
+}
+
+void Executor::run(Round total_rounds) {
+  Control ctrl(*this);
+  adversary_.setup(ctrl);
+
+  const std::uint32_t n = network_.n();
+  for (Round r = 1; r <= total_rounds; ++r) {
+    current_round_ = r;
+    adversary_.pre_round(r, ctrl);
+
+    // Correct sends, collected for the adversary's rushing view.
+    posted_this_round_.clear();
+    for (ProcessId pid = 0; pid < n; ++pid) {
+      if (corrupted_[pid]) continue;
+      Outbox out(n);
+      processes_[pid]->on_send(r, out);
+      for (const auto& [to, body] : out.sends()) {
+        Message m;
+        m.from = pid;
+        m.to = to;
+        m.round = r;
+        m.words = Message::cost_of(*body);
+        m.body = body;
+        posted_this_round_.push_back(m);
+      }
+      network_.post(pid, r, out, /*correct=*/true);
+    }
+
+    // Byzantine traffic, injected with full knowledge of the round's
+    // correct messages (rushing adversary).
+    adversary_.act(r, ctrl);
+
+    // Delivery: every correct process consumes its round-r inbox.
+    for (ProcessId pid = 0; pid < n; ++pid) {
+      if (corrupted_[pid]) continue;
+      processes_[pid]->on_receive(r, network_.inbox(pid));
+    }
+    network_.end_round();
+  }
+}
+
+bool Executor::is_corrupted(ProcessId pid) const {
+  return pid < corrupted_.size() && corrupted_[pid];
+}
+
+std::uint32_t Executor::corrupted_count() const { return corrupted_count_; }
+
+std::vector<ProcessId> Executor::corrupted() const {
+  std::vector<ProcessId> out;
+  for (ProcessId p = 0; p < corrupted_.size(); ++p) {
+    if (corrupted_[p]) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace mewc

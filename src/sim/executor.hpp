@@ -1,0 +1,72 @@
+// Round-lockstep executor: drives correct processes and the adversary
+// through the synchronous schedule and owns the key material.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "crypto/family.hpp"
+#include "net/network.hpp"
+#include "sim/adversary.hpp"
+#include "sim/process.hpp"
+
+namespace mewc {
+
+class Executor {
+ public:
+  /// `processes[i]` is the correct implementation of process i; entries for
+  /// processes the adversary corrupts at setup simply never run. `bundles`
+  /// are the key bundles the harness issued (processes hold non-owning
+  /// pointers into this vector; vector move keeps element addresses stable).
+  Executor(const ThresholdFamily& family, std::vector<KeyBundle> bundles,
+           std::vector<std::unique_ptr<IProcess>> processes,
+           Adversary& adversary);
+
+  /// Runs rounds 1..total_rounds.
+  void run(Round total_rounds);
+
+  /// Installs a per-message payload transformer (see SyncNetwork). Call
+  /// before run().
+  void set_payload_transform(
+      std::function<PayloadPtr(const PayloadPtr&)> transform) {
+    network_.set_transform(std::move(transform));
+  }
+
+  /// Installs a per-message observer (see SyncNetwork). Call before run().
+  void set_message_recorder(
+      std::function<void(const Message&, bool)> recorder) {
+    network_.set_recorder(std::move(recorder));
+  }
+
+  [[nodiscard]] const Meter& meter() const { return network_.meter(); }
+  [[nodiscard]] const SyncNetwork& network() const { return network_; }
+
+  [[nodiscard]] bool is_corrupted(ProcessId pid) const;
+  [[nodiscard]] std::uint32_t corrupted_count() const;
+  [[nodiscard]] std::vector<ProcessId> corrupted() const;
+
+  /// The key bundle of process pid; protocols hold a pointer to theirs.
+  [[nodiscard]] const KeyBundle& bundle(ProcessId pid) const {
+    return bundles_[pid];
+  }
+
+  [[nodiscard]] IProcess& process(ProcessId pid) { return *processes_[pid]; }
+  [[nodiscard]] const IProcess& process(ProcessId pid) const {
+    return *processes_[pid];
+  }
+
+ private:
+  class Control;
+
+  const ThresholdFamily& family_;
+  SyncNetwork network_;
+  std::vector<KeyBundle> bundles_;
+  std::vector<std::unique_ptr<IProcess>> processes_;
+  Adversary& adversary_;
+  std::vector<bool> corrupted_;
+  std::uint32_t corrupted_count_ = 0;
+  std::vector<Message> posted_this_round_;
+  Round current_round_ = 0;
+};
+
+}  // namespace mewc

@@ -1,0 +1,26 @@
+// Interface every correct protocol process implements. The executor drives
+// each round in two steps, matching the paper's pseudocode structure:
+// "Round r: [send what the algorithm says] ... if received [...] then
+// [state transition]".
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "net/message.hpp"
+#include "net/outbox.hpp"
+
+namespace mewc {
+
+class IProcess {
+ public:
+  virtual ~IProcess() = default;
+
+  /// Emits this round's messages based on state as of the end of round r-1.
+  virtual void on_send(Round r, Outbox& out) = 0;
+
+  /// Consumes everything delivered in round r and transitions state.
+  virtual void on_receive(Round r, std::span<const Message> inbox) = 0;
+};
+
+}  // namespace mewc

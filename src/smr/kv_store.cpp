@@ -1,0 +1,75 @@
+#include "smr/kv_store.hpp"
+
+#include "common/hash.hpp"
+
+namespace mewc::smr {
+
+namespace {
+constexpr std::uint64_t kOpShift = 60;
+constexpr std::uint64_t kKeyShift = 40;
+constexpr std::uint64_t kKeyMask = (1ull << 20) - 1;
+constexpr std::uint64_t kArgMask = (1ull << 40) - 1;
+}  // namespace
+
+Value Command::pack() const {
+  MEWC_CHECK_MSG(key <= kKeyMask, "key exceeds 20 bits");
+  MEWC_CHECK_MSG(arg <= kArgMask, "arg exceeds 40 bits");
+  return Value{(static_cast<std::uint64_t>(op) << kOpShift) |
+               (static_cast<std::uint64_t>(key) << kKeyShift) | arg};
+}
+
+Command Command::unpack(Value v) {
+  if (v.is_bottom() || v.is_idk()) return Command{};
+  Command c;
+  const auto op = static_cast<std::uint8_t>(v.raw >> kOpShift);
+  if (op > static_cast<std::uint8_t>(Op::kErase)) return Command{};  // noop
+  c.op = static_cast<Op>(op);
+  c.key = static_cast<std::uint32_t>((v.raw >> kKeyShift) & kKeyMask);
+  c.arg = v.raw & kArgMask;
+  return c;
+}
+
+void KvState::apply(const Command& cmd) {
+  switch (cmd.op) {
+    case Command::Op::kNoop:
+      break;
+    case Command::Op::kPut:
+      map_[cmd.key] = cmd.arg;
+      break;
+    case Command::Op::kAdd:
+      map_[cmd.key] += cmd.arg;
+      break;
+    case Command::Op::kErase:
+      map_.erase(cmd.key);
+      break;
+  }
+  digest_ = hash_combine(
+      digest_, hash_combine(static_cast<std::uint64_t>(cmd.op),
+                            hash_combine(cmd.key, cmd.arg)));
+}
+
+std::optional<std::uint64_t> KvState::get(std::uint32_t key) const {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ReplicatedKvStore::submit(const Command& cmd,
+                               const Ledger::AdversaryFactory& adversary) {
+  const SlotRecord& rec = ledger_.append(cmd.pack(), adversary);
+  if (rec.skipped) return false;
+  // Every replica applies the agreed slot outcome — which may differ from
+  // the submitted command if the slot's proposer was Byzantine.
+  const Command agreed = Command::unpack(rec.value);
+  for (KvState& state : states_) state.apply(agreed);
+  return true;
+}
+
+bool ReplicatedKvStore::consistent() const {
+  for (std::size_t p = 1; p < states_.size(); ++p) {
+    if (states_[p].digest() != states_[0].digest()) return false;
+  }
+  return true;
+}
+
+}  // namespace mewc::smr

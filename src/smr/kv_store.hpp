@@ -1,0 +1,87 @@
+// A replicated key-value store on top of the smr::Ledger — the "state
+// machine" in state-machine replication. Commands are packed into the
+// protocol's one-word values (the paper's values come from a finite
+// domain), committed through BB slots, and applied in ledger order by a
+// deterministic transition function; any two replicas that applied the
+// same log hold bit-identical state, which the state digest certifies.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "smr/ledger.hpp"
+
+namespace mewc::smr {
+
+/// A one-word KV command: 4-bit opcode, 20-bit key, 40-bit argument.
+struct Command {
+  enum class Op : std::uint8_t {
+    kNoop = 0,
+    kPut = 1,     // key <- arg
+    kAdd = 2,     // key <- key + arg (missing keys start at 0)
+    kErase = 3,   // remove key
+  };
+
+  Op op = Op::kNoop;
+  std::uint32_t key = 0;   // < 2^20
+  std::uint64_t arg = 0;   // < 2^40
+
+  [[nodiscard]] Value pack() const;
+  /// Unpacks a committed value; malformed words decode to kNoop (a
+  /// Byzantine proposer can only waste its own slot).
+  [[nodiscard]] static Command unpack(Value v);
+
+  [[nodiscard]] static Command put(std::uint32_t key, std::uint64_t arg) {
+    return Command{Op::kPut, key, arg};
+  }
+  [[nodiscard]] static Command add(std::uint32_t key, std::uint64_t arg) {
+    return Command{Op::kAdd, key, arg};
+  }
+  [[nodiscard]] static Command erase(std::uint32_t key) {
+    return Command{Op::kErase, key, 0};
+  }
+};
+
+/// Deterministic state: applies commands in order, digests its contents.
+class KvState {
+ public:
+  void apply(const Command& cmd);
+
+  [[nodiscard]] std::optional<std::uint64_t> get(std::uint32_t key) const;
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+  /// Order-insensitive-content, order-sensitive-history digest: two
+  /// replicas match iff they applied the same command sequence.
+  [[nodiscard]] std::uint64_t digest() const { return digest_; }
+
+ private:
+  std::map<std::uint32_t, std::uint64_t> map_;
+  std::uint64_t digest_ = 0x6b76;  // "kv"
+};
+
+/// The replicated store: a Ledger plus one KvState per replica, applied
+/// from each slot's agreed outcome. Skipped slots apply nothing.
+class ReplicatedKvStore {
+ public:
+  explicit ReplicatedKvStore(Ledger::Config config)
+      : ledger_(config), states_(config.n) {}
+
+  /// Commits one command through the next BB slot (see Ledger::append).
+  /// Returns true if the command landed (false: slot skipped).
+  bool submit(const Command& cmd,
+              const Ledger::AdversaryFactory& adversary = nullptr);
+
+  [[nodiscard]] const Ledger& ledger() const { return ledger_; }
+  [[nodiscard]] const KvState& replica(ProcessId p) const {
+    return states_[p];
+  }
+
+  /// All replicas hold identical state.
+  [[nodiscard]] bool consistent() const;
+
+ private:
+  Ledger ledger_;
+  std::vector<KvState> states_;
+};
+
+}  // namespace mewc::smr

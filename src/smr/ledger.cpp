@@ -1,0 +1,95 @@
+#include "smr/ledger.hpp"
+
+#include "ba/adversaries/adversaries.hpp"
+#include "common/hash.hpp"
+
+namespace mewc::smr {
+
+Ledger::Ledger(Config config)
+    : config_(config), digest_(mix64(config.seed ^ 0x1ed6e2)) {
+  MEWC_CHECK(config_.n >= 2 * config_.t + 1);
+}
+
+ProcessId Ledger::next_proposer() const {
+  return static_cast<ProcessId>(slots_.size() % config_.n);
+}
+
+const SlotRecord& Ledger::append(Value v, const AdversaryFactory& adversary) {
+  const std::uint64_t slot = slots_.size();
+  const ProcessId proposer = next_proposer();
+
+  harness::RunSpec spec = harness::RunSpec::with(config_.n, config_.t);
+  spec.backend = config_.backend;
+  spec.seed = config_.seed;
+  // Distinct instance nonce per slot: checkpoints use the odd lane.
+  spec.instance = config_.base_instance + 2 * slot;
+
+  std::unique_ptr<Adversary> adv;
+  if (adversary) adv = adversary(slot, proposer);
+  adv::NullAdversary null_adv;
+  Adversary& adv_ref = adv ? *adv : static_cast<Adversary&>(null_adv);
+
+  const harness::BbResult res = harness::run_bb(spec, proposer, v, adv_ref);
+
+  SlotRecord rec;
+  rec.slot = slot;
+  rec.proposer = proposer;
+  rec.agreement = res.agreement();
+  rec.fallback = res.any_fallback();
+  rec.words = res.meter.words_correct;
+  rec.value = res.decision();
+  rec.skipped = rec.value.is_bottom();
+
+  healthy_ &= rec.agreement;
+  total_words_ += rec.words;
+  // The digest covers the agreed outcome of every slot, skips included.
+  digest_ = hash_combine(digest_, hash_combine(slot, rec.value.raw));
+  slots_.push_back(rec);
+
+  if (!rec.skipped && config_.checkpoint_every != 0) {
+    if (++since_checkpoint_ >= config_.checkpoint_every) {
+      since_checkpoint_ = 0;
+      run_checkpoint(adversary);
+    }
+  }
+  return slots_.back();
+}
+
+void Ledger::run_checkpoint(const AdversaryFactory& adversary) {
+  harness::RunSpec spec = harness::RunSpec::with(config_.n, config_.t);
+  spec.backend = config_.backend;
+  spec.seed = config_.seed;
+  spec.instance = config_.base_instance + 2 * slots_.size() + 1;
+
+  // Every correct replica holds the same log (per-slot agreement), so all
+  // propose "my state matches the digest" = 1; the binary strong BA then
+  // seals the checkpoint, cheaply when the round is failure-free (Lemma 8).
+  std::unique_ptr<Adversary> adv;
+  if (adversary) adv = adversary(slots_.size(), kNoProcess);
+  adv::NullAdversary null_adv;
+  Adversary& adv_ref = adv ? *adv : static_cast<Adversary&>(null_adv);
+
+  const harness::SbaResult res = harness::run_strong_ba(
+      spec, std::vector<Value>(config_.n, Value(1)), adv_ref);
+
+  CheckpointRecord rec;
+  rec.after_slot = slots_.size();
+  rec.ledger_digest = digest_;
+  rec.agreement = res.agreement();
+  rec.accepted = res.decision() == Value(1);
+  rec.words = res.meter.words_correct;
+
+  healthy_ &= rec.agreement && rec.accepted;
+  total_words_ += rec.words;
+  checkpoints_.push_back(rec);
+}
+
+std::vector<Value> Ledger::committed() const {
+  std::vector<Value> out;
+  for (const SlotRecord& s : slots_) {
+    if (!s.skipped) out.push_back(s.value);
+  }
+  return out;
+}
+
+}  // namespace mewc::smr

@@ -1,0 +1,512 @@
+#include "wire/codec.hpp"
+
+#include "ba/bb/bb.hpp"
+#include "ba/fallback/dolev_strong.hpp"
+#include "ba/strong_ba/strong_ba.hpp"
+#include "ba/vector/interactive_consistency.hpp"
+#include "ba/weak_ba/messages.hpp"
+#include "common/check.hpp"
+
+namespace mewc::wire {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Primitive writer/reader.
+// ---------------------------------------------------------------------------
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool done() const { return ok_ && pos_ == bytes_.size(); }
+
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return bytes_[pos_++];
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{bytes_[pos_++]} << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{bytes_[pos_++]} << (8 * i);
+    return v;
+  }
+  bool boolean() {
+    const std::uint8_t v = u8();
+    if (v > 1) ok_ = false;  // canonical booleans only
+    return v == 1;
+  }
+
+  /// Consumes `len` raw bytes (for nested encodings).
+  std::span<const std::uint8_t> take_bytes(std::uint32_t len) {
+    if (!need(len)) return {};
+    const auto out = bytes_.subspan(pos_, len);
+    pos_ += len;
+    return out;
+  }
+
+ private:
+  bool need(std::size_t k) {
+    if (!ok_ || bytes_.size() - pos_ < k) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Compound field codecs.
+// ---------------------------------------------------------------------------
+
+void put_signature(Writer& w, const Signature& s) {
+  w.u32(s.signer);
+  w.u64(s.digest.bits);
+  w.u64(s.tag);
+}
+
+Signature get_signature(Reader& r) {
+  Signature s;
+  s.signer = r.u32();
+  s.digest.bits = r.u64();
+  s.tag = r.u64();
+  return s;
+}
+
+void put_partial(Writer& w, const PartialSig& p) {
+  w.u32(p.signer);
+  w.u64(p.digest.bits);
+  w.u32(p.k);
+  w.u64(p.tag);
+}
+
+PartialSig get_partial(Reader& r) {
+  PartialSig p;
+  p.signer = r.u32();
+  p.digest.bits = r.u64();
+  p.k = r.u32();
+  p.tag = r.u64();
+  return p;
+}
+
+void put_threshold(Writer& w, const ThresholdSig& t) {
+  w.u64(t.digest.bits);
+  w.u32(t.k);
+  w.u64(t.tag);
+}
+
+ThresholdSig get_threshold(Reader& r) {
+  ThresholdSig t;
+  t.digest.bits = r.u64();
+  t.k = r.u32();
+  t.tag = r.u64();
+  return t;
+}
+
+void put_signer_set(Writer& w, const SignerSet& s) {
+  w.u32(s.universe());
+  const auto members = s.members();
+  w.u32(static_cast<std::uint32_t>(members.size()));
+  for (ProcessId p : members) w.u32(p);
+}
+
+std::optional<SignerSet> get_signer_set(Reader& r) {
+  const std::uint32_t universe = r.u32();
+  const std::uint32_t count = r.u32();
+  if (!r.ok() || universe > 1u << 20 || count > universe) return std::nullopt;
+  SignerSet s(universe);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t pid = r.u32();
+    if (!r.ok() || pid >= universe || !s.insert(pid)) return std::nullopt;
+  }
+  return s;
+}
+
+void put_agg(Writer& w, const AggSignature& a) {
+  w.u64(a.digest.bits);
+  w.u64(a.tag);
+  put_signer_set(w, a.signers);
+}
+
+std::optional<AggSignature> get_agg(Reader& r) {
+  AggSignature a;
+  a.digest.bits = r.u64();
+  a.tag = r.u64();
+  auto signers = get_signer_set(r);
+  if (!signers) return std::nullopt;
+  a.signers = std::move(*signers);
+  return a;
+}
+
+void put_wire_value(Writer& w, const WireValue& v) {
+  w.u64(v.value.raw);
+  w.u8(static_cast<std::uint8_t>(v.prov));
+  w.u64(v.aux);
+  w.boolean(v.sig.has_value());
+  if (v.sig) put_signature(w, *v.sig);
+  w.boolean(v.cert.has_value());
+  if (v.cert) put_threshold(w, *v.cert);
+}
+
+std::optional<WireValue> get_wire_value(Reader& r) {
+  WireValue v;
+  v.value.raw = r.u64();
+  const std::uint8_t prov = r.u8();
+  if (prov > static_cast<std::uint8_t>(Provenance::kCertified)) {
+    return std::nullopt;
+  }
+  v.prov = static_cast<Provenance>(prov);
+  v.aux = r.u64();
+  if (r.boolean()) v.sig = get_signature(r);
+  if (r.boolean()) v.cert = get_threshold(r);
+  if (!r.ok()) return std::nullopt;
+  // Canonical form: attachments must match the claimed provenance.
+  if ((v.prov == Provenance::kSigned) != v.sig.has_value()) return std::nullopt;
+  if ((v.prov == Provenance::kCertified) != v.cert.has_value()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Per-payload encoders.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+PayloadPtr finish(Reader& r, std::shared_ptr<T> msg) {
+  if (!r.done()) return nullptr;
+  return msg;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::uint8_t>> encode(const Payload& payload) {
+  Writer w;
+  if (const auto* m = dynamic_cast<const wba::ProposeMsg*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(WireType::kWbaPropose));
+    w.u64(m->phase);
+    put_wire_value(w, m->value);
+  } else if (const auto* m = dynamic_cast<const wba::VoteMsg*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(WireType::kWbaVote));
+    w.u64(m->phase);
+    put_partial(w, m->partial);
+  } else if (const auto* m = dynamic_cast<const wba::CommitMsg*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(WireType::kWbaCommit));
+    w.u64(m->phase);
+    put_wire_value(w, m->value);
+    w.u64(m->level);
+    put_threshold(w, m->qc);
+  } else if (const auto* m = dynamic_cast<const wba::DecideMsg*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(WireType::kWbaDecide));
+    w.u64(m->phase);
+    put_partial(w, m->partial);
+  } else if (const auto* m =
+                 dynamic_cast<const wba::FinalizedMsg*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(WireType::kWbaFinalized));
+    w.u64(m->phase);
+    put_wire_value(w, m->value);
+    put_threshold(w, m->qc);
+  } else if (const auto* m = dynamic_cast<const wba::HelpReqMsg*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(WireType::kWbaHelpReq));
+    put_partial(w, m->partial);
+  } else if (const auto* m = dynamic_cast<const wba::HelpMsg*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(WireType::kWbaHelp));
+    put_wire_value(w, m->value);
+    w.u64(m->proof_phase);
+    put_threshold(w, m->decide_proof);
+  } else if (const auto* m = dynamic_cast<const wba::FallbackMsg*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(WireType::kWbaFallback));
+    put_threshold(w, m->fallback_qc);
+    w.boolean(m->has_decision);
+    if (m->has_decision) {
+      put_wire_value(w, m->value);
+      w.u64(m->proof_phase);
+      put_threshold(w, m->decide_proof);
+    }
+  } else if (const auto* m =
+                 dynamic_cast<const bb::SenderValueMsg*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(WireType::kBbSenderValue));
+    put_wire_value(w, m->value);
+  } else if (const auto* m = dynamic_cast<const bb::HelpReqMsg*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(WireType::kBbHelpReq));
+    w.u64(m->phase);
+  } else if (const auto* m =
+                 dynamic_cast<const bb::ReplyValueMsg*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(WireType::kBbReplyValue));
+    w.u64(m->phase);
+    put_wire_value(w, m->value);
+  } else if (const auto* m = dynamic_cast<const bb::IdkMsg*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(WireType::kBbIdk));
+    w.u64(m->phase);
+    put_partial(w, m->partial);
+  } else if (const auto* m =
+                 dynamic_cast<const bb::LeaderValueMsg*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(WireType::kBbLeaderValue));
+    w.u64(m->phase);
+    put_wire_value(w, m->value);
+  } else if (const auto* m = dynamic_cast<const sba::InputMsg*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(WireType::kSbaInput));
+    w.u64(m->value.raw);
+    put_partial(w, m->partial);
+  } else if (const auto* m =
+                 dynamic_cast<const sba::ProposeCertMsg*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(WireType::kSbaProposeCert));
+    w.u64(m->value.raw);
+    put_threshold(w, m->qc);
+  } else if (const auto* m =
+                 dynamic_cast<const sba::DecideVoteMsg*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(WireType::kSbaDecideVote));
+    w.u64(m->value.raw);
+    put_partial(w, m->partial);
+  } else if (const auto* m =
+                 dynamic_cast<const sba::DecideCertMsg*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(WireType::kSbaDecideCert));
+    w.u64(m->value.raw);
+    put_threshold(w, m->qc);
+  } else if (const auto* m = dynamic_cast<const sba::FallbackMsg*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(WireType::kSbaFallback));
+    w.boolean(m->has_decision);
+    w.u64(m->value.raw);
+    if (m->has_decision) put_threshold(w, m->proof);
+  } else if (const auto* m =
+                 dynamic_cast<const fallback::DsRelayMsg*>(&payload)) {
+    w.u8(static_cast<std::uint8_t>(WireType::kDsRelay));
+    w.u32(m->instance);
+    put_wire_value(w, m->value);
+    put_agg(w, m->chain);
+  } else if (const auto* m = dynamic_cast<const ic::MuxMsg*>(&payload)) {
+    if (m->inner == nullptr) return std::nullopt;
+    const auto inner = encode(*m->inner);
+    if (!inner) return std::nullopt;
+    w.u8(static_cast<std::uint8_t>(WireType::kIcMux));
+    w.u32(m->lane);
+    w.u32(static_cast<std::uint32_t>(inner->size()));
+    for (std::uint8_t b : *inner) w.u8(b);
+  } else {
+    return std::nullopt;  // non-protocol payload (test-only types)
+  }
+  return w.take();
+}
+
+PayloadPtr decode(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  const auto type = static_cast<WireType>(r.u8());
+  if (!r.ok()) return nullptr;
+
+  switch (type) {
+    case WireType::kWbaPropose: {
+      auto m = std::make_shared<wba::ProposeMsg>();
+      m->phase = r.u64();
+      auto v = get_wire_value(r);
+      if (!v) return nullptr;
+      m->value = *v;
+      return finish(r, m);
+    }
+    case WireType::kWbaVote: {
+      auto m = std::make_shared<wba::VoteMsg>();
+      m->phase = r.u64();
+      m->partial = get_partial(r);
+      return finish(r, m);
+    }
+    case WireType::kWbaCommit: {
+      auto m = std::make_shared<wba::CommitMsg>();
+      m->phase = r.u64();
+      auto v = get_wire_value(r);
+      if (!v) return nullptr;
+      m->value = *v;
+      m->level = r.u64();
+      m->qc = get_threshold(r);
+      return finish(r, m);
+    }
+    case WireType::kWbaDecide: {
+      auto m = std::make_shared<wba::DecideMsg>();
+      m->phase = r.u64();
+      m->partial = get_partial(r);
+      return finish(r, m);
+    }
+    case WireType::kWbaFinalized: {
+      auto m = std::make_shared<wba::FinalizedMsg>();
+      m->phase = r.u64();
+      auto v = get_wire_value(r);
+      if (!v) return nullptr;
+      m->value = *v;
+      m->qc = get_threshold(r);
+      return finish(r, m);
+    }
+    case WireType::kWbaHelpReq: {
+      auto m = std::make_shared<wba::HelpReqMsg>();
+      m->partial = get_partial(r);
+      return finish(r, m);
+    }
+    case WireType::kWbaHelp: {
+      auto m = std::make_shared<wba::HelpMsg>();
+      auto v = get_wire_value(r);
+      if (!v) return nullptr;
+      m->value = *v;
+      m->proof_phase = r.u64();
+      m->decide_proof = get_threshold(r);
+      return finish(r, m);
+    }
+    case WireType::kWbaFallback: {
+      auto m = std::make_shared<wba::FallbackMsg>();
+      m->fallback_qc = get_threshold(r);
+      m->has_decision = r.boolean();
+      if (m->has_decision) {
+        auto v = get_wire_value(r);
+        if (!v) return nullptr;
+        m->value = *v;
+        m->proof_phase = r.u64();
+        m->decide_proof = get_threshold(r);
+      }
+      return finish(r, m);
+    }
+    case WireType::kBbSenderValue: {
+      auto m = std::make_shared<bb::SenderValueMsg>();
+      auto v = get_wire_value(r);
+      if (!v) return nullptr;
+      m->value = *v;
+      return finish(r, m);
+    }
+    case WireType::kBbHelpReq: {
+      auto m = std::make_shared<bb::HelpReqMsg>();
+      m->phase = r.u64();
+      return finish(r, m);
+    }
+    case WireType::kBbReplyValue: {
+      auto m = std::make_shared<bb::ReplyValueMsg>();
+      m->phase = r.u64();
+      auto v = get_wire_value(r);
+      if (!v) return nullptr;
+      m->value = *v;
+      return finish(r, m);
+    }
+    case WireType::kBbIdk: {
+      auto m = std::make_shared<bb::IdkMsg>();
+      m->phase = r.u64();
+      m->partial = get_partial(r);
+      return finish(r, m);
+    }
+    case WireType::kBbLeaderValue: {
+      auto m = std::make_shared<bb::LeaderValueMsg>();
+      m->phase = r.u64();
+      auto v = get_wire_value(r);
+      if (!v) return nullptr;
+      m->value = *v;
+      return finish(r, m);
+    }
+    case WireType::kSbaInput: {
+      auto m = std::make_shared<sba::InputMsg>();
+      m->value.raw = r.u64();
+      m->partial = get_partial(r);
+      return finish(r, m);
+    }
+    case WireType::kSbaProposeCert: {
+      auto m = std::make_shared<sba::ProposeCertMsg>();
+      m->value.raw = r.u64();
+      m->qc = get_threshold(r);
+      return finish(r, m);
+    }
+    case WireType::kSbaDecideVote: {
+      auto m = std::make_shared<sba::DecideVoteMsg>();
+      m->value.raw = r.u64();
+      m->partial = get_partial(r);
+      return finish(r, m);
+    }
+    case WireType::kSbaDecideCert: {
+      auto m = std::make_shared<sba::DecideCertMsg>();
+      m->value.raw = r.u64();
+      m->qc = get_threshold(r);
+      return finish(r, m);
+    }
+    case WireType::kSbaFallback: {
+      auto m = std::make_shared<sba::FallbackMsg>();
+      m->has_decision = r.boolean();
+      m->value.raw = r.u64();
+      if (m->has_decision) m->proof = get_threshold(r);
+      return finish(r, m);
+    }
+    case WireType::kDsRelay: {
+      auto m = std::make_shared<fallback::DsRelayMsg>();
+      m->instance = r.u32();
+      auto v = get_wire_value(r);
+      if (!v) return nullptr;
+      m->value = *v;
+      auto chain = get_agg(r);
+      if (!chain) return nullptr;
+      m->chain = std::move(*chain);
+      return finish(r, m);
+    }
+    case WireType::kIcMux: {
+      auto m = std::make_shared<ic::MuxMsg>();
+      m->lane = r.u32();
+      const std::uint32_t len = r.u32();
+      if (!r.ok() || len > 1u << 20) return nullptr;
+      const auto inner_bytes = r.take_bytes(len);
+      if (!r.ok()) return nullptr;
+      // Lanes carry only base protocol messages: reject nested mux BEFORE
+      // recursing, so crafted input cannot drive unbounded recursion.
+      if (inner_bytes.empty() ||
+          inner_bytes.front() ==
+              static_cast<std::uint8_t>(WireType::kIcMux)) {
+        return nullptr;
+      }
+      m->inner = decode(inner_bytes);  // one nesting level
+      if (m->inner == nullptr) return nullptr;
+      return finish(r, m);
+    }
+  }
+  return nullptr;  // unknown tag
+}
+
+namespace {
+
+/// What an unparseable byte string becomes on delivery: a payload no
+/// protocol recognizes, so receivers drop it — exactly how a deployment
+/// treats garbage frames. (An adversary can hand-construct non-canonical
+/// in-memory payloads that have no valid wire form; those must degrade to
+/// noise, not crash the simulation.)
+struct UnparseablePayload final : Payload {
+  [[nodiscard]] std::size_t words() const override { return 1; }
+  [[nodiscard]] const char* kind() const override { return "wire.garbage"; }
+};
+
+}  // namespace
+
+PayloadPtr roundtrip(const PayloadPtr& payload) {
+  MEWC_CHECK(payload != nullptr);
+  const auto bytes = encode(*payload);
+  if (!bytes) return payload;  // non-protocol payload: pass through
+  PayloadPtr parsed = decode(*bytes);
+  if (parsed == nullptr) return std::make_shared<UnparseablePayload>();
+  return parsed;
+}
+
+}  // namespace mewc::wire

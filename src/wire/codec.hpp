@@ -1,0 +1,62 @@
+// Wire codec: byte-level serialization for every protocol message.
+//
+// The simulator normally passes payloads by pointer; this module provides
+// the encoding a real deployment would put on the network, plus a
+// round-trip mode (harness::RunSpec::codec_roundtrip) in which the network
+// re-encodes and re-parses EVERY message — proving no protocol depends on
+// in-memory object sharing, and that the parser rejects malformed bytes
+// instead of crashing.
+//
+// Format: little-endian, length-prefixed containers, one leading type tag
+// per payload. The decoder is total: any byte string either parses into a
+// well-formed payload or returns nullptr.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/payload.hpp"
+
+namespace mewc::wire {
+
+/// Stable on-wire payload type tags.
+enum class WireType : std::uint8_t {
+  kWbaPropose = 1,
+  kWbaVote = 2,
+  kWbaCommit = 3,
+  kWbaDecide = 4,
+  kWbaFinalized = 5,
+  kWbaHelpReq = 6,
+  kWbaHelp = 7,
+  kWbaFallback = 8,
+  kBbSenderValue = 9,
+  kBbHelpReq = 10,
+  kBbReplyValue = 11,
+  kBbIdk = 12,
+  kBbLeaderValue = 13,
+  kSbaInput = 14,
+  kSbaProposeCert = 15,
+  kSbaDecideVote = 16,
+  kSbaDecideCert = 17,
+  kSbaFallback = 18,
+  kDsRelay = 19,
+  kIcMux = 20,
+};
+
+/// Serializes a payload. Returns nullopt for payload types outside the
+/// protocol set (e.g. test-only types) — callers treat those as opaque.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> encode(
+    const Payload& payload);
+
+/// Parses a payload. Returns nullptr on any malformed input: unknown tag,
+/// truncation, trailing garbage, or out-of-range field.
+[[nodiscard]] PayloadPtr decode(std::span<const std::uint8_t> bytes);
+
+/// Transformer for SyncNetwork: encode-then-decode each message, aborting
+/// the run if a correct process ever produced something unencodable or
+/// unparseable. Payload types without a wire form pass through unchanged.
+[[nodiscard]] PayloadPtr roundtrip(const PayloadPtr& payload);
+
+}  // namespace mewc::wire

@@ -1,0 +1,125 @@
+#include "ba/validity/predicate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mewc {
+namespace {
+
+class PredicateTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kT = 2;
+  static constexpr std::uint32_t kN = 5;
+  static constexpr std::uint64_t kInstance = 42;
+  static constexpr ProcessId kSender = 1;
+
+  ThresholdFamily fam_{kN, kT};
+  BbValid bb_{fam_, kInstance, kSender};
+  InputCertified ic_{fam_, kInstance};
+
+  WireValue sender_signed(Value v, ProcessId signer = kSender) {
+    return WireValue::signed_by(
+        v, fam_.pki().issue_key(signer).sign(bb_sender_digest(kInstance, v)));
+  }
+
+  WireValue idk_cert(std::uint64_t j, std::uint32_t signers = kT + 1) {
+    std::vector<PartialSig> ps;
+    for (ProcessId p = 0; p < signers; ++p) {
+      ps.push_back(fam_.scheme(kT + 1).issue_share(p).partial_sign(
+          bb_idk_digest(kInstance, j)));
+    }
+    auto qc = fam_.scheme(kT + 1).combine(ps);
+    return WireValue::certified(kIdkValue, qc.value_or(ThresholdSig{}), j);
+  }
+};
+
+TEST_F(PredicateTest, AlwaysValidAcceptsNonBottom) {
+  AlwaysValid av;
+  EXPECT_TRUE(av.validate(WireValue::plain(Value(0))));
+  EXPECT_FALSE(av.validate(bottom_value()));
+}
+
+TEST_F(PredicateTest, BbValidAcceptsSenderSignedValue) {
+  EXPECT_TRUE(bb_.validate(sender_signed(Value(7))));
+}
+
+TEST_F(PredicateTest, BbValidRejectsNonSenderSignature) {
+  // Signed, but by process 3, not the designated sender.
+  EXPECT_FALSE(bb_.validate(sender_signed(Value(7), 3)));
+}
+
+TEST_F(PredicateTest, BbValidRejectsWrongInstance) {
+  WireValue w = WireValue::signed_by(
+      Value(7),
+      fam_.pki().issue_key(kSender).sign(bb_sender_digest(kInstance + 1,
+                                                          Value(7))));
+  EXPECT_FALSE(bb_.validate(w));
+}
+
+TEST_F(PredicateTest, BbValidRejectsValueSwap) {
+  // Take a real sender signature on 7 and claim it covers 8.
+  WireValue w = sender_signed(Value(7));
+  w.value = Value(8);
+  EXPECT_FALSE(bb_.validate(w));
+}
+
+TEST_F(PredicateTest, BbValidRejectsPlainAndBottom) {
+  EXPECT_FALSE(bb_.validate(WireValue::plain(Value(7))));
+  EXPECT_FALSE(bb_.validate(bottom_value()));
+}
+
+TEST_F(PredicateTest, BbValidAcceptsIdkCertificate) {
+  EXPECT_TRUE(bb_.validate(idk_cert(3)));
+}
+
+TEST_F(PredicateTest, BbValidRejectsIdkCertWithWrongPhaseClaim) {
+  WireValue w = idk_cert(3);
+  w.aux = 4;  // certificate was formed for phase 3
+  EXPECT_FALSE(bb_.validate(w));
+}
+
+TEST_F(PredicateTest, BbValidRejectsIdkCertOnNonIdkValue) {
+  WireValue w = idk_cert(3);
+  w.value = Value(9);
+  EXPECT_FALSE(bb_.validate(w));
+}
+
+TEST_F(PredicateTest, BbValidRejectsUndersizedIdkCert) {
+  // combine() already fails below t+1; a zeroed cert must not verify.
+  WireValue w = idk_cert(3, kT);  // cert field is defaulted garbage
+  EXPECT_FALSE(bb_.validate(w));
+}
+
+TEST_F(PredicateTest, InputCertifiedAcceptsAttestedValue) {
+  std::vector<PartialSig> ps;
+  for (ProcessId p = 0; p < kT + 1; ++p) {
+    ps.push_back(fam_.scheme(kT + 1).issue_share(p).partial_sign(
+        input_attestation_digest(kInstance, Value(5))));
+  }
+  auto qc = fam_.scheme(kT + 1).combine(ps);
+  ASSERT_TRUE(qc.has_value());
+  EXPECT_TRUE(ic_.validate(WireValue::certified(Value(5), *qc)));
+}
+
+TEST_F(PredicateTest, InputCertifiedRejectsValueSwap) {
+  std::vector<PartialSig> ps;
+  for (ProcessId p = 0; p < kT + 1; ++p) {
+    ps.push_back(fam_.scheme(kT + 1).issue_share(p).partial_sign(
+        input_attestation_digest(kInstance, Value(5))));
+  }
+  auto qc = fam_.scheme(kT + 1).combine(ps);
+  ASSERT_TRUE(qc.has_value());
+  EXPECT_FALSE(ic_.validate(WireValue::certified(Value(6), *qc)));
+}
+
+TEST_F(PredicateTest, InputCertifiedRejectsPlainValues) {
+  EXPECT_FALSE(ic_.validate(WireValue::plain(Value(5))));
+}
+
+TEST_F(PredicateTest, NamesAreStable) {
+  EXPECT_STREQ(bb_.name(), "bb_valid");
+  EXPECT_STREQ(ic_.name(), "input_certified");
+  EXPECT_STREQ(AlwaysValid{}.name(), "always_valid");
+}
+
+}  // namespace
+}  // namespace mewc

@@ -1,0 +1,284 @@
+// Randomized property sweeps: protocols x adversaries x (n, f) x seeds.
+// Every run must satisfy Agreement and Termination; Validity is asserted in
+// its protocol-conditional form (BB validity for a correct sender, strong
+// unanimity for unanimous inputs, unique validity for weak BA).
+#include <gtest/gtest.h>
+
+#include "ba/adversaries/adversaries.hpp"
+#include "ba/harness.hpp"
+#include "common/rng.hpp"
+
+namespace mewc {
+namespace {
+
+using harness::RunSpec;
+
+struct SweepParam {
+  std::uint32_t t;
+  std::uint32_t f;
+  std::uint64_t seed;
+};
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  return "t" + std::to_string(info.param.t) + "_f" +
+         std::to_string(info.param.f) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+std::vector<SweepParam> grid() {
+  std::vector<SweepParam> out;
+  for (std::uint32_t t : {1u, 2u, 3u, 4u}) {
+    for (std::uint32_t f = 0; f <= t; ++f) {
+      for (std::uint64_t seed : {11u, 23u}) {
+        out.push_back({t, f, seed});
+      }
+    }
+  }
+  return out;
+}
+
+/// Random crash set of size f (never including `spare` when it matters).
+std::vector<ProcessId> random_victims(Rng& rng, std::uint32_t n,
+                                      std::uint32_t f,
+                                      std::optional<ProcessId> spare = {}) {
+  std::vector<ProcessId> all;
+  for (ProcessId p = 0; p < n; ++p) {
+    if (!spare || p != *spare) all.push_back(p);
+  }
+  std::vector<ProcessId> out;
+  for (std::uint32_t i = 0; i < f && !all.empty(); ++i) {
+    const std::size_t idx = rng.below(all.size());
+    out.push_back(all[idx]);
+    all.erase(all.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Weak BA sweep
+// ---------------------------------------------------------------------------
+
+class WeakBaSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(WeakBaSweep, AgreementTerminationUniqueValidity) {
+  const auto [t, f, seed] = GetParam();
+  auto spec = RunSpec::for_t(t);
+  Rng rng(seed * 1000 + t * 10 + f);
+
+  std::vector<WireValue> inputs;
+  for (std::uint32_t i = 0; i < spec.n; ++i) {
+    inputs.push_back(WireValue::plain(Value(rng.below(3) + 1)));
+  }
+  adv::CrashAdversary adv(random_victims(rng, spec.n, f));
+  const auto res = harness::run_weak_ba(spec, inputs,
+                                        harness::always_valid_factory(), adv);
+
+  EXPECT_TRUE(res.all_decided());
+  EXPECT_TRUE(res.agreement());
+  const WireValue d = res.decision();
+  EXPECT_TRUE(d.is_bottom() || AlwaysValid{}.validate(d));
+  if (adaptive_regime(spec.n, spec.t, res.f())) {
+    EXPECT_FALSE(res.any_fallback());  // Lemma 6
+    EXPECT_FALSE(d.is_bottom());       // some phase certified a real value
+  }
+}
+
+TEST_P(WeakBaSweep, UnanimityImpliesNoBottomWithUnforgeablePredicate) {
+  const auto [t, f, seed] = GetParam();
+  auto spec = RunSpec::for_t(t);
+  spec.seed = seed;
+  Rng rng(seed * 77 + t + f);
+
+  // All correct processes propose the same attested value; the adversary
+  // cannot attest anything else, so unique validity forbids ⊥.
+  ThresholdFamily mint(spec.n, spec.t, spec.backend, spec.seed);
+  std::vector<PartialSig> ps;
+  for (ProcessId p = 0; p < spec.t + 1; ++p) {
+    ps.push_back(mint.scheme(spec.t + 1).issue_share(p).partial_sign(
+        input_attestation_digest(spec.instance, Value(6))));
+  }
+  auto qc = mint.scheme(spec.t + 1).combine(ps);
+  ASSERT_TRUE(qc.has_value());
+  const WireValue attested = WireValue::certified(Value(6), *qc);
+
+  harness::PredicateFactory factory = [](const ThresholdFamily& fam,
+                                         std::uint64_t instance) {
+    return std::make_shared<const InputCertified>(fam, instance);
+  };
+  adv::CrashAdversary adv(random_victims(rng, spec.n, f));
+  const auto res = harness::run_weak_ba(
+      spec, std::vector<WireValue>(spec.n, attested), factory, adv);
+  EXPECT_TRUE(res.all_decided());
+  EXPECT_TRUE(res.agreement());
+  EXPECT_EQ(res.decision().value, Value(6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, WeakBaSweep, ::testing::ValuesIn(grid()),
+                         sweep_name);
+
+// ---------------------------------------------------------------------------
+// BB sweep
+// ---------------------------------------------------------------------------
+
+class BbSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(BbSweep, CorrectSenderValidity) {
+  const auto [t, f, seed] = GetParam();
+  auto spec = RunSpec::for_t(t);
+  Rng rng(seed * 31 + t * 7 + f);
+  const auto sender = static_cast<ProcessId>(rng.below(spec.n));
+  adv::CrashAdversary adv(random_victims(rng, spec.n, f, sender));
+  const auto res = harness::run_bb(spec, sender, Value(500 + seed), adv);
+  EXPECT_TRUE(res.all_decided());
+  EXPECT_TRUE(res.agreement());
+  EXPECT_EQ(res.decision(), Value(500 + seed));
+}
+
+TEST_P(BbSweep, ByzantineSenderAgreement) {
+  const auto [t, f, seed] = GetParam();
+  if (f == 0) GTEST_SKIP() << "needs a Byzantine sender";
+  auto spec = RunSpec::for_t(t);
+  Rng rng(seed * 13 + t * 3 + f);
+  const auto sender = static_cast<ProcessId>(rng.below(spec.n));
+
+  std::vector<std::unique_ptr<Adversary>> parts;
+  const auto mode = static_cast<adv::SenderMode>(rng.below(3));
+  parts.push_back(std::make_unique<adv::BbEquivocatingSender>(
+      sender, spec.instance, mode, Value(70), Value(71),
+      static_cast<std::uint32_t>(rng.below(spec.n))));
+  if (f > 1) {
+    parts.push_back(std::make_unique<adv::CrashAdversary>(
+        random_victims(rng, spec.n, f - 1, sender)));
+  }
+  adv::Composite adv(std::move(parts));
+  const auto res = harness::run_bb(spec, sender, Value(70), adv);
+  EXPECT_TRUE(res.all_decided());
+  EXPECT_TRUE(res.agreement());
+  // Byzantine sender: any common decision is fine; it must be one of the
+  // signed values or ⊥.
+  const Value d = res.decision();
+  EXPECT_TRUE(d == Value(70) || d == Value(71) || d.is_bottom()) << d.raw;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, BbSweep, ::testing::ValuesIn(grid()),
+                         sweep_name);
+
+// ---------------------------------------------------------------------------
+// Strong BA sweep
+// ---------------------------------------------------------------------------
+
+class StrongBaSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(StrongBaSweep, RandomBinaryInputs) {
+  const auto [t, f, seed] = GetParam();
+  auto spec = RunSpec::for_t(t);
+  Rng rng(seed * 91 + t * 5 + f);
+
+  std::vector<Value> inputs;
+  bool all_same = true;
+  for (std::uint32_t i = 0; i < spec.n; ++i) {
+    inputs.push_back(Value(rng.below(2)));
+    all_same &= (inputs[i] == inputs[0]);
+  }
+  adv::CrashAdversary adv(random_victims(rng, spec.n, f));
+  const auto res = harness::run_strong_ba(spec, inputs, adv);
+  EXPECT_TRUE(res.all_decided());
+  EXPECT_TRUE(res.agreement());
+  EXPECT_LE(res.decision().raw, 1u);
+
+  // Strong unanimity, restricted to the surviving (correct) processes'
+  // inputs: if all correct inputs agree, that value must win.
+  std::optional<Value> common;
+  bool correct_unanimous = true;
+  for (ProcessId p = 0; p < spec.n; ++p) {
+    if (res.is_corrupted(p)) continue;
+    if (!common) {
+      common = inputs[p];
+    } else if (*common != inputs[p]) {
+      correct_unanimous = false;
+    }
+  }
+  if (correct_unanimous && common) {
+    EXPECT_EQ(res.decision(), *common);
+  }
+  (void)all_same;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, StrongBaSweep, ::testing::ValuesIn(grid()),
+                         sweep_name);
+
+// ---------------------------------------------------------------------------
+// Adaptive mid-run corruption sweep: random processes crash at random
+// rounds (the Section 2 adaptive adversary in its rawest form).
+// ---------------------------------------------------------------------------
+
+class AdaptiveCrashSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(AdaptiveCrashSweep, WeakBaSurvivesRandomMidRunCrashes) {
+  const auto [t, f, seed] = GetParam();
+  auto spec = RunSpec::for_t(t);
+  const Round horizon = wba::WeakBaProcess::total_rounds(spec.n, spec.t);
+  adv::RandomAdaptiveCrash adv(seed * 313 + t + f, f, horizon);
+  const auto res = harness::run_weak_ba(
+      spec, std::vector<WireValue>(spec.n, WireValue::plain(Value(6))),
+      harness::always_valid_factory(), adv);
+  EXPECT_TRUE(res.all_decided());
+  EXPECT_TRUE(res.agreement());
+  EXPECT_EQ(res.decision().value, Value(6));  // unanimous valid inputs
+}
+
+TEST_P(AdaptiveCrashSweep, BbSurvivesRandomMidRunCrashes) {
+  const auto [t, f, seed] = GetParam();
+  auto spec = RunSpec::for_t(t);
+  const ProcessId sender = spec.n - 1;
+  const Round horizon = bb::BbProcess::total_rounds(spec.n, spec.t);
+  adv::RandomAdaptiveCrash adv(seed * 131 + t + f, f, horizon,
+                               /*spare=*/sender);
+  const auto res = harness::run_bb(spec, sender, Value(44), adv);
+  EXPECT_TRUE(res.all_decided());
+  EXPECT_TRUE(res.agreement());
+  EXPECT_EQ(res.decision(), Value(44));  // validity: the sender is spared
+}
+
+TEST_P(AdaptiveCrashSweep, StrongBaSurvivesRandomMidRunCrashes) {
+  const auto [t, f, seed] = GetParam();
+  auto spec = RunSpec::for_t(t);
+  adv::RandomAdaptiveCrash adv(seed * 717 + t + f, f,
+                               sba::StrongBaProcess::total_rounds(spec.t));
+  const auto res = harness::run_strong_ba(
+      spec, std::vector<Value>(spec.n, Value(1)), adv);
+  EXPECT_TRUE(res.all_decided());
+  EXPECT_TRUE(res.agreement());
+  EXPECT_EQ(res.decision(), Value(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, AdaptiveCrashSweep, ::testing::ValuesIn(grid()),
+                         sweep_name);
+
+// ---------------------------------------------------------------------------
+// Fallback BA sweep with Shamir backend: the real threshold math must
+// carry the protocols end to end, not just unit tests.
+// ---------------------------------------------------------------------------
+
+class ShamirBackendSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ShamirBackendSweep, WeakBaRunsOnRealThresholdCrypto) {
+  const auto [t, f, seed] = GetParam();
+  if (t > 3) GTEST_SKIP() << "keep Shamir runs small";
+  auto spec = RunSpec::for_t(t);
+  spec.backend = ThresholdBackend::kShamir;
+  Rng rng(seed + t + f);
+  adv::CrashAdversary adv(random_victims(rng, spec.n, f));
+  const auto res = harness::run_weak_ba(
+      spec, std::vector<WireValue>(spec.n, WireValue::plain(Value(4))),
+      harness::always_valid_factory(), adv);
+  EXPECT_TRUE(res.all_decided());
+  EXPECT_TRUE(res.agreement());
+  EXPECT_EQ(res.decision().value, Value(4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ShamirBackendSweep,
+                         ::testing::ValuesIn(grid()), sweep_name);
+
+}  // namespace
+}  // namespace mewc

@@ -1,0 +1,213 @@
+// Direct process-level unit tests for Algorithm 5's acceptance rules.
+#include <gtest/gtest.h>
+
+#include "ba/strong_ba/strong_ba.hpp"
+
+namespace mewc {
+namespace {
+
+constexpr std::uint32_t kT = 2;
+constexpr std::uint32_t kN = 5;
+constexpr std::uint64_t kInstance = 6;
+
+class StrongBaUnit : public ::testing::Test {
+ protected:
+  StrongBaUnit() : family_(kN, kT) {
+    for (ProcessId p = 0; p < kN; ++p) {
+      bundles_.push_back(family_.issue_bundle(p));
+    }
+  }
+
+  ProtocolContext ctx(ProcessId id) {
+    ProtocolContext c;
+    c.id = id;
+    c.n = kN;
+    c.t = kT;
+    c.instance = kInstance;
+    c.crypto = &family_;
+    c.keys = &bundles_[id];
+    return c;
+  }
+
+  sba::StrongBaProcess make(ProcessId id, Value input = Value(1)) {
+    return sba::StrongBaProcess(ctx(id), input);
+  }
+
+  static Message msg(ProcessId from, Round r, PayloadPtr body) {
+    Message m;
+    m.from = from;
+    m.to = 1;
+    m.round = r;
+    m.words = Message::cost_of(*body);
+    m.body = std::move(body);
+    return m;
+  }
+
+  std::vector<std::pair<ProcessId, PayloadPtr>> drive(
+      sba::StrongBaProcess& proc, Round r, std::vector<Message> inbox = {}) {
+    Outbox out(kN);
+    proc.on_send(r, out);
+    proc.on_receive(r, inbox);
+    return out.sends();
+  }
+
+  ThresholdSig propose_qc(Value v) {
+    std::vector<PartialSig> ps;
+    for (ProcessId p = 0; p < kT + 1; ++p) {
+      ps.push_back(family_.scheme(kT + 1).issue_share(p).partial_sign(
+          sba::propose_digest(kInstance, v)));
+    }
+    return *family_.scheme(kT + 1).combine(ps);
+  }
+
+  ThresholdSig decide_qc(Value v) {
+    std::vector<PartialSig> ps;
+    for (ProcessId p = 0; p < kN; ++p) {
+      ps.push_back(family_.scheme(kN).issue_share(p).partial_sign(
+          sba::decide_digest(kInstance, v)));
+    }
+    return *family_.scheme(kN).combine(ps);
+  }
+
+  PayloadPtr propose_cert(Value v) {
+    auto m = std::make_shared<sba::ProposeCertMsg>();
+    m->value = v;
+    m->qc = propose_qc(v);
+    return m;
+  }
+
+  PayloadPtr decide_cert(Value v) {
+    auto m = std::make_shared<sba::DecideCertMsg>();
+    m->value = v;
+    m->qc = decide_qc(v);
+    return m;
+  }
+
+  template <typename T>
+  static const T* find_sent(
+      const std::vector<std::pair<ProcessId, PayloadPtr>>& sends) {
+    for (const auto& [to, body] : sends) {
+      if (const T* p = payload_cast<T>(body)) return p;
+    }
+    return nullptr;
+  }
+
+  ThresholdFamily family_;
+  std::vector<KeyBundle> bundles_;
+};
+
+TEST_F(StrongBaUnit, EveryoneSendsInputToLeader) {
+  auto proc = make(3, Value(0));
+  auto sends = drive(proc, 1);
+  const auto* in = find_sent<sba::InputMsg>(sends);
+  ASSERT_NE(in, nullptr);
+  EXPECT_EQ(in->value, Value(0));
+  ASSERT_EQ(sends.size(), 1u);
+  EXPECT_EQ(sends[0].first, sba::StrongBaProcess::kLeader);
+}
+
+TEST_F(StrongBaUnit, RejectsNonBinaryInput) {
+  EXPECT_DEATH(make(0, Value(2)), "binary");
+}
+
+TEST_F(StrongBaUnit, VotesDecideForValidProposeCert) {
+  auto proc = make(3);
+  drive(proc, 1);
+  drive(proc, 2, {msg(0, 2, propose_cert(Value(1)))});
+  auto sends = drive(proc, 3);
+  const auto* d = find_sent<sba::DecideVoteMsg>(sends);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->value, Value(1));
+  EXPECT_EQ(d->partial.k, kN);  // (n, n) scheme
+}
+
+TEST_F(StrongBaUnit, IgnoresProposeCertFromNonLeader) {
+  auto proc = make(3);
+  drive(proc, 1);
+  drive(proc, 2, {msg(2, 2, propose_cert(Value(1)))});
+  EXPECT_TRUE(drive(proc, 3).empty());
+}
+
+TEST_F(StrongBaUnit, IgnoresProposeCertWithWrongValueBinding) {
+  auto proc = make(3);
+  drive(proc, 1);
+  auto m = std::make_shared<sba::ProposeCertMsg>();
+  m->value = Value(0);
+  m->qc = propose_qc(Value(1));  // certificate covers 1
+  drive(proc, 2, {msg(0, 2, m)});
+  EXPECT_TRUE(drive(proc, 3).empty());
+}
+
+TEST_F(StrongBaUnit, SignsDecideForAtMostOneProposal) {
+  auto proc = make(3);
+  drive(proc, 1);
+  drive(proc, 2, {msg(0, 2, propose_cert(Value(0))),
+                  msg(0, 2, propose_cert(Value(1)))});
+  auto sends = drive(proc, 3);
+  std::size_t decide_votes = 0;
+  for (const auto& [to, body] : sends) {
+    decide_votes += payload_cast<sba::DecideVoteMsg>(body) != nullptr;
+  }
+  EXPECT_EQ(decide_votes, 1u);
+}
+
+TEST_F(StrongBaUnit, ValidDecideCertDecidesFast) {
+  auto proc = make(3);
+  for (Round r = 1; r <= 3; ++r) drive(proc, r);
+  drive(proc, 4, {msg(0, 4, decide_cert(Value(1)))});
+  EXPECT_TRUE(proc.decided());
+  EXPECT_EQ(proc.decision(), Value(1));
+  EXPECT_TRUE(proc.stats().decided_fast);
+  EXPECT_EQ(proc.stats().decided_round, 4u);
+  // A decided process does not raise the alarm in round 5.
+  EXPECT_TRUE(drive(proc, 5).empty());
+}
+
+TEST_F(StrongBaUnit, RejectsDecideCertWithWrongScheme) {
+  auto proc = make(3);
+  for (Round r = 1; r <= 3; ++r) drive(proc, r);
+  auto m = std::make_shared<sba::DecideCertMsg>();
+  m->value = Value(1);
+  m->qc = propose_qc(Value(1));  // (t+1)-certificate, not (n, n)
+  drive(proc, 4, {msg(0, 4, m)});
+  EXPECT_FALSE(proc.decided());
+}
+
+TEST_F(StrongBaUnit, UndecidedProcessBroadcastsFallbackAlarm) {
+  auto proc = make(3);
+  for (Round r = 1; r <= 4; ++r) drive(proc, r);
+  auto sends = drive(proc, 5);
+  const auto* f = find_sent<sba::FallbackMsg>(sends);
+  ASSERT_NE(f, nullptr);
+  EXPECT_FALSE(f->has_decision);
+  EXPECT_EQ(sends.size(), kN);
+}
+
+TEST_F(StrongBaUnit, DecidedProcessEchoesProofWhenAlarmed) {
+  auto proc = make(3);
+  for (Round r = 1; r <= 3; ++r) drive(proc, r);
+  drive(proc, 4, {msg(0, 4, decide_cert(Value(1)))});
+  // Another process's alarm arrives in round 5; the decided process echoes
+  // its decision and proof in round 6 (Algorithm 5 lines 25-27).
+  auto alarm = std::make_shared<sba::FallbackMsg>();
+  drive(proc, 5, {msg(2, 5, alarm)});
+  auto sends = drive(proc, 6);
+  const auto* f = find_sent<sba::FallbackMsg>(sends);
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->has_decision);
+  EXPECT_EQ(f->value, Value(1));
+  EXPECT_EQ(f->proof.k, kN);
+}
+
+TEST_F(StrongBaUnit, QuietDecidedProcessNeverSpeaksAgain) {
+  auto proc = make(3);
+  for (Round r = 1; r <= 3; ++r) drive(proc, r);
+  drive(proc, 4, {msg(0, 4, decide_cert(Value(1)))});
+  for (Round r = 5; r <= sba::StrongBaProcess::total_rounds(kT); ++r) {
+    EXPECT_TRUE(drive(proc, r).empty()) << "round " << r;
+  }
+  EXPECT_EQ(proc.decision(), Value(1));
+}
+
+}  // namespace
+}  // namespace mewc

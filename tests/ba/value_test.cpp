@@ -1,0 +1,96 @@
+#include "ba/value.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/family.hpp"
+
+namespace mewc {
+namespace {
+
+TEST(Value, BottomAndIdkAreDistinguished) {
+  EXPECT_TRUE(kBottom.is_bottom());
+  EXPECT_FALSE(kBottom.is_idk());
+  EXPECT_TRUE(kIdkValue.is_idk());
+  EXPECT_FALSE(kIdkValue.is_bottom());
+  EXPECT_NE(kBottom, kIdkValue);
+}
+
+TEST(ModelParams, QuorumIntersectionProperty) {
+  // ceil((n+t+1)/2): two quorums overlap in >= t+1 processes (Section 6).
+  for (std::uint32_t t = 1; t <= 50; ++t) {
+    const std::uint32_t n = n_for_t(t);
+    const std::uint32_t q = commit_quorum(n, t);
+    EXPECT_GE(2 * q, n + t + 1) << "t=" << t;       // overlap >= t+1
+    EXPECT_LT(2 * (q - 1), n + t + 1) << "t=" << t; // and q is minimal
+  }
+}
+
+TEST(ModelParams, AdaptiveRegimeBoundary) {
+  // n - f >= quorum iff the paper's phases can certify from correct votes.
+  const std::uint32_t t = 10, n = n_for_t(t);  // n=21, quorum=16
+  EXPECT_EQ(commit_quorum(n, t), 16u);
+  EXPECT_TRUE(adaptive_regime(n, t, 0));
+  EXPECT_TRUE(adaptive_regime(n, t, 5));
+  EXPECT_FALSE(adaptive_regime(n, t, 6));
+  EXPECT_FALSE(adaptive_regime(n, t, t));
+}
+
+class WireValueTest : public ::testing::Test {
+ protected:
+  ThresholdFamily fam_{5, 2};
+};
+
+TEST_F(WireValueTest, PlainRoundTrip) {
+  const WireValue w = WireValue::plain(Value(7));
+  EXPECT_EQ(w.prov, Provenance::kPlain);
+  EXPECT_EQ(w.words(), 1u);
+  EXPECT_FALSE(w.is_bottom());
+  EXPECT_TRUE(bottom_value().is_bottom());
+}
+
+TEST_F(WireValueTest, AttachmentsCostWords) {
+  const Signature sig =
+      fam_.pki().issue_key(0).sign(DigestBuilder("x").done());
+  EXPECT_EQ(WireValue::signed_by(Value(1), sig).words(), 2u);
+
+  ThresholdSig cert;
+  EXPECT_EQ(WireValue::certified(Value(1), cert).words(), 2u);
+}
+
+TEST_F(WireValueTest, ContentDigestBindsProvenance) {
+  // The certified object is the signed value itself: stripping or swapping
+  // provenance must change the digest, or certificates could be re-attached.
+  const Signature sig =
+      fam_.pki().issue_key(0).sign(DigestBuilder("x").done());
+  const WireValue plain = WireValue::plain(Value(1));
+  const WireValue signed_v = WireValue::signed_by(Value(1), sig);
+  EXPECT_NE(plain.content_digest(), signed_v.content_digest());
+
+  Signature other = sig;
+  other.tag ^= 1;
+  const WireValue swapped = WireValue::signed_by(Value(1), other);
+  EXPECT_NE(signed_v.content_digest(), swapped.content_digest());
+}
+
+TEST_F(WireValueTest, ContentDigestBindsAux) {
+  ThresholdSig cert;
+  const WireValue a = WireValue::certified(kIdkValue, cert, 1);
+  const WireValue b = WireValue::certified(kIdkValue, cert, 2);
+  EXPECT_NE(a.content_digest(), b.content_digest());
+}
+
+TEST_F(WireValueTest, EqualityIsFullContent) {
+  const Signature sig =
+      fam_.pki().issue_key(0).sign(DigestBuilder("x").done());
+  const WireValue a = WireValue::signed_by(Value(1), sig);
+  WireValue b = a;
+  EXPECT_EQ(a, b);
+  b.value = Value(2);
+  EXPECT_NE(a, b);
+  WireValue c = a;
+  c.prov = Provenance::kPlain;
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace mewc

@@ -1,0 +1,397 @@
+// Direct process-level unit tests for Algorithm 4's subtle acceptance
+// rules: each test drives a single WeakBaProcess with hand-crafted inboxes
+// and checks exactly which messages it emits. This pins the validation
+// branches (wrong leader, invalid proposal, stale or future commit levels,
+// forged certificates) that integration runs only exercise incidentally.
+#include <gtest/gtest.h>
+
+#include "ba/weak_ba/weak_ba.hpp"
+#include "crypto/signer_set.hpp"
+
+namespace mewc {
+namespace {
+
+constexpr std::uint32_t kT = 2;
+constexpr std::uint32_t kN = 5;
+constexpr std::uint64_t kInstance = 9;
+
+class WeakBaUnit : public ::testing::Test {
+ protected:
+  WeakBaUnit() : family_(kN, kT) {
+    for (ProcessId p = 0; p < kN; ++p) {
+      bundles_.push_back(family_.issue_bundle(p));
+    }
+  }
+
+  ProtocolContext ctx(ProcessId id) {
+    ProtocolContext c;
+    c.id = id;
+    c.n = kN;
+    c.t = kT;
+    c.instance = kInstance;
+    c.crypto = &family_;
+    c.keys = &bundles_[id];
+    return c;
+  }
+
+  wba::WeakBaProcess make(ProcessId id, Value input = Value(7)) {
+    return wba::WeakBaProcess(ctx(id),
+                              std::make_shared<const AlwaysValid>(),
+                              WireValue::plain(input));
+  }
+
+  static Message msg(ProcessId from, ProcessId to, Round r, PayloadPtr body) {
+    Message m;
+    m.from = from;
+    m.to = to;
+    m.round = r;
+    m.words = Message::cost_of(*body);
+    m.body = std::move(body);
+    return m;
+  }
+
+  /// Runs one round: send step (returning what was sent), then delivery.
+  std::vector<std::pair<ProcessId, PayloadPtr>> drive(
+      wba::WeakBaProcess& proc, Round r, std::vector<Message> inbox = {}) {
+    Outbox out(kN);
+    proc.on_send(r, out);
+    proc.on_receive(r, inbox);
+    return out.sends();
+  }
+
+  /// A correct commit certificate on (value, level).
+  ThresholdSig commit_qc(const WireValue& v, std::uint64_t level) {
+    const std::uint32_t q = commit_quorum(kN, kT);
+    const Digest d = wba::commit_digest(kInstance, level, v.content_digest());
+    std::vector<PartialSig> ps;
+    for (ProcessId p = 0; p < q; ++p) {
+      ps.push_back(family_.scheme(q).issue_share(p).partial_sign(d));
+    }
+    return *family_.scheme(q).combine(ps);
+  }
+
+  ThresholdSig finalize_qc(const WireValue& v, std::uint64_t phase) {
+    const std::uint32_t q = commit_quorum(kN, kT);
+    const Digest d =
+        wba::finalize_digest(kInstance, phase, v.content_digest());
+    std::vector<PartialSig> ps;
+    for (ProcessId p = 0; p < q; ++p) {
+      ps.push_back(family_.scheme(q).issue_share(p).partial_sign(d));
+    }
+    return *family_.scheme(q).combine(ps);
+  }
+
+  static PayloadPtr propose(std::uint64_t phase, const WireValue& v) {
+    auto m = std::make_shared<wba::ProposeMsg>();
+    m->phase = phase;
+    m->value = v;
+    return m;
+  }
+
+  PayloadPtr commit_msg(std::uint64_t phase, const WireValue& v,
+                        std::uint64_t level) {
+    auto m = std::make_shared<wba::CommitMsg>();
+    m->phase = phase;
+    m->value = v;
+    m->level = level;
+    m->qc = commit_qc(v, level);
+    return m;
+  }
+
+  template <typename T>
+  static const T* find_sent(
+      const std::vector<std::pair<ProcessId, PayloadPtr>>& sends) {
+    for (const auto& [to, body] : sends) {
+      if (const T* p = payload_cast<T>(body)) return p;
+    }
+    return nullptr;
+  }
+
+  ThresholdFamily family_;
+  std::vector<KeyBundle> bundles_;
+};
+
+TEST_F(WeakBaUnit, UndecidedLeaderProposesItsInput) {
+  auto leader = make(0, Value(42));  // p0 leads phase 1
+  auto sends = drive(leader, 1);
+  const auto* p = find_sent<wba::ProposeMsg>(sends);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->phase, 1u);
+  EXPECT_EQ(p->value.value, Value(42));
+  EXPECT_EQ(sends.size(), kN);  // broadcast
+}
+
+TEST_F(WeakBaUnit, NonLeaderStaysSilentInProposeRound) {
+  auto proc = make(1);
+  EXPECT_TRUE(drive(proc, 1).empty());
+}
+
+TEST_F(WeakBaUnit, VotesForValidLeaderProposal) {
+  auto proc = make(1);
+  drive(proc, 1, {msg(0, 1, 1, propose(1, WireValue::plain(Value(5))))});
+  auto sends = drive(proc, 2);
+  const auto* v = find_sent<wba::VoteMsg>(sends);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->partial.signer, 1u);
+  EXPECT_EQ(v->partial.k, commit_quorum(kN, kT));
+  EXPECT_TRUE(family_.scheme(commit_quorum(kN, kT))
+                  .verify_partial(v->partial));
+  ASSERT_EQ(sends.size(), 1u);
+  EXPECT_EQ(sends[0].first, 0u);  // unicast to the leader
+}
+
+TEST_F(WeakBaUnit, IgnoresProposalFromNonLeader) {
+  auto proc = make(1);
+  drive(proc, 1, {msg(2, 1, 1, propose(1, WireValue::plain(Value(5))))});
+  EXPECT_TRUE(drive(proc, 2).empty());
+}
+
+TEST_F(WeakBaUnit, IgnoresProposalWithWrongPhase) {
+  auto proc = make(1);
+  drive(proc, 1, {msg(0, 1, 1, propose(2, WireValue::plain(Value(5))))});
+  EXPECT_TRUE(drive(proc, 2).empty());
+}
+
+TEST_F(WeakBaUnit, DoesNotVoteForInvalidProposal) {
+  auto proc = make(1);
+  // AlwaysValid rejects bottom.
+  drive(proc, 1, {msg(0, 1, 1, propose(1, bottom_value()))});
+  EXPECT_TRUE(drive(proc, 2).empty());
+}
+
+TEST_F(WeakBaUnit, VotesOnlyForFirstProposalOfAPhase) {
+  auto proc = make(1);
+  drive(proc, 1, {msg(0, 1, 1, propose(1, WireValue::plain(Value(5)))),
+                  msg(0, 1, 1, propose(1, WireValue::plain(Value(6))))});
+  auto sends = drive(proc, 2);
+  const auto* v = find_sent<wba::VoteMsg>(sends);
+  ASSERT_NE(v, nullptr);
+  const WireValue first = WireValue::plain(Value(5));
+  EXPECT_EQ(v->partial.digest,
+            wba::commit_digest(kInstance, 1, first.content_digest()));
+}
+
+TEST_F(WeakBaUnit, AcceptsValidCommitAndSendsDecideVote) {
+  auto proc = make(1);
+  drive(proc, 1);
+  drive(proc, 2);
+  const WireValue v = WireValue::plain(Value(5));
+  drive(proc, 3, {msg(0, 1, 3, commit_msg(1, v, 1))});
+  auto sends = drive(proc, 4);
+  const auto* d = find_sent<wba::DecideMsg>(sends);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->partial.digest,
+            wba::finalize_digest(kInstance, 1, v.content_digest()));
+}
+
+TEST_F(WeakBaUnit, RejectsCommitFromNonLeader) {
+  auto proc = make(1);
+  drive(proc, 1);
+  drive(proc, 2);
+  drive(proc, 3,
+        {msg(3, 1, 3, commit_msg(1, WireValue::plain(Value(5)), 1))});
+  EXPECT_TRUE(drive(proc, 4).empty());
+}
+
+TEST_F(WeakBaUnit, RejectsFutureLevelCommit) {
+  auto proc = make(1);
+  drive(proc, 1);
+  drive(proc, 2);
+  // A certificate claiming it was formed in phase 3, delivered in phase 1.
+  drive(proc, 3,
+        {msg(0, 1, 3, commit_msg(1, WireValue::plain(Value(5)), 3))});
+  EXPECT_TRUE(drive(proc, 4).empty());
+}
+
+TEST_F(WeakBaUnit, RejectsStaleCommitBelowOwnLevel) {
+  auto proc = make(3);
+  const WireValue v2 = WireValue::plain(Value(6));
+  // Phase 1: silent for this process. Phase 2 (leader p1): commit at
+  // level 2 — proc's commit_level becomes 2.
+  for (Round r = 1; r <= 5; ++r) drive(proc, r);
+  drive(proc, 6);
+  drive(proc, 7);
+  drive(proc, 8, {msg(1, 3, 8, commit_msg(2, v2, 2))});
+  ASSERT_FALSE(drive(proc, 9).empty());  // decide vote for phase 2
+
+  // Phase 3 (leader p2): echoes an older level-1 certificate on another
+  // value. Level 1 < commit_level 2: must be rejected (Algorithm 4 line 43).
+  const WireValue v1 = WireValue::plain(Value(5));
+  drive(proc, 10);
+  drive(proc, 11);
+  drive(proc, 12);
+  drive(proc, 13, {msg(2, 3, 13, commit_msg(3, v1, 1))});
+  EXPECT_TRUE(drive(proc, 14).empty());
+}
+
+TEST_F(WeakBaUnit, RejectsCommitWithMismatchedCertificate) {
+  auto proc = make(1);
+  drive(proc, 1);
+  drive(proc, 2);
+  // Certificate formed over value 5, message claims value 6.
+  auto m = std::make_shared<wba::CommitMsg>();
+  m->phase = 1;
+  m->value = WireValue::plain(Value(6));
+  m->level = 1;
+  m->qc = commit_qc(WireValue::plain(Value(5)), 1);
+  drive(proc, 3, {msg(0, 1, 3, m)});
+  EXPECT_TRUE(drive(proc, 4).empty());
+}
+
+TEST_F(WeakBaUnit, ValidFinalizeDecides) {
+  auto proc = make(1);
+  for (Round r = 1; r <= 4; ++r) drive(proc, r);
+  const WireValue v = WireValue::plain(Value(5));
+  auto m = std::make_shared<wba::FinalizedMsg>();
+  m->phase = 1;
+  m->value = v;
+  m->qc = finalize_qc(v, 1);
+  drive(proc, 5, {msg(0, 1, 5, m)});
+  EXPECT_TRUE(proc.decided());
+  EXPECT_EQ(proc.decision().value, Value(5));
+  EXPECT_EQ(proc.stats().decided_phase, 1u);
+}
+
+TEST_F(WeakBaUnit, RejectsFinalizeWithWrongPhaseBinding) {
+  auto proc = make(1);
+  for (Round r = 1; r <= 4; ++r) drive(proc, r);
+  const WireValue v = WireValue::plain(Value(5));
+  auto m = std::make_shared<wba::FinalizedMsg>();
+  m->phase = 1;
+  m->value = v;
+  m->qc = finalize_qc(v, 2);  // certificate bound to phase 2
+  drive(proc, 5, {msg(0, 1, 5, m)});
+  EXPECT_FALSE(proc.decided());
+}
+
+TEST_F(WeakBaUnit, DecidedProcessDoesNotProposeItsPhase) {
+  auto proc = make(1);  // p1 leads phase 2
+  for (Round r = 1; r <= 4; ++r) drive(proc, r);
+  const WireValue v = WireValue::plain(Value(5));
+  auto m = std::make_shared<wba::FinalizedMsg>();
+  m->phase = 1;
+  m->value = v;
+  m->qc = finalize_qc(v, 1);
+  drive(proc, 5, {msg(0, 1, 5, m)});
+  ASSERT_TRUE(proc.decided());
+  // Phase 2's propose round: silent (Algorithm 4 line 31).
+  EXPECT_TRUE(drive(proc, 6).empty());
+}
+
+TEST_F(WeakBaUnit, CommittedProcessReportsCommitInsteadOfVoting) {
+  auto proc = make(1);
+  drive(proc, 1);
+  drive(proc, 2);
+  const WireValue v = WireValue::plain(Value(5));
+  drive(proc, 3, {msg(0, 1, 3, commit_msg(1, v, 1))});
+  drive(proc, 4);
+  drive(proc, 5);
+  // Phase 2, new proposal from p1: the committed process must answer with
+  // its commit info, not a vote (Algorithm 4 lines 35-36).
+  drive(proc, 6, {msg(1, 1, 6, propose(2, WireValue::plain(Value(8))))});
+  auto sends = drive(proc, 7);
+  EXPECT_EQ(find_sent<wba::VoteMsg>(sends), nullptr);
+  const auto* c = find_sent<wba::CommitMsg>(sends);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value.value, Value(5));
+  EXPECT_EQ(c->level, 1u);
+}
+
+TEST_F(WeakBaUnit, UndecidedProcessBroadcastsHelpRequest) {
+  auto proc = make(1);
+  const Round help = 5 * kN + 1;
+  for (Round r = 1; r < help; ++r) drive(proc, r);
+  auto sends = drive(proc, help);
+  const auto* h = find_sent<wba::HelpReqMsg>(sends);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->partial.k, kT + 1);
+  EXPECT_EQ(sends.size(), kN);
+}
+
+TEST_F(WeakBaUnit, HelpRequestWithWrongSchemePartialIgnored) {
+  auto proc = make(1);
+  const Round help = 5 * kN + 1;
+  for (Round r = 1; r <= 4; ++r) drive(proc, r);
+  const WireValue v = WireValue::plain(Value(5));
+  auto fin = std::make_shared<wba::FinalizedMsg>();
+  fin->phase = 1;
+  fin->value = v;
+  fin->qc = finalize_qc(v, 1);
+  drive(proc, 5, {msg(0, 1, 5, fin)});
+  for (Round r = 6; r < help; ++r) drive(proc, r);
+  // The partial is minted under the quorum scheme instead of (t+1, n).
+  auto req = std::make_shared<wba::HelpReqMsg>();
+  req->partial = bundles_[3].share(commit_quorum(kN, kT)).partial_sign(
+      wba::help_req_digest(kInstance));
+  drive(proc, help, {msg(3, 1, help, req)});
+  auto sends = drive(proc, help + 1);
+  EXPECT_EQ(find_sent<wba::HelpMsg>(sends), nullptr);
+}
+
+TEST_F(WeakBaUnit, HelpAcceptedOnlyInTheReplyRound) {
+  // NOTE-2: a help message delivered in a later window round must NOT mint
+  // a decision (too late to re-broadcast it inside the window).
+  auto proc = make(1);
+  const Round help = 5 * kN + 1;
+  for (Round r = 1; r <= help + 1; ++r) drive(proc, r);
+  const WireValue v = WireValue::plain(Value(5));
+  auto h = std::make_shared<wba::HelpMsg>();
+  h->value = v;
+  h->proof_phase = 1;
+  h->decide_proof = finalize_qc(v, 1);
+  drive(proc, help + 2, {msg(2, 1, help + 2, h)});  // adopt round: too late
+  EXPECT_FALSE(proc.decided());
+}
+
+TEST_F(WeakBaUnit, FallbackMsgWithInvalidProofStillActivatesButNoAdoption) {
+  auto proc = make(1);
+  const Round help = 5 * kN + 1;
+  for (Round r = 1; r <= help; ++r) drive(proc, r);
+  // Valid (t+1) certificate over help_req, but garbage decision proof.
+  std::vector<PartialSig> ps;
+  for (ProcessId p = 0; p < kT + 1; ++p) {
+    ps.push_back(bundles_[p].share(kT + 1).partial_sign(
+        wba::help_req_digest(kInstance)));
+  }
+  auto fb = std::make_shared<wba::FallbackMsg>();
+  fb->fallback_qc = *family_.scheme(kT + 1).combine(ps);
+  fb->has_decision = true;
+  fb->value = WireValue::plain(Value(9));
+  fb->proof_phase = 1;
+  fb->decide_proof = ThresholdSig{};  // junk
+  drive(proc, help + 1, {msg(2, 1, help + 1, fb)});
+  // The certificate is real, so the process echoes next round...
+  auto sends = drive(proc, help + 2);
+  const auto* echoed = find_sent<wba::FallbackMsg>(sends);
+  ASSERT_NE(echoed, nullptr);
+  // ...but it adopted nothing: its own echo carries no decision.
+  EXPECT_FALSE(echoed->has_decision);
+}
+
+TEST_F(WeakBaUnit, DecidedProcessAnswersHelpRequests) {
+  auto proc = make(1);
+  for (Round r = 1; r <= 4; ++r) drive(proc, r);
+  const WireValue v = WireValue::plain(Value(5));
+  auto fin = std::make_shared<wba::FinalizedMsg>();
+  fin->phase = 1;
+  fin->value = v;
+  fin->qc = finalize_qc(v, 1);
+  drive(proc, 5, {msg(0, 1, 5, fin)});
+
+  const Round help = 5 * kN + 1;
+  for (Round r = 6; r < help; ++r) drive(proc, r);
+  // p3's help request arrives.
+  auto req = std::make_shared<wba::HelpReqMsg>();
+  req->partial = bundles_[3].share(kT + 1).partial_sign(
+      wba::help_req_digest(kInstance));
+  drive(proc, help, {msg(3, 1, help, req)});
+  auto sends = drive(proc, help + 1);
+  const auto* h = find_sent<wba::HelpMsg>(sends);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->value.value, Value(5));
+  ASSERT_EQ(sends.size(), 1u);
+  EXPECT_EQ(sends[0].first, 3u);  // unicast to the requester only
+}
+
+}  // namespace
+}  // namespace mewc

@@ -1,0 +1,73 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mewc {
+namespace {
+
+TEST(Stats, SummaryBasics) {
+  const double xs[] = {1, 2, 3, 4};
+  const auto s = stats::summarize(xs);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 4);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, 1.1180, 1e-3);
+}
+
+TEST(Stats, SummarySingleton) {
+  const double xs[] = {7};
+  const auto s = stats::summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 7);
+  EXPECT_DOUBLE_EQ(s.stddev, 0);
+}
+
+TEST(Stats, LinearFitExact) {
+  const double xs[] = {1, 2, 3, 4, 5};
+  const double ys[] = {3, 5, 7, 9, 11};  // y = 2x + 1
+  const auto f = stats::fit_linear(xs, ys);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, LinearFitNoisy) {
+  const double xs[] = {1, 2, 3, 4, 5, 6};
+  const double ys[] = {2.1, 3.9, 6.2, 7.8, 10.1, 11.9};  // ~2x
+  const auto f = stats::fit_linear(xs, ys);
+  EXPECT_NEAR(f.slope, 2.0, 0.1);
+  EXPECT_GT(f.r2, 0.99);
+}
+
+TEST(Stats, LinearFitFlatDataHasUnitR2) {
+  const double xs[] = {1, 2, 3};
+  const double ys[] = {4, 4, 4};
+  const auto f = stats::fit_linear(xs, ys);
+  EXPECT_NEAR(f.slope, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(f.r2, 1.0);  // ss_tot == 0 convention
+}
+
+TEST(Stats, PowerLawRecoversExponent) {
+  // y = 3 x^2
+  std::vector<double> xs, ys;
+  for (double x : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+    xs.push_back(x);
+    ys.push_back(3 * x * x);
+  }
+  const auto f = stats::fit_power_law(xs, ys);
+  EXPECT_NEAR(f.slope, 2.0, 1e-9);
+  EXPECT_NEAR(std::exp(f.intercept), 3.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, PowerLawLinearData) {
+  std::vector<double> xs, ys;
+  for (double x : {1.0, 2.0, 5.0, 10.0, 50.0}) {
+    xs.push_back(x);
+    ys.push_back(7 * x);
+  }
+  const auto f = stats::fit_power_law(xs, ys);
+  EXPECT_NEAR(f.slope, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mewc

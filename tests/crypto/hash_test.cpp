@@ -1,0 +1,105 @@
+#include "common/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "crypto/digest.hpp"
+
+namespace mewc {
+namespace {
+
+TEST(Mix64, IsDeterministic) {
+  EXPECT_EQ(mix64(0), mix64(0));
+  EXPECT_EQ(mix64(12345), mix64(12345));
+}
+
+TEST(Mix64, ZeroDoesNotMapToZero) { EXPECT_NE(mix64(0), 0u); }
+
+TEST(Mix64, AdjacentInputsDiverge) {
+  // splitmix64 avalanche: neighbouring inputs should differ in many bits.
+  for (std::uint64_t x = 0; x < 64; ++x) {
+    const std::uint64_t diff = mix64(x) ^ mix64(x + 1);
+    EXPECT_GE(__builtin_popcountll(diff), 16) << "x=" << x;
+  }
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(hash_combine(0, 1), 2),
+            hash_combine(hash_combine(0, 2), 1));
+}
+
+TEST(Hasher, FieldBoundariesMatter) {
+  // ("ab", "c") must differ from ("a", "bc").
+  Hasher h1;
+  h1.feed("ab").feed("c");
+  Hasher h2;
+  h2.feed("a").feed("bc");
+  EXPECT_NE(h1.digest(), h2.digest());
+}
+
+TEST(Hasher, EmptyStringContributes) {
+  Hasher h1;
+  h1.feed("");
+  Hasher h2;
+  EXPECT_NE(h1.digest(), h2.digest());
+}
+
+TEST(DigestBuilder, DomainSeparation) {
+  const Digest a = DigestBuilder("domain.a").field(std::uint64_t{7}).done();
+  const Digest b = DigestBuilder("domain.b").field(std::uint64_t{7}).done();
+  EXPECT_NE(a, b);
+}
+
+TEST(DigestBuilder, FieldOrderMatters) {
+  const Digest a =
+      DigestBuilder("d").field(std::uint64_t{1}).field(std::uint64_t{2}).done();
+  const Digest b =
+      DigestBuilder("d").field(std::uint64_t{2}).field(std::uint64_t{1}).done();
+  EXPECT_NE(a, b);
+}
+
+TEST(DigestBuilder, ValueFieldUsesRaw) {
+  const Digest a = DigestBuilder("d").field(Value(3)).done();
+  const Digest b = DigestBuilder("d").field(std::uint64_t{3}).done();
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    (void)c;
+  }
+  Rng d(42), e(43);
+  bool diverged = false;
+  for (int i = 0; i < 10; ++i) diverged |= (d.next() != e.next());
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(13), 13u);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.chance(0, 10));
+    EXPECT_TRUE(r.chance(10, 10));
+  }
+}
+
+}  // namespace
+}  // namespace mewc

@@ -1,0 +1,100 @@
+#include "crypto/multisig.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mewc {
+namespace {
+
+Digest d(std::uint64_t x) { return DigestBuilder("ms").field(x).done(); }
+
+class MultisigTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kN = 7;
+  Pki pki_{kN};
+
+  Signature sig(ProcessId p, std::uint64_t x) {
+    return pki_.issue_key(p).sign(d(x));
+  }
+};
+
+TEST_F(MultisigTest, SingleSignerAggregateVerifies) {
+  const AggSignature agg = aggregate_start(kN, sig(0, 1));
+  EXPECT_EQ(agg.signers.count(), 1u);
+  EXPECT_TRUE(aggregate_verify(pki_, agg));
+}
+
+TEST_F(MultisigTest, ManySignersAggregateVerifies) {
+  AggSignature agg = aggregate_start(kN, sig(0, 1));
+  for (ProcessId p = 1; p < kN; ++p) {
+    EXPECT_TRUE(aggregate_add(agg, sig(p, 1)));
+  }
+  EXPECT_EQ(agg.signers.count(), kN);
+  EXPECT_TRUE(aggregate_verify(pki_, agg));
+}
+
+TEST_F(MultisigTest, DuplicateSignerRejected) {
+  AggSignature agg = aggregate_start(kN, sig(0, 1));
+  EXPECT_FALSE(aggregate_add(agg, sig(0, 1)));
+  EXPECT_EQ(agg.signers.count(), 1u);
+  EXPECT_TRUE(aggregate_verify(pki_, agg));  // unchanged, still valid
+}
+
+TEST_F(MultisigTest, DigestMismatchRejected) {
+  AggSignature agg = aggregate_start(kN, sig(0, 1));
+  EXPECT_FALSE(aggregate_add(agg, sig(1, 2)));
+}
+
+TEST_F(MultisigTest, ClaimingExtraSignerFailsVerification) {
+  // The forgery the Dolev-Strong chains must resist: adding a signer to the
+  // bitmap without folding in its (unknown) MAC.
+  AggSignature agg = aggregate_start(kN, sig(0, 1));
+  aggregate_add(agg, sig(1, 1));
+  agg.signers.insert(2);
+  EXPECT_FALSE(aggregate_verify(pki_, agg));
+}
+
+TEST_F(MultisigTest, DroppingSignerFailsVerification) {
+  AggSignature agg = aggregate_start(kN, sig(0, 1));
+  aggregate_add(agg, sig(1, 1));
+  AggSignature shrunk;
+  shrunk.digest = agg.digest;
+  shrunk.signers = SignerSet(kN);
+  shrunk.signers.insert(0);
+  shrunk.tag = agg.tag;  // tag still covers both
+  EXPECT_FALSE(aggregate_verify(pki_, shrunk));
+}
+
+TEST_F(MultisigTest, TamperedTagFailsVerification) {
+  AggSignature agg = aggregate_start(kN, sig(0, 1));
+  agg.tag ^= 0xdead;
+  EXPECT_FALSE(aggregate_verify(pki_, agg));
+}
+
+TEST_F(MultisigTest, WordCostIsTagPlusBitmap) {
+  AggSignature agg = aggregate_start(kN, sig(0, 1));
+  EXPECT_EQ(agg.words(), 1u + (kN + 63) / 64);
+}
+
+TEST(SignerSet, InsertContainsCount) {
+  SignerSet s(130);  // spans three 64-bit limbs
+  EXPECT_TRUE(s.insert(0));
+  EXPECT_TRUE(s.insert(64));
+  EXPECT_TRUE(s.insert(129));
+  EXPECT_FALSE(s.insert(64));
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_TRUE(s.contains(129));
+  EXPECT_FALSE(s.contains(128));
+  EXPECT_FALSE(s.contains(1000));
+  EXPECT_EQ(s.words(), 3u);
+}
+
+TEST(SignerSet, MembersRoundTrip) {
+  SignerSet s(10);
+  s.insert(3);
+  s.insert(7);
+  s.insert(9);
+  EXPECT_EQ(s.members(), (std::vector<ProcessId>{3, 7, 9}));
+}
+
+}  // namespace
+}  // namespace mewc

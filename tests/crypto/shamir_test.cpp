@@ -1,0 +1,153 @@
+// Field arithmetic and Shamir/Lagrange properties specific to the real
+// threshold backend (the contract tests in threshold_test.cpp cover the
+// scheme-level behaviour).
+#include "crypto/shamir.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/field.hpp"
+
+namespace mewc {
+namespace {
+
+TEST(Field, AddWraps) {
+  EXPECT_EQ(fp::add(fp::kP - 1, 1), 0u);
+  EXPECT_EQ(fp::add(fp::kP - 1, 2), 1u);
+  EXPECT_EQ(fp::add(3, 4), 7u);
+}
+
+TEST(Field, SubWraps) {
+  EXPECT_EQ(fp::sub(0, 1), fp::kP - 1);
+  EXPECT_EQ(fp::sub(5, 3), 2u);
+}
+
+TEST(Field, MulMatchesSmallCases) {
+  EXPECT_EQ(fp::mul(3, 4), 12u);
+  EXPECT_EQ(fp::mul(fp::kP - 1, fp::kP - 1), 1u);  // (-1)^2 = 1
+  EXPECT_EQ(fp::mul(0, 12345), 0u);
+}
+
+TEST(Field, ReduceCanonicalizes) {
+  EXPECT_EQ(fp::reduce(fp::kP), 0u);
+  EXPECT_EQ(fp::reduce(fp::kP + 5), 5u);
+  EXPECT_EQ(fp::reduce(2 * fp::kP + 1), 1u);
+}
+
+TEST(Field, PowBasics) {
+  EXPECT_EQ(fp::pow(2, 10), 1024u);
+  EXPECT_EQ(fp::pow(7, 0), 1u);
+  EXPECT_EQ(fp::pow(0, 5), 0u);
+}
+
+TEST(Field, FermatLittleTheorem) {
+  // x^(p-1) = 1 for x != 0.
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t x = rng.below(fp::kP - 1) + 1;
+    EXPECT_EQ(fp::pow(x, fp::kP - 1), 1u) << x;
+  }
+}
+
+TEST(Field, InverseProperty) {
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t x = rng.below(fp::kP - 1) + 1;
+    EXPECT_EQ(fp::mul(x, fp::inv(x)), 1u) << x;
+  }
+}
+
+TEST(Field, DistributivityRandomized) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t a = rng.below(fp::kP);
+    const std::uint64_t b = rng.below(fp::kP);
+    const std::uint64_t c = rng.below(fp::kP);
+    EXPECT_EQ(fp::mul(a, fp::add(b, c)),
+              fp::add(fp::mul(a, b), fp::mul(a, c)));
+  }
+}
+
+TEST(Field, HashPointNeverZero) {
+  EXPECT_EQ(fp::hash_point(0), 1u);
+  EXPECT_EQ(fp::hash_point(fp::kP), 1u);  // reduces to zero, mapped to one
+  EXPECT_EQ(fp::hash_point(5), 5u);
+}
+
+class ShamirSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShamirSeedTest, AnyKSubsetReconstructsSameSignature) {
+  // The Lagrange-at-zero identity: every k-subset of shares yields the same
+  // group signature, across random polynomials (seeds).
+  const std::uint32_t k = 3, n = 7;
+  ShamirThreshold scheme(k, n, GetParam());
+  const Digest d = DigestBuilder("sh").field(GetParam()).done();
+
+  std::optional<std::uint64_t> tag;
+  for (ProcessId a = 0; a < n; ++a) {
+    for (ProcessId b = a + 1; b < n; ++b) {
+      for (ProcessId c = b + 1; c < n; ++c) {
+        std::vector<PartialSig> ps = {scheme.issue_share(a).partial_sign(d),
+                                      scheme.issue_share(b).partial_sign(d),
+                                      scheme.issue_share(c).partial_sign(d)};
+        const auto sig = scheme.combine(ps);
+        ASSERT_TRUE(sig.has_value());
+        EXPECT_TRUE(scheme.verify(*sig));
+        if (!tag) {
+          tag = sig->tag;
+        } else {
+          EXPECT_EQ(*tag, sig->tag) << "subset {" << a << "," << b << "," << c
+                                    << "} disagreed";
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ShamirSeedTest, KMinusOneSharesGiveNoInformationAboutTag) {
+  // Forgery attempt: combine k-1 real shares with one fabricated share; the
+  // result must not verify (except with negligible probability).
+  const std::uint32_t k = 3, n = 7;
+  ShamirThreshold scheme(k, n, GetParam());
+  const Digest d = DigestBuilder("sh2").field(GetParam()).done();
+
+  std::vector<PartialSig> ps = {scheme.issue_share(0).partial_sign(d),
+                                scheme.issue_share(1).partial_sign(d)};
+  PartialSig forged = scheme.issue_share(1).partial_sign(d);
+  forged.signer = 2;
+  forged.tag = fp::add(forged.tag, 1);
+  ps.push_back(forged);
+  // combine() verifies partials, so the forged share is filtered and the
+  // batch is one short.
+  EXPECT_FALSE(scheme.combine(ps).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShamirSeedTest,
+                         ::testing::Values(1u, 2u, 3u, 17u, 0xdeadbeefu));
+
+TEST(Shamir, DifferentDigestsDifferentSignatures) {
+  ShamirThreshold scheme(2, 5, 9);
+  auto sig_for = [&](std::uint64_t x) {
+    const Digest d = DigestBuilder("sh3").field(x).done();
+    std::vector<PartialSig> ps = {scheme.issue_share(0).partial_sign(d),
+                                  scheme.issue_share(1).partial_sign(d)};
+    return *scheme.combine(ps);
+  };
+  EXPECT_NE(sig_for(1).tag, sig_for(2).tag);
+}
+
+TEST(Shamir, FullNOfNWorks) {
+  const std::uint32_t n = 5;
+  ShamirThreshold scheme(n, n, 11);
+  const Digest d = DigestBuilder("sh4").field(1).done();
+  std::vector<PartialSig> ps;
+  for (ProcessId i = 0; i < n; ++i) {
+    ps.push_back(scheme.issue_share(i).partial_sign(d));
+  }
+  const auto sig = scheme.combine(ps);
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_TRUE(scheme.verify(*sig));
+}
+
+}  // namespace
+}  // namespace mewc

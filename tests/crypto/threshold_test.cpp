@@ -1,0 +1,188 @@
+// Backend-parameterized tests of the (k, n)-threshold scheme contract: both
+// SimThreshold and ShamirThreshold must satisfy every property here.
+#include "crypto/threshold.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "crypto/shamir.hpp"
+
+namespace mewc {
+namespace {
+
+Digest d(std::uint64_t x) { return DigestBuilder("th").field(x).done(); }
+
+enum class Backend { kSim, kShamir };
+
+struct Params {
+  Backend backend;
+  std::uint32_t k;
+  std::uint32_t n;
+};
+
+class ThresholdContractTest : public ::testing::TestWithParam<Params> {
+ protected:
+  void SetUp() override {
+    const Params p = GetParam();
+    if (p.backend == Backend::kSim) {
+      scheme_ = std::make_unique<SimThreshold>(p.k, p.n, 0xabc);
+    } else {
+      scheme_ = std::make_unique<ShamirThreshold>(p.k, p.n, 0xabc);
+    }
+  }
+
+  std::vector<PartialSig> partials(std::uint64_t msg, std::uint32_t count,
+                                   std::uint32_t first = 0) {
+    std::vector<PartialSig> out;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      out.push_back(
+          scheme_->issue_share((first + i) % scheme_->n()).partial_sign(d(msg)));
+    }
+    return out;
+  }
+
+  std::unique_ptr<ThresholdScheme> scheme_;
+};
+
+TEST_P(ThresholdContractTest, PartialSignVerifies) {
+  const PartialSig p = scheme_->issue_share(0).partial_sign(d(1));
+  EXPECT_TRUE(scheme_->verify_partial(p));
+  EXPECT_EQ(p.k, scheme_->k());
+}
+
+TEST_P(ThresholdContractTest, TamperedPartialRejected) {
+  PartialSig p = scheme_->issue_share(0).partial_sign(d(1));
+  p.tag ^= 1;
+  EXPECT_FALSE(scheme_->verify_partial(p));
+}
+
+TEST_P(ThresholdContractTest, ReattributedPartialRejected) {
+  // Degenerate Shamir k=1 has a constant polynomial: every share IS the
+  // group secret, so shares are interchangeable by construction. Any real
+  // (1, n) threshold scheme has this property; skip that shape.
+  if (GetParam().backend == Backend::kShamir && scheme_->k() == 1) {
+    GTEST_SKIP();
+  }
+  PartialSig p = scheme_->issue_share(0).partial_sign(d(1));
+  if (scheme_->n() > 1) {
+    p.signer = 1;
+    EXPECT_FALSE(scheme_->verify_partial(p));
+  }
+}
+
+TEST_P(ThresholdContractTest, ExactlyKPartialsCombine) {
+  const auto sig = scheme_->combine(partials(1, scheme_->k()));
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_TRUE(scheme_->verify(*sig));
+  EXPECT_EQ(sig->k, scheme_->k());
+  EXPECT_EQ(sig->words(), 1u);  // constant size: the paper's key tool
+}
+
+TEST_P(ThresholdContractTest, FewerThanKPartialsFail) {
+  if (scheme_->k() == 1) GTEST_SKIP();
+  EXPECT_FALSE(scheme_->combine(partials(1, scheme_->k() - 1)).has_value());
+}
+
+TEST_P(ThresholdContractTest, DuplicateSignersDoNotCount) {
+  if (scheme_->k() < 2) GTEST_SKIP();
+  // k copies of the same signer's partial: must not combine.
+  std::vector<PartialSig> same;
+  for (std::uint32_t i = 0; i < scheme_->k(); ++i) {
+    same.push_back(scheme_->issue_share(0).partial_sign(d(1)));
+  }
+  EXPECT_FALSE(scheme_->combine(same).has_value());
+}
+
+TEST_P(ThresholdContractTest, InvalidPartialsAreFilteredOut) {
+  auto ps = partials(1, scheme_->k());
+  ps.front().tag ^= 1;  // now only k-1 valid
+  if (scheme_->k() <= scheme_->n() - 1) {
+    // add a fresh valid one: combine succeeds by filtering the bad partial
+    ps.push_back(scheme_->issue_share(scheme_->k()).partial_sign(d(1)));
+    const auto sig = scheme_->combine(ps);
+    ASSERT_TRUE(sig.has_value());
+    EXPECT_TRUE(scheme_->verify(*sig));
+  } else {
+    EXPECT_FALSE(scheme_->combine(ps).has_value());
+  }
+}
+
+TEST_P(ThresholdContractTest, MixedDigestsDoNotCombine) {
+  if (scheme_->k() < 2) GTEST_SKIP();
+  auto ps = partials(1, scheme_->k() - 1);
+  ps.push_back(scheme_->issue_share(scheme_->k() - 1).partial_sign(d(2)));
+  EXPECT_FALSE(scheme_->combine(ps).has_value());
+}
+
+TEST_P(ThresholdContractTest, CombinedSigIndependentOfShareChoice) {
+  // Real threshold schemes produce the same group signature from any k
+  // shares; protocols rely on this for deterministic certificates.
+  if (scheme_->k() > scheme_->n() - 1) GTEST_SKIP();
+  const auto sig1 = scheme_->combine(partials(1, scheme_->k(), 0));
+  const auto sig2 = scheme_->combine(partials(1, scheme_->k(), 1));
+  ASSERT_TRUE(sig1 && sig2);
+  EXPECT_EQ(sig1->tag, sig2->tag);
+}
+
+TEST_P(ThresholdContractTest, VerifyRejectsTamperedCombined) {
+  auto sig = scheme_->combine(partials(1, scheme_->k()));
+  ASSERT_TRUE(sig.has_value());
+  sig->tag ^= 1;
+  EXPECT_FALSE(scheme_->verify(*sig));
+}
+
+TEST_P(ThresholdContractTest, VerifyRejectsWrongDigest) {
+  auto sig = scheme_->combine(partials(1, scheme_->k()));
+  ASSERT_TRUE(sig.has_value());
+  sig->digest = d(2);
+  EXPECT_FALSE(scheme_->verify(*sig));
+}
+
+TEST_P(ThresholdContractTest, VerifyRejectsWrongThresholdClaim) {
+  auto sig = scheme_->combine(partials(1, scheme_->k()));
+  ASSERT_TRUE(sig.has_value());
+  sig->k += 1;
+  EXPECT_FALSE(scheme_->verify(*sig));
+}
+
+TEST_P(ThresholdContractTest, EmptyInputFails) {
+  EXPECT_FALSE(scheme_->combine({}).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackendsAndShapes, ThresholdContractTest,
+    ::testing::Values(
+        Params{Backend::kSim, 1, 3}, Params{Backend::kSim, 2, 3},
+        Params{Backend::kSim, 3, 3}, Params{Backend::kSim, 4, 7},
+        Params{Backend::kSim, 6, 7}, Params{Backend::kSim, 11, 21},
+        Params{Backend::kShamir, 1, 3}, Params{Backend::kShamir, 2, 3},
+        Params{Backend::kShamir, 3, 3}, Params{Backend::kShamir, 4, 7},
+        Params{Backend::kShamir, 6, 7}, Params{Backend::kShamir, 11, 21}),
+    [](const auto& info) {
+      const Params& p = info.param;
+      return std::string(p.backend == Backend::kSim ? "Sim" : "Shamir") + "_k" +
+             std::to_string(p.k) + "_n" + std::to_string(p.n);
+    });
+
+TEST(ThresholdCrossScheme, PartialsFromOtherSchemeRejected) {
+  // Partials minted under threshold k must never count toward a scheme with
+  // a different k (the paper uses t+1, ceil((n+t+1)/2) and n side by side).
+  SimThreshold a(3, 7, 0xabc), b(4, 7, 0xabc);
+  const PartialSig p = a.issue_share(0).partial_sign(d(1));
+  EXPECT_FALSE(b.verify_partial(p));
+}
+
+TEST(ThresholdCrossScheme, CombinedSigFromOtherSchemeRejected) {
+  SimThreshold a(3, 7, 0xabc), b(4, 7, 0xabc);
+  std::vector<PartialSig> ps;
+  for (ProcessId i = 0; i < 3; ++i) {
+    ps.push_back(a.issue_share(i).partial_sign(d(1)));
+  }
+  const auto sig = a.combine(ps);
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_FALSE(b.verify(*sig));
+}
+
+}  // namespace
+}  // namespace mewc

@@ -1,0 +1,188 @@
+// Verifiable secret sharing: Feldman share verification, Chaum-Pedersen
+// DLEQ partial verification (all public, no dealer trapdoor), and Lagrange
+// recombination in the exponent.
+#include "crypto/vss.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mewc {
+namespace {
+
+Digest d(std::uint64_t x) { return DigestBuilder("vss").field(x).done(); }
+
+TEST(VssGroup, ParametersAreConsistent) {
+  // q = 2r + 1 and g generates the order-r subgroup.
+  EXPECT_EQ(vss::kQ, 2 * vss::kR + 1);
+  EXPECT_EQ(vss::pow_q(vss::kG, vss::kR), 1u);
+  EXPECT_NE(vss::kG, 1u);
+}
+
+TEST(VssGroup, ExponentFieldInverse) {
+  for (std::uint64_t x :
+       {std::uint64_t{2}, std::uint64_t{3}, std::uint64_t{12345},
+        vss::kR - 1}) {
+    EXPECT_EQ(vss::mul_r(x, vss::inv_r(x)), 1u) << x;
+  }
+}
+
+TEST(VssGroup, MessageBaseInSubgroupAndNonIdentity) {
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const std::uint64_t hm = vss::message_base(d(i));
+    EXPECT_NE(hm, 1u);
+    EXPECT_EQ(vss::pow_q(hm, vss::kR), 1u);  // order divides r
+  }
+}
+
+class VssDealing : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kK = 3, kN = 7;
+  vss::Dealing dealing_{kK, kN, 0xabc};
+
+  std::vector<std::uint64_t> pubs() const {
+    std::vector<std::uint64_t> out;
+    for (ProcessId p = 0; p < kN; ++p) out.push_back(dealing_.share(p).pub);
+    return out;
+  }
+};
+
+TEST_F(VssDealing, EveryShareVerifiesAgainstTheCommitments) {
+  for (ProcessId p = 0; p < kN; ++p) {
+    EXPECT_TRUE(
+        vss::Dealing::verify_share(dealing_.commitments(), dealing_.share(p)))
+        << "share " << p;
+  }
+}
+
+TEST_F(VssDealing, TamperedShareFailsPublicVerification) {
+  vss::Share s = dealing_.share(2);
+  s.secret = vss::add_r(s.secret, 1);
+  EXPECT_FALSE(vss::Dealing::verify_share(dealing_.commitments(), s));
+
+  vss::Share s2 = dealing_.share(2);
+  s2.owner = 3;  // right value, wrong point
+  EXPECT_FALSE(vss::Dealing::verify_share(dealing_.commitments(), s2));
+}
+
+TEST_F(VssDealing, TamperedCommitmentsRejectHonestShares) {
+  auto commitments = dealing_.commitments();
+  commitments[1] = vss::mul_q(commitments[1], vss::kG);
+  std::uint32_t rejected = 0;
+  for (ProcessId p = 0; p < kN; ++p) {
+    rejected +=
+        vss::Dealing::verify_share(commitments, dealing_.share(p)) ? 0 : 1;
+  }
+  EXPECT_EQ(rejected, kN);  // a corrupted dealing convinces nobody
+}
+
+TEST_F(VssDealing, PartialSignatureVerifiesPublicly) {
+  const auto p = vss::Dealing::partial_sign(dealing_.share(1), d(5), 99);
+  EXPECT_TRUE(vss::Dealing::verify_partial(p, dealing_.share(1).pub));
+}
+
+TEST_F(VssDealing, DleqProofBindsEverything) {
+  auto p = vss::Dealing::partial_sign(dealing_.share(1), d(5), 99);
+  {
+    auto bad = p;
+    bad.sigma = vss::mul_q(bad.sigma, vss::kG);  // wrong signature value
+    EXPECT_FALSE(vss::Dealing::verify_partial(bad, dealing_.share(1).pub));
+  }
+  {
+    auto bad = p;
+    bad.z = vss::add_r(bad.z, 1);  // tampered response
+    EXPECT_FALSE(vss::Dealing::verify_partial(bad, dealing_.share(1).pub));
+  }
+  {
+    auto bad = p;
+    bad.digest = d(6);  // proof replayed onto another message
+    EXPECT_FALSE(vss::Dealing::verify_partial(bad, dealing_.share(1).pub));
+  }
+  // Claimed under another signer's public key.
+  EXPECT_FALSE(vss::Dealing::verify_partial(p, dealing_.share(2).pub));
+}
+
+TEST_F(VssDealing, ProofIsNotSignerTransferable) {
+  // A signer cannot mint a partial for someone else's share: the proof is
+  // bound to y_i, and sigma under a different y fails.
+  const auto p1 = vss::Dealing::partial_sign(dealing_.share(1), d(5), 7);
+  auto forged = p1;
+  forged.signer = 4;
+  EXPECT_FALSE(vss::Dealing::verify_partial(forged, dealing_.share(4).pub));
+}
+
+TEST_F(VssDealing, AnyKSubsetRecombinesToTheSameSignature) {
+  const Digest msg = d(11);
+  const std::uint64_t expected = dealing_.expected_signature(msg);
+  const auto keys = pubs();
+  for (ProcessId a = 0; a < kN; ++a) {
+    for (ProcessId b = a + 1; b < kN; ++b) {
+      for (ProcessId c = b + 1; c < kN; ++c) {
+        std::vector<vss::VerifiablePartial> parts = {
+            vss::Dealing::partial_sign(dealing_.share(a), msg, 1),
+            vss::Dealing::partial_sign(dealing_.share(b), msg, 2),
+            vss::Dealing::partial_sign(dealing_.share(c), msg, 3)};
+        const auto sig = vss::Dealing::combine(kK, parts, keys);
+        ASSERT_TRUE(sig.has_value());
+        EXPECT_EQ(*sig, expected)
+            << "subset {" << a << "," << b << "," << c << "}";
+      }
+    }
+  }
+}
+
+TEST_F(VssDealing, CombineFiltersForgedPartials) {
+  const Digest msg = d(12);
+  const auto keys = pubs();
+  std::vector<vss::VerifiablePartial> parts = {
+      vss::Dealing::partial_sign(dealing_.share(0), msg, 1),
+      vss::Dealing::partial_sign(dealing_.share(1), msg, 2)};
+  auto forged = vss::Dealing::partial_sign(dealing_.share(1), msg, 3);
+  forged.signer = 2;  // claims to be p2's
+  parts.push_back(forged);
+  EXPECT_FALSE(vss::Dealing::combine(kK, parts, keys).has_value());
+
+  // Replacing the forgery with a real third share fixes it.
+  parts.back() = vss::Dealing::partial_sign(dealing_.share(2), msg, 4);
+  EXPECT_TRUE(vss::Dealing::combine(kK, parts, keys).has_value());
+}
+
+TEST_F(VssDealing, CombineRejectsDuplicateSigners) {
+  const Digest msg = d(13);
+  const auto keys = pubs();
+  std::vector<vss::VerifiablePartial> parts = {
+      vss::Dealing::partial_sign(dealing_.share(0), msg, 1),
+      vss::Dealing::partial_sign(dealing_.share(0), msg, 2),
+      vss::Dealing::partial_sign(dealing_.share(0), msg, 3)};
+  EXPECT_FALSE(vss::Dealing::combine(kK, parts, keys).has_value());
+}
+
+TEST_F(VssDealing, DifferentNoncesSameStatementBothVerify) {
+  const auto p1 = vss::Dealing::partial_sign(dealing_.share(3), d(9), 1);
+  const auto p2 = vss::Dealing::partial_sign(dealing_.share(3), d(9), 2);
+  EXPECT_NE(p1.big_a, p2.big_a);  // fresh prover randomness
+  EXPECT_EQ(p1.sigma, p2.sigma);  // same deterministic signature value
+  EXPECT_TRUE(vss::Dealing::verify_partial(p1, dealing_.share(3).pub));
+  EXPECT_TRUE(vss::Dealing::verify_partial(p2, dealing_.share(3).pub));
+}
+
+TEST(VssDealingShapes, FullRangeOfThresholds) {
+  for (std::uint32_t k : {1u, 2u, 5u, 9u}) {
+    vss::Dealing dealing(k, 9, k * 31);
+    std::vector<std::uint64_t> keys;
+    std::vector<vss::VerifiablePartial> parts;
+    for (ProcessId p = 0; p < 9; ++p) {
+      keys.push_back(dealing.share(p).pub);
+      EXPECT_TRUE(
+          vss::Dealing::verify_share(dealing.commitments(), dealing.share(p)));
+    }
+    const Digest msg = DigestBuilder("vss.k").field(k).done();
+    for (ProcessId p = 0; p < k; ++p) {
+      parts.push_back(vss::Dealing::partial_sign(dealing.share(p), msg, p));
+    }
+    const auto sig = vss::Dealing::combine(k, parts, keys);
+    ASSERT_TRUE(sig.has_value()) << "k=" << k;
+    EXPECT_EQ(*sig, dealing.expected_signature(msg)) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace mewc

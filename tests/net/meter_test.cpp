@@ -1,0 +1,66 @@
+#include "net/meter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mewc {
+namespace {
+
+TEST(Meter, StartsEmpty) {
+  Meter m(3);
+  EXPECT_EQ(m.words_correct, 0u);
+  EXPECT_EQ(m.words_byzantine, 0u);
+  EXPECT_EQ(m.words_by_process.size(), 3u);
+}
+
+TEST(Meter, RecordsCorrectTraffic) {
+  Meter m(3);
+  m.record(0, 1, 4, 1, "a", true);
+  m.record(1, 2, 6, 2, "b", true);
+  EXPECT_EQ(m.words_correct, 10u);
+  EXPECT_EQ(m.messages_correct, 2u);
+  EXPECT_EQ(m.words_by_process[0], 4u);
+  EXPECT_EQ(m.words_by_process[1], 6u);
+  EXPECT_EQ(m.words_by_process[2], 0u);
+}
+
+TEST(Meter, ByzantineTrafficKeptSeparate) {
+  // The paper's communication complexity counts correct senders only; the
+  // Byzantine bucket exists for diagnostics and must never leak across.
+  Meter m(2);
+  m.record(0, 1, 100, 9, "a", false);
+  EXPECT_EQ(m.words_correct, 0u);
+  EXPECT_EQ(m.words_byzantine, 100u);
+  EXPECT_EQ(m.words_by_process[0], 0u);
+  EXPECT_EQ(m.words_in_rounds(0, 10), 0u);
+}
+
+TEST(Meter, RoundWindowIsHalfOpen) {
+  Meter m(1);
+  m.record(0, 1, 1, 0, "a", true);
+  m.record(0, 2, 2, 0, "a", true);
+  m.record(0, 3, 4, 0, "b", true);
+  EXPECT_EQ(m.words_in_rounds(2, 3), 2u);
+  EXPECT_EQ(m.words_in_rounds(2, 2), 0u);
+  EXPECT_EQ(m.words_in_rounds(0, 100), 7u);  // beyond-range is safe
+}
+
+TEST(Meter, KindBreakdown) {
+  Meter m(2);
+  m.record(0, 1, 3, 0, "wba.vote", true);
+  m.record(1, 1, 2, 0, "wba.vote", true);
+  m.record(0, 2, 5, 0, "wba.commit", true);
+  m.record(0, 2, 9, 0, "wba.commit", false);  // Byzantine: excluded
+  EXPECT_EQ(m.words_by_kind.at("wba.vote"), 5u);
+  EXPECT_EQ(m.words_by_kind.at("wba.commit"), 5u);
+  EXPECT_EQ(m.words_by_kind.size(), 2u);
+}
+
+TEST(Meter, RoundVectorGrowsOnDemand) {
+  Meter m(1);
+  m.record(0, 17, 3, 0, nullptr, true);
+  ASSERT_GE(m.words_by_round.size(), 18u);
+  EXPECT_EQ(m.words_by_round[17], 3u);
+}
+
+}  // namespace
+}  // namespace mewc

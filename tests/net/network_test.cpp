@@ -1,0 +1,109 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mewc {
+namespace {
+
+struct TestPayload final : Payload {
+  std::size_t w;
+  explicit TestPayload(std::size_t words) : w(words) {}
+  [[nodiscard]] std::size_t words() const override { return w; }
+  [[nodiscard]] const char* kind() const override { return "test"; }
+};
+
+PayloadPtr pl(std::size_t words = 1) {
+  return std::make_shared<TestPayload>(words);
+}
+
+TEST(Outbox, UnicastAndBroadcast) {
+  Outbox out(4);
+  out.send(2, pl());
+  EXPECT_EQ(out.sends().size(), 1u);
+  out.broadcast(pl());
+  EXPECT_EQ(out.sends().size(), 5u);  // 1 unicast + 4 broadcast copies
+}
+
+TEST(Outbox, OutOfRangeAddressDropped) {
+  Outbox out(3);
+  out.send(7, pl());
+  EXPECT_TRUE(out.sends().empty());
+}
+
+TEST(SyncNetwork, DeliversWithinRound) {
+  SyncNetwork net(3);
+  Outbox out(3);
+  out.send(1, pl());
+  net.post(0, 1, out, true);
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.inbox(1)[0].from, 0u);
+  EXPECT_EQ(net.inbox(1)[0].round, 1u);
+  EXPECT_TRUE(net.inbox(0).empty());
+  EXPECT_TRUE(net.inbox(2).empty());
+}
+
+TEST(SyncNetwork, SenderIdentityIsStamped) {
+  // Reliable authenticated links: the network stamps the true sender, so a
+  // Byzantine process cannot spoof a correct one at the link level.
+  SyncNetwork net(3);
+  Outbox out(3);
+  out.send(2, pl());
+  net.post(1, 1, out, false);
+  EXPECT_EQ(net.inbox(2)[0].from, 1u);
+}
+
+TEST(SyncNetwork, EndRoundClearsInboxes) {
+  SyncNetwork net(2);
+  Outbox out(2);
+  out.send(1, pl());
+  net.post(0, 1, out, true);
+  net.end_round();
+  EXPECT_TRUE(net.inbox(1).empty());
+}
+
+TEST(SyncNetwork, MetersCorrectSendersOnly) {
+  SyncNetwork net(3);
+  Outbox correct(3), byz(3);
+  correct.send(1, pl(2));
+  byz.send(1, pl(5));
+  net.post(0, 1, correct, true);
+  net.post(2, 1, byz, false);
+  EXPECT_EQ(net.meter().words_correct, 2u);
+  EXPECT_EQ(net.meter().words_byzantine, 5u);
+  EXPECT_EQ(net.meter().messages_correct, 1u);
+  EXPECT_EQ(net.meter().messages_byzantine, 1u);
+}
+
+TEST(SyncNetwork, SelfDeliveryIsFree) {
+  // Broadcast includes the sender, but only link-crossing traffic counts.
+  SyncNetwork net(3);
+  Outbox out(3);
+  out.broadcast(pl(1));
+  net.post(0, 1, out, true);
+  EXPECT_EQ(net.inbox(0).size(), 1u);       // delivered to self
+  EXPECT_EQ(net.meter().words_correct, 2u); // but only 2 links crossed
+}
+
+TEST(SyncNetwork, MinimumOneWordPerMessage) {
+  SyncNetwork net(2);
+  Outbox out(2);
+  out.send(1, pl(0));  // degenerate payload claims zero words
+  net.post(0, 1, out, true);
+  EXPECT_EQ(net.meter().words_correct, 1u);
+}
+
+TEST(SyncNetwork, PerRoundBreakdown) {
+  SyncNetwork net(2);
+  for (Round r = 1; r <= 3; ++r) {
+    Outbox out(2);
+    out.send(1, pl(r));  // r words in round r
+    net.post(0, r, out, true);
+    net.end_round();
+  }
+  EXPECT_EQ(net.meter().words_in_rounds(1, 2), 1u);
+  EXPECT_EQ(net.meter().words_in_rounds(2, 4), 5u);
+  EXPECT_EQ(net.meter().words_in_rounds(1, 4), 6u);
+}
+
+}  // namespace
+}  // namespace mewc

@@ -1,0 +1,114 @@
+#include "smr/kv_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ba/adversaries/adversaries.hpp"
+
+namespace mewc {
+namespace {
+
+using smr::Command;
+
+smr::Ledger::Config config(std::uint32_t t) {
+  smr::Ledger::Config c;
+  c.t = t;
+  c.n = n_for_t(t);
+  return c;
+}
+
+TEST(Command, PackUnpackRoundTrip) {
+  for (const Command& c :
+       {Command::put(7, 1234), Command::add(0xfffff, (1ull << 40) - 1),
+        Command::erase(42), Command{}}) {
+    const Command out = Command::unpack(c.pack());
+    EXPECT_EQ(out.op, c.op);
+    EXPECT_EQ(out.key, c.key);
+    EXPECT_EQ(out.arg, c.arg);
+  }
+}
+
+TEST(Command, MalformedWordsDecodeToNoop) {
+  EXPECT_EQ(Command::unpack(kBottom).op, Command::Op::kNoop);
+  EXPECT_EQ(Command::unpack(kIdkValue).op, Command::Op::kNoop);
+  EXPECT_EQ(Command::unpack(Value{0xffffffffffffffffull - 2}).op,
+            Command::Op::kNoop);  // opcode 15: out of range
+}
+
+TEST(Command, OverflowingFieldsAbort) {
+  EXPECT_DEATH((void)Command::put(1u << 20, 0).pack(), "key");
+  EXPECT_DEATH((void)Command::put(0, 1ull << 40).pack(), "arg");
+}
+
+TEST(KvState, AppliesDeterministically) {
+  smr::KvState a, b;
+  for (auto* s : {&a, &b}) {
+    s->apply(Command::put(1, 10));
+    s->apply(Command::add(1, 5));
+    s->apply(Command::put(2, 7));
+    s->apply(Command::erase(2));
+  }
+  EXPECT_EQ(a.get(1), 15u);
+  EXPECT_EQ(a.get(2), std::nullopt);
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(KvState, DigestIsHistorySensitive) {
+  smr::KvState a, b;
+  a.apply(Command::put(1, 10));
+  a.apply(Command::put(1, 20));
+  b.apply(Command::put(1, 20));  // same final state, different history
+  EXPECT_EQ(a.get(1), b.get(1));
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(KvState, AddOnMissingKeyStartsAtZero) {
+  smr::KvState s;
+  s.apply(Command::add(9, 4));
+  EXPECT_EQ(s.get(9), 4u);
+}
+
+TEST(ReplicatedKvStore, HonestRunKeepsReplicasIdentical) {
+  smr::ReplicatedKvStore store(config(2));
+  EXPECT_TRUE(store.submit(Command::put(1, 100)));
+  EXPECT_TRUE(store.submit(Command::add(1, 11)));
+  EXPECT_TRUE(store.submit(Command::put(2, 7)));
+  EXPECT_TRUE(store.consistent());
+  for (ProcessId p = 0; p < 5; ++p) {
+    EXPECT_EQ(store.replica(p).get(1), 111u);
+    EXPECT_EQ(store.replica(p).get(2), 7u);
+  }
+}
+
+TEST(ReplicatedKvStore, SkippedSlotAppliesNothing) {
+  smr::ReplicatedKvStore store(config(2));
+  smr::Ledger::AdversaryFactory kill =
+      [](std::uint64_t, ProcessId proposer) -> std::unique_ptr<Adversary> {
+    return std::make_unique<adv::CrashAdversary>(
+        std::vector<ProcessId>{proposer});
+  };
+  EXPECT_TRUE(store.submit(Command::put(1, 5)));
+  EXPECT_FALSE(store.submit(Command::put(1, 999), kill));
+  EXPECT_TRUE(store.consistent());
+  EXPECT_EQ(store.replica(0).get(1), 5u);  // the killed write never applied
+}
+
+TEST(ReplicatedKvStore, ByzantineProposerCannotSplitState) {
+  // The Byzantine proposer equivocates between two different writes; BB
+  // forces one agreed command (or a skip), so replicas stay identical.
+  smr::ReplicatedKvStore store(config(2));
+  smr::Ledger::AdversaryFactory equivocate =
+      [](std::uint64_t slot, ProcessId proposer) -> std::unique_ptr<Adversary> {
+    const std::uint64_t instance = 1000 + 2 * slot;
+    return std::make_unique<adv::BbEquivocatingSender>(
+        proposer, instance, adv::SenderMode::kEquivocate,
+        Command::put(3, 1).pack(), Command::put(3, 2).pack());
+  };
+  store.submit(Command::put(3, 1), equivocate);
+  EXPECT_TRUE(store.consistent());
+  const auto v = store.replica(0).get(3);
+  EXPECT_TRUE(!v.has_value() || *v == 1u || *v == 2u);
+}
+
+}  // namespace
+}  // namespace mewc

@@ -1,0 +1,239 @@
+// mewc_sim — command-line protocol runner.
+//
+// Runs one instance of any protocol in the library against a chosen
+// adversary and prints the outcome, the word/signature meter, and the
+// per-kind cost breakdown. Useful for exploring the protocols without
+// writing code, and for scripting custom sweeps.
+//
+// Usage:
+//   mewc_sim [--protocol bb|weak-ba|strong-ba|fallback|ds-bb]
+//            [--t T] [--n N] [--f F]
+//            [--adversary none|crash|killer|equivocate|silent-sender|fuzz]
+//            [--value V] [--sender S] [--seed SEED] [--backend sim|shamir]
+//            [--by-kind] [--by-round]
+//
+// Examples:
+//   mewc_sim --protocol bb --t 10 --f 3 --adversary crash
+//   mewc_sim --protocol weak-ba --t 5 --adversary killer --f 2 --by-kind
+//   mewc_sim --protocol strong-ba --t 20            # failure-free O(n)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "ba/adversaries/adversaries.hpp"
+#include "ba/adversaries/fuzzer.hpp"
+#include "ba/harness.hpp"
+
+namespace {
+
+using namespace mewc;
+
+struct Options {
+  std::string protocol = "bb";
+  std::uint32_t t = 3;
+  std::uint32_t n = 0;  // 0: derive 2t+1
+  std::uint32_t f = 0;
+  std::string adversary = "none";
+  std::uint64_t value = 7;
+  ProcessId sender = 0;
+  std::uint64_t seed = 0x5e7;
+  std::string backend = "sim";
+  bool by_kind = false;
+  bool by_round = false;
+};
+
+[[noreturn]] void usage_and_exit(const char* self) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--protocol bb|weak-ba|strong-ba|fallback|ds-bb]\n"
+      "          [--t T] [--n N] [--f F]\n"
+      "          [--adversary none|crash|killer|equivocate|silent-sender|"
+      "fuzz]\n"
+      "          [--value V] [--sender S] [--seed SEED]\n"
+      "          [--backend sim|shamir] [--by-kind] [--by-round]\n",
+      self);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        usage_and_exit(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--protocol")) {
+      o.protocol = need("--protocol");
+    } else if (!std::strcmp(argv[i], "--t")) {
+      o.t = static_cast<std::uint32_t>(std::atoi(need("--t")));
+    } else if (!std::strcmp(argv[i], "--n")) {
+      o.n = static_cast<std::uint32_t>(std::atoi(need("--n")));
+    } else if (!std::strcmp(argv[i], "--f")) {
+      o.f = static_cast<std::uint32_t>(std::atoi(need("--f")));
+    } else if (!std::strcmp(argv[i], "--adversary")) {
+      o.adversary = need("--adversary");
+    } else if (!std::strcmp(argv[i], "--value")) {
+      o.value = std::strtoull(need("--value"), nullptr, 0);
+    } else if (!std::strcmp(argv[i], "--sender")) {
+      o.sender = static_cast<ProcessId>(std::atoi(need("--sender")));
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      o.seed = std::strtoull(need("--seed"), nullptr, 0);
+    } else if (!std::strcmp(argv[i], "--backend")) {
+      o.backend = need("--backend");
+    } else if (!std::strcmp(argv[i], "--by-kind")) {
+      o.by_kind = true;
+    } else if (!std::strcmp(argv[i], "--by-round")) {
+      o.by_round = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      usage_and_exit(argv[0]);
+    }
+  }
+  return o;
+}
+
+std::unique_ptr<Adversary> make_adversary(const Options& o,
+                                          const harness::RunSpec& spec,
+                                          Round phase_first, Round phase_len) {
+  std::vector<ProcessId> victims;
+  for (std::uint32_t i = 0; victims.size() < o.f && i < spec.n; ++i) {
+    if (i != o.sender || o.adversary == "silent-sender") victims.push_back(i);
+  }
+  if (o.adversary == "none") return std::make_unique<adv::NullAdversary>();
+  if (o.adversary == "crash") {
+    return std::make_unique<adv::CrashAdversary>(victims);
+  }
+  if (o.adversary == "killer") {
+    return std::make_unique<adv::AdaptiveLeaderCrash>(phase_first, phase_len,
+                                                      spec.n, o.f);
+  }
+  if (o.adversary == "equivocate") {
+    return std::make_unique<adv::BbEquivocatingSender>(
+        o.sender, spec.instance, adv::SenderMode::kEquivocate, Value(o.value),
+        Value(o.value + 1));
+  }
+  if (o.adversary == "silent-sender") {
+    return std::make_unique<adv::CrashAdversary>(
+        std::vector<ProcessId>{o.sender});
+  }
+  if (o.adversary == "fuzz") {
+    return std::make_unique<adv::Fuzzer>(spec.instance, o.seed,
+                                         std::max(1u, o.f), 4, o.sender);
+  }
+  std::fprintf(stderr, "unknown adversary: %s\n", o.adversary.c_str());
+  std::exit(2);
+}
+
+void print_meter(const Options& o, const Meter& meter, Round rounds) {
+  std::printf("words (correct senders):    %llu\n",
+              static_cast<unsigned long long>(meter.words_correct));
+  std::printf("messages (correct senders): %llu\n",
+              static_cast<unsigned long long>(meter.messages_correct));
+  std::printf("logical signatures moved:   %llu\n",
+              static_cast<unsigned long long>(meter.logical_sigs_correct));
+  std::printf("byzantine words (excluded): %llu\n",
+              static_cast<unsigned long long>(meter.words_byzantine));
+  std::printf("rounds:                     %u\n", rounds);
+  if (o.by_kind) {
+    std::printf("\nwords by message kind:\n");
+    for (const auto& [kind, words] : meter.words_by_kind) {
+      std::printf("  %-18s %llu\n", kind.c_str(),
+                  static_cast<unsigned long long>(words));
+    }
+  }
+  if (o.by_round) {
+    std::printf("\nwords by round (non-zero only):\n");
+    for (Round r = 0; r < meter.words_by_round.size(); ++r) {
+      if (meter.words_by_round[r] == 0) continue;
+      std::printf("  round %-4u %llu\n", r,
+                  static_cast<unsigned long long>(meter.words_by_round[r]));
+    }
+  }
+}
+
+int run(const Options& o) {
+  harness::RunSpec spec =
+      o.n == 0 ? harness::RunSpec::for_t(o.t)
+               : harness::RunSpec::with(o.n, o.t);
+  spec.seed = o.seed;
+  if (o.backend == "shamir") spec.backend = ThresholdBackend::kShamir;
+
+  std::printf("protocol=%s n=%u t=%u adversary=%s f=%u seed=%llu\n\n",
+              o.protocol.c_str(), spec.n, spec.t, o.adversary.c_str(), o.f,
+              static_cast<unsigned long long>(o.seed));
+
+  if (o.protocol == "bb") {
+    auto adversary = make_adversary(o, spec, /*bb phases*/ 4, 3);
+    const auto res = harness::run_bb(spec, o.sender, Value(o.value),
+                                     *adversary);
+    std::printf("agreement: %s\n", res.agreement() ? "yes" : "NO");
+    std::printf("decision:  %s\n",
+                res.decision().is_bottom()
+                    ? "⊥"
+                    : std::to_string(res.decision().raw).c_str());
+    std::printf("fallback:  %s\nnon-silent vetting leaders: %u\n\n",
+                res.any_fallback() ? "yes" : "no", res.nonsilent_leaders());
+    print_meter(o, res.meter, res.rounds);
+    return res.agreement() ? 0 : 1;
+  }
+  if (o.protocol == "weak-ba") {
+    auto adversary = make_adversary(o, spec, /*wba phases*/ 3, 5);
+    const auto res = harness::run_weak_ba(
+        spec, std::vector<WireValue>(spec.n, WireValue::plain(Value(o.value))),
+        harness::always_valid_factory(), *adversary);
+    std::printf("agreement: %s\n", res.agreement() ? "yes" : "NO");
+    std::printf("decision:  %s\n",
+                res.decision().is_bottom()
+                    ? "⊥"
+                    : std::to_string(res.decision().value.raw).c_str());
+    std::printf("fallback:  %s\nhelp requests: %u\n\n",
+                res.any_fallback() ? "yes" : "no", res.help_reqs_sent());
+    print_meter(o, res.meter, res.rounds);
+    return res.agreement() ? 0 : 1;
+  }
+  if (o.protocol == "strong-ba") {
+    auto adversary = make_adversary(o, spec, 1, 1);
+    const auto res = harness::run_strong_ba(
+        spec, std::vector<Value>(spec.n, Value(o.value > 1 ? 1 : o.value)),
+        *adversary);
+    std::printf("agreement: %s\ndecision:  %llu\nall fast:  %s\n\n",
+                res.agreement() ? "yes" : "NO",
+                static_cast<unsigned long long>(res.decision().raw),
+                res.all_fast() ? "yes" : "no");
+    print_meter(o, res.meter, res.rounds);
+    return res.agreement() ? 0 : 1;
+  }
+  if (o.protocol == "fallback") {
+    auto adversary = make_adversary(o, spec, 1, 1);
+    const auto res = harness::run_fallback_ba(
+        spec, std::vector<WireValue>(spec.n, WireValue::plain(Value(o.value))),
+        *adversary);
+    std::printf("agreement: %s\ndecision:  %llu\n\n",
+                res.agreement() ? "yes" : "NO",
+                static_cast<unsigned long long>(res.decision().value.raw));
+    print_meter(o, res.meter, res.rounds);
+    return res.agreement() ? 0 : 1;
+  }
+  if (o.protocol == "ds-bb") {
+    auto adversary = make_adversary(o, spec, 1, 1);
+    const auto res =
+        harness::run_ds_bb(spec, o.sender, Value(o.value), *adversary);
+    std::printf("agreement: %s\ndecision:  %s\n\n",
+                res.agreement() ? "yes" : "NO",
+                res.decision().is_bottom()
+                    ? "⊥"
+                    : std::to_string(res.decision().raw).c_str());
+    print_meter(o, res.meter, res.rounds);
+    return res.agreement() ? 0 : 1;
+  }
+  std::fprintf(stderr, "unknown protocol: %s\n", o.protocol.c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(parse(argc, argv)); }

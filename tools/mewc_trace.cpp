@@ -1,0 +1,177 @@
+// mewc_trace — ASCII space-time diagram of one protocol run.
+//
+// Prints a rounds x processes grid showing, for every round in which
+// traffic flowed, what each process sent (one letter per message kind,
+// lowercase for Byzantine senders), plus a per-round kind legend. Silent
+// rounds are elided — which makes the paper's silent-phase mechanism
+// directly visible: an adaptive run is mostly blank.
+//
+// Usage mirrors mewc_sim:
+//   mewc_trace [--protocol bb|weak-ba|strong-ba] [--t T] [--f F]
+//              [--adversary none|crash|killer|silent-sender] [--seed SEED]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ba/adversaries/adversaries.hpp"
+#include "ba/harness.hpp"
+
+namespace {
+
+using namespace mewc;
+
+struct Options {
+  std::string protocol = "weak-ba";
+  std::uint32_t t = 2;
+  std::uint32_t f = 0;
+  std::string adversary = "none";
+  std::uint64_t seed = 0x5e7;
+};
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--protocol")) {
+      o.protocol = need();
+    } else if (!std::strcmp(argv[i], "--t")) {
+      o.t = static_cast<std::uint32_t>(std::atoi(need()));
+    } else if (!std::strcmp(argv[i], "--f")) {
+      o.f = static_cast<std::uint32_t>(std::atoi(need()));
+    } else if (!std::strcmp(argv[i], "--adversary")) {
+      o.adversary = need();
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      o.seed = std::strtoull(need(), nullptr, 0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+/// One letter per message kind, stable across runs.
+char glyph_for(const std::string& kind) {
+  static const std::map<std::string, char> table = {
+      {"bb.sender_value", 'S'}, {"bb.help_req", 'H'},
+      {"bb.reply_value", 'R'},  {"bb.idk", 'I'},
+      {"bb.leader_value", 'L'}, {"wba.propose", 'P'},
+      {"wba.vote", 'V'},        {"wba.commit", 'C'},
+      {"wba.decide", 'D'},      {"wba.finalized", 'F'},
+      {"wba.help_req", 'H'},    {"wba.help", 'A'},
+      {"wba.fallback", 'B'},    {"sba.input", 'N'},
+      {"sba.propose_cert", 'P'},{"sba.decide_vote", 'D'},
+      {"sba.decide_cert", 'C'}, {"sba.fallback", 'B'},
+      {"ds.relay", '*'},
+  };
+  auto it = table.find(kind);
+  return it == table.end() ? '?' : it->second;
+}
+
+int run(const Options& o) {
+  auto spec = harness::RunSpec::for_t(o.t);
+  spec.seed = o.seed;
+
+  // cell[round][process] = glyph of the (last) kind sent that round.
+  std::map<Round, std::vector<char>> cells;
+  std::map<Round, std::set<std::string>> kinds;
+  spec.recorder = [&](const Message& m, bool correct) {
+    auto& row = cells[m.round];
+    if (row.empty()) row.assign(spec.n, '.');
+    const char g = glyph_for(m.body->kind());
+    row[m.from] =
+        correct ? g : static_cast<char>(std::tolower(static_cast<int>(g)));
+    kinds[m.round].insert(m.body->kind());
+  };
+
+  std::vector<ProcessId> victims;
+  for (std::uint32_t i = 0; i < o.f; ++i) victims.push_back(i);
+
+  std::unique_ptr<Adversary> adversary;
+  if (o.adversary == "crash") {
+    adversary = std::make_unique<adv::CrashAdversary>(victims);
+  } else if (o.adversary == "killer") {
+    const Round first = o.protocol == "bb" ? 4 : 3;
+    const Round len = o.protocol == "bb" ? 3 : 5;
+    adversary =
+        std::make_unique<adv::AdaptiveLeaderCrash>(first, len, spec.n, o.f);
+  } else if (o.adversary == "silent-sender") {
+    adversary = std::make_unique<adv::CrashAdversary>(
+        std::vector<ProcessId>{spec.n - 1});
+  } else {
+    adversary = std::make_unique<adv::NullAdversary>();
+  }
+
+  bool agreement = false;
+  Round total_rounds = 0;
+  if (o.protocol == "bb") {
+    const auto res =
+        harness::run_bb(spec, spec.n - 1, Value(7), *adversary);
+    agreement = res.agreement();
+    total_rounds = res.rounds;
+  } else if (o.protocol == "weak-ba") {
+    const auto res = harness::run_weak_ba(
+        spec, std::vector<WireValue>(spec.n, WireValue::plain(Value(7))),
+        harness::always_valid_factory(), *adversary);
+    agreement = res.agreement();
+    total_rounds = res.rounds;
+  } else if (o.protocol == "strong-ba") {
+    const auto res = harness::run_strong_ba(
+        spec, std::vector<Value>(spec.n, Value(1)), *adversary);
+    agreement = res.agreement();
+    total_rounds = res.rounds;
+  } else {
+    std::fprintf(stderr, "unknown protocol: %s\n", o.protocol.c_str());
+    return 2;
+  }
+
+  std::printf("space-time diagram: %s, n = %u, adversary = %s (f = %u)\n",
+              o.protocol.c_str(), spec.n, o.adversary.c_str(), o.f);
+  std::printf("rows = rounds with traffic (of %u total; blank rounds are the "
+              "silent phases)\n", total_rounds);
+  std::printf("columns = processes; lowercase = Byzantine sender\n\n");
+
+  std::printf("round |");
+  for (ProcessId p = 0; p < spec.n; ++p) std::printf("%2u", p % 100);
+  std::printf(" | kinds\n");
+  std::printf("------+%s-+------\n", std::string(2 * spec.n, '-').c_str());
+  Round last_printed = 0;
+  for (const auto& [round, row] : cells) {
+    if (last_printed != 0 && round > last_printed + 1) {
+      std::printf("  ... |%s |  (%u silent rounds)\n",
+                  std::string(2 * spec.n, ' ').c_str(),
+                  round - last_printed - 1);
+    }
+    std::printf("%5u |", round);
+    for (char c : row) std::printf(" %c", c);
+    std::printf(" | ");
+    bool first = true;
+    for (const auto& k : kinds[round]) {
+      std::printf("%s%s", first ? "" : ", ", k.c_str());
+      first = false;
+    }
+    std::printf("\n");
+    last_printed = round;
+  }
+  if (last_printed < total_rounds) {
+    std::printf("  ... |%s |  (%u silent rounds to the end)\n",
+                std::string(2 * spec.n, ' ').c_str(),
+                total_rounds - last_printed);
+  }
+  std::printf("\nagreement: %s\n", agreement ? "yes" : "NO");
+  return agreement ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(parse(argc, argv)); }
