@@ -21,6 +21,7 @@ Result run_protocol(const RunSpec& spec, Round rounds, Adversary& adversary,
   for (ProcessId p = 0; p < spec.n; ++p) {
     bundles.push_back(family.issue_bundle(p));
   }
+  if (spec.on_setup) spec.on_setup(family);
 
   std::vector<std::unique_ptr<IProcess>> processes;
   processes.reserve(spec.n);

@@ -28,6 +28,11 @@ struct RunSpec {
   bool codec_roundtrip = false;
   /// Optional observer of every link-crossing message (trace tooling).
   std::function<void(const Message&, bool correct)> recorder;
+  /// Optional hook invoked once the trusted setup exists, before round 1.
+  /// Gives observers access to the run's ThresholdFamily while the run is
+  /// live — the src/check certificate scanner verifies every certificate
+  /// crossing the wire against the real schemes through this.
+  std::function<void(const ThresholdFamily&)> on_setup;
 
   [[nodiscard]] static RunSpec for_t(std::uint32_t t) {
     RunSpec s;

@@ -1,0 +1,140 @@
+#include "check/adversary_registry.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "ba/adversaries/adversaries.hpp"
+#include "ba/adversaries/fuzzer.hpp"
+
+namespace mewc::check {
+
+namespace {
+
+using Factory =
+    std::function<std::unique_ptr<Adversary>(const AdversaryParams&)>;
+
+/// The first `f` process ids, skipping the designated sender so BB validity
+/// stays checkable under crash strategies.
+std::vector<ProcessId> first_victims(const AdversaryParams& p) {
+  std::vector<ProcessId> victims;
+  for (ProcessId i = 0; victims.size() < p.f && i < p.n; ++i) {
+    if (i != p.sender) victims.push_back(i);
+  }
+  return victims;
+}
+
+const std::vector<std::pair<std::string, Factory>>& table() {
+  static const std::vector<std::pair<std::string, Factory>> kTable = {
+      {"none",
+       [](const AdversaryParams&) {
+         return std::make_unique<adv::NullAdversary>();
+       }},
+      {"crash",
+       [](const AdversaryParams& p) {
+         return std::make_unique<adv::CrashAdversary>(first_victims(p));
+       }},
+      // Same victims but crashing mid-run, once the protocol has already
+      // absorbed their early traffic.
+      {"crash-late",
+       [](const AdversaryParams& p) {
+         const Round mid =
+             std::max<Round>(2, protocol_rounds(p.protocol, p.n, p.t) / 2);
+         return std::make_unique<adv::CrashAdversary>(first_victims(p), mid);
+       }},
+      {"silent-sender",
+       [](const AdversaryParams& p) {
+         const ProcessId victim = p.sender == kNoProcess
+                                      ? static_cast<ProcessId>(p.n - 1)
+                                      : p.sender;
+         return std::make_unique<adv::CrashAdversary>(
+             std::vector<ProcessId>{victim});
+       }},
+      {"killer",
+       [](const AdversaryParams& p) {
+         const auto geo = protocol_phases(p.protocol);
+         return std::make_unique<adv::AdaptiveLeaderCrash>(geo.first, geo.len,
+                                                           p.n, p.f);
+       }},
+      {"equivocate",
+       [](const AdversaryParams& p) {
+         const ProcessId sender = p.sender == kNoProcess
+                                      ? static_cast<ProcessId>(p.n - 1)
+                                      : p.sender;
+         return std::make_unique<adv::BbEquivocatingSender>(
+             sender, p.instance, adv::SenderMode::kEquivocate, Value(p.value),
+             Value(p.value + 1));
+       }},
+      {"partial-sender",
+       [](const AdversaryParams& p) {
+         const ProcessId sender = p.sender == kNoProcess
+                                      ? static_cast<ProcessId>(p.n - 1)
+                                      : p.sender;
+         return std::make_unique<adv::BbEquivocatingSender>(
+             sender, p.instance, adv::SenderMode::kPartial, Value(p.value),
+             Value(p.value + 1), /*reach=*/std::max(1u, p.n / 2));
+       }},
+      {"fuzz",
+       [](const AdversaryParams& p) {
+         return std::make_unique<adv::Fuzzer>(p.instance, p.seed,
+                                              std::max(1u, p.f), 4, p.sender);
+       }},
+      // Random garbage plus a crashed process: exercises validation layers
+      // while some honest slots are simply absent.
+      {"fuzz-crash",
+       [](const AdversaryParams& p) {
+         std::vector<std::unique_ptr<Adversary>> parts;
+         const std::uint32_t fuzzed = p.f > 1 ? p.f - 1 : 1;
+         parts.push_back(std::make_unique<adv::Fuzzer>(p.instance, p.seed,
+                                                       fuzzed, 4, p.sender));
+         auto victims = first_victims(p);
+         if (!victims.empty()) victims.resize(1);
+         parts.push_back(std::make_unique<adv::CrashAdversary>(victims));
+         return std::make_unique<adv::Composite>(std::move(parts));
+       }},
+      {"random-adaptive",
+       [](const AdversaryParams& p) {
+         return std::make_unique<adv::RandomAdaptiveCrash>(
+             p.seed, p.f, protocol_rounds(p.protocol, p.n, p.t), p.sender);
+       }},
+      {"help-spam",
+       [](const AdversaryParams& p) {
+         return std::make_unique<adv::WbaHelpSpam>(
+             p.instance, protocol_help_round(p.protocol, p.n),
+             std::max(1u, p.f), /*form_certificate=*/true,
+             /*cert_recipients=*/1);
+       }},
+  };
+  return kTable;
+}
+
+}  // namespace
+
+std::unique_ptr<Adversary> make_adversary(std::string_view name,
+                                          const AdversaryParams& params) {
+  for (const auto& [entry_name, factory] : table()) {
+    if (entry_name == name) return factory(params);
+  }
+  return nullptr;
+}
+
+const std::vector<std::string>& adversary_names() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    names.reserve(table().size());
+    for (const auto& [name, factory] : table()) names.push_back(name);
+    return names;
+  }();
+  return kNames;
+}
+
+std::string adversary_names_joined(std::string_view sep) {
+  std::string out;
+  for (const auto& name : adversary_names()) {
+    if (!out.empty()) out += sep;
+    out += name;
+  }
+  return out;
+}
+
+}  // namespace mewc::check

@@ -1,0 +1,40 @@
+// The single name -> adversary factory table. mewc_sim, mewc_trace and the
+// campaign engine all build adversaries through here, so a strategy added
+// once is immediately available everywhere (the tools used to each carry a
+// private subset and drifted apart).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "check/protocols.hpp"
+#include "common/types.hpp"
+#include "sim/adversary.hpp"
+
+namespace mewc::check {
+
+/// Everything a factory may need to instantiate its strategy for one run.
+struct AdversaryParams {
+  Protocol protocol = Protocol::kWeakBa;
+  std::uint32_t n = 0;
+  std::uint32_t t = 0;
+  std::uint32_t f = 0;  // corruption budget
+  std::uint64_t instance = 1;
+  std::uint64_t seed = 0;
+  std::uint64_t value = 7;           // base input value (for equivocators)
+  ProcessId sender = kNoProcess;     // designated BB sender, spared by
+                                     // crash-style strategies
+};
+
+/// Builds the named adversary, or nullptr for an unknown name.
+[[nodiscard]] std::unique_ptr<Adversary> make_adversary(
+    std::string_view name, const AdversaryParams& params);
+
+/// All registered names, in table order.
+[[nodiscard]] const std::vector<std::string>& adversary_names();
+
+[[nodiscard]] std::string adversary_names_joined(std::string_view sep = "|");
+
+}  // namespace mewc::check

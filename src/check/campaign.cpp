@@ -1,0 +1,288 @@
+#include "check/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "check/adversary_registry.hpp"
+#include "check/runner.hpp"
+
+namespace mewc::check {
+
+namespace {
+
+bool fail(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+std::uint64_t percentile(std::vector<std::uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+std::vector<CellSpec> GridSpec::enumerate() const {
+  std::vector<CellSpec> cells;
+  for (const Protocol proto : protocols) {
+    for (const GridSize& size : sizes) {
+      const std::uint32_t n = size.n == 0 ? n_for_t(size.t) : size.n;
+      for (const std::uint32_t f : fs) {
+        if (f > size.t) continue;
+        for (const std::string& adv : adversaries) {
+          for (const std::uint64_t seed : seeds) {
+            CellSpec cell;
+            cell.protocol = proto;
+            cell.n = n;
+            cell.t = size.t;
+            cell.f = f;
+            cell.adversary = adv;
+            cell.seed = seed;
+            cell.backend = backend;
+            cell.codec_roundtrip = codec_roundtrip;
+            cell.value = value;
+            cells.push_back(std::move(cell));
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+bool GridSpec::from_json(const json::Value& v, GridSpec* out,
+                         std::string* error) {
+  if (!v.is_object()) return fail(error, "grid must be a JSON object");
+  GridSpec grid;
+
+  const auto& protocols = v["protocols"];
+  if (!protocols.is_array() || protocols.as_array().empty()) {
+    return fail(error, "grid.protocols must be a non-empty array");
+  }
+  for (const auto& p : protocols.as_array()) {
+    if (p.is_string() && p.as_string() == "all") {
+      grid.protocols = all_protocols();
+      continue;
+    }
+    const auto proto =
+        p.is_string() ? parse_protocol(p.as_string()) : std::nullopt;
+    if (!proto) {
+      return fail(error, "unknown protocol '" +
+                             (p.is_string() ? p.as_string() : "?") +
+                             "' (expected " + protocol_names_joined() + ")");
+    }
+    grid.protocols.push_back(*proto);
+  }
+
+  const auto& sizes = v["sizes"];
+  if (!sizes.is_array() || sizes.as_array().empty()) {
+    return fail(error, "grid.sizes must be a non-empty array of {n?, t}");
+  }
+  for (const auto& s : sizes.as_array()) {
+    if (!s.is_object() || !s["t"].is_number()) {
+      return fail(error, "each grid size needs a numeric t");
+    }
+    GridSize size;
+    size.t = static_cast<std::uint32_t>(s["t"].as_u64());
+    size.n = static_cast<std::uint32_t>(s["n"].as_u64());
+    if (size.t == 0) return fail(error, "grid size t must be >= 1");
+    if (size.n != 0 && size.n < 2 * size.t + 1) {
+      return fail(error, "grid size n must satisfy n >= 2t+1");
+    }
+    grid.sizes.push_back(size);
+  }
+
+  if (!v["fs"].is_null()) {
+    grid.fs.clear();
+    for (const auto& f : v["fs"].as_array()) {
+      grid.fs.push_back(static_cast<std::uint32_t>(f.as_u64()));
+    }
+    if (grid.fs.empty()) return fail(error, "grid.fs must not be empty");
+  }
+
+  if (!v["adversaries"].is_null()) {
+    grid.adversaries.clear();
+    for (const auto& a : v["adversaries"].as_array()) {
+      if (!a.is_string()) return fail(error, "adversary names are strings");
+      const auto& names = adversary_names();
+      if (std::find(names.begin(), names.end(), a.as_string()) ==
+          names.end()) {
+        return fail(error, "unknown adversary '" + a.as_string() +
+                               "' (expected " + adversary_names_joined() +
+                               ")");
+      }
+      grid.adversaries.push_back(a.as_string());
+    }
+    if (grid.adversaries.empty()) {
+      return fail(error, "grid.adversaries must not be empty");
+    }
+  }
+
+  if (!v["seeds"].is_null()) {
+    grid.seeds.clear();
+    if (v["seeds"].is_number()) {
+      // Shorthand: "seeds": 16 sweeps seeds 1..16.
+      const std::uint64_t count = v["seeds"].as_u64();
+      if (count == 0) return fail(error, "grid.seeds must be >= 1");
+      for (std::uint64_t s = 1; s <= count; ++s) grid.seeds.push_back(s);
+    } else {
+      for (const auto& s : v["seeds"].as_array()) {
+        grid.seeds.push_back(s.as_u64());
+      }
+      if (grid.seeds.empty()) return fail(error, "grid.seeds must not be empty");
+    }
+  }
+
+  if (!v["backend"].is_null()) {
+    const std::string& b = v["backend"].as_string();
+    if (b == "sim") {
+      grid.backend = ThresholdBackend::kSim;
+    } else if (b == "shamir") {
+      grid.backend = ThresholdBackend::kShamir;
+    } else {
+      return fail(error, "unknown backend '" + b + "' (expected sim|shamir)");
+    }
+  }
+  if (!v["codec_roundtrip"].is_null()) {
+    grid.codec_roundtrip = v["codec_roundtrip"].as_bool();
+  }
+  if (!v["value"].is_null()) grid.value = v["value"].as_u64();
+  if (!v["word_budget_c"].is_null()) {
+    grid.checkers.word_budget_c = v["word_budget_c"].as_u64();
+    if (grid.checkers.word_budget_c == 0) {
+      return fail(error, "grid.word_budget_c must be >= 1");
+    }
+  }
+  if (!v["record_messages"].is_null()) {
+    grid.record_messages = v["record_messages"].as_bool();
+  }
+
+  *out = std::move(grid);
+  return true;
+}
+
+const CellResult* CampaignReport::first_failure() const {
+  for (const auto& r : results) {
+    if (!r.passed()) return &r;
+  }
+  return nullptr;
+}
+
+json::Value CampaignReport::to_json() const {
+  json::Object root;
+  root["cells_total"] = json::Value(cells_total);
+  root["cells_passed"] = json::Value(cells_passed);
+  root["cells_failed"] = json::Value(cells_failed());
+
+  // Word-complexity percentiles per protocol x adversary group, normalized
+  // by n*(f+1) so the Table 1 envelope is directly readable from the
+  // report ("norm_max" stays below the campaign's C on passing runs in the
+  // adaptive regime).
+  struct Group {
+    std::vector<std::uint64_t> words;
+    double norm_max = 0;
+    std::uint64_t cells = 0;
+    std::uint64_t failed = 0;
+  };
+  std::map<std::string, Group> groups;
+  for (const auto& r : results) {
+    Group& g = groups[std::string(protocol_name(r.cell.protocol)) + "/" +
+                      r.cell.adversary];
+    g.words.push_back(r.words_correct);
+    g.cells += 1;
+    if (!r.passed()) g.failed += 1;
+    const double norm =
+        static_cast<double>(r.words_correct) /
+        (static_cast<double>(r.cell.n) *
+         static_cast<double>(r.f_observed + 1));
+    g.norm_max = std::max(g.norm_max, norm);
+  }
+  json::Object groups_json;
+  for (auto& [name, g] : groups) {
+    std::sort(g.words.begin(), g.words.end());
+    json::Object o;
+    o["cells"] = json::Value(g.cells);
+    o["failed"] = json::Value(g.failed);
+    o["words_p50"] = json::Value(percentile(g.words, 0.50));
+    o["words_p90"] = json::Value(percentile(g.words, 0.90));
+    o["words_max"] = json::Value(g.words.empty() ? 0 : g.words.back());
+    o["words_per_n_fp1_max"] = json::Value(g.norm_max);
+    groups_json[name] = json::Value(std::move(o));
+  }
+  root["groups"] = json::Value(std::move(groups_json));
+
+  json::Array failures;
+  for (const auto& r : results) {
+    if (r.passed()) continue;
+    json::Object f;
+    f["cell"] = json::Value(r.cell.label());
+    json::Array vs;
+    for (const auto& v : r.violations) {
+      json::Object vo;
+      vo["checker"] = json::Value(v.checker);
+      vo["detail"] = json::Value(v.detail);
+      vs.push_back(json::Value(std::move(vo)));
+    }
+    f["violations"] = json::Value(std::move(vs));
+    failures.push_back(json::Value(std::move(f)));
+  }
+  root["failures"] = json::Value(std::move(failures));
+  return json::Value(std::move(root));
+}
+
+CampaignReport run_campaign(
+    const GridSpec& grid, unsigned jobs,
+    const std::function<void(const CellResult&)>& on_cell) {
+  const std::vector<CellSpec> cells = grid.enumerate();
+
+  CampaignReport report;
+  report.results.resize(cells.size());
+  report.cells_total = cells.size();
+
+  RunOptions run_opts;
+  run_opts.record_messages = grid.record_messages;
+
+  std::atomic<std::size_t> next{0};
+  std::mutex progress_mutex;
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= cells.size()) return;
+      const RunRecord record = run_cell(cells[i], run_opts);
+      CellResult& result = report.results[i];
+      result.cell = cells[i];
+      result.violations = run_checkers(record, grid.checkers);
+      result.words_correct = record.meter.words_correct;
+      result.f_observed = record.f();
+      result.any_fallback = record.any_fallback;
+      result.adaptive = record.adaptive();
+      if (on_cell) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        on_cell(result);
+      }
+    }
+  };
+
+  unsigned threads = jobs != 0 ? jobs : std::thread::hardware_concurrency();
+  threads = std::max(1u, std::min<unsigned>(
+                             threads, static_cast<unsigned>(cells.size())));
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+
+  for (const auto& r : report.results) {
+    report.cells_passed += r.passed() ? 1 : 0;
+  }
+  return report;
+}
+
+}  // namespace mewc::check

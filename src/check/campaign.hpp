@@ -1,0 +1,84 @@
+// Seed-sweep campaign engine: enumerates (protocol, n, t, f, adversary,
+// seed) cells from a declarative grid, runs each through the harness
+// (optionally across worker threads — runs share no mutable state), applies
+// every invariant checker, and aggregates a JSON report with pass/fail
+// counts and word-complexity percentiles per protocol x adversary group.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/checkers.hpp"
+#include "check/json.hpp"
+#include "check/record.hpp"
+
+namespace mewc::check {
+
+/// One (n, t) system size. n == 0 means "derive 2t+1".
+struct GridSize {
+  std::uint32_t n = 0;
+  std::uint32_t t = 0;
+};
+
+/// Declarative campaign grid: the cross product of every axis, minus cells
+/// with f > t. Parsed from JSON (see tools/grids/*.json).
+struct GridSpec {
+  std::vector<Protocol> protocols;
+  std::vector<GridSize> sizes;
+  std::vector<std::uint32_t> fs = {0};
+  std::vector<std::string> adversaries = {"none"};
+  std::vector<std::uint64_t> seeds = {0x5e7};
+  ThresholdBackend backend = ThresholdBackend::kSim;
+  bool codec_roundtrip = false;
+  std::uint64_t value = 7;
+  CheckerOptions checkers;
+  /// Keep full message streams (memory-heavy; campaigns default to off —
+  /// the shrinker re-runs the failing cell with recording on).
+  bool record_messages = false;
+
+  /// Materializes the cell list, resolving n == 0 sizes and skipping
+  /// f > t combinations.
+  [[nodiscard]] std::vector<CellSpec> enumerate() const;
+
+  /// Parses the JSON grid format; returns false with a diagnostic in
+  /// *error on malformed or unknown fields/names.
+  [[nodiscard]] static bool from_json(const json::Value& v, GridSpec* out,
+                                      std::string* error);
+};
+
+/// Outcome of one cell: the violations (if any) plus the headline numbers
+/// kept for aggregation (the full record is dropped to bound memory).
+struct CellResult {
+  CellSpec cell;
+  std::vector<Violation> violations;
+  std::uint64_t words_correct = 0;
+  std::uint32_t f_observed = 0;
+  bool any_fallback = false;
+  bool adaptive = false;
+
+  [[nodiscard]] bool passed() const { return violations.empty(); }
+};
+
+struct CampaignReport {
+  std::vector<CellResult> results;
+  std::uint64_t cells_total = 0;
+  std::uint64_t cells_passed = 0;
+
+  [[nodiscard]] std::uint64_t cells_failed() const {
+    return cells_total - cells_passed;
+  }
+  [[nodiscard]] const CellResult* first_failure() const;
+  /// Full JSON report: summary, per protocol x adversary word percentiles,
+  /// every failure with its violations.
+  [[nodiscard]] json::Value to_json() const;
+};
+
+/// Runs the whole grid. `jobs` worker threads (0: hardware concurrency).
+/// `on_cell`, when set, is called after each cell completes (any thread —
+/// serialized by the engine) for progress reporting.
+[[nodiscard]] CampaignReport run_campaign(
+    const GridSpec& grid, unsigned jobs = 0,
+    const std::function<void(const CellResult&)>& on_cell = nullptr);
+
+}  // namespace mewc::check

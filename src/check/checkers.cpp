@@ -1,0 +1,210 @@
+#include "check/checkers.hpp"
+
+#include <string>
+
+namespace mewc::check {
+
+namespace {
+
+std::string pid_str(ProcessId p) { return std::to_string(p); }
+
+std::string value_str(const Value& v) {
+  return v.is_bottom() ? "⊥" : std::to_string(v.raw);
+}
+
+std::string decision_str(const WireValue& w) { return value_str(w.value); }
+
+/// Applies `fn(p)` to every correct, decided process.
+template <typename Fn>
+void for_each_decided(const RunRecord& r, Fn fn) {
+  for (ProcessId p = 0; p < r.cell.n; ++p) {
+    if (p < r.corrupted.size() && r.corrupted[p]) continue;
+    if (p < r.decided.size() && r.decided[p]) fn(p);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Agreement
+// ---------------------------------------------------------------------------
+
+void AgreementChecker::check(const RunRecord& record, const CheckerOptions&,
+                             std::vector<Violation>& out) const {
+  bool seen = false;
+  WireValue first;
+  ProcessId first_p = kNoProcess;
+  for_each_decided(record, [&](ProcessId p) {
+    if (!seen) {
+      seen = true;
+      first = record.decisions[p];
+      first_p = p;
+    } else if (!(first == record.decisions[p])) {
+      out.push_back({name(), "process " + pid_str(first_p) + " decided " +
+                                 decision_str(first) + " but process " +
+                                 pid_str(p) + " decided " +
+                                 decision_str(record.decisions[p])});
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Validity
+// ---------------------------------------------------------------------------
+
+void ValidityChecker::check(const RunRecord& record, const CheckerOptions&,
+                            std::vector<Violation>& out) const {
+  const Protocol proto = record.cell.protocol;
+
+  if (proto == Protocol::kBb || proto == Protocol::kDsBb) {
+    // BB validity: a correct sender's value is the only legal decision.
+    if (!record.sender_correct()) return;
+    const Value sent = record.inputs[record.sender].value;
+    for_each_decided(record, [&](ProcessId p) {
+      if (record.decisions[p].value != sent) {
+        out.push_back({name(), "correct sender " + pid_str(record.sender) +
+                                   " sent " + value_str(sent) +
+                                   " but process " + pid_str(p) +
+                                   " decided " +
+                                   decision_str(record.decisions[p])});
+      }
+    });
+    return;
+  }
+
+  if (proto == Protocol::kStrongBa) {
+    // Binary protocol: decisions outside {0, 1} are never legal.
+    for_each_decided(record, [&](ProcessId p) {
+      if (record.decisions[p].value.raw > 1) {
+        out.push_back({name(), "process " + pid_str(p) +
+                                   " decided non-binary value " +
+                                   decision_str(record.decisions[p])});
+      }
+    });
+  }
+
+  // Unanimity: strong BA and A_fallback guarantee strong unanimity for any
+  // f <= t; weak BA's premise ("ALL processes share the input") only holds
+  // at f = 0, where weak and strong unanimity coincide.
+  if (proto == Protocol::kWeakBa && record.f() != 0) return;
+  Value common = kBottom;
+  if (!record.unanimous_correct_inputs(&common)) return;
+  for_each_decided(record, [&](ProcessId p) {
+    if (record.decisions[p].value != common) {
+      out.push_back({name(), "unanimous correct input " + value_str(common) +
+                                 " but process " + pid_str(p) + " decided " +
+                                 decision_str(record.decisions[p])});
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Termination
+// ---------------------------------------------------------------------------
+
+void TerminationChecker::check(const RunRecord& record, const CheckerOptions&,
+                               std::vector<Violation>& out) const {
+  for (ProcessId p = 0; p < record.cell.n; ++p) {
+    if (p < record.corrupted.size() && record.corrupted[p]) continue;
+    if (p >= record.decided.size() || !record.decided[p]) {
+      out.push_back({name(), "correct process " + pid_str(p) +
+                                 " never decided within " +
+                                 std::to_string(record.rounds) + " rounds"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Word budget (Table 1)
+// ---------------------------------------------------------------------------
+
+void WordBudgetChecker::check(const RunRecord& record,
+                              const CheckerOptions& opts,
+                              std::vector<Violation>& out) const {
+  const Protocol proto = record.cell.protocol;
+  const std::uint64_t n = record.cell.n;
+  const std::uint64_t f = record.f();
+  const std::uint64_t words = record.meter.words_correct;
+
+  if (proto == Protocol::kBb || proto == Protocol::kWeakBa) {
+    // The adaptive bound only binds while enough processes stay correct to
+    // fill a commit quorum; outside that regime the fallback (and its
+    // higher cost) is legitimate.
+    if (!record.adaptive()) return;
+    const std::uint64_t budget = opts.word_budget_c * n * (f + 1);
+    if (words > budget) {
+      out.push_back({name(), "adaptive regime but words_correct = " +
+                                 std::to_string(words) + " > C*n*(f+1) = " +
+                                 std::to_string(budget) + " (C = " +
+                                 std::to_string(opts.word_budget_c) + ")"});
+    }
+    if (record.any_fallback) {
+      out.push_back(
+          {name(), "fallback entered despite the adaptive regime holding"});
+    }
+    return;
+  }
+
+  if (proto == Protocol::kStrongBa && f == 0) {
+    // Failure-free fast path: O(n) words, no fallback.
+    const std::uint64_t budget = opts.word_budget_c * n;
+    if (words > budget) {
+      out.push_back({name(), "failure-free run but words_correct = " +
+                                 std::to_string(words) + " > C*n = " +
+                                 std::to_string(budget)});
+    }
+    if (record.any_fallback) {
+      out.push_back({name(), "fallback entered in a failure-free run"});
+    }
+  }
+  // A_fallback standalone and Dolev-Strong are the expensive baselines; no
+  // adaptive bound applies.
+}
+
+// ---------------------------------------------------------------------------
+// Certificates
+// ---------------------------------------------------------------------------
+
+void CertificateChecker::check(const RunRecord& record, const CheckerOptions&,
+                               std::vector<Violation>& out) const {
+  for (const auto& c : record.certs) {
+    if (!c.verified) {
+      out.push_back({name(), "round " + std::to_string(c.round) +
+                                 ": correct process " + pid_str(c.from) +
+                                 " sent " + c.kind + "." + c.field +
+                                 " whose certificate failed verification"});
+    } else if (c.k < c.required_k) {
+      out.push_back({name(), "round " + std::to_string(c.round) +
+                                 ": correct process " + pid_str(c.from) +
+                                 " sent " + c.kind + "." + c.field +
+                                 " with threshold k = " + std::to_string(c.k) +
+                                 " < required " +
+                                 std::to_string(c.required_k)});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+std::vector<std::unique_ptr<Checker>> default_checkers() {
+  std::vector<std::unique_ptr<Checker>> cs;
+  cs.push_back(std::make_unique<AgreementChecker>());
+  cs.push_back(std::make_unique<ValidityChecker>());
+  cs.push_back(std::make_unique<TerminationChecker>());
+  cs.push_back(std::make_unique<WordBudgetChecker>());
+  cs.push_back(std::make_unique<CertificateChecker>());
+  return cs;
+}
+
+std::vector<Violation> run_checkers(const RunRecord& record,
+                                    const CheckerOptions& opts) {
+  std::vector<Violation> violations;
+  for (const auto& c : default_checkers()) {
+    c->check(record, opts, violations);
+  }
+  return violations;
+}
+
+}  // namespace mewc::check

@@ -1,0 +1,95 @@
+// Composable invariant checkers over a RunRecord. Each checker inspects the
+// outcome of one simulated run and reports violations; the registry in
+// default_checkers() is what campaigns, tests and the replay tool evaluate.
+//
+// Soundness rule: a checker may only flag conditions the paper guarantees
+// under an arbitrary adversary within the run's corruption budget. Anything
+// conditional (validity needs honest inputs, the word bound needs the
+// adaptive regime) guards itself on the recorded run facts, so every
+// checker can run on every cell of a campaign grid.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/record.hpp"
+
+namespace mewc::check {
+
+/// One invariant violation, attributable to a named checker.
+struct Violation {
+  std::string checker;
+  std::string detail;
+};
+
+struct CheckerOptions {
+  /// Envelope constant C of the Table 1 adaptive bound
+  /// words_correct <= C * n * (f+1); matches tests/ba/complexity_test.cpp.
+  std::uint64_t word_budget_c = 30;
+};
+
+class Checker {
+ public:
+  virtual ~Checker() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  /// Appends any violations found in `record` to `out`.
+  virtual void check(const RunRecord& record, const CheckerOptions& opts,
+                     std::vector<Violation>& out) const = 0;
+};
+
+/// All correct decided processes hold the same decision.
+class AgreementChecker final : public Checker {
+ public:
+  [[nodiscard]] const char* name() const override { return "agreement"; }
+  void check(const RunRecord& record, const CheckerOptions& opts,
+             std::vector<Violation>& out) const override;
+};
+
+/// Protocol-specific validity: a correct BB sender's value wins; unanimity
+/// among correct inputs pins the BA decision (weak BA only at f = 0, where
+/// the paper's weak unanimity premise "all processes have the same input"
+/// is actually met).
+class ValidityChecker final : public Checker {
+ public:
+  [[nodiscard]] const char* name() const override { return "validity"; }
+  void check(const RunRecord& record, const CheckerOptions& opts,
+             std::vector<Violation>& out) const override;
+};
+
+/// Every correct process decides within the round schedule.
+class TerminationChecker final : public Checker {
+ public:
+  [[nodiscard]] const char* name() const override { return "termination"; }
+  void check(const RunRecord& record, const CheckerOptions& opts,
+             std::vector<Violation>& out) const override;
+};
+
+/// Table 1 adaptive word bound: in the adaptive regime (n - f >= the commit
+/// quorum), correct processes spend at most C * n * (f+1) words and never
+/// enter the fallback. Strong BA is checked at f = 0 against C * n.
+class WordBudgetChecker final : public Checker {
+ public:
+  [[nodiscard]] const char* name() const override { return "word-budget"; }
+  void check(const RunRecord& record, const CheckerOptions& opts,
+             std::vector<Violation>& out) const override;
+};
+
+/// Every threshold certificate a correct process put on the wire verified
+/// against the run's schemes and carried at least the threshold its
+/// position demands.
+class CertificateChecker final : public Checker {
+ public:
+  [[nodiscard]] const char* name() const override { return "certificates"; }
+  void check(const RunRecord& record, const CheckerOptions& opts,
+             std::vector<Violation>& out) const override;
+};
+
+/// The full registry, in reporting order.
+[[nodiscard]] std::vector<std::unique_ptr<Checker>> default_checkers();
+
+/// Runs every checker over the record; returns all violations found.
+[[nodiscard]] std::vector<Violation> run_checkers(const RunRecord& record,
+                                                  const CheckerOptions& opts);
+
+}  // namespace mewc::check

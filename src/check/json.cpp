@@ -1,0 +1,363 @@
+#include "check/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mewc::check::json {
+
+namespace {
+
+const Value& null_value() {
+  static const Value kNull;
+  return kNull;
+}
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  [[nodiscard]] bool at_end() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!at_end() && (text[pos] == ' ' || text[pos] == '\t' ||
+                         text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool fail(const std::string& what) {
+    if (error.empty()) {
+      error = what + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (at_end() || text[pos] != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+    return true;
+  }
+
+  bool parse_value(Value& out) {
+    skip_ws();
+    if (at_end()) return fail("unexpected end of input");
+    const char c = peek();
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') return parse_string_value(out);
+    if (c == 't' || c == 'f') return parse_bool(out);
+    if (c == 'n') return parse_null(out);
+    return parse_number(out);
+  }
+
+  bool parse_object(Value& out) {
+    if (!consume('{')) return false;
+    Object obj;
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos;
+      out = Value(std::move(obj));
+      return true;
+    }
+    while (true) {
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (!consume(':')) return false;
+      Value v;
+      if (!parse_value(v)) return false;
+      obj.emplace(std::move(key), std::move(v));
+      skip_ws();
+      if (at_end()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos;
+        out = Value(std::move(obj));
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(Value& out) {
+    if (!consume('[')) return false;
+    Array arr;
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos;
+      out = Value(std::move(arr));
+      return true;
+    }
+    while (true) {
+      Value v;
+      if (!parse_value(v)) return false;
+      arr.push_back(std::move(v));
+      skip_ws();
+      if (at_end()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos;
+        out = Value(std::move(arr));
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    skip_ws();
+    if (at_end() || peek() != '"') return fail("expected string");
+    ++pos;
+    out.clear();
+    while (!at_end()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (at_end()) break;
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            // Grid/replay files are ASCII in practice; keep escapes for the
+            // BMP as a literal best effort.
+            if (pos + 4 > text.size()) return fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad \\u escape");
+            }
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_string_value(Value& out) {
+    std::string s;
+    if (!parse_string(s)) return false;
+    out = Value(std::move(s));
+    return true;
+  }
+
+  bool parse_bool(Value& out) {
+    if (text.substr(pos, 4) == "true") {
+      pos += 4;
+      out = Value(true);
+      return true;
+    }
+    if (text.substr(pos, 5) == "false") {
+      pos += 5;
+      out = Value(false);
+      return true;
+    }
+    return fail("expected boolean");
+  }
+
+  bool parse_null(Value& out) {
+    if (text.substr(pos, 4) == "null") {
+      pos += 4;
+      out = Value();
+      return true;
+    }
+    return fail("expected null");
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos;
+    if (!at_end() && (peek() == '-' || peek() == '+')) ++pos;
+    while (!at_end() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                         peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                         peek() == '-' || peek() == '+')) {
+      ++pos;
+    }
+    if (pos == start) return fail("expected number");
+    const std::string token(text.substr(start, pos - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("malformed number");
+    out = Value(d);
+    return true;
+  }
+};
+
+void dump_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(std::string& out, double d) {
+  // Integers (the common case here) print without a fraction.
+  if (d == std::floor(d) && std::abs(d) < 9.2e18) {
+    out += std::to_string(static_cast<long long>(d));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out += buf;
+}
+
+}  // namespace
+
+const Value& Value::operator[](std::string_view key) const {
+  if (type_ == Type::kObject) {
+    auto it = obj_.find(std::string(key));
+    if (it != obj_.end()) return it->second;
+  }
+  return null_value();
+}
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent > 0) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    }
+  };
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: dump_number(out, num_); break;
+    case Type::kString: dump_string(out, str_); break;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const auto& v : arr_) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        v.dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        dump_string(out, k);
+        out += indent > 0 ? ": " : ":";
+        v.dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+std::optional<Value> parse(std::string_view text, std::string* error) {
+  Parser p{text, 0, {}};
+  Value v;
+  if (!p.parse_value(v)) {
+    if (error != nullptr) *error = p.error;
+    return std::nullopt;
+  }
+  p.skip_ws();
+  if (!p.at_end()) {
+    if (error != nullptr) {
+      *error = "trailing content at offset " + std::to_string(p.pos);
+    }
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<Value> read_file(const std::string& path, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    text.append(buf, got);
+  }
+  std::fclose(f);
+  return parse(text, error);
+}
+
+bool write_file(const std::string& path, const Value& v) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string text = v.dump(2) + "\n";
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace mewc::check::json

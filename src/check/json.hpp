@@ -1,0 +1,90 @@
+// Minimal JSON for the check subsystem: campaign grids in, campaign reports
+// and replay files out. Deliberately tiny — objects, arrays, strings,
+// integer/double numbers, bools, null; UTF-8 passed through untouched. No
+// external dependency, which is a hard constraint of this build.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace mewc::check::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  Value(std::nullptr_t) {}
+  Value(bool b) : type_(Type::kBool), bool_(b) {}
+  template <typename T,
+            typename = std::enable_if_t<std::is_arithmetic_v<T> &&
+                                        !std::is_same_v<T, bool>>>
+  Value(T num) : type_(Type::kNumber), num_(static_cast<double>(num)) {}
+  Value(const char* s) : type_(Type::kString), str_(s) {}
+  Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Value(Array a) : type_(Type::kArray), arr_(std::move(a)) {}
+  Value(Object o) : type_(Type::kObject), obj_(std::move(o)) {}
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  [[nodiscard]] bool as_bool(bool dflt = false) const {
+    return is_bool() ? bool_ : dflt;
+  }
+  [[nodiscard]] double as_double(double dflt = 0) const {
+    return is_number() ? num_ : dflt;
+  }
+  [[nodiscard]] std::uint64_t as_u64(std::uint64_t dflt = 0) const {
+    return is_number() ? static_cast<std::uint64_t>(num_) : dflt;
+  }
+  [[nodiscard]] const std::string& as_string() const { return str_; }
+  [[nodiscard]] const Array& as_array() const { return arr_; }
+  [[nodiscard]] const Object& as_object() const { return obj_; }
+  [[nodiscard]] Array& as_array() { return arr_; }
+  [[nodiscard]] Object& as_object() { return obj_; }
+
+  /// Object member lookup; returns a shared null for absent keys (and for
+  /// non-objects), so chained reads of optional fields stay terse.
+  [[nodiscard]] const Value& operator[](std::string_view key) const;
+
+  /// Serializes with two-space indentation.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Parses `text`; returns nullopt on malformed input, with a one-line
+/// diagnostic in *error when provided.
+[[nodiscard]] std::optional<Value> parse(std::string_view text,
+                                         std::string* error = nullptr);
+
+/// Whole-file helpers. read_file returns nullopt when the file cannot be
+/// read or does not parse.
+[[nodiscard]] std::optional<Value> read_file(const std::string& path,
+                                             std::string* error = nullptr);
+[[nodiscard]] bool write_file(const std::string& path, const Value& v);
+
+}  // namespace mewc::check::json

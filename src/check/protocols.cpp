@@ -1,0 +1,82 @@
+#include "check/protocols.hpp"
+
+#include <string>
+
+#include "ba/baseline/baselines.hpp"
+#include "ba/bb/bb.hpp"
+#include "ba/fallback/fallback_process.hpp"
+#include "ba/strong_ba/strong_ba.hpp"
+#include "ba/weak_ba/weak_ba.hpp"
+#include "common/check.hpp"
+
+namespace mewc::check {
+
+const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kBb: return "bb";
+    case Protocol::kWeakBa: return "weak-ba";
+    case Protocol::kStrongBa: return "strong-ba";
+    case Protocol::kFallback: return "fallback";
+    case Protocol::kDsBb: return "ds-bb";
+  }
+  return "?";
+}
+
+std::optional<Protocol> parse_protocol(std::string_view name) {
+  for (Protocol p : all_protocols()) {
+    if (name == protocol_name(p)) return p;
+  }
+  return std::nullopt;
+}
+
+const std::vector<Protocol>& all_protocols() {
+  static const std::vector<Protocol> kAll = {
+      Protocol::kBb, Protocol::kWeakBa, Protocol::kStrongBa,
+      Protocol::kFallback, Protocol::kDsBb};
+  return kAll;
+}
+
+std::string protocol_names_joined(std::string_view sep) {
+  std::string out;
+  for (Protocol p : all_protocols()) {
+    if (!out.empty()) out += sep;
+    out += protocol_name(p);
+  }
+  return out;
+}
+
+Round protocol_rounds(Protocol p, std::uint32_t n, std::uint32_t t) {
+  switch (p) {
+    case Protocol::kBb: return bb::BbProcess::total_rounds(n, t);
+    case Protocol::kWeakBa: return wba::WeakBaProcess::total_rounds(n, t);
+    case Protocol::kStrongBa: return sba::StrongBaProcess::total_rounds(t);
+    case Protocol::kFallback:
+      return fallback::FallbackBaProcess::total_rounds(t);
+    case Protocol::kDsBb:
+      return baseline::DolevStrongBbProcess::total_rounds(t);
+  }
+  MEWC_CHECK_MSG(false, "unreachable protocol");
+}
+
+PhaseGeometry protocol_phases(Protocol p) {
+  switch (p) {
+    // BB vetting phase j occupies rounds 3(j-1)+2 .. 3(j-1)+4; the killer
+    // strikes ahead of the leader-value round (matching the tools' long-
+    // standing geometry).
+    case Protocol::kBb: return {4, 3};
+    // Weak BA phase j occupies rounds 5(j-1)+1 .. 5j.
+    case Protocol::kWeakBa: return {3, 5};
+    default: return {1, 1};
+  }
+}
+
+Round protocol_help_round(Protocol p, std::uint32_t n) {
+  switch (p) {
+    case Protocol::kWeakBa: return 5 * n + 1;
+    // BB embeds a weak BA starting after dissemination + n vetting phases.
+    case Protocol::kBb: return 1 + 3 * n + 5 * n + 1;
+    default: return 0;
+  }
+}
+
+}  // namespace mewc::check

@@ -1,0 +1,44 @@
+// Protocol naming and round geometry shared by the check subsystem and the
+// CLI tools (mewc_sim, mewc_trace, mewc_vopr). Keeping the name table and
+// the phase geometry in one place is what prevents the tools from drifting
+// apart as protocols are added.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mewc::check {
+
+enum class Protocol {
+  kBb,        // adaptive Byzantine Broadcast (Algorithms 1 + 2)
+  kWeakBa,    // adaptive weak BA (Algorithms 3 + 4)
+  kStrongBa,  // strong binary BA (Algorithm 5)
+  kFallback,  // A_fallback standalone
+  kDsBb,      // Dolev-Strong BB baseline
+};
+
+[[nodiscard]] const char* protocol_name(Protocol p);
+[[nodiscard]] std::optional<Protocol> parse_protocol(std::string_view name);
+[[nodiscard]] const std::vector<Protocol>& all_protocols();
+[[nodiscard]] std::string protocol_names_joined(std::string_view sep = "|");
+
+/// Total rounds of the protocol's static schedule.
+[[nodiscard]] Round protocol_rounds(Protocol p, std::uint32_t n,
+                                    std::uint32_t t);
+
+/// Rotating-leader phase structure, for the leader-killer adversary:
+/// the round the first phase starts in and the phase length. (1, 1) for
+/// protocols without rotating phases.
+struct PhaseGeometry {
+  Round first = 1;
+  Round len = 1;
+};
+[[nodiscard]] PhaseGeometry protocol_phases(Protocol p);
+
+/// Global round of the weak-BA help exchange (0 when the protocol has none).
+[[nodiscard]] Round protocol_help_round(Protocol p, std::uint32_t n);
+
+}  // namespace mewc::check

@@ -1,0 +1,76 @@
+#include "check/record.hpp"
+
+#include "common/hash.hpp"
+#include "wire/codec.hpp"
+
+namespace mewc::check {
+
+void MessageLog::observe(const Message& m, bool correct) {
+  RecordedMessage r;
+  r.from = m.from;
+  r.to = m.to;
+  r.round = m.round;
+  r.words = m.words;
+  r.correct = correct;
+  r.kind = m.body->kind();
+  r.body = m.body;
+  messages.push_back(std::move(r));
+}
+
+Digest MessageLog::stream_digest() const {
+  Hasher h;
+  for (const auto& m : messages) {
+    h.feed(m.from).feed(m.to).feed(m.round).feed(m.words);
+    h.feed(static_cast<std::uint64_t>(m.correct));
+    h.feed(m.kind);
+    // Byte-level payload content via the wire codec; payload types without
+    // a wire form contribute their kind only.
+    if (const auto bytes = wire::encode(*m.body)) {
+      h.feed(std::string_view(reinterpret_cast<const char*>(bytes->data()),
+                              bytes->size()));
+    } else {
+      h.feed(std::uint64_t{0});
+    }
+  }
+  h.feed(messages.size());
+  return Digest{h.digest()};
+}
+
+std::string CellSpec::label() const {
+  std::string s = protocol_name(protocol);
+  s += " n=" + std::to_string(n) + " t=" + std::to_string(t) +
+       " f=" + std::to_string(f) + " adv=" + adversary +
+       " seed=" + std::to_string(seed);
+  if (backend == ThresholdBackend::kShamir) s += " backend=shamir";
+  if (codec_roundtrip) s += " roundtrip";
+  return s;
+}
+
+std::uint32_t RunRecord::f() const {
+  std::uint32_t c = 0;
+  for (bool b : corrupted) c += b ? 1 : 0;
+  return c;
+}
+
+bool RunRecord::sender_correct() const {
+  return sender != kNoProcess && sender < corrupted.size() &&
+         !corrupted[sender];
+}
+
+bool RunRecord::unanimous_correct_inputs(Value* out) const {
+  bool seen = false;
+  Value common = kBottom;
+  for (ProcessId p = 0; p < inputs.size(); ++p) {
+    if (p < corrupted.size() && corrupted[p]) continue;
+    if (!seen) {
+      common = inputs[p].value;
+      seen = true;
+    } else if (common != inputs[p].value) {
+      return false;
+    }
+  }
+  if (seen && out != nullptr) *out = common;
+  return seen;
+}
+
+}  // namespace mewc::check

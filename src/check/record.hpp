@@ -1,0 +1,94 @@
+// Checkable run artifacts: the cell specification that fully determines a
+// simulated run, the recorded message stream, and the RunRecord the
+// invariant checkers consume. A CellSpec plus the code revision is a
+// complete replay token — every field that influences the run is in it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ba/value.hpp"
+#include "check/protocols.hpp"
+#include "crypto/family.hpp"
+#include "net/message.hpp"
+#include "net/meter.hpp"
+
+namespace mewc::check {
+
+/// One link-crossing message as the recorder saw it.
+struct RecordedMessage {
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  Round round = 0;
+  std::size_t words = 0;
+  bool correct = false;  // sent by a correct process
+  std::string kind;
+  PayloadPtr body;
+};
+
+/// Ordered message stream of one run, with a byte-level fingerprint: each
+/// payload is serialized through the wire codec, so two runs with equal
+/// stream digests put bit-identical traffic on the wire.
+struct MessageLog {
+  std::vector<RecordedMessage> messages;
+
+  void observe(const Message& m, bool correct);
+  [[nodiscard]] Digest stream_digest() const;
+  [[nodiscard]] std::size_t size() const { return messages.size(); }
+};
+
+/// One threshold certificate observed on a correct sender's message,
+/// verified against the run's live ThresholdFamily at record time.
+struct CertObservation {
+  Round round = 0;
+  ProcessId from = kNoProcess;
+  std::string kind;   // payload kind, e.g. "wba.commit"
+  std::string field;  // which certificate within the payload, e.g. "qc"
+  std::uint32_t k = 0;           // threshold the certificate claims
+  std::uint32_t required_k = 0;  // minimum its position demands
+  bool verified = false;         // cryptographic verification result
+};
+
+/// Everything that determines one simulated run. The campaign engine
+/// enumerates these; the shrinker minimizes them; replay files serialize
+/// them.
+struct CellSpec {
+  Protocol protocol = Protocol::kWeakBa;
+  std::uint32_t n = 5;
+  std::uint32_t t = 2;
+  std::uint32_t f = 0;  // adversary corruption budget
+  std::string adversary = "none";
+  std::uint64_t seed = 0x5e7;
+  ThresholdBackend backend = ThresholdBackend::kSim;
+  bool codec_roundtrip = false;
+  std::uint64_t value = 7;  // base input value (see derive_inputs)
+
+  [[nodiscard]] std::string label() const;
+};
+
+/// The checkable outcome of one run: per-process decisions, the meter, the
+/// recorded stream, and the certificate observations.
+struct RunRecord {
+  CellSpec cell;
+  ProcessId sender = kNoProcess;  // designated BB/ds-BB sender
+  std::vector<bool> corrupted;
+  std::vector<bool> decided;            // meaningful for correct processes
+  std::vector<WireValue> decisions;     // meaningful where decided
+  std::vector<WireValue> inputs;
+  Meter meter{0};
+  Round rounds = 0;
+  bool any_fallback = false;
+  MessageLog log;
+  std::vector<CertObservation> certs;
+
+  [[nodiscard]] std::uint32_t f() const;
+  [[nodiscard]] bool sender_correct() const;
+  [[nodiscard]] bool adaptive() const {
+    return adaptive_regime(cell.n, cell.t, f());
+  }
+  /// True when all correct processes' inputs carry the same value; that
+  /// value is written to *out.
+  [[nodiscard]] bool unanimous_correct_inputs(Value* out) const;
+};
+
+}  // namespace mewc::check

@@ -1,0 +1,28 @@
+// Executes one campaign cell: builds the run spec, inputs and adversary
+// from the CellSpec, runs the protocol through harness::, and returns the
+// RunRecord the checkers consume — including the recorded message stream
+// and the live-verified certificate observations.
+#pragma once
+
+#include "check/record.hpp"
+
+namespace mewc::check {
+
+struct RunOptions {
+  /// Keep every message (payload pointers included) in the record. Turning
+  /// this off still scans certificates and computes the meter, but drops
+  /// the stream — campaigns over thousands of cells want that.
+  bool record_messages = true;
+};
+
+/// Deterministic per-cell input derivation: same cell, same inputs. Mixes
+/// the seed so neighbouring seeds explore unanimous and split input
+/// profiles for the BA protocols; BB and ds-BB give every process the base
+/// value (only the sender's matters).
+[[nodiscard]] std::vector<WireValue> derive_inputs(const CellSpec& cell);
+
+/// Runs the cell and returns the checkable record.
+[[nodiscard]] RunRecord run_cell(const CellSpec& cell,
+                                 const RunOptions& opts = {});
+
+}  // namespace mewc::check

@@ -1,0 +1,188 @@
+#include "check/shrink.hpp"
+
+#include <algorithm>
+
+#include "check/adversary_registry.hpp"
+#include "check/runner.hpp"
+
+namespace mewc::check {
+
+namespace {
+
+bool fails_same(const CellSpec& cell, const CheckerOptions& opts,
+                const std::string& checker) {
+  const auto violations = violations_of(cell, opts);
+  return std::any_of(violations.begin(), violations.end(),
+                     [&](const Violation& v) { return v.checker == checker; });
+}
+
+/// Candidate moves, in preference order: each strictly reduces the cell
+/// (so the greedy loop terminates), larger reductions first.
+std::vector<CellSpec> candidates(const CellSpec& cell) {
+  std::vector<CellSpec> out;
+  const auto push = [&](CellSpec c) { out.push_back(std::move(c)); };
+
+  // Smaller system: drop t (with the matching minimal n), keep f legal.
+  if (cell.t >= 2) {
+    CellSpec c = cell;
+    c.t = cell.t - 1;
+    c.n = n_for_t(c.t);
+    c.f = std::min(cell.f, c.t);
+    push(c);
+  }
+  // Narrow a wide system toward n = 2t+1 without touching t.
+  if (cell.n >= 2 * cell.t + 3) {
+    CellSpec c = cell;
+    c.n = cell.n - 2;
+    push(c);
+  }
+  // Bisect, then decrement, the corruption budget.
+  if (cell.f >= 2) {
+    CellSpec c = cell;
+    c.f = cell.f / 2;
+    push(c);
+  }
+  if (cell.f >= 1) {
+    CellSpec c = cell;
+    c.f = cell.f - 1;
+    push(c);
+  }
+  // Strictly smaller seeds only, so seed moves cannot cycle.
+  for (const std::uint64_t s :
+       {std::uint64_t{1}, cell.seed / 2, cell.seed - 1}) {
+    if (s < cell.seed) {
+      CellSpec c = cell;
+      c.seed = s;
+      push(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Violation> violations_of(const CellSpec& cell,
+                                     const CheckerOptions& opts) {
+  RunOptions run_opts;
+  run_opts.record_messages = false;
+  return run_checkers(run_cell(cell, run_opts), opts);
+}
+
+ShrinkResult shrink_failure(const CellSpec& failing,
+                            const CheckerOptions& opts,
+                            const ShrinkOptions& shrink) {
+  ShrinkResult result;
+  result.minimal = failing;
+
+  if (const auto vs = violations_of(failing, opts); !vs.empty()) {
+    result.checker = vs.front().checker;
+  }
+  result.runs = 1;
+  if (result.checker.empty()) return result;  // not actually failing
+
+  bool progressed = true;
+  while (progressed && result.runs < shrink.max_runs) {
+    progressed = false;
+    for (const CellSpec& candidate : candidates(result.minimal)) {
+      if (result.runs >= shrink.max_runs) break;
+      ++result.runs;
+      if (fails_same(candidate, opts, result.checker)) {
+        result.minimal = candidate;
+        ++result.steps;
+        progressed = true;
+        break;  // restart from the reduced cell
+      }
+    }
+  }
+  return result;
+}
+
+json::Value Replay::to_json() const {
+  json::Object cell_json;
+  cell_json["protocol"] = json::Value(protocol_name(cell.protocol));
+  cell_json["n"] = json::Value(cell.n);
+  cell_json["t"] = json::Value(cell.t);
+  cell_json["f"] = json::Value(cell.f);
+  cell_json["adversary"] = json::Value(cell.adversary);
+  cell_json["seed"] = json::Value(cell.seed);
+  cell_json["backend"] = json::Value(
+      cell.backend == ThresholdBackend::kShamir ? "shamir" : "sim");
+  cell_json["codec_roundtrip"] = json::Value(cell.codec_roundtrip);
+  cell_json["value"] = json::Value(cell.value);
+
+  json::Object checkers_json;
+  checkers_json["word_budget_c"] = json::Value(checkers.word_budget_c);
+
+  json::Array expected_json;
+  for (const auto& v : expected) {
+    json::Object vo;
+    vo["checker"] = json::Value(v.checker);
+    vo["detail"] = json::Value(v.detail);
+    expected_json.push_back(json::Value(std::move(vo)));
+  }
+
+  json::Object root;
+  root["mewc_replay"] = json::Value(1);
+  root["cell"] = json::Value(std::move(cell_json));
+  root["checkers"] = json::Value(std::move(checkers_json));
+  root["violations"] = json::Value(std::move(expected_json));
+  return json::Value(std::move(root));
+}
+
+bool Replay::from_json(const json::Value& v, Replay* out, std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  if (v["mewc_replay"].as_u64() != 1) {
+    return fail("not a mewc replay file (missing mewc_replay: 1)");
+  }
+  const auto& c = v["cell"];
+  if (!c.is_object()) return fail("replay.cell must be an object");
+
+  Replay replay;
+  const auto proto = parse_protocol(c["protocol"].as_string());
+  if (!proto) return fail("unknown protocol in replay cell");
+  replay.cell.protocol = *proto;
+  replay.cell.n = static_cast<std::uint32_t>(c["n"].as_u64());
+  replay.cell.t = static_cast<std::uint32_t>(c["t"].as_u64());
+  replay.cell.f = static_cast<std::uint32_t>(c["f"].as_u64());
+  replay.cell.adversary = c["adversary"].as_string();
+  replay.cell.seed = c["seed"].as_u64();
+  replay.cell.backend = c["backend"].as_string() == "shamir"
+                            ? ThresholdBackend::kShamir
+                            : ThresholdBackend::kSim;
+  replay.cell.codec_roundtrip = c["codec_roundtrip"].as_bool();
+  replay.cell.value = c["value"].as_u64(7);
+  if (replay.cell.t == 0 || replay.cell.n < 2 * replay.cell.t + 1) {
+    return fail("replay cell needs t >= 1 and n >= 2t+1");
+  }
+  const auto& names = adversary_names();
+  if (std::find(names.begin(), names.end(), replay.cell.adversary) ==
+      names.end()) {
+    return fail("unknown adversary in replay cell");
+  }
+
+  if (const auto& ck = v["checkers"]; ck.is_object()) {
+    replay.checkers.word_budget_c = ck["word_budget_c"].as_u64(30);
+  }
+  for (const auto& vj : v["violations"].as_array()) {
+    replay.expected.push_back(
+        {vj["checker"].as_string(), vj["detail"].as_string()});
+  }
+
+  *out = std::move(replay);
+  return true;
+}
+
+bool Replay::save(const std::string& path) const {
+  return json::write_file(path, to_json());
+}
+
+bool Replay::load(const std::string& path, Replay* out, std::string* error) {
+  const auto v = json::read_file(path, error);
+  if (!v) return false;
+  return from_json(*v, out, error);
+}
+
+}  // namespace mewc::check

@@ -1,0 +1,54 @@
+// Failing-run minimization and replay. When a campaign cell violates an
+// invariant, the shrinker greedily searches smaller configurations — fewer
+// processes, lower t, bisected corruption budget, smaller seeds — that
+// still fail the same checker, and the result is written to a replay file
+// that `mewc_vopr --replay` reproduces bit-for-bit (the CellSpec fully
+// determines the run).
+#pragma once
+
+#include <string>
+
+#include "check/campaign.hpp"
+
+namespace mewc::check {
+
+/// Runs the cell and evaluates all checkers (convenience used by the
+/// shrinker, the tests and the replay tool).
+[[nodiscard]] std::vector<Violation> violations_of(const CellSpec& cell,
+                                                   const CheckerOptions& opts);
+
+struct ShrinkOptions {
+  /// Upper bound on candidate re-runs; shrinking stops (keeping the best
+  /// cell so far) when exhausted.
+  std::uint32_t max_runs = 96;
+};
+
+struct ShrinkResult {
+  CellSpec minimal;           // smallest failing cell found
+  std::string checker;        // the checker that keeps failing
+  std::uint32_t runs = 0;     // candidate runs spent
+  std::uint32_t steps = 0;    // accepted shrink steps
+};
+
+/// Greedy fixpoint shrink: repeatedly tries the candidate moves and accepts
+/// any that still fails `checker` (the first violation's checker when empty).
+[[nodiscard]] ShrinkResult shrink_failure(const CellSpec& failing,
+                                          const CheckerOptions& opts,
+                                          const ShrinkOptions& shrink = {});
+
+/// Replay file: the minimal cell, the checker options, and the expected
+/// violations, as JSON.
+struct Replay {
+  CellSpec cell;
+  CheckerOptions checkers;
+  std::vector<Violation> expected;
+
+  [[nodiscard]] json::Value to_json() const;
+  [[nodiscard]] static bool from_json(const json::Value& v, Replay* out,
+                                      std::string* error);
+  [[nodiscard]] bool save(const std::string& path) const;
+  [[nodiscard]] static bool load(const std::string& path, Replay* out,
+                                 std::string* error);
+};
+
+}  // namespace mewc::check

@@ -1,0 +1,70 @@
+#include "sim/trace.hpp"
+
+#include <cctype>
+
+namespace mewc::sim {
+
+char glyph_for(const std::string& kind) {
+  static const std::map<std::string, char> table = {
+      {"bb.sender_value", 'S'}, {"bb.help_req", 'H'},
+      {"bb.reply_value", 'R'},  {"bb.idk", 'I'},
+      {"bb.leader_value", 'L'}, {"wba.propose", 'P'},
+      {"wba.vote", 'V'},        {"wba.commit", 'C'},
+      {"wba.decide", 'D'},      {"wba.finalized", 'F'},
+      {"wba.help_req", 'H'},    {"wba.help", 'A'},
+      {"wba.fallback", 'B'},    {"sba.input", 'N'},
+      {"sba.propose_cert", 'P'},{"sba.decide_vote", 'D'},
+      {"sba.decide_cert", 'C'}, {"sba.fallback", 'B'},
+      {"ds.relay", '*'},
+  };
+  auto it = table.find(kind);
+  return it == table.end() ? '?' : it->second;
+}
+
+void SpaceTime::observe(ProcessId from, Round round, const std::string& kind,
+                        bool correct) {
+  auto& row = cells_[round];
+  if (row.empty()) row.assign(n_, '.');
+  const char g = glyph_for(kind);
+  if (from < n_) {
+    row[from] =
+        correct ? g : static_cast<char>(std::tolower(static_cast<int>(g)));
+  }
+  kinds_[round].insert(kind);
+}
+
+void SpaceTime::render(std::FILE* out, Round total_rounds) const {
+  std::fprintf(out, "round |");
+  for (ProcessId p = 0; p < n_; ++p) std::fprintf(out, "%2u", p % 100);
+  std::fprintf(out, " | kinds\n");
+  std::fprintf(out, "------+%s-+------\n",
+               std::string(2 * n_, '-').c_str());
+  Round last_printed = 0;
+  for (const auto& [round, row] : cells_) {
+    if (last_printed != 0 && round > last_printed + 1) {
+      std::fprintf(out, "  ... |%s |  (%u silent rounds)\n",
+                   std::string(2 * n_, ' ').c_str(),
+                   round - last_printed - 1);
+    }
+    std::fprintf(out, "%5u |", round);
+    for (const char c : row) std::fprintf(out, " %c", c);
+    std::fprintf(out, " | ");
+    bool first = true;
+    const auto kinds_it = kinds_.find(round);
+    if (kinds_it != kinds_.end()) {
+      for (const auto& k : kinds_it->second) {
+        std::fprintf(out, "%s%s", first ? "" : ", ", k.c_str());
+        first = false;
+      }
+    }
+    std::fprintf(out, "\n");
+    last_printed = round;
+  }
+  if (last_printed < total_rounds) {
+    std::fprintf(out, "  ... |%s |  (%u silent rounds to the end)\n",
+                 std::string(2 * n_, ' ').c_str(),
+                 total_rounds - last_printed);
+  }
+}
+
+}  // namespace mewc::sim

@@ -1,0 +1,41 @@
+// ASCII space-time diagram of a protocol run, extracted from mewc_trace so
+// the replay tool (mewc_vopr --replay) renders failing runs the same way.
+// Rows are rounds with traffic (silent rounds elided — the paper's silent
+// phases show up as blank stretches), columns are processes, one letter per
+// message kind, lowercase for Byzantine senders.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace mewc::sim {
+
+/// One letter per message kind, stable across runs ('?' for unknown kinds).
+[[nodiscard]] char glyph_for(const std::string& kind);
+
+class SpaceTime {
+ public:
+  explicit SpaceTime(std::uint32_t n) : n_(n) {}
+
+  /// Feed messages live (harness recorder) or post-hoc from a record.
+  void observe(const Message& m, bool correct) {
+    observe(m.from, m.round, m.body->kind(), correct);
+  }
+  void observe(ProcessId from, Round round, const std::string& kind,
+               bool correct);
+
+  /// Prints the grid plus the per-round kind legend.
+  void render(std::FILE* out, Round total_rounds) const;
+
+ private:
+  std::uint32_t n_;
+  std::map<Round, std::vector<char>> cells_;
+  std::map<Round, std::set<std::string>> kinds_;
+};
+
+}  // namespace mewc::sim

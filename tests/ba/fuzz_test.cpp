@@ -1,112 +1,80 @@
-// Failure injection: every protocol must keep its invariants under a
-// Byzantine traffic fuzzer that floods random malformed, forged, replayed
-// and type-confused messages every round.
-#include "ba/adversaries/fuzzer.hpp"
-
+// Failure injection, expressed as campaign grids over the check:: engine:
+// every protocol must keep its invariants under a Byzantine traffic fuzzer
+// that floods random malformed, forged, replayed and type-confused messages
+// every round. Each cell runs the full default checker stack, so fuzzing is
+// checked against agreement, validity, termination, the word budget and
+// certificate well-formedness at once — including general resilience
+// n > 2t+1, which the old hand-rolled loops never reached.
 #include <gtest/gtest.h>
 
-#include "ba/adversaries/adversaries.hpp"
-#include "ba/harness.hpp"
+#include "check/campaign.hpp"
 
 namespace mewc {
 namespace {
 
-using harness::RunSpec;
-
-struct FuzzParam {
-  std::uint32_t t;
-  std::uint32_t corruptions;
-  std::uint64_t seed;
-};
-
-std::vector<FuzzParam> fuzz_grid() {
-  std::vector<FuzzParam> out;
-  for (std::uint32_t t : {2u, 3u, 5u}) {
-    for (std::uint32_t c : {1u, 2u}) {
-      for (std::uint64_t seed : {101u, 202u, 303u}) {
-        out.push_back({t, c, seed});
-      }
-    }
+std::string failure_label(const check::CampaignReport& report) {
+  const auto* f = report.first_failure();
+  if (f == nullptr) return {};
+  std::string out = f->cell.label();
+  for (const auto& v : f->violations) {
+    out += "\n  [" + v.checker + "] " + v.detail;
   }
   return out;
 }
 
-std::string fuzz_name(const ::testing::TestParamInfo<FuzzParam>& info) {
-  return "t" + std::to_string(info.param.t) + "_c" +
-         std::to_string(info.param.corruptions) + "_s" +
-         std::to_string(info.param.seed);
+void expect_all_pass(const check::GridSpec& grid) {
+  const auto report = check::run_campaign(grid);
+  ASSERT_GT(report.cells_total, 0u);
+  EXPECT_EQ(report.cells_passed, report.cells_total) << failure_label(report);
 }
 
-class FuzzSweep : public ::testing::TestWithParam<FuzzParam> {};
-
-TEST_P(FuzzSweep, WeakBaSurvivesFuzzing) {
-  const auto [t, c, seed] = GetParam();
-  auto spec = RunSpec::for_t(t);
-  adv::Fuzzer adv(spec.instance, seed, c, /*messages_per_round=*/4);
-  const auto res = harness::run_weak_ba(
-      spec, std::vector<WireValue>(spec.n, WireValue::plain(Value(5))),
-      harness::always_valid_factory(), adv);
-  EXPECT_TRUE(res.all_decided());
-  EXPECT_TRUE(res.agreement());
-  // A corrupted phase leader may legitimately get its own (random) proposal
-  // decided — AlwaysValid admits any non-bottom value — so the assertable
-  // invariant is unique validity: the decision is a valid value or ⊥.
-  const WireValue d = res.decision();
-  EXPECT_TRUE(d.is_bottom() || AlwaysValid{}.validate(d));
+TEST(FuzzSweep, AllProtocolsSurviveFuzzing) {
+  check::GridSpec grid;
+  grid.protocols = check::all_protocols();
+  grid.sizes = {{0, 2}, {0, 3}, {0, 5}};
+  grid.fs = {1, 2};  // fuzzer corruption budget
+  grid.adversaries = {"fuzz"};
+  grid.seeds = {101, 202, 303};
+  expect_all_pass(grid);
 }
 
-TEST_P(FuzzSweep, BbWithCorrectSenderSurvivesFuzzing) {
-  const auto [t, c, seed] = GetParam();
-  auto spec = RunSpec::for_t(t);
-  const ProcessId sender = 0;
-  adv::Fuzzer adv(spec.instance, seed, c, 4, /*spare=*/sender);
-  const auto res = harness::run_bb(spec, sender, Value(77), adv);
-  EXPECT_TRUE(res.all_decided());
-  EXPECT_TRUE(res.agreement());
-  // BB validity with a correct sender is unconditional: whatever the
-  // fuzzer does, the decision is the sender's value.
-  EXPECT_EQ(res.decision(), Value(77));
+TEST(FuzzSweep, WideSystemsSurviveFuzzing) {
+  // General resilience n > 2t+1: extra correct processes must not open new
+  // attack surface for forged traffic.
+  check::GridSpec grid;
+  grid.protocols = {check::Protocol::kBb, check::Protocol::kWeakBa,
+                    check::Protocol::kStrongBa};
+  grid.sizes = {{9, 2}, {13, 3}};
+  grid.fs = {1, 2};
+  grid.adversaries = {"fuzz"};
+  grid.seeds = {101, 202};
+  expect_all_pass(grid);
 }
 
-TEST_P(FuzzSweep, StrongBaSurvivesFuzzing) {
-  const auto [t, c, seed] = GetParam();
-  auto spec = RunSpec::for_t(t);
-  adv::Fuzzer adv(spec.instance, seed, c, 4);
-  const auto res = harness::run_strong_ba(
-      spec, std::vector<Value>(spec.n, Value(1)), adv);
-  EXPECT_TRUE(res.all_decided());
-  EXPECT_TRUE(res.agreement());
-  EXPECT_EQ(res.decision(), Value(1));  // strong unanimity under fuzzing
+TEST(FuzzSweep, FuzzPlusCrashComposition) {
+  // Composite adversary: f-1 fuzzed processes plus a crashed one. Needs
+  // f >= 2 to compose both parts within the corruption budget.
+  check::GridSpec grid;
+  grid.protocols = check::all_protocols();
+  grid.sizes = {{0, 2}, {0, 3}, {0, 5}};
+  grid.fs = {2, 3};
+  grid.adversaries = {"fuzz-crash"};
+  grid.seeds = {101, 202, 303};
+  expect_all_pass(grid);
 }
 
-TEST_P(FuzzSweep, FallbackBaSurvivesFuzzing) {
-  const auto [t, c, seed] = GetParam();
-  auto spec = RunSpec::for_t(t);
-  adv::Fuzzer adv(spec.instance, seed, c, 4);
-  const auto res = harness::run_fallback_ba(
-      spec, std::vector<WireValue>(spec.n, WireValue::plain(Value(9))), adv);
-  EXPECT_TRUE(res.agreement());
-  EXPECT_EQ(res.decision().value, Value(9));
+TEST(FuzzSweep, FuzzingUnderCodecRoundTrip) {
+  // Forged bytes must not confuse the codec path either: every message is
+  // encoded and decoded before dispatch.
+  check::GridSpec grid;
+  grid.protocols = check::all_protocols();
+  grid.sizes = {{0, 2}};
+  grid.fs = {1, 2};
+  grid.adversaries = {"fuzz"};
+  grid.seeds = {7, 8};
+  grid.codec_roundtrip = true;
+  expect_all_pass(grid);
 }
-
-TEST_P(FuzzSweep, FuzzPlusCrashComposition) {
-  const auto [t, c, seed] = GetParam();
-  if (c + 1 > t) GTEST_SKIP();
-  auto spec = RunSpec::for_t(t);
-  std::vector<std::unique_ptr<Adversary>> parts;
-  parts.push_back(std::make_unique<adv::Fuzzer>(spec.instance, seed, c, 3,
-                                                /*spare=*/0));
-  parts.push_back(std::make_unique<adv::CrashAdversary>(
-      std::vector<ProcessId>{static_cast<ProcessId>(spec.n - 1)}));
-  adv::Composite adv(std::move(parts));
-  const auto res = harness::run_bb(spec, 0, Value(11), adv);
-  EXPECT_TRUE(res.all_decided());
-  EXPECT_TRUE(res.agreement());
-  EXPECT_EQ(res.decision(), Value(11));
-}
-
-INSTANTIATE_TEST_SUITE_P(Grid, FuzzSweep, ::testing::ValuesIn(fuzz_grid()),
-                         fuzz_name);
 
 }  // namespace
 }  // namespace mewc

@@ -1,17 +1,121 @@
-// Randomized property sweeps: protocols x adversaries x (n, f) x seeds.
-// Every run must satisfy Agreement and Termination; Validity is asserted in
-// its protocol-conditional form (BB validity for a correct sender, strong
-// unanimity for unanimous inputs, unique validity for weak BA).
+// Randomized property sweeps, expressed as campaign grids over the check::
+// engine: protocols x adversaries x (n, t, f) x seeds, including general
+// resilience n > 2t+1. Every cell runs the full default checker stack
+// (agreement, validity, termination, the Table 1 word budget, certificate
+// well-formedness), so these sweeps assert strictly more than the
+// hand-rolled loops they replace. The one property the engine cannot
+// express — unique validity under an unforgeable input predicate — keeps
+// its hand-rolled test at the bottom.
 #include <gtest/gtest.h>
 
 #include "ba/adversaries/adversaries.hpp"
 #include "ba/harness.hpp"
+#include "check/campaign.hpp"
 #include "common/rng.hpp"
 
 namespace mewc {
 namespace {
 
 using harness::RunSpec;
+
+std::string failure_label(const check::CampaignReport& report) {
+  const auto* f = report.first_failure();
+  if (f == nullptr) return {};
+  std::string out = f->cell.label();
+  for (const auto& v : f->violations) {
+    out += "\n  [" + v.checker + "] " + v.detail;
+  }
+  return out;
+}
+
+void expect_all_pass(const check::GridSpec& grid) {
+  const auto report = check::run_campaign(grid);
+  ASSERT_GT(report.cells_total, 0u);
+  EXPECT_EQ(report.cells_passed, report.cells_total) << failure_label(report);
+}
+
+// ---------------------------------------------------------------------------
+// Crash sweeps: every protocol, minimal and general resilience, f = 0..t.
+// Unique validity, BB sender validity and the adaptive-regime word budget
+// are all enforced by the default checkers.
+// ---------------------------------------------------------------------------
+
+TEST(PropertySweep, CrashAcrossAllProtocols) {
+  check::GridSpec grid;
+  grid.protocols = check::all_protocols();
+  grid.sizes = {{0, 1}, {0, 2}, {0, 3}, {0, 4}};
+  grid.fs = {0, 1, 2, 3, 4};  // enumerate() drops f > t per size
+  grid.adversaries = {"crash"};
+  grid.seeds = {11, 23};
+  expect_all_pass(grid);
+}
+
+TEST(PropertySweep, GeneralResilienceWideSystems) {
+  // n strictly above 2t+1: the regime where the adaptive envelope does the
+  // most work (n - f >= commit_quorum holds for larger f).
+  check::GridSpec grid;
+  grid.protocols = {check::Protocol::kBb, check::Protocol::kWeakBa,
+                    check::Protocol::kStrongBa};
+  grid.sizes = {{9, 2}, {11, 3}, {13, 3}};
+  grid.fs = {0, 1, 2, 3};
+  grid.adversaries = {"crash", "crash-late"};
+  grid.seeds = {11, 23};
+  expect_all_pass(grid);
+}
+
+// ---------------------------------------------------------------------------
+// Byzantine sender sweeps: equivocation and partial sends against BB.
+// ---------------------------------------------------------------------------
+
+TEST(PropertySweep, ByzantineSenderFamilies) {
+  check::GridSpec grid;
+  grid.protocols = {check::Protocol::kBb, check::Protocol::kDsBb};
+  grid.sizes = {{0, 1}, {0, 2}, {0, 4}, {9, 2}};
+  grid.fs = {1, 2};
+  grid.adversaries = {"equivocate", "partial-sender", "silent-sender"};
+  grid.seeds = {13, 29, 31};
+  expect_all_pass(grid);
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive mid-run corruption: random processes crash at random rounds
+// (the Section 2 adaptive adversary in its rawest form), plus the
+// phase-leader killer and help-round spam.
+// ---------------------------------------------------------------------------
+
+TEST(PropertySweep, AdaptiveMidRunCorruption) {
+  check::GridSpec grid;
+  grid.protocols = {check::Protocol::kBb, check::Protocol::kWeakBa,
+                    check::Protocol::kStrongBa};
+  grid.sizes = {{0, 1}, {0, 2}, {0, 4}, {11, 2}};
+  grid.fs = {0, 1, 2, 4};
+  grid.adversaries = {"random-adaptive", "killer", "help-spam"};
+  grid.seeds = {313, 131, 717};
+  expect_all_pass(grid);
+}
+
+// ---------------------------------------------------------------------------
+// Shamir backend: the real threshold math must carry the protocols end to
+// end — certificate observations are verified against live Shamir schemes.
+// ---------------------------------------------------------------------------
+
+TEST(PropertySweep, ShamirBackendCarriesProtocols) {
+  check::GridSpec grid;
+  grid.protocols = check::all_protocols();
+  grid.sizes = {{0, 1}, {0, 2}, {0, 3}};  // keep Shamir runs small
+  grid.fs = {0, 1, 2};
+  grid.adversaries = {"crash"};
+  grid.seeds = {5};
+  grid.backend = ThresholdBackend::kShamir;
+  expect_all_pass(grid);
+}
+
+// ---------------------------------------------------------------------------
+// Unique validity under an unforgeable predicate. This one stays
+// hand-rolled: it mints a (t+1)-attested input certificate out of band and
+// installs a restrictive predicate, which a declarative grid cell cannot
+// express.
+// ---------------------------------------------------------------------------
 
 struct SweepParam {
   std::uint32_t t;
@@ -54,34 +158,7 @@ std::vector<ProcessId> random_victims(Rng& rng, std::uint32_t n,
   return out;
 }
 
-// ---------------------------------------------------------------------------
-// Weak BA sweep
-// ---------------------------------------------------------------------------
-
 class WeakBaSweep : public ::testing::TestWithParam<SweepParam> {};
-
-TEST_P(WeakBaSweep, AgreementTerminationUniqueValidity) {
-  const auto [t, f, seed] = GetParam();
-  auto spec = RunSpec::for_t(t);
-  Rng rng(seed * 1000 + t * 10 + f);
-
-  std::vector<WireValue> inputs;
-  for (std::uint32_t i = 0; i < spec.n; ++i) {
-    inputs.push_back(WireValue::plain(Value(rng.below(3) + 1)));
-  }
-  adv::CrashAdversary adv(random_victims(rng, spec.n, f));
-  const auto res = harness::run_weak_ba(spec, inputs,
-                                        harness::always_valid_factory(), adv);
-
-  EXPECT_TRUE(res.all_decided());
-  EXPECT_TRUE(res.agreement());
-  const WireValue d = res.decision();
-  EXPECT_TRUE(d.is_bottom() || AlwaysValid{}.validate(d));
-  if (adaptive_regime(spec.n, spec.t, res.f())) {
-    EXPECT_FALSE(res.any_fallback());  // Lemma 6
-    EXPECT_FALSE(d.is_bottom());       // some phase certified a real value
-  }
-}
 
 TEST_P(WeakBaSweep, UnanimityImpliesNoBottomWithUnforgeablePredicate) {
   const auto [t, f, seed] = GetParam();
@@ -115,170 +192,6 @@ TEST_P(WeakBaSweep, UnanimityImpliesNoBottomWithUnforgeablePredicate) {
 
 INSTANTIATE_TEST_SUITE_P(Grid, WeakBaSweep, ::testing::ValuesIn(grid()),
                          sweep_name);
-
-// ---------------------------------------------------------------------------
-// BB sweep
-// ---------------------------------------------------------------------------
-
-class BbSweep : public ::testing::TestWithParam<SweepParam> {};
-
-TEST_P(BbSweep, CorrectSenderValidity) {
-  const auto [t, f, seed] = GetParam();
-  auto spec = RunSpec::for_t(t);
-  Rng rng(seed * 31 + t * 7 + f);
-  const auto sender = static_cast<ProcessId>(rng.below(spec.n));
-  adv::CrashAdversary adv(random_victims(rng, spec.n, f, sender));
-  const auto res = harness::run_bb(spec, sender, Value(500 + seed), adv);
-  EXPECT_TRUE(res.all_decided());
-  EXPECT_TRUE(res.agreement());
-  EXPECT_EQ(res.decision(), Value(500 + seed));
-}
-
-TEST_P(BbSweep, ByzantineSenderAgreement) {
-  const auto [t, f, seed] = GetParam();
-  if (f == 0) GTEST_SKIP() << "needs a Byzantine sender";
-  auto spec = RunSpec::for_t(t);
-  Rng rng(seed * 13 + t * 3 + f);
-  const auto sender = static_cast<ProcessId>(rng.below(spec.n));
-
-  std::vector<std::unique_ptr<Adversary>> parts;
-  const auto mode = static_cast<adv::SenderMode>(rng.below(3));
-  parts.push_back(std::make_unique<adv::BbEquivocatingSender>(
-      sender, spec.instance, mode, Value(70), Value(71),
-      static_cast<std::uint32_t>(rng.below(spec.n))));
-  if (f > 1) {
-    parts.push_back(std::make_unique<adv::CrashAdversary>(
-        random_victims(rng, spec.n, f - 1, sender)));
-  }
-  adv::Composite adv(std::move(parts));
-  const auto res = harness::run_bb(spec, sender, Value(70), adv);
-  EXPECT_TRUE(res.all_decided());
-  EXPECT_TRUE(res.agreement());
-  // Byzantine sender: any common decision is fine; it must be one of the
-  // signed values or ⊥.
-  const Value d = res.decision();
-  EXPECT_TRUE(d == Value(70) || d == Value(71) || d.is_bottom()) << d.raw;
-}
-
-INSTANTIATE_TEST_SUITE_P(Grid, BbSweep, ::testing::ValuesIn(grid()),
-                         sweep_name);
-
-// ---------------------------------------------------------------------------
-// Strong BA sweep
-// ---------------------------------------------------------------------------
-
-class StrongBaSweep : public ::testing::TestWithParam<SweepParam> {};
-
-TEST_P(StrongBaSweep, RandomBinaryInputs) {
-  const auto [t, f, seed] = GetParam();
-  auto spec = RunSpec::for_t(t);
-  Rng rng(seed * 91 + t * 5 + f);
-
-  std::vector<Value> inputs;
-  bool all_same = true;
-  for (std::uint32_t i = 0; i < spec.n; ++i) {
-    inputs.push_back(Value(rng.below(2)));
-    all_same &= (inputs[i] == inputs[0]);
-  }
-  adv::CrashAdversary adv(random_victims(rng, spec.n, f));
-  const auto res = harness::run_strong_ba(spec, inputs, adv);
-  EXPECT_TRUE(res.all_decided());
-  EXPECT_TRUE(res.agreement());
-  EXPECT_LE(res.decision().raw, 1u);
-
-  // Strong unanimity, restricted to the surviving (correct) processes'
-  // inputs: if all correct inputs agree, that value must win.
-  std::optional<Value> common;
-  bool correct_unanimous = true;
-  for (ProcessId p = 0; p < spec.n; ++p) {
-    if (res.is_corrupted(p)) continue;
-    if (!common) {
-      common = inputs[p];
-    } else if (*common != inputs[p]) {
-      correct_unanimous = false;
-    }
-  }
-  if (correct_unanimous && common) {
-    EXPECT_EQ(res.decision(), *common);
-  }
-  (void)all_same;
-}
-
-INSTANTIATE_TEST_SUITE_P(Grid, StrongBaSweep, ::testing::ValuesIn(grid()),
-                         sweep_name);
-
-// ---------------------------------------------------------------------------
-// Adaptive mid-run corruption sweep: random processes crash at random
-// rounds (the Section 2 adaptive adversary in its rawest form).
-// ---------------------------------------------------------------------------
-
-class AdaptiveCrashSweep : public ::testing::TestWithParam<SweepParam> {};
-
-TEST_P(AdaptiveCrashSweep, WeakBaSurvivesRandomMidRunCrashes) {
-  const auto [t, f, seed] = GetParam();
-  auto spec = RunSpec::for_t(t);
-  const Round horizon = wba::WeakBaProcess::total_rounds(spec.n, spec.t);
-  adv::RandomAdaptiveCrash adv(seed * 313 + t + f, f, horizon);
-  const auto res = harness::run_weak_ba(
-      spec, std::vector<WireValue>(spec.n, WireValue::plain(Value(6))),
-      harness::always_valid_factory(), adv);
-  EXPECT_TRUE(res.all_decided());
-  EXPECT_TRUE(res.agreement());
-  EXPECT_EQ(res.decision().value, Value(6));  // unanimous valid inputs
-}
-
-TEST_P(AdaptiveCrashSweep, BbSurvivesRandomMidRunCrashes) {
-  const auto [t, f, seed] = GetParam();
-  auto spec = RunSpec::for_t(t);
-  const ProcessId sender = spec.n - 1;
-  const Round horizon = bb::BbProcess::total_rounds(spec.n, spec.t);
-  adv::RandomAdaptiveCrash adv(seed * 131 + t + f, f, horizon,
-                               /*spare=*/sender);
-  const auto res = harness::run_bb(spec, sender, Value(44), adv);
-  EXPECT_TRUE(res.all_decided());
-  EXPECT_TRUE(res.agreement());
-  EXPECT_EQ(res.decision(), Value(44));  // validity: the sender is spared
-}
-
-TEST_P(AdaptiveCrashSweep, StrongBaSurvivesRandomMidRunCrashes) {
-  const auto [t, f, seed] = GetParam();
-  auto spec = RunSpec::for_t(t);
-  adv::RandomAdaptiveCrash adv(seed * 717 + t + f, f,
-                               sba::StrongBaProcess::total_rounds(spec.t));
-  const auto res = harness::run_strong_ba(
-      spec, std::vector<Value>(spec.n, Value(1)), adv);
-  EXPECT_TRUE(res.all_decided());
-  EXPECT_TRUE(res.agreement());
-  EXPECT_EQ(res.decision(), Value(1));
-}
-
-INSTANTIATE_TEST_SUITE_P(Grid, AdaptiveCrashSweep, ::testing::ValuesIn(grid()),
-                         sweep_name);
-
-// ---------------------------------------------------------------------------
-// Fallback BA sweep with Shamir backend: the real threshold math must
-// carry the protocols end to end, not just unit tests.
-// ---------------------------------------------------------------------------
-
-class ShamirBackendSweep : public ::testing::TestWithParam<SweepParam> {};
-
-TEST_P(ShamirBackendSweep, WeakBaRunsOnRealThresholdCrypto) {
-  const auto [t, f, seed] = GetParam();
-  if (t > 3) GTEST_SKIP() << "keep Shamir runs small";
-  auto spec = RunSpec::for_t(t);
-  spec.backend = ThresholdBackend::kShamir;
-  Rng rng(seed + t + f);
-  adv::CrashAdversary adv(random_victims(rng, spec.n, f));
-  const auto res = harness::run_weak_ba(
-      spec, std::vector<WireValue>(spec.n, WireValue::plain(Value(4))),
-      harness::always_valid_factory(), adv);
-  EXPECT_TRUE(res.all_decided());
-  EXPECT_TRUE(res.agreement());
-  EXPECT_EQ(res.decision().value, Value(4));
-}
-
-INSTANTIATE_TEST_SUITE_P(Grid, ShamirBackendSweep,
-                         ::testing::ValuesIn(grid()), sweep_name);
 
 }  // namespace
 }  // namespace mewc

@@ -1,0 +1,180 @@
+// Campaign engine: grid parsing, cell enumeration, parallel execution, and
+// the JSON report. The sweeps here subsume the hand-rolled adversary loops
+// the property tests used to carry, including general resilience n > 2t+1.
+#include "check/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mewc::check {
+namespace {
+
+json::Value parse_or_die(const std::string& text) {
+  std::string error;
+  auto v = json::parse(text, &error);
+  EXPECT_TRUE(v.has_value()) << error;
+  return v.value_or(json::Value());
+}
+
+TEST(GridSpec, ParsesFullGridJson) {
+  const auto v = parse_or_die(R"({
+    "protocols": ["weak-ba", "bb"],
+    "sizes": [{"t": 2}, {"n": 9, "t": 2}],
+    "fs": [0, 1, 2],
+    "adversaries": ["none", "crash"],
+    "seeds": [7, 8],
+    "backend": "shamir",
+    "codec_roundtrip": true,
+    "value": 9,
+    "word_budget_c": 40
+  })");
+  GridSpec grid;
+  std::string error;
+  ASSERT_TRUE(GridSpec::from_json(v, &grid, &error)) << error;
+  EXPECT_EQ(grid.protocols,
+            (std::vector<Protocol>{Protocol::kWeakBa, Protocol::kBb}));
+  EXPECT_EQ(grid.sizes.size(), 2u);
+  EXPECT_EQ(grid.backend, ThresholdBackend::kShamir);
+  EXPECT_TRUE(grid.codec_roundtrip);
+  EXPECT_EQ(grid.value, 9u);
+  EXPECT_EQ(grid.checkers.word_budget_c, 40u);
+
+  // 2 protocols x 2 sizes x 3 fs x 2 adversaries x 2 seeds.
+  const auto cells = grid.enumerate();
+  EXPECT_EQ(cells.size(), 2u * 2 * 3 * 2 * 2);
+  // n == 0 sizes resolve to 2t+1.
+  EXPECT_EQ(cells.front().n, 5u);
+}
+
+TEST(GridSpec, SeedsCountShorthandAndAllProtocols) {
+  const auto v = parse_or_die(
+      R"({"protocols": ["all"], "sizes": [{"t": 1}], "seeds": 16})");
+  GridSpec grid;
+  std::string error;
+  ASSERT_TRUE(GridSpec::from_json(v, &grid, &error)) << error;
+  EXPECT_EQ(grid.protocols.size(), all_protocols().size());
+  ASSERT_EQ(grid.seeds.size(), 16u);
+  EXPECT_EQ(grid.seeds.front(), 1u);
+  EXPECT_EQ(grid.seeds.back(), 16u);
+}
+
+TEST(GridSpec, SkipsCellsWithFAboveT) {
+  GridSpec grid;
+  grid.protocols = {Protocol::kWeakBa};
+  grid.sizes = {{0, 1}, {0, 3}};
+  grid.fs = {0, 2};
+  const auto cells = grid.enumerate();
+  // t = 1 admits only f = 0; t = 3 admits both.
+  EXPECT_EQ(cells.size(), 3u);
+}
+
+TEST(GridSpec, RejectsUnknownNamesAndBadSizes) {
+  GridSpec grid;
+  std::string error;
+  EXPECT_FALSE(GridSpec::from_json(
+      parse_or_die(R"({"protocols": ["raft"], "sizes": [{"t": 1}]})"), &grid,
+      &error));
+  EXPECT_NE(error.find("unknown protocol"), std::string::npos) << error;
+  EXPECT_FALSE(GridSpec::from_json(
+      parse_or_die(R"({"protocols": ["bb"], "sizes": [{"t": 1}],
+                       "adversaries": ["ddos"]})"),
+      &grid, &error));
+  EXPECT_NE(error.find("unknown adversary"), std::string::npos) << error;
+  EXPECT_FALSE(GridSpec::from_json(
+      parse_or_die(R"({"protocols": ["bb"], "sizes": [{"n": 4, "t": 2}]})"),
+      &grid, &error));
+  EXPECT_NE(error.find("2t+1"), std::string::npos) << error;
+}
+
+// ---------------------------------------------------------------------------
+// Crash / killer / random-adaptive sweeps through the campaign engine,
+// including general resilience n > 2t+1 (paper Section 8).
+// ---------------------------------------------------------------------------
+
+TEST(CampaignSweep, CrashFamilyAcrossAllProtocolsAndWideSystems) {
+  GridSpec grid;
+  grid.protocols = all_protocols();
+  grid.sizes = {{0, 1}, {0, 2}, {9, 2}, {13, 3}};
+  grid.fs = {0, 1, 2};
+  grid.adversaries = {"none", "crash", "crash-late", "silent-sender"};
+  grid.seeds = {11, 23};
+  const auto report = run_campaign(grid);
+  EXPECT_GT(report.cells_total, 0u);
+  EXPECT_EQ(report.cells_passed, report.cells_total) << [&] {
+    const auto* f = report.first_failure();
+    return f != nullptr ? f->cell.label() : std::string();
+  }();
+}
+
+TEST(CampaignSweep, AdaptiveAdversariesStayWithinTheWordEnvelope) {
+  GridSpec grid;
+  grid.protocols = {Protocol::kBb, Protocol::kWeakBa, Protocol::kStrongBa};
+  grid.sizes = {{0, 2}, {0, 4}, {11, 2}};
+  grid.fs = {0, 1, 2};
+  grid.adversaries = {"killer", "random-adaptive", "help-spam"};
+  grid.seeds = {5, 6, 7};
+  const auto report = run_campaign(grid);
+  EXPECT_EQ(report.cells_passed, report.cells_total) << [&] {
+    const auto* f = report.first_failure();
+    return f != nullptr ? f->cell.label() : std::string();
+  }();
+  // The adaptive regime must actually be exercised, or the word-budget
+  // checker was vacuous.
+  bool any_adaptive = false;
+  for (const auto& r : report.results) any_adaptive |= r.adaptive;
+  EXPECT_TRUE(any_adaptive);
+}
+
+TEST(CampaignSweep, ShamirBackendCarriesTheProtocolsEndToEnd) {
+  GridSpec grid;
+  grid.protocols = {Protocol::kWeakBa, Protocol::kStrongBa};
+  grid.sizes = {{0, 1}, {0, 2}};
+  grid.fs = {0, 1};
+  grid.adversaries = {"crash"};
+  grid.seeds = {3};
+  grid.backend = ThresholdBackend::kShamir;
+  const auto report = run_campaign(grid);
+  EXPECT_EQ(report.cells_passed, report.cells_total);
+}
+
+TEST(CampaignSweep, ParallelAndSerialRunsAgree) {
+  GridSpec grid;
+  grid.protocols = {Protocol::kWeakBa};
+  grid.sizes = {{0, 2}};
+  grid.fs = {0, 1, 2};
+  grid.adversaries = {"crash", "killer"};
+  grid.seeds = {1, 2, 3, 4};
+  const auto serial = run_campaign(grid, /*jobs=*/1);
+  const auto parallel = run_campaign(grid, /*jobs=*/4);
+  ASSERT_EQ(serial.results.size(), parallel.results.size());
+  for (std::size_t i = 0; i < serial.results.size(); ++i) {
+    EXPECT_EQ(serial.results[i].words_correct,
+              parallel.results[i].words_correct);
+    EXPECT_EQ(serial.results[i].passed(), parallel.results[i].passed());
+  }
+}
+
+TEST(CampaignReport, JsonRoundTripsAndCountsFailures) {
+  GridSpec grid;
+  grid.protocols = {Protocol::kBb};
+  grid.sizes = {{0, 1}};
+  grid.adversaries = {"none"};
+  grid.seeds = {1, 2};
+  grid.checkers.word_budget_c = 1;  // plant: every cell overshoots
+  const auto report = run_campaign(grid);
+  EXPECT_EQ(report.cells_passed, 0u);
+  EXPECT_EQ(report.cells_failed(), report.cells_total);
+
+  std::string error;
+  const auto parsed = json::parse(report.to_json().dump(2), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ((*parsed)["cells_total"].as_u64(), report.cells_total);
+  EXPECT_EQ((*parsed)["cells_failed"].as_u64(), report.cells_total);
+  EXPECT_EQ((*parsed)["failures"].as_array().size(), report.cells_total);
+  const auto& group = (*parsed)["groups"]["bb/none"];
+  ASSERT_TRUE(group.is_object());
+  EXPECT_GT(group["words_max"].as_u64(), 0u);
+  EXPECT_GE(group["words_max"].as_u64(), group["words_p50"].as_u64());
+}
+
+}  // namespace
+}  // namespace mewc::check

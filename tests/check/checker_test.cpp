@@ -1,0 +1,139 @@
+// Adversarial self-test of the invariant checkers: every checker must fire
+// on a record with a known planted violation, and stay quiet on a clean
+// run. A checker that cannot fail would make the whole campaign engine
+// vacuous, so this is the first thing the DST suite verifies.
+#include "check/checkers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "check/runner.hpp"
+
+namespace mewc::check {
+namespace {
+
+CellSpec weak_ba_cell() {
+  CellSpec cell;
+  cell.protocol = Protocol::kWeakBa;
+  cell.n = 5;
+  cell.t = 2;
+  return cell;
+}
+
+RunRecord clean_record(const CellSpec& cell) {
+  RunOptions opts;
+  opts.record_messages = false;
+  return run_cell(cell, opts);
+}
+
+bool fires(const RunRecord& record, const char* checker,
+           const CheckerOptions& opts = {}) {
+  for (const auto& v : run_checkers(record, opts)) {
+    if (v.checker == checker) return true;
+  }
+  return false;
+}
+
+TEST(CheckerSelfTest, CleanRunPassesAllCheckers) {
+  const auto record = clean_record(weak_ba_cell());
+  EXPECT_TRUE(run_checkers(record, CheckerOptions{}).empty());
+}
+
+TEST(CheckerSelfTest, ForgedDisagreementFailsAgreement) {
+  auto record = clean_record(weak_ba_cell());
+  ASSERT_GE(record.cell.n, 2u);
+  record.decisions[1] = WireValue::plain(Value(record.cell.value + 41));
+  EXPECT_TRUE(fires(record, "agreement"));
+}
+
+TEST(CheckerSelfTest, UndecidedProcessFailsTermination) {
+  auto record = clean_record(weak_ba_cell());
+  record.decided[2] = false;
+  EXPECT_TRUE(fires(record, "termination"));
+  EXPECT_FALSE(fires(clean_record(weak_ba_cell()), "termination"));
+}
+
+TEST(CheckerSelfTest, WordOvershootFailsBudget) {
+  auto record = clean_record(weak_ba_cell());
+  ASSERT_TRUE(record.adaptive());
+  record.meter.words_correct = 31ull * record.cell.n * (record.f() + 1) + 1;
+  EXPECT_TRUE(fires(record, "word-budget"));
+}
+
+TEST(CheckerSelfTest, LowBudgetConstantFailsBudget) {
+  const auto record = clean_record(weak_ba_cell());
+  CheckerOptions opts;
+  opts.word_budget_c = 1;  // deliberately below any real run's cost
+  EXPECT_TRUE(fires(record, "word-budget", opts));
+  EXPECT_FALSE(fires(record, "word-budget"));  // default C passes
+}
+
+TEST(CheckerSelfTest, FallbackInAdaptiveRegimeFailsBudget) {
+  auto record = clean_record(weak_ba_cell());
+  ASSERT_TRUE(record.adaptive());
+  record.any_fallback = true;
+  EXPECT_TRUE(fires(record, "word-budget"));
+}
+
+TEST(CheckerSelfTest, CertificateOneSignatureShortFailsCertificates) {
+  auto record = clean_record(weak_ba_cell());
+  CertObservation obs;
+  obs.round = 3;
+  obs.from = 0;
+  obs.kind = "wba.commit";
+  obs.field = "qc";
+  obs.required_k = commit_quorum(record.cell.n, record.cell.t);
+  obs.k = obs.required_k - 1;  // one signature short
+  obs.verified = true;
+  record.certs.push_back(obs);
+  EXPECT_TRUE(fires(record, "certificates"));
+}
+
+TEST(CheckerSelfTest, UnverifiedCertificateFailsCertificates) {
+  auto record = clean_record(weak_ba_cell());
+  CertObservation obs;
+  obs.kind = "wba.finalized";
+  obs.field = "qc";
+  obs.k = commit_quorum(record.cell.n, record.cell.t);
+  obs.required_k = obs.k;
+  obs.verified = false;  // forged: right threshold, bad tag
+  record.certs.push_back(obs);
+  EXPECT_TRUE(fires(record, "certificates"));
+}
+
+TEST(CheckerSelfTest, WrongDecisionAgainstCorrectSenderFailsValidity) {
+  CellSpec cell;
+  cell.protocol = Protocol::kBb;
+  cell.n = 5;
+  cell.t = 2;
+  auto record = clean_record(cell);
+  ASSERT_TRUE(record.sender_correct());
+  const auto wrong = WireValue::plain(Value(cell.value + 1));
+  for (ProcessId p = 0; p < cell.n; ++p) record.decisions[p] = wrong;
+  EXPECT_TRUE(fires(record, "validity"));
+  EXPECT_FALSE(fires(record, "agreement"));  // unanimous, just wrong
+}
+
+TEST(CheckerSelfTest, NonBinaryStrongBaDecisionFailsValidity) {
+  CellSpec cell;
+  cell.protocol = Protocol::kStrongBa;
+  cell.n = 5;
+  cell.t = 2;
+  auto record = clean_record(cell);
+  for (ProcessId p = 0; p < cell.n; ++p) {
+    record.decisions[p] = WireValue::plain(Value(7));
+  }
+  EXPECT_TRUE(fires(record, "validity"));
+}
+
+TEST(CheckerSelfTest, EveryDefaultCheckerHasAFailingRecordAbove) {
+  // Registry completeness guard: a new checker added to default_checkers()
+  // must come with a planted-violation test here.
+  std::vector<std::string> names;
+  for (const auto& c : default_checkers()) names.push_back(c->name());
+  EXPECT_EQ(names, (std::vector<std::string>{
+                       "agreement", "validity", "termination", "word-budget",
+                       "certificates"}));
+}
+
+}  // namespace
+}  // namespace mewc::check

@@ -1,0 +1,135 @@
+// Shrinking and replay: a planted word-budget violation must shrink to the
+// smallest configuration that still fails the same checker, and the replay
+// file must reproduce the verdict bit-for-bit after a JSON round trip.
+#include "check/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace mewc::check {
+namespace {
+
+// The acceptance-criteria plant: C = 1 is below any real run's word cost,
+// so every cell fails the word-budget checker.
+CheckerOptions planted_options() {
+  CheckerOptions opts;
+  opts.word_budget_c = 1;
+  return opts;
+}
+
+CellSpec failing_cell() {
+  CellSpec cell;
+  cell.protocol = Protocol::kBb;
+  cell.n = 7;
+  cell.t = 3;
+  cell.f = 1;  // keeps n - f >= commit_quorum: the budget-checked regime
+  cell.adversary = "crash";
+  cell.seed = 41;
+  return cell;
+}
+
+TEST(Shrink, PlantedViolationIsDetected) {
+  const auto violations = violations_of(failing_cell(), planted_options());
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations.front().checker, "word-budget");
+}
+
+TEST(Shrink, ReducesToMinimalCellFailingTheSameChecker) {
+  const auto result = shrink_failure(failing_cell(), planted_options());
+  EXPECT_EQ(result.checker, "word-budget");
+  EXPECT_GT(result.runs, 0u);
+  EXPECT_GT(result.steps, 0u);
+
+  // C = 1 fails everywhere, so the greedy shrink must reach the floor of
+  // every axis: the smallest system, no corruption, seed zero.
+  EXPECT_EQ(result.minimal.t, 1u);
+  EXPECT_EQ(result.minimal.n, 3u);
+  EXPECT_EQ(result.minimal.f, 0u);
+  EXPECT_EQ(result.minimal.seed, 0u);
+  EXPECT_EQ(result.minimal.protocol, Protocol::kBb);
+  EXPECT_EQ(result.minimal.adversary, "crash");
+
+  // Minimality is only meaningful if the shrunk cell still fails.
+  const auto violations = violations_of(result.minimal, planted_options());
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations.front().checker, "word-budget");
+}
+
+TEST(Shrink, RespectsTheRunBudget) {
+  ShrinkOptions shrink;
+  shrink.max_runs = 2;
+  const auto result =
+      shrink_failure(failing_cell(), planted_options(), shrink);
+  EXPECT_LE(result.runs, 2u);
+  // Whatever it returns must still be a failing cell.
+  EXPECT_FALSE(violations_of(result.minimal, planted_options()).empty());
+}
+
+TEST(Replay, JsonRoundTripPreservesEverything) {
+  Replay replay;
+  replay.cell = failing_cell();
+  replay.cell.backend = ThresholdBackend::kShamir;
+  replay.cell.codec_roundtrip = true;
+  replay.cell.value = 9;
+  replay.checkers = planted_options();
+  replay.expected = violations_of(replay.cell, replay.checkers);
+  ASSERT_FALSE(replay.expected.empty());
+
+  Replay loaded;
+  std::string error;
+  ASSERT_TRUE(Replay::from_json(replay.to_json(), &loaded, &error)) << error;
+  EXPECT_EQ(loaded.cell.protocol, replay.cell.protocol);
+  EXPECT_EQ(loaded.cell.n, replay.cell.n);
+  EXPECT_EQ(loaded.cell.t, replay.cell.t);
+  EXPECT_EQ(loaded.cell.f, replay.cell.f);
+  EXPECT_EQ(loaded.cell.adversary, replay.cell.adversary);
+  EXPECT_EQ(loaded.cell.seed, replay.cell.seed);
+  EXPECT_EQ(loaded.cell.backend, replay.cell.backend);
+  EXPECT_EQ(loaded.cell.codec_roundtrip, replay.cell.codec_roundtrip);
+  EXPECT_EQ(loaded.cell.value, replay.cell.value);
+  EXPECT_EQ(loaded.checkers.word_budget_c, replay.checkers.word_budget_c);
+  ASSERT_EQ(loaded.expected.size(), replay.expected.size());
+  for (std::size_t i = 0; i < loaded.expected.size(); ++i) {
+    EXPECT_EQ(loaded.expected[i].checker, replay.expected[i].checker);
+    EXPECT_EQ(loaded.expected[i].detail, replay.expected[i].detail);
+  }
+
+  // The re-run verdict matches the recording — the --replay contract.
+  const auto rerun = violations_of(loaded.cell, loaded.checkers);
+  ASSERT_EQ(rerun.size(), loaded.expected.size());
+  for (std::size_t i = 0; i < rerun.size(); ++i) {
+    EXPECT_EQ(rerun[i].checker, loaded.expected[i].checker);
+    EXPECT_EQ(rerun[i].detail, loaded.expected[i].detail);
+  }
+}
+
+TEST(Replay, SaveLoadRoundTripsThroughDisk) {
+  const char* path = "shrink_test_replay.json";
+  Replay replay;
+  replay.cell = failing_cell();
+  replay.checkers = planted_options();
+  replay.expected = violations_of(replay.cell, replay.checkers);
+  ASSERT_TRUE(replay.save(path));
+
+  Replay loaded;
+  std::string error;
+  ASSERT_TRUE(Replay::load(path, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.cell.label(), replay.cell.label());
+  EXPECT_EQ(loaded.expected.size(), replay.expected.size());
+  std::remove(path);
+}
+
+TEST(Replay, RejectsMalformedFiles) {
+  Replay loaded;
+  std::string error;
+  EXPECT_FALSE(Replay::load("does-not-exist.json", &loaded, &error));
+  const auto bad = json::parse(R"({"mewc_replay": 1, "cell": {
+      "protocol": "bb", "n": 4, "t": 2, "f": 0, "adversary": "crash",
+      "seed": 1}})");
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_FALSE(Replay::from_json(*bad, &loaded, &error));  // n < 2t+1
+}
+
+}  // namespace
+}  // namespace mewc::check

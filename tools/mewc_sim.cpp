@@ -8,7 +8,7 @@
 // Usage:
 //   mewc_sim [--protocol bb|weak-ba|strong-ba|fallback|ds-bb]
 //            [--t T] [--n N] [--f F]
-//            [--adversary none|crash|killer|equivocate|silent-sender|fuzz]
+//            [--adversary NAME]   (mewc_vopr --list shows all names)
 //            [--value V] [--sender S] [--seed SEED] [--backend sim|shamir]
 //            [--by-kind] [--by-round]
 //
@@ -21,9 +21,8 @@
 #include <cstring>
 #include <string>
 
-#include "ba/adversaries/adversaries.hpp"
-#include "ba/adversaries/fuzzer.hpp"
 #include "ba/harness.hpp"
+#include "check/adversary_registry.hpp"
 
 namespace {
 
@@ -48,8 +47,7 @@ struct Options {
       stderr,
       "usage: %s [--protocol bb|weak-ba|strong-ba|fallback|ds-bb]\n"
       "          [--t T] [--n N] [--f F]\n"
-      "          [--adversary none|crash|killer|equivocate|silent-sender|"
-      "fuzz]\n"
+      "          [--adversary NAME]  (names: see below)\n"
       "          [--value V] [--sender S] [--seed SEED]\n"
       "          [--backend sim|shamir] [--by-kind] [--by-round]\n",
       self);
@@ -98,34 +96,24 @@ Options parse(int argc, char** argv) {
 
 std::unique_ptr<Adversary> make_adversary(const Options& o,
                                           const harness::RunSpec& spec,
-                                          Round phase_first, Round phase_len) {
-  std::vector<ProcessId> victims;
-  for (std::uint32_t i = 0; victims.size() < o.f && i < spec.n; ++i) {
-    if (i != o.sender || o.adversary == "silent-sender") victims.push_back(i);
+                                          check::Protocol protocol) {
+  check::AdversaryParams params;
+  params.protocol = protocol;
+  params.n = spec.n;
+  params.t = spec.t;
+  params.f = o.f;
+  params.instance = spec.instance;
+  params.seed = o.seed;
+  params.value = o.value;
+  params.sender = o.sender;
+  auto adversary = check::make_adversary(o.adversary, params);
+  if (adversary == nullptr) {
+    std::fprintf(stderr, "unknown adversary: %s (expected %s)\n",
+                 o.adversary.c_str(),
+                 check::adversary_names_joined().c_str());
+    std::exit(2);
   }
-  if (o.adversary == "none") return std::make_unique<adv::NullAdversary>();
-  if (o.adversary == "crash") {
-    return std::make_unique<adv::CrashAdversary>(victims);
-  }
-  if (o.adversary == "killer") {
-    return std::make_unique<adv::AdaptiveLeaderCrash>(phase_first, phase_len,
-                                                      spec.n, o.f);
-  }
-  if (o.adversary == "equivocate") {
-    return std::make_unique<adv::BbEquivocatingSender>(
-        o.sender, spec.instance, adv::SenderMode::kEquivocate, Value(o.value),
-        Value(o.value + 1));
-  }
-  if (o.adversary == "silent-sender") {
-    return std::make_unique<adv::CrashAdversary>(
-        std::vector<ProcessId>{o.sender});
-  }
-  if (o.adversary == "fuzz") {
-    return std::make_unique<adv::Fuzzer>(spec.instance, o.seed,
-                                         std::max(1u, o.f), 4, o.sender);
-  }
-  std::fprintf(stderr, "unknown adversary: %s\n", o.adversary.c_str());
-  std::exit(2);
+  return adversary;
 }
 
 void print_meter(const Options& o, const Meter& meter, Round rounds) {
@@ -167,7 +155,7 @@ int run(const Options& o) {
               static_cast<unsigned long long>(o.seed));
 
   if (o.protocol == "bb") {
-    auto adversary = make_adversary(o, spec, /*bb phases*/ 4, 3);
+    auto adversary = make_adversary(o, spec, check::Protocol::kBb);
     const auto res = harness::run_bb(spec, o.sender, Value(o.value),
                                      *adversary);
     std::printf("agreement: %s\n", res.agreement() ? "yes" : "NO");
@@ -181,7 +169,7 @@ int run(const Options& o) {
     return res.agreement() ? 0 : 1;
   }
   if (o.protocol == "weak-ba") {
-    auto adversary = make_adversary(o, spec, /*wba phases*/ 3, 5);
+    auto adversary = make_adversary(o, spec, check::Protocol::kWeakBa);
     const auto res = harness::run_weak_ba(
         spec, std::vector<WireValue>(spec.n, WireValue::plain(Value(o.value))),
         harness::always_valid_factory(), *adversary);
@@ -196,7 +184,7 @@ int run(const Options& o) {
     return res.agreement() ? 0 : 1;
   }
   if (o.protocol == "strong-ba") {
-    auto adversary = make_adversary(o, spec, 1, 1);
+    auto adversary = make_adversary(o, spec, check::Protocol::kStrongBa);
     const auto res = harness::run_strong_ba(
         spec, std::vector<Value>(spec.n, Value(o.value > 1 ? 1 : o.value)),
         *adversary);
@@ -208,7 +196,7 @@ int run(const Options& o) {
     return res.agreement() ? 0 : 1;
   }
   if (o.protocol == "fallback") {
-    auto adversary = make_adversary(o, spec, 1, 1);
+    auto adversary = make_adversary(o, spec, check::Protocol::kFallback);
     const auto res = harness::run_fallback_ba(
         spec, std::vector<WireValue>(spec.n, WireValue::plain(Value(o.value))),
         *adversary);
@@ -219,7 +207,7 @@ int run(const Options& o) {
     return res.agreement() ? 0 : 1;
   }
   if (o.protocol == "ds-bb") {
-    auto adversary = make_adversary(o, spec, 1, 1);
+    auto adversary = make_adversary(o, spec, check::Protocol::kDsBb);
     const auto res =
         harness::run_ds_bb(spec, o.sender, Value(o.value), *adversary);
     std::printf("agreement: %s\ndecision:  %s\n\n",

@@ -6,19 +6,23 @@
 // rounds are elided — which makes the paper's silent-phase mechanism
 // directly visible: an adaptive run is mostly blank.
 //
+// Runs through the src/check cell runner, so every protocol and every
+// registered adversary is available, and the invariant checkers' verdicts
+// are printed under the diagram.
+//
 // Usage mirrors mewc_sim:
-//   mewc_trace [--protocol bb|weak-ba|strong-ba] [--t T] [--f F]
-//              [--adversary none|crash|killer|silent-sender] [--seed SEED]
+//   mewc_trace [--protocol bb|weak-ba|strong-ba|fallback|ds-bb]
+//              [--t T] [--n N] [--f F] [--adversary NAME] [--seed SEED]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <map>
-#include <set>
 #include <string>
-#include <vector>
 
-#include "ba/adversaries/adversaries.hpp"
-#include "ba/harness.hpp"
+#include "check/adversary_registry.hpp"
+#include "check/checkers.hpp"
+#include "check/runner.hpp"
+#include "sim/trace.hpp"
 
 namespace {
 
@@ -27,10 +31,21 @@ using namespace mewc;
 struct Options {
   std::string protocol = "weak-ba";
   std::uint32_t t = 2;
+  std::uint32_t n = 0;  // 0: derive 2t+1
   std::uint32_t f = 0;
   std::string adversary = "none";
   std::uint64_t seed = 0x5e7;
 };
+
+[[noreturn]] void usage_and_exit(const char* self) {
+  std::fprintf(stderr,
+               "usage: %s [--protocol %s]\n"
+               "          [--t T] [--n N] [--f F] [--adversary %s]\n"
+               "          [--seed SEED]\n",
+               self, check::protocol_names_joined().c_str(),
+               check::adversary_names_joined().c_str());
+  std::exit(2);
+}
 
 Options parse(int argc, char** argv) {
   Options o;
@@ -38,7 +53,7 @@ Options parse(int argc, char** argv) {
     auto need = [&]() -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "missing value for %s\n", argv[i]);
-        std::exit(2);
+        usage_and_exit(argv[0]);
       }
       return argv[++i];
     };
@@ -46,6 +61,8 @@ Options parse(int argc, char** argv) {
       o.protocol = need();
     } else if (!std::strcmp(argv[i], "--t")) {
       o.t = static_cast<std::uint32_t>(std::atoi(need()));
+    } else if (!std::strcmp(argv[i], "--n")) {
+      o.n = static_cast<std::uint32_t>(std::atoi(need()));
     } else if (!std::strcmp(argv[i], "--f")) {
       o.f = static_cast<std::uint32_t>(std::atoi(need()));
     } else if (!std::strcmp(argv[i], "--adversary")) {
@@ -54,122 +71,63 @@ Options parse(int argc, char** argv) {
       o.seed = std::strtoull(need(), nullptr, 0);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
-      std::exit(2);
+      usage_and_exit(argv[0]);
     }
   }
   return o;
 }
 
-/// One letter per message kind, stable across runs.
-char glyph_for(const std::string& kind) {
-  static const std::map<std::string, char> table = {
-      {"bb.sender_value", 'S'}, {"bb.help_req", 'H'},
-      {"bb.reply_value", 'R'},  {"bb.idk", 'I'},
-      {"bb.leader_value", 'L'}, {"wba.propose", 'P'},
-      {"wba.vote", 'V'},        {"wba.commit", 'C'},
-      {"wba.decide", 'D'},      {"wba.finalized", 'F'},
-      {"wba.help_req", 'H'},    {"wba.help", 'A'},
-      {"wba.fallback", 'B'},    {"sba.input", 'N'},
-      {"sba.propose_cert", 'P'},{"sba.decide_vote", 'D'},
-      {"sba.decide_cert", 'C'}, {"sba.fallback", 'B'},
-      {"ds.relay", '*'},
-  };
-  auto it = table.find(kind);
-  return it == table.end() ? '?' : it->second;
-}
-
 int run(const Options& o) {
-  auto spec = harness::RunSpec::for_t(o.t);
-  spec.seed = o.seed;
-
-  // cell[round][process] = glyph of the (last) kind sent that round.
-  std::map<Round, std::vector<char>> cells;
-  std::map<Round, std::set<std::string>> kinds;
-  spec.recorder = [&](const Message& m, bool correct) {
-    auto& row = cells[m.round];
-    if (row.empty()) row.assign(spec.n, '.');
-    const char g = glyph_for(m.body->kind());
-    row[m.from] =
-        correct ? g : static_cast<char>(std::tolower(static_cast<int>(g)));
-    kinds[m.round].insert(m.body->kind());
-  };
-
-  std::vector<ProcessId> victims;
-  for (std::uint32_t i = 0; i < o.f; ++i) victims.push_back(i);
-
-  std::unique_ptr<Adversary> adversary;
-  if (o.adversary == "crash") {
-    adversary = std::make_unique<adv::CrashAdversary>(victims);
-  } else if (o.adversary == "killer") {
-    const Round first = o.protocol == "bb" ? 4 : 3;
-    const Round len = o.protocol == "bb" ? 3 : 5;
-    adversary =
-        std::make_unique<adv::AdaptiveLeaderCrash>(first, len, spec.n, o.f);
-  } else if (o.adversary == "silent-sender") {
-    adversary = std::make_unique<adv::CrashAdversary>(
-        std::vector<ProcessId>{spec.n - 1});
-  } else {
-    adversary = std::make_unique<adv::NullAdversary>();
+  const auto proto = check::parse_protocol(o.protocol);
+  if (!proto) {
+    std::fprintf(stderr, "unknown protocol: %s (expected %s)\n",
+                 o.protocol.c_str(),
+                 check::protocol_names_joined().c_str());
+    return 2;
   }
-
-  bool agreement = false;
-  Round total_rounds = 0;
-  if (o.protocol == "bb") {
-    const auto res =
-        harness::run_bb(spec, spec.n - 1, Value(7), *adversary);
-    agreement = res.agreement();
-    total_rounds = res.rounds;
-  } else if (o.protocol == "weak-ba") {
-    const auto res = harness::run_weak_ba(
-        spec, std::vector<WireValue>(spec.n, WireValue::plain(Value(7))),
-        harness::always_valid_factory(), *adversary);
-    agreement = res.agreement();
-    total_rounds = res.rounds;
-  } else if (o.protocol == "strong-ba") {
-    const auto res = harness::run_strong_ba(
-        spec, std::vector<Value>(spec.n, Value(1)), *adversary);
-    agreement = res.agreement();
-    total_rounds = res.rounds;
-  } else {
-    std::fprintf(stderr, "unknown protocol: %s\n", o.protocol.c_str());
+  const auto& names = check::adversary_names();
+  if (std::find(names.begin(), names.end(), o.adversary) == names.end()) {
+    std::fprintf(stderr, "unknown adversary: %s (expected %s)\n",
+                 o.adversary.c_str(),
+                 check::adversary_names_joined().c_str());
     return 2;
   }
 
-  std::printf("space-time diagram: %s, n = %u, adversary = %s (f = %u)\n",
-              o.protocol.c_str(), spec.n, o.adversary.c_str(), o.f);
-  std::printf("rows = rounds with traffic (of %u total; blank rounds are the "
-              "silent phases)\n", total_rounds);
-  std::printf("columns = processes; lowercase = Byzantine sender\n\n");
+  check::CellSpec cell;
+  cell.protocol = *proto;
+  cell.t = o.t;
+  cell.n = o.n == 0 ? n_for_t(o.t) : o.n;
+  cell.f = o.f;
+  cell.adversary = o.adversary;
+  cell.seed = o.seed;
+  if (cell.t == 0 || cell.n < 2 * cell.t + 1) {
+    std::fprintf(stderr, "need t >= 1 and n >= 2t+1\n");
+    return 2;
+  }
 
-  std::printf("round |");
-  for (ProcessId p = 0; p < spec.n; ++p) std::printf("%2u", p % 100);
-  std::printf(" | kinds\n");
-  std::printf("------+%s-+------\n", std::string(2 * spec.n, '-').c_str());
-  Round last_printed = 0;
-  for (const auto& [round, row] : cells) {
-    if (last_printed != 0 && round > last_printed + 1) {
-      std::printf("  ... |%s |  (%u silent rounds)\n",
-                  std::string(2 * spec.n, ' ').c_str(),
-                  round - last_printed - 1);
-    }
-    std::printf("%5u |", round);
-    for (char c : row) std::printf(" %c", c);
-    std::printf(" | ");
-    bool first = true;
-    for (const auto& k : kinds[round]) {
-      std::printf("%s%s", first ? "" : ", ", k.c_str());
-      first = false;
-    }
-    std::printf("\n");
-    last_printed = round;
+  check::RunOptions run_opts;
+  run_opts.record_messages = true;
+  const check::RunRecord record = check::run_cell(cell, run_opts);
+
+  sim::SpaceTime diagram(cell.n);
+  for (const auto& m : record.log.messages) {
+    diagram.observe(m.from, m.round, m.kind, m.correct);
   }
-  if (last_printed < total_rounds) {
-    std::printf("  ... |%s |  (%u silent rounds to the end)\n",
-                std::string(2 * spec.n, ' ').c_str(),
-                total_rounds - last_printed);
+
+  std::printf("space-time diagram: %s, n = %u, adversary = %s (f = %u)\n",
+              o.protocol.c_str(), cell.n, o.adversary.c_str(), o.f);
+  std::printf("rows = rounds with traffic (of %u total; blank rounds are the "
+              "silent phases)\n", record.rounds);
+  std::printf("columns = processes; lowercase = Byzantine sender\n\n");
+  diagram.render(stdout, record.rounds);
+
+  const auto violations = check::run_checkers(record, check::CheckerOptions{});
+  std::printf("\ninvariants: %s\n",
+              violations.empty() ? "all hold" : "VIOLATED");
+  for (const auto& v : violations) {
+    std::printf("  [%s] %s\n", v.checker.c_str(), v.detail.c_str());
   }
-  std::printf("\nagreement: %s\n", agreement ? "yes" : "NO");
-  return agreement ? 0 : 1;
+  return violations.empty() ? 0 : 1;
 }
 
 }  // namespace

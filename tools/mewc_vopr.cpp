@@ -1,0 +1,254 @@
+// mewc_vopr — deterministic simulation-testing driver (VOPR-style).
+//
+// Campaign mode: enumerate (protocol, n, t, f, adversary, seed) cells from
+// a declarative JSON grid, run each through the harness across worker
+// threads, evaluate every invariant checker (agreement, validity,
+// termination, the Table 1 word budget, certificate well-formedness), and
+// emit a JSON report with per-group word-complexity percentiles. On a
+// violation, the failing cell is shrunk to a minimal reproduction and
+// written to a replay file.
+//
+// Replay mode: re-run a replay file bit-for-bit, print the per-checker
+// verdicts against the recorded expectation, and render the space-time
+// diagram of the failing run.
+//
+// Usage:
+//   mewc_vopr --grid FILE [--jobs N] [--report FILE] [--cells]
+//             [--no-shrink] [--replay-out FILE] [--word-budget-c C]
+//             [--max-shrink-runs N]
+//   mewc_vopr --replay FILE [--no-trace]
+//   mewc_vopr --list
+//
+// Exit codes: 0 all invariants hold, 1 violations found, 2 usage/IO error.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "check/adversary_registry.hpp"
+#include "check/campaign.hpp"
+#include "check/runner.hpp"
+#include "check/shrink.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace mewc;
+
+struct Options {
+  std::string grid_path;
+  std::string replay_path;
+  std::string report_path;
+  std::string replay_out = "vopr-replay.json";
+  unsigned jobs = 0;
+  bool list = false;
+  bool cells = false;
+  bool shrink = true;
+  bool trace = true;
+  std::optional<std::uint64_t> word_budget_c;
+  std::uint32_t max_shrink_runs = 96;
+};
+
+[[noreturn]] void usage_and_exit(const char* self) {
+  std::fprintf(
+      stderr,
+      "usage: %s --grid FILE [--jobs N] [--report FILE] [--cells]\n"
+      "          [--no-shrink] [--replay-out FILE] [--word-budget-c C]\n"
+      "          [--max-shrink-runs N]\n"
+      "       %s --replay FILE [--no-trace]\n"
+      "       %s --list\n"
+      "protocols:   %s\n"
+      "adversaries: %s\n",
+      self, self, self, check::protocol_names_joined().c_str(),
+      check::adversary_names_joined().c_str());
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        usage_and_exit(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--grid")) {
+      o.grid_path = need();
+    } else if (!std::strcmp(argv[i], "--replay")) {
+      o.replay_path = need();
+    } else if (!std::strcmp(argv[i], "--report")) {
+      o.report_path = need();
+    } else if (!std::strcmp(argv[i], "--replay-out")) {
+      o.replay_out = need();
+    } else if (!std::strcmp(argv[i], "--jobs")) {
+      o.jobs = static_cast<unsigned>(std::strtoul(need(), nullptr, 0));
+    } else if (!std::strcmp(argv[i], "--cells")) {
+      o.cells = true;
+    } else if (!std::strcmp(argv[i], "--no-shrink")) {
+      o.shrink = false;
+    } else if (!std::strcmp(argv[i], "--no-trace")) {
+      o.trace = false;
+    } else if (!std::strcmp(argv[i], "--list")) {
+      o.list = true;
+    } else if (!std::strcmp(argv[i], "--word-budget-c")) {
+      o.word_budget_c = std::strtoull(need(), nullptr, 0);
+    } else if (!std::strcmp(argv[i], "--max-shrink-runs")) {
+      o.max_shrink_runs =
+          static_cast<std::uint32_t>(std::strtoul(need(), nullptr, 0));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      usage_and_exit(argv[0]);
+    }
+  }
+  const int modes = (!o.grid_path.empty() ? 1 : 0) +
+                    (!o.replay_path.empty() ? 1 : 0) + (o.list ? 1 : 0);
+  if (modes != 1) usage_and_exit(argv[0]);
+  return o;
+}
+
+void render_cell_trace(const check::CellSpec& cell) {
+  check::RunOptions run_opts;
+  run_opts.record_messages = true;
+  const check::RunRecord record = check::run_cell(cell, run_opts);
+  sim::SpaceTime diagram(cell.n);
+  for (const auto& m : record.log.messages) {
+    diagram.observe(m.from, m.round, m.kind, m.correct);
+  }
+  std::printf("\nspace-time diagram (%s):\n", cell.label().c_str());
+  diagram.render(stdout, record.rounds);
+}
+
+void print_violations(const std::vector<check::Violation>& violations) {
+  for (const auto& v : violations) {
+    std::printf("  [%s] %s\n", v.checker.c_str(), v.detail.c_str());
+  }
+}
+
+int run_campaign_mode(const Options& o) {
+  std::string error;
+  const auto grid_json = check::json::read_file(o.grid_path, &error);
+  if (!grid_json) {
+    std::fprintf(stderr, "cannot read grid %s: %s\n", o.grid_path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  check::GridSpec grid;
+  if (!check::GridSpec::from_json(*grid_json, &grid, &error)) {
+    std::fprintf(stderr, "bad grid %s: %s\n", o.grid_path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  if (o.word_budget_c) grid.checkers.word_budget_c = *o.word_budget_c;
+
+  const auto cells = grid.enumerate();
+  std::printf("campaign: %zu cells from %s (C = %llu)\n", cells.size(),
+              o.grid_path.c_str(),
+              static_cast<unsigned long long>(grid.checkers.word_budget_c));
+
+  const auto on_cell = [&](const check::CellResult& r) {
+    if (o.cells || !r.passed()) {
+      std::printf("%s  %s  words=%llu%s\n", r.passed() ? "pass" : "FAIL",
+                  r.cell.label().c_str(),
+                  static_cast<unsigned long long>(r.words_correct),
+                  r.any_fallback ? " fallback" : "");
+      if (!r.passed()) print_violations(r.violations);
+    }
+  };
+  const auto report = check::run_campaign(grid, o.jobs, on_cell);
+
+  std::printf("\n%llu/%llu cells passed\n",
+              static_cast<unsigned long long>(report.cells_passed),
+              static_cast<unsigned long long>(report.cells_total));
+
+  if (!o.report_path.empty()) {
+    if (!check::json::write_file(o.report_path, report.to_json())) {
+      std::fprintf(stderr, "cannot write report %s\n", o.report_path.c_str());
+      return 2;
+    }
+    std::printf("report written to %s\n", o.report_path.c_str());
+  }
+
+  const check::CellResult* failure = report.first_failure();
+  if (failure == nullptr) return 0;
+
+  if (o.shrink) {
+    std::printf("\nshrinking first failure: %s\n",
+                failure->cell.label().c_str());
+    check::ShrinkOptions shrink_opts;
+    shrink_opts.max_runs = o.max_shrink_runs;
+    const auto shrunk =
+        check::shrink_failure(failure->cell, grid.checkers, shrink_opts);
+    std::printf("minimal failing cell (%u runs, %u steps): %s\n",
+                shrunk.runs, shrunk.steps, shrunk.minimal.label().c_str());
+
+    check::Replay replay;
+    replay.cell = shrunk.minimal;
+    replay.checkers = grid.checkers;
+    replay.expected = check::violations_of(shrunk.minimal, grid.checkers);
+    print_violations(replay.expected);
+    if (replay.save(o.replay_out)) {
+      std::printf("replay written to %s (mewc_vopr --replay %s)\n",
+                  o.replay_out.c_str(), o.replay_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write replay %s\n", o.replay_out.c_str());
+    }
+    if (o.trace) render_cell_trace(shrunk.minimal);
+  }
+  return 1;
+}
+
+int run_replay_mode(const Options& o) {
+  std::string error;
+  check::Replay replay;
+  if (!check::Replay::load(o.replay_path, &replay, &error)) {
+    std::fprintf(stderr, "cannot load replay %s: %s\n", o.replay_path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+
+  std::printf("replaying %s\n", replay.cell.label().c_str());
+  const auto violations = check::violations_of(replay.cell, replay.checkers);
+
+  // Per-checker verdicts for every registered checker.
+  for (const auto& checker : check::default_checkers()) {
+    bool violated = false;
+    for (const auto& v : violations) {
+      violated = violated || v.checker == checker->name();
+    }
+    std::printf("  %-12s %s\n", checker->name(), violated ? "FAIL" : "ok");
+  }
+  print_violations(violations);
+
+  // Bit-for-bit reproduction check: same checkers must fire as when the
+  // replay was recorded.
+  bool matches = violations.size() == replay.expected.size();
+  for (std::size_t i = 0; matches && i < violations.size(); ++i) {
+    matches = violations[i].checker == replay.expected[i].checker &&
+              violations[i].detail == replay.expected[i].detail;
+  }
+  std::printf("verdict matches recording: %s\n", matches ? "yes" : "NO");
+
+  if (o.trace) render_cell_trace(replay.cell);
+  return violations.empty() && matches ? 0 : 1;
+}
+
+int run_list_mode() {
+  std::printf("protocols:   %s\n", check::protocol_names_joined(" ").c_str());
+  std::printf("adversaries: %s\n", check::adversary_names_joined(" ").c_str());
+  std::printf("checkers:   ");
+  for (const auto& c : check::default_checkers()) {
+    std::printf(" %s", c->name());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  if (o.list) return run_list_mode();
+  if (!o.replay_path.empty()) return run_replay_mode(o);
+  return run_campaign_mode(o);
+}
