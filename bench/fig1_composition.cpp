@@ -84,7 +84,7 @@ void words_by_kind() {
   auto spec = harness::RunSpec::for_t(t);
   Table tab({"scenario", "kind", "words"});
   auto rows_for = [&](const char* scenario, const harness::BbResult& res) {
-    for (const auto& [kind, words] : res.meter.words_by_kind) {
+    for (const auto& [kind, words] : res.meter.words_by_kind()) {
       tab.row({scenario, kind, u64(words)});
     }
   };

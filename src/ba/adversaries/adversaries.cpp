@@ -7,6 +7,7 @@
 #include "ba/validity/predicate.hpp"
 #include "ba/weak_ba/messages.hpp"
 #include "crypto/signer_set.hpp"
+#include "net/arena.hpp"
 
 namespace mewc::adv {
 
@@ -54,7 +55,7 @@ void BbEquivocatingSender::act(Round r, AdversaryControl& ctrl) {
   const auto& key = ctrl.bundle(sender_).signer();
 
   auto signed_value = [&](Value v) {
-    auto msg = std::make_shared<bb::SenderValueMsg>();
+    auto msg = pool::make<bb::SenderValueMsg>();
     msg->value =
         WireValue::signed_by(v, key.sign(bb_sender_digest(instance_, v)));
     return msg;
@@ -98,7 +99,7 @@ void WbaCertSplit::act(Round r, AdversaryControl& ctrl) {
       wba::finalize_digest(instance_, phase_, value_.content_digest());
 
   if (r == phase_round(1)) {
-    auto msg = std::make_shared<wba::ProposeMsg>();
+    auto msg = pool::make<wba::ProposeMsg>();
     msg->phase = phase_;
     msg->value = value_;
     ctrl.broadcast_as(leader_, msg);
@@ -128,7 +129,7 @@ void WbaCertSplit::act(Round r, AdversaryControl& ctrl) {
     if (votes_.size() < quorum) return;
     commit_qc_ = fam.scheme(quorum).combine(votes_);
     if (!commit_qc_) return;
-    auto msg = std::make_shared<wba::CommitMsg>();
+    auto msg = pool::make<wba::CommitMsg>();
     msg->phase = phase_;
     msg->value = value_;
     msg->level = phase_;
@@ -163,7 +164,7 @@ void WbaCertSplit::act(Round r, AdversaryControl& ctrl) {
     finalize_qc_ = fam.scheme(quorum).combine(decides_);
     if (!finalize_qc_) return;
     if (poison_help_) return;  // withhold entirely; disclose at help time
-    auto msg = std::make_shared<wba::FinalizedMsg>();
+    auto msg = pool::make<wba::FinalizedMsg>();
     msg->phase = phase_;
     msg->value = value_;
     msg->qc = *finalize_qc_;
@@ -181,7 +182,7 @@ void WbaCertSplit::act(Round r, AdversaryControl& ctrl) {
   // certificate (broadcast this same round) carried no decision.
   if (poison_help_ && finalize_qc_ &&
       r == static_cast<Round>(5 * ctrl.n() + 2)) {
-    auto msg = std::make_shared<wba::HelpMsg>();
+    auto msg = pool::make<wba::HelpMsg>();
     msg->value = value_;
     msg->proof_phase = phase_;
     msg->decide_proof = *finalize_qc_;
@@ -239,7 +240,7 @@ void WbaTwoPhaseConflict::act(Round r, AdversaryControl& ctrl) {
 
   // --- Phase `phase_`: commit v, reveal to a chosen few, never finalize.
   if (r == phase_round(phase_, 1)) {
-    auto msg = std::make_shared<wba::ProposeMsg>();
+    auto msg = pool::make<wba::ProposeMsg>();
     msg->phase = phase_;
     msg->value = v_;
     ctrl.broadcast_as(leader1_, msg);
@@ -249,7 +250,7 @@ void WbaTwoPhaseConflict::act(Round r, AdversaryControl& ctrl) {
     if (votes_v_.size() < quorum) return;
     commit_v_ = fam.scheme(quorum).combine(votes_v_);
     if (!commit_v_) return;
-    auto msg = std::make_shared<wba::CommitMsg>();
+    auto msg = pool::make<wba::CommitMsg>();
     msg->phase = phase_;
     msg->value = v_;
     msg->level = phase_;
@@ -265,7 +266,7 @@ void WbaTwoPhaseConflict::act(Round r, AdversaryControl& ctrl) {
   // --- Phase `phase_+1`: drive w through commit and finalize.
   const std::uint64_t p2 = phase_ + 1;
   if (r == phase_round(p2, 1)) {
-    auto msg = std::make_shared<wba::ProposeMsg>();
+    auto msg = pool::make<wba::ProposeMsg>();
     msg->phase = p2;
     msg->value = w_;
     ctrl.broadcast_as(leader2_, msg);
@@ -275,7 +276,7 @@ void WbaTwoPhaseConflict::act(Round r, AdversaryControl& ctrl) {
     if (votes_w_.size() < quorum) return;
     commit_w_ = fam.scheme(quorum).combine(votes_w_);
     if (!commit_w_) return;
-    auto msg = std::make_shared<wba::CommitMsg>();
+    auto msg = pool::make<wba::CommitMsg>();
     msg->phase = p2;
     msg->value = w_;
     msg->level = p2;
@@ -304,7 +305,7 @@ void WbaTwoPhaseConflict::act(Round r, AdversaryControl& ctrl) {
     auto qc = fam.scheme(quorum).combine(decides_w_);
     if (!qc) return;
     finalized_w_ = true;
-    auto msg = std::make_shared<wba::FinalizedMsg>();
+    auto msg = pool::make<wba::FinalizedMsg>();
     msg->phase = p2;
     msg->value = w_;
     msg->qc = *qc;
@@ -329,7 +330,7 @@ void WbaHelpSpam::act(Round r, AdversaryControl& ctrl) {
 
   if (r == help_round_) {
     for (ProcessId p : corrupted_) {
-      auto msg = std::make_shared<wba::HelpReqMsg>();
+      auto msg = pool::make<wba::HelpReqMsg>();
       msg->partial = ctrl.bundle(p).share(k).partial_sign(d);
       ctrl.broadcast_as(p, msg);
     }
@@ -353,7 +354,7 @@ void WbaHelpSpam::act(Round r, AdversaryControl& ctrl) {
     }
     auto qc = fam.scheme(k).combine(partials);
     if (!qc) return;
-    auto msg = std::make_shared<wba::FallbackMsg>();
+    auto msg = pool::make<wba::FallbackMsg>();
     msg->fallback_qc = *qc;
     std::uint32_t sent = 0;
     for (ProcessId p = 0; p < ctrl.n() && sent < cert_recipients_; ++p) {
@@ -378,7 +379,7 @@ void BbPartialRelay::act(Round r, AdversaryControl& ctrl) {
   const std::uint32_t k = ctrl.t() + 1;
 
   if (r == phase_round(1)) {
-    auto msg = std::make_shared<bb::HelpReqMsg>();
+    auto msg = pool::make<bb::HelpReqMsg>();
     msg->phase = phase_;
     ctrl.broadcast_as(leader_, msg);
     return;
@@ -406,7 +407,7 @@ void BbPartialRelay::act(Round r, AdversaryControl& ctrl) {
     if (idk_partials_.size() < k) return;
     auto qc = fam.scheme(k).combine(idk_partials_);
     if (!qc) return;
-    auto msg = std::make_shared<bb::LeaderValueMsg>();
+    auto msg = pool::make<bb::LeaderValueMsg>();
     msg->phase = phase_;
     msg->value = WireValue::certified(kIdkValue, *qc, /*aux=*/phase_);
     // Reveal the certificate only to the highest-id correct processes.
@@ -471,19 +472,19 @@ void Alg5Withhold::act(Round r, AdversaryControl& ctrl) {
       const auto c1 = cert_for(1);
       if (c0 && c1) {
         for (ProcessId p = 0; p < ctrl.n(); ++p) {
-          auto msg = std::make_shared<sba::ProposeCertMsg>(p % 2 == 0 ? *c0
+          auto msg = pool::make<sba::ProposeCertMsg>(p % 2 == 0 ? *c0
                                                                       : *c1);
           ctrl.send_as(leader, p, msg);
         }
       } else if (c0 || c1) {
         ctrl.broadcast_as(leader,
-                          std::make_shared<sba::ProposeCertMsg>(c0 ? *c0 : *c1));
+                          pool::make<sba::ProposeCertMsg>(c0 ? *c0 : *c1));
         proposed_ = (c0 ? c0 : c1)->value;
       }
     } else {  // kHideDecide: behave honestly here
       for (int v = 0; v < 2; ++v) {
         if (auto c = cert_for(v)) {
-          ctrl.broadcast_as(leader, std::make_shared<sba::ProposeCertMsg>(*c));
+          ctrl.broadcast_as(leader, pool::make<sba::ProposeCertMsg>(*c));
           proposed_ = c->value;
           break;
         }
@@ -516,7 +517,7 @@ void Alg5Withhold::act(Round r, AdversaryControl& ctrl) {
     if (decide_partials_.size() < ctrl.n()) return;
     auto qc = fam.scheme(ctrl.n()).combine(decide_partials_);
     if (!qc) return;
-    auto msg = std::make_shared<sba::DecideCertMsg>();
+    auto msg = pool::make<sba::DecideCertMsg>();
     msg->value = *proposed_;
     msg->qc = *qc;
     std::uint32_t sent = 0;

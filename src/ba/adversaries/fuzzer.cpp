@@ -6,6 +6,7 @@
 #include "ba/validity/predicate.hpp"
 #include "ba/weak_ba/messages.hpp"
 #include "crypto/multisig.hpp"
+#include "net/arena.hpp"
 
 namespace mewc::adv {
 
@@ -87,19 +88,19 @@ PayloadPtr Fuzzer::random_payload(Round r, AdversaryControl& ctrl,
 
   switch (rng_.below(14)) {
     case 0: {
-      auto m = std::make_shared<wba::ProposeMsg>();
+      auto m = pool::make<wba::ProposeMsg>();
       m->phase = rnd_phase();
       m->value = rnd_wire();
       return m;
     }
     case 1: {
-      auto m = std::make_shared<wba::VoteMsg>();
+      auto m = pool::make<wba::VoteMsg>();
       m->phase = rnd_phase();
       m->partial = rnd_partial();
       return m;
     }
     case 2: {
-      auto m = std::make_shared<wba::CommitMsg>();
+      auto m = pool::make<wba::CommitMsg>();
       m->phase = rnd_phase();
       m->value = rnd_wire();
       m->level = rng_.below(n + 2);
@@ -107,32 +108,32 @@ PayloadPtr Fuzzer::random_payload(Round r, AdversaryControl& ctrl,
       return m;
     }
     case 3: {
-      auto m = std::make_shared<wba::DecideMsg>();
+      auto m = pool::make<wba::DecideMsg>();
       m->phase = rnd_phase();
       m->partial = rnd_partial();
       return m;
     }
     case 4: {
-      auto m = std::make_shared<wba::FinalizedMsg>();
+      auto m = pool::make<wba::FinalizedMsg>();
       m->phase = rnd_phase();
       m->value = rnd_wire();
       m->qc = rnd_threshold_sig();
       return m;
     }
     case 5: {
-      auto m = std::make_shared<wba::HelpReqMsg>();
+      auto m = pool::make<wba::HelpReqMsg>();
       m->partial = rnd_partial();
       return m;
     }
     case 6: {
-      auto m = std::make_shared<wba::HelpMsg>();
+      auto m = pool::make<wba::HelpMsg>();
       m->value = rnd_wire();
       m->proof_phase = rnd_phase();
       m->decide_proof = rnd_threshold_sig();
       return m;
     }
     case 7: {
-      auto m = std::make_shared<wba::FallbackMsg>();
+      auto m = pool::make<wba::FallbackMsg>();
       m->fallback_qc = rnd_threshold_sig();
       m->has_decision = rng_.chance(1, 2);
       m->value = rnd_wire();
@@ -141,30 +142,30 @@ PayloadPtr Fuzzer::random_payload(Round r, AdversaryControl& ctrl,
       return m;
     }
     case 8: {
-      auto m = std::make_shared<bb::HelpReqMsg>();
+      auto m = pool::make<bb::HelpReqMsg>();
       m->phase = rnd_phase();
       return m;
     }
     case 9: {
-      auto m = std::make_shared<bb::IdkMsg>();
+      auto m = pool::make<bb::IdkMsg>();
       m->phase = rnd_phase();
       m->partial = rnd_partial();
       return m;
     }
     case 10: {
-      auto m = std::make_shared<bb::LeaderValueMsg>();
+      auto m = pool::make<bb::LeaderValueMsg>();
       m->phase = rnd_phase();
       m->value = rnd_wire();
       return m;
     }
     case 11: {
-      auto m = std::make_shared<sba::ProposeCertMsg>();
+      auto m = pool::make<sba::ProposeCertMsg>();
       m->value = rnd_value();
       m->qc = rnd_threshold_sig();
       return m;
     }
     case 12: {
-      auto m = std::make_shared<fallback::DsRelayMsg>();
+      auto m = pool::make<fallback::DsRelayMsg>();
       m->instance = static_cast<ProcessId>(rng_.below(n + 2));
       m->value = rnd_wire();
       // Chain: a real self-signature on a random relay claim, with the
@@ -184,7 +185,7 @@ PayloadPtr Fuzzer::random_payload(Round r, AdversaryControl& ctrl,
       if (!posted.empty() && rng_.chance(2, 3)) {
         return posted[rng_.below(posted.size())].body;
       }
-      auto m = std::make_shared<JunkMsg>();
+      auto m = pool::make<JunkMsg>();
       m->blob = rng_.next() ^ r;
       return m;
     }

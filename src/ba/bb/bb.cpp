@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "crypto/signer_set.hpp"
+#include "net/arena.hpp"
 
 namespace mewc::bb {
 
@@ -28,7 +29,7 @@ void BbProcess::phase_send(std::uint64_t j, Round local, Outbox& out) {
     case 1: {  // lines 15-16: a value-less leader asks for help
       ph_ = PhaseScratch{};
       if (leader == ctx_.id && vi_.is_bottom()) {
-        auto msg = std::make_shared<HelpReqMsg>();
+        auto msg = pool::make<HelpReqMsg>();
         msg->phase = j;
         out.broadcast(msg);
         stats_.led_nonsilent_phase = true;
@@ -38,12 +39,12 @@ void BbProcess::phase_send(std::uint64_t j, Round local, Outbox& out) {
     case 2: {  // lines 17-21: answer with the value or an idk partial
       if (!ph_.reply_needed) break;
       if (!vi_.is_bottom()) {
-        auto msg = std::make_shared<ReplyValueMsg>();
+        auto msg = pool::make<ReplyValueMsg>();
         msg->phase = j;
         msg->value = vi_;
         out.send(leader, msg);
       } else {
-        auto msg = std::make_shared<IdkMsg>();
+        auto msg = pool::make<IdkMsg>();
         msg->phase = j;
         msg->partial =
             ctx_.partial_sign(ctx_.t + 1, bb_idk_digest(ctx_.instance, j));
@@ -54,14 +55,14 @@ void BbProcess::phase_send(std::uint64_t j, Round local, Outbox& out) {
     case 3: {  // lines 22-27: leader relays a valid value or batches idk
       if (leader != ctx_.id) break;
       if (ph_.best_reply) {
-        auto msg = std::make_shared<LeaderValueMsg>();
+        auto msg = pool::make<LeaderValueMsg>();
         msg->phase = j;
         msg->value = *ph_.best_reply;
         out.broadcast(msg);
       } else if (ph_.idk_partials.size() >= ctx_.t + 1) {
         auto qc = ctx_.scheme(ctx_.t + 1).combine(ph_.idk_partials);
         MEWC_CHECK_MSG(qc.has_value(), "verified idk partials must combine");
-        auto msg = std::make_shared<LeaderValueMsg>();
+        auto msg = pool::make<LeaderValueMsg>();
         msg->phase = j;
         msg->value = WireValue::certified(kIdkValue, *qc, /*aux=*/j);
         out.broadcast(msg);
@@ -135,7 +136,7 @@ void BbProcess::phase_receive(std::uint64_t j, Round local,
 void BbProcess::on_send(Round r, Outbox& out) {
   if (r == 1) {  // Algorithm 1, lines 1-2
     if (sender_ == ctx_.id) {
-      auto msg = std::make_shared<SenderValueMsg>();
+      auto msg = pool::make<SenderValueMsg>();
       msg->value = WireValue::signed_by(
           input_, ctx_.sign(bb_sender_digest(ctx_.instance, input_)));
       out.broadcast(msg);

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/check.hpp"
+#include "net/arena.hpp"
 
 namespace mewc::fallback {
 
@@ -37,7 +38,7 @@ void DolevStrongEngine::on_send(Round local_r, Outbox& out) {
   if (local_r == 1) {
     if (!broadcaster_) return;
     // Start my own instance: broadcast my input with a 1-signature chain.
-    auto msg = std::make_shared<DsRelayMsg>();
+    auto msg = pool::make<DsRelayMsg>();
     msg->instance = ctx_.id;
     msg->value = input_;
     msg->chain = aggregate_start(
@@ -61,7 +62,7 @@ void DolevStrongEngine::accept(Round local_r, ProcessId instance,
   // acceptance in round t+1 needs no relay: its chain of t+1 signers
   // contains a correct process that already relayed it earlier).
   if (local_r > ctx_.t) return;
-  auto msg = std::make_shared<DsRelayMsg>();
+  auto msg = pool::make<DsRelayMsg>();
   msg->instance = instance;
   msg->value = v;
   msg->chain = chain;

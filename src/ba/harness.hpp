@@ -54,7 +54,9 @@ struct RunSpec {
 
 /// Fields common to every protocol run.
 struct RunOutcome {
-  Meter meter{0};
+  /// Copied from the executor at run end; breakdowns grow on demand, so a
+  /// default-constructed meter never silently drops attribution.
+  Meter meter;
   std::vector<ProcessId> corrupted;
   std::uint64_t signatures_issued = 0;
   Round rounds = 0;

@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "crypto/signer_set.hpp"
+#include "net/arena.hpp"
 
 namespace mewc::sba {
 
@@ -21,7 +22,7 @@ void StrongBaProcess::decide_now(Value v, bool fast, Round round) {
 }
 
 PayloadPtr StrongBaProcess::make_fallback_msg() const {
-  auto msg = std::make_shared<FallbackMsg>();
+  auto msg = pool::make<FallbackMsg>();
   if (decided_ && decide_proof_) {
     msg->has_decision = true;
     msg->value = decision_;
@@ -37,7 +38,7 @@ PayloadPtr StrongBaProcess::make_fallback_msg() const {
 void StrongBaProcess::on_send(Round r, Outbox& out) {
   switch (r) {
     case 1: {  // line 2: everyone sends its input to the leader
-      auto msg = std::make_shared<InputMsg>();
+      auto msg = pool::make<InputMsg>();
       msg->value = input_;
       msg->partial =
           ctx_.partial_sign(ctx_.t + 1, propose_digest(ctx_.instance, input_));
@@ -50,7 +51,7 @@ void StrongBaProcess::on_send(Round r, Outbox& out) {
         if (input_partials_[v].size() >= ctx_.t + 1) {
           auto qc = ctx_.scheme(ctx_.t + 1).combine(input_partials_[v]);
           MEWC_CHECK_MSG(qc.has_value(), "verified inputs must combine");
-          auto msg = std::make_shared<ProposeCertMsg>();
+          auto msg = pool::make<ProposeCertMsg>();
           msg->value = Value(static_cast<std::uint64_t>(v));
           msg->qc = *qc;
           out.broadcast(msg);
@@ -62,7 +63,7 @@ void StrongBaProcess::on_send(Round r, Outbox& out) {
     }
     case 3: {  // lines 7-8: decide vote on the certified value
       if (decide_vote_value_) {
-        auto msg = std::make_shared<DecideVoteMsg>();
+        auto msg = pool::make<DecideVoteMsg>();
         msg->value = *decide_vote_value_;
         msg->partial = ctx_.partial_sign(
             ctx_.n, decide_digest(ctx_.instance, *decide_vote_value_));
@@ -76,7 +77,7 @@ void StrongBaProcess::on_send(Round r, Outbox& out) {
       if (decide_partials_.size() >= ctx_.n) {
         auto qc = ctx_.scheme(ctx_.n).combine(decide_partials_);
         MEWC_CHECK_MSG(qc.has_value(), "verified decides must combine");
-        auto msg = std::make_shared<DecideCertMsg>();
+        auto msg = pool::make<DecideCertMsg>();
         msg->value = *proposed_;
         msg->qc = *qc;
         out.broadcast(msg);

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "ba/bb/bb.hpp"
+#include "net/arena.hpp"
 
 namespace mewc::ic {
 
@@ -72,7 +73,7 @@ class LaneOutbox {
 
   void forward(const Outbox& lane_out) {
     for (const auto& [to, body] : lane_out.sends()) {
-      auto mux = std::make_shared<MuxMsg>();
+      auto mux = pool::make<MuxMsg>();
       mux->lane = lane_;
       mux->inner = body;
       out_.send(to, mux);

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "crypto/signer_set.hpp"
+#include "net/arena.hpp"
 
 namespace mewc::wba {
 
@@ -60,7 +61,7 @@ void WeakBaProcess::phase_send(std::uint64_t j, Round local, Outbox& out) {
     case 1: {  // line 31-32: undecided leader proposes
       ph_ = PhaseScratch{};
       if (leader == ctx_.id && !decided_) {
-        auto msg = std::make_shared<ProposeMsg>();
+        auto msg = pool::make<ProposeMsg>();
         msg->phase = j;
         msg->value = vi_;
         out.broadcast(msg);
@@ -70,14 +71,14 @@ void WeakBaProcess::phase_send(std::uint64_t j, Round local, Outbox& out) {
     }
     case 2: {  // lines 33-36: vote or report the existing commit
       if (ph_.will_vote) {
-        auto msg = std::make_shared<VoteMsg>();
+        auto msg = pool::make<VoteMsg>();
         msg->phase = j;
         msg->partial = ctx_.partial_sign(
             ctx_.quorum(),
             commit_digest(ctx_.instance, j, ph_.proposal.content_digest()));
         out.send(leader, msg);
       } else if (ph_.will_send_commit_info) {
-        auto msg = std::make_shared<CommitMsg>();
+        auto msg = pool::make<CommitMsg>();
         msg->phase = j;
         msg->value = commit_;
         msg->level = commit_level_;
@@ -89,7 +90,7 @@ void WeakBaProcess::phase_send(std::uint64_t j, Round local, Outbox& out) {
     case 3: {  // lines 37-42: leader echoes a commit or forms a fresh QC
       if (leader != ctx_.id) break;
       if (ph_.best_commit_info) {
-        auto msg = std::make_shared<CommitMsg>(*ph_.best_commit_info);
+        auto msg = pool::make<CommitMsg>(*ph_.best_commit_info);
         msg->phase = j;
         out.broadcast(msg);
         ph_.leader_broadcast_commit = true;
@@ -98,7 +99,7 @@ void WeakBaProcess::phase_send(std::uint64_t j, Round local, Outbox& out) {
       } else if (ph_.votes.size() >= ctx_.quorum()) {
         auto qc = ctx_.scheme(ctx_.quorum()).combine(ph_.votes);
         MEWC_CHECK_MSG(qc.has_value(), "verified votes must combine");
-        auto msg = std::make_shared<CommitMsg>();
+        auto msg = pool::make<CommitMsg>();
         msg->phase = j;
         msg->value = ph_.proposal;  // leader's own proposal
         msg->level = j;
@@ -112,7 +113,7 @@ void WeakBaProcess::phase_send(std::uint64_t j, Round local, Outbox& out) {
     }
     case 4: {  // line 44: decide vote to the leader
       if (ph_.will_send_decide) {
-        auto msg = std::make_shared<DecideMsg>();
+        auto msg = pool::make<DecideMsg>();
         msg->phase = j;
         msg->partial = ph_.decide_partial;
         out.send(leader, msg);
@@ -124,7 +125,7 @@ void WeakBaProcess::phase_send(std::uint64_t j, Round local, Outbox& out) {
       if (ph_.decides.size() >= ctx_.quorum()) {
         auto qc = ctx_.scheme(ctx_.quorum()).combine(ph_.decides);
         MEWC_CHECK_MSG(qc.has_value(), "verified decides must combine");
-        auto msg = std::make_shared<FinalizedMsg>();
+        auto msg = pool::make<FinalizedMsg>();
         msg->phase = j;
         msg->value = ph_.leader_commit_value;
         msg->qc = *qc;
@@ -247,7 +248,7 @@ void WeakBaProcess::phase_receive(std::uint64_t j, Round local,
 // ---------------------------------------------------------------------------
 
 PayloadPtr WeakBaProcess::make_fallback_msg() const {
-  auto msg = std::make_shared<FallbackMsg>();
+  auto msg = pool::make<FallbackMsg>();
   msg->fallback_qc = fallback_cert_;
   if (decided_ && decide_proof_) {
     msg->has_decision = true;
@@ -274,7 +275,7 @@ void WeakBaProcess::note_fallback_cert(const ThresholdSig& qc) {
 void WeakBaProcess::tail_send(Round r, Outbox& out) {
   if (r == help_req_round()) {  // Alg 3, lines 5-6
     if (!decided_) {
-      auto msg = std::make_shared<HelpReqMsg>();
+      auto msg = pool::make<HelpReqMsg>();
       msg->partial = ctx_.partial_sign(ctx_.t + 1,
                                        help_req_digest(ctx_.instance));
       out.broadcast(msg);
@@ -287,7 +288,7 @@ void WeakBaProcess::tail_send(Round r, Outbox& out) {
     if (decided_ && decide_proof_) {
       for (const PartialSig& req : help_req_partials_) {
         if (req.signer == ctx_.id) continue;
-        auto msg = std::make_shared<HelpMsg>();
+        auto msg = pool::make<HelpMsg>();
         msg->value = decision_;
         msg->proof_phase = decide_phase_;
         msg->decide_proof = *decide_proof_;

@@ -75,7 +75,7 @@ struct RunRecord {
   std::vector<bool> decided;            // meaningful for correct processes
   std::vector<WireValue> decisions;     // meaningful where decided
   std::vector<WireValue> inputs;
-  Meter meter{0};
+  Meter meter;
   Round rounds = 0;
   bool any_fallback = false;
   MessageLog log;

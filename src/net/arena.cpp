@@ -1,0 +1,93 @@
+#include "net/arena.hpp"
+
+#include <array>
+#include <atomic>
+#include <new>
+#include <vector>
+
+namespace mewc::pool {
+
+namespace {
+
+// Buckets cover [1, kStep], (kStep, 2*kStep], ... up to kMaxBytes; larger
+// requests bypass the pool. Payloads plus their shared_ptr control block
+// land well under 1 KiB; going bigger only hoards memory.
+constexpr std::size_t kStep = 64;
+constexpr std::size_t kMaxBuckets = 16;  // kStep * kMaxBuckets = 1 KiB
+
+std::atomic<bool> g_enabled{true};
+
+[[nodiscard]] constexpr std::size_t bucket_of(std::size_t bytes) {
+  return (bytes + kStep - 1) / kStep;  // 1-based; 0 only for bytes == 0
+}
+
+// `g_tls_alive` is trivially destructible, so it stays readable during and
+// after thread teardown; the free lists set it false before releasing their
+// blocks, and any deallocation arriving later falls through to ::operator
+// delete instead of touching a destroyed list.
+thread_local bool g_tls_alive = false;
+
+struct FreeLists {
+  std::array<std::vector<void*>, kMaxBuckets + 1> buckets;
+  Stats stats;
+
+  FreeLists() { g_tls_alive = true; }
+  ~FreeLists() {
+    g_tls_alive = false;
+    for (auto& list : buckets) {
+      for (void* p : list) ::operator delete(p);
+    }
+  }
+};
+
+[[nodiscard]] FreeLists& tls() {
+  thread_local FreeLists lists;
+  return lists;
+}
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+Stats thread_stats() { return g_tls_alive ? tls().stats : Stats{}; }
+
+void reset_thread_stats() {
+  if (g_tls_alive) tls().stats = Stats{};
+}
+
+namespace detail {
+
+void* allocate(std::size_t bytes) {
+  const std::size_t bucket = bucket_of(bytes);
+  if (bucket == 0 || bucket > kMaxBuckets) return ::operator new(bytes);
+  // Always allocate the full bucket size — even with pooling off — so any
+  // block that can reach a free list is guaranteed to satisfy every request
+  // of its bucket, regardless of when the kill switch was flipped.
+  const std::size_t size = bucket * kStep;
+  if (!enabled()) return ::operator new(size);
+  FreeLists& fl = tls();
+  auto& list = fl.buckets[bucket];
+  if (!list.empty()) {
+    void* p = list.back();
+    list.pop_back();
+    ++fl.stats.reused;
+    return p;
+  }
+  ++fl.stats.fresh;
+  return ::operator new(size);
+}
+
+void deallocate(void* p, std::size_t bytes) noexcept {
+  const std::size_t bucket = bucket_of(bytes);
+  if (bucket == 0 || bucket > kMaxBuckets || !enabled() || !g_tls_alive) {
+    ::operator delete(p);
+    return;
+  }
+  tls().buckets[bucket].push_back(p);
+}
+
+}  // namespace detail
+
+}  // namespace mewc::pool

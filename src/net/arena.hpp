@@ -1,0 +1,86 @@
+// Pooled payload arena: size-bucketed, thread-local free lists that recycle
+// the combined (control block + object) allocation of allocate_shared'd
+// payloads. The simulator's send/deliver hot path creates and destroys one
+// payload per send step and the synchronous round structure bounds every
+// payload's lifetime to a round or two, so after the first few rounds every
+// allocation is served from a free list — the steady state is heap-quiet.
+//
+// Pooling is a pure memory-reuse optimization: payload bytes, word counts
+// and stream digests are identical with pooling on or off (guarded by
+// tests/check/pooling_test.cpp). The kill switch exists for A/B runs and
+// for allocation-sensitive tooling.
+//
+// Thread model: free lists are thread-local, so campaign workers never
+// contend. A block released on a different thread than it was allocated on
+// simply joins the releasing thread's list (all blocks originate from
+// ::operator new, so ownership is transferable); blocks released after a
+// thread's lists are destroyed fall through to ::operator delete.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace mewc::pool {
+
+/// Global kill switch (default on). Flip only from a single-threaded
+/// context: the flag itself is atomic, but toggling mid-campaign makes
+/// allocation accounting meaningless.
+[[nodiscard]] bool enabled();
+void set_enabled(bool on);
+
+/// Calling-thread pool counters (allocations served from a free list vs
+/// fell through to ::operator new). Oversized requests bypass the pool and
+/// are not counted.
+struct Stats {
+  std::uint64_t reused = 0;
+  std::uint64_t fresh = 0;
+};
+[[nodiscard]] Stats thread_stats();
+void reset_thread_stats();
+
+namespace detail {
+
+/// Pops a recycled block or falls through to ::operator new. Small requests
+/// are rounded up to the bucket size so a recycled block can serve any
+/// request of its bucket.
+[[nodiscard]] void* allocate(std::size_t bytes);
+void deallocate(void* p, std::size_t bytes) noexcept;
+
+/// Minimal allocator over the thread-local free lists, for allocate_shared.
+template <typename T>
+struct Recycler {
+  using value_type = T;
+
+  Recycler() noexcept = default;
+  template <typename U>
+  Recycler(const Recycler<U>&) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(detail::allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    detail::deallocate(p, n * sizeof(T));
+  }
+
+  template <typename U>
+  [[nodiscard]] bool operator==(const Recycler<U>&) const noexcept {
+    return true;
+  }
+};
+
+}  // namespace detail
+
+/// Drop-in replacement for std::make_shared on payload types: one combined
+/// allocation, recycled through the arena. Returns a mutable pointer (the
+/// protocol fills fields after construction); it converts to PayloadPtr at
+/// the send site as usual.
+template <typename T, typename... Args>
+[[nodiscard]] std::shared_ptr<T> make(Args&&... args) {
+  if (!enabled()) return std::make_shared<T>(std::forward<Args>(args)...);
+  return std::allocate_shared<T>(detail::Recycler<T>{},
+                                 std::forward<Args>(args)...);
+}
+
+}  // namespace mewc::pool

@@ -2,9 +2,19 @@
 // number of words sent by CORRECT processes. Byzantine traffic is metered
 // separately for diagnostics, and per-round / per-process breakdowns feed
 // the silent-phase and help-request experiments.
+//
+// record() sits on the simulator's per-message hot path, so it must not
+// allocate in steady state: the per-kind breakdown is keyed by interned
+// kind ids — Payload::kind() returns one string literal per payload type,
+// so a tiny pointer-keyed cache resolves each type once and every later
+// record() is a short pointer scan plus a vector bump. Rarely (inline
+// kind() emitted in several translation units) the same kind name arrives
+// at a second address; interning dedupes by content so the breakdown never
+// double-counts a kind.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
@@ -24,11 +34,13 @@ struct Meter {
   std::uint64_t logical_sigs_correct = 0;
 
   // Correct-sender breakdowns (the quantity the paper's bounds constrain).
-  std::vector<std::uint64_t> words_by_process;   // indexed by sender
-  std::vector<std::uint64_t> words_by_round;     // indexed by round
-  std::map<std::string, std::uint64_t> words_by_kind;  // by payload kind()
+  // Both vectors grow on demand, so a default-constructed meter still
+  // attributes every word: sizing is a reservation, never a filter.
+  std::vector<std::uint64_t> words_by_process;  // indexed by sender
+  std::vector<std::uint64_t> words_by_round;    // indexed by round
 
-  explicit Meter(std::uint32_t n = 0) : words_by_process(n, 0) {}
+  Meter() = default;
+  explicit Meter(std::uint32_t n) : words_by_process(n, 0) {}
 
   void record(ProcessId from, Round round, std::size_t words,
               std::size_t logical_sigs, const char* kind, bool correct) {
@@ -36,10 +48,13 @@ struct Meter {
       words_correct += words;
       logical_sigs_correct += logical_sigs;
       ++messages_correct;
-      if (from < words_by_process.size()) words_by_process[from] += words;
+      if (from >= words_by_process.size()) {
+        words_by_process.resize(from + 1, 0);
+      }
+      words_by_process[from] += words;
       if (round >= words_by_round.size()) words_by_round.resize(round + 1, 0);
       words_by_round[round] += words;
-      if (kind != nullptr) words_by_kind[kind] += words;
+      if (kind != nullptr) words_by_kind_[intern_kind(kind)] += words;
     } else {
       words_byzantine += words;
       ++messages_byzantine;
@@ -54,6 +69,42 @@ struct Meter {
     }
     return sum;
   }
+
+  /// Per-kind breakdown of correct-sender words, materialized by name for
+  /// reports and tests (reporting-path only; the hot path never builds it).
+  [[nodiscard]] std::map<std::string, std::uint64_t> words_by_kind() const {
+    std::map<std::string, std::uint64_t> out;
+    for (std::size_t id = 0; id < words_by_kind_.size(); ++id) {
+      if (words_by_kind_[id] != 0) out[kind_names_[id]] += words_by_kind_[id];
+    }
+    return out;
+  }
+
+ private:
+  /// Returns the id of `kind`, interning it on first sight. The fast path
+  /// is a pointer scan over a handful of entries (one per payload type seen
+  /// by this meter); the content scan only runs when a known kind shows up
+  /// at a new literal address.
+  [[nodiscard]] std::size_t intern_kind(const char* kind) {
+    for (const auto& [ptr, id] : kind_cache_) {
+      if (ptr == kind) return id;
+    }
+    for (std::size_t id = 0; id < kind_names_.size(); ++id) {
+      if (std::strcmp(kind_names_[id].c_str(), kind) == 0) {
+        kind_cache_.emplace_back(kind, id);
+        return id;
+      }
+    }
+    const std::size_t id = kind_names_.size();
+    kind_names_.emplace_back(kind);
+    words_by_kind_.push_back(0);
+    kind_cache_.emplace_back(kind, id);
+    return id;
+  }
+
+  std::vector<std::pair<const char*, std::size_t>> kind_cache_;
+  std::vector<std::string> kind_names_;           // indexed by kind id
+  std::vector<std::uint64_t> words_by_kind_;      // indexed by kind id
 };
 
 }  // namespace mewc

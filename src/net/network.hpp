@@ -7,6 +7,14 @@
 //
 // Self-delivery is supported (pseudocode like "broadcast" includes the
 // sender) but costs zero words: only traffic that crosses a link counts.
+//
+// Recipient ids are validated here, not just in Outbox: an adversary (or a
+// buggy caller handing over an Outbox sized for a different system) can
+// address a process that does not exist, and the model's answer is that
+// such a message falls on the floor — there is no link to carry it. The
+// simulator must never turn adversary-chosen ids into out-of-bounds writes,
+// so post() DROPS out-of-range recipients (mirroring Outbox::send) rather
+// than aborting.
 #pragma once
 
 #include <functional>
@@ -45,6 +53,7 @@ class SyncNetwork {
     MEWC_CHECK(from < n_);
     for (const auto& [to, original] : out.sends()) {
       MEWC_CHECK(original != nullptr);
+      if (to >= n_) continue;  // no such link: junk addressing is dropped
       const PayloadPtr body = transform_ ? transform_(original) : original;
       MEWC_CHECK(body != nullptr);
       Message m;
@@ -58,6 +67,11 @@ class SyncNetwork {
                       body->kind(), correct);
         if (recorder_) recorder_(m, correct);
       }
+      // The rushing view is recorded here, post-transform, so the adversary
+      // sees exactly the messages (bodies and metered word costs) that are
+      // delivered — never an independently rebuilt copy that could diverge
+      // from what crossed the wire.
+      if (correct) posted_.push_back(m);
       inboxes_[to].push_back(std::move(m));
     }
   }
@@ -68,8 +82,22 @@ class SyncNetwork {
     return inboxes_[pid];
   }
 
+  /// Everything correct processes posted in the current round, exactly as
+  /// delivered (post-transform, self-copies included) — the adversary's
+  /// rushing view.
+  [[nodiscard]] std::span<const Message> posted_this_round() const {
+    return posted_;
+  }
+
+  /// Starts a round's send phase by clearing the previous rushing view.
+  /// Called by the executor after the adversary's pre_round step, which may
+  /// still inspect the previous round's view (matching the historical
+  /// visibility window). Buffer capacity is retained.
+  void begin_sends() { posted_.clear(); }
+
   /// Clears inboxes at the end of a round. Synchrony: undelivered state
   /// never carries over; what was sent in round r exists only in round r.
+  /// Buffers keep their capacity — in steady state no round allocates.
   void end_round() {
     for (auto& box : inboxes_) box.clear();
   }
@@ -81,6 +109,7 @@ class SyncNetwork {
   std::uint32_t n_;
   Meter meter_;
   std::vector<std::vector<Message>> inboxes_;
+  std::vector<Message> posted_;
   std::function<PayloadPtr(const PayloadPtr&)> transform_;
   std::function<void(const Message&, bool)> recorder_;
 };

@@ -29,6 +29,10 @@ class Outbox {
 
   [[nodiscard]] std::uint32_t n() const { return n_; }
 
+  /// Empties the buffer but keeps its capacity, so a reused Outbox stops
+  /// allocating once it has seen its largest round (executor hot path).
+  void clear() { sends_.clear(); }
+
   [[nodiscard]] const std::vector<std::pair<ProcessId, PayloadPtr>>& sends()
       const {
     return sends_;

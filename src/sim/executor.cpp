@@ -37,20 +37,26 @@ class Executor::Control final : public AdversaryControl {
 
   void send_as(ProcessId pid, ProcessId to, PayloadPtr body) override {
     if (!is_corrupted(pid) || body == nullptr) return;
-    Outbox out(n());
+    // Adversary-chosen recipients are validated here as well as in the
+    // network: an id with no process behind it has no link, so the message
+    // is dropped — never an out-of-bounds inbox write (see SyncNetwork).
+    if (to >= n()) return;
+    Outbox& out = e_.adversary_outbox_;
+    out.clear();
     out.send(to, std::move(body));
     e_.network_.post(pid, e_.current_round_, out, /*correct=*/false);
   }
 
   void broadcast_as(ProcessId pid, const PayloadPtr& body) override {
     if (!is_corrupted(pid) || body == nullptr) return;
-    Outbox out(n());
+    Outbox& out = e_.adversary_outbox_;
+    out.clear();
     out.broadcast(body);
     e_.network_.post(pid, e_.current_round_, out, /*correct=*/false);
   }
 
   [[nodiscard]] std::span<const Message> posted_this_round() const override {
-    return e_.posted_this_round_;
+    return e_.network_.posted_this_round();
   }
 
   [[nodiscard]] const ThresholdFamily& crypto() const override {
@@ -70,7 +76,9 @@ Executor::Executor(const ThresholdFamily& family,
       bundles_(std::move(bundles)),
       processes_(std::move(processes)),
       adversary_(adversary),
-      corrupted_(family.n(), false) {
+      corrupted_(family.n(), false),
+      send_outbox_(family.n()),
+      adversary_outbox_(family.n()) {
   MEWC_CHECK(bundles_.size() == family.n());
   MEWC_CHECK(processes_.size() == family.n());
 }
@@ -84,22 +92,16 @@ void Executor::run(Round total_rounds) {
     current_round_ = r;
     adversary_.pre_round(r, ctrl);
 
-    // Correct sends, collected for the adversary's rushing view.
-    posted_this_round_.clear();
+    // Correct sends. The network records them as the adversary's rushing
+    // view (post-transform, exactly as delivered and metered); the send
+    // buffer is reused across processes and rounds, so the steady-state
+    // loop performs no heap allocation.
+    network_.begin_sends();
     for (ProcessId pid = 0; pid < n; ++pid) {
       if (corrupted_[pid]) continue;
-      Outbox out(n);
-      processes_[pid]->on_send(r, out);
-      for (const auto& [to, body] : out.sends()) {
-        Message m;
-        m.from = pid;
-        m.to = to;
-        m.round = r;
-        m.words = Message::cost_of(*body);
-        m.body = body;
-        posted_this_round_.push_back(m);
-      }
-      network_.post(pid, r, out, /*correct=*/true);
+      send_outbox_.clear();
+      processes_[pid]->on_send(r, send_outbox_);
+      network_.post(pid, r, send_outbox_, /*correct=*/true);
     }
 
     // Byzantine traffic, injected with full knowledge of the round's

@@ -65,7 +65,11 @@ class Executor {
   Adversary& adversary_;
   std::vector<bool> corrupted_;
   std::uint32_t corrupted_count_ = 0;
-  std::vector<Message> posted_this_round_;
+  // Reused send buffers (cleared, never reconstructed): after the first few
+  // rounds the send path allocates nothing. The rushing view itself lives
+  // in the network, recorded post-transform at post time.
+  Outbox send_outbox_;
+  Outbox adversary_outbox_;
   Round current_round_ = 0;
 };
 

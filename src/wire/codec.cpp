@@ -6,6 +6,7 @@
 #include "ba/vector/interactive_consistency.hpp"
 #include "ba/weak_ba/messages.hpp"
 #include "common/check.hpp"
+#include "net/arena.hpp"
 
 namespace mewc::wire {
 
@@ -323,7 +324,7 @@ PayloadPtr decode(std::span<const std::uint8_t> bytes) {
 
   switch (type) {
     case WireType::kWbaPropose: {
-      auto m = std::make_shared<wba::ProposeMsg>();
+      auto m = pool::make<wba::ProposeMsg>();
       m->phase = r.u64();
       auto v = get_wire_value(r);
       if (!v) return nullptr;
@@ -331,13 +332,13 @@ PayloadPtr decode(std::span<const std::uint8_t> bytes) {
       return finish(r, m);
     }
     case WireType::kWbaVote: {
-      auto m = std::make_shared<wba::VoteMsg>();
+      auto m = pool::make<wba::VoteMsg>();
       m->phase = r.u64();
       m->partial = get_partial(r);
       return finish(r, m);
     }
     case WireType::kWbaCommit: {
-      auto m = std::make_shared<wba::CommitMsg>();
+      auto m = pool::make<wba::CommitMsg>();
       m->phase = r.u64();
       auto v = get_wire_value(r);
       if (!v) return nullptr;
@@ -347,13 +348,13 @@ PayloadPtr decode(std::span<const std::uint8_t> bytes) {
       return finish(r, m);
     }
     case WireType::kWbaDecide: {
-      auto m = std::make_shared<wba::DecideMsg>();
+      auto m = pool::make<wba::DecideMsg>();
       m->phase = r.u64();
       m->partial = get_partial(r);
       return finish(r, m);
     }
     case WireType::kWbaFinalized: {
-      auto m = std::make_shared<wba::FinalizedMsg>();
+      auto m = pool::make<wba::FinalizedMsg>();
       m->phase = r.u64();
       auto v = get_wire_value(r);
       if (!v) return nullptr;
@@ -362,12 +363,12 @@ PayloadPtr decode(std::span<const std::uint8_t> bytes) {
       return finish(r, m);
     }
     case WireType::kWbaHelpReq: {
-      auto m = std::make_shared<wba::HelpReqMsg>();
+      auto m = pool::make<wba::HelpReqMsg>();
       m->partial = get_partial(r);
       return finish(r, m);
     }
     case WireType::kWbaHelp: {
-      auto m = std::make_shared<wba::HelpMsg>();
+      auto m = pool::make<wba::HelpMsg>();
       auto v = get_wire_value(r);
       if (!v) return nullptr;
       m->value = *v;
@@ -376,7 +377,7 @@ PayloadPtr decode(std::span<const std::uint8_t> bytes) {
       return finish(r, m);
     }
     case WireType::kWbaFallback: {
-      auto m = std::make_shared<wba::FallbackMsg>();
+      auto m = pool::make<wba::FallbackMsg>();
       m->fallback_qc = get_threshold(r);
       m->has_decision = r.boolean();
       if (m->has_decision) {
@@ -389,19 +390,19 @@ PayloadPtr decode(std::span<const std::uint8_t> bytes) {
       return finish(r, m);
     }
     case WireType::kBbSenderValue: {
-      auto m = std::make_shared<bb::SenderValueMsg>();
+      auto m = pool::make<bb::SenderValueMsg>();
       auto v = get_wire_value(r);
       if (!v) return nullptr;
       m->value = *v;
       return finish(r, m);
     }
     case WireType::kBbHelpReq: {
-      auto m = std::make_shared<bb::HelpReqMsg>();
+      auto m = pool::make<bb::HelpReqMsg>();
       m->phase = r.u64();
       return finish(r, m);
     }
     case WireType::kBbReplyValue: {
-      auto m = std::make_shared<bb::ReplyValueMsg>();
+      auto m = pool::make<bb::ReplyValueMsg>();
       m->phase = r.u64();
       auto v = get_wire_value(r);
       if (!v) return nullptr;
@@ -409,13 +410,13 @@ PayloadPtr decode(std::span<const std::uint8_t> bytes) {
       return finish(r, m);
     }
     case WireType::kBbIdk: {
-      auto m = std::make_shared<bb::IdkMsg>();
+      auto m = pool::make<bb::IdkMsg>();
       m->phase = r.u64();
       m->partial = get_partial(r);
       return finish(r, m);
     }
     case WireType::kBbLeaderValue: {
-      auto m = std::make_shared<bb::LeaderValueMsg>();
+      auto m = pool::make<bb::LeaderValueMsg>();
       m->phase = r.u64();
       auto v = get_wire_value(r);
       if (!v) return nullptr;
@@ -423,38 +424,38 @@ PayloadPtr decode(std::span<const std::uint8_t> bytes) {
       return finish(r, m);
     }
     case WireType::kSbaInput: {
-      auto m = std::make_shared<sba::InputMsg>();
+      auto m = pool::make<sba::InputMsg>();
       m->value.raw = r.u64();
       m->partial = get_partial(r);
       return finish(r, m);
     }
     case WireType::kSbaProposeCert: {
-      auto m = std::make_shared<sba::ProposeCertMsg>();
+      auto m = pool::make<sba::ProposeCertMsg>();
       m->value.raw = r.u64();
       m->qc = get_threshold(r);
       return finish(r, m);
     }
     case WireType::kSbaDecideVote: {
-      auto m = std::make_shared<sba::DecideVoteMsg>();
+      auto m = pool::make<sba::DecideVoteMsg>();
       m->value.raw = r.u64();
       m->partial = get_partial(r);
       return finish(r, m);
     }
     case WireType::kSbaDecideCert: {
-      auto m = std::make_shared<sba::DecideCertMsg>();
+      auto m = pool::make<sba::DecideCertMsg>();
       m->value.raw = r.u64();
       m->qc = get_threshold(r);
       return finish(r, m);
     }
     case WireType::kSbaFallback: {
-      auto m = std::make_shared<sba::FallbackMsg>();
+      auto m = pool::make<sba::FallbackMsg>();
       m->has_decision = r.boolean();
       m->value.raw = r.u64();
       if (m->has_decision) m->proof = get_threshold(r);
       return finish(r, m);
     }
     case WireType::kDsRelay: {
-      auto m = std::make_shared<fallback::DsRelayMsg>();
+      auto m = pool::make<fallback::DsRelayMsg>();
       m->instance = r.u32();
       auto v = get_wire_value(r);
       if (!v) return nullptr;
@@ -465,7 +466,7 @@ PayloadPtr decode(std::span<const std::uint8_t> bytes) {
       return finish(r, m);
     }
     case WireType::kIcMux: {
-      auto m = std::make_shared<ic::MuxMsg>();
+      auto m = pool::make<ic::MuxMsg>();
       m->lane = r.u32();
       const std::uint32_t len = r.u32();
       if (!r.ok() || len > 1u << 20) return nullptr;
@@ -505,7 +506,7 @@ PayloadPtr roundtrip(const PayloadPtr& payload) {
   const auto bytes = encode(*payload);
   if (!bytes) return payload;  // non-protocol payload: pass through
   PayloadPtr parsed = decode(*bytes);
-  if (parsed == nullptr) return std::make_shared<UnparseablePayload>();
+  if (parsed == nullptr) return pool::make<UnparseablePayload>();
   return parsed;
 }
 

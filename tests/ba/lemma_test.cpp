@@ -54,7 +54,7 @@ TEST(LemmaSuite, Lemma10_CorrectSenderPreventsIdkCertificates) {
     adv::CrashAdversary adv(first_f(f));  // sender is n-1
     const auto res = harness::run_bb(spec, spec.n - 1, Value(5), adv);
     EXPECT_TRUE(res.agreement());
-    EXPECT_EQ(res.meter.words_by_kind.count("bb.idk"), 0u) << "f=" << f;
+    EXPECT_EQ(res.meter.words_by_kind().count("bb.idk"), 0u) << "f=" << f;
   }
 }
 

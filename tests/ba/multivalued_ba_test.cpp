@@ -17,7 +17,7 @@ using harness::RunSpec;
 struct MvbaResult {
   std::vector<std::optional<Value>> decisions;
   std::vector<ProcessId> corrupted;
-  Meter meter{0};
+  Meter meter;
 
   [[nodiscard]] bool agreement() const {
     std::optional<Value> seen;

@@ -50,9 +50,9 @@ TEST(Meter, KindBreakdown) {
   m.record(1, 1, 2, 0, "wba.vote", true);
   m.record(0, 2, 5, 0, "wba.commit", true);
   m.record(0, 2, 9, 0, "wba.commit", false);  // Byzantine: excluded
-  EXPECT_EQ(m.words_by_kind.at("wba.vote"), 5u);
-  EXPECT_EQ(m.words_by_kind.at("wba.commit"), 5u);
-  EXPECT_EQ(m.words_by_kind.size(), 2u);
+  EXPECT_EQ(m.words_by_kind().at("wba.vote"), 5u);
+  EXPECT_EQ(m.words_by_kind().at("wba.commit"), 5u);
+  EXPECT_EQ(m.words_by_kind().size(), 2u);
 }
 
 TEST(Meter, RoundVectorGrowsOnDemand) {
@@ -60,6 +60,34 @@ TEST(Meter, RoundVectorGrowsOnDemand) {
   m.record(0, 17, 3, 0, nullptr, true);
   ASSERT_GE(m.words_by_round.size(), 18u);
   EXPECT_EQ(m.words_by_round[17], 3u);
+}
+
+TEST(Meter, DefaultConstructedMeterStillAttributesPerProcess) {
+  // Regression: a default-constructed (n = 0) meter used to silently drop
+  // every per-process sample behind a bounds guard, so breakdowns copied
+  // out of a run could come back empty. Sizing is a reservation, never a
+  // filter: the vector grows to fit any sender it sees.
+  Meter m;
+  m.record(4, 1, 7, 0, "a", true);
+  m.record(0, 1, 2, 0, "a", true);
+  ASSERT_EQ(m.words_by_process.size(), 5u);
+  EXPECT_EQ(m.words_by_process[4], 7u);
+  EXPECT_EQ(m.words_by_process[0], 2u);
+  EXPECT_EQ(m.words_by_process[1], 0u);
+  EXPECT_EQ(m.words_correct, 9u);
+}
+
+TEST(Meter, KindInterningDedupesByContent) {
+  // kinds are interned by id with a pointer-keyed fast path; equal names
+  // arriving at distinct addresses (inline kind() across TUs) must land in
+  // one bucket.
+  Meter m(2);
+  const char a[] = "wba.vote";
+  const char b[] = "wba.vote";  // same content, different address
+  m.record(0, 1, 3, 0, a, true);
+  m.record(1, 1, 4, 0, b, true);
+  EXPECT_EQ(m.words_by_kind().at("wba.vote"), 7u);
+  EXPECT_EQ(m.words_by_kind().size(), 1u);
 }
 
 }  // namespace

@@ -92,6 +92,51 @@ TEST(SyncNetwork, MinimumOneWordPerMessage) {
   EXPECT_EQ(net.meter().words_correct, 1u);
 }
 
+TEST(SyncNetwork, OutOfRangeRecipientsDropped) {
+  // Regression: an Outbox sized for a bigger system (the adversary can
+  // build one) used to drive inboxes_[to] out of bounds. The network must
+  // validate recipients itself and drop junk addressing — there is no link
+  // to process 7 in a 3-process system, and no words cross one.
+  SyncNetwork net(3);
+  Outbox out(8);  // oversized: its own bounds check would pass to = 7
+  out.send(7, pl(4));
+  out.send(1, pl(1));
+  net.post(0, 1, out, true);
+  ASSERT_EQ(net.inbox(1).size(), 1u);
+  EXPECT_EQ(net.meter().words_correct, 1u);  // the junk send was not metered
+  EXPECT_EQ(net.meter().messages_correct, 1u);
+}
+
+TEST(SyncNetwork, OutOfRangeByzantineRecipientsDropped) {
+  SyncNetwork net(2);
+  Outbox out(16);
+  out.send(9, pl(3));
+  net.post(1, 1, out, false);
+  EXPECT_EQ(net.meter().words_byzantine, 0u);
+  EXPECT_EQ(net.meter().messages_byzantine, 0u);
+  EXPECT_TRUE(net.inbox(0).empty());
+  EXPECT_TRUE(net.inbox(1).empty());
+}
+
+TEST(SyncNetwork, PostedThisRoundIsTheDeliveredView) {
+  // The rushing view holds the post-transform messages exactly as
+  // delivered and metered, self-copies included, correct senders only.
+  SyncNetwork net(3);
+  Outbox correct(3), byz(3);
+  correct.broadcast(pl(2));
+  byz.send(0, pl(9));
+  net.post(1, 4, correct, true);
+  net.post(2, 4, byz, false);
+  ASSERT_EQ(net.posted_this_round().size(), 3u);  // n copies, incl. self
+  for (const Message& m : net.posted_this_round()) {
+    EXPECT_EQ(m.from, 1u);
+    EXPECT_EQ(m.round, 4u);
+    EXPECT_EQ(m.words, 2u);
+  }
+  net.begin_sends();
+  EXPECT_TRUE(net.posted_this_round().empty());
+}
+
 TEST(SyncNetwork, PerRoundBreakdown) {
   SyncNetwork net(2);
   for (Round r = 1; r <= 3; ++r) {

@@ -148,6 +148,67 @@ TEST(Executor, RushingViewAndSpoofRejection) {
   EXPECT_EQ(from2, 1u);
 }
 
+/// Malicious adversary probing the delivery path with out-of-range
+/// recipient ids — regression for the out-of-bounds inbox write: every
+/// junk-addressed injection must be dropped (no crash, no delivery, no
+/// metering), while the in-range injection still lands.
+class OutOfRangeSender final : public Adversary {
+ public:
+  void setup(AdversaryControl& ctrl) override { ctrl.corrupt(0); }
+  void act(Round r, AdversaryControl& ctrl) override {
+    if (r != 1) return;
+    const std::uint32_t n = ctrl.n();
+    ctrl.send_as(0, n, std::make_shared<PingPayload>(1));
+    ctrl.send_as(0, n + 5, std::make_shared<PingPayload>(1));
+    ctrl.send_as(0, kNoProcess, std::make_shared<PingPayload>(1));
+    ctrl.send_as(0, 1, std::make_shared<PingPayload>(1));  // valid
+  }
+};
+
+TEST(Executor, OutOfRangeRecipientInjectionIsDropped) {
+  Fixture fx(1);  // n = 3
+  OutOfRangeSender adv;
+  Executor exec = fx.make(adv);
+  exec.run(1);
+  // Only the single valid injection was delivered and metered.
+  EXPECT_EQ(exec.meter().messages_byzantine, 1u);
+  std::size_t byz = 0;
+  for (ProcessId f : fx.raw[1]->received_from) byz += (f == 0);
+  EXPECT_EQ(byz, 1u);
+}
+
+/// Replays a correct message from its rushing view and records the words
+/// the view claims — used to pin the view to the metered reality.
+class ViewEcho final : public Adversary {
+ public:
+  void setup(AdversaryControl& ctrl) override { ctrl.corrupt(0); }
+  void act(Round r, AdversaryControl& ctrl) override {
+    if (r != 1) return;
+    for (const Message& m : ctrl.posted_this_round()) {
+      view_words += m.words;
+      ctrl.send_as(0, m.to, m.body);
+    }
+  }
+  std::size_t view_words = 0;
+};
+
+TEST(Executor, RushingViewMatchesMeteredDelivery) {
+  // The view is derived from the network's posted messages, so its word
+  // costs must sum to exactly what the meter recorded for correct senders
+  // (plus the free self-copies), and replayed bodies must stay valid.
+  Fixture fx(1);  // n = 3, process 0 corrupted => 2 correct broadcasters
+  ViewEcho adv;
+  Executor exec = fx.make(adv);
+  exec.run(1);
+  // 2 correct processes x 3 one-word broadcast copies in the view; the
+  // meter saw only the 2x2 link-crossing ones.
+  EXPECT_EQ(adv.view_words, 6u);
+  EXPECT_EQ(exec.meter().words_correct, 4u);
+  // All 6 replays were delivered; the 2 aimed at the corrupted process
+  // itself were self-copies on 0's own link and cost nothing.
+  EXPECT_EQ(exec.meter().messages_byzantine, 4u);
+}
+
 /// Adversary that tries to read an uncorrupted bundle (must abort) — covered
 /// indirectly: we only verify corrupted access works.
 TEST(Executor, BundleAccessForCorrupted) {

@@ -128,7 +128,7 @@ void print_meter(const Options& o, const Meter& meter, Round rounds) {
   std::printf("rounds:                     %u\n", rounds);
   if (o.by_kind) {
     std::printf("\nwords by message kind:\n");
-    for (const auto& [kind, words] : meter.words_by_kind) {
+    for (const auto& [kind, words] : meter.words_by_kind()) {
       std::printf("  %-18s %llu\n", kind.c_str(),
                   static_cast<unsigned long long>(words));
     }
