@@ -7,6 +7,7 @@
 
 #include "check/adversary_registry.hpp"
 #include "check/runner.hpp"
+#include "net/arena.hpp"
 
 namespace mewc::check {
 
@@ -178,6 +179,26 @@ json::Value CampaignReport::to_json() const {
   root["cells_passed"] = json::Value(cells_passed);
   root["cells_failed"] = json::Value(cells_failed());
 
+  // Payload-arena reuse across the whole campaign (per-cell deltas summed,
+  // so worker-thread lifetimes don't inflate any cell's share). A healthy
+  // steady state reuses nearly everything after the first cell per worker.
+  {
+    std::uint64_t reused = 0;
+    std::uint64_t fresh = 0;
+    for (const auto& r : results) {
+      reused += r.pool_reused;
+      fresh += r.pool_fresh;
+    }
+    json::Object pool;
+    pool["reused"] = json::Value(reused);
+    pool["fresh"] = json::Value(fresh);
+    const std::uint64_t total = reused + fresh;
+    pool["reuse_rate"] = json::Value(
+        total == 0 ? 0.0
+                   : static_cast<double>(reused) / static_cast<double>(total));
+    root["pool"] = json::Value(std::move(pool));
+  }
+
   // Word-complexity percentiles per protocol x adversary group, normalized
   // by n*(f+1) so the Table 1 envelope is directly readable from the
   // report ("norm_max" stays below the campaign's C on passing runs in the
@@ -252,10 +273,17 @@ CampaignReport run_campaign(
     while (true) {
       const std::size_t i = next.fetch_add(1);
       if (i >= cells.size()) return;
+      // Per-cell arena accounting: thread_stats() accumulates over the
+      // worker's lifetime, so a scoped delta is what attributes allocations
+      // to *this* cell in a multi-cell campaign.
+      const pool::StatsScope pool_scope;
       const RunRecord record = run_cell(cells[i], run_opts);
       CellResult& result = report.results[i];
       result.cell = cells[i];
       result.violations = run_checkers(record, grid.checkers);
+      const pool::Stats pool_delta = pool_scope.delta();
+      result.pool_reused = pool_delta.reused;
+      result.pool_fresh = pool_delta.fresh;
       result.words_correct = record.meter.words_correct;
       result.f_observed = record.f();
       result.any_fallback = record.any_fallback;

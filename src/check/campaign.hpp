@@ -56,6 +56,10 @@ struct CellResult {
   std::uint32_t f_observed = 0;
   bool any_fallback = false;
   bool adaptive = false;
+  /// Payload-arena allocations attributed to this cell alone (a per-cell
+  /// pool::StatsScope delta, not the worker thread's lifetime totals).
+  std::uint64_t pool_reused = 0;
+  std::uint64_t pool_fresh = 0;
 
   [[nodiscard]] bool passed() const { return violations.empty(); }
 };

@@ -1,0 +1,177 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace mewc::lint {
+
+namespace {
+
+[[nodiscard]] bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool is_digit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+// Multi-character punctuators the rules care to see as one token. Longest
+// match first; anything else falls through to a single-character token.
+constexpr std::string_view kPuncts[] = {
+    "->*", "<<=", ">>=", "...", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "++", "--", "+=", "-=", "*=", "/=",
+};
+
+}  // namespace
+
+LexResult lex(std::string_view src) {
+  LexResult out;
+  std::uint32_t line = 1;
+  bool line_has_code = false;  // non-whitespace seen before this column
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  const auto peek = [&](std::size_t off) -> char {
+    return i + off < n ? src[i + off] : '\0';
+  };
+  const auto newline = [&] {
+    ++line;
+    line_has_code = false;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+
+    if (c == '\n') {
+      newline();
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      Comment cm;
+      cm.line = line;
+      cm.own_line = !line_has_code;
+      i += 2;
+      while (i < n && src[i] != '\n') cm.text.push_back(src[i++]);
+      out.comments.push_back(std::move(cm));
+      continue;
+    }
+
+    // Block comment (may span lines; attributed to its first line).
+    if (c == '/' && peek(1) == '*') {
+      Comment cm;
+      cm.line = line;
+      cm.own_line = !line_has_code;
+      i += 2;
+      while (i < n && !(src[i] == '*' && peek(1) == '/')) {
+        if (src[i] == '\n') newline();
+        cm.text.push_back(src[i++]);
+      }
+      i = i < n ? i + 2 : n;  // consume "*/" unless input ended first
+      out.comments.push_back(std::move(cm));
+      continue;
+    }
+
+    line_has_code = true;
+
+    // Raw string literal: R"delim( ... )delim". Must be handled before the
+    // identifier path would swallow the R.
+    if (c == 'R' && peek(1) == '"') {
+      Token t;
+      t.kind = TokenKind::kString;
+      t.line = line;
+      i += 2;
+      std::string delim;
+      while (i < n && src[i] != '(') delim.push_back(src[i++]);
+      if (i < n) ++i;  // '('
+      const std::string closer = ")" + delim + "\"";
+      while (i < n && src.substr(i, closer.size()) != closer) {
+        if (src[i] == '\n') newline();
+        t.text.push_back(src[i++]);
+      }
+      i = i < n ? i + closer.size() : n;
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+
+    if (is_ident_start(c)) {
+      Token t;
+      t.kind = TokenKind::kIdentifier;
+      t.line = line;
+      while (i < n && is_ident_char(src[i])) t.text.push_back(src[i++]);
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+
+    // Number: pp-number, loosely (digits, ', ., exponents, suffixes). A
+    // leading '.' followed by a digit is a number too.
+    if (is_digit(c) || (c == '.' && is_digit(peek(1)))) {
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.line = line;
+      while (i < n &&
+             (is_ident_char(src[i]) || src[i] == '\'' || src[i] == '.' ||
+              ((src[i] == '+' || src[i] == '-') &&
+               (src[i - 1] == 'e' || src[i - 1] == 'E' || src[i - 1] == 'p' ||
+                src[i - 1] == 'P')))) {
+        t.text.push_back(src[i++]);
+      }
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+
+    // String / char literal with escape handling.
+    if (c == '"' || c == '\'') {
+      Token t;
+      t.kind = c == '"' ? TokenKind::kString : TokenKind::kChar;
+      t.line = line;
+      const char quote = c;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) {
+          t.text.push_back(src[i++]);
+        } else if (src[i] == '\n') {
+          // Unterminated literal: close it at the line break rather than
+          // swallowing the rest of the file.
+          break;
+        }
+        t.text.push_back(src[i++]);
+      }
+      if (i < n && src[i] == quote) ++i;
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+
+    // Punctuation, longest match first.
+    Token t;
+    t.kind = TokenKind::kPunct;
+    t.line = line;
+    bool matched = false;
+    for (const std::string_view p : kPuncts) {
+      if (src.substr(i, p.size()) == p) {
+        t.text = std::string(p);
+        i += p.size();
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      t.text = std::string(1, c);
+      ++i;
+    }
+    out.tokens.push_back(std::move(t));
+  }
+
+  return out;
+}
+
+}  // namespace mewc::lint

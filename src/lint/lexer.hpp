@@ -1,0 +1,48 @@
+// Comment/string-aware C++ tokenizer for the repo lint pass. Deliberately
+// not a real C++ front end: rules match short token patterns (banned
+// identifiers, template argument shapes, arithmetic idioms), so lexing into
+// identifiers / numbers / punctuation with line numbers is enough — and it
+// keeps mewc_lint dependency-free (no libclang in the build image).
+//
+// Comments are not discarded: they carry `mewc-lint: allow(<rule>)`
+// suppressions, so the lexer returns them out-of-band with position info.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mewc::lint {
+
+enum class TokenKind : std::uint8_t {
+  kIdentifier,  // identifiers and keywords, no distinction needed
+  kNumber,      // integer / float literals (pp-number, loosely)
+  kString,      // string literal, including raw strings; text excludes quotes
+  kChar,        // character literal
+  kPunct,       // operators and punctuation, longest-match ("::", "->", ...)
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  std::uint32_t line = 0;  // 1-based
+};
+
+struct Comment {
+  std::string text;          // without the // or /* */ markers
+  std::uint32_t line = 0;    // line the comment starts on (1-based)
+  bool own_line = false;     // only whitespace precedes it on its line
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenizes `source`. Never fails: unterminated literals or comments are
+/// closed at end of input (the linter must degrade gracefully on any file
+/// the compiler itself would reject).
+[[nodiscard]] LexResult lex(std::string_view source);
+
+}  // namespace mewc::lint

@@ -1,0 +1,450 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <initializer_list>
+#include <map>
+#include <string>
+
+#include "lint/lexer.hpp"
+
+namespace mewc::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule table
+
+const std::vector<RuleInfo> kRules = {
+    {"R-determinism",
+     "no unordered containers, rand/random_device, wall clocks, getenv, or "
+     "pointer-keyed map/set in replay-critical state",
+     "src/ba/ src/sim/ src/check/"},
+    {"R-meter",
+     "no string-keyed breakdown maps on the hot path; meter kinds are "
+     "interned ids",
+     "src/net/ src/sim/ src/ba/"},
+    {"R-pool",
+     "payloads are built with pool::make, never raw "
+     "make_shared/allocate_shared of a Payload type",
+     "src/ba/ src/wire/"},
+    {"R-quorum",
+     "no inline (n + t + 1) threshold arithmetic; commit_quorum(n, t) is "
+     "the single source of truth",
+     "src/ (except src/common/types.hpp)"},
+    {"R-send",
+     "protocol code sends via Outbox::send/broadcast or "
+     "AdversaryControl::send_as, never SyncNetwork::post",
+     "src/ba/"},
+};
+
+[[nodiscard]] bool in_scope(const std::string& path,
+                            std::initializer_list<std::string_view> prefixes) {
+  for (const std::string_view p : prefixes) {
+    if (path.compare(0, p.size(), p) == 0) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers
+
+using Tokens = std::vector<Token>;
+
+[[nodiscard]] bool is_ident(const Token& t, std::string_view name) {
+  return t.kind == TokenKind::kIdentifier && t.text == name;
+}
+
+[[nodiscard]] bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+/// Token range [first, last) of the first top-level template argument of
+/// the '<' at `open`. Returns false when the '<' does not look like a
+/// template argument list (scan runs away or input ends) — which also
+/// rejects comparison operators in practice.
+bool first_template_arg(const Tokens& toks, std::size_t open,
+                        std::size_t* first, std::size_t* last) {
+  constexpr std::size_t kMaxScan = 120;
+  int depth = 1;
+  *first = open + 1;
+  for (std::size_t i = open + 1;
+       i < toks.size() && i < open + kMaxScan; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kPunct) continue;
+    if (t.text == "<") ++depth;
+    if (t.text == ">") --depth;
+    if (t.text == ">>") depth -= 2;
+    if (t.text == ";" || t.text == "{") return false;  // not a template list
+    if (depth <= 0 || (depth == 1 && t.text == ",")) {
+      *last = i;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Last identifier of the (possibly qualified) name ending at or before
+/// `i`, walking back over `a::b`, `a.b`, `a->b` chains; npos when toks[i]
+/// is not an identifier.
+[[nodiscard]] std::size_t chain_tail_ident(const Tokens& toks, std::size_t i) {
+  if (i >= toks.size() || toks[i].kind != TokenKind::kIdentifier) {
+    return std::string::npos;
+  }
+  return i;
+}
+
+// ---------------------------------------------------------------------------
+// Corpus-wide pass: collect Payload-derived type names. The declaration
+// shape is `struct Name final : public Payload {` (class and multiple bases
+// handled); the scan window is bounded so a stray `struct` in a macro can't
+// run away.
+void collect_payload_types(const Tokens& toks, std::set<std::string>* out) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "struct") && !is_ident(toks[i], "class")) continue;
+    if (toks[i + 1].kind != TokenKind::kIdentifier) continue;
+    const std::string& name = toks[i + 1].text;
+    bool saw_colon = false;
+    for (std::size_t j = i + 2; j < toks.size() && j < i + 32; ++j) {
+      const Token& t = toks[j];
+      if (is_punct(t, "{") || is_punct(t, ";")) break;
+      if (is_punct(t, ":")) saw_colon = true;
+      if (saw_colon && is_ident(t, "Payload")) {
+        out->insert(name);
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rules. Each takes the token stream plus an emit callback.
+
+using Emit = std::function<void(std::uint32_t line, std::string message)>;
+
+const std::set<std::string, std::less<>> kBannedTypes = {
+    "unordered_map",  "unordered_set",       "unordered_multimap",
+    "unordered_multiset", "random_device",   "system_clock",
+    "high_resolution_clock",
+};
+const std::set<std::string, std::less<>> kBannedCalls = {"rand", "srand",
+                                                         "getenv"};
+
+void rule_determinism(const Tokens& toks, const Emit& emit) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (kBannedTypes.count(t.text) != 0) {
+      emit(t.line, "'" + t.text +
+                       "' in replay-critical code: iteration order / value "
+                       "is not seed-stable, which breaks deterministic "
+                       "replay and shrinking");
+      continue;
+    }
+    if (kBannedCalls.count(t.text) != 0 && i + 1 < toks.size() &&
+        is_punct(toks[i + 1], "(")) {
+      emit(t.line, "'" + t.text +
+                       "()' in replay-critical code: draws entropy from "
+                       "outside the seeded run (use common/rng.hpp)");
+      continue;
+    }
+    // Pointer-keyed ordering: std::map/set keyed (anywhere in the key
+    // type) by a raw pointer sorts by address, which varies run to run.
+    if ((t.text == "map" || t.text == "set" || t.text == "multimap" ||
+         t.text == "multiset") &&
+        i + 1 < toks.size() && is_punct(toks[i + 1], "<")) {
+      std::size_t first = 0;
+      std::size_t last = 0;
+      if (!first_template_arg(toks, i + 1, &first, &last)) continue;
+      for (std::size_t j = first; j < last; ++j) {
+        if (is_punct(toks[j], "*")) {
+          emit(t.line,
+               "pointer-keyed std::" + t.text +
+                   ": ordered by address, which is not seed-stable — key "
+                   "by ProcessId/index or an interned id instead");
+          break;
+        }
+      }
+    }
+  }
+}
+
+void rule_meter(const Tokens& toks, const Emit& emit) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier ||
+        (t.text != "map" && t.text != "unordered_map")) {
+      continue;
+    }
+    if (!is_punct(toks[i + 1], "<")) continue;
+    std::size_t first = 0;
+    std::size_t last = 0;
+    if (!first_template_arg(toks, i + 1, &first, &last)) continue;
+    for (std::size_t j = first; j < last; ++j) {
+      if (is_ident(toks[j], "string") || is_ident(toks[j], "string_view")) {
+        emit(t.line,
+             "string-keyed breakdown map on the hot path: per-message "
+             "accounting must use interned kind ids (see "
+             "Meter::intern_kind), strings are for the reporting path");
+        break;
+      }
+    }
+  }
+}
+
+void rule_pool(const Tokens& toks, const std::set<std::string>& payload_types,
+               const Emit& emit) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier ||
+        (t.text != "make_shared" && t.text != "allocate_shared")) {
+      continue;
+    }
+    if (!is_punct(toks[i + 1], "<")) continue;
+    std::size_t first = 0;
+    std::size_t last = 0;
+    if (!first_template_arg(toks, i + 1, &first, &last)) continue;
+    // The named type is the last identifier of the argument's qualified
+    // name (skipping const/namespace qualifiers).
+    std::string type;
+    for (std::size_t j = first; j < last; ++j) {
+      if (toks[j].kind == TokenKind::kIdentifier && toks[j].text != "const") {
+        type = toks[j].text;
+      }
+    }
+    if (payload_types.count(type) != 0) {
+      emit(t.line, "raw std::" + t.text + "<" + type +
+                       "> of a payload type: construct with pool::make<" +
+                       type +
+                       "> (net/arena.hpp) so the allocation is pooled and "
+                       "accounted");
+    }
+  }
+}
+
+void rule_quorum(const Tokens& toks, const Emit& emit) {
+  // Matches `<n-ish> + <t-ish> + <number>` (and t-ish first) where the
+  // operands are the tails of possibly-qualified names: `ctx.n + ctx.t + 1`
+  // lexes as [ctx][.][n][+][ctx][.][t][+][1] and must still match.
+  const auto n_ish = [](const Token& t) {
+    return t.kind == TokenKind::kIdentifier && (t.text == "n" || t.text == "n_");
+  };
+  const auto t_ish = [](const Token& t) {
+    return t.kind == TokenKind::kIdentifier && (t.text == "t" || t.text == "t_");
+  };
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!is_punct(toks[i], "+")) continue;
+    // Left operand tail is directly before the '+'.
+    if (i == 0) continue;
+    const std::size_t lhs = chain_tail_ident(toks, i - 1);
+    if (lhs == std::string::npos) continue;
+    // Right operand may be a qualified chain; find its tail before the
+    // next '+'.
+    std::size_t plus2 = std::string::npos;
+    for (std::size_t j = i + 1; j < toks.size() && j < i + 8; ++j) {
+      if (toks[j].kind == TokenKind::kPunct) {
+        if (toks[j].text == "+") {
+          plus2 = j;
+          break;
+        }
+        if (toks[j].text != "." && toks[j].text != "->" &&
+            toks[j].text != "::") {
+          break;  // some other operator: not our pattern
+        }
+      }
+    }
+    if (plus2 == std::string::npos || plus2 + 1 >= toks.size()) continue;
+    const std::size_t mid = chain_tail_ident(toks, plus2 - 1);
+    if (mid == std::string::npos) continue;
+    if (toks[plus2 + 1].kind != TokenKind::kNumber) continue;
+    const bool nt = n_ish(toks[lhs]) && t_ish(toks[mid]);
+    const bool tn = t_ish(toks[lhs]) && n_ish(toks[mid]);
+    if (nt || tn) {
+      emit(toks[lhs].line,
+           "inline quorum arithmetic: derive thresholds with "
+           "commit_quorum(n, t) (common/types.hpp) so the "
+           "ceil((n+t+1)/2) intersection bound has one owner");
+    }
+  }
+}
+
+void rule_send(const Tokens& toks, const Emit& emit) {
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "post")) continue;
+    if (!is_punct(toks[i - 1], ".") && !is_punct(toks[i - 1], "->")) continue;
+    if (!is_punct(toks[i + 1], "(")) continue;
+    emit(toks[i].line,
+         "direct SyncNetwork::post from protocol code: send via "
+         "Outbox::send/broadcast (or AdversaryControl::send_as) so every "
+         "word is metered and recipients are validated");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions: `mewc-lint: allow(R-a, R-b) reason...`
+
+struct Suppressions {
+  // line -> rules allowed on that line (and on the next line for comments
+  // that stand on a line of their own).
+  std::map<std::uint32_t, std::set<std::string>> by_line;
+
+  [[nodiscard]] bool covers(std::uint32_t line, const std::string& rule) const {
+    const auto it = by_line.find(line);
+    return it != by_line.end() && it->second.count(rule) != 0;
+  }
+};
+
+Suppressions parse_suppressions(const std::vector<Comment>& comments) {
+  Suppressions sup;
+  for (const Comment& c : comments) {
+    const std::size_t tag = c.text.find("mewc-lint:");
+    if (tag == std::string::npos) continue;
+    const std::size_t open = c.text.find("allow(", tag);
+    if (open == std::string::npos) continue;
+    const std::size_t close = c.text.find(')', open);
+    if (close == std::string::npos) continue;
+    std::set<std::string> rules_here;
+    std::string cur;
+    for (std::size_t i = open + 6; i <= close; ++i) {
+      const char ch = c.text[i];
+      if (ch == ',' || ch == ')' || ch == ' ') {
+        if (!cur.empty()) rules_here.insert(cur);
+        cur.clear();
+      } else {
+        cur.push_back(ch);
+      }
+    }
+    if (rules_here.empty()) continue;
+    sup.by_line[c.line].insert(rules_here.begin(), rules_here.end());
+    if (c.own_line) {
+      sup.by_line[c.line + 1].insert(rules_here.begin(), rules_here.end());
+    }
+  }
+  return sup;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo>& rules() { return kRules; }
+
+std::string normalize_path(std::string_view path) {
+  static constexpr std::string_view kMarkers[] = {
+      "src/", "tests/", "tools/", "bench/", "examples/"};
+  std::string p(path);
+  std::size_t cut = std::string::npos;
+  for (const std::string_view m : kMarkers) {
+    const std::size_t at = p.rfind(std::string("/") + std::string(m));
+    if (at != std::string::npos && (cut == std::string::npos || at > cut)) {
+      cut = at;
+    }
+  }
+  return cut == std::string::npos ? p : p.substr(cut + 1);
+}
+
+Baseline Baseline::parse(std::string_view text) {
+  Baseline b;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
+                             line.back() == '\r')) {
+      line.remove_suffix(1);
+    }
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+      line.remove_prefix(1);
+    }
+    if (!line.empty()) b.entries.insert(std::string(line));
+    if (eol == text.size()) break;
+  }
+  return b;
+}
+
+std::string baseline_key(const Diagnostic& d) {
+  return d.rule + "|" + d.file + "|" + std::to_string(d.line);
+}
+
+std::string Baseline::serialize(const std::vector<Diagnostic>& diags) {
+  std::set<std::string> keys;
+  for (const Diagnostic& d : diags) {
+    if (!d.suppressed) keys.insert(baseline_key(d));
+  }
+  std::string out =
+      "# mewc_lint baseline: grandfathered findings (rule|file|line).\n"
+      "# Regenerate with: mewc_lint --write-baseline <paths>\n";
+  for (const std::string& k : keys) {
+    out += k;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<Diagnostic> run(const std::vector<SourceFile>& corpus,
+                            const Baseline* baseline) {
+  // Pass 1: payload types are declared in headers and used in other
+  // translation units, so collect them corpus-wide before running rules.
+  std::set<std::string> payload_types;
+  std::vector<LexResult> lexed;
+  lexed.reserve(corpus.size());
+  for (const SourceFile& f : corpus) {
+    lexed.push_back(lex(f.content));
+    collect_payload_types(lexed.back().tokens, &payload_types);
+  }
+
+  std::vector<Diagnostic> diags;
+  for (std::size_t fi = 0; fi < corpus.size(); ++fi) {
+    const std::string path = normalize_path(corpus[fi].path);
+    const Tokens& toks = lexed[fi].tokens;
+    const Suppressions sup = parse_suppressions(lexed[fi].comments);
+
+    const auto emitter = [&](const char* rule) {
+      return [&, rule](std::uint32_t line, std::string message) {
+        Diagnostic d;
+        d.rule = rule;
+        d.file = path;
+        d.line = line;
+        d.message = std::move(message);
+        d.suppressed = sup.covers(line, d.rule);
+        diags.push_back(std::move(d));
+      };
+    };
+
+    if (in_scope(path, {"src/ba/", "src/sim/", "src/check/"})) {
+      rule_determinism(toks, emitter("R-determinism"));
+    }
+    if (in_scope(path, {"src/net/", "src/sim/", "src/ba/"})) {
+      rule_meter(toks, emitter("R-meter"));
+    }
+    if (in_scope(path, {"src/ba/", "src/wire/"})) {
+      rule_pool(toks, payload_types, emitter("R-pool"));
+    }
+    if (in_scope(path, {"src/"}) && path != "src/common/types.hpp") {
+      rule_quorum(toks, emitter("R-quorum"));
+    }
+    if (in_scope(path, {"src/ba/"})) {
+      rule_send(toks, emitter("R-send"));
+    }
+  }
+
+  if (baseline != nullptr) {
+    for (Diagnostic& d : diags) {
+      d.baselined = baseline->entries.count(baseline_key(d)) != 0;
+    }
+  }
+
+  std::sort(diags.begin(), diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return diags;
+}
+
+}  // namespace mewc::lint

@@ -1,0 +1,96 @@
+// mewc_lint — repo-specific static analysis. The paper's complexity claims
+// are counting arguments and the DST engine's replay is bit-for-bit, so a
+// handful of conventions are load-bearing: deterministic containers in
+// protocol/sim/check state, pooled payload allocation, metered sends, one
+// quorum formula, interned meter kinds. This pass turns those conventions
+// into machine-checked rules with file:line diagnostics.
+//
+// Rules (scopes are normalized-path prefixes; see rules() for the table):
+//   R-determinism  src/ba src/sim src/check: no unordered containers,
+//                  rand/random_device, wall clocks, getenv, or
+//                  pointer-keyed map/set ordering — anything whose
+//                  iteration or value depends on address layout or the
+//                  outside world breaks seed-stable replay and shrinking.
+//   R-pool         src/ba src/wire: payload construction goes through
+//                  pool::make, never raw make_shared/allocate_shared of a
+//                  Payload-derived type (bypasses the arena and the
+//                  allocation accounting the perf bench regresses on).
+//   R-send         src/ba: protocol/adversary code sends via Outbox::send /
+//                  broadcast or AdversaryControl::send_as, never
+//                  SyncNetwork::post — posting directly skips metering and
+//                  recipient validation.
+//   R-quorum       src/**: no inline (n + t + 1)-style threshold
+//                  arithmetic outside src/common/types.hpp;
+//                  commit_quorum(n, t) is the single source of truth.
+//   R-meter        src/net src/sim src/ba: no string-keyed breakdown maps
+//                  on the hot path; kind ids are interned (Meter).
+//
+// Suppressions: a comment `mewc-lint: allow(R-rule[, R-rule]) <reason>`
+// silences those rules on its own line, and — when the comment stands on a
+// line of its own — on the next line as well. A checked-in baseline file
+// (rule|file|line) grandfathers known findings; CI fails only on *new*
+// diagnostics, so the tree can adopt a rule before it is fully clean.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mewc::lint {
+
+struct Diagnostic {
+  std::string rule;
+  std::string file;  // normalized path (see normalize_path)
+  std::uint32_t line = 0;
+  std::string message;
+  bool suppressed = false;  // an allow(<rule>) comment covers this line
+  bool baselined = false;   // grandfathered by the baseline file
+
+  /// A finding that should fail the build.
+  [[nodiscard]] bool active() const { return !suppressed && !baselined; }
+};
+
+struct RuleInfo {
+  std::string_view id;
+  std::string_view what;   // one-line description
+  std::string_view scope;  // space-separated path prefixes
+};
+
+/// The rule table, in diagnostic-id order.
+[[nodiscard]] const std::vector<RuleInfo>& rules();
+
+struct SourceFile {
+  std::string path;     // as given; matched against scopes after normalizing
+  std::string content;  // full file text
+};
+
+/// Strips any prefix before the repo-root marker directories, so absolute
+/// and relative invocations produce identical diagnostics and baseline
+/// keys: ".../repo/src/ba/bb.cpp" and "src/ba/bb.cpp" both normalize to
+/// "src/ba/bb.cpp".
+[[nodiscard]] std::string normalize_path(std::string_view path);
+
+/// Baseline: grandfathered findings keyed "rule|file|line", one per text
+/// line; '#' starts a comment. An empty baseline means the tree is clean.
+struct Baseline {
+  std::set<std::string> entries;
+
+  [[nodiscard]] static Baseline parse(std::string_view text);
+  /// Serializes the *active* diagnostics (suppressed ones need no entry).
+  [[nodiscard]] static std::string serialize(
+      const std::vector<Diagnostic>& diags);
+};
+
+[[nodiscard]] std::string baseline_key(const Diagnostic& d);
+
+/// Runs every rule over the corpus (two passes: payload types are collected
+/// corpus-wide first, then rules run per file). Returns all diagnostics —
+/// including suppressed and baselined ones, flagged as such — sorted by
+/// (file, line, rule).
+[[nodiscard]] std::vector<Diagnostic> run(
+    const std::vector<SourceFile>& corpus,
+    const Baseline* baseline = nullptr);
+
+}  // namespace mewc::lint

@@ -21,11 +21,17 @@ std::atomic<bool> g_enabled{true};
   return (bytes + kStep - 1) / kStep;  // 1-based; 0 only for bytes == 0
 }
 
-// `g_tls_alive` is trivially destructible, so it stays readable during and
-// after thread teardown; the free lists set it false before releasing their
-// blocks, and any deallocation arriving later falls through to ::operator
-// delete instead of touching a destroyed list.
+// `g_tls_alive` / `g_tls_dead` are trivially destructible, so they stay
+// readable during and after thread teardown. Together they distinguish the
+// three thread-lifetime states deallocate() must tell apart:
+//   not constructed yet  (alive=0, dead=0): safe to construct the lists on
+//                        first release, so a thread that only ever frees
+//                        blocks from other threads still stocks a pool;
+//   constructed          (alive=1, dead=0): push onto the lists;
+//   destroyed            (alive=0, dead=1): the lists are gone — fall
+//                        through to ::operator delete, never resurrect.
 thread_local bool g_tls_alive = false;
+thread_local bool g_tls_dead = false;
 
 struct FreeLists {
   std::array<std::vector<void*>, kMaxBuckets + 1> buckets;
@@ -34,6 +40,7 @@ struct FreeLists {
   FreeLists() { g_tls_alive = true; }
   ~FreeLists() {
     g_tls_alive = false;
+    g_tls_dead = true;
     for (auto& list : buckets) {
       for (void* p : list) ::operator delete(p);
     }
@@ -81,10 +88,13 @@ void* allocate(std::size_t bytes) {
 
 void deallocate(void* p, std::size_t bytes) noexcept {
   const std::size_t bucket = bucket_of(bytes);
-  if (bucket == 0 || bucket > kMaxBuckets || !enabled() || !g_tls_alive) {
+  if (bucket == 0 || bucket > kMaxBuckets || !enabled() || g_tls_dead) {
     ::operator delete(p);
     return;
   }
+  // tls() constructs the lists on a thread whose first arena interaction
+  // is a release — the cross-thread handoff path — and is a plain access
+  // everywhere else.
   tls().buckets[bucket].push_back(p);
 }
 

@@ -40,6 +40,23 @@ struct Stats {
 [[nodiscard]] Stats thread_stats();
 void reset_thread_stats();
 
+/// Scoped view over the calling thread's counters: captures thread_stats()
+/// at construction, delta() reports what happened since. Campaign workers
+/// use one per cell so per-cell allocation accounting never bleeds across
+/// cells run on the same long-lived worker thread.
+class StatsScope {
+ public:
+  StatsScope() : start_(thread_stats()) {}
+
+  [[nodiscard]] Stats delta() const {
+    const Stats now = thread_stats();
+    return {now.reused - start_.reused, now.fresh - start_.fresh};
+  }
+
+ private:
+  Stats start_;
+};
+
 namespace detail {
 
 /// Pops a recycled block or falls through to ::operator new. Small requests

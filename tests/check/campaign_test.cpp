@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "net/arena.hpp"
+
 namespace mewc::check {
 namespace {
 
@@ -151,6 +153,38 @@ TEST(CampaignSweep, ParallelAndSerialRunsAgree) {
               parallel.results[i].words_correct);
     EXPECT_EQ(serial.results[i].passed(), parallel.results[i].passed());
   }
+}
+
+TEST(CampaignReport, PerCellPoolStatsDoNotBleedAcrossCells) {
+  if (!pool::enabled()) GTEST_SKIP() << "payload pooling disabled";
+  // Two identical cells on one worker thread: each performs the same number
+  // of payload allocations, so the per-cell deltas must match. Before the
+  // scoped delta, the second cell reported the worker's *cumulative*
+  // lifetime stats (~2x the first cell's).
+  GridSpec grid;
+  grid.protocols = {Protocol::kWeakBa};
+  grid.sizes = {{0, 2}};
+  grid.fs = {1};
+  grid.adversaries = {"crash"};
+  grid.seeds = {9, 9};
+  const auto report = run_campaign(grid, /*jobs=*/1);
+  ASSERT_EQ(report.results.size(), 2u);
+  const auto& a = report.results[0];
+  const auto& b = report.results[1];
+  ASSERT_GT(a.pool_reused + a.pool_fresh, 0u);
+  EXPECT_EQ(a.pool_reused + a.pool_fresh, b.pool_reused + b.pool_fresh);
+  // The first cell on a cold worker allocates fresh blocks; the second
+  // reuses what the first released. Reuse must not regress to zero.
+  EXPECT_GT(b.pool_reused, 0u);
+
+  // The JSON report surfaces the summed reuse counters.
+  std::string error;
+  const auto parsed = json::parse(report.to_json().dump(2), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ((*parsed)["pool"]["reused"].as_u64(),
+            a.pool_reused + b.pool_reused);
+  EXPECT_EQ((*parsed)["pool"]["fresh"].as_u64(), a.pool_fresh + b.pool_fresh);
+  EXPECT_GT((*parsed)["pool"]["reuse_rate"].as_double(), 0.0);
 }
 
 TEST(CampaignReport, JsonRoundTripsAndCountsFailures) {

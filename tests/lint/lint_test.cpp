@@ -1,0 +1,351 @@
+// mewc_lint self-tests: every rule fires on a deliberate violation, is
+// silenced by an `mewc-lint: allow(<rule>)` suppression, respects its path
+// scope, and can be grandfathered by a baseline entry. The fixtures are the
+// contract CI relies on: if a rule regresses into never firing, these fail.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+#include "lint/lint.hpp"
+
+namespace mewc::lint {
+namespace {
+
+std::vector<Diagnostic> lint_one(const std::string& path,
+                                 const std::string& content) {
+  return run({{path, content}});
+}
+
+std::vector<Diagnostic> active_of(const std::vector<Diagnostic>& diags) {
+  std::vector<Diagnostic> out;
+  for (const auto& d : diags) {
+    if (d.active()) out.push_back(d);
+  }
+  return out;
+}
+
+bool fires(const std::vector<Diagnostic>& diags, const std::string& rule) {
+  return std::any_of(diags.begin(), diags.end(), [&](const Diagnostic& d) {
+    return d.active() && d.rule == rule;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+
+TEST(Lexer, StripsCommentsAndStringsFromTokens) {
+  const auto lexed = lex(
+      "int a = 1; // trailing unordered_map\n"
+      "/* block rand() */ const char* s = \"random_device\";\n");
+  for (const Token& t : lexed.tokens) {
+    if (t.kind == TokenKind::kIdentifier) {
+      EXPECT_NE(t.text, "unordered_map");
+      EXPECT_NE(t.text, "rand");
+      EXPECT_NE(t.text, "random_device");
+    }
+  }
+  ASSERT_EQ(lexed.comments.size(), 2u);
+  EXPECT_EQ(lexed.comments[0].line, 1u);
+  EXPECT_FALSE(lexed.comments[0].own_line);
+  EXPECT_EQ(lexed.comments[1].line, 2u);
+  EXPECT_TRUE(lexed.comments[1].own_line);
+}
+
+TEST(Lexer, RawStringsAndLineNumbers) {
+  const auto lexed = lex("auto s = R\"(getenv(\"HOME\") line\nbreak)\";\nint x;");
+  bool saw_getenv = false;
+  for (const Token& t : lexed.tokens) {
+    saw_getenv = saw_getenv || (t.kind == TokenKind::kIdentifier &&
+                                t.text == "getenv");
+    if (t.text == "x") EXPECT_EQ(t.line, 3u);  // raw string spans 2 lines
+  }
+  EXPECT_FALSE(saw_getenv);
+}
+
+TEST(Lexer, MultiCharPunctuation) {
+  const auto lexed = lex("a->b; c >> d; e::f;");
+  std::vector<std::string> puncts;
+  for (const Token& t : lexed.tokens) {
+    if (t.kind == TokenKind::kPunct) puncts.push_back(t.text);
+  }
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "->"), puncts.end());
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), ">>"), puncts.end());
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "::"), puncts.end());
+}
+
+// ---------------------------------------------------------------------------
+// R-determinism
+
+TEST(RuleDeterminism, FiresOnUnorderedContainerInScope) {
+  const auto diags = lint_one(
+      "src/ba/weak_ba/state.hpp",
+      "#include <unordered_map>\nstd::unordered_map<int, int> votes_;\n");
+  EXPECT_TRUE(fires(diags, "R-determinism"));
+}
+
+TEST(RuleDeterminism, FiresOnRandomDeviceAndRandCall) {
+  EXPECT_TRUE(fires(lint_one("src/check/runner_extra.cpp",
+                             "std::random_device rd;\n"),
+              "R-determinism"));
+  EXPECT_TRUE(fires(lint_one("src/sim/executor_extra.cpp",
+                             "int r = std::rand();\n"),
+              "R-determinism"));
+  // `rand` as a plain member name is not a call and must not fire.
+  EXPECT_FALSE(fires(lint_one("src/sim/executor_extra.cpp",
+                              "int rand = 3; use(rand);\n"),
+               "R-determinism"));
+}
+
+TEST(RuleDeterminism, FiresOnPointerKeyedMap) {
+  const auto diags = lint_one("src/check/cache.hpp",
+                              "std::map<const Payload*, int> seen_;\n");
+  EXPECT_TRUE(fires(diags, "R-determinism"));
+  // Value-position pointers are fine: ordering is by the integer key.
+  EXPECT_FALSE(fires(lint_one("src/check/cache.hpp",
+                              "std::map<int, const Payload*> byid_;\n"),
+               "R-determinism"));
+}
+
+TEST(RuleDeterminism, OutOfScopeAndCommentsDoNotFire) {
+  // src/crypto is outside the determinism scope.
+  EXPECT_FALSE(fires(lint_one("src/crypto/keys_extra.cpp",
+                              "std::unordered_map<int, int> m;\n"),
+               "R-determinism"));
+  EXPECT_FALSE(fires(lint_one("src/ba/bb/notes.cpp",
+                              "// std::unordered_map would break replay\n"),
+               "R-determinism"));
+}
+
+TEST(RuleDeterminism, SilencedByAllow) {
+  const auto diags = lint_one(
+      "src/ba/weak_ba/state.hpp",
+      "// mewc-lint: allow(R-determinism) scratch map, cleared every round\n"
+      "std::unordered_map<int, int> scratch_;\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_TRUE(diags[0].suppressed);
+  EXPECT_FALSE(fires(diags, "R-determinism"));
+}
+
+// ---------------------------------------------------------------------------
+// R-pool
+
+constexpr const char* kPayloadDecl =
+    "struct FakeMsg final : public Payload {\n"
+    "  std::size_t words() const override { return 1; }\n"
+    "};\n";
+
+TEST(RulePool, FiresOnMakeSharedOfPayloadType) {
+  const auto diags =
+      lint_one("src/ba/bb/extra.cpp",
+               std::string(kPayloadDecl) +
+                   "auto m = std::make_shared<FakeMsg>();\n");
+  EXPECT_TRUE(fires(diags, "R-pool"));
+}
+
+TEST(RulePool, PayloadTypeDeclaredInAnotherFileStillFires) {
+  // Declaration lives in a header, use in a .cpp — the corpus-wide pass
+  // must connect them.
+  const auto diags = run({{"src/ba/bb/messages.hpp", kPayloadDecl},
+                          {"src/ba/bb/extra.cpp",
+                           "auto m = std::make_shared<FakeMsg>();\n"}});
+  EXPECT_TRUE(fires(diags, "R-pool"));
+}
+
+TEST(RulePool, PoolMakeAndNonPayloadTypesAreFine) {
+  EXPECT_FALSE(fires(lint_one("src/ba/bb/extra.cpp",
+                              std::string(kPayloadDecl) +
+                                  "auto m = pool::make<FakeMsg>();\n"),
+               "R-pool"));
+  EXPECT_FALSE(fires(lint_one("src/ba/bb/extra.cpp",
+                              "auto p = std::make_shared<Predicate>();\n"),
+               "R-pool"));
+}
+
+TEST(RulePool, SilencedByAllow) {
+  const auto diags = lint_one(
+      "src/ba/bb/extra.cpp",
+      std::string(kPayloadDecl) +
+          "// mewc-lint: allow(R-pool) one-shot setup message, cold path\n"
+          "auto m = std::make_shared<FakeMsg>();\n");
+  EXPECT_FALSE(fires(diags, "R-pool"));
+}
+
+// ---------------------------------------------------------------------------
+// R-send
+
+TEST(RuleSend, FiresOnDirectPost) {
+  EXPECT_TRUE(fires(lint_one("src/ba/strong_ba/extra.cpp",
+                             "net.post(id, round, out, true);\n"),
+              "R-send"));
+  EXPECT_TRUE(fires(lint_one("src/ba/strong_ba/extra.cpp",
+                             "network_->post(id, round, out, true);\n"),
+              "R-send"));
+}
+
+TEST(RuleSend, OutboxSendAndExecutorScopeAreFine) {
+  EXPECT_FALSE(fires(lint_one("src/ba/strong_ba/extra.cpp",
+                              "out.send(to, body); out.broadcast(body);\n"),
+               "R-send"));
+  // The executor (src/sim) is the one legitimate post caller.
+  EXPECT_FALSE(fires(lint_one("src/sim/executor_extra.cpp",
+                              "network_.post(pid, r, outbox, true);\n"),
+               "R-send"));
+}
+
+TEST(RuleSend, SilencedByAllow) {
+  const auto diags = lint_one(
+      "src/ba/strong_ba/extra.cpp",
+      "net.post(id, r, out, true);  // mewc-lint: allow(R-send) test shim\n");
+  EXPECT_FALSE(fires(diags, "R-send"));
+}
+
+// ---------------------------------------------------------------------------
+// R-quorum
+
+TEST(RuleQuorum, FiresOnInlineThresholdArithmetic) {
+  EXPECT_TRUE(fires(lint_one("src/ba/weak_ba/extra.cpp",
+                             "const auto q = (n + t + 1 + 1) / 2;\n"),
+              "R-quorum"));
+  EXPECT_TRUE(fires(lint_one("src/ba/weak_ba/extra.cpp",
+                             "const auto q = (ctx_.n + ctx_.t + 1) / 2;\n"),
+              "R-quorum"));
+  EXPECT_TRUE(fires(lint_one("src/crypto/extra.cpp",
+                             "sigs.resize(t_ + n_ + 1);\n"),
+              "R-quorum"));
+}
+
+TEST(RuleQuorum, CommitQuorumAndUnrelatedSumsAreFine) {
+  EXPECT_FALSE(fires(lint_one("src/ba/weak_ba/extra.cpp",
+                              "const auto q = commit_quorum(n, t);\n"),
+               "R-quorum"));
+  EXPECT_FALSE(fires(lint_one("src/ba/weak_ba/extra.cpp",
+                              "const auto k = t + 1; const auto m = n + 3;\n"),
+               "R-quorum"));
+  EXPECT_FALSE(fires(lint_one("src/check/extra.cpp",
+                              "if (size.n < 2 * size.t + 1) bad();\n"),
+               "R-quorum"));
+  // The single source of truth itself is exempt.
+  EXPECT_FALSE(fires(lint_one("src/common/types.hpp",
+                              "return (n + t + 1 + 1) / 2;\n"),
+               "R-quorum"));
+}
+
+TEST(RuleQuorum, SilencedByAllow) {
+  const auto diags = lint_one(
+      "src/ba/weak_ba/extra.cpp",
+      "// mewc-lint: allow(R-quorum) proof annotation mirrors the paper\n"
+      "const auto q = (n + t + 1 + 1) / 2;\n");
+  EXPECT_FALSE(fires(diags, "R-quorum"));
+}
+
+// ---------------------------------------------------------------------------
+// R-meter
+
+TEST(RuleMeter, FiresOnStringKeyedMapInScope) {
+  EXPECT_TRUE(fires(lint_one("src/net/meter_extra.hpp",
+                             "std::map<std::string, std::uint64_t> by_kind_;\n"),
+              "R-meter"));
+  EXPECT_TRUE(
+      fires(lint_one("src/ba/harness_extra.cpp",
+                     "std::unordered_map<std::string, int> counts_;\n"),
+            "R-meter"));
+}
+
+TEST(RuleMeter, IdKeyedAndOutOfScopeAreFine) {
+  EXPECT_FALSE(fires(lint_one("src/net/meter_extra.hpp",
+                              "std::vector<std::uint64_t> by_kind_id_;\n"),
+               "R-meter"));
+  // src/check aggregates reports by group name — off the hot path.
+  EXPECT_FALSE(fires(lint_one("src/check/report_extra.cpp",
+                              "std::map<std::string, Group> groups;\n"),
+               "R-meter"));
+}
+
+TEST(RuleMeter, SilencedByAllow) {
+  const auto diags = lint_one(
+      "src/net/meter_extra.hpp",
+      "// mewc-lint: allow(R-meter) reporting path, built once per report\n"
+      "std::map<std::string, std::uint64_t> report_;\n");
+  EXPECT_FALSE(fires(diags, "R-meter"));
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions, baseline, path normalization
+
+TEST(Suppression, OwnLineCommentCoversNextLineOnly) {
+  const auto diags = lint_one(
+      "src/ba/bb/extra.hpp",
+      "// mewc-lint: allow(R-determinism) first map is vetted\n"
+      "std::unordered_map<int, int> a_;\n"
+      "std::unordered_map<int, int> b_;\n");
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_TRUE(diags[0].suppressed);   // line 2
+  EXPECT_FALSE(diags[1].suppressed);  // line 3 is NOT covered
+}
+
+TEST(Suppression, WrongRuleNameDoesNotSilence) {
+  const auto diags = lint_one(
+      "src/ba/bb/extra.hpp",
+      "std::unordered_map<int, int> a_;  // mewc-lint: allow(R-pool) nope\n");
+  EXPECT_TRUE(fires(diags, "R-determinism"));
+}
+
+TEST(Suppression, MultiRuleAllowList) {
+  const auto diags = lint_one(
+      "src/ba/bb/extra.hpp",
+      "// mewc-lint: allow(R-determinism, R-meter) scratch, round-local\n"
+      "std::unordered_map<std::string, int> scratch_;\n");
+  EXPECT_FALSE(fires(diags, "R-determinism"));
+  EXPECT_FALSE(fires(diags, "R-meter"));
+}
+
+TEST(Baseline, GrandfathersExactFinding) {
+  const std::string body = "std::unordered_map<int, int> votes_;\n";
+  const std::vector<SourceFile> corpus = {{"src/ba/bb/extra.hpp", body}};
+  const Baseline base = Baseline::parse(
+      "# comment line\nR-determinism|src/ba/bb/extra.hpp|1\n");
+  const auto diags = run(corpus, &base);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_TRUE(diags[0].baselined);
+  EXPECT_TRUE(active_of(diags).empty());
+
+  // A different line is a *new* finding and stays active.
+  const Baseline stale =
+      Baseline::parse("R-determinism|src/ba/bb/extra.hpp|7\n");
+  EXPECT_FALSE(active_of(run(corpus, &stale)).empty());
+}
+
+TEST(Baseline, SerializeRoundTrips) {
+  const auto diags =
+      lint_one("src/ba/bb/extra.hpp", "std::unordered_map<int, int> m_;\n");
+  ASSERT_FALSE(diags.empty());
+  const Baseline base = Baseline::parse(Baseline::serialize(diags));
+  EXPECT_TRUE(active_of(run({{"src/ba/bb/extra.hpp",
+                              "std::unordered_map<int, int> m_;\n"}},
+                            &base))
+                  .empty());
+}
+
+TEST(PathNormalization, AbsoluteAndRelativeAgree) {
+  EXPECT_EQ(normalize_path("/root/repo/src/ba/bb/bb.cpp"),
+            "src/ba/bb/bb.cpp");
+  EXPECT_EQ(normalize_path("src/ba/bb/bb.cpp"), "src/ba/bb/bb.cpp");
+  EXPECT_EQ(normalize_path("../repo/tools/mewc_lint.cpp"),
+            "tools/mewc_lint.cpp");
+}
+
+TEST(Rules, TableCoversEveryImplementedRule) {
+  std::vector<std::string> ids;
+  for (const RuleInfo& r : rules()) ids.emplace_back(r.id);
+  for (const char* expected : {"R-determinism", "R-meter", "R-pool",
+                               "R-quorum", "R-send"}) {
+    EXPECT_NE(std::find(ids.begin(), ids.end(), expected), ids.end())
+        << expected;
+  }
+}
+
+}  // namespace
+}  // namespace mewc::lint

@@ -1,0 +1,226 @@
+// mewc_lint — repo-specific static analysis driver.
+//
+// Walks the given files/directories (C++ sources only), runs every lint
+// rule (see src/lint/lint.hpp for the rule table), and reports findings as
+// file:line diagnostics or JSON. A finding is "active" unless an
+// `mewc-lint: allow(<rule>)` comment covers its line or the baseline file
+// grandfathers it; any active finding makes the exit code nonzero, which
+// is what CI gates on.
+//
+// Usage:
+//   mewc_lint [--baseline FILE] [--write-baseline] [--json] [-v] PATH...
+//   mewc_lint --list-rules
+//
+// Exit codes: 0 clean, 1 active findings, 2 usage/IO error.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/json.hpp"
+#include "lint/lint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace mewc;
+
+struct Options {
+  std::vector<std::string> paths;
+  std::string baseline_path;
+  bool write_baseline = false;
+  bool json = false;
+  bool list_rules = false;
+  bool verbose = false;  // also print suppressed/baselined findings
+};
+
+[[noreturn]] void usage_and_exit(const char* self) {
+  std::fprintf(stderr,
+               "usage: %s [--baseline FILE] [--write-baseline] [--json] [-v] "
+               "PATH...\n"
+               "       %s --list-rules\n",
+               self, self);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--baseline")) {
+      if (i + 1 >= argc) usage_and_exit(argv[0]);
+      o.baseline_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--write-baseline")) {
+      o.write_baseline = true;
+    } else if (!std::strcmp(argv[i], "--json")) {
+      o.json = true;
+    } else if (!std::strcmp(argv[i], "--list-rules")) {
+      o.list_rules = true;
+    } else if (!std::strcmp(argv[i], "-v") ||
+               !std::strcmp(argv[i], "--verbose")) {
+      o.verbose = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      usage_and_exit(argv[0]);
+    } else {
+      o.paths.emplace_back(argv[i]);
+    }
+  }
+  if (!o.list_rules && o.paths.empty()) usage_and_exit(argv[0]);
+  return o;
+}
+
+[[nodiscard]] bool is_cpp_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+bool read_whole_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+/// Expands files and directories into a sorted source list — sorted so the
+/// diagnostic order (and therefore the baseline and CI output) never
+/// depends on directory iteration order.
+bool collect_sources(const std::vector<std::string>& paths,
+                     std::vector<lint::SourceFile>* out) {
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p, ec)) {
+        if (entry.is_regular_file() && is_cpp_source(entry.path())) {
+          files.push_back(entry.path().string());
+        }
+      }
+      if (ec) {
+        std::fprintf(stderr, "cannot walk %s: %s\n", p.c_str(),
+                     ec.message().c_str());
+        return false;
+      }
+    } else {
+      files.push_back(p);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& f : files) {
+    lint::SourceFile src;
+    src.path = f;
+    if (!read_whole_file(f, &src.content)) {
+      std::fprintf(stderr, "cannot read %s\n", f.c_str());
+      return false;
+    }
+    out->push_back(std::move(src));
+  }
+  return true;
+}
+
+int run_list_rules() {
+  for (const lint::RuleInfo& r : lint::rules()) {
+    std::printf("%-14s %s\n%-14s scope: %s\n", std::string(r.id).c_str(),
+                std::string(r.what).c_str(), "", std::string(r.scope).c_str());
+  }
+  return 0;
+}
+
+check::json::Value to_json(const std::vector<lint::Diagnostic>& diags,
+                           std::size_t files, std::size_t active) {
+  check::json::Object root;
+  root["files_scanned"] = check::json::Value(files);
+  root["findings_total"] = check::json::Value(diags.size());
+  root["findings_active"] = check::json::Value(active);
+  check::json::Array out;
+  for (const lint::Diagnostic& d : diags) {
+    check::json::Object o;
+    o["rule"] = check::json::Value(d.rule);
+    o["file"] = check::json::Value(d.file);
+    o["line"] = check::json::Value(d.line);
+    o["message"] = check::json::Value(d.message);
+    o["suppressed"] = check::json::Value(d.suppressed);
+    o["baselined"] = check::json::Value(d.baselined);
+    out.push_back(check::json::Value(std::move(o)));
+  }
+  root["findings"] = check::json::Value(std::move(out));
+  return check::json::Value(std::move(root));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  if (o.list_rules) return run_list_rules();
+
+  std::vector<lint::SourceFile> corpus;
+  if (!collect_sources(o.paths, &corpus)) return 2;
+
+  lint::Baseline baseline;
+  if (!o.baseline_path.empty() && !o.write_baseline) {
+    std::string text;
+    if (!read_whole_file(o.baseline_path, &text)) {
+      std::fprintf(stderr, "cannot read baseline %s\n",
+                   o.baseline_path.c_str());
+      return 2;
+    }
+    baseline = lint::Baseline::parse(text);
+  }
+
+  const std::vector<lint::Diagnostic> diags = lint::run(corpus, &baseline);
+
+  if (o.write_baseline) {
+    if (o.baseline_path.empty()) {
+      std::fprintf(stderr, "--write-baseline needs --baseline FILE\n");
+      return 2;
+    }
+    std::ofstream out(o.baseline_path, std::ios::binary | std::ios::trunc);
+    out << lint::Baseline::serialize(diags);
+    if (!out) {
+      std::fprintf(stderr, "cannot write baseline %s\n",
+                   o.baseline_path.c_str());
+      return 2;
+    }
+    std::printf("baseline written to %s\n", o.baseline_path.c_str());
+    return 0;
+  }
+
+  std::size_t active = 0;
+  std::size_t suppressed = 0;
+  std::size_t baselined = 0;
+  for (const lint::Diagnostic& d : diags) {
+    if (d.suppressed) {
+      ++suppressed;
+    } else if (d.baselined) {
+      ++baselined;
+    } else {
+      ++active;
+    }
+  }
+
+  if (o.json) {
+    std::printf("%s\n", to_json(diags, corpus.size(), active).dump().c_str());
+  } else {
+    for (const lint::Diagnostic& d : diags) {
+      if (d.active()) {
+        std::printf("%s:%u: [%s] %s\n", d.file.c_str(), d.line,
+                    d.rule.c_str(), d.message.c_str());
+      } else if (o.verbose) {
+        std::printf("%s:%u: [%s] (%s) %s\n", d.file.c_str(), d.line,
+                    d.rule.c_str(), d.suppressed ? "allowed" : "baselined",
+                    d.message.c_str());
+      }
+    }
+    std::printf(
+        "mewc_lint: %zu file%s, %zu active finding%s (%zu allowed, %zu "
+        "baselined)\n",
+        corpus.size(), corpus.size() == 1 ? "" : "s", active,
+        active == 1 ? "" : "s", suppressed, baselined);
+  }
+  return active == 0 ? 0 : 1;
+}

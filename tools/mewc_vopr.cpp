@@ -161,6 +161,20 @@ int run_campaign_mode(const Options& o) {
               static_cast<unsigned long long>(report.cells_passed),
               static_cast<unsigned long long>(report.cells_total));
 
+  std::uint64_t pool_reused = 0;
+  std::uint64_t pool_fresh = 0;
+  for (const auto& r : report.results) {
+    pool_reused += r.pool_reused;
+    pool_fresh += r.pool_fresh;
+  }
+  if (pool_reused + pool_fresh > 0) {
+    std::printf("payload pool: %llu reused / %llu fresh (%.1f%% reuse)\n",
+                static_cast<unsigned long long>(pool_reused),
+                static_cast<unsigned long long>(pool_fresh),
+                100.0 * static_cast<double>(pool_reused) /
+                    static_cast<double>(pool_reused + pool_fresh));
+  }
+
   if (!o.report_path.empty()) {
     if (!check::json::write_file(o.report_path, report.to_json())) {
       std::fprintf(stderr, "cannot write report %s\n", o.report_path.c_str());
