@@ -329,10 +329,15 @@ void WbaHelpSpam::act(Round r, AdversaryControl& ctrl) {
   const Digest d = wba::help_req_digest(instance_);
 
   if (r == help_round_) {
-    for (ProcessId p : corrupted_) {
-      auto msg = pool::make<wba::HelpReqMsg>();
-      msg->partial = ctrl.bundle(p).share(k).partial_sign(d);
-      ctrl.broadcast_as(p, msg);
+    // Covert mode keeps the corrupted partials off the wire; they are
+    // re-signed from the key bundles at mint time instead, so only the
+    // adversary ever assembles t+1 partials.
+    if (!covert_) {
+      for (ProcessId p : corrupted_) {
+        auto msg = pool::make<wba::HelpReqMsg>();
+        msg->partial = ctrl.bundle(p).share(k).partial_sign(d);
+        ctrl.broadcast_as(p, msg);
+      }
     }
     // Steal any correct help_req partials off the wire (rushing view) for
     // the certificate minted next round.

@@ -200,16 +200,22 @@ class WbaTwoPhaseConflict final : public Adversary {
 /// round even though nothing is wrong, forcing decided processes to answer
 /// (the Section 6 O(nf) help cost) and possibly minting a fallback
 /// certificate from thin air plus `steal_correct_partials` captured ones.
+/// In `covert` mode the corrupted partials never touch the wire: correct
+/// processes see too few help_reqs to combine a certificate themselves
+/// (Alg 3 line 10 stays cold), so the minted certificate disclosed to
+/// `cert_recipients` is their only route to one — driving the line 17
+/// "note" and line 21 "echo" paths.
 class WbaHelpSpam final : public Adversary {
  public:
   WbaHelpSpam(std::uint64_t instance, Round help_round,
               std::uint32_t corruptions, bool form_certificate,
-              std::uint32_t cert_recipients)
+              std::uint32_t cert_recipients, bool covert = false)
       : instance_(instance),
         help_round_(help_round),
         corruptions_(corruptions),
         form_certificate_(form_certificate),
-        cert_recipients_(cert_recipients) {}
+        cert_recipients_(cert_recipients),
+        covert_(covert) {}
 
   void setup(AdversaryControl& ctrl) override;
   void act(Round r, AdversaryControl& ctrl) override;
@@ -220,6 +226,7 @@ class WbaHelpSpam final : public Adversary {
   std::uint32_t corruptions_;
   bool form_certificate_;
   std::uint32_t cert_recipients_;
+  bool covert_;
   std::vector<ProcessId> corrupted_;
   std::vector<PartialSig> stolen_;
 };

@@ -1,5 +1,6 @@
 #include "ba/bb/bb.hpp"
 
+#include "check/coverage.hpp"
 #include "common/check.hpp"
 #include "crypto/signer_set.hpp"
 #include "net/arena.hpp"
@@ -19,6 +20,7 @@ void BbProcess::ensure_wba() {
   if (!wba_) {
     // Algorithm 1, line 9: enter weak BA with the vetted value. Lemma 11
     // guarantees v_i is BB_valid here for every correct process.
+    MEWC_COV(alg1_line9_enter_weak_ba);
     wba_.emplace(ctx_, predicate_, vi_);
   }
 }
@@ -29,21 +31,28 @@ void BbProcess::phase_send(std::uint64_t j, Round local, Outbox& out) {
     case 1: {  // lines 15-16: a value-less leader asks for help
       ph_ = PhaseScratch{};
       if (leader == ctx_.id && vi_.is_bottom()) {
+        MEWC_COV(alg2_line16_help_request);
         auto msg = pool::make<HelpReqMsg>();
         msg->phase = j;
         out.broadcast(msg);
         stats_.led_nonsilent_phase = true;
+      } else if (leader == ctx_.id) {
+        // Line 15 negative: a leader holding a value leads a silent phase —
+        // the adaptivity the word bound rests on.
+        MEWC_COV(alg2_line15_silent_phase);
       }
       break;
     }
     case 2: {  // lines 17-21: answer with the value or an idk partial
       if (!ph_.reply_needed) break;
       if (!vi_.is_bottom()) {
+        MEWC_COV(alg2_line18_reply_value);
         auto msg = pool::make<ReplyValueMsg>();
         msg->phase = j;
         msg->value = vi_;
         out.send(leader, msg);
       } else {
+        MEWC_COV(alg2_line20_reply_idk);
         auto msg = pool::make<IdkMsg>();
         msg->phase = j;
         msg->partial =
@@ -55,11 +64,13 @@ void BbProcess::phase_send(std::uint64_t j, Round local, Outbox& out) {
     case 3: {  // lines 22-27: leader relays a valid value or batches idk
       if (leader != ctx_.id) break;
       if (ph_.best_reply) {
+        MEWC_COV(alg2_line23_leader_relay_value);
         auto msg = pool::make<LeaderValueMsg>();
         msg->phase = j;
         msg->value = *ph_.best_reply;
         out.broadcast(msg);
       } else if (ph_.idk_partials.size() >= ctx_.t + 1) {
+        MEWC_COV(alg2_line25_leader_idk_cert);
         auto qc = ctx_.scheme(ctx_.t + 1).combine(ph_.idk_partials);
         MEWC_CHECK_MSG(qc.has_value(), "verified idk partials must combine");
         auto msg = pool::make<LeaderValueMsg>();
@@ -122,7 +133,11 @@ void BbProcess::phase_receive(std::uint64_t j, Round local,
         if (m.from != leader) continue;
         const auto* lv = payload_cast<LeaderValueMsg>(m.body);
         if (lv == nullptr || lv->phase != j) continue;
-        if (!predicate_->validate(lv->value)) continue;
+        if (!predicate_->validate(lv->value)) {
+          MEWC_COV(alg2_line28_reject_leader_value);
+          continue;
+        }
+        MEWC_COV(alg2_line29_adopt_leader_value);
         vi_ = lv->value;
         break;
       }
@@ -136,6 +151,7 @@ void BbProcess::phase_receive(std::uint64_t j, Round local,
 void BbProcess::on_send(Round r, Outbox& out) {
   if (r == 1) {  // Algorithm 1, lines 1-2
     if (sender_ == ctx_.id) {
+      MEWC_COV(alg1_line2_sender_broadcast);
       auto msg = pool::make<SenderValueMsg>();
       msg->value = WireValue::signed_by(
           input_, ctx_.sign(bb_sender_digest(ctx_.instance, input_)));
@@ -158,6 +174,7 @@ void BbProcess::on_receive(Round r, std::span<const Message> inbox) {
       const auto* sv = payload_cast<SenderValueMsg>(m.body);
       if (sv == nullptr || !predicate_->validate(sv->value)) continue;
       if (sv->value.prov != Provenance::kSigned) continue;
+      MEWC_COV(alg1_line4_adopt_sender_value);
       vi_ = sv->value;
       stats_.adopted_from_sender = true;
       break;  // the sender signs one value; take the first valid one
@@ -183,8 +200,10 @@ void BbProcess::on_receive(Round r, std::span<const Message> inbox) {
     }
     if (ba_decision.prov == Provenance::kSigned &&
         predicate_->validate(ba_decision)) {
+      MEWC_COV(alg1_line11_decide_signed);
       stats_.decision = ba_decision.value;
     } else {
+      MEWC_COV(alg1_line13_decide_bottom);
       stats_.decision = kBottom;
     }
   }

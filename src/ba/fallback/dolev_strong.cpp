@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "check/coverage.hpp"
 #include "common/check.hpp"
 #include "net/arena.hpp"
 
@@ -38,6 +39,7 @@ void DolevStrongEngine::on_send(Round local_r, Outbox& out) {
   if (local_r == 1) {
     if (!broadcaster_) return;
     // Start my own instance: broadcast my input with a 1-signature chain.
+    MEWC_COV(afb_broadcast_input);
     auto msg = pool::make<DsRelayMsg>();
     msg->instance = ctx_.id;
     msg->value = input_;
@@ -56,12 +58,14 @@ void DolevStrongEngine::accept(Round local_r, ProcessId instance,
   auto& set = extracted_[instance];
   if (set.size() >= 2) return;  // instance owner already proven Byzantine
   if (std::find(set.begin(), set.end(), v) != set.end()) return;
+  MEWC_COV(afb_accept);
   set.push_back(v);
 
   // Relay with my signature appended, unless the schedule has ended (an
   // acceptance in round t+1 needs no relay: its chain of t+1 signers
   // contains a correct process that already relayed it earlier).
   if (local_r > ctx_.t) return;
+  MEWC_COV(afb_relay);
   auto msg = pool::make<DsRelayMsg>();
   msg->instance = instance;
   msg->value = v;
@@ -82,12 +86,22 @@ void DolevStrongEngine::on_receive(Round local_r,
     if (relay->instance >= ctx_.n) continue;
     // Dolev-Strong acceptance: a valid chain of >= r distinct signers that
     // includes the instance owner, over exactly this value.
-    if (relay->chain.signers.count() < local_r) continue;
-    if (!relay->chain.signers.contains(relay->instance)) continue;
-    if (relay->chain.digest != relay_digest(relay->instance, relay->value)) {
+    if (relay->chain.signers.count() < local_r) {
+      MEWC_COV(afb_reject_chain);
       continue;
     }
-    if (!aggregate_verify(ctx_.pki(), relay->chain)) continue;
+    if (!relay->chain.signers.contains(relay->instance)) {
+      MEWC_COV(afb_reject_chain);
+      continue;
+    }
+    if (relay->chain.digest != relay_digest(relay->instance, relay->value)) {
+      MEWC_COV(afb_reject_chain);
+      continue;
+    }
+    if (!aggregate_verify(ctx_.pki(), relay->chain)) {
+      MEWC_COV(afb_reject_chain);
+      continue;
+    }
     accept(local_r, relay->instance, relay->value, relay->chain);
   }
 }
@@ -110,7 +124,11 @@ WireValue DolevStrongEngine::decide() const {
     slots.push_back(s);
     ++raw_count[s.value.raw];
   }
-  if (slots.empty()) return bottom_value();
+  if (slots.empty()) {
+    MEWC_COV(afb_decide_empty);
+    return bottom_value();
+  }
+  MEWC_COV(afb_decide_majority);
 
   std::uint64_t best_raw = 0;
   std::uint32_t best_count = 0;

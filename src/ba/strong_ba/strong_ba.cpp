@@ -1,5 +1,6 @@
 #include "ba/strong_ba/strong_ba.hpp"
 
+#include "check/coverage.hpp"
 #include "common/check.hpp"
 #include "crypto/signer_set.hpp"
 #include "net/arena.hpp"
@@ -38,6 +39,7 @@ PayloadPtr StrongBaProcess::make_fallback_msg() const {
 void StrongBaProcess::on_send(Round r, Outbox& out) {
   switch (r) {
     case 1: {  // line 2: everyone sends its input to the leader
+      MEWC_COV(alg5_line2_send_input);
       auto msg = pool::make<InputMsg>();
       msg->value = input_;
       msg->partial =
@@ -49,6 +51,7 @@ void StrongBaProcess::on_send(Round r, Outbox& out) {
       if (ctx_.id != kLeader) break;
       for (int v = 0; v < 2; ++v) {
         if (input_partials_[v].size() >= ctx_.t + 1) {
+          MEWC_COV(alg5_line5_propose_cert);
           auto qc = ctx_.scheme(ctx_.t + 1).combine(input_partials_[v]);
           MEWC_CHECK_MSG(qc.has_value(), "verified inputs must combine");
           auto msg = pool::make<ProposeCertMsg>();
@@ -63,6 +66,7 @@ void StrongBaProcess::on_send(Round r, Outbox& out) {
     }
     case 3: {  // lines 7-8: decide vote on the certified value
       if (decide_vote_value_) {
+        MEWC_COV(alg5_line8_decide_vote);
         auto msg = pool::make<DecideVoteMsg>();
         msg->value = *decide_vote_value_;
         msg->partial = ctx_.partial_sign(
@@ -75,6 +79,7 @@ void StrongBaProcess::on_send(Round r, Outbox& out) {
     case 4: {  // lines 9-12: leader batches the (n, n)-certificate
       if (ctx_.id != kLeader || !proposed_) break;
       if (decide_partials_.size() >= ctx_.n) {
+        MEWC_COV(alg5_line11_decide_cert);
         auto qc = ctx_.scheme(ctx_.n).combine(decide_partials_);
         MEWC_CHECK_MSG(qc.has_value(), "verified decides must combine");
         auto msg = pool::make<DecideCertMsg>();
@@ -86,14 +91,19 @@ void StrongBaProcess::on_send(Round r, Outbox& out) {
     }
     case 5: {  // lines 16-18: the undecided raise the alarm
       if (!decided_) {
+        MEWC_COV(alg5_line17_alarm);
         out.broadcast(make_fallback_msg());
         fallback_broadcast_ = true;
         heard_fallback_ = true;
+      } else {
+        // Line 16 negative: fast-decided processes stay silent.
+        MEWC_COV(alg5_line16_silent_decided);
       }
       break;
     }
     case 6: {  // lines 25-27: echo once, attaching decision and proof
       if (echo_scheduled_ && !fallback_broadcast_) {
+        MEWC_COV(alg5_line26_echo);
         out.broadcast(make_fallback_msg());
         fallback_broadcast_ = true;
         echo_scheduled_ = false;
@@ -138,6 +148,7 @@ void StrongBaProcess::on_receive(Round r, std::span<const Message> inbox) {
             !ctx_.scheme(ctx_.t + 1).verify(p->qc)) {
           continue;
         }
+        MEWC_COV(alg5_line7_accept_propose_cert);
         decide_vote_value_ = p->value;
         break;  // sign a decide for at most one proposal
       }
@@ -168,6 +179,7 @@ void StrongBaProcess::on_receive(Round r, std::span<const Message> inbox) {
             !ctx_.scheme(ctx_.n).verify(d->qc)) {
           continue;
         }
+        MEWC_COV(alg5_line14_fast_decide);
         decide_proof_ = d->qc;
         decide_now(d->value, /*fast=*/true, r);
         break;
@@ -179,18 +191,23 @@ void StrongBaProcess::on_receive(Round r, std::span<const Message> inbox) {
       for (const Message& m : inbox) {
         const auto* f = payload_cast<FallbackMsg>(m.body);
         if (f == nullptr) continue;
-        if (!heard_fallback_ && !fallback_broadcast_) echo_scheduled_ = true;
+        if (!heard_fallback_ && !fallback_broadcast_) {
+          MEWC_COV(alg5_line20_echo_scheduled);
+          echo_scheduled_ = true;
+        }
         heard_fallback_ = true;
         if (f->has_decision && !decided_ && f->value.raw <= 1 &&
             f->proof.k == ctx_.n &&
             f->proof.digest == decide_digest(ctx_.instance, f->value) &&
             ctx_.scheme(ctx_.n).verify(f->proof)) {
+          MEWC_COV(alg5_line23_adopt_bu);
           bu_decision_ = f->value;  // lines 22-24
           bu_proof_ = f->proof;
         }
       }
       if (r == 6 && heard_fallback_) {
         // Window over: run A_fallback with bu_decision (line 28).
+        MEWC_COV(alg5_line28_enter_fallback);
         if (decided_) bu_decision_ = decision_;  // line 19
         ds_.set_input(WireValue::plain(bu_decision_));
         ds_.activate();
@@ -204,6 +221,7 @@ void StrongBaProcess::on_receive(Round r, std::span<const Message> inbox) {
         if (r == last_round() && !decided_) {
           // lines 29-30, coerced into the binary domain so a Byzantine
           // value majority can never push the decision outside {0, 1}.
+          MEWC_COV(alg5_line30_slow_decide);
           const WireValue fallback_val = ds_.decide();
           const Value v =
               fallback_val.value.raw <= 1 ? fallback_val.value : Value(0);

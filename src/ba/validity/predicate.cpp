@@ -1,5 +1,7 @@
 #include "ba/validity/predicate.hpp"
 
+#include "check/coverage.hpp"
+
 namespace mewc {
 
 Digest bb_sender_digest(std::uint64_t instance, Value v) {
@@ -14,20 +16,32 @@ bool BbValid::validate(const WireValue& v) const {
   switch (v.prov) {
     case Provenance::kSigned: {
       // Signed by the designated sender over this instance's value digest.
-      if (!v.sig || v.sig->signer != sender_) return false;
-      if (v.value.is_bottom() || v.value.is_idk()) return false;
-      if (v.sig->digest != bb_sender_digest(instance_, v.value)) return false;
-      return crypto_->pki().verify(*v.sig);
+      const bool ok = v.sig && v.sig->signer == sender_ &&
+                      !v.value.is_bottom() && !v.value.is_idk() &&
+                      v.sig->digest == bb_sender_digest(instance_, v.value) &&
+                      crypto_->pki().verify(*v.sig);
+      if (ok) {
+        MEWC_COV(bbvalid_signed_accept);
+      } else {
+        MEWC_COV(bbvalid_signed_reject);
+      }
+      return ok;
     }
     case Provenance::kCertified: {
       // An idk quorum certificate: t+1 processes signed <idk, j>.
-      if (!v.cert || v.value != kIdkValue) return false;
       const std::uint32_t k = crypto_->t() + 1;
-      if (v.cert->k != k) return false;
-      if (v.cert->digest != bb_idk_digest(instance_, v.aux)) return false;
-      return crypto_->scheme(k).verify(*v.cert);
+      const bool ok = v.cert && v.value == kIdkValue && v.cert->k == k &&
+                      v.cert->digest == bb_idk_digest(instance_, v.aux) &&
+                      crypto_->scheme(k).verify(*v.cert);
+      if (ok) {
+        MEWC_COV(bbvalid_cert_accept);
+      } else {
+        MEWC_COV(bbvalid_cert_reject);
+      }
+      return ok;
     }
     case Provenance::kPlain:
+      MEWC_COV(bbvalid_plain_reject);
       return false;
   }
   return false;

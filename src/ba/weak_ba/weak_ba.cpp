@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/coverage.hpp"
 #include "common/check.hpp"
 #include "crypto/signer_set.hpp"
 #include "net/arena.hpp"
@@ -61,11 +62,15 @@ void WeakBaProcess::phase_send(std::uint64_t j, Round local, Outbox& out) {
     case 1: {  // line 31-32: undecided leader proposes
       ph_ = PhaseScratch{};
       if (leader == ctx_.id && !decided_) {
+        MEWC_COV(alg4_line31_propose);
         auto msg = pool::make<ProposeMsg>();
         msg->phase = j;
         msg->value = vi_;
         out.broadcast(msg);
         stats_.led_nonsilent_phase = true;
+      } else if (leader == ctx_.id) {
+        // Line 31 negative: a decided leader leads a silent phase.
+        MEWC_COV(alg4_line31_silent_decided);
       }
       break;
     }
@@ -90,6 +95,7 @@ void WeakBaProcess::phase_send(std::uint64_t j, Round local, Outbox& out) {
     case 3: {  // lines 37-42: leader echoes a commit or forms a fresh QC
       if (leader != ctx_.id) break;
       if (ph_.best_commit_info) {
+        MEWC_COV(alg4_line37_leader_echo_commit);
         auto msg = pool::make<CommitMsg>(*ph_.best_commit_info);
         msg->phase = j;
         out.broadcast(msg);
@@ -97,6 +103,7 @@ void WeakBaProcess::phase_send(std::uint64_t j, Round local, Outbox& out) {
         ph_.leader_commit_value = msg->value;
         ph_.leader_commit_level = msg->level;
       } else if (ph_.votes.size() >= ctx_.quorum()) {
+        MEWC_COV(alg4_line41_leader_fresh_qc);
         auto qc = ctx_.scheme(ctx_.quorum()).combine(ph_.votes);
         MEWC_CHECK_MSG(qc.has_value(), "verified votes must combine");
         auto msg = pool::make<CommitMsg>();
@@ -123,6 +130,7 @@ void WeakBaProcess::phase_send(std::uint64_t j, Round local, Outbox& out) {
     case 5: {  // lines 48-51: leader finalizes
       if (leader != ctx_.id) break;
       if (ph_.decides.size() >= ctx_.quorum()) {
+        MEWC_COV(alg4_line50_finalize);
         auto qc = ctx_.scheme(ctx_.quorum()).combine(ph_.decides);
         MEWC_CHECK_MSG(qc.has_value(), "verified decides must combine");
         auto msg = pool::make<FinalizedMsg>();
@@ -151,8 +159,10 @@ void WeakBaProcess::phase_receive(std::uint64_t j, Round local,
         ph_.saw_proposal = true;
         ph_.proposal = p->value;
         if (!has_commit_ && validate(p->value)) {
+          MEWC_COV(alg4_line34_vote_scheduled);
           ph_.will_vote = true;  // line 34
         } else if (has_commit_) {
+          MEWC_COV(alg4_line36_report_commit);
           ph_.will_send_commit_info = true;  // line 36
         }
         break;
@@ -175,13 +185,21 @@ void WeakBaProcess::phase_receive(std::uint64_t j, Round local,
           if (v->partial.signer != m.from) continue;
           if (!ctx_.scheme(ctx_.quorum()).verify_partial(v->partial)) continue;
           if (!voters.insert(v->partial.signer)) continue;
+          MEWC_COV(alg4_line38_vote_collected);
           ph_.votes.push_back(v->partial);
         } else if (const auto* c = payload_cast<CommitMsg>(m.body)) {
           if (c->phase != j) continue;
-          if (c->level == 0 || c->level > j) continue;  // no future certs
-          if (!verify_commit_qc(c->value, c->level, c->qc)) continue;
+          if (c->level == 0 || c->level > j) {  // no future certs
+            MEWC_COV(alg4_line39_reject_commit_report);
+            continue;
+          }
+          if (!verify_commit_qc(c->value, c->level, c->qc)) {
+            MEWC_COV(alg4_line39_reject_commit_report);
+            continue;
+          }
           if (!ph_.best_commit_info ||
               c->level > ph_.best_commit_info->level) {
+            MEWC_COV(alg4_line39_commit_report_best);
             ph_.best_commit_info = *c;  // line 39: maximal level wins
           }
         }
@@ -193,9 +211,19 @@ void WeakBaProcess::phase_receive(std::uint64_t j, Round local,
         if (m.from != leader) continue;
         const auto* c = payload_cast<CommitMsg>(m.body);
         if (c == nullptr || c->phase != j) continue;
-        if (c->level == 0 || c->level > j) continue;
-        if (c->level < commit_level_) continue;  // line 43: level >= ours
-        if (!verify_commit_qc(c->value, c->level, c->qc)) continue;
+        if (c->level == 0 || c->level > j) {
+          MEWC_COV(alg4_line43_reject_commit);
+          continue;
+        }
+        if (c->level < commit_level_) {  // line 43: level >= ours
+          MEWC_COV(alg4_line43_reject_commit);
+          continue;
+        }
+        if (!verify_commit_qc(c->value, c->level, c->qc)) {
+          MEWC_COV(alg4_line43_reject_commit);
+          continue;
+        }
+        MEWC_COV(alg4_line43_adopt_commit);
         ph_.will_send_decide = true;
         ph_.decide_partial = ctx_.partial_sign(
             ctx_.quorum(),
@@ -222,6 +250,7 @@ void WeakBaProcess::phase_receive(std::uint64_t j, Round local,
         if (d->partial.signer != m.from) continue;
         if (!ctx_.scheme(ctx_.quorum()).verify_partial(d->partial)) continue;
         if (!sgn.insert(d->partial.signer)) continue;
+        MEWC_COV(alg4_line49_decide_collected);
         ph_.decides.push_back(d->partial);
       }
       break;
@@ -231,7 +260,11 @@ void WeakBaProcess::phase_receive(std::uint64_t j, Round local,
         if (m.from != leader) continue;
         const auto* f = payload_cast<FinalizedMsg>(m.body);
         if (f == nullptr || f->phase != j) continue;
-        if (!verify_finalize_qc(f->value, j, f->qc)) continue;
+        if (!verify_finalize_qc(f->value, j, f->qc)) {
+          MEWC_COV(alg4_line52_reject_finalize);
+          continue;
+        }
+        MEWC_COV(alg4_line53_decide_finalize);
         decide_now(f->value, j, f->qc, static_cast<Round>(5 * j));
         break;
       }
@@ -266,6 +299,7 @@ PayloadPtr WeakBaProcess::make_fallback_msg() const {
 
 void WeakBaProcess::note_fallback_cert(const ThresholdSig& qc) {
   if (!has_fallback_cert_) {
+    MEWC_COV(alg3_line17_note_fallback_cert);
     has_fallback_cert_ = true;
     fallback_cert_ = qc;
     if (!fallback_broadcast_) echo_scheduled_ = true;  // line 21-23
@@ -275,12 +309,16 @@ void WeakBaProcess::note_fallback_cert(const ThresholdSig& qc) {
 void WeakBaProcess::tail_send(Round r, Outbox& out) {
   if (r == help_req_round()) {  // Alg 3, lines 5-6
     if (!decided_) {
+      MEWC_COV(alg3_line5_help_request);
       auto msg = pool::make<HelpReqMsg>();
       msg->partial = ctx_.partial_sign(ctx_.t + 1,
                                        help_req_digest(ctx_.instance));
       out.broadcast(msg);
       sent_help_req_ = true;
       stats_.sent_help_req = true;
+    } else {
+      // Line 5 negative: decided processes keep the help round silent.
+      MEWC_COV(alg3_line5_silent_decided);
     }
     return;
   }
@@ -288,6 +326,7 @@ void WeakBaProcess::tail_send(Round r, Outbox& out) {
     if (decided_ && decide_proof_) {
       for (const PartialSig& req : help_req_partials_) {
         if (req.signer == ctx_.id) continue;
+        MEWC_COV(alg3_line8_help_reply);
         auto msg = pool::make<HelpMsg>();
         msg->value = decision_;
         msg->proof_phase = decide_phase_;
@@ -296,6 +335,7 @@ void WeakBaProcess::tail_send(Round r, Outbox& out) {
       }
     }
     if (help_req_partials_.size() >= ctx_.t + 1) {
+      MEWC_COV(alg3_line10_fallback_cert_combine);
       auto qc = ctx_.scheme(ctx_.t + 1).combine(help_req_partials_);
       MEWC_CHECK_MSG(qc.has_value(), "verified help_reqs must combine");
       has_fallback_cert_ = true;
@@ -310,6 +350,7 @@ void WeakBaProcess::tail_send(Round r, Outbox& out) {
     if (echo_scheduled_ && !fallback_broadcast_) {
       // Alg 3 lines 21-23: echo the certificate once, with my decision and
       // proof attached if I have them.
+      MEWC_COV(alg3_line21_fallback_echo);
       fallback_broadcast_ = true;
       sent_decision_fallback_ = decided_;
       echo_scheduled_ = false;
@@ -318,6 +359,7 @@ void WeakBaProcess::tail_send(Round r, Outbox& out) {
       // NOTE-2: I decided after my (decision-less) certificate broadcast —
       // Lemma 19 needs every correct process to learn my decision during
       // the safety window, so send it now.
+      MEWC_COV(alg3_line22_late_decision_rebroadcast);
       sent_decision_fallback_ = true;
       out.broadcast(make_fallback_msg());
     }
@@ -353,21 +395,28 @@ void WeakBaProcess::tail_receive(Round r, std::span<const Message> inbox) {
         // decision too late to re-broadcast inside the window (NOTE-2).
         if (r != help_reply_round()) continue;
         if (decided_) continue;
-        if (!validate(h->value)) continue;
-        if (!verify_finalize_qc(h->value, h->proof_phase, h->decide_proof)) {
+        if (!validate(h->value)) {
+          MEWC_COV(alg3_line13_reject_help);
           continue;
         }
+        if (!verify_finalize_qc(h->value, h->proof_phase, h->decide_proof)) {
+          MEWC_COV(alg3_line13_reject_help);
+          continue;
+        }
+        MEWC_COV(alg3_line13_adopt_help_decision);
         decide_now(h->value, h->proof_phase, h->decide_proof, r);
       } else if (const auto* f = payload_cast<FallbackMsg>(m.body)) {
         // Alg 3, lines 16-23.
         if (f->fallback_qc.k != ctx_.t + 1 ||
             f->fallback_qc.digest != help_req_digest(ctx_.instance) ||
             !ctx_.scheme(ctx_.t + 1).verify(f->fallback_qc)) {
+          MEWC_COV(alg3_line16_reject_fallback_cert);
           continue;
         }
         note_fallback_cert(f->fallback_qc);
         if (f->has_decision && !decided_ && validate(f->value) &&
             verify_finalize_qc(f->value, f->proof_phase, f->decide_proof)) {
+          MEWC_COV(alg3_line19_adopt_bu);
           bu_decision_ = f->value;  // lines 18-20
           bu_proof_ = f->decide_proof;
           bu_proof_phase_ = f->proof_phase;
@@ -376,6 +425,7 @@ void WeakBaProcess::tail_receive(Round r, std::span<const Message> inbox) {
     }
     if (r == echo_round() && has_fallback_cert_) {
       // Safety window over: enter A_fallback with bu_decision (line 24).
+      MEWC_COV(alg3_line24_enter_fallback);
       if (decided_) bu_decision_ = decision_;  // line 15
       ds_.set_input(bu_decision_);
       ds_.activate();
@@ -391,7 +441,13 @@ void WeakBaProcess::tail_receive(Round r, std::span<const Message> inbox) {
       if (ds_.active()) {
         const WireValue fallback_val = ds_.decide();
         decided_ = true;
-        decision_ = validate(fallback_val) ? fallback_val : bottom_value();
+        if (validate(fallback_val)) {
+          MEWC_COV(alg3_line26_fallback_decide);
+          decision_ = fallback_val;
+        } else {
+          MEWC_COV(alg3_line28_fallback_decide_bottom);
+          decision_ = bottom_value();
+        }
         stats_.decided = true;
         stats_.decision = decision_;
         stats_.decided_round = r;

@@ -104,6 +104,60 @@ const std::vector<std::pair<std::string, Factory>>& table() {
              std::max(1u, p.f), /*form_certificate=*/true,
              /*cert_recipients=*/1);
        }},
+      // Byzantine weak-BA phase-1 leader: commit certificate for everyone,
+      // finalize certificate for one — the decided/undecided split that
+      // drives the help round (Alg 3 lines 5-13).
+      {"cert-split",
+       [](const AdversaryParams& p) {
+         return std::make_unique<adv::WbaCertSplit>(
+             p.instance, /*phase=*/1, WireValue::plain(Value(p.value)),
+             /*extra_corruptions=*/p.f > 0 ? p.f - 1 : 0,
+             /*finalize_recipients=*/1);
+       }},
+      // NOTE-2 driver: finalize certificate withheld during the phases and
+      // disclosed via <help> to exactly one process, whose late decision
+      // must be re-broadcast inside the safety window (Alg 3 line 22).
+      {"poison-help",
+       [](const AdversaryParams& p) {
+         return std::make_unique<adv::WbaCertSplit>(
+             p.instance, /*phase=*/1, WireValue::plain(Value(p.value)),
+             /*extra_corruptions=*/p.f > 0 ? p.f - 1 : 0,
+             /*finalize_recipients=*/0, /*poison_help=*/true);
+       }},
+      // Covert certificate mint: a cert-split leaves some processes
+      // undecided past the phases, so their help_reqs leak partials the
+      // covert spammers complete into a fallback certificate — which no
+      // correct process can assemble itself (too few public partials).
+      // Disclosing it to one process drives the Alg 3 line 17 note and
+      // line 21 echo paths. Needs f >= 2 to both split and complete.
+      {"covert-spam",
+       [](const AdversaryParams& p) {
+         std::vector<std::unique_ptr<Adversary>> parts;
+         parts.push_back(std::make_unique<adv::WbaCertSplit>(
+             p.instance, /*phase=*/1, WireValue::plain(Value(p.value)),
+             /*extra_corruptions=*/0, /*finalize_recipients=*/1));
+         parts.push_back(std::make_unique<adv::WbaHelpSpam>(
+             p.instance, protocol_help_round(p.protocol, p.n),
+             /*corruptions=*/p.f > 0 ? p.f - 1 : 0,
+             /*form_certificate=*/true, /*cert_recipients=*/1,
+             /*covert=*/true));
+         return std::make_unique<adv::Composite>(std::move(parts));
+       }},
+      // Byzantine BB vetting leader that reveals its minted idk certificate
+      // to only half the processes (NOTE-1: later leaders relay the cert).
+      {"bb-partial-relay",
+       [](const AdversaryParams& p) {
+         return std::make_unique<adv::BbPartialRelay>(
+             p.instance, /*phase=*/1, std::max(1u, p.n / 2));
+       }},
+      // Byzantine Algorithm 5 leader; the seed picks silent / split-propose
+      // / hide-decide, so a seed sweep covers all three window behaviors.
+      {"alg5-withhold",
+       [](const AdversaryParams& p) {
+         const auto mode = static_cast<adv::Alg5Mode>(p.seed % 3);
+         return std::make_unique<adv::Alg5Withhold>(p.instance, mode,
+                                                    /*reach=*/1);
+       }},
   };
   return kTable;
 }

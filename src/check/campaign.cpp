@@ -199,6 +199,26 @@ json::Value CampaignReport::to_json() const {
     root["pool"] = json::Value(std::move(pool));
   }
 
+  // Paper-line coverage: union across every cell, with the uncovered site
+  // names listed so a shrinking grid shows up as a concrete diff, not just
+  // a smaller count.
+  {
+    cov::Bitmap united;
+    for (const auto& r : results) united.merge(r.coverage);
+    json::Object coverage;
+    coverage["sites_total"] = json::Value(std::uint64_t{cov::kSiteCount});
+    coverage["sites_covered"] = json::Value(std::uint64_t{united.count()});
+    json::Array uncovered;
+    for (std::size_t i = 0; i < cov::kSiteCount; ++i) {
+      if (!united.test(static_cast<cov::Site>(i))) {
+        uncovered.push_back(
+            json::Value(std::string(cov::site_name(static_cast<cov::Site>(i)))));
+      }
+    }
+    coverage["uncovered"] = json::Value(std::move(uncovered));
+    root["coverage"] = json::Value(std::move(coverage));
+  }
+
   // Word-complexity percentiles per protocol x adversary group, normalized
   // by n*(f+1) so the Table 1 envelope is directly readable from the
   // report ("norm_max" stays below the campaign's C on passing runs in the
@@ -277,6 +297,9 @@ CampaignReport run_campaign(
       // worker's lifetime, so a scoped delta is what attributes allocations
       // to *this* cell in a multi-cell campaign.
       const pool::StatsScope pool_scope;
+      // Per-cell coverage: same scoping discipline — sites hit while this
+      // cell runs land in this scope only, never in a sibling worker's.
+      const cov::CoverageScope cov_scope;
       const RunRecord record = run_cell(cells[i], run_opts);
       CellResult& result = report.results[i];
       result.cell = cells[i];
@@ -284,6 +307,7 @@ CampaignReport run_campaign(
       const pool::Stats pool_delta = pool_scope.delta();
       result.pool_reused = pool_delta.reused;
       result.pool_fresh = pool_delta.fresh;
+      result.coverage = cov_scope.bitmap();
       result.words_correct = record.meter.words_correct;
       result.f_observed = record.f();
       result.any_fallback = record.any_fallback;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "check/checkers.hpp"
+#include "check/coverage.hpp"
 #include "check/json.hpp"
 #include "check/record.hpp"
 
@@ -60,6 +61,9 @@ struct CellResult {
   /// pool::StatsScope delta, not the worker thread's lifetime totals).
   std::uint64_t pool_reused = 0;
   std::uint64_t pool_fresh = 0;
+  /// Paper-line coverage of this cell alone (a per-cell cov::CoverageScope,
+  /// same no-bleed discipline as the pool stats).
+  cov::Bitmap coverage;
 
   [[nodiscard]] bool passed() const { return violations.empty(); }
 };

@@ -1,0 +1,81 @@
+// Schedule mutators for coverage-guided fuzzing: small, structure-aware
+// edits of a CellSpec (the complete replay token of one run). The fuzz loop
+// in mewc_vopr draws a base and a donor entry from its corpus, applies one
+// seeded operator, and keeps the mutant iff its run reaches a coverage site
+// (src/check/coverage.hpp) no prior run reached.
+//
+// Every operator preserves cell validity (t >= 1, n >= 2t+1, f <= t, a
+// registry adversary name), so a mutant is always runnable; determinism
+// comes from drawing all randomness from one explicit Rng.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "check/record.hpp"
+#include "common/rng.hpp"
+
+namespace mewc::check {
+
+// The operator catalogue, one X() per mutator (order is the fallback-scan
+// order when a drawn operator is inapplicable to the base cell).
+#define MEWC_MUTATOR_LIST(X)                                            \
+  X(adversary_swap) /* corruption-strategy flip from the registry */    \
+  X(protocol_swap)  /* same schedule pressure on a sibling protocol */  \
+  X(f_up)           /* one more corruption (clamped to t) */            \
+  X(f_down)         /* one fewer corruption */                          \
+  X(t_up)           /* neighbor system: t+1, n keeps its 2t+1 margin */ \
+  X(t_down)                                                             \
+  X(n_widen)        /* n+2 toward the 2t+1+max_extra_n rim */           \
+  X(n_narrow)       /* n-2 toward the 2t+1 floor */                     \
+  X(seed_fresh)     /* new small schedule seed */                       \
+  X(splice_donor)   /* graft adversary / seed / f from the donor */     \
+  X(value_tweak)    /* new base input value */                          \
+  X(codec_toggle)   /* wire round-trip on/off */                        \
+  X(backend_toggle) /* sim <-> shamir threshold backend */
+
+enum class Mutator : std::uint8_t {
+#define MEWC_MUTATOR_ENUM(name) name,
+  MEWC_MUTATOR_LIST(MEWC_MUTATOR_ENUM)
+#undef MEWC_MUTATOR_ENUM
+};
+
+inline constexpr std::size_t kMutatorCount = [] {
+  std::size_t n = 0;
+#define MEWC_MUTATOR_COUNT(name) ++n;
+  MEWC_MUTATOR_LIST(MEWC_MUTATOR_COUNT)
+#undef MEWC_MUTATOR_COUNT
+  return n;
+}();
+
+/// Stable operator name (the X-macro identifier), for fuzz reports.
+[[nodiscard]] std::string_view mutator_name(Mutator m);
+
+/// Bounds on the explored configuration space. The defaults match the
+/// campaign grids: systems up to t = 5, n up to 2t+9, small seeds so the
+/// shrinker has room to move.
+struct MutationLimits {
+  std::uint32_t max_t = 5;
+  std::uint32_t max_extra_n = 8;  // n <= 2t+1 + max_extra_n
+  std::uint64_t max_fresh_seed = std::uint64_t{1} << 16;
+  std::uint64_t max_value = 8;
+};
+
+/// Applies one operator to `base`, drawing all randomness from `rng` and
+/// splice material from `donor` (another corpus entry; may equal base).
+/// When the drawn operator cannot apply (e.g. f_down at f = 0), the next
+/// applicable one in catalogue order is used instead, so every call
+/// produces exactly one mutant. `*used` reports the operator applied.
+[[nodiscard]] CellSpec mutate(const CellSpec& base, const CellSpec& donor,
+                              Rng& rng, Mutator* used,
+                              const MutationLimits& limits = {});
+
+/// Deterministic seed corpus: every protocol x every registry adversary x
+/// f in {0, 1, t} at the minimal system n = 2t+1. The fuzzer starts here
+/// and mutates outward.
+[[nodiscard]] std::vector<CellSpec> fuzz_seed_corpus(std::uint32_t t = 2,
+                                                     std::uint64_t value = 7,
+                                                     std::uint64_t seed = 1);
+
+}  // namespace mewc::check

@@ -68,6 +68,29 @@ std::vector<Violation> violations_of(const CellSpec& cell,
   return run_checkers(run_cell(cell, run_opts), opts);
 }
 
+CellShrink shrink_cell(const CellSpec& start,
+                       const std::function<bool(const CellSpec&)>& keep,
+                       std::uint32_t max_runs) {
+  CellShrink result;
+  result.minimal = start;
+
+  bool progressed = true;
+  while (progressed && result.runs < max_runs) {
+    progressed = false;
+    for (const CellSpec& candidate : candidates(result.minimal)) {
+      if (result.runs >= max_runs) break;
+      ++result.runs;
+      if (keep(candidate)) {
+        result.minimal = candidate;
+        ++result.steps;
+        progressed = true;
+        break;  // restart from the reduced cell
+      }
+    }
+  }
+  return result;
+}
+
 ShrinkResult shrink_failure(const CellSpec& failing,
                             const CheckerOptions& opts,
                             const ShrinkOptions& shrink) {
@@ -80,20 +103,15 @@ ShrinkResult shrink_failure(const CellSpec& failing,
   result.runs = 1;
   if (result.checker.empty()) return result;  // not actually failing
 
-  bool progressed = true;
-  while (progressed && result.runs < shrink.max_runs) {
-    progressed = false;
-    for (const CellSpec& candidate : candidates(result.minimal)) {
-      if (result.runs >= shrink.max_runs) break;
-      ++result.runs;
-      if (fails_same(candidate, opts, result.checker)) {
-        result.minimal = candidate;
-        ++result.steps;
-        progressed = true;
-        break;  // restart from the reduced cell
-      }
-    }
-  }
+  const auto keep = [&](const CellSpec& candidate) {
+    return fails_same(candidate, opts, result.checker);
+  };
+  const std::uint32_t budget =
+      shrink.max_runs > result.runs ? shrink.max_runs - result.runs : 0;
+  const CellShrink inner = shrink_cell(failing, keep, budget);
+  result.minimal = inner.minimal;
+  result.runs += inner.runs;
+  result.steps = inner.steps;
   return result;
 }
 

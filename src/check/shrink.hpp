@@ -6,6 +6,7 @@
 // determines the run).
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "check/campaign.hpp"
@@ -35,6 +36,22 @@ struct ShrinkResult {
 [[nodiscard]] ShrinkResult shrink_failure(const CellSpec& failing,
                                           const CheckerOptions& opts,
                                           const ShrinkOptions& shrink = {});
+
+/// Outcome of a predicate-based shrink.
+struct CellShrink {
+  CellSpec minimal;
+  std::uint32_t runs = 0;   // candidate evaluations spent
+  std::uint32_t steps = 0;  // accepted shrink steps
+};
+
+/// Generalized greedy shrink over the same candidate moves: accepts any
+/// candidate for which `keep` holds. shrink_failure is this with "still
+/// fails the same checker"; the fuzzer's corpus minimization uses "still
+/// covers the entry's novel sites". `keep` must be deterministic; `start`
+/// is assumed to satisfy it.
+[[nodiscard]] CellShrink shrink_cell(
+    const CellSpec& start, const std::function<bool(const CellSpec&)>& keep,
+    std::uint32_t max_runs = 96);
 
 /// Replay file: the minimal cell, the checker options, and the expected
 /// violations, as JSON.

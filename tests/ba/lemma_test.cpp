@@ -4,9 +4,14 @@
 // inputs). Lemma numbers follow the arXiv v2 text.
 #include <gtest/gtest.h>
 
+#include <numeric>
+#include <set>
+
 #include "ba/adversaries/adversaries.hpp"
 #include "ba/harness.hpp"
 #include "ba/weak_ba/weak_ba.hpp"
+#include "check/runner.hpp"
+#include "common/rng.hpp"
 
 namespace mewc {
 namespace {
@@ -117,6 +122,138 @@ TEST(LemmaSuite, Lemma15_AtMostOneFinalizeCertificateEver) {
     EXPECT_TRUE(res.agreement()) << recipients;
     EXPECT_EQ(res.decision().value, Value(50)) << recipients;
   }
+}
+
+TEST(LemmaSuite, Lemma15_AnyTwoCommitQuorumCertificatesShareTplus1Signers) {
+  // The arithmetic heart of Lemma 15: two sets of ⌈(n+t+1)/2⌉ signers
+  // intersect in at least t+1 processes, hence at least one correct one —
+  // which is why two conflicting finalize certificates can never both form.
+  // Checked three ways across the grid n = 2t+1 … 2t+9: the pigeonhole
+  // worst case, real certificates combined from the two extremal subsets,
+  // and randomized quorum subsets.
+  for (std::uint32_t t = 1; t <= 6; ++t) {
+    for (std::uint32_t n = 2 * t + 1; n <= 2 * t + 9; ++n) {
+      const std::uint32_t q = commit_quorum(n, t);
+      // Worst-case overlap of any two q-subsets of n is 2q - n.
+      ASSERT_GE(2 * q, n);
+      EXPECT_GE(2 * q - n, t + 1) << "n=" << n << " t=" << t;
+    }
+  }
+
+  // Constructive: the two maximally-disjoint quorums, as actual threshold
+  // certificates over the same digest. Both must combine (they are real
+  // quorums), a sub-quorum must not, and their signer intersection is
+  // exactly the pigeonhole bound.
+  for (std::uint32_t t : {2u, 3u}) {
+    for (std::uint32_t n : {2 * t + 1, 2 * t + 4, 2 * t + 9}) {
+      ThresholdFamily family(n, t);
+      const std::uint32_t q = commit_quorum(n, t);
+      const Digest digest =
+          wba::finalize_digest(/*instance=*/9, /*phase=*/1, Digest{0xabc});
+      const auto cert_from = [&](std::uint32_t first, std::uint32_t count)
+          -> std::optional<ThresholdSig> {
+        std::vector<PartialSig> parts;
+        for (std::uint32_t p = first; p < first + count; ++p) {
+          parts.push_back(family.scheme(q)
+                              .issue_share(static_cast<ProcessId>(p))
+                              .partial_sign(digest));
+        }
+        return family.scheme(q).combine(parts);
+      };
+      const auto low = cert_from(0, q);        // signers {0 .. q-1}
+      const auto high = cert_from(n - q, q);   // signers {n-q .. n-1}
+      ASSERT_TRUE(low.has_value()) << "n=" << n << " t=" << t;
+      ASSERT_TRUE(high.has_value()) << "n=" << n << " t=" << t;
+      EXPECT_TRUE(family.scheme(q).verify(*low));
+      EXPECT_TRUE(family.scheme(q).verify(*high));
+      // Overlap of {0..q-1} and {n-q..n-1} is 2q - n: even the extremal
+      // pair shares t+1 signers.
+      EXPECT_GE(2 * q - n, t + 1) << "n=" << n << " t=" << t;
+      // One signer short of a quorum must not certify.
+      EXPECT_FALSE(cert_from(0, q - 1).has_value()) << "n=" << n;
+    }
+  }
+
+  // Randomized quorum subsets: no draw can dodge the intersection bound.
+  Rng rng(0x15ec7);
+  for (std::uint32_t t : {2u, 4u}) {
+    for (std::uint32_t n = 2 * t + 1; n <= 2 * t + 9; ++n) {
+      const std::uint32_t q = commit_quorum(n, t);
+      const auto quorum_subset = [&] {
+        std::vector<std::uint32_t> ids(n);
+        std::iota(ids.begin(), ids.end(), 0u);
+        for (std::uint32_t i = 0; i < q; ++i) {
+          std::swap(ids[i], ids[i + rng.below(n - i)]);
+        }
+        return std::set<std::uint32_t>(ids.begin(), ids.begin() + q);
+      };
+      for (int trial = 0; trial < 25; ++trial) {
+        const auto a = quorum_subset();
+        const auto b = quorum_subset();
+        std::uint32_t common = 0;
+        for (const std::uint32_t id : a) common += b.count(id);
+        EXPECT_GE(common, t + 1) << "n=" << n << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(LemmaSuite, Lemma15_RecordedStreamsCarryAtMostOneFinalizeCertificate) {
+  // Lemma 15 end to end, over recorded campaign streams: in every run,
+  // every finalize-shaped certificate a correct process ever puts on the
+  // wire — in <finalized>, in <help> replies, or attached to <fallback>
+  // announcements — certifies one single (phase, value). The adversaries
+  // below are the ones that mint, withhold, split and leak certificates.
+  constexpr std::uint32_t kN = 7, kT = 3;
+  constexpr std::uint64_t kInstance = 1;  // run_cell's harness default
+  std::size_t runs_with_finalize = 0;
+  for (const char* adversary : {"none", "crash", "cert-split", "poison-help",
+                                "covert-spam", "help-spam"}) {
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+      check::CellSpec cell;
+      cell.protocol = check::Protocol::kWeakBa;
+      cell.n = kN;
+      cell.t = kT;
+      cell.f = kT;
+      cell.adversary = adversary;
+      cell.seed = seed;
+      const auto record = check::run_cell(cell, {});
+
+      std::set<std::uint64_t> finalize_digests;
+      std::set<std::uint64_t> finalized_values;
+      const auto note = [&](const ThresholdSig& qc, std::uint64_t phase,
+                            const WireValue& v) {
+        // A finalize certificate is a commit-quorum signature on the
+        // finalize digest of its claimed (phase, value); anything else
+        // (commit QCs, fallback QCs, garbage) does not qualify.
+        if (qc.k != commit_quorum(kN, kT)) return;
+        if (qc.digest !=
+            wba::finalize_digest(kInstance, phase, v.content_digest())) {
+          return;
+        }
+        finalize_digests.insert(qc.digest.bits);
+        finalized_values.insert(v.content_digest().bits);
+      };
+      for (const auto& m : record.log.messages) {
+        if (!m.correct) continue;  // Byzantine bytes need not be coherent
+        if (const auto* fz = payload_cast<wba::FinalizedMsg>(m.body)) {
+          note(fz->qc, fz->phase, fz->value);
+        } else if (const auto* h = payload_cast<wba::HelpMsg>(m.body)) {
+          note(h->decide_proof, h->proof_phase, h->value);
+        } else if (const auto* fb = payload_cast<wba::FallbackMsg>(m.body)) {
+          if (fb->has_decision) note(fb->decide_proof, fb->proof_phase,
+                                     fb->value);
+        }
+      }
+      EXPECT_LE(finalize_digests.size(), 1u)
+          << adversary << " seed " << seed;
+      EXPECT_LE(finalized_values.size(), 1u)
+          << adversary << " seed " << seed;
+      runs_with_finalize += finalize_digests.size();
+    }
+  }
+  // Non-vacuity: the happy paths finalize out loud.
+  EXPECT_GT(runs_with_finalize, 0u);
 }
 
 TEST(LemmaSuite, Lemma15_TwoPhaseConflictCannotDoubleFinalize) {

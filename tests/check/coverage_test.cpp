@@ -1,0 +1,249 @@
+// The coverage map is part of the determinism contract: a CellSpec fully
+// determines its run, so it fully determines which paper-line sites the run
+// reaches. These tests pin that — identical cells give identical bitmaps,
+// scopes never bleed across threads (the property the campaign workers and
+// the fuzzer lean on), and a known happy-path BB run covers exactly the
+// sites the paper's fast path predicts, no more.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/adversary_registry.hpp"
+#include "check/coverage.hpp"
+#include "check/mutator.hpp"
+#include "check/runner.hpp"
+
+namespace mewc::check {
+namespace {
+
+cov::CoverageMap covered_map(const CellSpec& cell) {
+  const cov::CoverageScope scope;
+  (void)run_cell(cell, {});
+  return scope.map();
+}
+
+std::set<std::string> covered_names(const cov::Bitmap& bm) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < cov::kSiteCount; ++i) {
+    const auto site = static_cast<cov::Site>(i);
+    if (bm.test(site)) names.insert(std::string(cov::site_name(site)));
+  }
+  return names;
+}
+
+TEST(CoverageSites, NamesAndIndicesRoundTrip) {
+  for (std::size_t i = 0; i < cov::kSiteCount; ++i) {
+    const auto site = static_cast<cov::Site>(i);
+    const std::string_view name = cov::site_name(site);
+    EXPECT_FALSE(name.empty());
+    EXPECT_EQ(cov::site_index_of(name), i) << name;
+  }
+  EXPECT_EQ(cov::site_index_of("no_such_site"), cov::kSiteCount);
+  EXPECT_EQ(cov::site_index_of(""), cov::kSiteCount);
+}
+
+TEST(CoverageSites, HitWithoutScopeIsANoOp) {
+  // The protocol modules run outside any scope in production; the macro
+  // must be inert there (this is the zero-cost-when-disabled contract).
+  MEWC_COV(alg1_line2_sender_broadcast);
+  const cov::CoverageScope scope;
+  EXPECT_EQ(scope.map().total_hits(), 0u);
+}
+
+TEST(CoverageSites, ScopesNestAndRestore) {
+  const cov::CoverageScope outer;
+  MEWC_COV(alg1_line2_sender_broadcast);
+  {
+    const cov::CoverageScope inner;
+    MEWC_COV(alg1_line13_decide_bottom);
+    EXPECT_EQ(inner.map().count(cov::Site::alg1_line13_decide_bottom), 1u);
+    EXPECT_EQ(inner.map().count(cov::Site::alg1_line2_sender_broadcast), 0u);
+  }
+  MEWC_COV(alg1_line2_sender_broadcast);
+  EXPECT_EQ(outer.map().count(cov::Site::alg1_line2_sender_broadcast), 2u);
+  EXPECT_EQ(outer.map().count(cov::Site::alg1_line13_decide_bottom), 0u);
+}
+
+TEST(CoverageBitmap, MergeMinusCoversCount) {
+  cov::Bitmap a;
+  a.set(cov::Site::alg1_line2_sender_broadcast);
+  a.set(cov::Site::afb_accept);
+  cov::Bitmap b;
+  b.set(cov::Site::afb_accept);
+  b.set(cov::Site::afb_relay);
+
+  cov::Bitmap merged = a;
+  EXPECT_TRUE(merged.merge(b));  // afb_relay is new
+  EXPECT_EQ(merged.count(), 3u);
+  EXPECT_FALSE(merged.merge(b));  // nothing new the second time
+
+  const cov::Bitmap novel = b.minus(a);
+  EXPECT_EQ(novel.count(), 1u);
+  EXPECT_TRUE(novel.test(cov::Site::afb_relay));
+
+  EXPECT_TRUE(merged.covers(a));
+  EXPECT_TRUE(merged.covers(b));
+  EXPECT_FALSE(a.covers(b));
+  EXPECT_TRUE(a.any());
+  EXPECT_FALSE(cov::Bitmap{}.any());
+}
+
+TEST(CoverageDeterminism, SameCellProducesIdenticalMaps) {
+  for (const Protocol proto : all_protocols()) {
+    CellSpec cell;
+    cell.protocol = proto;
+    cell.n = 5;
+    cell.t = 2;
+    cell.f = 2;
+    cell.adversary = "fuzz-crash";
+    cell.seed = 0xc0feULL;
+    const cov::CoverageMap first = covered_map(cell);
+    const cov::CoverageMap second = covered_map(cell);
+    EXPECT_EQ(first, second) << protocol_name(proto);
+    EXPECT_GT(first.total_hits(), 0u) << protocol_name(proto);
+  }
+}
+
+TEST(CoverageScoping, ParallelWorkersDoNotBleed) {
+  // One worker per protocol, all running concurrently under their own
+  // scope: each must observe exactly what its own solo run observes —
+  // the same no-bleed discipline pool::StatsScope guarantees.
+  const std::vector<Protocol> protos = all_protocols();
+  std::vector<cov::CoverageMap> parallel_maps(protos.size());
+  std::vector<cov::CoverageMap> solo_maps(protos.size());
+
+  const auto cell_for = [](Protocol proto) {
+    CellSpec cell;
+    cell.protocol = proto;
+    cell.n = 5;
+    cell.t = 2;
+    cell.f = 1;
+    cell.adversary = "crash";
+    cell.seed = 7;
+    return cell;
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(protos.size());
+  for (std::size_t i = 0; i < protos.size(); ++i) {
+    workers.emplace_back([&, i] {
+      parallel_maps[i] = covered_map(cell_for(protos[i]));
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (std::size_t i = 0; i < protos.size(); ++i) {
+    solo_maps[i] = covered_map(cell_for(protos[i]));
+  }
+  for (std::size_t i = 0; i < protos.size(); ++i) {
+    EXPECT_EQ(parallel_maps[i], solo_maps[i]) << protocol_name(protos[i]);
+  }
+}
+
+TEST(CoverageKnownPath, HappyPathBbCoversExactlyTheFastPathSites) {
+  // f = 0 BB: the sender signs and broadcasts, everyone adopts, the weak-BA
+  // phases decide in one pass, the help round stays silent, and nothing is
+  // ever rejected. The exact site set is the paper's fast path; a diff here
+  // means a protocol change moved the happy path and this pin must be
+  // reviewed, not silenced.
+  CellSpec cell;
+  cell.protocol = Protocol::kBb;
+  cell.n = 5;
+  cell.t = 2;
+  cell.f = 0;
+  cell.adversary = "none";
+  cell.seed = 1;
+  const std::set<std::string> expected = {
+      "alg1_line2_sender_broadcast",
+      "alg1_line4_adopt_sender_value",
+      "alg1_line9_enter_weak_ba",
+      "alg1_line11_decide_signed",
+      "alg2_line15_silent_phase",
+      "bbvalid_signed_accept",
+      "alg4_line31_propose",
+      "alg4_line31_silent_decided",
+      "alg4_line34_vote_scheduled",
+      "alg4_line38_vote_collected",
+      "alg4_line41_leader_fresh_qc",
+      "alg4_line43_adopt_commit",
+      "alg4_line49_decide_collected",
+      "alg4_line50_finalize",
+      "alg4_line53_decide_finalize",
+      "alg3_line5_silent_decided",
+  };
+  EXPECT_EQ(covered_names(cov::to_bitmap(covered_map(cell))), expected);
+}
+
+TEST(Mutators, EveryMutantIsAValidCell) {
+  // Whatever sequence of operators fires, the mutant must stay runnable:
+  // t >= 1, n >= 2t+1, f <= t, a registry adversary, within the limits.
+  const MutationLimits limits;
+  Rng rng(42);
+  std::vector<CellSpec> corpus = fuzz_seed_corpus();
+  ASSERT_FALSE(corpus.empty());
+  for (int i = 0; i < 2000; ++i) {
+    const CellSpec& base = corpus[rng.below(corpus.size())];
+    const CellSpec& donor = corpus[rng.below(corpus.size())];
+    Mutator used{};
+    CellSpec mutant = mutate(base, donor, rng, &used, limits);
+    ASSERT_GE(mutant.t, 1u);
+    ASSERT_LE(mutant.t, limits.max_t);
+    ASSERT_GE(mutant.n, 2 * mutant.t + 1);
+    ASSERT_LE(mutant.n, 2 * mutant.t + 1 + limits.max_extra_n);
+    ASSERT_LE(mutant.f, mutant.t);
+    AdversaryParams params;
+    params.protocol = mutant.protocol;
+    params.n = mutant.n;
+    params.t = mutant.t;
+    params.f = mutant.f;
+    params.seed = mutant.seed;
+    params.value = mutant.value;
+    ASSERT_NE(make_adversary(mutant.adversary, params), nullptr)
+        << mutant.adversary;
+    ASSERT_LT(static_cast<std::size_t>(used), kMutatorCount);
+    corpus.push_back(std::move(mutant));  // mutate mutants too
+  }
+}
+
+TEST(Mutators, SameRngStreamProducesSameMutants) {
+  const std::vector<CellSpec> corpus = fuzz_seed_corpus();
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 200; ++i) {
+    const CellSpec& base = corpus[a.below(corpus.size())];
+    (void)b.below(corpus.size());
+    const CellSpec& donor = corpus[a.below(corpus.size())];
+    (void)b.below(corpus.size());
+    Mutator used_a{};
+    Mutator used_b{};
+    const CellSpec ma = mutate(base, donor, a, &used_a);
+    const CellSpec mb = mutate(base, donor, b, &used_b);
+    EXPECT_EQ(used_a, used_b);
+    EXPECT_EQ(ma.label(), mb.label());
+  }
+}
+
+TEST(Mutators, SeedCorpusSweepsProtocolsAdversariesAndBudgets) {
+  const std::vector<CellSpec> corpus = fuzz_seed_corpus(2, 7, 1);
+  std::set<std::string> advs;
+  std::set<Protocol> protos;
+  std::set<std::uint32_t> fs;
+  std::set<std::uint64_t> seeds;
+  for (const CellSpec& cell : corpus) {
+    advs.insert(cell.adversary);
+    protos.insert(cell.protocol);
+    fs.insert(cell.f);
+    seeds.insert(cell.seed);
+    EXPECT_EQ(cell.n, 5u);
+    EXPECT_EQ(cell.t, 2u);
+  }
+  EXPECT_EQ(advs.size(), adversary_names().size());
+  EXPECT_EQ(protos.size(), all_protocols().size());
+  EXPECT_EQ(fs, (std::set<std::uint32_t>{0, 1, 2}));
+  EXPECT_EQ(seeds, (std::set<std::uint64_t>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace mewc::check

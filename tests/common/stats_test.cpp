@@ -69,5 +69,89 @@ TEST(Stats, PowerLawLinearData) {
   EXPECT_NEAR(f.slope, 1.0, 1e-9);
 }
 
+// ---------------------------------------------------------------------------
+// Degenerate inputs. The contract is two-sided: inputs a fit cannot be
+// computed from must abort loudly (MEWC_CHECK, not a quiet NaN), and every
+// input that passes the checks must produce finite numbers — the experiment
+// gates compare these against thresholds, and a NaN passes no comparison,
+// silently disabling the gate.
+// ---------------------------------------------------------------------------
+
+TEST(StatsDegenerate, SinglePointSummaryIsExactAndFinite) {
+  const double xs[] = {-3.25};
+  const auto s = stats::summarize(xs);
+  EXPECT_DOUBLE_EQ(s.min, -3.25);
+  EXPECT_DOUBLE_EQ(s.max, -3.25);
+  EXPECT_DOUBLE_EQ(s.mean, -3.25);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(StatsDegenerate, EmptySummaryAborts) {
+  EXPECT_DEATH((void)stats::summarize({}), "MEWC_CHECK failed");
+}
+
+TEST(StatsDegenerate, UnderdeterminedFitsAbort) {
+  const double one[] = {1.0};
+  // A line needs two points; a single point (or nothing) must refuse.
+  EXPECT_DEATH((void)stats::fit_linear(one, one), "MEWC_CHECK failed");
+  EXPECT_DEATH((void)stats::fit_linear({}, {}), "MEWC_CHECK failed");
+  EXPECT_DEATH((void)stats::fit_power_law(one, one), "MEWC_CHECK failed");
+}
+
+TEST(StatsDegenerate, MismatchedLengthsAbort) {
+  const double xs[] = {1.0, 2.0, 3.0};
+  const double ys[] = {1.0, 2.0};
+  EXPECT_DEATH((void)stats::fit_linear(xs, ys), "MEWC_CHECK failed");
+}
+
+TEST(StatsDegenerate, ConstantXsAbortInsteadOfDividingByZero) {
+  // All xs equal makes the normal-equation denominator exactly zero; the
+  // slope is undefined and the fit must abort, never return inf/NaN.
+  const double xs[] = {4.0, 4.0, 4.0};
+  const double ys[] = {1.0, 2.0, 3.0};
+  EXPECT_DEATH((void)stats::fit_linear(xs, ys), "degenerate x values");
+}
+
+TEST(StatsDegenerate, NonPositivePowerLawInputsAbort) {
+  const double ok[] = {1.0, 2.0};
+  const double zero[] = {0.0, 2.0};
+  const double negative[] = {-1.0, 2.0};
+  EXPECT_DEATH((void)stats::fit_power_law(zero, ok), "needs positives");
+  EXPECT_DEATH((void)stats::fit_power_law(ok, negative), "needs positives");
+}
+
+TEST(StatsDegenerate, TwoPointFitIsExactAndFinite) {
+  // The minimal accepted input: the fit is the interpolating line, r2 = 1.
+  const double xs[] = {1.0, 3.0};
+  const double ys[] = {5.0, 9.0};
+  const auto f = stats::fit_linear(xs, ys);
+  EXPECT_DOUBLE_EQ(f.slope, 2.0);
+  EXPECT_DOUBLE_EQ(f.intercept, 3.0);
+  EXPECT_DOUBLE_EQ(f.r2, 1.0);
+}
+
+TEST(StatsDegenerate, LegalExtremesStayFinite) {
+  // Wide dynamic range and nearly-degenerate (but distinct) xs are legal;
+  // every returned field must still be a finite double.
+  const double xs[] = {1e-9, 1e-9 + 1e-12, 2e-9, 1.0};
+  const double ys[] = {1e9, 2e9, -1e9, 0.0};
+  const auto f = stats::fit_linear(xs, ys);
+  EXPECT_TRUE(std::isfinite(f.slope));
+  EXPECT_TRUE(std::isfinite(f.intercept));
+  EXPECT_TRUE(std::isfinite(f.r2));
+
+  const auto s = stats::summarize(ys);
+  EXPECT_TRUE(std::isfinite(s.mean));
+  EXPECT_TRUE(std::isfinite(s.stddev));
+  EXPECT_DOUBLE_EQ(s.min, -1e9);
+  EXPECT_DOUBLE_EQ(s.max, 2e9);
+
+  const double px[] = {1e-6, 1e6};
+  const double py[] = {1e6, 1e-6};
+  const auto p = stats::fit_power_law(px, py);
+  EXPECT_TRUE(std::isfinite(p.slope));
+  EXPECT_NEAR(p.slope, -1.0, 1e-9);
+}
+
 }  // namespace
 }  // namespace mewc

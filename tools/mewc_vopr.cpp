@@ -12,20 +12,41 @@
 // verdicts against the recorded expectation, and render the space-time
 // diagram of the failing run.
 //
+// Fuzz mode: coverage-guided schedule fuzzing. Starting from a seed corpus
+// (every protocol x registry adversary x f in {0,1,t}), mutate corpus cells
+// (src/check/mutator.hpp) and keep any mutant whose run reaches a paper-line
+// coverage site (src/check/coverage.hpp) no prior run reached. Mutants are
+// derived sequentially from one seeded Rng and evaluated in fixed-size
+// generations with results merged in index order, so the whole loop —
+// corpus, coverage bitmap, report — is bit-for-bit deterministic regardless
+// of --jobs. Corpus entries are minimized through the shrinker and written
+// as replay files; a violation is shrunk exactly like a campaign failure.
+//
 // Usage:
 //   mewc_vopr --grid FILE [--jobs N] [--report FILE] [--cells]
 //             [--no-shrink] [--replay-out FILE] [--word-budget-c C]
 //             [--max-shrink-runs N]
+//   mewc_vopr --fuzz --budget N [--seed S] [--jobs N] [--corpus DIR]
+//             [--fuzz-report FILE] [--min-sites K] [--require-site NAME]...
+//             [--no-shrink] [--replay-out FILE] [--word-budget-c C]
 //   mewc_vopr --replay FILE [--no-trace]
 //   mewc_vopr --list
 //
-// Exit codes: 0 all invariants hold, 1 violations found, 2 usage/IO error.
+// Exit codes: 0 all invariants hold (and fuzz gates met), 1 violations or
+// missed coverage gate, 2 usage/IO error.
+#include <algorithm>
+#include <array>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <thread>
 
 #include "check/adversary_registry.hpp"
 #include "check/campaign.hpp"
+#include "check/coverage.hpp"
+#include "check/mutator.hpp"
 #include "check/runner.hpp"
 #include "check/shrink.hpp"
 #include "sim/trace.hpp"
@@ -46,6 +67,14 @@ struct Options {
   bool trace = true;
   std::optional<std::uint64_t> word_budget_c;
   std::uint32_t max_shrink_runs = 96;
+  // Fuzz mode.
+  bool fuzz = false;
+  std::uint64_t budget = 0;
+  std::uint64_t fuzz_seed = 1;
+  std::string corpus_dir;
+  std::string fuzz_report_path;
+  std::uint64_t min_sites = 0;
+  std::vector<std::string> require_sites;
 };
 
 [[noreturn]] void usage_and_exit(const char* self) {
@@ -54,11 +83,13 @@ struct Options {
       "usage: %s --grid FILE [--jobs N] [--report FILE] [--cells]\n"
       "          [--no-shrink] [--replay-out FILE] [--word-budget-c C]\n"
       "          [--max-shrink-runs N]\n"
+      "       %s --fuzz --budget N [--seed S] [--jobs N] [--corpus DIR]\n"
+      "          [--fuzz-report FILE] [--min-sites K] [--require-site NAME]\n"
       "       %s --replay FILE [--no-trace]\n"
       "       %s --list\n"
       "protocols:   %s\n"
       "adversaries: %s\n",
-      self, self, self, check::protocol_names_joined().c_str(),
+      self, self, self, self, check::protocol_names_joined().c_str(),
       check::adversary_names_joined().c_str());
   std::exit(2);
 }
@@ -96,14 +127,33 @@ Options parse(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--max-shrink-runs")) {
       o.max_shrink_runs =
           static_cast<std::uint32_t>(std::strtoul(need(), nullptr, 0));
+    } else if (!std::strcmp(argv[i], "--fuzz")) {
+      o.fuzz = true;
+    } else if (!std::strcmp(argv[i], "--budget")) {
+      o.budget = std::strtoull(need(), nullptr, 0);
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      o.fuzz_seed = std::strtoull(need(), nullptr, 0);
+    } else if (!std::strcmp(argv[i], "--corpus")) {
+      o.corpus_dir = need();
+    } else if (!std::strcmp(argv[i], "--fuzz-report")) {
+      o.fuzz_report_path = need();
+    } else if (!std::strcmp(argv[i], "--min-sites")) {
+      o.min_sites = std::strtoull(need(), nullptr, 0);
+    } else if (!std::strcmp(argv[i], "--require-site")) {
+      o.require_sites.emplace_back(need());
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       usage_and_exit(argv[0]);
     }
   }
   const int modes = (!o.grid_path.empty() ? 1 : 0) +
-                    (!o.replay_path.empty() ? 1 : 0) + (o.list ? 1 : 0);
+                    (!o.replay_path.empty() ? 1 : 0) + (o.list ? 1 : 0) +
+                    (o.fuzz ? 1 : 0);
   if (modes != 1) usage_and_exit(argv[0]);
+  if (o.fuzz && o.budget == 0) {
+    std::fprintf(stderr, "--fuzz needs --budget N >= 1\n");
+    usage_and_exit(argv[0]);
+  }
   return o;
 }
 
@@ -212,6 +262,348 @@ int run_campaign_mode(const Options& o) {
   return 1;
 }
 
+/// One fuzz execution's observable outcome.
+struct FuzzEval {
+  cov::Bitmap coverage;
+  std::vector<check::Violation> violations;
+};
+
+/// Runs every cell of a generation across worker threads. Each run gets its
+/// own CoverageScope (thread-scoped, so workers never bleed into each
+/// other); results land at their cell's index, so the caller's index-order
+/// merge is independent of scheduling and of --jobs.
+std::vector<FuzzEval> evaluate_generation(
+    const std::vector<check::CellSpec>& batch,
+    const check::CheckerOptions& checkers, unsigned jobs) {
+  std::vector<FuzzEval> evals(batch.size());
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= batch.size()) return;
+      const cov::CoverageScope scope;
+      const check::RunRecord record = check::run_cell(batch[i], {});
+      evals[i].violations = check::run_checkers(record, checkers);
+      evals[i].coverage = scope.bitmap();
+    }
+  };
+  unsigned threads = jobs != 0 ? jobs : std::thread::hardware_concurrency();
+  threads = std::max(
+      1u, std::min<unsigned>(threads, static_cast<unsigned>(batch.size())));
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  return evals;
+}
+
+/// A kept corpus entry: the cell plus the coverage bits it alone
+/// contributed when admitted (its reason to exist; minimization preserves
+/// exactly these).
+struct CorpusEntry {
+  check::CellSpec cell;
+  cov::Bitmap novel;
+};
+
+/// Existing corpus entries under dir (entry-*.json, sorted by name) as
+/// extra seed cells, so a persistent corpus carries coverage across runs.
+std::vector<check::CellSpec> load_corpus(const std::string& dir) {
+  std::vector<check::CellSpec> cells;
+  std::error_code ec;
+  if (dir.empty() || !std::filesystem::is_directory(dir, ec)) return cells;
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("entry-", 0) == 0 &&
+        entry.path().extension() == ".json") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const std::string& path : paths) {
+    check::Replay replay;
+    std::string error;
+    if (check::Replay::load(path, &replay, &error)) {
+      cells.push_back(replay.cell);
+    } else {
+      std::fprintf(stderr, "skipping corpus entry %s: %s\n", path.c_str(),
+                   error.c_str());
+    }
+  }
+  return cells;
+}
+
+bool save_corpus(const std::string& dir,
+                 const std::vector<CorpusEntry>& corpus,
+                 const check::CheckerOptions& checkers) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create corpus dir %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return false;
+  }
+  // Drop stale entries so the directory mirrors this run exactly.
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("entry-", 0) == 0 && entry.path().extension() == ".json") {
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    char name[32];
+    std::snprintf(name, sizeof name, "entry-%04zu.json", i);
+    check::Replay replay;
+    replay.cell = corpus[i].cell;
+    replay.checkers = checkers;
+    // expected stays empty: corpus entries replay clean by construction.
+    if (!replay.save((std::filesystem::path(dir) / name).string())) {
+      std::fprintf(stderr, "cannot write corpus entry %s/%s\n", dir.c_str(),
+                   name);
+      return false;
+    }
+  }
+  return true;
+}
+
+int run_fuzz_mode(const Options& o) {
+  check::CheckerOptions checkers;
+  if (o.word_budget_c) checkers.word_budget_c = *o.word_budget_c;
+
+  // Vet --require-site names before spending any budget.
+  cov::Bitmap required;
+  for (const std::string& name : o.require_sites) {
+    const std::size_t idx = cov::site_index_of(name);
+    if (idx == cov::kSiteCount) {
+      std::fprintf(stderr, "unknown coverage site: %s\n", name.c_str());
+      return 2;
+    }
+    required.set(static_cast<cov::Site>(idx));
+  }
+
+  std::vector<CorpusEntry> corpus;
+  cov::Bitmap global;
+  std::uint64_t execs = 0;
+  std::uint64_t new_coverage_events = 0;
+  std::uint64_t generations = 0;
+  std::uint64_t failures = 0;
+  std::array<std::uint64_t, check::kMutatorCount> applied{};
+  std::array<std::uint64_t, check::kMutatorCount> kept{};
+  std::optional<check::CellSpec> first_failure;
+  std::vector<check::Violation> first_violations;
+
+  // Index-order merge of one generation: deterministic growth decisions
+  // regardless of which worker finished first.
+  const auto absorb = [&](const std::vector<check::CellSpec>& batch,
+                          const std::vector<FuzzEval>& evals,
+                          const std::vector<std::size_t>* ops) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ++execs;
+      if (!evals[i].violations.empty()) {
+        ++failures;
+        if (!first_failure) {
+          first_failure = batch[i];
+          first_violations = evals[i].violations;
+        }
+        continue;
+      }
+      const cov::Bitmap novel = evals[i].coverage.minus(global);
+      if (!novel.any()) continue;
+      global.merge(evals[i].coverage);
+      corpus.push_back({batch[i], novel});
+      ++new_coverage_events;
+      if (ops != nullptr) ++kept[(*ops)[i]];
+    }
+  };
+
+  // Seed phase: persisted corpus entries first (carrying coverage across
+  // runs), then the built-in sweep.
+  std::vector<check::CellSpec> seeds = load_corpus(o.corpus_dir);
+  const std::size_t persisted = seeds.size();
+  for (auto& cell : check::fuzz_seed_corpus(2, 7, o.fuzz_seed)) {
+    seeds.push_back(std::move(cell));
+  }
+  if (seeds.size() > o.budget) seeds.resize(o.budget);
+  std::printf("fuzz: seed %llu, budget %llu, %zu seed cells (%zu persisted)\n",
+              static_cast<unsigned long long>(o.fuzz_seed),
+              static_cast<unsigned long long>(o.budget), seeds.size(),
+              persisted);
+  absorb(seeds, evaluate_generation(seeds, checkers, o.jobs), nullptr);
+
+  // Mutation phase: fixed-size generations; each generation's mutants are
+  // derived sequentially from the one master Rng, then run in parallel.
+  constexpr std::size_t kGeneration = 64;
+  Rng rng(hash_combine(o.fuzz_seed, 0xf0220c07e2a6eULL));
+  const check::MutationLimits limits;
+  while (execs < o.budget && failures == 0 && !corpus.empty()) {
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kGeneration, o.budget - execs));
+    std::vector<check::CellSpec> batch;
+    std::vector<std::size_t> ops;
+    batch.reserve(want);
+    ops.reserve(want);
+    for (std::size_t i = 0; i < want; ++i) {
+      const check::CellSpec& base = corpus[rng.below(corpus.size())].cell;
+      const check::CellSpec& donor = corpus[rng.below(corpus.size())].cell;
+      check::Mutator used{};
+      batch.push_back(check::mutate(base, donor, rng, &used, limits));
+      const auto op = static_cast<std::size_t>(used);
+      ops.push_back(op);
+      ++applied[op];
+    }
+    absorb(batch, evaluate_generation(batch, checkers, o.jobs), &ops);
+    ++generations;
+  }
+
+  // Corpus minimization: shrink every entry while it still (a) replays
+  // clean and (b) covers the novel sites that justified keeping it.
+  std::uint64_t shrink_runs = 0;
+  if (o.shrink && failures == 0) {
+    for (CorpusEntry& entry : corpus) {
+      const auto still_novel = [&](const check::CellSpec& c) {
+        const cov::CoverageScope scope;
+        const check::RunRecord record = check::run_cell(c, {});
+        if (!check::run_checkers(record, checkers).empty()) return false;
+        return scope.bitmap().covers(entry.novel);
+      };
+      const check::CellShrink shrunk =
+          check::shrink_cell(entry.cell, still_novel, /*max_runs=*/24);
+      shrink_runs += shrunk.runs;
+      entry.cell = shrunk.minimal;
+    }
+  }
+
+  const std::size_t covered = global.count();
+  std::printf(
+      "fuzz: %llu execs, %llu generations, corpus %zu, "
+      "%llu new-coverage events, %zu/%zu sites covered\n",
+      static_cast<unsigned long long>(execs),
+      static_cast<unsigned long long>(generations), corpus.size(),
+      static_cast<unsigned long long>(new_coverage_events), covered,
+      cov::kSiteCount);
+  std::printf("uncovered sites:");
+  for (std::size_t i = 0; i < cov::kSiteCount; ++i) {
+    const auto site = static_cast<cov::Site>(i);
+    if (!global.test(site)) {
+      std::printf(" %s", std::string(cov::site_name(site)).c_str());
+    }
+  }
+  std::printf("%s\n", covered == cov::kSiteCount ? " (none)" : "");
+
+  if (!o.corpus_dir.empty() &&
+      !save_corpus(o.corpus_dir, corpus, checkers)) {
+    return 2;
+  }
+
+  if (!o.fuzz_report_path.empty()) {
+    check::json::Object root;
+    root["mewc_fuzz"] = check::json::Value(1);
+    root["seed"] = check::json::Value(o.fuzz_seed);
+    root["budget"] = check::json::Value(o.budget);
+    root["execs"] = check::json::Value(execs);
+    root["generations"] = check::json::Value(generations);
+    root["failures"] = check::json::Value(failures);
+    root["corpus_size"] = check::json::Value(std::uint64_t{corpus.size()});
+    root["new_coverage_events"] = check::json::Value(new_coverage_events);
+    root["shrink_runs"] = check::json::Value(shrink_runs);
+    root["sites_total"] = check::json::Value(std::uint64_t{cov::kSiteCount});
+    root["sites_covered"] = check::json::Value(std::uint64_t{covered});
+    check::json::Array covered_json;
+    check::json::Array uncovered_json;
+    for (std::size_t i = 0; i < cov::kSiteCount; ++i) {
+      const auto site = static_cast<cov::Site>(i);
+      auto& dst = global.test(site) ? covered_json : uncovered_json;
+      dst.push_back(check::json::Value(std::string(cov::site_name(site))));
+    }
+    root["covered"] = check::json::Value(std::move(covered_json));
+    root["uncovered"] = check::json::Value(std::move(uncovered_json));
+    check::json::Object mutators;
+    for (std::size_t i = 0; i < check::kMutatorCount; ++i) {
+      check::json::Object m;
+      m["applied"] = check::json::Value(applied[i]);
+      m["kept"] = check::json::Value(kept[i]);
+      mutators[std::string(
+          check::mutator_name(static_cast<check::Mutator>(i)))] =
+          check::json::Value(std::move(m));
+    }
+    root["mutators"] = check::json::Value(std::move(mutators));
+    check::json::Array corpus_json;
+    for (const CorpusEntry& entry : corpus) {
+      check::json::Object e;
+      e["cell"] = check::json::Value(entry.cell.label());
+      check::json::Array novel_json;
+      for (std::size_t i = 0; i < cov::kSiteCount; ++i) {
+        const auto site = static_cast<cov::Site>(i);
+        if (entry.novel.test(site)) {
+          novel_json.push_back(
+              check::json::Value(std::string(cov::site_name(site))));
+        }
+      }
+      e["novel"] = check::json::Value(std::move(novel_json));
+      corpus_json.push_back(check::json::Value(std::move(e)));
+    }
+    root["corpus"] = check::json::Value(std::move(corpus_json));
+    if (!check::json::write_file(o.fuzz_report_path,
+                                 check::json::Value(std::move(root)))) {
+      std::fprintf(stderr, "cannot write fuzz report %s\n",
+                   o.fuzz_report_path.c_str());
+      return 2;
+    }
+    std::printf("fuzz report written to %s\n", o.fuzz_report_path.c_str());
+  }
+
+  if (first_failure) {
+    std::printf("\nFAIL %s\n", first_failure->label().c_str());
+    print_violations(first_violations);
+    if (o.shrink) {
+      check::ShrinkOptions shrink_opts;
+      shrink_opts.max_runs = o.max_shrink_runs;
+      const auto shrunk =
+          check::shrink_failure(*first_failure, checkers, shrink_opts);
+      std::printf("minimal failing cell (%u runs, %u steps): %s\n",
+                  shrunk.runs, shrunk.steps, shrunk.minimal.label().c_str());
+      check::Replay replay;
+      replay.cell = shrunk.minimal;
+      replay.checkers = checkers;
+      replay.expected = check::violations_of(shrunk.minimal, checkers);
+      print_violations(replay.expected);
+      if (replay.save(o.replay_out)) {
+        std::printf("replay written to %s (mewc_vopr --replay %s)\n",
+                    o.replay_out.c_str(), o.replay_out.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write replay %s\n",
+                     o.replay_out.c_str());
+      }
+      if (o.trace) render_cell_trace(shrunk.minimal);
+    }
+    return 1;
+  }
+
+  bool gate_missed = false;
+  if (o.min_sites > 0 && covered < o.min_sites) {
+    std::printf("FAIL coverage floor: %zu sites covered < required %llu\n",
+                covered, static_cast<unsigned long long>(o.min_sites));
+    gate_missed = true;
+  }
+  if (!global.covers(required)) {
+    const cov::Bitmap missing = required.minus(global);
+    std::printf("FAIL required sites not covered:");
+    for (std::size_t i = 0; i < cov::kSiteCount; ++i) {
+      const auto site = static_cast<cov::Site>(i);
+      if (missing.test(site)) {
+        std::printf(" %s", std::string(cov::site_name(site)).c_str());
+      }
+    }
+    std::printf("\n");
+    gate_missed = true;
+  }
+  return gate_missed ? 1 : 0;
+}
+
 int run_replay_mode(const Options& o) {
   std::string error;
   check::Replay replay;
@@ -263,6 +655,7 @@ int run_list_mode() {
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
   if (o.list) return run_list_mode();
+  if (o.fuzz) return run_fuzz_mode(o);
   if (!o.replay_path.empty()) return run_replay_mode(o);
   return run_campaign_mode(o);
 }
