@@ -1,0 +1,248 @@
+// SMR throughput bench: drives the pipelined multi-instance engine across
+// worker counts and (n, f) points, and emits machine-readable
+// BENCH_smr_throughput.json so CI can track the amortized-cost story —
+// instances/sec scaling with workers, and words/instance growing with f the
+// way Table 1's O(n(f+1)) bound says it should.
+//
+// Two gates are enforced here (exit non-zero on violation):
+//  - determinism: the ledger digest, checkpoint count, and merged-meter
+//    fingerprint must be bit-identical across every worker count;
+//  - health: every failure-free sweep must commit all slots with agreement.
+// The >= 3x speedup acceptance target at 8 workers is reported in the JSON
+// (speedup_vs_1_worker) for CI hardware to assert; a single-core host runs
+// the same sweep and still checks determinism, so the gate degrades to the
+// part that is machine-independent.
+//
+//   bench_smr_throughput [--slots K] [--out BENCH_smr_throughput.json]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/adversary_registry.hpp"
+#include "check/json.hpp"
+#include "common/hash.hpp"
+#include "smr/engine.hpp"
+
+namespace mewc::bench {
+namespace {
+
+namespace json = check::json;
+using Clock = std::chrono::steady_clock;
+
+/// JSON numbers are doubles, so 64-bit digests are emitted as hex strings.
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Order-sensitive fingerprint of everything a merged meter reports, so
+/// "bit-identical meters" is one number CI can diff.
+std::uint64_t meter_fingerprint(const Meter& m) {
+  std::uint64_t h = mix64(0x5a17e4);
+  h = hash_combine(h, m.words_correct);
+  h = hash_combine(h, m.messages_correct);
+  h = hash_combine(h, m.words_byzantine);
+  h = hash_combine(h, m.messages_byzantine);
+  h = hash_combine(h, m.logical_sigs_correct);
+  for (const std::uint64_t w : m.words_by_process) h = hash_combine(h, w);
+  for (const std::uint64_t w : m.words_by_round) h = hash_combine(h, w);
+  for (const auto& [kind, words] : m.words_by_kind()) {
+    for (const char c : kind) {
+      h = hash_combine(h, static_cast<std::uint64_t>(c));
+    }
+    h = hash_combine(h, words);
+  }
+  return h;
+}
+
+struct SweepResult {
+  std::uint32_t workers = 0;
+  double seconds = 0;
+  std::uint64_t digest = 0;
+  std::uint64_t meter_print = 0;
+  std::uint64_t total_words = 0;
+  std::size_t checkpoints = 0;
+  smr::EngineStats stats;
+};
+
+SweepResult run_sweep(const smr::EngineConfig& config, std::uint64_t slots,
+                      const smr::Ledger::AdversaryFactory& adversary) {
+  SweepResult res;
+  res.workers = config.workers;
+  const Clock::time_point start = Clock::now();
+  smr::Engine engine(config);
+  for (std::uint64_t s = 0; s < slots; ++s) {
+    engine.submit(Value(100 + s), adversary);
+  }
+  engine.finish();
+  res.seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  res.digest = engine.ledger().ledger_digest();
+  res.meter_print = meter_fingerprint(engine.meter());
+  res.total_words = engine.ledger().total_words();
+  res.checkpoints = engine.ledger().checkpoints().size();
+  res.stats = engine.stats();
+  return res;
+}
+
+json::Value sweep_json(const SweepResult& r, double base_seconds,
+                       std::uint64_t slots) {
+  json::Object o;
+  o["workers"] = r.workers;
+  o["seconds"] = r.seconds;
+  o["instances_per_sec"] =
+      r.seconds > 0 ? static_cast<double>(slots) / r.seconds : 0.0;
+  o["speedup_vs_1_worker"] = r.seconds > 0 ? base_seconds / r.seconds : 0.0;
+  o["ledger_digest"] = hex64(r.digest);
+  o["meter_fingerprint"] = hex64(r.meter_print);
+  o["total_words"] = r.total_words;
+  o["checkpoints"] = r.checkpoints;
+  o["setup_cache_hits"] = r.stats.setup_cache_hits;
+  o["setup_cache_misses"] = r.stats.setup_cache_misses;
+  o["max_reorder_depth"] = r.stats.max_reorder_depth;
+  o["backpressure_waits"] = r.stats.backpressure_waits;
+  return o;
+}
+
+int run(int argc, char** argv) {
+  std::uint64_t slots = 96;
+  std::string out_path = "BENCH_smr_throughput.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--slots" && i + 1 < argc) {
+      slots = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--slots K] [--out FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  bool ok = true;
+  json::Object root;
+  root["schema"] = "mewc.bench.smr_throughput.v1";
+  root["hardware_threads"] = std::thread::hardware_concurrency();
+
+  // -------------------------------------------------------------------------
+  // Section 1: worker sweep at n = 9, f = 0 — the acceptance point. The
+  // workload is identical per worker count, so digest + meter fingerprint
+  // must not move.
+  smr::EngineConfig config;
+  config.n = 9;
+  config.t = 4;
+  config.checkpoint_every = 8;
+  {
+    json::Object section;
+    section["n"] = config.n;
+    section["t"] = config.t;
+    section["f"] = 0;
+    section["slots"] = slots;
+    section["checkpoint_every"] = config.checkpoint_every;
+
+    json::Array points;
+    SweepResult base;
+    bool identical = true;
+    for (const std::uint32_t workers : {1u, 2u, 4u, 8u}) {
+      config.workers = workers;
+      const SweepResult r = run_sweep(config, slots, nullptr);
+      if (workers == 1) {
+        base = r;
+      } else if (r.digest != base.digest ||
+                 r.meter_print != base.meter_print ||
+                 r.checkpoints != base.checkpoints) {
+        identical = false;
+      }
+      std::fprintf(stderr,
+                   "workers=%u  %.2fs  %.0f inst/s  digest=%016llx  "
+                   "cache=%llu/%llu\n",
+                   workers, r.seconds,
+                   r.seconds > 0 ? static_cast<double>(slots) / r.seconds : 0.0,
+                   static_cast<unsigned long long>(r.digest),
+                   static_cast<unsigned long long>(r.stats.setup_cache_hits),
+                   static_cast<unsigned long long>(r.stats.setup_cache_misses));
+      points.push_back(sweep_json(r, base.seconds, slots));
+    }
+    section["points"] = std::move(points);
+    section["identical_across_workers"] = identical;
+    root["worker_sweep"] = std::move(section);
+    if (!identical) {
+      std::fprintf(stderr,
+                   "FAIL: ledger/meter differ across worker counts\n");
+      ok = false;
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // Section 2: (n, f) sweep — amortized words/instance. Crash-faulty slots
+  // are the paper's adaptivity story: cost scales with the faults that
+  // actually show up, not with t.
+  {
+    json::Array points;
+    struct Point {
+      std::uint32_t n, t, f;
+    };
+    for (const Point p : {Point{5, 2, 0}, Point{5, 2, 1}, Point{5, 2, 2},
+                          Point{9, 4, 0}, Point{9, 4, 2}, Point{9, 4, 4}}) {
+      smr::EngineConfig c;
+      c.n = p.n;
+      c.t = p.t;
+      c.workers = 2;
+      c.checkpoint_every = 8;
+      smr::Ledger::AdversaryFactory adversary;
+      if (p.f > 0) {
+        adversary = [p, &c](std::uint64_t slot, ProcessId sender) {
+          check::AdversaryParams params;
+          params.protocol = check::Protocol::kBb;
+          params.n = p.n;
+          params.t = p.t;
+          params.f = p.f;
+          params.instance = 1000 + 2 * slot;
+          params.seed = c.seed;
+          params.sender = sender;
+          return check::make_adversary("crash", params);
+        };
+      }
+      const SweepResult r = run_sweep(c, slots, adversary);
+      json::Object o;
+      o["n"] = p.n;
+      o["t"] = p.t;
+      o["f"] = p.f;
+      o["adversary"] = p.f > 0 ? "crash" : "none";
+      o["slots"] = slots;
+      o["total_words"] = r.total_words;
+      o["words_per_instance"] =
+          static_cast<double>(r.total_words) / static_cast<double>(slots);
+      o["fallbacks"] = r.stats.fallbacks;
+      o["skipped"] = r.stats.skipped;
+      o["ledger_digest"] = hex64(r.digest);
+      std::fprintf(stderr,
+                   "n=%u t=%u f=%u  %.1f words/instance  "
+                   "(%llu fallbacks, %llu skipped)\n",
+                   p.n, p.t, p.f,
+                   static_cast<double>(r.total_words) /
+                       static_cast<double>(slots),
+                   static_cast<unsigned long long>(r.stats.fallbacks),
+                   static_cast<unsigned long long>(r.stats.skipped));
+      points.push_back(json::Value(std::move(o)));
+    }
+    root["nf_sweep"] = std::move(points);
+  }
+
+  if (!check::json::write_file(out_path, json::Value(std::move(root)))) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace mewc::bench
+
+int main(int argc, char** argv) { return mewc::bench::run(argc, argv); }

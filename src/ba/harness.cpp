@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ba/fallback/fallback_process.hpp"
 #include "ba/vector/interactive_consistency.hpp"
 #include "wire/codec.hpp"
 
@@ -9,12 +10,23 @@ namespace mewc::harness {
 
 namespace {
 
-/// Shared run skeleton: builds the setup, processes via `make`, runs
-/// `rounds`, and extracts per-process results via `collect`.
+/// Shared run skeleton: builds (or fetches) the setup, processes via
+/// `make`, runs `rounds`, and extracts per-process results via `collect`.
 template <typename Proc, typename Result, typename MakeFn, typename CollectFn>
 Result run_protocol(const RunSpec& spec, Round rounds, Adversary& adversary,
                     MakeFn make, CollectFn collect) {
-  ThresholdFamily family(spec.n, spec.t, spec.backend, spec.seed);
+  std::optional<ThresholdFamily> owned;
+  ThresholdFamily* fam = nullptr;
+  if (spec.setup_cache != nullptr) {
+    fam = &spec.setup_cache->family(spec.n, spec.t, spec.backend, spec.seed);
+    // Cached families accumulate issuance across runs; per-run signature
+    // counts must match a fresh family's, so start every run from zero.
+    fam->pki().reset_signature_counters();
+  } else {
+    owned.emplace(spec.n, spec.t, spec.backend, spec.seed);
+    fam = &*owned;
+  }
+  ThresholdFamily& family = *fam;
 
   std::vector<KeyBundle> bundles;
   bundles.reserve(spec.n);
@@ -65,8 +77,330 @@ bool stats_all_decided(const std::vector<std::optional<Stats>>& stats) {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// SetupCache + RunSpec
+// ---------------------------------------------------------------------------
+
+ThresholdFamily& SetupCache::family(std::uint32_t n, std::uint32_t t,
+                                    ThresholdBackend backend,
+                                    std::uint64_t seed) {
+  const Key key{n, t, static_cast<int>(backend), seed};
+  auto it = families_.find(key);
+  if (it != families_.end()) {
+    ++hits_;
+    return *it->second;
+  }
+  ++misses_;
+  auto family = std::make_unique<ThresholdFamily>(n, t, backend, seed);
+  return *families_.emplace(key, std::move(family)).first->second;
+}
+
+RunSpec RunSpec::checked(std::uint32_t n, std::uint32_t t) {
+  MEWC_CHECK_MSG(n >= 2 * t + 1, "RunSpec requires n >= 2t+1");
+  RunSpec s;
+  s.n = n;
+  s.t = t;
+  return s;
+}
+
+std::string RunSpec::describe() const {
+  std::string s = "n=" + std::to_string(n) + " t=" + std::to_string(t) +
+                  " seed=" + std::to_string(seed);
+  if (backend == ThresholdBackend::kShamir) s += " backend=shamir";
+  if (codec_roundtrip) s += " roundtrip";
+  return s;
+}
+
 bool RunOutcome::is_corrupted(ProcessId p) const {
   return std::find(corrupted.begin(), corrupted.end(), p) != corrupted.end();
+}
+
+// ---------------------------------------------------------------------------
+// RunReport
+// ---------------------------------------------------------------------------
+
+bool RunReport::all_decided() const {
+  if (!vectors.empty()) {
+    for (ProcessId p = 0; p < vectors.size(); ++p) {
+      if (!is_corrupted(p) && !vectors[p].has_value()) return false;
+    }
+    return true;
+  }
+  for (ProcessId p = 0; p < decided.size(); ++p) {
+    if (!is_corrupted(p) && !decided[p]) return false;
+  }
+  return true;
+}
+
+bool RunReport::agreement() const {
+  if (!vectors.empty()) {
+    const std::vector<Value>* seen = nullptr;
+    for (const auto& v : vectors) {
+      if (!v) continue;
+      if (seen == nullptr) {
+        seen = &*v;
+      } else if (*seen != *v) {
+        return false;
+      }
+    }
+    return true;
+  }
+  std::optional<WireValue> seen;
+  for (ProcessId p = 0; p < decisions.size(); ++p) {
+    if (is_corrupted(p)) continue;
+    if (!seen) {
+      seen = decisions[p];
+    } else if (!(*seen == decisions[p])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+WireValue RunReport::decision() const {
+  for (ProcessId p = 0; p < decisions.size(); ++p) {
+    if (!is_corrupted(p)) return decisions[p];
+  }
+  return bottom_value();
+}
+
+std::vector<Value> RunReport::vector() const {
+  for (const auto& v : vectors) {
+    if (v) return *v;
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
+
+std::vector<WireValue> ProtocolDriver::prepare(std::uint32_t n,
+                                               Value base) const {
+  Value v = base;
+  if (traits().binary_values && !v.is_bottom() && v.raw > 1) v = Value(1);
+  return std::vector<WireValue>(n, WireValue::plain(v));
+}
+
+namespace {
+
+void fill_common(RunReport& r, const RunOutcome& o, const char* name,
+                 std::uint32_t n) {
+  r.protocol = name;
+  r.meter = o.meter;
+  r.corrupted = o.corrupted;
+  r.signatures_issued = o.signatures_issued;
+  r.rounds = o.rounds;
+  r.decided.assign(n, false);
+  r.decisions.assign(n, bottom_value());
+}
+
+class BbDriver final : public ProtocolDriver {
+ public:
+  const char* name() const override { return "bb"; }
+  DriverTraits traits() const override {
+    // BB vetting phase j occupies rounds 3(j-1)+2 .. 3(j-1)+4; the killer
+    // strikes ahead of the leader-value round (matching the tools' long-
+    // standing geometry).
+    DriverTraits tr;
+    tr.single_sender = true;
+    tr.phase_first = 4;
+    tr.phase_len = 3;
+    return tr;
+  }
+  Round total_rounds(std::uint32_t n, std::uint32_t t) const override {
+    return bb::BbProcess::total_rounds(n, t);
+  }
+  Round help_round(std::uint32_t n) const override {
+    // BB embeds a weak BA starting after dissemination + n vetting phases.
+    return 1 + 3 * n + 5 * n + 1;
+  }
+  RunReport run(const RunSpec& spec, const RunInputs& inputs,
+                Adversary& adversary) const override {
+    MEWC_CHECK_MSG(inputs.sender < spec.n, "bb needs a designated sender");
+    MEWC_CHECK(inputs.values.size() == spec.n);
+    const BbResult res = run_bb(spec, inputs.sender,
+                                inputs.values[inputs.sender].value, adversary);
+    RunReport r;
+    fill_common(r, res, name(), spec.n);
+    r.sender = res.sender;
+    for (ProcessId p = 0; p < spec.n; ++p) {
+      if (const auto& s = res.stats[p]) {
+        r.decided[p] = s->decided;
+        r.decisions[p] = WireValue::plain(s->decision);
+      }
+    }
+    r.any_fallback = res.any_fallback();
+    r.nonsilent_leaders = res.nonsilent_leaders();
+    return r;
+  }
+};
+
+class WbaDriver final : public ProtocolDriver {
+ public:
+  const char* name() const override { return "weak-ba"; }
+  DriverTraits traits() const override {
+    // Weak BA phase j occupies rounds 5(j-1)+1 .. 5j.
+    DriverTraits tr;
+    tr.phase_first = 3;
+    tr.phase_len = 5;
+    return tr;
+  }
+  Round total_rounds(std::uint32_t n, std::uint32_t t) const override {
+    return wba::WeakBaProcess::total_rounds(n, t);
+  }
+  Round help_round(std::uint32_t n) const override { return 5 * n + 1; }
+  RunReport run(const RunSpec& spec, const RunInputs& inputs,
+                Adversary& adversary) const override {
+    const PredicateFactory predicate =
+        inputs.predicate ? inputs.predicate : always_valid_factory();
+    const WbaResult res =
+        run_weak_ba(spec, inputs.values, predicate, adversary);
+    RunReport r;
+    fill_common(r, res, name(), spec.n);
+    for (ProcessId p = 0; p < spec.n; ++p) {
+      if (const auto& s = res.stats[p]) {
+        r.decided[p] = s->decided;
+        r.decisions[p] = s->decision;
+      }
+    }
+    r.any_fallback = res.any_fallback();
+    r.nonsilent_leaders = res.nonsilent_leaders();
+    r.help_reqs = res.help_reqs_sent();
+    return r;
+  }
+};
+
+class SbaDriver final : public ProtocolDriver {
+ public:
+  const char* name() const override { return "strong-ba"; }
+  DriverTraits traits() const override {
+    DriverTraits tr;
+    tr.binary_values = true;
+    return tr;
+  }
+  Round total_rounds(std::uint32_t, std::uint32_t t) const override {
+    return sba::StrongBaProcess::total_rounds(t);
+  }
+  RunReport run(const RunSpec& spec, const RunInputs& inputs,
+                Adversary& adversary) const override {
+    std::vector<Value> values;
+    values.reserve(inputs.values.size());
+    for (const auto& w : inputs.values) values.push_back(w.value);
+    const SbaResult res = run_strong_ba(spec, values, adversary);
+    RunReport r;
+    fill_common(r, res, name(), spec.n);
+    for (ProcessId p = 0; p < spec.n; ++p) {
+      if (const auto& s = res.stats[p]) {
+        r.decided[p] = s->decided;
+        r.decisions[p] = WireValue::plain(s->decision);
+      }
+    }
+    r.any_fallback = res.any_fallback();
+    r.all_fast = res.all_fast();
+    return r;
+  }
+};
+
+class FallbackDriver final : public ProtocolDriver {
+ public:
+  const char* name() const override { return "fallback"; }
+  DriverTraits traits() const override { return {}; }
+  Round total_rounds(std::uint32_t, std::uint32_t t) const override {
+    return fallback::FallbackBaProcess::total_rounds(t);
+  }
+  RunReport run(const RunSpec& spec, const RunInputs& inputs,
+                Adversary& adversary) const override {
+    const FallbackResult res = run_fallback_ba(spec, inputs.values, adversary);
+    RunReport r;
+    fill_common(r, res, name(), spec.n);
+    for (ProcessId p = 0; p < spec.n; ++p) {
+      if (const auto& d = res.decisions[p]) {
+        r.decided[p] = true;
+        r.decisions[p] = *d;
+      }
+    }
+    return r;
+  }
+};
+
+class DsBbDriver final : public ProtocolDriver {
+ public:
+  const char* name() const override { return "ds-bb"; }
+  DriverTraits traits() const override {
+    DriverTraits tr;
+    tr.single_sender = true;
+    return tr;
+  }
+  Round total_rounds(std::uint32_t, std::uint32_t t) const override {
+    return baseline::DolevStrongBbProcess::total_rounds(t);
+  }
+  RunReport run(const RunSpec& spec, const RunInputs& inputs,
+                Adversary& adversary) const override {
+    MEWC_CHECK_MSG(inputs.sender < spec.n, "ds-bb needs a designated sender");
+    MEWC_CHECK(inputs.values.size() == spec.n);
+    const DsBbResult res = run_ds_bb(
+        spec, inputs.sender, inputs.values[inputs.sender].value, adversary);
+    RunReport r;
+    fill_common(r, res, name(), spec.n);
+    r.sender = inputs.sender;
+    for (ProcessId p = 0; p < spec.n; ++p) {
+      if (const auto& d = res.decisions[p]) {
+        r.decided[p] = true;
+        r.decisions[p] = WireValue::plain(*d);
+      }
+    }
+    return r;
+  }
+};
+
+class IcDriver final : public ProtocolDriver {
+ public:
+  const char* name() const override { return "ic"; }
+  DriverTraits traits() const override {
+    DriverTraits tr;
+    tr.vector_output = true;
+    return tr;
+  }
+  Round total_rounds(std::uint32_t n, std::uint32_t t) const override {
+    return ic::InteractiveConsistencyProcess::total_rounds(n, t);
+  }
+  RunReport run(const RunSpec& spec, const RunInputs& inputs,
+                Adversary& adversary) const override {
+    std::vector<Value> values;
+    values.reserve(inputs.values.size());
+    for (const auto& w : inputs.values) values.push_back(w.value);
+    const IcResult res = run_ic(spec, values, adversary);
+    RunReport r;
+    fill_common(r, res, name(), spec.n);
+    r.vectors = res.vectors;
+    for (ProcessId p = 0; p < spec.n; ++p) {
+      r.decided[p] = res.vectors[p].has_value();
+    }
+    return r;
+  }
+};
+
+}  // namespace
+
+const std::vector<const ProtocolDriver*>& drivers() {
+  static const BbDriver bb_driver;
+  static const WbaDriver wba_driver;
+  static const SbaDriver sba_driver;
+  static const FallbackDriver fallback_driver;
+  static const DsBbDriver ds_bb_driver;
+  static const IcDriver ic_driver;
+  static const std::vector<const ProtocolDriver*> kAll = {
+      &bb_driver,      &wba_driver,   &sba_driver,
+      &fallback_driver, &ds_bb_driver, &ic_driver};
+  return kAll;
+}
+
+const ProtocolDriver* find_driver(std::string_view name) {
+  for (const ProtocolDriver* d : drivers()) {
+    if (name == d->name()) return d;
+  }
+  return nullptr;
 }
 
 // ---------------------------------------------------------------------------

@@ -1,11 +1,26 @@
-// One-call run harness: builds the trusted setup, the processes and the
-// executor for a protocol, runs the full round schedule against an
-// adversary, and collects decisions, stats and the word meter. Used by
-// tests, benches and examples alike.
+// One-call run harness: builds (or fetches from a SetupCache) the trusted
+// setup, the processes and the executor for a protocol, runs the full round
+// schedule against an adversary, and collects decisions, stats and the word
+// meter. Used by tests, benches, tools and the SMR engine alike.
+//
+// Two API layers live here:
+//
+//  * ProtocolDriver — the uniform entry point. One polymorphic driver per
+//    protocol (name-keyed registry), one RunInputs shape in, one RunReport
+//    shape out. All dispatch in tools/ and src/check/ goes through this.
+//  * run_bb / run_weak_ba / ... — the original per-protocol entry points
+//    with their per-protocol result structs. DEPRECATED: these remain as
+//    thin adapters for one release (the drivers are implemented on top of
+//    them, so behaviour is bit-identical); new code should resolve a
+//    driver via harness::find_driver / harness::drivers instead.
 #pragma once
 
 #include <functional>
+#include <map>
+#include <memory>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "ba/baseline/baselines.hpp"
@@ -15,6 +30,34 @@
 #include "sim/executor.hpp"
 
 namespace mewc::harness {
+
+/// Caches ThresholdFamily setups by (n, t, backend, seed) so threshold key
+/// generation is amortized across many runs — the SMR engine's workers run
+/// thousands of instances against a handful of system shapes. All key
+/// material is derived deterministically from the seed, so a cached family
+/// produces transcripts bit-identical to a fresh one; the harness resets
+/// the PKI signature counters at run start so per-run signature counts are
+/// identical too.
+///
+/// NOT thread-safe: one cache per worker thread (the Pki mutates signature
+/// counters on every sign), never shared across concurrent runs.
+class SetupCache {
+ public:
+  /// The cached family for this shape, constructing it on first use.
+  [[nodiscard]] ThresholdFamily& family(std::uint32_t n, std::uint32_t t,
+                                        ThresholdBackend backend,
+                                        std::uint64_t seed);
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::size_t size() const { return families_.size(); }
+
+ private:
+  using Key = std::tuple<std::uint32_t, std::uint32_t, int, std::uint64_t>;
+  std::map<Key, std::unique_ptr<ThresholdFamily>> families_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
 
 struct RunSpec {
   std::uint32_t n = 0;
@@ -26,6 +69,10 @@ struct RunSpec {
   /// codec (src/wire): proves the run does not depend on in-memory payload
   /// sharing. Off by default (it costs time, not behaviour).
   bool codec_roundtrip = false;
+  /// Reuse the trusted setup from this cache instead of regenerating it
+  /// (see SetupCache). Borrowed, may be nullptr; the caller keeps the cache
+  /// alive for the duration of the run.
+  SetupCache* setup_cache = nullptr;
   /// Optional observer of every link-crossing message (trace tooling).
   std::function<void(const Message&, bool correct)> recorder;
   /// Optional hook invoked once the trusted setup exists, before round 1.
@@ -34,22 +81,23 @@ struct RunSpec {
   /// crossing the wire against the real schemes through this.
   std::function<void(const ThresholdFamily&)> on_setup;
 
+  /// The single checked constructor both factories route through: every
+  /// RunSpec in the codebase satisfies n >= 2t+1 (paper Section 8; a larger
+  /// gap widens the adaptive regime).
+  [[nodiscard]] static RunSpec checked(std::uint32_t n, std::uint32_t t);
+
   [[nodiscard]] static RunSpec for_t(std::uint32_t t) {
-    RunSpec s;
-    s.t = t;
-    s.n = n_for_t(t);
-    return s;
+    return checked(n_for_t(t), t);
   }
 
-  /// General resilience n >= 2t+1 (paper Section 8: the protocols carry
-  /// over; a larger gap widens the adaptive regime).
   [[nodiscard]] static RunSpec with(std::uint32_t n, std::uint32_t t) {
-    MEWC_CHECK(n >= 2 * t + 1);
-    RunSpec s;
-    s.t = t;
-    s.n = n;
-    return s;
+    return checked(n, t);
   }
+
+  /// Canonical one-line description ("n=9 t=4 seed=1455", plus backend /
+  /// roundtrip markers when non-default) — the shared vocabulary for
+  /// campaign cell labels and bench JSON labels.
+  [[nodiscard]] std::string describe() const;
 };
 
 /// Fields common to every protocol run.
@@ -66,6 +114,118 @@ struct RunOutcome {
   }
   [[nodiscard]] bool is_corrupted(ProcessId p) const;
 };
+
+// ---------------------------------------------------------------------------
+// Unified driver API
+// ---------------------------------------------------------------------------
+
+/// Builds the predicate for a weak BA run once the trusted setup exists.
+using PredicateFactory = std::function<std::shared_ptr<const ValidityPredicate>(
+    const ThresholdFamily&, std::uint64_t instance)>;
+
+[[nodiscard]] PredicateFactory always_valid_factory();
+
+/// Uniform inputs for any protocol. `values[i]` is process i's proposal;
+/// single-sender protocols (BB, ds-BB) read only `values[sender]`. The
+/// predicate factory applies to external-validity protocols (weak BA) and
+/// defaults to always-valid when unset.
+struct RunInputs {
+  std::vector<WireValue> values;
+  ProcessId sender = kNoProcess;
+  PredicateFactory predicate;
+};
+
+/// Uniform outcome of any protocol run: the shared RunOutcome fields plus
+/// per-process decisions and the cross-protocol observables. Subsumes
+/// BbResult / WbaResult / SbaResult / FallbackResult / DsBbResult /
+/// IcResult; fields a protocol does not produce keep their defaults.
+struct RunReport : RunOutcome {
+  std::string protocol;           // driver name
+  ProcessId sender = kNoProcess;  // designated sender (single-sender only)
+  std::vector<bool> decided;      // per process; false for corrupted
+  std::vector<WireValue> decisions;  // bottom where !decided
+  /// Vector-consensus lane (interactive consistency): per-process agreed
+  /// vectors. Empty for scalar protocols.
+  std::vector<std::optional<std::vector<Value>>> vectors;
+  bool any_fallback = false;
+  bool all_fast = true;               // strong BA: everyone decided fast
+  std::uint32_t nonsilent_leaders = 0;  // rotating-phase protocols
+  std::uint32_t help_reqs = 0;          // weak BA help requests sent
+
+  /// Every correct process decided (vector protocols: holds a vector).
+  [[nodiscard]] bool all_decided() const;
+  /// All correct decisions (and vectors) agree.
+  [[nodiscard]] bool agreement() const;
+  /// The common decision; bottom when nobody decided.
+  [[nodiscard]] WireValue decision() const;
+  /// The common vector (vector protocols; empty otherwise).
+  [[nodiscard]] std::vector<Value> vector() const;
+};
+
+/// Static shape of a protocol, consumed by input derivation and the
+/// phase-geometry-aware adversaries. Mirrors what used to live in the
+/// per-protocol switch statements of src/check/protocols.cpp.
+struct DriverTraits {
+  /// One designated sender proposes; everyone else's input is ignored.
+  bool single_sender = false;
+  /// Inputs must be binary {0, 1} (strong BA, Algorithm 5).
+  bool binary_values = false;
+  /// Decisions are per-process vectors, not scalars (IC).
+  bool vector_output = false;
+  /// Rotating-leader phase structure, for the leader-killer adversary: the
+  /// round the first phase starts in and the phase length. (1, 1) for
+  /// protocols without rotating phases.
+  Round phase_first = 1;
+  Round phase_len = 1;
+};
+
+/// A protocol behind the uniform prepare/run/outcome surface. Stateless;
+/// one registered instance per protocol.
+class ProtocolDriver {
+ public:
+  virtual ~ProtocolDriver() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+  [[nodiscard]] virtual DriverTraits traits() const = 0;
+
+  /// Total rounds of the protocol's static schedule.
+  [[nodiscard]] virtual Round total_rounds(std::uint32_t n,
+                                           std::uint32_t t) const = 0;
+
+  /// Global round of the help exchange (0 when the protocol has none).
+  [[nodiscard]] virtual Round help_round(std::uint32_t n) const {
+    (void)n;
+    return 0;
+  }
+
+  /// Validates and normalizes inputs for this protocol (sizes them to n,
+  /// clamps binary-value protocols). The default fills missing values with
+  /// `base` and clamps when traits().binary_values.
+  [[nodiscard]] std::vector<WireValue> prepare(std::uint32_t n,
+                                               Value base) const;
+
+  /// Runs one instance and returns the uniform report.
+  [[nodiscard]] virtual RunReport run(const RunSpec& spec,
+                                      const RunInputs& inputs,
+                                      Adversary& adversary) const = 0;
+};
+
+/// The registered driver with this name, or nullptr. Names: "bb",
+/// "weak-ba", "strong-ba", "fallback", "ds-bb", "ic".
+[[nodiscard]] const ProtocolDriver* find_driver(std::string_view name);
+
+/// All registered drivers, in registration order.
+[[nodiscard]] const std::vector<const ProtocolDriver*>& drivers();
+
+// ---------------------------------------------------------------------------
+// Per-protocol adapters (DEPRECATED)
+//
+// The structs and run_* functions below predate the driver API. They are
+// kept as thin adapters for one release so existing callers keep compiling;
+// new code should go through find_driver()/drivers() and RunReport. The
+// drivers produce their RunReports from these, so both layers stay
+// bit-identical by construction.
+// ---------------------------------------------------------------------------
 
 struct BbResult : RunOutcome {
   ProcessId sender = kNoProcess;
@@ -122,12 +282,6 @@ struct IcResult : RunOutcome {
   [[nodiscard]] bool agreement() const;
   [[nodiscard]] std::vector<Value> vector() const;
 };
-
-/// Builds the predicate for a weak BA run once the trusted setup exists.
-using PredicateFactory = std::function<std::shared_ptr<const ValidityPredicate>(
-    const ThresholdFamily&, std::uint64_t instance)>;
-
-[[nodiscard]] PredicateFactory always_valid_factory();
 
 /// Byzantine Broadcast (Algorithms 1 + 2 over weak BA).
 [[nodiscard]] BbResult run_bb(const RunSpec& spec, ProcessId sender,

@@ -2,25 +2,30 @@
 
 #include <string>
 
-#include "ba/baseline/baselines.hpp"
-#include "ba/bb/bb.hpp"
-#include "ba/fallback/fallback_process.hpp"
-#include "ba/strong_ba/strong_ba.hpp"
-#include "ba/weak_ba/weak_ba.hpp"
+#include "ba/harness.hpp"
 #include "common/check.hpp"
 
 namespace mewc::check {
 
-const char* protocol_name(Protocol p) {
-  switch (p) {
-    case Protocol::kBb: return "bb";
-    case Protocol::kWeakBa: return "weak-ba";
-    case Protocol::kStrongBa: return "strong-ba";
-    case Protocol::kFallback: return "fallback";
-    case Protocol::kDsBb: return "ds-bb";
-  }
-  return "?";
+namespace {
+
+// Enum-indexed driver-name table. This is the single point tying the check
+// subsystem's dense Protocol enum (stable across campaign/replay files) to
+// the harness driver registry; everything else delegates to the driver.
+constexpr const char* kDriverNames[] = {"bb", "weak-ba", "strong-ba",
+                                        "fallback", "ds-bb"};
+
+}  // namespace
+
+const harness::ProtocolDriver& protocol_driver(Protocol p) {
+  const auto idx = static_cast<std::size_t>(p);
+  MEWC_CHECK(idx < std::size(kDriverNames));
+  const harness::ProtocolDriver* d = harness::find_driver(kDriverNames[idx]);
+  MEWC_CHECK_MSG(d != nullptr, "protocol missing from driver registry");
+  return *d;
 }
+
+const char* protocol_name(Protocol p) { return protocol_driver(p).name(); }
 
 std::optional<Protocol> parse_protocol(std::string_view name) {
   for (Protocol p : all_protocols()) {
@@ -46,37 +51,16 @@ std::string protocol_names_joined(std::string_view sep) {
 }
 
 Round protocol_rounds(Protocol p, std::uint32_t n, std::uint32_t t) {
-  switch (p) {
-    case Protocol::kBb: return bb::BbProcess::total_rounds(n, t);
-    case Protocol::kWeakBa: return wba::WeakBaProcess::total_rounds(n, t);
-    case Protocol::kStrongBa: return sba::StrongBaProcess::total_rounds(t);
-    case Protocol::kFallback:
-      return fallback::FallbackBaProcess::total_rounds(t);
-    case Protocol::kDsBb:
-      return baseline::DolevStrongBbProcess::total_rounds(t);
-  }
-  MEWC_CHECK_MSG(false, "unreachable protocol");
+  return protocol_driver(p).total_rounds(n, t);
 }
 
 PhaseGeometry protocol_phases(Protocol p) {
-  switch (p) {
-    // BB vetting phase j occupies rounds 3(j-1)+2 .. 3(j-1)+4; the killer
-    // strikes ahead of the leader-value round (matching the tools' long-
-    // standing geometry).
-    case Protocol::kBb: return {4, 3};
-    // Weak BA phase j occupies rounds 5(j-1)+1 .. 5j.
-    case Protocol::kWeakBa: return {3, 5};
-    default: return {1, 1};
-  }
+  const harness::DriverTraits tr = protocol_driver(p).traits();
+  return {tr.phase_first, tr.phase_len};
 }
 
 Round protocol_help_round(Protocol p, std::uint32_t n) {
-  switch (p) {
-    case Protocol::kWeakBa: return 5 * n + 1;
-    // BB embeds a weak BA starting after dissemination + n vetting phases.
-    case Protocol::kBb: return 1 + 3 * n + 5 * n + 1;
-    default: return 0;
-  }
+  return protocol_driver(p).help_round(n);
 }
 
 }  // namespace mewc::check

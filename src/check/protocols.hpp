@@ -10,6 +10,10 @@
 
 #include "common/types.hpp"
 
+namespace mewc::harness {
+class ProtocolDriver;
+}  // namespace mewc::harness
+
 namespace mewc::check {
 
 enum class Protocol {
@@ -40,5 +44,9 @@ struct PhaseGeometry {
 
 /// Global round of the weak-BA help exchange (0 when the protocol has none).
 [[nodiscard]] Round protocol_help_round(Protocol p, std::uint32_t n);
+
+/// The harness driver backing `p`. All protocol dispatch in the check
+/// subsystem and the CLI tools goes through this registry lookup.
+[[nodiscard]] const harness::ProtocolDriver& protocol_driver(Protocol p);
 
 }  // namespace mewc::check

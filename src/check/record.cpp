@@ -1,5 +1,6 @@
 #include "check/record.hpp"
 
+#include "ba/harness.hpp"
 #include "common/hash.hpp"
 #include "wire/codec.hpp"
 
@@ -37,12 +38,14 @@ Digest MessageLog::stream_digest() const {
 }
 
 std::string CellSpec::label() const {
+  // One label format everywhere: the RunSpec part comes from describe(), the
+  // adversarial part (f, adversary) is appended by the cell.
+  auto spec = harness::RunSpec::with(n, t);
+  spec.seed = seed;
+  spec.backend = backend;
+  spec.codec_roundtrip = codec_roundtrip;
   std::string s = protocol_name(protocol);
-  s += " n=" + std::to_string(n) + " t=" + std::to_string(t) +
-       " f=" + std::to_string(f) + " adv=" + adversary +
-       " seed=" + std::to_string(seed);
-  if (backend == ThresholdBackend::kShamir) s += " backend=shamir";
-  if (codec_roundtrip) s += " roundtrip";
+  s += " " + spec.describe() + " f=" + std::to_string(f) + " adv=" + adversary;
   return s;
 }
 

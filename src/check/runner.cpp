@@ -117,35 +117,31 @@ std::vector<bool> corrupted_mask(std::uint32_t n,
 }  // namespace
 
 std::vector<WireValue> derive_inputs(const CellSpec& cell) {
+  const harness::DriverTraits tr = protocol_driver(cell.protocol).traits();
   std::vector<WireValue> inputs;
   inputs.reserve(cell.n);
   Rng rng(hash_combine(cell.seed, 0x1497075a11ad0beeULL));
 
-  switch (cell.protocol) {
-    case Protocol::kBb:
-    case Protocol::kDsBb:
+  if (tr.single_sender) {
+    // Only the designated sender's input matters; keep everyone unanimous.
+    inputs.assign(cell.n, WireValue::plain(Value(cell.value)));
+  } else if (tr.binary_values) {
+    // Binary inputs; half the seeds unanimous, half independent coins.
+    if (rng.chance(1, 2)) {
+      inputs.assign(cell.n, WireValue::plain(Value(cell.value & 1)));
+    } else {
+      for (std::uint32_t i = 0; i < cell.n; ++i) {
+        inputs.push_back(WireValue::plain(Value(rng.below(2))));
+      }
+    }
+  } else {
+    if (rng.chance(1, 2)) {
       inputs.assign(cell.n, WireValue::plain(Value(cell.value)));
-      break;
-    case Protocol::kStrongBa:
-      // Binary inputs; half the seeds unanimous, half independent coins.
-      if (rng.chance(1, 2)) {
-        inputs.assign(cell.n, WireValue::plain(Value(cell.value & 1)));
-      } else {
-        for (std::uint32_t i = 0; i < cell.n; ++i) {
-          inputs.push_back(WireValue::plain(Value(rng.below(2))));
-        }
+    } else {
+      for (std::uint32_t i = 0; i < cell.n; ++i) {
+        inputs.push_back(WireValue::plain(Value(1 + rng.below(3))));
       }
-      break;
-    case Protocol::kWeakBa:
-    case Protocol::kFallback:
-      if (rng.chance(1, 2)) {
-        inputs.assign(cell.n, WireValue::plain(Value(cell.value)));
-      } else {
-        for (std::uint32_t i = 0; i < cell.n; ++i) {
-          inputs.push_back(WireValue::plain(Value(1 + rng.below(3))));
-        }
-      }
-      break;
+    }
   }
   return inputs;
 }
@@ -188,88 +184,21 @@ RunRecord run_cell(const CellSpec& cell, const RunOptions& opts) {
   auto adversary = make_adversary(cell.adversary, params);
   MEWC_CHECK_MSG(adversary != nullptr, "unknown adversary name");
 
-  record.decided.assign(cell.n, false);
-  record.decisions.assign(cell.n, bottom_value());
-
-  switch (cell.protocol) {
-    case Protocol::kBb: {
-      record.sender = sender;
-      const auto res = harness::run_bb(spec, sender,
-                                       record.inputs[sender].value, *adversary);
-      record.meter = res.meter;
-      record.rounds = res.rounds;
-      record.corrupted = corrupted_mask(cell.n, res.corrupted);
-      record.any_fallback = res.any_fallback();
-      for (ProcessId p = 0; p < cell.n; ++p) {
-        if (const auto& s = res.stats[p]) {
-          record.decided[p] = s->decided;
-          record.decisions[p] = WireValue::plain(s->decision);
-        }
-      }
-      break;
-    }
-    case Protocol::kWeakBa: {
-      const auto res = harness::run_weak_ba(
-          spec, record.inputs, harness::always_valid_factory(), *adversary);
-      record.meter = res.meter;
-      record.rounds = res.rounds;
-      record.corrupted = corrupted_mask(cell.n, res.corrupted);
-      record.any_fallback = res.any_fallback();
-      for (ProcessId p = 0; p < cell.n; ++p) {
-        if (const auto& s = res.stats[p]) {
-          record.decided[p] = s->decided;
-          record.decisions[p] = s->decision;
-        }
-      }
-      break;
-    }
-    case Protocol::kStrongBa: {
-      std::vector<Value> values;
-      values.reserve(cell.n);
-      for (const auto& w : record.inputs) values.push_back(w.value);
-      const auto res = harness::run_strong_ba(spec, values, *adversary);
-      record.meter = res.meter;
-      record.rounds = res.rounds;
-      record.corrupted = corrupted_mask(cell.n, res.corrupted);
-      record.any_fallback = res.any_fallback();
-      for (ProcessId p = 0; p < cell.n; ++p) {
-        if (const auto& s = res.stats[p]) {
-          record.decided[p] = s->decided;
-          record.decisions[p] = WireValue::plain(s->decision);
-        }
-      }
-      break;
-    }
-    case Protocol::kFallback: {
-      const auto res =
-          harness::run_fallback_ba(spec, record.inputs, *adversary);
-      record.meter = res.meter;
-      record.rounds = res.rounds;
-      record.corrupted = corrupted_mask(cell.n, res.corrupted);
-      for (ProcessId p = 0; p < cell.n; ++p) {
-        if (const auto& d = res.decisions[p]) {
-          record.decided[p] = true;
-          record.decisions[p] = *d;
-        }
-      }
-      break;
-    }
-    case Protocol::kDsBb: {
-      record.sender = sender;
-      const auto res = harness::run_ds_bb(
-          spec, sender, record.inputs[sender].value, *adversary);
-      record.meter = res.meter;
-      record.rounds = res.rounds;
-      record.corrupted = corrupted_mask(cell.n, res.corrupted);
-      for (ProcessId p = 0; p < cell.n; ++p) {
-        if (const auto& d = res.decisions[p]) {
-          record.decided[p] = true;
-          record.decisions[p] = WireValue::plain(*d);
-        }
-      }
-      break;
-    }
+  const harness::ProtocolDriver& driver = protocol_driver(cell.protocol);
+  harness::RunInputs inputs;
+  inputs.values = record.inputs;
+  if (driver.traits().single_sender) {
+    inputs.sender = sender;
+    record.sender = sender;
   }
+
+  const harness::RunReport res = driver.run(spec, inputs, *adversary);
+  record.meter = res.meter;
+  record.rounds = res.rounds;
+  record.corrupted = corrupted_mask(cell.n, res.corrupted);
+  record.any_fallback = res.any_fallback;
+  record.decided = res.decided;
+  record.decisions = res.decisions;
   return record;
 }
 

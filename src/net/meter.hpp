@@ -61,6 +61,37 @@ struct Meter {
     }
   }
 
+  /// Folds `other` into this meter: scalar totals add, per-process and
+  /// per-round attribution add element-wise (growing on demand), and the
+  /// per-kind breakdown merges through the intern table so the same kind
+  /// name never double-counts. Used by the SMR engine to combine per-worker
+  /// instance meters into the run-level aggregate at commit time; callers
+  /// serialize merges (the meter itself is not thread-safe).
+  void merge(const Meter& other) {
+    words_correct += other.words_correct;
+    messages_correct += other.messages_correct;
+    words_byzantine += other.words_byzantine;
+    messages_byzantine += other.messages_byzantine;
+    logical_sigs_correct += other.logical_sigs_correct;
+    if (other.words_by_process.size() > words_by_process.size()) {
+      words_by_process.resize(other.words_by_process.size(), 0);
+    }
+    for (std::size_t p = 0; p < other.words_by_process.size(); ++p) {
+      words_by_process[p] += other.words_by_process[p];
+    }
+    if (other.words_by_round.size() > words_by_round.size()) {
+      words_by_round.resize(other.words_by_round.size(), 0);
+    }
+    for (std::size_t r = 0; r < other.words_by_round.size(); ++r) {
+      words_by_round[r] += other.words_by_round[r];
+    }
+    for (std::size_t id = 0; id < other.kind_names_.size(); ++id) {
+      if (other.words_by_kind_[id] == 0) continue;
+      words_by_kind_[intern_kind_by_content(other.kind_names_[id])] +=
+          other.words_by_kind_[id];
+    }
+  }
+
   /// Words sent by correct processes in the half-open round window [lo, hi).
   [[nodiscard]] std::uint64_t words_in_rounds(Round lo, Round hi) const {
     std::uint64_t sum = 0;
@@ -101,6 +132,18 @@ struct Meter {
     words_by_kind_.push_back(0);
     kind_cache_.emplace_back(kind, id);
     return id;
+  }
+
+  /// Content-only interning for merge(): the source meter's kind-name
+  /// storage is transient, so its pointers must never enter the
+  /// pointer-identity cache (a later allocation could reuse the address).
+  [[nodiscard]] std::size_t intern_kind_by_content(const std::string& kind) {
+    for (std::size_t id = 0; id < kind_names_.size(); ++id) {
+      if (kind_names_[id] == kind) return id;
+    }
+    kind_names_.push_back(kind);
+    words_by_kind_.push_back(0);
+    return kind_names_.size() - 1;
   }
 
   std::vector<std::pair<const char*, std::size_t>> kind_cache_;

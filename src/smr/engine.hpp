@@ -1,0 +1,128 @@
+// Pipelined multi-instance SMR engine: the artifact that turns the paper's
+// per-instance word bounds into an amortized-throughput story. Many
+// consensus instances (ledger slots) run concurrently on a fixed worker
+// pool — instances are independent by construction because every slot gets
+// a distinct `instance` nonce in its ProtocolContext — while commits into
+// the ledger stay strictly in slot order, so the resulting ledger digest,
+// checkpoint stream, and merged meter are bit-identical no matter how many
+// workers ran the instances.
+//
+// Concurrency invariants:
+//  - Each worker owns a private harness::SetupCache, so threshold key
+//    generation is amortized across that worker's instances without ever
+//    sharing the (non-thread-safe) Pki signature counters across threads.
+//  - Completed instance reports land in a reorder buffer keyed by slot; the
+//    completing worker also advances the commit frontier while holding the
+//    commit lock, so commits (including checkpoint BAs) are serial and in
+//    order. submit() blocks while queue capacity + workers slots are
+//    outstanding (admitted but uncommitted), so the pipeline — and with it
+//    the reorder buffer — can never run further ahead of the commit
+//    frontier than that window.
+//  - The run-level Meter is the slot-ordered merge of per-instance meters
+//    (checkpoint instances are accounted in the ledger's word totals).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "smr/ledger.hpp"
+#include "smr/scheduler.hpp"
+
+namespace mewc::smr {
+
+struct EngineConfig {
+  std::uint32_t n = 3;
+  std::uint32_t t = 1;
+  ThresholdBackend backend = ThresholdBackend::kSim;
+  std::uint64_t seed = 0x5e7u;
+  /// Worker threads running consensus instances.
+  std::uint32_t workers = 1;
+  /// Admission-queue bound; with the worker count it also sizes the
+  /// pipeline window: submit() blocks while queue_capacity + workers slots
+  /// are admitted but not yet committed (backpressure).
+  std::uint32_t queue_capacity = 16;
+  /// Seal a checkpoint after every k committed slots (0 = never).
+  std::uint32_t checkpoint_every = 0;
+  /// Instance-nonce base, forwarded to the ledger.
+  std::uint64_t base_instance = 1000;
+};
+
+struct EngineStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t fallbacks = 0;
+  /// Setup-cache traffic summed over workers. Hits + misses == instances
+  /// run; the split across workers depends on scheduling, so only the sum
+  /// is deterministic.
+  std::uint64_t setup_cache_hits = 0;
+  std::uint64_t setup_cache_misses = 0;
+  /// Largest number of completed-but-uncommitted instances observed.
+  std::uint64_t max_reorder_depth = 0;
+  /// submit() calls that blocked on the pipeline window plus, from the
+  /// scheduler, any that blocked on a full queue.
+  std::uint64_t backpressure_waits = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(const EngineConfig& config);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Admits one proposal for the next slot; the rotation proposer
+  /// broadcasts it through adaptive BB on some worker. Blocks when the
+  /// admission queue is full. An optional per-slot adversary factory makes
+  /// faulty instances expressible (it must be safe to call concurrently;
+  /// each returned adversary is used by exactly one instance).
+  void submit(Value proposal,
+              const Ledger::AdversaryFactory& adversary = nullptr);
+
+  /// Waits for every admitted instance to run and commit. submit() may be
+  /// called again afterwards; finish() is idempotent and implied by the
+  /// destructor. ledger()/meter()/stats() are only meaningful after it.
+  void finish();
+
+  [[nodiscard]] const Ledger& ledger() const { return ledger_; }
+  /// Slot-ordered merge of the per-instance meters (BB instances only;
+  /// checkpoint words are in ledger().total_words()).
+  [[nodiscard]] const Meter& meter() const { return meter_; }
+  [[nodiscard]] EngineStats stats() const;
+  [[nodiscard]] std::uint32_t workers() const { return scheduler_.workers(); }
+
+ private:
+  struct Prepared {
+    harness::RunReport report;
+    Ledger::AdversaryFactory adversary;
+  };
+
+  void complete(std::uint64_t slot, Prepared done);
+
+  EngineConfig config_;
+  Ledger ledger_;
+  Scheduler scheduler_;
+  const harness::ProtocolDriver& bb_;
+
+  /// One trusted-setup cache per worker; workers only ever touch their own.
+  std::vector<std::unique_ptr<harness::SetupCache>> caches_;
+
+  /// Guards the reorder buffer, the ledger, the merged meter, and stats.
+  mutable std::mutex commit_mu_;
+  /// Signalled when the commit frontier advances; submit() waits on it
+  /// while the pipeline window (queue capacity + workers) is full.
+  std::condition_variable window_open_;
+  std::map<std::uint64_t, Prepared> reorder_;
+  std::uint64_t next_commit_ = 0;
+  std::uint64_t next_slot_ = 0;
+  std::uint64_t window_waits_ = 0;
+  Meter meter_;
+  EngineStats stats_;
+};
+
+}  // namespace mewc::smr

@@ -10,34 +10,51 @@ Ledger::Ledger(Config config)
   MEWC_CHECK(config_.n >= 2 * config_.t + 1);
 }
 
-ProcessId Ledger::next_proposer() const {
-  return static_cast<ProcessId>(slots_.size() % config_.n);
+ProcessId Ledger::next_proposer() const { return proposer_of(slots_.size()); }
+
+ProcessId Ledger::proposer_of(std::uint64_t slot) const {
+  return static_cast<ProcessId>(slot % config_.n);
 }
 
-const SlotRecord& Ledger::append(Value v, const AdversaryFactory& adversary) {
-  const std::uint64_t slot = slots_.size();
-  const ProcessId proposer = next_proposer();
-
+harness::RunSpec Ledger::prepare_spec(std::uint64_t slot) const {
   harness::RunSpec spec = harness::RunSpec::with(config_.n, config_.t);
   spec.backend = config_.backend;
   spec.seed = config_.seed;
   // Distinct instance nonce per slot: checkpoints use the odd lane.
   spec.instance = config_.base_instance + 2 * slot;
+  return spec;
+}
+
+const SlotRecord& Ledger::append(Value v, const AdversaryFactory& adversary) {
+  const std::uint64_t slot = slots_.size();
+  const ProcessId proposer = proposer_of(slot);
+  const harness::RunSpec spec = prepare_spec(slot);
 
   std::unique_ptr<Adversary> adv;
   if (adversary) adv = adversary(slot, proposer);
   adv::NullAdversary null_adv;
   Adversary& adv_ref = adv ? *adv : static_cast<Adversary&>(null_adv);
 
-  const harness::BbResult res = harness::run_bb(spec, proposer, v, adv_ref);
+  const harness::ProtocolDriver* bb = harness::find_driver("bb");
+  MEWC_CHECK(bb != nullptr);
+  harness::RunInputs inputs;
+  inputs.values = std::vector<WireValue>(config_.n, WireValue::plain(v));
+  inputs.sender = proposer;
+  return commit(slot, bb->run(spec, inputs, adv_ref), adversary);
+}
+
+const SlotRecord& Ledger::commit(std::uint64_t slot,
+                                 const harness::RunReport& report,
+                                 const AdversaryFactory& adversary) {
+  MEWC_CHECK_MSG(slot == slots_.size(), "slots commit strictly in order");
 
   SlotRecord rec;
   rec.slot = slot;
-  rec.proposer = proposer;
-  rec.agreement = res.agreement();
-  rec.fallback = res.any_fallback();
-  rec.words = res.meter.words_correct;
-  rec.value = res.decision();
+  rec.proposer = proposer_of(slot);
+  rec.agreement = report.agreement();
+  rec.fallback = report.any_fallback;
+  rec.words = report.meter.words_correct;
+  rec.value = report.decision().value;
   rec.skipped = rec.value.is_bottom();
 
   healthy_ &= rec.agreement;
@@ -69,14 +86,18 @@ void Ledger::run_checkpoint(const AdversaryFactory& adversary) {
   adv::NullAdversary null_adv;
   Adversary& adv_ref = adv ? *adv : static_cast<Adversary&>(null_adv);
 
-  const harness::SbaResult res = harness::run_strong_ba(
-      spec, std::vector<Value>(config_.n, Value(1)), adv_ref);
+  const harness::ProtocolDriver* sba = harness::find_driver("strong-ba");
+  MEWC_CHECK(sba != nullptr);
+  harness::RunInputs inputs;
+  inputs.values =
+      std::vector<WireValue>(config_.n, WireValue::plain(Value(1)));
+  const harness::RunReport res = sba->run(spec, inputs, adv_ref);
 
   CheckpointRecord rec;
   rec.after_slot = slots_.size();
   rec.ledger_digest = digest_;
   rec.agreement = res.agreement();
-  rec.accepted = res.decision() == Value(1);
+  rec.accepted = res.decision().value == Value(1);
   rec.words = res.meter.words_correct;
 
   healthy_ &= rec.agreement && rec.accepted;

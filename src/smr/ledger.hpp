@@ -64,7 +64,25 @@ class Ledger {
 
   /// Runs one slot: the rotation proposer broadcasts `v` through BB. If the
   /// slot index hits the checkpoint cadence, a checkpoint vote follows.
+  /// Equivalent to prepare_spec + driver run + commit; kept as the
+  /// single-threaded convenience path.
   const SlotRecord& append(Value v,
+                           const AdversaryFactory& adversary = nullptr);
+
+  /// The proposer the rotation assigns to slot `slot`.
+  [[nodiscard]] ProcessId proposer_of(std::uint64_t slot) const;
+
+  /// The RunSpec for slot `slot`'s BB instance (distinct instance nonce per
+  /// slot; checkpoints use the odd nonce lane). Pure: safe to call from any
+  /// thread for any future slot, which is what lets the SMR engine run many
+  /// slots' instances concurrently before committing them in order.
+  [[nodiscard]] harness::RunSpec prepare_spec(std::uint64_t slot) const;
+
+  /// Commits the outcome of slot `slot`'s BB instance. Slots must be
+  /// committed strictly in order (`slot == slots().size()`); the checkpoint
+  /// cadence runs here, serially, so the ledger digest and checkpoint
+  /// stream are identical no matter how the instances were scheduled.
+  const SlotRecord& commit(std::uint64_t slot, const harness::RunReport& report,
                            const AdversaryFactory& adversary = nullptr);
 
   [[nodiscard]] const std::vector<SlotRecord>& slots() const { return slots_; }

@@ -1,0 +1,79 @@
+#include "smr/scheduler.hpp"
+
+#include "common/check.hpp"
+
+namespace mewc::smr {
+
+Scheduler::Scheduler(std::uint32_t workers, std::uint32_t queue_capacity)
+    : queue_capacity_(queue_capacity) {
+  MEWC_CHECK_MSG(workers >= 1, "scheduler needs at least one worker");
+  MEWC_CHECK_MSG(queue_capacity >= 1, "scheduler needs a non-empty queue");
+  threads_.reserve(workers);
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+Scheduler::~Scheduler() { shutdown(); }
+
+void Scheduler::submit(Job job) {
+  std::unique_lock<std::mutex> lock(mu_);
+  MEWC_CHECK_MSG(!stopping_, "submit after shutdown");
+  if (queue_.size() >= queue_capacity_) {
+    ++stats_.backpressure_waits;
+    queue_not_full_.wait(lock,
+                         [this] { return queue_.size() < queue_capacity_; });
+  }
+  queue_.push_back(std::move(job));
+  ++stats_.submitted;
+  ++in_flight_;
+  stats_.max_queue_depth = std::max<std::uint64_t>(stats_.max_queue_depth,
+                                                   queue_.size());
+  queue_not_empty_.notify_one();
+}
+
+void Scheduler::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void Scheduler::shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_idle_.wait(lock, [this] { return in_flight_ == 0; });
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  queue_not_empty_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+Scheduler::Stats Scheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Scheduler::worker_loop(std::uint32_t worker) {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_not_empty_.wait(lock,
+                            [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with an empty queue
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      queue_not_full_.notify_one();
+    }
+    job(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.executed;
+      if (--in_flight_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace mewc::smr

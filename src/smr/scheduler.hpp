@@ -1,0 +1,74 @@
+// Fixed-size worker pool with a bounded admission queue, built for the SMR
+// engine: submit() applies backpressure (blocks) when the queue is full, so
+// a slow or fallback-heavy instance bounds how far the pipeline can run
+// ahead instead of letting the backlog grow without limit.
+//
+// Jobs receive the id of the worker executing them; the engine uses that to
+// give every worker its own trusted-setup cache so nothing crypto-related is
+// shared across threads. The scheduler itself makes no ordering promise —
+// in-order delivery of results is the engine's reorder buffer's job.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mewc::smr {
+
+class Scheduler {
+ public:
+  /// A unit of work; `worker` is in [0, workers()).
+  using Job = std::function<void(std::uint32_t worker)>;
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t executed = 0;
+    /// Largest queue depth observed at admission time.
+    std::uint64_t max_queue_depth = 0;
+    /// Number of submit() calls that had to block on a full queue.
+    std::uint64_t backpressure_waits = 0;
+  };
+
+  Scheduler(std::uint32_t workers, std::uint32_t queue_capacity);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Enqueues `job`, blocking while the queue holds `queue_capacity` jobs.
+  void submit(Job job);
+
+  /// Blocks until every submitted job has finished executing. submit() may
+  /// be called again afterwards.
+  void drain();
+
+  /// drain() + stop and join the workers. Idempotent; implied by ~Scheduler.
+  void shutdown();
+
+  [[nodiscard]] std::uint32_t workers() const {
+    return static_cast<std::uint32_t>(threads_.size());
+  }
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  void worker_loop(std::uint32_t worker);
+
+  const std::uint32_t queue_capacity_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_not_full_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable all_idle_;
+  std::deque<Job> queue_;
+  std::uint64_t in_flight_ = 0;  // queued + currently executing
+  bool stopping_ = false;
+  Stats stats_;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace mewc::smr

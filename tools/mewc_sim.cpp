@@ -1,28 +1,40 @@
 // mewc_sim — command-line protocol runner.
 //
-// Runs one instance of any protocol in the library against a chosen
+// Runs one instance of any protocol in the driver registry against a chosen
 // adversary and prints the outcome, the word/signature meter, and the
 // per-kind cost breakdown. Useful for exploring the protocols without
 // writing code, and for scripting custom sweeps.
 //
+// With --smr it instead drives the pipelined multi-instance SMR engine:
+// many BB instances (ledger slots) run concurrently on a worker pool and
+// commit in order, which is the paper's amortized-cost story end to end.
+//
 // Usage:
-//   mewc_sim [--protocol bb|weak-ba|strong-ba|fallback|ds-bb]
+//   mewc_sim [--protocol NAME]      (names: mewc_sim --help)
 //            [--t T] [--n N] [--f F]
-//            [--adversary NAME]   (mewc_vopr --list shows all names)
+//            [--adversary NAME]     (mewc_vopr --list shows all names)
 //            [--value V] [--sender S] [--seed SEED] [--backend sim|shamir]
 //            [--by-kind] [--by-round]
+//   mewc_sim --smr [--slots K] [--workers W] [--queue Q]
+//            [--checkpoint-every C] [--t T] [--n N] [--seed SEED]
+//            [--backend sim|shamir]
 //
 // Examples:
 //   mewc_sim --protocol bb --t 10 --f 3 --adversary crash
 //   mewc_sim --protocol weak-ba --t 5 --adversary killer --f 2 --by-kind
 //   mewc_sim --protocol strong-ba --t 20            # failure-free O(n)
+//   mewc_sim --smr --n 9 --t 4 --slots 64 --workers 4 --checkpoint-every 8
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "ba/adversaries/adversaries.hpp"
 #include "ba/harness.hpp"
 #include "check/adversary_registry.hpp"
+#include "check/protocols.hpp"
+#include "smr/engine.hpp"
 
 namespace {
 
@@ -40,17 +52,34 @@ struct Options {
   std::string backend = "sim";
   bool by_kind = false;
   bool by_round = false;
+  // --smr mode
+  bool smr = false;
+  std::uint64_t slots = 32;
+  std::uint32_t workers = 1;
+  std::uint32_t queue = 16;
+  std::uint32_t checkpoint_every = 0;
 };
+
+std::string driver_names_joined() {
+  std::string out;
+  for (const harness::ProtocolDriver* d : harness::drivers()) {
+    if (!out.empty()) out += "|";
+    out += d->name();
+  }
+  return out;
+}
 
 [[noreturn]] void usage_and_exit(const char* self) {
   std::fprintf(
       stderr,
-      "usage: %s [--protocol bb|weak-ba|strong-ba|fallback|ds-bb]\n"
+      "usage: %s [--protocol %s]\n"
       "          [--t T] [--n N] [--f F]\n"
       "          [--adversary NAME]  (names: see below)\n"
       "          [--value V] [--sender S] [--seed SEED]\n"
-      "          [--backend sim|shamir] [--by-kind] [--by-round]\n",
-      self);
+      "          [--backend sim|shamir] [--by-kind] [--by-round]\n"
+      "       %s --smr [--slots K] [--workers W] [--queue Q]\n"
+      "          [--checkpoint-every C] [--t T] [--n N] [--seed SEED]\n",
+      self, driver_names_joined().c_str(), self);
   std::exit(2);
 }
 
@@ -86,6 +115,17 @@ Options parse(int argc, char** argv) {
       o.by_kind = true;
     } else if (!std::strcmp(argv[i], "--by-round")) {
       o.by_round = true;
+    } else if (!std::strcmp(argv[i], "--smr")) {
+      o.smr = true;
+    } else if (!std::strcmp(argv[i], "--slots")) {
+      o.slots = std::strtoull(need("--slots"), nullptr, 0);
+    } else if (!std::strcmp(argv[i], "--workers")) {
+      o.workers = static_cast<std::uint32_t>(std::atoi(need("--workers")));
+    } else if (!std::strcmp(argv[i], "--queue")) {
+      o.queue = static_cast<std::uint32_t>(std::atoi(need("--queue")));
+    } else if (!std::strcmp(argv[i], "--checkpoint-every")) {
+      o.checkpoint_every =
+          static_cast<std::uint32_t>(std::atoi(need("--checkpoint-every")));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       usage_and_exit(argv[0]);
@@ -95,10 +135,17 @@ Options parse(int argc, char** argv) {
 }
 
 std::unique_ptr<Adversary> make_adversary(const Options& o,
-                                          const harness::RunSpec& spec,
-                                          check::Protocol protocol) {
+                                          const harness::RunSpec& spec) {
+  const auto protocol = check::parse_protocol(o.protocol);
+  if (!protocol) {
+    // Drivers outside the check enum (e.g. ic) run failure-free only.
+    if (o.adversary == "none") return std::make_unique<adv::NullAdversary>();
+    std::fprintf(stderr, "protocol %s supports only --adversary none\n",
+                 o.protocol.c_str());
+    std::exit(2);
+  }
   check::AdversaryParams params;
-  params.protocol = protocol;
+  params.protocol = *protocol;
   params.n = spec.n;
   params.t = spec.t;
   params.f = o.f;
@@ -143,85 +190,128 @@ void print_meter(const Options& o, const Meter& meter, Round rounds) {
   }
 }
 
-int run(const Options& o) {
-  harness::RunSpec spec =
-      o.n == 0 ? harness::RunSpec::for_t(o.t)
-               : harness::RunSpec::with(o.n, o.t);
+void print_decision(const harness::RunReport& res, bool vector_output) {
+  if (vector_output) {
+    std::printf("vector:    [");
+    const auto vec = res.vector();
+    for (std::size_t i = 0; i < vec.size(); ++i) {
+      std::printf("%s%s", i == 0 ? "" : " ",
+                  vec[i].is_bottom() ? "⊥"
+                                     : std::to_string(vec[i].raw).c_str());
+    }
+    std::printf("]\n");
+    return;
+  }
+  const WireValue d = res.decision();
+  std::printf("decision:  %s\n",
+              d.value.is_bottom() ? "⊥"
+                                  : std::to_string(d.value.raw).c_str());
+}
+
+int run_one(const Options& o) {
+  const harness::ProtocolDriver* driver = harness::find_driver(o.protocol);
+  if (driver == nullptr) {
+    std::fprintf(stderr, "unknown protocol: %s (expected %s)\n",
+                 o.protocol.c_str(), driver_names_joined().c_str());
+    return 2;
+  }
+
+  harness::RunSpec spec = o.n == 0 ? harness::RunSpec::for_t(o.t)
+                                   : harness::RunSpec::with(o.n, o.t);
   spec.seed = o.seed;
   if (o.backend == "shamir") spec.backend = ThresholdBackend::kShamir;
 
-  std::printf("protocol=%s n=%u t=%u adversary=%s f=%u seed=%llu\n\n",
-              o.protocol.c_str(), spec.n, spec.t, o.adversary.c_str(), o.f,
+  std::printf("protocol=%s %s adversary=%s f=%u\n\n", driver->name(),
+              spec.describe().c_str(), o.adversary.c_str(), o.f);
+
+  auto adversary = make_adversary(o, spec);
+  const harness::DriverTraits traits = driver->traits();
+
+  harness::RunInputs inputs;
+  inputs.values = driver->prepare(spec.n, Value(o.value));
+  if (traits.single_sender) inputs.sender = o.sender;
+
+  const harness::RunReport res = driver->run(spec, inputs, *adversary);
+
+  std::uint32_t correct = 0;
+  std::uint32_t decided = 0;
+  for (ProcessId p = 0; p < spec.n; ++p) {
+    if (res.is_corrupted(p)) continue;
+    ++correct;
+    decided += res.decided[p] ? 1 : 0;
+  }
+
+  std::printf("agreement: %s\n", res.agreement() ? "yes" : "NO");
+  print_decision(res, traits.vector_output);
+  std::printf("decided:   %u/%u correct\n", decided, correct);
+  std::printf("fallback:  %s\n", res.any_fallback ? "yes" : "no");
+  if (res.nonsilent_leaders != 0) {
+    std::printf("non-silent vetting leaders: %u\n", res.nonsilent_leaders);
+  }
+  if (res.help_reqs != 0) {
+    std::printf("help requests: %u\n", res.help_reqs);
+  }
+  std::printf("\n");
+  print_meter(o, res.meter, res.rounds);
+  return res.agreement() ? 0 : 1;
+}
+
+int run_smr(const Options& o) {
+  smr::EngineConfig config;
+  config.t = o.t;
+  config.n = o.n == 0 ? 2 * o.t + 1 : o.n;
+  if (o.backend == "shamir") config.backend = ThresholdBackend::kShamir;
+  config.seed = o.seed;
+  config.workers = o.workers;
+  config.queue_capacity = o.queue;
+  config.checkpoint_every = o.checkpoint_every;
+
+  std::printf("smr n=%u t=%u workers=%u queue=%u checkpoint_every=%u "
+              "slots=%llu seed=%llu\n\n",
+              config.n, config.t, config.workers, config.queue_capacity,
+              config.checkpoint_every,
+              static_cast<unsigned long long>(o.slots),
               static_cast<unsigned long long>(o.seed));
 
-  if (o.protocol == "bb") {
-    auto adversary = make_adversary(o, spec, check::Protocol::kBb);
-    const auto res = harness::run_bb(spec, o.sender, Value(o.value),
-                                     *adversary);
-    std::printf("agreement: %s\n", res.agreement() ? "yes" : "NO");
-    std::printf("decision:  %s\n",
-                res.decision().is_bottom()
-                    ? "⊥"
-                    : std::to_string(res.decision().raw).c_str());
-    std::printf("fallback:  %s\nnon-silent vetting leaders: %u\n\n",
-                res.any_fallback() ? "yes" : "no", res.nonsilent_leaders());
-    print_meter(o, res.meter, res.rounds);
-    return res.agreement() ? 0 : 1;
+  const auto start = std::chrono::steady_clock::now();
+  smr::Engine engine(config);
+  for (std::uint64_t s = 0; s < o.slots; ++s) {
+    engine.submit(Value(o.value + s));
   }
-  if (o.protocol == "weak-ba") {
-    auto adversary = make_adversary(o, spec, check::Protocol::kWeakBa);
-    const auto res = harness::run_weak_ba(
-        spec, std::vector<WireValue>(spec.n, WireValue::plain(Value(o.value))),
-        harness::always_valid_factory(), *adversary);
-    std::printf("agreement: %s\n", res.agreement() ? "yes" : "NO");
-    std::printf("decision:  %s\n",
-                res.decision().is_bottom()
-                    ? "⊥"
-                    : std::to_string(res.decision().value.raw).c_str());
-    std::printf("fallback:  %s\nhelp requests: %u\n\n",
-                res.any_fallback() ? "yes" : "no", res.help_reqs_sent());
-    print_meter(o, res.meter, res.rounds);
-    return res.agreement() ? 0 : 1;
-  }
-  if (o.protocol == "strong-ba") {
-    auto adversary = make_adversary(o, spec, check::Protocol::kStrongBa);
-    const auto res = harness::run_strong_ba(
-        spec, std::vector<Value>(spec.n, Value(o.value > 1 ? 1 : o.value)),
-        *adversary);
-    std::printf("agreement: %s\ndecision:  %llu\nall fast:  %s\n\n",
-                res.agreement() ? "yes" : "NO",
-                static_cast<unsigned long long>(res.decision().raw),
-                res.all_fast() ? "yes" : "no");
-    print_meter(o, res.meter, res.rounds);
-    return res.agreement() ? 0 : 1;
-  }
-  if (o.protocol == "fallback") {
-    auto adversary = make_adversary(o, spec, check::Protocol::kFallback);
-    const auto res = harness::run_fallback_ba(
-        spec, std::vector<WireValue>(spec.n, WireValue::plain(Value(o.value))),
-        *adversary);
-    std::printf("agreement: %s\ndecision:  %llu\n\n",
-                res.agreement() ? "yes" : "NO",
-                static_cast<unsigned long long>(res.decision().value.raw));
-    print_meter(o, res.meter, res.rounds);
-    return res.agreement() ? 0 : 1;
-  }
-  if (o.protocol == "ds-bb") {
-    auto adversary = make_adversary(o, spec, check::Protocol::kDsBb);
-    const auto res =
-        harness::run_ds_bb(spec, o.sender, Value(o.value), *adversary);
-    std::printf("agreement: %s\ndecision:  %s\n\n",
-                res.agreement() ? "yes" : "NO",
-                res.decision().is_bottom()
-                    ? "⊥"
-                    : std::to_string(res.decision().raw).c_str());
-    print_meter(o, res.meter, res.rounds);
-    return res.agreement() ? 0 : 1;
-  }
-  std::fprintf(stderr, "unknown protocol: %s\n", o.protocol.c_str());
-  return 2;
+  engine.finish();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const smr::EngineStats stats = engine.stats();
+  const smr::Ledger& ledger = engine.ledger();
+  std::printf("committed: %llu (%llu skipped, %llu fallbacks)\n",
+              static_cast<unsigned long long>(stats.committed),
+              static_cast<unsigned long long>(stats.skipped),
+              static_cast<unsigned long long>(stats.fallbacks));
+  std::printf("healthy:   %s\n", ledger.healthy() ? "yes" : "NO");
+  std::printf("ledger digest: %016llx\n",
+              static_cast<unsigned long long>(ledger.ledger_digest()));
+  std::printf("checkpoints:   %zu\n", ledger.checkpoints().size());
+  std::printf("total words:   %llu (%.1f per slot incl. checkpoints)\n",
+              static_cast<unsigned long long>(ledger.total_words()),
+              o.slots == 0 ? 0.0
+                           : static_cast<double>(ledger.total_words()) /
+                                 static_cast<double>(o.slots));
+  std::printf("setup cache:   %llu hits / %llu misses\n",
+              static_cast<unsigned long long>(stats.setup_cache_hits),
+              static_cast<unsigned long long>(stats.setup_cache_misses));
+  std::printf("pipeline:      max reorder %llu, backpressure waits %llu\n",
+              static_cast<unsigned long long>(stats.max_reorder_depth),
+              static_cast<unsigned long long>(stats.backpressure_waits));
+  std::printf("throughput:    %.1f instances/sec (%.3fs wall)\n",
+              secs > 0 ? static_cast<double>(o.slots) / secs : 0.0, secs);
+  return ledger.healthy() ? 0 : 1;
 }
 
 }  // namespace
 
-int main(int argc, char** argv) { return run(parse(argc, argv)); }
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  return o.smr ? run_smr(o) : run_one(o);
+}
