@@ -25,6 +25,7 @@
 #include "check/json.hpp"
 #include "common/hash.hpp"
 #include "smr/engine.hpp"
+#include "smr/recovery.hpp"
 
 namespace mewc::bench {
 namespace {
@@ -170,10 +171,18 @@ int run(int argc, char** argv) {
     }
     section["points"] = std::move(points);
     section["identical_across_workers"] = identical;
+    section["checkpoints_sealed"] = base.checkpoints;
     root["worker_sweep"] = std::move(section);
     if (!identical) {
       std::fprintf(stderr,
                    "FAIL: ledger/meter differ across worker counts\n");
+      ok = false;
+    }
+    // The checkpoint lane must actually run under load, not just be
+    // configured: cadence 8 over this many slots seals slots/8 checkpoints
+    // or the sweep is not exercising Algorithm 5 at all.
+    if (slots >= config.checkpoint_every && base.checkpoints == 0) {
+      std::fprintf(stderr, "FAIL: worker sweep sealed no checkpoints\n");
       ok = false;
     }
   }
@@ -230,8 +239,120 @@ int run(int argc, char** argv) {
                    static_cast<unsigned long long>(r.stats.fallbacks),
                    static_cast<unsigned long long>(r.stats.skipped));
       points.push_back(json::Value(std::move(o)));
+      if (slots >= c.checkpoint_every && r.checkpoints == 0) {
+        std::fprintf(stderr, "FAIL: n=%u f=%u sealed no checkpoints\n", p.n,
+                     p.f);
+        ok = false;
+      }
     }
     root["nf_sweep"] = std::move(points);
+  }
+
+  // -------------------------------------------------------------------------
+  // Section 3: durability — what the WAL + snapshot hook costs at commit
+  // time, and what recovery costs as the durable log grows. Recovery must
+  // land on the exact digest of the run it recovers (gated), so these
+  // numbers measure a correct recovery, not a fast wrong one.
+  {
+    json::Object section;
+    smr::EngineConfig c;
+    c.n = 5;
+    c.t = 2;
+    c.workers = 2;
+    c.checkpoint_every = 8;
+
+    const SweepResult plain = run_sweep(c, slots, nullptr);
+    smr::Store store;
+    smr::Durability dur(&store);
+    c.durability = &dur;
+    const SweepResult durable = run_sweep(c, slots, nullptr);
+    if (durable.digest != plain.digest) {
+      std::fprintf(stderr, "FAIL: durability hook changed the ledger\n");
+      ok = false;
+    }
+    section["slots"] = slots;
+    section["seconds_plain"] = plain.seconds;
+    section["seconds_durable"] = durable.seconds;
+    section["wal_overhead_ratio"] =
+        plain.seconds > 0 ? durable.seconds / plain.seconds : 0.0;
+    section["wal_bytes"] = store.wal.size();
+    section["snapshot_bytes"] = store.snapshot.size();
+    std::fprintf(stderr,
+                 "durable=%.2fs plain=%.2fs (%.2fx)  wal=%zu B  snap=%zu B\n",
+                 durable.seconds, plain.seconds,
+                 plain.seconds > 0 ? durable.seconds / plain.seconds : 0.0,
+                 store.wal.size(), store.snapshot.size());
+
+    // Recovery time vs durable log length, from the snapshot (the real
+    // path), from genesis (snapshot lost), and via certified catch-up.
+    json::Array points;
+    for (const std::uint64_t k : {slots / 4, slots / 2, slots}) {
+      smr::Store s;
+      smr::Durability hook(&s);
+      smr::EngineConfig dc = c;
+      dc.durability = &hook;
+      const SweepResult run = run_sweep(dc, k, nullptr);
+
+      smr::Ledger::Config lc;
+      lc.n = dc.n;
+      lc.t = dc.t;
+      lc.seed = dc.seed;
+      lc.checkpoint_every = dc.checkpoint_every;
+
+      smr::Store snap_copy = s;
+      Clock::time_point t0 = Clock::now();
+      const smr::Recovered from_snap = smr::recover(lc, snap_copy);
+      const double snap_seconds =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+
+      smr::Store genesis_copy = s;
+      genesis_copy.snapshot.clear();
+      t0 = Clock::now();
+      const smr::Recovered from_genesis = smr::recover(lc, genesis_copy);
+      const double genesis_seconds =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+
+      t0 = Clock::now();
+      const smr::CaughtUp caught = smr::catch_up(lc, s);
+      const double catchup_seconds =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+
+      const bool converged =
+          from_snap.state.slots.size() == k &&
+          from_genesis.state.slots.size() == k && caught.stats.ok &&
+          smr::Ledger::replay_digest(lc.seed, from_snap.state.slots) ==
+              run.digest &&
+          smr::Ledger::replay_digest(lc.seed, from_genesis.state.slots) ==
+              run.digest &&
+          smr::Ledger::replay_digest(lc.seed, caught.state.slots) ==
+              run.digest;
+      if (!converged) {
+        std::fprintf(stderr, "FAIL: recovery diverged at %llu slots\n",
+                     static_cast<unsigned long long>(k));
+        ok = false;
+      }
+
+      json::Object o;
+      o["slots"] = k;
+      o["wal_bytes"] = s.wal.size();
+      o["recover_from_snapshot_seconds"] = snap_seconds;
+      o["snapshot_slot"] = from_snap.stats.snapshot_slot;
+      o["records_replayed_past_snapshot"] = from_snap.stats.records_replayed;
+      o["recover_from_genesis_seconds"] = genesis_seconds;
+      o["catchup_seconds"] = catchup_seconds;
+      o["catchup_words_transferred"] = caught.stats.words_transferred;
+      std::fprintf(
+          stderr,
+          "recover k=%-3llu  snapshot %.4fs (replay %llu)  genesis %.4fs  "
+          "catch-up %.4fs (%llu words)\n",
+          static_cast<unsigned long long>(k), snap_seconds,
+          static_cast<unsigned long long>(from_snap.stats.records_replayed),
+          genesis_seconds, catchup_seconds,
+          static_cast<unsigned long long>(caught.stats.words_transferred));
+      points.push_back(json::Value(std::move(o)));
+    }
+    section["recovery"] = std::move(points);
+    root["durability"] = std::move(section);
   }
 
   if (!check::json::write_file(out_path, json::Value(std::move(root)))) {

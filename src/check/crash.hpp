@@ -1,0 +1,197 @@
+// Crash-injection cells for the durable SMR engine: the DST layer that
+// kills a replica mid-run, tears its last WAL write at a seeded byte
+// offset, recovers, and asserts the resumed replica is indistinguishable
+// from one that never crashed — digest-identical ledger, kv state, word
+// meters, checkpoint stream, and byte-identical WAL.
+//
+// A CrashCellSpec fully determines both runs (reference and crashed), so
+// crash cells get the same campaign / shrink / bit-for-bit replay
+// machinery as protocol cells: `mewc_vopr --crash-grid` sweeps them,
+// failures shrink greedily, and the minimal cell round-trips through a
+// `mewc_crash_replay` JSON file.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/campaign.hpp"
+#include "check/checkers.hpp"
+#include "check/json.hpp"
+#include "smr/recovery.hpp"
+
+namespace mewc::check {
+
+/// How the last durable WAL record is mutilated before recovery.
+enum class TearMode : std::uint8_t {
+  kNone = 0,      // clean crash: record fully fsynced
+  kTruncate = 1,  // drop the record's tail from a seeded offset
+  kCorrupt = 2,   // flip a byte at a seeded offset
+};
+
+[[nodiscard]] const char* tear_name(TearMode mode);
+[[nodiscard]] std::optional<TearMode> parse_tear(std::string_view name);
+
+/// Everything that determines one crash-injection run pair.
+struct CrashCellSpec {
+  std::uint32_t n = 5;
+  std::uint32_t t = 2;
+  std::uint32_t f = 0;            // per-slot adversary corruption budget
+  std::string adversary = "none";
+  std::uint64_t slots = 8;        // total slots both runs commit
+  std::uint32_t checkpoint_every = 2;
+  std::uint64_t crash_slot = 3;   // die after committing this slot
+  std::uint32_t workers = 2;      // engine workers (both runs)
+  std::uint64_t seed = 0x5e7;
+  TearMode tear = TearMode::kTruncate;
+  std::uint64_t tear_seed = 0;    // picks the byte offset inside the record
+  /// Crash between the checkpoint's WAL record and the snapshot cut
+  /// instead of right after the slot record.
+  bool after_checkpoint = false;
+
+  [[nodiscard]] std::string label() const;
+};
+
+/// Deterministic workload: the kv command slot `slot` proposes. Pure in
+/// (seed, slot), so the continuation run re-proposes exactly what the
+/// crashed run proposed.
+[[nodiscard]] smr::Command crash_proposal(std::uint64_t seed,
+                                          std::uint64_t slot);
+
+/// The checkable outcome of one crash cell: the uninterrupted reference
+/// run's final state next to the crash->tear->recover->continue run's.
+struct CrashRunRecord {
+  CrashCellSpec cell;
+
+  // Reference (uninterrupted) run.
+  std::uint64_t ref_digest = 0;
+  std::uint64_t ref_kv_digest = 0;
+  std::uint64_t ref_total_words = 0;
+  std::uint64_t ref_checkpoints = 0;
+  bool ref_healthy = false;
+  std::vector<smr::SlotRecord> ref_slots;
+  std::vector<std::uint8_t> ref_wal;
+
+  // Crash run: what survived + recovery outcome.
+  std::size_t torn_record_offset = 0;  // frame start of the mutilated record
+  std::size_t tear_offset = 0;         // byte offset of the tear within it
+  bool tear_applied = false;
+  smr::RecoveryStats recovery;
+  std::uint64_t recovered_slots = 0;
+  std::uint64_t recovered_digest = 0;
+
+  // Crash run: final state after the continuation.
+  std::uint64_t final_digest = 0;
+  std::uint64_t final_kv_digest = 0;
+  std::uint64_t final_total_words = 0;
+  std::uint64_t final_checkpoints = 0;
+  bool final_healthy = false;
+  std::vector<std::uint8_t> final_wal;
+
+  // Catch-up from the reference replica's store (runs when the reference
+  // cut at least one snapshot).
+  bool catchup_attempted = false;
+  smr::CatchUpStats catchup;
+  std::uint64_t catchup_digest = 0;
+  std::uint64_t catchup_kv_digest = 0;
+};
+
+/// Runs the reference run, the crash run (kill at crash_slot, tear the
+/// last WAL record, recover, continue to `slots`), and the catch-up probe.
+[[nodiscard]] CrashRunRecord run_crash_cell(const CrashCellSpec& cell);
+
+/// Crash invariant checkers over a completed record:
+///   crash-prefix   recovered state is a verified prefix of the reference
+///                  (never a partial or fabricated slot)
+///   crash-digest   final ledger digest/length matches the reference
+///   crash-kv       final kv digest matches the reference
+///   crash-meter    total words + checkpoint count match the reference
+///   crash-wal      final WAL bytes are bit-identical to the reference's
+///   crash-health   recovery preserved the health verdict
+///   crash-catchup  certified catch-up reproduced the reference state
+[[nodiscard]] std::vector<Violation> check_crash_run(
+    const CrashRunRecord& record);
+
+/// run_crash_cell + check_crash_run.
+[[nodiscard]] std::vector<Violation> crash_violations_of(
+    const CrashCellSpec& cell);
+
+/// Declarative crash campaign grid (tools/grids/crash*.json): the cross
+/// product of every axis, minus cells with crash_slot >= slots or f > t.
+struct CrashGridSpec {
+  std::vector<GridSize> sizes;
+  std::vector<std::uint64_t> slot_counts = {8};
+  std::vector<std::uint32_t> cadences = {2};
+  std::vector<std::uint64_t> crash_slots = {3};
+  std::vector<std::uint32_t> worker_counts = {2};
+  std::vector<std::string> adversaries = {"none"};
+  std::vector<std::uint32_t> fs = {0};
+  std::vector<std::uint64_t> seeds = {0x5e7};
+  std::vector<TearMode> tears = {TearMode::kTruncate};
+  std::vector<std::uint64_t> tear_seeds = {0};
+  std::vector<bool> after_checkpoint = {false};
+
+  [[nodiscard]] std::vector<CrashCellSpec> enumerate() const;
+  [[nodiscard]] static bool from_json(const json::Value& v, CrashGridSpec* out,
+                                      std::string* error);
+};
+
+struct CrashCellResult {
+  CrashCellSpec cell;
+  std::vector<Violation> violations;
+  bool used_snapshot = false;
+  std::uint64_t records_replayed = 0;
+  std::uint64_t wal_bytes_truncated = 0;
+  bool checkpoint_completed = false;  // pending checkpoint re-run on recovery
+  std::uint64_t catchup_words = 0;    // certified state-sync transfer cost
+
+  [[nodiscard]] bool passed() const { return violations.empty(); }
+};
+
+struct CrashCampaignReport {
+  std::vector<CrashCellResult> results;
+  std::uint64_t cells_total = 0;
+  std::uint64_t cells_passed = 0;
+
+  [[nodiscard]] std::uint64_t cells_failed() const {
+    return cells_total - cells_passed;
+  }
+  [[nodiscard]] const CrashCellResult* first_failure() const;
+  [[nodiscard]] json::Value to_json() const;
+};
+
+/// Runs the whole crash grid across `jobs` worker threads (0: hardware
+/// concurrency); cells share no mutable state.
+[[nodiscard]] CrashCampaignReport run_crash_campaign(
+    const CrashGridSpec& grid, unsigned jobs = 0,
+    const std::function<void(const CrashCellResult&)>& on_cell = nullptr);
+
+struct CrashShrinkResult {
+  CrashCellSpec minimal;
+  std::string checker;
+  std::uint32_t runs = 0;
+  std::uint32_t steps = 0;
+};
+
+/// Greedy fixpoint shrink over crash-cell moves (fewer slots, earlier
+/// crash, smaller system, one worker, tighter cadence, smaller seeds,
+/// simpler tear), accepting candidates that still fail the same checker.
+[[nodiscard]] CrashShrinkResult shrink_crash_failure(
+    const CrashCellSpec& failing, std::uint32_t max_runs = 96);
+
+/// Bit-for-bit replay file for crash cells (`mewc_vopr --replay` detects
+/// the `mewc_crash_replay: 1` tag and re-runs the cell through
+/// crash_violations_of).
+struct CrashReplay {
+  CrashCellSpec cell;
+  std::vector<Violation> expected;
+
+  [[nodiscard]] json::Value to_json() const;
+  [[nodiscard]] static bool from_json(const json::Value& v, CrashReplay* out,
+                                      std::string* error);
+  [[nodiscard]] bool save(const std::string& path) const;
+  [[nodiscard]] static bool load(const std::string& path, CrashReplay* out,
+                                 std::string* error);
+};
+
+}  // namespace mewc::check

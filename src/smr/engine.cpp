@@ -28,6 +28,7 @@ Engine::Engine(const EngineConfig& config)
         c.seed = config.seed;
         c.checkpoint_every = config.checkpoint_every;
         c.base_instance = config.base_instance;
+        c.durability = config.durability;
         return c;
       }()),
       scheduler_(config.workers, config.queue_capacity),
@@ -120,6 +121,15 @@ void Engine::finish() {
   }
   stats_.backpressure_waits =
       window_waits_ + scheduler_.stats().backpressure_waits;
+}
+
+void Engine::restore(RestoredState state,
+                     const Ledger::AdversaryFactory& adversary) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  MEWC_CHECK_MSG(next_slot_ == 0, "restore before any submit");
+  ledger_.install(std::move(state));
+  ledger_.complete_pending_checkpoint(adversary);
+  next_slot_ = next_commit_ = ledger_.slots().size();
 }
 
 EngineStats Engine::stats() const {

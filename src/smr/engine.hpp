@@ -49,6 +49,9 @@ struct EngineConfig {
   std::uint32_t checkpoint_every = 0;
   /// Instance-nonce base, forwarded to the ledger.
   std::uint64_t base_instance = 1000;
+  /// Optional durability sink, forwarded to the ledger. Callbacks run under
+  /// the commit lock, in slot order (not owned; must outlive the engine).
+  DurabilityHook* durability = nullptr;
 };
 
 struct EngineStats {
@@ -88,6 +91,16 @@ class Engine {
   /// called again afterwards; finish() is idempotent and implied by the
   /// destructor. ledger()/meter()/stats() are only meaningful after it.
   void finish();
+
+  /// Installs recovered ledger state before any submit(); subsequent
+  /// submissions continue from slot `state.slots.size()` with the same
+  /// instance nonces the uninterrupted run would have used. When the
+  /// recovered state has a checkpoint due (crash between a slot's WAL
+  /// record and its checkpoint record), the checkpoint BA is completed
+  /// here, before any new slot runs — its nonce depends only on the slot
+  /// count, so the sealed record matches the uninterrupted run's.
+  void restore(RestoredState state,
+               const Ledger::AdversaryFactory& adversary = nullptr);
 
   [[nodiscard]] const Ledger& ledger() const { return ledger_; }
   /// Slot-ordered merge of the per-instance meters (BB instances only;

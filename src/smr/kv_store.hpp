@@ -54,6 +54,21 @@ class KvState {
   /// replicas match iff they applied the same command sequence.
   [[nodiscard]] std::uint64_t digest() const { return digest_; }
 
+  /// Full contents, for snapshotting. The digest is history-sensitive, so a
+  /// snapshot must carry both the entries and the digest to resume the
+  /// chain mid-stream.
+  [[nodiscard]] const std::map<std::uint32_t, std::uint64_t>& entries() const {
+    return map_;
+  }
+
+  /// Reinstates snapshotted state: contents plus the digest the chain had
+  /// reached when the snapshot was cut.
+  void restore(std::map<std::uint32_t, std::uint64_t> entries,
+               std::uint64_t digest) {
+    map_ = std::move(entries);
+    digest_ = digest;
+  }
+
  private:
   std::map<std::uint32_t, std::uint64_t> map_;
   std::uint64_t digest_ = 0x6b76;  // "kv"

@@ -62,6 +62,9 @@ const SlotRecord& Ledger::commit(std::uint64_t slot,
   // The digest covers the agreed outcome of every slot, skips included.
   digest_ = hash_combine(digest_, hash_combine(slot, rec.value.raw));
   slots_.push_back(rec);
+  if (config_.durability != nullptr) {
+    config_.durability->on_commit(slots_.back(), *this);
+  }
 
   if (!rec.skipped && config_.checkpoint_every != 0) {
     if (++since_checkpoint_ >= config_.checkpoint_every) {
@@ -103,6 +106,51 @@ void Ledger::run_checkpoint(const AdversaryFactory& adversary) {
   healthy_ &= rec.agreement && rec.accepted;
   total_words_ += rec.words;
   checkpoints_.push_back(rec);
+  if (config_.durability != nullptr) {
+    config_.durability->on_checkpoint(checkpoints_.back(), *this);
+  }
+}
+
+std::uint64_t Ledger::replay_digest(std::uint64_t seed,
+                                    const std::vector<SlotRecord>& slots) {
+  std::uint64_t d = mix64(seed ^ 0x1ed6e2);
+  for (const SlotRecord& s : slots) {
+    d = hash_combine(d, hash_combine(s.slot, s.value.raw));
+  }
+  return d;
+}
+
+RestoredState Ledger::export_state() const {
+  RestoredState state;
+  state.slots = slots_;
+  state.checkpoints = checkpoints_;
+  state.total_words = total_words_;
+  state.since_checkpoint = since_checkpoint_;
+  state.healthy = healthy_;
+  return state;
+}
+
+void Ledger::install(RestoredState state) {
+  MEWC_CHECK_MSG(slots_.empty() && checkpoints_.empty(),
+                 "install only into a fresh ledger");
+  for (std::size_t i = 0; i < state.slots.size(); ++i) {
+    MEWC_CHECK_MSG(state.slots[i].slot == i, "restored slots must be dense");
+  }
+  slots_ = std::move(state.slots);
+  checkpoints_ = std::move(state.checkpoints);
+  digest_ = replay_digest(config_.seed, slots_);
+  total_words_ = state.total_words;
+  since_checkpoint_ = state.since_checkpoint;
+  healthy_ = state.healthy;
+}
+
+void Ledger::complete_pending_checkpoint(const AdversaryFactory& adversary) {
+  if (config_.checkpoint_every == 0 ||
+      since_checkpoint_ < config_.checkpoint_every) {
+    return;
+  }
+  since_checkpoint_ = 0;
+  run_checkpoint(adversary);
 }
 
 std::vector<Value> Ledger::committed() const {

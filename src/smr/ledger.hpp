@@ -39,6 +39,33 @@ struct CheckpointRecord {
   std::uint64_t words = 0;
 };
 
+class Ledger;
+
+/// Durability callbacks, invoked synchronously in commit order while the
+/// ledger already reflects the event. on_commit fires once per committed
+/// slot (before any checkpoint that slot triggers); on_checkpoint fires
+/// once per sealed checkpoint. Implementations append WAL records and cut
+/// snapshots (src/smr/recovery.hpp); because commits are strictly in order
+/// the durable byte stream is deterministic regardless of scheduling.
+class DurabilityHook {
+ public:
+  virtual ~DurabilityHook() = default;
+  virtual void on_commit(const SlotRecord& rec, const Ledger& ledger) = 0;
+  virtual void on_checkpoint(const CheckpointRecord& rec,
+                             const Ledger& ledger) = 0;
+};
+
+/// A ledger's complete replayable state, as reconstructed by recovery or
+/// received through catch-up. Install into a fresh Ledger/Engine to resume
+/// exactly where the durable state ends.
+struct RestoredState {
+  std::vector<SlotRecord> slots;
+  std::vector<CheckpointRecord> checkpoints;
+  std::uint64_t total_words = 0;
+  std::uint32_t since_checkpoint = 0;
+  bool healthy = true;
+};
+
 class Ledger {
  public:
   struct Config {
@@ -51,6 +78,8 @@ class Ledger {
     /// Instance-nonce base; every slot/checkpoint gets a distinct nonce so
     /// no signature is replayable across instances.
     std::uint64_t base_instance = 1000;
+    /// Optional durability sink (not owned; must outlive the ledger).
+    DurabilityHook* durability = nullptr;
   };
 
   /// Builds a per-slot adversary. An empty function means no corruption.
@@ -58,6 +87,8 @@ class Ledger {
       std::uint64_t slot, ProcessId proposer)>;
 
   explicit Ledger(Config config);
+
+  [[nodiscard]] const Config& config() const { return config_; }
 
   /// The proposer the rotation assigns to the next slot.
   [[nodiscard]] ProcessId next_proposer() const;
@@ -102,6 +133,35 @@ class Ledger {
   /// True while every slot and checkpoint reached agreement and every
   /// checkpoint was accepted.
   [[nodiscard]] bool healthy() const { return healthy_; }
+
+  /// Non-skipped commits since the last sealed checkpoint. Recovery uses
+  /// this to detect a checkpoint that was due but whose record never made
+  /// it to the WAL (crash between the slot append and the checkpoint).
+  [[nodiscard]] std::uint32_t since_checkpoint() const {
+    return since_checkpoint_;
+  }
+
+  /// The rolling digest a ledger with this seed holds after committing
+  /// exactly `slots` — how recovery and catch-up validate that a slot
+  /// history is internally consistent before trusting it.
+  [[nodiscard]] static std::uint64_t replay_digest(
+      std::uint64_t seed, const std::vector<SlotRecord>& slots);
+
+  /// Snapshot of the replayable state (for durability sinks).
+  [[nodiscard]] RestoredState export_state() const;
+
+  /// Installs recovered/caught-up state into a fresh ledger (no slots
+  /// committed yet). Appends resume at slot `state.slots.size()` with the
+  /// digest recomputed from the history; the durability hook does NOT fire
+  /// for installed slots (they are already durable).
+  void install(RestoredState state);
+
+  /// Runs the checkpoint BA that was due after the last committed slot but
+  /// is missing from durable state (since_checkpoint() == cadence after a
+  /// crash). The instance nonce depends only on the slot count, so the
+  /// sealed record is identical to what the uninterrupted run produced.
+  /// No-op when no checkpoint is pending.
+  void complete_pending_checkpoint(const AdversaryFactory& adversary = nullptr);
 
  private:
   void run_checkpoint(const AdversaryFactory& adversary);

@@ -1,0 +1,276 @@
+#include "smr/recovery.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#include "common/hash.hpp"
+#include "smr/wal.hpp"
+
+namespace mewc::smr {
+
+// ---------------------------------------------------------------------------
+// Durability hook.
+// ---------------------------------------------------------------------------
+
+void Durability::on_commit(const SlotRecord& rec, const Ledger& ledger) {
+  (void)ledger;
+  if (crashed_) return;
+  if (crash_pending_checkpoint_) {
+    // after_checkpoint was armed but the crash slot sealed no checkpoint:
+    // degrade to a plain crash after the crash slot's record.
+    crashed_ = true;
+    return;
+  }
+  wal::append(store_->wal, rec);
+  if (!rec.skipped) kv_.apply(Command::unpack(rec.value));
+  if (rec.slot == crash_.crash_slot) {
+    if (crash_.after_checkpoint) {
+      // Die between the checkpoint's WAL append and the snapshot cut.
+      crash_pending_checkpoint_ = true;
+    } else {
+      crashed_ = true;  // slot record is the torn tail candidate
+    }
+  }
+}
+
+void Durability::on_checkpoint(const CheckpointRecord& rec,
+                               const Ledger& ledger) {
+  if (crashed_) return;
+  wal::append(store_->wal, rec);
+  if (crash_pending_checkpoint_) {
+    // The checkpoint record made it to the WAL; the snapshot did not.
+    crashed_ = true;
+    return;
+  }
+  if (!rec.accepted) return;  // only certified cuts become snapshots
+  Snapshot snap;
+  const RestoredState state = ledger.export_state();
+  snap.after_slot = rec.after_slot;
+  snap.ledger_digest = rec.ledger_digest;
+  snap.total_words = state.total_words;
+  snap.since_checkpoint = state.since_checkpoint;
+  snap.healthy = state.healthy;
+  snap.slots = state.slots;
+  snap.checkpoints = state.checkpoints;
+  snap.cert = rec;
+  snap.kv_entries = kv_.entries();
+  snap.kv_digest = kv_.digest();
+  store_->snapshot = encode_snapshot(snap);
+  ++snapshots_cut_;
+}
+
+// ---------------------------------------------------------------------------
+// WAL tail replay (shared by recovery and catch-up).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct TailReplay {
+  std::uint64_t replayed = 0;
+  /// Offset of the first structurally invalid record (out-of-order slot or
+  /// a checkpoint whose digest does not match the replayed history); the
+  /// log is only trusted up to here. SIZE_MAX = no structural problem.
+  std::size_t structural_stop = SIZE_MAX;
+  /// Offset of the first record actually applied (for transfer costing).
+  std::size_t first_applied = SIZE_MAX;
+};
+
+/// Applies the scanned records that extend `state` (records at or before
+/// the already-installed prefix are skipped), mirroring Ledger::commit's
+/// meter/health/cadence bookkeeping so the restored state is exactly what
+/// the uninterrupted ledger held. With `heal_snapshot` set, every accepted
+/// checkpoint record re-cuts the snapshot from the replayed state — so a
+/// crash between a checkpoint's WAL append and its snapshot write leaves
+/// no lasting gap: recovery restores the "snapshot == latest accepted
+/// checkpoint" invariant from the WAL alone.
+TailReplay replay_records(const Ledger::Config& config,
+                          const std::vector<wal::Record>& records,
+                          std::uint64_t covered_cut, RestoredState& state,
+                          KvState& kv,
+                          std::vector<std::uint8_t>* heal_snapshot) {
+  TailReplay out;
+  std::uint64_t digest = Ledger::replay_digest(config.seed, state.slots);
+  for (const wal::Record& rec : records) {
+    if (rec.type == wal::RecordType::kSlot) {
+      if (rec.slot.slot < state.slots.size()) continue;  // snapshot-covered
+      if (rec.slot.slot != state.slots.size()) {
+        out.structural_stop = rec.offset;
+        break;
+      }
+      digest = hash_combine(digest,
+                            hash_combine(rec.slot.slot, rec.slot.value.raw));
+      state.slots.push_back(rec.slot);
+      state.total_words += rec.slot.words;
+      state.healthy = state.healthy && rec.slot.agreement;
+      if (!rec.slot.skipped) {
+        kv.apply(Command::unpack(rec.slot.value));
+        if (config.checkpoint_every != 0) ++state.since_checkpoint;
+      }
+    } else {
+      if (rec.checkpoint.after_slot <= covered_cut) continue;
+      // A checkpoint seals the history it claims: wrong cut or wrong
+      // digest means the log is lying from here on.
+      if (rec.checkpoint.after_slot != state.slots.size() ||
+          rec.checkpoint.ledger_digest != digest) {
+        out.structural_stop = rec.offset;
+        break;
+      }
+      state.checkpoints.push_back(rec.checkpoint);
+      state.total_words += rec.checkpoint.words;
+      state.healthy =
+          state.healthy && rec.checkpoint.agreement && rec.checkpoint.accepted;
+      state.since_checkpoint = 0;
+      if (heal_snapshot != nullptr && rec.checkpoint.accepted) {
+        Snapshot snap;
+        snap.after_slot = rec.checkpoint.after_slot;
+        snap.ledger_digest = digest;
+        snap.total_words = state.total_words;
+        snap.since_checkpoint = 0;
+        snap.healthy = state.healthy;
+        snap.slots = state.slots;
+        snap.checkpoints = state.checkpoints;
+        snap.cert = rec.checkpoint;
+        snap.kv_entries = kv.entries();
+        snap.kv_digest = kv.digest();
+        *heal_snapshot = encode_snapshot(snap);
+      }
+    }
+    out.first_applied = std::min(out.first_applied, rec.offset);
+    ++out.replayed;
+  }
+  return out;
+}
+
+void install_snapshot(Snapshot snap, RestoredState& state, KvState& kv) {
+  state.slots = std::move(snap.slots);
+  state.checkpoints = std::move(snap.checkpoints);
+  state.total_words = snap.total_words;
+  state.since_checkpoint = snap.since_checkpoint;
+  state.healthy = snap.healthy;
+  kv.restore(std::move(snap.kv_entries), snap.kv_digest);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Recovery.
+// ---------------------------------------------------------------------------
+
+Recovered recover(const Ledger::Config& config, Store& store) {
+  Recovered out;
+  const wal::ScanResult scanned = wal::scan(store.wal);
+
+  std::uint64_t covered_cut = 0;
+  if (!store.snapshot.empty()) {
+    auto snap = decode_snapshot(store.snapshot);
+    if (snap && snap->valid(config.seed)) {
+      out.stats.used_snapshot = true;
+      out.stats.snapshot_slot = snap->after_slot;
+      covered_cut = snap->after_slot;
+      install_snapshot(std::move(*snap), out.state, out.kv);
+    } else {
+      // Torn or invalid snapshot: drop it and rebuild from the WAL alone.
+      store.snapshot.clear();
+    }
+  }
+
+  const TailReplay tail = replay_records(config, scanned.records, covered_cut,
+                                         out.state, out.kv, &store.snapshot);
+  out.stats.records_replayed = tail.replayed;
+
+  // Truncate the store to the verified prefix: torn frames (scan) and
+  // structurally invalid records (replay) are equally untrusted.
+  const std::size_t valid =
+      std::min(scanned.valid_bytes, tail.structural_stop);
+  out.stats.wal_bytes_truncated = store.wal.size() - valid;
+  store.wal.resize(valid);
+
+  out.stats.checkpoint_pending =
+      config.checkpoint_every != 0 &&
+      out.state.since_checkpoint >= config.checkpoint_every;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Catch-up (certified state sync).
+// ---------------------------------------------------------------------------
+
+CaughtUp catch_up(const Ledger::Config& config, const Store& peer) {
+  CaughtUp out;
+  if (peer.snapshot.empty()) return out;  // nothing certified to transfer
+  auto snap = decode_snapshot(peer.snapshot);
+  if (!snap || !snap->valid(config.seed)) return out;
+
+  out.stats.cert_ok = true;
+  out.stats.snapshot_slot = snap->after_slot;
+  const std::uint64_t cut = snap->after_slot;
+  install_snapshot(std::move(*snap), out.state, out.kv);
+
+  const wal::ScanResult scanned = wal::scan(peer.wal);
+  const TailReplay tail = replay_records(config, scanned.records, cut,
+                                         out.state, out.kv, nullptr);
+  out.stats.tail_slots = out.state.slots.size() - cut;
+
+  std::size_t tail_bytes = 0;
+  if (tail.first_applied != SIZE_MAX) {
+    tail_bytes = std::min(scanned.valid_bytes, tail.structural_stop) -
+                 tail.first_applied;
+  }
+  out.stats.words_transferred = (peer.snapshot.size() + tail_bytes + 7) / 8;
+  out.stats.ok = true;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Directory persistence.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kWalFile = "wal.bin";
+constexpr const char* kSnapshotFile = "snapshot.bin";
+
+bool read_bytes(const fs::path& path, std::vector<std::uint8_t>& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out.assign(std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+bool write_bytes(const fs::path& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream outf(path, std::ios::binary | std::ios::trunc);
+  if (!outf) return false;
+  if (!bytes.empty()) {
+    outf.write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+  }
+  return outf.good();
+}
+
+}  // namespace
+
+std::optional<Store> load_store(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return std::nullopt;
+  Store store;
+  // Missing files are a fresh replica, not an error.
+  read_bytes(fs::path(dir) / kWalFile, store.wal);
+  read_bytes(fs::path(dir) / kSnapshotFile, store.snapshot);
+  return store;
+}
+
+bool save_store(const std::string& dir, const Store& store) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return false;
+  return write_bytes(fs::path(dir) / kWalFile, store.wal) &&
+         write_bytes(fs::path(dir) / kSnapshotFile, store.snapshot);
+}
+
+}  // namespace mewc::smr

@@ -1,0 +1,142 @@
+#include "smr/snapshot.hpp"
+
+#include "wire/frame.hpp"
+
+namespace mewc::smr {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x6d736e70;  // "msnp"
+constexpr std::uint32_t kVersion = 1;
+// Defensive bound against corrupt counts in a checksum-colliding body.
+constexpr std::uint32_t kMaxItems = 1u << 24;
+
+void put_slot(wire::Writer& w, const SlotRecord& rec) {
+  w.u64(rec.slot);
+  w.u32(rec.proposer);
+  w.u64(rec.value.raw);
+  w.boolean(rec.skipped);
+  w.boolean(rec.agreement);
+  w.boolean(rec.fallback);
+  w.u64(rec.words);
+}
+
+bool get_slot(wire::Reader& r, SlotRecord& rec) {
+  rec.slot = r.u64();
+  rec.proposer = r.u32();
+  rec.value.raw = r.u64();
+  rec.skipped = r.boolean();
+  rec.agreement = r.boolean();
+  rec.fallback = r.boolean();
+  rec.words = r.u64();
+  return r.ok() && rec.skipped == rec.value.is_bottom();
+}
+
+void put_checkpoint(wire::Writer& w, const CheckpointRecord& rec) {
+  w.u64(rec.after_slot);
+  w.u64(rec.ledger_digest);
+  w.boolean(rec.accepted);
+  w.boolean(rec.agreement);
+  w.u64(rec.words);
+}
+
+bool get_checkpoint(wire::Reader& r, CheckpointRecord& rec) {
+  rec.after_slot = r.u64();
+  rec.ledger_digest = r.u64();
+  rec.accepted = r.boolean();
+  rec.agreement = r.boolean();
+  rec.words = r.u64();
+  return r.ok();
+}
+
+}  // namespace
+
+bool Snapshot::certified() const {
+  return cert.accepted && cert.agreement && cert.after_slot == after_slot &&
+         cert.ledger_digest == ledger_digest;
+}
+
+bool Snapshot::valid(std::uint64_t seed) const {
+  if (!certified()) return false;
+  if (after_slot != slots.size()) return false;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i].slot != i) return false;
+  }
+  return Ledger::replay_digest(seed, slots) == ledger_digest;
+}
+
+std::vector<std::uint8_t> encode_snapshot(const Snapshot& snap) {
+  wire::Writer w;
+  w.u32(kMagic);
+  w.u32(kVersion);
+  w.u64(snap.after_slot);
+  w.u64(snap.ledger_digest);
+  w.u64(snap.total_words);
+  w.u32(snap.since_checkpoint);
+  w.boolean(snap.healthy);
+
+  w.u32(static_cast<std::uint32_t>(snap.slots.size()));
+  for (const SlotRecord& rec : snap.slots) put_slot(w, rec);
+  w.u32(static_cast<std::uint32_t>(snap.checkpoints.size()));
+  for (const CheckpointRecord& rec : snap.checkpoints) put_checkpoint(w, rec);
+  put_checkpoint(w, snap.cert);
+
+  w.u32(static_cast<std::uint32_t>(snap.kv_entries.size()));
+  for (const auto& [key, value] : snap.kv_entries) {
+    w.u32(key);
+    w.u64(value);
+  }
+  w.u64(snap.kv_digest);
+
+  std::vector<std::uint8_t> out;
+  wire::append_frame(out, w.take());
+  return out;
+}
+
+std::optional<Snapshot> decode_snapshot(std::span<const std::uint8_t> bytes) {
+  const auto frame = wire::read_frame(bytes, 0);
+  // Exactly one frame, nothing after it.
+  if (!frame || frame->frame_size != bytes.size()) return std::nullopt;
+
+  wire::Reader r(frame->body);
+  if (r.u32() != kMagic || r.u32() != kVersion) return std::nullopt;
+
+  Snapshot snap;
+  snap.after_slot = r.u64();
+  snap.ledger_digest = r.u64();
+  snap.total_words = r.u64();
+  snap.since_checkpoint = r.u32();
+  snap.healthy = r.boolean();
+
+  const std::uint32_t n_slots = r.u32();
+  if (!r.ok() || n_slots > kMaxItems) return std::nullopt;
+  snap.slots.resize(n_slots);
+  for (SlotRecord& rec : snap.slots) {
+    if (!get_slot(r, rec)) return std::nullopt;
+  }
+  const std::uint32_t n_cps = r.u32();
+  if (!r.ok() || n_cps > kMaxItems) return std::nullopt;
+  snap.checkpoints.resize(n_cps);
+  for (CheckpointRecord& rec : snap.checkpoints) {
+    if (!get_checkpoint(r, rec)) return std::nullopt;
+  }
+  if (!get_checkpoint(r, snap.cert)) return std::nullopt;
+
+  const std::uint32_t n_kv = r.u32();
+  if (!r.ok() || n_kv > kMaxItems) return std::nullopt;
+  std::uint64_t prev_key = 0;
+  for (std::uint32_t i = 0; i < n_kv; ++i) {
+    const std::uint32_t key = r.u32();
+    const std::uint64_t value = r.u64();
+    // Canonical form: strictly ascending keys (it is a serialized map).
+    if (i > 0 && key <= prev_key) return std::nullopt;
+    prev_key = key;
+    snap.kv_entries.emplace_hint(snap.kv_entries.end(), key, value);
+  }
+  snap.kv_digest = r.u64();
+
+  if (!r.done()) return std::nullopt;
+  return snap;
+}
+
+}  // namespace mewc::smr

@@ -1,0 +1,66 @@
+// Snapshots of the durable ledger, cut at checkpoint-certified slots.
+//
+// The paper's Algorithm-5 checkpoint instances give us certified cut
+// points for free: after a checkpoint is sealed, every correct replica
+// agrees the log prefix up to `after_slot` matches `ledger_digest`. A
+// snapshot taken there carries the full replayable ledger state, the kv
+// application state, and the sealing CheckpointRecord as its certificate —
+// which is what lets a restarted replica (or a lagging peer, via catch-up)
+// accept the state without re-running any consensus (cf. VABA-style
+// certified state transfer, arXiv:1811.01332).
+//
+// On disk a snapshot is one checksummed wire::frame whose body starts with
+// a magic + version, so a torn snapshot write is detected exactly like a
+// torn WAL record and recovery falls back to genesis + full WAL replay.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "smr/ledger.hpp"
+
+namespace mewc::smr {
+
+struct Snapshot {
+  /// Cut point: the snapshot covers slots [0, after_slot).
+  std::uint64_t after_slot = 0;
+  /// Rolling ledger digest at the cut (must equal the certificate's).
+  std::uint64_t ledger_digest = 0;
+  std::uint64_t total_words = 0;
+  std::uint32_t since_checkpoint = 0;
+  bool healthy = true;
+
+  /// Full slot/checkpoint history up to the cut (the ledger audits per-slot
+  /// outcomes, so snapshots carry them; values are one word each).
+  std::vector<SlotRecord> slots;
+  std::vector<CheckpointRecord> checkpoints;
+
+  /// The Algorithm-5 checkpoint that seals this cut.
+  CheckpointRecord cert;
+
+  /// Application state at the cut (kv map + its history-sensitive digest).
+  std::map<std::uint32_t, std::uint64_t> kv_entries;
+  std::uint64_t kv_digest = 0;
+
+  /// True when the sealing certificate actually certifies this snapshot:
+  /// accepted + agreed, and its cut/digest match the carried state.
+  [[nodiscard]] bool certified() const;
+
+  /// Internal consistency: the slot history replays to `ledger_digest`
+  /// under `seed`, the cut matches the history length, and the certificate
+  /// checks out. Catch-up runs this before trusting any peer snapshot.
+  [[nodiscard]] bool valid(std::uint64_t seed) const;
+};
+
+/// Encodes the snapshot as one framed, checksummed byte blob.
+[[nodiscard]] std::vector<std::uint8_t> encode_snapshot(const Snapshot& snap);
+
+/// Decodes a snapshot blob; nullopt on any truncation, corruption, magic or
+/// version mismatch, or non-canonical body.
+[[nodiscard]] std::optional<Snapshot> decode_snapshot(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace mewc::smr

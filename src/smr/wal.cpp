@@ -1,0 +1,96 @@
+#include "smr/wal.hpp"
+
+#include <optional>
+
+#include "wire/frame.hpp"
+
+namespace mewc::smr::wal {
+
+namespace {
+
+std::optional<Record> decode_body(std::span<const std::uint8_t> body) {
+  wire::Reader r(body);
+  const std::uint8_t type = r.u8();
+  Record rec;
+  switch (type) {
+    case static_cast<std::uint8_t>(RecordType::kSlot): {
+      rec.type = RecordType::kSlot;
+      rec.slot.slot = r.u64();
+      rec.slot.proposer = r.u32();
+      rec.slot.value.raw = r.u64();
+      rec.slot.skipped = r.boolean();
+      rec.slot.agreement = r.boolean();
+      rec.slot.fallback = r.boolean();
+      rec.slot.words = r.u64();
+      // Canonical form: the skip flag is derived from the value.
+      if (rec.slot.skipped != rec.slot.value.is_bottom()) return std::nullopt;
+      break;
+    }
+    case static_cast<std::uint8_t>(RecordType::kCheckpoint): {
+      rec.type = RecordType::kCheckpoint;
+      rec.checkpoint.after_slot = r.u64();
+      rec.checkpoint.ledger_digest = r.u64();
+      rec.checkpoint.accepted = r.boolean();
+      rec.checkpoint.agreement = r.boolean();
+      rec.checkpoint.words = r.u64();
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  if (!r.done()) return std::nullopt;  // short or over-long body
+  return rec;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_slot(const SlotRecord& rec) {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(RecordType::kSlot));
+  w.u64(rec.slot);
+  w.u32(rec.proposer);
+  w.u64(rec.value.raw);
+  w.boolean(rec.skipped);
+  w.boolean(rec.agreement);
+  w.boolean(rec.fallback);
+  w.u64(rec.words);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_checkpoint(const CheckpointRecord& rec) {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(RecordType::kCheckpoint));
+  w.u64(rec.after_slot);
+  w.u64(rec.ledger_digest);
+  w.boolean(rec.accepted);
+  w.boolean(rec.agreement);
+  w.u64(rec.words);
+  return w.take();
+}
+
+void append(std::vector<std::uint8_t>& log, const SlotRecord& rec) {
+  wire::append_frame(log, encode_slot(rec));
+}
+
+void append(std::vector<std::uint8_t>& log, const CheckpointRecord& rec) {
+  wire::append_frame(log, encode_checkpoint(rec));
+}
+
+ScanResult scan(std::span<const std::uint8_t> log) {
+  ScanResult out;
+  std::size_t offset = 0;
+  while (offset < log.size()) {
+    const auto frame = wire::read_frame(log, offset);
+    if (!frame) break;
+    auto rec = decode_body(frame->body);
+    if (!rec) break;  // checksum-valid but semantically malformed: stop here
+    rec->offset = offset;
+    out.records.push_back(*rec);
+    offset += frame->frame_size;
+  }
+  out.valid_bytes = offset;
+  out.torn = offset < log.size();
+  return out;
+}
+
+}  // namespace mewc::smr::wal

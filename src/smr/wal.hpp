@@ -1,0 +1,60 @@
+// Write-ahead log for the durable ledger: one checksummed frame per event,
+// appended in commit order (slot records interleaved with the checkpoint
+// records they trigger). The byte stream is deterministic because commits
+// are strictly in slot order regardless of engine scheduling.
+//
+// Record body = `u8 type | type-specific fields` (little-endian, via the
+// wire primitives); each body is wrapped in a wire::frame
+// (`u32 len | u64 checksum | body`), so a crash mid-append leaves a torn
+// tail that scan() detects at the first bad length/checksum and recovery
+// truncates. A partially-written record is never surfaced as a slot.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "smr/ledger.hpp"
+
+namespace mewc::smr::wal {
+
+enum class RecordType : std::uint8_t {
+  kSlot = 1,
+  kCheckpoint = 2,
+};
+
+/// One decoded WAL record plus where its frame starts in the log — the
+/// offset is what lets recovery (and tests) truncate or corrupt the log at
+/// exact record boundaries.
+struct Record {
+  RecordType type = RecordType::kSlot;
+  SlotRecord slot;              // valid when type == kSlot
+  CheckpointRecord checkpoint;  // valid when type == kCheckpoint
+  std::size_t offset = 0;       // frame start within the log
+};
+
+/// Encodes one record body (no frame header).
+[[nodiscard]] std::vector<std::uint8_t> encode_slot(const SlotRecord& rec);
+[[nodiscard]] std::vector<std::uint8_t> encode_checkpoint(
+    const CheckpointRecord& rec);
+
+/// Appends one framed record to the log bytes.
+void append(std::vector<std::uint8_t>& log, const SlotRecord& rec);
+void append(std::vector<std::uint8_t>& log, const CheckpointRecord& rec);
+
+struct ScanResult {
+  std::vector<Record> records;
+  /// Length of the valid prefix: every frame before this offset decoded
+  /// and checksummed clean; recovery truncates the log here.
+  std::size_t valid_bytes = 0;
+  /// True when trailing bytes past valid_bytes were dropped (torn write,
+  /// corruption, or trailing garbage).
+  bool torn = false;
+};
+
+/// Walks the log from the start, decoding records until the first invalid
+/// frame or malformed body. Never throws/aborts on hostile bytes: whatever
+/// cannot be fully verified is simply not part of the valid prefix.
+[[nodiscard]] ScanResult scan(std::span<const std::uint8_t> log);
+
+}  // namespace mewc::smr::wal

@@ -7,82 +7,14 @@
 #include "ba/weak_ba/messages.hpp"
 #include "common/check.hpp"
 #include "net/arena.hpp"
+#include "wire/frame.hpp"
 
 namespace mewc::wire {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Primitive writer/reader.
-// ---------------------------------------------------------------------------
-
-class Writer {
- public:
-  void u8(std::uint8_t v) { buf_.push_back(v); }
-  void u32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
-  }
-  void u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
-  }
-  void boolean(bool v) { u8(v ? 1 : 0); }
-
-  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
-
- private:
-  std::vector<std::uint8_t> buf_;
-};
-
-class Reader {
- public:
-  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
-
-  [[nodiscard]] bool ok() const { return ok_; }
-  [[nodiscard]] bool done() const { return ok_ && pos_ == bytes_.size(); }
-
-  std::uint8_t u8() {
-    if (!need(1)) return 0;
-    return bytes_[pos_++];
-  }
-  std::uint32_t u32() {
-    if (!need(4)) return 0;
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= std::uint32_t{bytes_[pos_++]} << (8 * i);
-    return v;
-  }
-  std::uint64_t u64() {
-    if (!need(8)) return 0;
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= std::uint64_t{bytes_[pos_++]} << (8 * i);
-    return v;
-  }
-  bool boolean() {
-    const std::uint8_t v = u8();
-    if (v > 1) ok_ = false;  // canonical booleans only
-    return v == 1;
-  }
-
-  /// Consumes `len` raw bytes (for nested encodings).
-  std::span<const std::uint8_t> take_bytes(std::uint32_t len) {
-    if (!need(len)) return {};
-    const auto out = bytes_.subspan(pos_, len);
-    pos_ += len;
-    return out;
-  }
-
- private:
-  bool need(std::size_t k) {
-    if (!ok_ || bytes_.size() - pos_ < k) {
-      ok_ = false;
-      return false;
-    }
-    return true;
-  }
-
-  std::span<const std::uint8_t> bytes_;
-  std::size_t pos_ = 0;
-  bool ok_ = true;
-};
+// Byte primitives (Writer/Reader) live in wire/frame.hpp, shared with the
+// durable WAL/snapshot formats.
 
 // ---------------------------------------------------------------------------
 // Compound field codecs.

@@ -1,0 +1,43 @@
+#include "wire/frame.hpp"
+
+#include "common/hash.hpp"
+
+namespace mewc::wire {
+
+std::uint64_t checksum(std::span<const std::uint8_t> bytes) {
+  // FNV-1a/64 over the body, finished through mix64 so short bodies still
+  // spread across all 64 bits.
+  std::uint64_t h = 14695981039346656037ull;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return mix64(h ^ (std::uint64_t{0x66726d} << 32 | bytes.size()));
+}
+
+void append_frame(std::vector<std::uint8_t>& out,
+                  std::span<const std::uint8_t> body) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(body.size()));
+  w.u64(checksum(body));
+  auto header = w.take();
+  out.insert(out.end(), header.begin(), header.end());
+  out.insert(out.end(), body.begin(), body.end());
+}
+
+std::optional<FrameView> read_frame(std::span<const std::uint8_t> bytes,
+                                    std::size_t offset) {
+  if (offset > bytes.size() || bytes.size() - offset < kFrameHeader) {
+    return std::nullopt;
+  }
+  Reader r(bytes.subspan(offset, kFrameHeader));
+  const std::uint32_t len = r.u32();
+  const std::uint64_t sum = r.u64();
+  if (!r.done() || len > kMaxFrameBody) return std::nullopt;
+  if (bytes.size() - offset - kFrameHeader < len) return std::nullopt;
+  const auto body = bytes.subspan(offset + kFrameHeader, len);
+  if (checksum(body) != sum) return std::nullopt;
+  return FrameView{body, kFrameHeader + len};
+}
+
+}  // namespace mewc::wire

@@ -1,0 +1,283 @@
+// Crash-injection cells: convergence across every tear mode, run
+// determinism, grid enumeration/validation, campaign parallelism
+// equivalence, shrinking, and the mewc_crash_replay round trip. Suite
+// names all start with "Crash" so the crash_unit_smoke ctest entry
+// (--gtest_filter=Crash*.*) picks up exactly these.
+#include "check/crash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace mewc::check {
+namespace {
+
+/// A cell small enough that a full reference+crash+catch-up pair runs in
+/// milliseconds, but with a cadence that seals checkpoints before and
+/// after the crash point.
+CrashCellSpec small_cell() {
+  CrashCellSpec cell;
+  cell.n = 4;
+  cell.t = 1;
+  cell.f = 0;
+  cell.adversary = "none";
+  cell.slots = 6;
+  cell.checkpoint_every = 2;
+  cell.crash_slot = 3;
+  cell.workers = 2;
+  cell.seed = 1455;
+  cell.tear = TearMode::kTruncate;
+  cell.tear_seed = 0;
+  return cell;
+}
+
+TEST(CrashCell, EveryTearModeConvergesOnTheReference) {
+  for (TearMode tear :
+       {TearMode::kNone, TearMode::kTruncate, TearMode::kCorrupt}) {
+    for (bool after_cp : {false, true}) {
+      CrashCellSpec cell = small_cell();
+      cell.tear = tear;
+      cell.after_checkpoint = after_cp;
+      const CrashRunRecord record = run_crash_cell(cell);
+      const auto violations = check_crash_run(record);
+      for (const Violation& v : violations) {
+        ADD_FAILURE() << cell.label() << ": " << v.checker << ": " << v.detail;
+      }
+      // Convergence in the strongest form: the continued run's durable log
+      // is bit-identical to one that never crashed.
+      EXPECT_EQ(record.final_wal, record.ref_wal) << cell.label();
+      EXPECT_EQ(record.final_digest, record.ref_digest) << cell.label();
+    }
+  }
+}
+
+TEST(CrashCell, RunsAreDeterministic) {
+  const CrashCellSpec cell = small_cell();
+  const CrashRunRecord a = run_crash_cell(cell);
+  const CrashRunRecord b = run_crash_cell(cell);
+  EXPECT_EQ(a.ref_digest, b.ref_digest);
+  EXPECT_EQ(a.ref_wal, b.ref_wal);
+  EXPECT_EQ(a.tear_offset, b.tear_offset);
+  EXPECT_EQ(a.torn_record_offset, b.torn_record_offset);
+  EXPECT_EQ(a.recovered_slots, b.recovered_slots);
+  EXPECT_EQ(a.recovered_digest, b.recovered_digest);
+  EXPECT_EQ(a.final_wal, b.final_wal);
+  EXPECT_EQ(a.final_kv_digest, b.final_kv_digest);
+  EXPECT_EQ(a.catchup_digest, b.catchup_digest);
+}
+
+TEST(CrashCell, WorkerCountDoesNotChangeTheOutcome) {
+  CrashCellSpec one = small_cell();
+  one.workers = 1;
+  CrashCellSpec three = small_cell();
+  three.workers = 3;
+  const CrashRunRecord a = run_crash_cell(one);
+  const CrashRunRecord b = run_crash_cell(three);
+  EXPECT_EQ(a.ref_wal, b.ref_wal);
+  EXPECT_EQ(a.final_wal, b.final_wal);
+  EXPECT_EQ(a.final_digest, b.final_digest);
+}
+
+TEST(CrashCell, AfterCheckpointDegradesWhenNoCheckpointFires) {
+  // crash_slot 0 with cadence 2 seals no checkpoint at the crash point, so
+  // the after_checkpoint arm must degrade to a plain crash and still pass.
+  CrashCellSpec cell = small_cell();
+  cell.crash_slot = 0;
+  cell.after_checkpoint = true;
+  const CrashRunRecord record = run_crash_cell(cell);
+  EXPECT_TRUE(check_crash_run(record).empty());
+  EXPECT_FALSE(record.recovery.used_snapshot);  // nothing was cut yet
+}
+
+TEST(CrashCell, ProposalWorkloadIsPureInSeedAndSlot) {
+  for (std::uint64_t slot = 0; slot < 16; ++slot) {
+    const smr::Command a = crash_proposal(1455, slot);
+    const smr::Command b = crash_proposal(1455, slot);
+    EXPECT_EQ(a.pack().raw, b.pack().raw) << "slot " << slot;
+  }
+  EXPECT_NE(crash_proposal(1455, 0).pack().raw,
+            crash_proposal(2899, 0).pack().raw);
+}
+
+TEST(CrashCell, LabelNamesEveryAxis) {
+  CrashCellSpec cell = small_cell();
+  cell.after_checkpoint = true;
+  const std::string label = cell.label();
+  EXPECT_NE(label.find("n=4"), std::string::npos) << label;
+  EXPECT_NE(label.find("crash@3+cp"), std::string::npos) << label;
+  EXPECT_NE(label.find("tear=truncate:0"), std::string::npos) << label;
+}
+
+TEST(CrashGrid, EnumerateSkipsImpossibleCells) {
+  CrashGridSpec grid;
+  grid.sizes = {{0, 1}, {0, 2}};
+  grid.slot_counts = {4};
+  grid.cadences = {2};
+  grid.crash_slots = {1, 4, 9};  // 4 and 9 are >= slots: skipped
+  grid.worker_counts = {1};
+  grid.adversaries = {"none", "crash"};
+  grid.fs = {0, 2};  // f=2 only fits t=2
+  grid.seeds = {7};
+  grid.tears = {TearMode::kNone, TearMode::kTruncate};
+  grid.tear_seeds = {0};
+  grid.after_checkpoint = {false};
+  const auto cells = grid.enumerate();
+  // sizes(2) x crash_slots(1 valid) x adversaries(2) x tears(2) x fs —
+  // f=0 everywhere, f=2 only for t=2: (2*1 + 1*1) * 2 * 2 = 12.
+  EXPECT_EQ(cells.size(), 12u);
+  for (const CrashCellSpec& cell : cells) {
+    EXPECT_LT(cell.crash_slot, cell.slots);
+    EXPECT_LE(cell.f, cell.t);
+    EXPECT_GE(cell.n, 2 * cell.t + 1);
+  }
+}
+
+TEST(CrashGrid, FromJsonParsesEveryAxis) {
+  const auto v = json::parse(R"({
+    "sizes": [{"t": 1}, {"n": 9, "t": 2}],
+    "slots": [6], "cadences": [2, 3], "crash_slots": [0, 3],
+    "workers": [2], "adversaries": ["none", "crash"], "fs": [0, 1],
+    "seeds": [1455], "tears": ["none", "truncate", "corrupt"],
+    "tear_seeds": [0, 1], "after_checkpoint": [false, true]
+  })");
+  ASSERT_TRUE(v.has_value());
+  CrashGridSpec grid;
+  std::string error;
+  ASSERT_TRUE(CrashGridSpec::from_json(*v, &grid, &error)) << error;
+  EXPECT_EQ(grid.sizes.size(), 2u);
+  EXPECT_EQ(grid.sizes[1].n, 9u);
+  EXPECT_EQ(grid.cadences.size(), 2u);
+  EXPECT_EQ(grid.tears.size(), 3u);
+  EXPECT_EQ(grid.after_checkpoint.size(), 2u);
+  EXPECT_FALSE(grid.enumerate().empty());
+}
+
+TEST(CrashGrid, FromJsonRejectsBadAxes) {
+  CrashGridSpec grid;
+  std::string error;
+  const auto bad_tear = json::parse(
+      R"({"sizes": [{"t": 1}], "tears": ["shred"]})");
+  ASSERT_TRUE(bad_tear.has_value());
+  EXPECT_FALSE(CrashGridSpec::from_json(*bad_tear, &grid, &error));
+  EXPECT_FALSE(error.empty());
+
+  const auto bad_adv = json::parse(
+      R"({"sizes": [{"t": 1}], "adversaries": ["gremlin"]})");
+  ASSERT_TRUE(bad_adv.has_value());
+  EXPECT_FALSE(CrashGridSpec::from_json(*bad_adv, &grid, &error));
+}
+
+TEST(CrashCampaign, ParallelAndSerialRunsAgree) {
+  CrashGridSpec grid;
+  grid.sizes = {{0, 1}};
+  grid.slot_counts = {5};
+  grid.cadences = {2};
+  grid.crash_slots = {1, 3};
+  grid.worker_counts = {2};
+  grid.adversaries = {"none"};
+  grid.fs = {0};
+  grid.seeds = {1455, 2899};
+  grid.tears = {TearMode::kTruncate, TearMode::kCorrupt};
+  grid.tear_seeds = {0};
+  grid.after_checkpoint = {false};
+
+  const CrashCampaignReport serial = run_crash_campaign(grid, 1);
+  const CrashCampaignReport parallel = run_crash_campaign(grid, 4);
+  EXPECT_EQ(serial.cells_total, 8u);
+  EXPECT_EQ(serial.cells_passed, serial.cells_total);
+  ASSERT_EQ(serial.results.size(), parallel.results.size());
+  for (std::size_t i = 0; i < serial.results.size(); ++i) {
+    // Results are stored by cell index, so ordering is deterministic even
+    // under the thread pool.
+    EXPECT_EQ(serial.results[i].cell.label(), parallel.results[i].cell.label());
+    EXPECT_EQ(serial.results[i].passed(), parallel.results[i].passed());
+    EXPECT_EQ(serial.results[i].records_replayed,
+              parallel.results[i].records_replayed);
+  }
+}
+
+TEST(CrashCampaign, ReportJsonCarriesRecoveryAggregates) {
+  CrashGridSpec grid;
+  grid.sizes = {{0, 1}};
+  grid.slot_counts = {5};
+  grid.cadences = {2};
+  grid.crash_slots = {3};
+  grid.worker_counts = {1};
+  grid.seeds = {1455};
+  grid.tears = {TearMode::kTruncate};
+  const CrashCampaignReport report = run_crash_campaign(grid, 1);
+  const json::Value v = report.to_json();
+  EXPECT_EQ(v["cells_total"].as_u64(), report.cells_total);
+  EXPECT_EQ(v["cells_passed"].as_u64(), report.cells_passed);
+  EXPECT_TRUE(v["recovery"].is_object());
+  EXPECT_TRUE(v["failures"].is_array());
+  EXPECT_EQ(report.first_failure(), nullptr);
+}
+
+TEST(CrashShrink, PassingCellReturnsImmediately) {
+  const CrashShrinkResult result = shrink_crash_failure(small_cell());
+  EXPECT_EQ(result.runs, 1u);
+  EXPECT_EQ(result.steps, 0u);
+  EXPECT_TRUE(result.checker.empty());
+  EXPECT_EQ(result.minimal.label(), small_cell().label());
+}
+
+TEST(CrashReplayFile, RoundTripsThroughJson) {
+  CrashReplay replay;
+  replay.cell = small_cell();
+  replay.cell.after_checkpoint = true;
+  replay.cell.tear = TearMode::kCorrupt;
+  replay.expected.push_back({"crash-digest", "final digest mismatch"});
+
+  const std::string text = replay.to_json().dump(2);
+  const auto parsed = json::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ((*parsed)["mewc_crash_replay"].as_u64(), 1u);
+
+  CrashReplay loaded;
+  std::string error;
+  ASSERT_TRUE(CrashReplay::from_json(*parsed, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.cell.label(), replay.cell.label());
+  ASSERT_EQ(loaded.expected.size(), 1u);
+  EXPECT_EQ(loaded.expected[0].checker, "crash-digest");
+}
+
+TEST(CrashReplayFile, RejectsMalformedCells) {
+  CrashReplay out;
+  std::string error;
+
+  const auto crash_past_end = json::parse(R"({
+    "mewc_crash_replay": 1,
+    "cell": {"n": 4, "t": 1, "slots": 4, "crash_slot": 9, "workers": 1,
+             "checkpoint_every": 2, "seed": 1, "adversary": "none", "f": 0,
+             "tear": "truncate", "tear_seed": 0, "after_checkpoint": false},
+    "violations": []
+  })");
+  ASSERT_TRUE(crash_past_end.has_value());
+  EXPECT_FALSE(CrashReplay::from_json(*crash_past_end, &out, &error));
+  EXPECT_FALSE(error.empty());
+
+  const auto too_small = json::parse(R"({
+    "mewc_crash_replay": 1,
+    "cell": {"n": 2, "t": 1, "slots": 4, "crash_slot": 1, "workers": 1,
+             "checkpoint_every": 2, "seed": 1, "adversary": "none", "f": 0,
+             "tear": "truncate", "tear_seed": 0, "after_checkpoint": false},
+    "violations": []
+  })");
+  ASSERT_TRUE(too_small.has_value());
+  EXPECT_FALSE(CrashReplay::from_json(*too_small, &out, &error));
+}
+
+TEST(CrashTearNames, RoundTrip) {
+  for (TearMode mode :
+       {TearMode::kNone, TearMode::kTruncate, TearMode::kCorrupt}) {
+    const auto parsed = parse_tear(tear_name(mode));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_FALSE(parse_tear("shred").has_value());
+}
+
+}  // namespace
+}  // namespace mewc::check

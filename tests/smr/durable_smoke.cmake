@@ -1,0 +1,69 @@
+# Durable round trip through the real CLI: commit 9 slots into a WAL
+# directory, recover from it and continue to 16, then compare against a
+# clean 16-slot run that never crashed. The digests (and checkpoint
+# counts) must match, proving `--wal-dir` + `--recover` reproduce the
+# uninterrupted ledger. Run via:
+#   cmake -DMEWC_SIM=<mewc_sim> -DWAL_DIR=<scratch dir> -P durable_smoke.cmake
+
+if(NOT DEFINED MEWC_SIM OR NOT DEFINED WAL_DIR)
+  message(FATAL_ERROR
+          "usage: cmake -DMEWC_SIM=<tool> -DWAL_DIR=<dir> -P durable_smoke.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WAL_DIR}")
+
+set(common --smr --n 5 --t 2 --workers 2 --queue 4)
+
+function(run_sim out_var)
+  execute_process(COMMAND ${MEWC_SIM} ${ARGN}
+                  OUTPUT_VARIABLE out
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "mewc_sim ${ARGN} exited ${rc}:\n${out}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+function(digest_of out_var text phase)
+  string(REGEX MATCH "ledger digest: [0-9a-f]+" line "${text}")
+  if(line STREQUAL "")
+    message(FATAL_ERROR "${phase}: no ledger digest line in:\n${text}")
+  endif()
+  set(${out_var} "${line}" PARENT_SCOPE)
+endfunction()
+
+# Phase 1: persist 9 slots (default --smr cadence 8, so one checkpoint and
+# one snapshot are cut before the "crash" — stopping the process here is
+# the crash).
+run_sim(persist ${common} --slots 9 --wal-dir "${WAL_DIR}")
+if(NOT persist MATCHES "durable store: ")
+  message(FATAL_ERROR "phase 1 wrote no durable store:\n${persist}")
+endif()
+
+# Phase 2: recover from the store and continue to 16 slots.
+run_sim(recovered ${common} --slots 16 --wal-dir "${WAL_DIR}" --recover)
+if(NOT recovered MATCHES "recovered 9 slots")
+  message(FATAL_ERROR "phase 2 did not recover 9 slots:\n${recovered}")
+endif()
+if(NOT recovered MATCHES "snapshot: yes")
+  message(FATAL_ERROR "phase 2 recovery ignored the snapshot:\n${recovered}")
+endif()
+
+# Phase 3: the uninterrupted reference.
+run_sim(reference ${common} --slots 16)
+
+digest_of(recovered_digest "${recovered}" "phase 2")
+digest_of(reference_digest "${reference}" "phase 3")
+if(NOT recovered_digest STREQUAL reference_digest)
+  message(FATAL_ERROR
+          "recovered run diverged: ${recovered_digest} vs ${reference_digest}")
+endif()
+
+string(REGEX MATCH "checkpoints:   [0-9]+" recovered_cp "${recovered}")
+string(REGEX MATCH "checkpoints:   [0-9]+" reference_cp "${reference}")
+if(NOT recovered_cp STREQUAL reference_cp)
+  message(FATAL_ERROR
+          "checkpoint streams diverged: ${recovered_cp} vs ${reference_cp}")
+endif()
+
+message(STATUS "durable round trip converged (${recovered_digest})")

@@ -17,13 +17,23 @@
 //            [--by-kind] [--by-round]
 //   mewc_sim --smr [--slots K] [--workers W] [--queue Q]
 //            [--checkpoint-every C] [--t T] [--n N] [--seed SEED]
-//            [--backend sim|shamir]
+//            [--backend sim|shamir] [--wal-dir DIR] [--recover]
+//
+// In --smr mode the checkpoint cadence defaults to 8 (pass
+// --checkpoint-every 0 to disable), and a run that should have sealed
+// checkpoints but sealed none exits nonzero — the checkpoint lane is load-
+// bearing for durability, so it must actually be exercised. --wal-dir
+// persists the WAL and latest certified snapshot under DIR; --recover loads
+// them first, recovers (truncating any torn WAL tail), completes a pending
+// checkpoint, and continues the workload from the recovered slot.
 //
 // Examples:
 //   mewc_sim --protocol bb --t 10 --f 3 --adversary crash
 //   mewc_sim --protocol weak-ba --t 5 --adversary killer --f 2 --by-kind
 //   mewc_sim --protocol strong-ba --t 20            # failure-free O(n)
 //   mewc_sim --smr --n 9 --t 4 --slots 64 --workers 4 --checkpoint-every 8
+//   mewc_sim --smr --slots 64 --wal-dir /tmp/mewc-wal
+//   mewc_sim --smr --slots 64 --wal-dir /tmp/mewc-wal --recover
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +45,7 @@
 #include "check/adversary_registry.hpp"
 #include "check/protocols.hpp"
 #include "smr/engine.hpp"
+#include "smr/recovery.hpp"
 
 namespace {
 
@@ -57,7 +68,11 @@ struct Options {
   std::uint64_t slots = 32;
   std::uint32_t workers = 1;
   std::uint32_t queue = 16;
-  std::uint32_t checkpoint_every = 0;
+  /// UINT32_MAX = unset; --smr then defaults to a cadence of 8 so the
+  /// checkpoint lane is exercised unless explicitly disabled with 0.
+  std::uint32_t checkpoint_every = UINT32_MAX;
+  std::string wal_dir;
+  bool recover = false;
 };
 
 std::string driver_names_joined() {
@@ -78,7 +93,8 @@ std::string driver_names_joined() {
       "          [--value V] [--sender S] [--seed SEED]\n"
       "          [--backend sim|shamir] [--by-kind] [--by-round]\n"
       "       %s --smr [--slots K] [--workers W] [--queue Q]\n"
-      "          [--checkpoint-every C] [--t T] [--n N] [--seed SEED]\n",
+      "          [--checkpoint-every C] [--t T] [--n N] [--seed SEED]\n"
+      "          [--wal-dir DIR] [--recover]\n",
       self, driver_names_joined().c_str(), self);
   std::exit(2);
 }
@@ -126,6 +142,10 @@ Options parse(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--checkpoint-every")) {
       o.checkpoint_every =
           static_cast<std::uint32_t>(std::atoi(need("--checkpoint-every")));
+    } else if (!std::strcmp(argv[i], "--wal-dir")) {
+      o.wal_dir = need("--wal-dir");
+    } else if (!std::strcmp(argv[i], "--recover")) {
+      o.recover = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       usage_and_exit(argv[0]);
@@ -264,7 +284,13 @@ int run_smr(const Options& o) {
   config.seed = o.seed;
   config.workers = o.workers;
   config.queue_capacity = o.queue;
-  config.checkpoint_every = o.checkpoint_every;
+  config.checkpoint_every =
+      o.checkpoint_every == UINT32_MAX ? 8 : o.checkpoint_every;
+
+  if (o.recover && o.wal_dir.empty()) {
+    std::fprintf(stderr, "--recover needs --wal-dir DIR\n");
+    return 2;
+  }
 
   std::printf("smr n=%u t=%u workers=%u queue=%u checkpoint_every=%u "
               "slots=%llu seed=%llu\n\n",
@@ -273,12 +299,59 @@ int run_smr(const Options& o) {
               static_cast<unsigned long long>(o.slots),
               static_cast<unsigned long long>(o.seed));
 
+  // Durable mode: all committed slots and sealed checkpoints stream into
+  // DIR/wal.bin, certified checkpoints cut DIR/snapshot.bin.
+  smr::Store store;
+  std::optional<smr::Durability> durability;
+  std::optional<smr::Recovered> recovered;
+  if (!o.wal_dir.empty()) {
+    if (o.recover) {
+      auto loaded = smr::load_store(o.wal_dir);
+      if (!loaded) {
+        std::fprintf(stderr, "cannot read store under %s\n", o.wal_dir.c_str());
+        return 2;
+      }
+      store = std::move(*loaded);
+      smr::Ledger::Config lc;
+      lc.n = config.n;
+      lc.t = config.t;
+      lc.backend = config.backend;
+      lc.seed = config.seed;
+      lc.checkpoint_every = config.checkpoint_every;
+      recovered = smr::recover(lc, store);
+      std::printf("recovered %zu slots from %s (snapshot: %s @ %llu, "
+                  "%llu WAL records replayed, %llu torn bytes truncated, "
+                  "checkpoint pending: %s)\n\n",
+                  recovered->state.slots.size(), o.wal_dir.c_str(),
+                  recovered->stats.used_snapshot ? "yes" : "no",
+                  static_cast<unsigned long long>(
+                      recovered->stats.snapshot_slot),
+                  static_cast<unsigned long long>(
+                      recovered->stats.records_replayed),
+                  static_cast<unsigned long long>(
+                      recovered->stats.wal_bytes_truncated),
+                  recovered->stats.checkpoint_pending ? "yes" : "no");
+    }
+    durability.emplace(&store);
+    if (recovered) durability->reset_kv(recovered->kv);
+    config.durability = &*durability;
+  }
+
   const auto start = std::chrono::steady_clock::now();
   smr::Engine engine(config);
-  for (std::uint64_t s = 0; s < o.slots; ++s) {
+  std::uint64_t first_slot = 0;
+  if (recovered) {
+    first_slot = recovered->state.slots.size();
+    engine.restore(std::move(recovered->state));
+  }
+  for (std::uint64_t s = first_slot; s < o.slots; ++s) {
     engine.submit(Value(o.value + s));
   }
   engine.finish();
+  if (!o.wal_dir.empty() && !smr::save_store(o.wal_dir, store)) {
+    std::fprintf(stderr, "cannot write store under %s\n", o.wal_dir.c_str());
+    return 2;
+  }
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -306,6 +379,19 @@ int run_smr(const Options& o) {
               static_cast<unsigned long long>(stats.backpressure_waits));
   std::printf("throughput:    %.1f instances/sec (%.3fs wall)\n",
               secs > 0 ? static_cast<double>(o.slots) / secs : 0.0, secs);
+  if (!o.wal_dir.empty()) {
+    std::printf("durable store: %zu WAL bytes, %zu snapshot bytes under %s\n",
+                store.wal.size(), store.snapshot.size(), o.wal_dir.c_str());
+  }
+  // The checkpoint lane must actually run when the cadence says it should;
+  // a silent zero here means the durability story went untested.
+  if (config.checkpoint_every != 0 && o.slots >= config.checkpoint_every &&
+      ledger.checkpoints().empty()) {
+    std::printf("FAIL: cadence %u with %llu slots sealed no checkpoints\n",
+                config.checkpoint_every,
+                static_cast<unsigned long long>(o.slots));
+    return 1;
+  }
   return ledger.healthy() ? 0 : 1;
 }
 

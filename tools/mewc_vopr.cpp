@@ -22,13 +22,23 @@
 // of --jobs. Corpus entries are minimized through the shrinker and written
 // as replay files; a violation is shrunk exactly like a campaign failure.
 //
+// Crash mode: crash-injection campaign over the durable SMR engine. Each
+// cell runs an uninterrupted reference, then a run that is killed mid-slot,
+// has its last WAL write torn at a seeded byte offset, recovers, and
+// continues — and must end digest-identical to the reference (ledger, kv
+// state, word meters, checkpoint stream, WAL bytes). Failures shrink and
+// replay exactly like protocol cells; --replay dispatches on the file tag.
+//
 // Usage:
 //   mewc_vopr --grid FILE [--jobs N] [--report FILE] [--cells]
 //             [--no-shrink] [--replay-out FILE] [--word-budget-c C]
 //             [--max-shrink-runs N]
+//   mewc_vopr --crash-grid FILE [--jobs N] [--report FILE] [--cells]
+//             [--no-shrink] [--replay-out FILE] [--max-shrink-runs N]
 //   mewc_vopr --fuzz --budget N [--seed S] [--jobs N] [--corpus DIR]
 //             [--fuzz-report FILE] [--min-sites K] [--require-site NAME]...
-//             [--no-shrink] [--replay-out FILE] [--word-budget-c C]
+//             [--expect-unreachable NAME]... [--no-shrink]
+//             [--replay-out FILE] [--word-budget-c C]
 //   mewc_vopr --replay FILE [--no-trace]
 //   mewc_vopr --list
 //
@@ -46,6 +56,7 @@
 #include "check/adversary_registry.hpp"
 #include "check/campaign.hpp"
 #include "check/coverage.hpp"
+#include "check/crash.hpp"
 #include "check/mutator.hpp"
 #include "check/runner.hpp"
 #include "check/shrink.hpp"
@@ -57,6 +68,7 @@ using namespace mewc;
 
 struct Options {
   std::string grid_path;
+  std::string crash_grid_path;
   std::string replay_path;
   std::string report_path;
   std::string replay_out = "vopr-replay.json";
@@ -75,6 +87,7 @@ struct Options {
   std::string fuzz_report_path;
   std::uint64_t min_sites = 0;
   std::vector<std::string> require_sites;
+  std::vector<std::string> expect_unreachable;
 };
 
 [[noreturn]] void usage_and_exit(const char* self) {
@@ -83,13 +96,16 @@ struct Options {
       "usage: %s --grid FILE [--jobs N] [--report FILE] [--cells]\n"
       "          [--no-shrink] [--replay-out FILE] [--word-budget-c C]\n"
       "          [--max-shrink-runs N]\n"
+      "       %s --crash-grid FILE [--jobs N] [--report FILE] [--cells]\n"
+      "          [--no-shrink] [--replay-out FILE] [--max-shrink-runs N]\n"
       "       %s --fuzz --budget N [--seed S] [--jobs N] [--corpus DIR]\n"
       "          [--fuzz-report FILE] [--min-sites K] [--require-site NAME]\n"
+      "          [--expect-unreachable NAME]\n"
       "       %s --replay FILE [--no-trace]\n"
       "       %s --list\n"
       "protocols:   %s\n"
       "adversaries: %s\n",
-      self, self, self, self, check::protocol_names_joined().c_str(),
+      self, self, self, self, self, check::protocol_names_joined().c_str(),
       check::adversary_names_joined().c_str());
   std::exit(2);
 }
@@ -106,6 +122,8 @@ Options parse(int argc, char** argv) {
     };
     if (!std::strcmp(argv[i], "--grid")) {
       o.grid_path = need();
+    } else if (!std::strcmp(argv[i], "--crash-grid")) {
+      o.crash_grid_path = need();
     } else if (!std::strcmp(argv[i], "--replay")) {
       o.replay_path = need();
     } else if (!std::strcmp(argv[i], "--report")) {
@@ -141,12 +159,15 @@ Options parse(int argc, char** argv) {
       o.min_sites = std::strtoull(need(), nullptr, 0);
     } else if (!std::strcmp(argv[i], "--require-site")) {
       o.require_sites.emplace_back(need());
+    } else if (!std::strcmp(argv[i], "--expect-unreachable")) {
+      o.expect_unreachable.emplace_back(need());
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       usage_and_exit(argv[0]);
     }
   }
   const int modes = (!o.grid_path.empty() ? 1 : 0) +
+                    (!o.crash_grid_path.empty() ? 1 : 0) +
                     (!o.replay_path.empty() ? 1 : 0) + (o.list ? 1 : 0) +
                     (o.fuzz ? 1 : 0);
   if (modes != 1) usage_and_exit(argv[0]);
@@ -262,6 +283,97 @@ int run_campaign_mode(const Options& o) {
   return 1;
 }
 
+int run_crash_campaign_mode(const Options& o) {
+  std::string error;
+  const auto grid_json = check::json::read_file(o.crash_grid_path, &error);
+  if (!grid_json) {
+    std::fprintf(stderr, "cannot read crash grid %s: %s\n",
+                 o.crash_grid_path.c_str(), error.c_str());
+    return 2;
+  }
+  check::CrashGridSpec grid;
+  if (!check::CrashGridSpec::from_json(*grid_json, &grid, &error)) {
+    std::fprintf(stderr, "bad crash grid %s: %s\n", o.crash_grid_path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+
+  std::printf("crash campaign: %zu cells from %s\n", grid.enumerate().size(),
+              o.crash_grid_path.c_str());
+
+  const auto on_cell = [&](const check::CrashCellResult& r) {
+    if (o.cells || !r.passed()) {
+      std::printf("%s  %s  replayed=%llu truncated=%llu%s%s\n",
+                  r.passed() ? "pass" : "FAIL", r.cell.label().c_str(),
+                  static_cast<unsigned long long>(r.records_replayed),
+                  static_cast<unsigned long long>(r.wal_bytes_truncated),
+                  r.used_snapshot ? " snapshot" : "",
+                  r.checkpoint_completed ? " cp-completed" : "");
+      if (!r.passed()) print_violations(r.violations);
+    }
+  };
+  const auto report = check::run_crash_campaign(grid, o.jobs, on_cell);
+
+  std::printf("\n%llu/%llu crash cells passed\n",
+              static_cast<unsigned long long>(report.cells_passed),
+              static_cast<unsigned long long>(report.cells_total));
+
+  if (!o.report_path.empty()) {
+    if (!check::json::write_file(o.report_path, report.to_json())) {
+      std::fprintf(stderr, "cannot write report %s\n", o.report_path.c_str());
+      return 2;
+    }
+    std::printf("report written to %s\n", o.report_path.c_str());
+  }
+
+  const check::CrashCellResult* failure = report.first_failure();
+  if (failure == nullptr) return 0;
+
+  if (o.shrink) {
+    std::printf("\nshrinking first failure: %s\n",
+                failure->cell.label().c_str());
+    const auto shrunk =
+        check::shrink_crash_failure(failure->cell, o.max_shrink_runs);
+    std::printf("minimal failing cell (%u runs, %u steps): %s\n", shrunk.runs,
+                shrunk.steps, shrunk.minimal.label().c_str());
+
+    check::CrashReplay replay;
+    replay.cell = shrunk.minimal;
+    replay.expected = check::crash_violations_of(shrunk.minimal);
+    print_violations(replay.expected);
+    if (replay.save(o.replay_out)) {
+      std::printf("replay written to %s (mewc_vopr --replay %s)\n",
+                  o.replay_out.c_str(), o.replay_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write replay %s\n", o.replay_out.c_str());
+    }
+  }
+  return 1;
+}
+
+int run_crash_replay(const check::json::Value& replay_json,
+                     const std::string& path) {
+  std::string error;
+  check::CrashReplay replay;
+  if (!check::CrashReplay::from_json(replay_json, &replay, &error)) {
+    std::fprintf(stderr, "cannot load crash replay %s: %s\n", path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+
+  std::printf("replaying crash cell %s\n", replay.cell.label().c_str());
+  const auto violations = check::crash_violations_of(replay.cell);
+  print_violations(violations);
+
+  bool matches = violations.size() == replay.expected.size();
+  for (std::size_t i = 0; matches && i < violations.size(); ++i) {
+    matches = violations[i].checker == replay.expected[i].checker &&
+              violations[i].detail == replay.expected[i].detail;
+  }
+  std::printf("verdict matches recording: %s\n", matches ? "yes" : "NO");
+  return violations.empty() && matches ? 0 : 1;
+}
+
 /// One fuzz execution's observable outcome.
 struct FuzzEval {
   cov::Bitmap coverage;
@@ -374,7 +486,7 @@ int run_fuzz_mode(const Options& o) {
   check::CheckerOptions checkers;
   if (o.word_budget_c) checkers.word_budget_c = *o.word_budget_c;
 
-  // Vet --require-site names before spending any budget.
+  // Vet --require-site / --expect-unreachable names before spending budget.
   cov::Bitmap required;
   for (const std::string& name : o.require_sites) {
     const std::size_t idx = cov::site_index_of(name);
@@ -383,6 +495,15 @@ int run_fuzz_mode(const Options& o) {
       return 2;
     }
     required.set(static_cast<cov::Site>(idx));
+  }
+  cov::Bitmap unreachable;
+  for (const std::string& name : o.expect_unreachable) {
+    const std::size_t idx = cov::site_index_of(name);
+    if (idx == cov::kSiteCount) {
+      std::fprintf(stderr, "unknown coverage site: %s\n", name.c_str());
+      return 2;
+    }
+    unreachable.set(static_cast<cov::Site>(idx));
   }
 
   std::vector<CorpusEntry> corpus;
@@ -601,11 +722,38 @@ int run_fuzz_mode(const Options& o) {
     std::printf("\n");
     gate_missed = true;
   }
+  // Pinned-unreachable sites: the fuzzer reaching one means the coverage
+  // map's unreachability claim (DESIGN.md section 10) is stale — fail loudly
+  // so the pin gets re-examined rather than silently absorbed.
+  const cov::Bitmap hit = global.minus(global.minus(unreachable));
+  if (hit.any()) {
+    std::printf("FAIL expected-unreachable sites were covered:");
+    for (std::size_t i = 0; i < cov::kSiteCount; ++i) {
+      const auto site = static_cast<cov::Site>(i);
+      if (hit.test(site)) {
+        std::printf(" %s", std::string(cov::site_name(site)).c_str());
+      }
+    }
+    std::printf("\n");
+    gate_missed = true;
+  }
   return gate_missed ? 1 : 0;
 }
 
 int run_replay_mode(const Options& o) {
   std::string error;
+
+  // Dispatch on the file tag: crash-cell replays carry mewc_crash_replay.
+  const auto replay_json = check::json::read_file(o.replay_path, &error);
+  if (!replay_json) {
+    std::fprintf(stderr, "cannot read replay %s: %s\n", o.replay_path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  if ((*replay_json)["mewc_crash_replay"].as_u64() == 1) {
+    return run_crash_replay(*replay_json, o.replay_path);
+  }
+
   check::Replay replay;
   if (!check::Replay::load(o.replay_path, &replay, &error)) {
     std::fprintf(stderr, "cannot load replay %s: %s\n", o.replay_path.c_str(),
@@ -657,5 +805,6 @@ int main(int argc, char** argv) {
   if (o.list) return run_list_mode();
   if (o.fuzz) return run_fuzz_mode(o);
   if (!o.replay_path.empty()) return run_replay_mode(o);
+  if (!o.crash_grid_path.empty()) return run_crash_campaign_mode(o);
   return run_campaign_mode(o);
 }
