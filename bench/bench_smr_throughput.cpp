@@ -21,7 +21,10 @@
 #include <thread>
 #include <vector>
 
+#include "../tools/argparse.hpp"
+
 #include "check/adversary_registry.hpp"
+#include "check/crash.hpp"
 #include "check/json.hpp"
 #include "common/hash.hpp"
 #include "smr/engine.hpp"
@@ -116,7 +119,7 @@ int run(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--slots" && i + 1 < argc) {
-      slots = std::strtoull(argv[++i], nullptr, 0);
+      slots = mewc::tools::parse_u64("--slots", argv[++i]);
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else {
@@ -246,6 +249,128 @@ int run(int argc, char** argv) {
       }
     }
     root["nf_sweep"] = std::move(points);
+  }
+
+  // -------------------------------------------------------------------------
+  // Section 2b: client-op batching x pipeline window — the words-per-op
+  // lever. A batch of b commands runs ONE consensus instance on the batch's
+  // one-word handle (the paper's per-instance bound is untouched); the blob
+  // itself costs n*(b-1) out-of-band dissemination words. Two gates:
+  //  - state: the kv digest is bit-identical across every (batch, workers)
+  //    point — batching changes framing, never the applied history;
+  //  - words: batch 32 cuts words-per-op by >= 8x vs unbatched submit().
+  {
+    json::Object section;
+    const std::uint64_t ops = slots;
+    smr::EngineConfig c;
+    c.n = 9;
+    c.t = 4;
+    c.checkpoint_every = 8;
+    section["n"] = c.n;
+    section["t"] = c.t;
+    section["ops"] = ops;
+    section["checkpoint_every"] = c.checkpoint_every;
+
+    json::Array points;
+    double unbatched_wpo = 0;   // batch=1, workers=1 baseline
+    double batch32_wpo = 0;     // batch=32, workers=1
+    std::uint64_t base_kv = 0;
+    bool kv_identical = true;
+    for (const std::uint32_t batch : {1u, 4u, 32u}) {
+      std::uint64_t batch_digest = 0;  // ledger digest, workers=1 point
+      bool digest_identical = true;
+      for (const std::uint32_t workers : {1u, 8u}) {
+        c.workers = workers;
+        smr::Store store;
+        smr::Durability dur(&store);
+        c.durability = &dur;
+        const Clock::time_point start = Clock::now();
+        smr::Engine engine(c);
+        std::vector<smr::Command> cmds;
+        for (std::uint64_t i = 0; i < ops;) {
+          if (batch == 1) {
+            engine.submit(check::crash_proposal(c.seed, i).pack());
+            ++i;
+            continue;
+          }
+          cmds.clear();
+          for (std::uint32_t j = 0; j < batch && i < ops; ++j, ++i) {
+            cmds.push_back(check::crash_proposal(c.seed, i));
+          }
+          engine.submit_batch(cmds);
+        }
+        engine.finish();
+        const double seconds =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        const smr::EngineStats st = engine.stats();
+        const std::uint64_t words =
+            engine.ledger().total_words() + st.batch_extra_words;
+        const double wpo =
+            static_cast<double>(words) / static_cast<double>(ops);
+        const std::uint64_t kv_digest = dur.kv().digest();
+
+        if (batch == 1 && workers == 1) {
+          unbatched_wpo = wpo;
+          base_kv = kv_digest;
+        }
+        if (batch == 32 && workers == 1) batch32_wpo = wpo;
+        if (kv_digest != base_kv) kv_identical = false;
+        if (workers == 1) {
+          batch_digest = engine.ledger().ledger_digest();
+        } else if (engine.ledger().ledger_digest() != batch_digest) {
+          digest_identical = false;
+        }
+
+        json::Object o;
+        o["batch"] = batch;
+        o["workers"] = workers;
+        o["pipeline_window"] = c.queue_capacity + workers;
+        o["instances"] = st.submitted;
+        o["ops_submitted"] = st.ops_submitted;
+        o["consensus_words"] = engine.ledger().total_words();
+        o["batch_extra_words"] = st.batch_extra_words;
+        o["words_per_op"] = wpo;
+        o["ops_per_sec"] =
+            seconds > 0 ? static_cast<double>(ops) / seconds : 0.0;
+        o["seconds"] = seconds;
+        o["ledger_digest"] = hex64(engine.ledger().ledger_digest());
+        o["kv_digest"] = hex64(kv_digest);
+        std::fprintf(stderr,
+                     "batch=%-2u workers=%u  %5.1f words/op  %.0f ops/s  "
+                     "kv=%016llx\n",
+                     batch, workers, wpo,
+                     seconds > 0 ? static_cast<double>(ops) / seconds : 0.0,
+                     static_cast<unsigned long long>(kv_digest));
+        points.push_back(json::Value(std::move(o)));
+      }
+      if (!digest_identical) {
+        std::fprintf(stderr,
+                     "FAIL: batch=%u ledger digest differs across workers\n",
+                     batch);
+        ok = false;
+      }
+    }
+    section["points"] = std::move(points);
+    section["kv_identical_across_points"] = kv_identical;
+    const double reduction =
+        batch32_wpo > 0 ? unbatched_wpo / batch32_wpo : 0.0;
+    section["words_per_op_unbatched"] = unbatched_wpo;
+    section["words_per_op_batch32"] = batch32_wpo;
+    section["words_per_op_reduction_at_32"] = reduction;
+    std::fprintf(stderr,
+                 "batching: %.1f -> %.1f words/op (%.1fx reduction)\n",
+                 unbatched_wpo, batch32_wpo, reduction);
+    if (!kv_identical) {
+      std::fprintf(stderr, "FAIL: kv digest differs across batch points\n");
+      ok = false;
+    }
+    if (reduction < 8.0) {
+      std::fprintf(stderr,
+                   "FAIL: batch 32 reduced words/op by %.2fx (< 8x gate)\n",
+                   reduction);
+      ok = false;
+    }
+    root["batch_sweep"] = std::move(section);
   }
 
   // -------------------------------------------------------------------------

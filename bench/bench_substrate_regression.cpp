@@ -20,8 +20,11 @@
 #include "check/campaign.hpp"
 #include "check/json.hpp"
 #include "check/runner.hpp"
+#include "common/hash.hpp"
 #include "net/arena.hpp"
 #include "sim/executor.hpp"
+#include "wire/codec.hpp"
+#include "wire/view.hpp"
 
 namespace {
 std::atomic<std::uint64_t> g_allocations{0};
@@ -177,6 +180,117 @@ json::Value campaign_json(const CampaignResult& r) {
   return o;
 }
 
+// ---------------------------------------------------------------------------
+// Section 3: zero-copy codec path. encode_into reuses one buffer and
+// wire::view parses it into borrowed spans, so a steady-state
+// encode+view loop over real protocol traffic must allocate NOTHING —
+// that is a hard gate (exit non-zero), because every heap allocation on
+// this path is a per-message cost a deployment pays n^2 times per round.
+// The materializing wire::decode of the same corpus is timed alongside
+// for contrast (it allocates by design; it is the fallback path).
+
+struct CodecResult {
+  std::size_t corpus = 0;          // distinct wire-encodable payloads
+  std::uint64_t passes = 0;
+  std::uint64_t view_allocs = 0;   // steady state; gated == 0
+  std::uint64_t view_failures = 0; // canonical bytes view() refused; gated == 0
+  std::uint64_t decode_allocs = 0;
+  double view_seconds = 0;
+  double decode_seconds = 0;
+  std::uint64_t fingerprint = 0;   // folded view fields: a behaviour pin
+};
+
+/// Real mixed traffic: one faulty cell per protocol, every recorded
+/// payload that has a wire form.
+std::vector<PayloadPtr> codec_corpus() {
+  std::vector<PayloadPtr> out;
+  for (const check::Protocol proto :
+       {check::Protocol::kBb, check::Protocol::kWeakBa,
+        check::Protocol::kStrongBa, check::Protocol::kFallback,
+        check::Protocol::kDsBb}) {
+    check::CellSpec cell;
+    cell.protocol = proto;
+    cell.t = 2;
+    cell.n = 5;
+    cell.f = 1;
+    cell.adversary = "crash";
+    cell.seed = 77;
+    check::RunOptions opts;
+    opts.record_messages = true;
+    const check::RunRecord rec = check::run_cell(cell, opts);
+    for (const auto& m : rec.log.messages) {
+      if (m.body && wire::encode(*m.body).has_value()) out.push_back(m.body);
+    }
+  }
+  return out;
+}
+
+CodecResult run_codec_bench(std::uint64_t passes) {
+  CodecResult res;
+  const std::vector<PayloadPtr> corpus = codec_corpus();
+  res.corpus = corpus.size();
+  res.passes = passes;
+
+  std::vector<std::uint8_t> buf;
+  // Warm-up: the reused buffer grows to the largest payload once.
+  for (const PayloadPtr& p : corpus) {
+    (void)wire::encode_into(*p, buf);
+    (void)wire::view(buf);
+  }
+
+  std::uint64_t h = mix64(0xc0dec);
+  const std::uint64_t before = allocations();
+  const Clock::time_point start = Clock::now();
+  for (std::uint64_t pass = 0; pass < passes; ++pass) {
+    for (const PayloadPtr& p : corpus) {
+      if (!wire::encode_into(*p, buf)) continue;
+      const auto v = wire::view(buf);
+      if (!v) {
+        ++res.view_failures;
+        continue;
+      }
+      h = hash_combine(h, static_cast<std::uint64_t>(v->type));
+      h = hash_combine(h, v->phase);
+      h = hash_combine(h, v->value.value.raw);
+    }
+  }
+  res.view_seconds = seconds_since(start);
+  res.view_allocs = allocations() - before;
+  res.fingerprint = h;
+
+  const std::uint64_t before_decode = allocations();
+  const Clock::time_point decode_start = Clock::now();
+  for (std::uint64_t pass = 0; pass < passes; ++pass) {
+    for (const PayloadPtr& p : corpus) {
+      if (!wire::encode_into(*p, buf)) continue;
+      (void)wire::decode(buf);
+    }
+  }
+  res.decode_seconds = seconds_since(decode_start);
+  res.decode_allocs = allocations() - before_decode;
+  return res;
+}
+
+json::Value codec_json(const CodecResult& r) {
+  json::Object o;
+  o["corpus_payloads"] = r.corpus;
+  o["passes"] = r.passes;
+  o["view_steady_state_allocs"] = r.view_allocs;
+  o["view_failures"] = r.view_failures;
+  o["view_seconds"] = r.view_seconds;
+  o["decode_allocs"] = r.decode_allocs;
+  o["decode_seconds"] = r.decode_seconds;
+  o["views_per_sec"] =
+      r.view_seconds > 0
+          ? static_cast<double>(r.corpus) * r.passes / r.view_seconds
+          : 0.0;
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(r.fingerprint));
+  o["view_fingerprint"] = std::string(buf);
+  return o;
+}
+
 int run(int argc, char** argv) {
   std::string grid_path;
   std::string out_path = "BENCH_sim_substrate.json";
@@ -217,7 +331,7 @@ int run(int argc, char** argv) {
 
   pool::set_enabled(use_pool);
 
-  std::fprintf(stderr, "[1/2] microbench: ping broadcast, pool=%s\n",
+  std::fprintf(stderr, "[1/3] microbench: ping broadcast, pool=%s\n",
                use_pool ? "on" : "off");
   const MicrobenchResult micro = run_microbench(/*n=*/33, /*rounds=*/2000);
   std::fprintf(stderr,
@@ -228,7 +342,7 @@ int run(int argc, char** argv) {
                static_cast<unsigned long long>(micro.allocs),
                static_cast<unsigned long long>(micro.warmup_allocs));
 
-  std::fprintf(stderr, "[2/2] campaign smoke grid: %s\n", grid_path.c_str());
+  std::fprintf(stderr, "[2/3] campaign smoke grid: %s\n", grid_path.c_str());
   const CampaignResult camp = run_campaign_bench(grid);
   std::fprintf(stderr,
                "      %llu cells in %.2fs  (%.0f cells/s, %.0f rounds/s, "
@@ -236,6 +350,33 @@ int run(int argc, char** argv) {
                static_cast<unsigned long long>(camp.cells), camp.seconds,
                camp.cells / camp.seconds, camp.rounds / camp.seconds,
                static_cast<double>(camp.allocs) / camp.cells);
+
+  std::fprintf(stderr, "[3/3] zero-copy codec: encode_into + view\n");
+  const CodecResult codec = run_codec_bench(/*passes=*/64);
+  std::fprintf(stderr,
+               "      %zu payloads x %llu passes  view: %llu allocs, "
+               "decode: %llu allocs  (%.2e views/s)\n",
+               codec.corpus, static_cast<unsigned long long>(codec.passes),
+               static_cast<unsigned long long>(codec.view_allocs),
+               static_cast<unsigned long long>(codec.decode_allocs),
+               codec.view_seconds > 0
+                   ? static_cast<double>(codec.corpus) * codec.passes /
+                         codec.view_seconds
+                   : 0.0);
+  bool ok = true;
+  if (codec.view_allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: borrowed-view codec path allocated %llu times "
+                 "(must be 0)\n",
+                 static_cast<unsigned long long>(codec.view_allocs));
+    ok = false;
+  }
+  if (codec.view_failures != 0) {
+    std::fprintf(stderr,
+                 "FAIL: view() rejected %llu canonical encoder outputs\n",
+                 static_cast<unsigned long long>(codec.view_failures));
+    ok = false;
+  }
 
   json::Object root;
   root["schema"] = "mewc.bench.sim_substrate.v1";
@@ -247,6 +388,7 @@ int run(int argc, char** argv) {
   }
   root["microbench"] = microbench_json(micro);
   root["campaign_smoke"] = campaign_json(camp);
+  root["codec"] = codec_json(codec);
   {
     const pool::Stats stats = pool::thread_stats();
     json::Object p;
@@ -260,7 +402,7 @@ int run(int argc, char** argv) {
     return 1;
   }
   std::fprintf(stderr, "wrote %s\n", out_path.c_str());
-  return 0;
+  return ok ? 0 : 1;
 }
 
 }  // namespace

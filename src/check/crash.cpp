@@ -98,6 +98,7 @@ std::string CrashCellSpec::label() const {
                   " cp=" + std::to_string(checkpoint_every) +
                   " crash@" + std::to_string(crash_slot) +
                   (after_checkpoint ? "+cp" : "") +
+                  (mid_snapshot ? "+snap" : "") +
                   " workers=" + std::to_string(workers) +
                   " tear=" + tear_name(tear) + ":" +
                   std::to_string(tear_seed) + " seed=" + std::to_string(seed);
@@ -153,6 +154,7 @@ CrashRunRecord run_crash_cell(const CrashCellSpec& cell) {
     smr::CrashPlan plan;
     plan.crash_slot = cell.crash_slot;
     plan.after_checkpoint = cell.after_checkpoint;
+    plan.mid_snapshot = cell.mid_snapshot;
     smr::Durability dur(&store, plan);
     smr::Engine engine(engine_config(cell, &dur));
     for (std::uint64_t s = 0; s < cell.slots; ++s) {
@@ -179,6 +181,18 @@ CrashRunRecord run_crash_cell(const CrashCellSpec& cell) {
       }
       rec.tear_applied = true;
     }
+  }
+
+  // Tear the snapshot the crash interrupted: the non-atomic overwrite had
+  // already destroyed the old snapshot, so only a prefix of the new cut
+  // survives (offset 0 = nothing at all). The WAL tear above is
+  // independent — a real crash tears whichever writes were in flight.
+  if (cell.mid_snapshot && !store.snapshot.empty()) {
+    rec.snapshot_tear_offset = static_cast<std::size_t>(
+        Rng(hash_combine(mix64(cell.seed ^ 0x54a9), cell.tear_seed))
+            .below(store.snapshot.size()));
+    store.snapshot.resize(rec.snapshot_tear_offset);
+    rec.snapshot_torn = true;
   }
 
   // -------------------------------------------------------------------------
@@ -331,20 +345,27 @@ std::vector<CrashCellSpec> CrashGridSpec::enumerate() const {
                   for (const TearMode tear : tears) {
                     for (const std::uint64_t tear_seed : tear_seeds) {
                       for (const bool after_cp : after_checkpoint) {
-                        CrashCellSpec cell;
-                        cell.n = n;
-                        cell.t = size.t;
-                        cell.f = f;
-                        cell.adversary = adv;
-                        cell.slots = slots;
-                        cell.checkpoint_every = cadence;
-                        cell.crash_slot = crash_slot;
-                        cell.workers = workers;
-                        cell.seed = seed;
-                        cell.tear = tear;
-                        cell.tear_seed = tear_seed;
-                        cell.after_checkpoint = after_cp;
-                        cells.push_back(std::move(cell));
+                        for (const bool mid_snap : mid_snapshot) {
+                          // mid_snapshot subsumes after_checkpoint (the
+                          // checkpoint record is durable in both); skip
+                          // the redundant combined cell.
+                          if (after_cp && mid_snap) continue;
+                          CrashCellSpec cell;
+                          cell.n = n;
+                          cell.t = size.t;
+                          cell.f = f;
+                          cell.adversary = adv;
+                          cell.slots = slots;
+                          cell.checkpoint_every = cadence;
+                          cell.crash_slot = crash_slot;
+                          cell.workers = workers;
+                          cell.seed = seed;
+                          cell.tear = tear;
+                          cell.tear_seed = tear_seed;
+                          cell.after_checkpoint = after_cp;
+                          cell.mid_snapshot = mid_snap;
+                          cells.push_back(std::move(cell));
+                        }
                       }
                     }
                   }
@@ -464,6 +485,16 @@ bool CrashGridSpec::from_json(const json::Value& v, CrashGridSpec* out,
     }
     if (grid.after_checkpoint.empty()) {
       return fail(error, "crash grid.after_checkpoint must not be empty");
+    }
+  }
+
+  if (!v["mid_snapshot"].is_null()) {
+    grid.mid_snapshot.clear();
+    for (const auto& b : v["mid_snapshot"].as_array()) {
+      grid.mid_snapshot.push_back(b.as_bool());
+    }
+    if (grid.mid_snapshot.empty()) {
+      return fail(error, "crash grid.mid_snapshot must not be empty");
     }
   }
 
@@ -654,6 +685,11 @@ std::vector<CrashCellSpec> crash_candidates(const CrashCellSpec& cell) {
     c.after_checkpoint = false;
     push(c);
   }
+  if (cell.mid_snapshot) {
+    CrashCellSpec c = cell;
+    c.mid_snapshot = false;
+    push(c);
+  }
   // Strictly smaller seeds only, so seed moves cannot cycle.
   for (const std::uint64_t s :
        {std::uint64_t{1}, cell.seed / 2, cell.seed - 1}) {
@@ -728,6 +764,7 @@ json::Value CrashReplay::to_json() const {
   cell_json["tear"] = json::Value(tear_name(cell.tear));
   cell_json["tear_seed"] = json::Value(cell.tear_seed);
   cell_json["after_checkpoint"] = json::Value(cell.after_checkpoint);
+  cell_json["mid_snapshot"] = json::Value(cell.mid_snapshot);
 
   json::Array expected_json;
   for (const auto& v : expected) {
@@ -770,6 +807,7 @@ bool CrashReplay::from_json(const json::Value& v, CrashReplay* out,
   replay.cell.tear = *tear;
   replay.cell.tear_seed = c["tear_seed"].as_u64();
   replay.cell.after_checkpoint = c["after_checkpoint"].as_bool();
+  replay.cell.mid_snapshot = c["mid_snapshot"].as_bool();
 
   if (replay.cell.t == 0 || replay.cell.n < 2 * replay.cell.t + 1) {
     return fail(error, "crash replay cell needs t >= 1 and n >= 2t+1");

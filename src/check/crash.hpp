@@ -48,6 +48,11 @@ struct CrashCellSpec {
   /// Crash between the checkpoint's WAL record and the snapshot cut
   /// instead of right after the slot record.
   bool after_checkpoint = false;
+  /// Crash *during* the snapshot write at the crash slot's checkpoint: the
+  /// old snapshot is gone and the new one is truncated at a tear_seed-picked
+  /// offset (what a non-atomic truncate-then-write leaves behind). Recovery
+  /// must drop the torn blob and heal the snapshot from the WAL alone.
+  bool mid_snapshot = false;
 
   [[nodiscard]] std::string label() const;
 };
@@ -76,6 +81,8 @@ struct CrashRunRecord {
   std::size_t torn_record_offset = 0;  // frame start of the mutilated record
   std::size_t tear_offset = 0;         // byte offset of the tear within it
   bool tear_applied = false;
+  bool snapshot_torn = false;          // mid_snapshot tear actually applied
+  std::size_t snapshot_tear_offset = 0;  // bytes of the new snapshot kept
   smr::RecoveryStats recovery;
   std::uint64_t recovered_slots = 0;
   std::uint64_t recovered_digest = 0;
@@ -130,6 +137,7 @@ struct CrashGridSpec {
   std::vector<TearMode> tears = {TearMode::kTruncate};
   std::vector<std::uint64_t> tear_seeds = {0};
   std::vector<bool> after_checkpoint = {false};
+  std::vector<bool> mid_snapshot = {false};
 
   [[nodiscard]] std::vector<CrashCellSpec> enumerate() const;
   [[nodiscard]] static bool from_json(const json::Value& v, CrashGridSpec* out,

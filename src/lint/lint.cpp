@@ -16,6 +16,10 @@ namespace {
 // Rule table
 
 const std::vector<RuleInfo> kRules = {
+    {"R-argparse",
+     "tools parse numeric argv via tools/argparse.hpp (parse_u32/parse_u64), "
+     "never atoi/strtoul-style silent parsing",
+     "tools/ bench/ (except tools/argparse.hpp)"},
     {"R-determinism",
      "no unordered containers, rand/random_device, wall clocks, getenv, or "
      "pointer-keyed map/set in replay-critical state",
@@ -129,6 +133,30 @@ const std::set<std::string, std::less<>> kBannedTypes = {
 };
 const std::set<std::string, std::less<>> kBannedCalls = {"rand", "srand",
                                                          "getenv"};
+
+// Numeric parsers that accept garbage: atoi-family returns 0 on non-numeric
+// input with no error signal, strto*-family silently wraps negatives into
+// huge unsigneds and needs endptr/errno discipline nobody gets right inline,
+// and the std::sto* wrappers throw where tools want a one-line diagnostic.
+const std::set<std::string, std::less<>> kBannedParsers = {
+    "atoi", "atol", "atoll", "strtol", "strtoll", "strtoul", "strtoull",
+    "stoi", "stol",  "stoll", "stoul",  "stoull"};
+
+void rule_argparse(const Tokens& toks, const Emit& emit) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier ||
+        kBannedParsers.count(t.text) == 0) {
+      continue;
+    }
+    if (!is_punct(toks[i + 1], "(")) continue;
+    emit(t.line,
+         "'" + t.text +
+             "()' parses argv without error checking: '--f -1' wraps to "
+             "4294967295 and '--n foo' reads as 0 — use "
+             "tools::parse_u32/parse_u64 (tools/argparse.hpp)");
+  }
+}
 
 void rule_determinism(const Tokens& toks, const Emit& emit) {
   for (std::size_t i = 0; i < toks.size(); ++i) {
@@ -415,6 +443,9 @@ std::vector<Diagnostic> run(const std::vector<SourceFile>& corpus,
       };
     };
 
+    if (in_scope(path, {"tools/", "bench/"}) && path != "tools/argparse.hpp") {
+      rule_argparse(toks, emitter("R-argparse"));
+    }
     if (in_scope(path, {"src/ba/", "src/sim/", "src/check/"})) {
       rule_determinism(toks, emitter("R-determinism"));
     }

@@ -6,6 +6,11 @@
 // into machine-checked rules with file:line diagnostics.
 //
 // Rules (scopes are normalized-path prefixes; see rules() for the table):
+//   R-argparse     tools bench: numeric argv goes through
+//                  tools::parse_u32/parse_u64 (tools/argparse.hpp), never
+//                  atoi/strtoul/std::stoi — those accept '-1' and 'foo'
+//                  silently (exempt: tools/argparse.hpp, which owns the one
+//                  audited strtoull call).
 //   R-determinism  src/ba src/sim src/check: no unordered containers,
 //                  rand/random_device, wall clocks, getenv, or
 //                  pointer-keyed map/set ordering — anything whose

@@ -1,0 +1,66 @@
+#include "smr/batch.hpp"
+
+#include "wire/frame.hpp"
+
+namespace mewc::smr::batch {
+
+std::vector<std::uint8_t> encode(std::span<const Command> commands) {
+  MEWC_CHECK_MSG(commands.size() <= kMaxBatch, "batch exceeds kMaxBatch");
+  wire::Writer w;
+  w.u8(kMagic);
+  w.u8(kVersion);
+  w.u32(static_cast<std::uint32_t>(commands.size()));
+  for (const Command& cmd : commands) w.u64(cmd.pack().raw);
+  std::vector<std::uint8_t> blob;
+  wire::append_frame(blob, w.take());
+  return blob;
+}
+
+Value handle(std::span<const std::uint8_t> blob) {
+  std::uint64_t h = wire::checksum(blob);
+  // Steer clear of the two reserved words: ⊥ would mark the slot skipped
+  // and "I don't know" is not a committable value.
+  if (h >= Value::kIdkRaw) h -= 2;
+  return Value{h};
+}
+
+std::optional<BatchView> BatchView::parse(std::span<const std::uint8_t> blob) {
+  const auto frame = wire::read_frame(blob, 0);
+  // Exactly one frame, nothing trailing: a batch blob is a unit.
+  if (!frame || frame->frame_size != blob.size()) return std::nullopt;
+  wire::Reader r(frame->body);
+  if (r.u8() != kMagic) return std::nullopt;
+  if (r.u8() != kVersion) return std::nullopt;
+  const std::uint32_t count = r.u32();
+  if (!r.ok() || count > kMaxBatch) return std::nullopt;
+  const auto words = r.take_bytes(count * 8);
+  if (!r.done()) return std::nullopt;  // short or over-long body
+  return BatchView(words, count);
+}
+
+Command BatchView::operator[](std::uint32_t i) const {
+  MEWC_CHECK_MSG(i < count_, "batch index out of range");
+  std::uint64_t raw = 0;
+  const std::size_t base = std::size_t{i} * 8;
+  for (int b = 0; b < 8; ++b) {
+    raw |= std::uint64_t{words_[base + b]} << (8 * b);
+  }
+  return Command::unpack(Value{raw});
+}
+
+void apply(const BatchView& view, KvState& state) {
+  for (const Command cmd : view) state.apply(cmd);
+}
+
+Resolved resolve(Value committed, std::span<const std::uint8_t> blob) {
+  Resolved out;
+  if (committed.is_bottom()) return out;  // skipped slot: nothing applies
+  if (!blob.empty() && handle(blob) == committed) {
+    out.batch = BatchView::parse(blob);
+    if (out.batch) return out;
+  }
+  out.single = Command::unpack(committed);
+  return out;
+}
+
+}  // namespace mewc::smr::batch

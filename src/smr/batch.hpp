@@ -1,0 +1,123 @@
+// Client-op batching for the SMR engine: pack many one-word kv::Commands
+// into a single consensus instance so the per-instance word cost (the
+// paper's O(n(f+1)) bound) is amortized across the whole batch and
+// words-per-op drops by the batch factor.
+//
+// Consensus still agrees on exactly one word — faithful to the paper's
+// finite-domain value model. The proposer broadcasts the batch bytes
+// out-of-band (charged as n x (k-1) extra words: the first command rides
+// in the BB payload itself) and proposes a one-word digest *handle* of
+// those bytes. A slot whose committed value equals the handle of its
+// attached batch applies the whole batch; any other value degrades to the
+// usual single-command decode, so a Byzantine proposer can still only
+// waste its own slot.
+//
+// On the wire and in the WAL, a batch is one checksummed wire::frame whose
+// body is `u8 magic | u8 version | u32 count | count x u64 packed
+// commands`. BatchView parses that blob without copying or allocating:
+// it borrows the caller's bytes (the WAL buffer, the arena-owned receive
+// buffer) and yields Commands straight out of the span, which is what the
+// zero-alloc decode pin in bench_substrate_regression measures.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "smr/kv_store.hpp"
+
+namespace mewc::smr::batch {
+
+inline constexpr std::uint8_t kMagic = 0xb7;
+inline constexpr std::uint8_t kVersion = 1;
+/// Batches larger than this are rejected as malformed (a torn count field
+/// must not make a reader chase gigabytes of garbage).
+inline constexpr std::uint32_t kMaxBatch = 1u << 20;
+
+/// Encodes the commands as one framed, checksummed blob.
+[[nodiscard]] std::vector<std::uint8_t> encode(
+    std::span<const Command> commands);
+
+/// The one-word consensus handle for a batch blob: a content digest nudged
+/// off the reserved values (never ⊥, never "I don't know"), so a batch slot
+/// can never read as skipped. Only ever compared against the handle of an
+/// attached blob — accidental collision with a packed single command is
+/// harmless because an attached batch takes precedence only when the
+/// handles match.
+[[nodiscard]] Value handle(std::span<const std::uint8_t> blob);
+
+/// Zero-copy reader over an encoded batch blob. Borrows the blob bytes —
+/// the view (and every iterator) is valid only while they outlive it; the
+/// owner is whoever holds the buffer (the WAL vector, the arena's receive
+/// buffer), never the view.
+class BatchView {
+ public:
+  /// Validates the frame checksum, magic, version, and count against the
+  /// byte length. Returns nullopt on any mismatch: a view either sees a
+  /// fully-verified batch or nothing.
+  [[nodiscard]] static std::optional<BatchView> parse(
+      std::span<const std::uint8_t> blob);
+
+  [[nodiscard]] std::uint32_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  /// Decodes command i straight out of the borrowed bytes. Reserved and
+  /// malformed words decode to kNoop, exactly like Command::unpack.
+  [[nodiscard]] Command operator[](std::uint32_t i) const;
+
+  /// Forward iterator yielding Commands by value (nothing to point into).
+  class Iterator {
+   public:
+    using value_type = Command;
+    using difference_type = std::ptrdiff_t;
+
+    Iterator() = default;
+    Iterator(const BatchView* view, std::uint32_t i) : view_(view), i_(i) {}
+
+    Command operator*() const { return (*view_)[i_]; }
+    Iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    Iterator operator++(int) {
+      Iterator old = *this;
+      ++i_;
+      return old;
+    }
+    bool operator==(const Iterator& o) const = default;
+
+   private:
+    const BatchView* view_ = nullptr;
+    std::uint32_t i_ = 0;
+  };
+
+  [[nodiscard]] Iterator begin() const { return Iterator(this, 0); }
+  [[nodiscard]] Iterator end() const { return Iterator(this, count_); }
+
+ private:
+  BatchView(std::span<const std::uint8_t> words, std::uint32_t count)
+      : words_(words), count_(count) {}
+
+  std::span<const std::uint8_t> words_;  // count_ x 8 bytes, little-endian
+  std::uint32_t count_ = 0;
+};
+
+/// Applies every command in the batch to `state`, in order — the batch
+/// equivalent of KvState::apply, decoding straight out of the borrowed
+/// bytes (no intermediate vector of commands).
+void apply(const BatchView& view, KvState& state);
+
+/// The decision a slot with this committed value and (possibly empty)
+/// attached blob applies: the parsed batch when the value is the blob's
+/// handle, otherwise the value decoded as a single command (nullopt when
+/// the slot was skipped). Shared by the durability hook, WAL replay, and
+/// the in-memory store so every path applies bit-identical state.
+struct Resolved {
+  std::optional<BatchView> batch;  // borrows `blob`
+  std::optional<Command> single;
+};
+[[nodiscard]] Resolved resolve(Value committed,
+                               std::span<const std::uint8_t> blob);
+
+}  // namespace mewc::smr::batch

@@ -5,6 +5,7 @@
 
 #include "ba/adversaries/adversaries.hpp"
 #include "common/check.hpp"
+#include "smr/batch.hpp"
 
 namespace mewc::smr {
 
@@ -45,6 +46,20 @@ Engine::~Engine() {
 }
 
 void Engine::submit(Value proposal, const Ledger::AdversaryFactory& adversary) {
+  admit(proposal, 1, {}, adversary);
+}
+
+void Engine::submit_batch(std::span<const Command> commands,
+                          const Ledger::AdversaryFactory& adversary) {
+  MEWC_CHECK_MSG(!commands.empty(), "a batch carries at least one command");
+  std::vector<std::uint8_t> blob = batch::encode(commands);
+  const Value proposal = batch::handle(blob);
+  admit(proposal, commands.size(), std::move(blob), adversary);
+}
+
+void Engine::admit(Value proposal, std::uint64_t ops,
+                   std::vector<std::uint8_t> blob,
+                   const Ledger::AdversaryFactory& adversary) {
   const std::uint64_t window =
       static_cast<std::uint64_t>(config_.queue_capacity) + config_.workers;
   std::uint64_t slot = 0;
@@ -60,6 +75,15 @@ void Engine::submit(Value proposal, const Ledger::AdversaryFactory& adversary) {
     }
     slot = next_slot_++;
     ++stats_.submitted;
+    stats_.ops_submitted += ops;
+    if (!blob.empty()) {
+      // The blob must be attached before the instance can possibly commit;
+      // the commit lock is already held, which is what attach_payload's
+      // thread-safety contract asks for.
+      ledger_.attach_payload(slot, std::move(blob));
+      stats_.batch_extra_words +=
+          static_cast<std::uint64_t>(config_.n) * (ops - 1);
+    }
   }
   // The scheduler may also apply its own queue backpressure here;
   // commit_mu_ must not be held or a full queue would deadlock against the

@@ -27,8 +27,10 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
+#include "smr/kv_store.hpp"
 #include "smr/ledger.hpp"
 #include "smr/scheduler.hpp"
 
@@ -59,6 +61,14 @@ struct EngineStats {
   std::uint64_t committed = 0;
   std::uint64_t skipped = 0;
   std::uint64_t fallbacks = 0;
+  /// Client operations admitted: one per submit(), the batch size per
+  /// submit_batch(). Words-per-op divides by this, not by slots.
+  std::uint64_t ops_submitted = 0;
+  /// Dissemination cost of batch blobs, charged as n x (k-1) words per
+  /// batch of k (the first command rides in the BB payload itself; the
+  /// other k-1 words must reach every process out-of-band). Added to the
+  /// meter/ledger word totals when computing words-per-op.
+  std::uint64_t batch_extra_words = 0;
   /// Setup-cache traffic summed over workers. Hits + misses == instances
   /// run; the split across workers depends on scheduling, so only the sum
   /// is deterministic.
@@ -86,6 +96,16 @@ class Engine {
   /// each returned adversary is used by exactly one instance).
   void submit(Value proposal,
               const Ledger::AdversaryFactory& adversary = nullptr);
+
+  /// Admits one *batch* of commands for the next slot: the batch is
+  /// encoded once (src/smr/batch.hpp), its one-word handle is what the
+  /// rotation proposer broadcasts through BB, and the blob is attached to
+  /// the ledger slot so the durability hook applies and persists the whole
+  /// batch when the slot commits. Consensus cost is one instance no matter
+  /// how large the batch — that is the words-per-op lever. Blocks like
+  /// submit() when the pipeline window is full.
+  void submit_batch(std::span<const Command> commands,
+                    const Ledger::AdversaryFactory& adversary = nullptr);
 
   /// Waits for every admitted instance to run and commit. submit() may be
   /// called again afterwards; finish() is idempotent and implied by the
@@ -116,6 +136,14 @@ class Engine {
   };
 
   void complete(std::uint64_t slot, Prepared done);
+
+  /// Shared admission path: waits for the pipeline window, assigns the
+  /// slot, attaches the (possibly empty) batch blob, and schedules the BB
+  /// instance proposing `proposal`. `ops` is the client-op count the slot
+  /// carries (1 for a plain submit, k for a batch of k).
+  void admit(Value proposal, std::uint64_t ops,
+             std::vector<std::uint8_t> blob,
+             const Ledger::AdversaryFactory& adversary);
 
   EngineConfig config_;
   Ledger ledger_;

@@ -1,6 +1,7 @@
 #include "smr/kv_store.hpp"
 
 #include "common/hash.hpp"
+#include "smr/batch.hpp"
 
 namespace mewc::smr {
 
@@ -63,6 +64,27 @@ bool ReplicatedKvStore::submit(const Command& cmd,
   const Command agreed = Command::unpack(rec.value);
   for (KvState& state : states_) state.apply(agreed);
   return true;
+}
+
+std::size_t ReplicatedKvStore::submit_batch(
+    std::span<const Command> commands,
+    const Ledger::AdversaryFactory& adversary) {
+  MEWC_CHECK_MSG(!commands.empty(), "a batch carries at least one command");
+  const std::vector<std::uint8_t> blob = batch::encode(commands);
+  // The ledger keeps its own copy for the durability hook and drops it at
+  // commit; this copy outlives the append so the replicas can apply it.
+  ledger_.attach_payload(ledger_.slots().size(), blob);
+  const SlotRecord& rec = ledger_.append(batch::handle(blob), adversary);
+  const batch::Resolved what = batch::resolve(rec.value, blob);
+  if (what.batch) {
+    for (KvState& state : states_) batch::apply(*what.batch, state);
+    return what.batch->size();
+  }
+  if (what.single) {
+    for (KvState& state : states_) state.apply(*what.single);
+    return 1;
+  }
+  return 0;
 }
 
 bool ReplicatedKvStore::consistent() const {

@@ -8,6 +8,7 @@
 
 #include <map>
 #include <optional>
+#include <span>
 
 #include "smr/ledger.hpp"
 
@@ -85,6 +86,14 @@ class ReplicatedKvStore {
   /// Returns true if the command landed (false: slot skipped).
   bool submit(const Command& cmd,
               const Ledger::AdversaryFactory& adversary = nullptr);
+
+  /// Commits a whole batch through ONE BB slot (src/smr/batch.hpp): the
+  /// slot agrees on the batch's one-word handle and every replica applies
+  /// the full batch. Returns the number of commands applied — the batch
+  /// size on success, 1 when a Byzantine proposer replaced the handle with
+  /// some other committable word, 0 when the slot skipped.
+  std::size_t submit_batch(std::span<const Command> commands,
+                           const Ledger::AdversaryFactory& adversary = nullptr);
 
   [[nodiscard]] const Ledger& ledger() const { return ledger_; }
   [[nodiscard]] const KvState& replica(ProcessId p) const {

@@ -12,6 +12,18 @@ Ledger::Ledger(Config config)
 
 ProcessId Ledger::next_proposer() const { return proposer_of(slots_.size()); }
 
+void Ledger::attach_payload(std::uint64_t slot,
+                            std::vector<std::uint8_t> blob) {
+  MEWC_CHECK_MSG(slot >= slots_.size(), "payload for an already-committed slot");
+  payloads_[slot] = std::move(blob);
+}
+
+std::span<const std::uint8_t> Ledger::payload_of(std::uint64_t slot) const {
+  const auto it = payloads_.find(slot);
+  if (it == payloads_.end()) return {};
+  return it->second;
+}
+
 ProcessId Ledger::proposer_of(std::uint64_t slot) const {
   return static_cast<ProcessId>(slot % config_.n);
 }
@@ -62,9 +74,16 @@ const SlotRecord& Ledger::commit(std::uint64_t slot,
   // The digest covers the agreed outcome of every slot, skips included.
   digest_ = hash_combine(digest_, hash_combine(slot, rec.value.raw));
   slots_.push_back(rec);
+  const auto payload = payloads_.find(slot);
   if (config_.durability != nullptr) {
-    config_.durability->on_commit(slots_.back(), *this);
+    config_.durability->on_commit(
+        slots_.back(), *this,
+        payload != payloads_.end()
+            ? std::span<const std::uint8_t>(payload->second)
+            : std::span<const std::uint8_t>());
   }
+  // The blob's one committal chance was this slot; drop it either way.
+  if (payload != payloads_.end()) payloads_.erase(payload);
 
   if (!rec.skipped && config_.checkpoint_every != 0) {
     if (++since_checkpoint_ >= config_.checkpoint_every) {

@@ -12,7 +12,9 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "ba/harness.hpp"
@@ -50,7 +52,13 @@ class Ledger;
 class DurabilityHook {
  public:
   virtual ~DurabilityHook() = default;
-  virtual void on_commit(const SlotRecord& rec, const Ledger& ledger) = 0;
+  /// `batch` is the blob attached to this slot via Ledger::attach_payload
+  /// (empty when the slot carries a plain one-word command). The span
+  /// borrows the ledger's payload table and is only valid for the duration
+  /// of the call; implementations verify batch::handle(batch) == rec.value
+  /// before trusting it.
+  virtual void on_commit(const SlotRecord& rec, const Ledger& ledger,
+                         std::span<const std::uint8_t> batch) = 0;
   virtual void on_checkpoint(const CheckpointRecord& rec,
                              const Ledger& ledger) = 0;
 };
@@ -102,6 +110,20 @@ class Ledger {
 
   /// The proposer the rotation assigns to slot `slot`.
   [[nodiscard]] ProcessId proposer_of(std::uint64_t slot) const;
+
+  /// Attaches an out-of-band batch blob to slot `slot` ahead of its commit
+  /// (see src/smr/batch.hpp: consensus agrees on the blob's one-word
+  /// handle; the blob itself is disseminated beside the instance). The
+  /// blob is handed to the durability hook when the slot commits and
+  /// dropped afterwards; attaching to an already-committed slot is an
+  /// error. Thread-safety follows commit(): the engine serializes both
+  /// under its commit lock.
+  void attach_payload(std::uint64_t slot, std::vector<std::uint8_t> blob);
+
+  /// The blob attached to slot `slot` (empty span when none) — only
+  /// meaningful between attach_payload and the slot's commit.
+  [[nodiscard]] std::span<const std::uint8_t> payload_of(
+      std::uint64_t slot) const;
 
   /// The RunSpec for slot `slot`'s BB instance (distinct instance nonce per
   /// slot; checkpoints use the odd nonce lane). Pure: safe to call from any
@@ -167,6 +189,8 @@ class Ledger {
   void run_checkpoint(const AdversaryFactory& adversary);
 
   Config config_;
+  /// Batch blobs awaiting their slot's commit, keyed by slot.
+  std::map<std::uint64_t, std::vector<std::uint8_t>> payloads_;
   std::vector<SlotRecord> slots_;
   std::vector<CheckpointRecord> checkpoints_;
   std::uint64_t digest_;

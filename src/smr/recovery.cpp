@@ -6,6 +6,7 @@
 #include <iterator>
 
 #include "common/hash.hpp"
+#include "smr/batch.hpp"
 #include "smr/wal.hpp"
 
 namespace mewc::smr {
@@ -14,7 +15,8 @@ namespace mewc::smr {
 // Durability hook.
 // ---------------------------------------------------------------------------
 
-void Durability::on_commit(const SlotRecord& rec, const Ledger& ledger) {
+void Durability::on_commit(const SlotRecord& rec, const Ledger& ledger,
+                           std::span<const std::uint8_t> batch) {
   (void)ledger;
   if (crashed_) return;
   if (crash_pending_checkpoint_) {
@@ -23,11 +25,23 @@ void Durability::on_commit(const SlotRecord& rec, const Ledger& ledger) {
     crashed_ = true;
     return;
   }
+  // A batch that actually commits (handle matches the agreed value) is
+  // persisted immediately before its slot record, so WAL replay sees the
+  // blob first and can apply it when the slot arrives. A blob the slot did
+  // not commit (skip, or a Byzantine proposer diverging from its handle)
+  // is not worth durable bytes.
+  const batch::Resolved what = batch::resolve(rec.value, batch);
+  if (what.batch) wal::append_batch(store_->wal, rec.slot, batch);
   wal::append(store_->wal, rec);
-  if (!rec.skipped) kv_.apply(Command::unpack(rec.value));
+  if (what.batch) {
+    batch::apply(*what.batch, kv_);
+  } else if (what.single) {
+    kv_.apply(*what.single);
+  }
   if (rec.slot == crash_.crash_slot) {
-    if (crash_.after_checkpoint) {
-      // Die between the checkpoint's WAL append and the snapshot cut.
+    if (crash_.after_checkpoint || crash_.mid_snapshot) {
+      // Die between the checkpoint's WAL append and the snapshot cut
+      // (after_checkpoint), or during the snapshot write (mid_snapshot).
       crash_pending_checkpoint_ = true;
     } else {
       crashed_ = true;  // slot record is the torn tail candidate
@@ -39,7 +53,7 @@ void Durability::on_checkpoint(const CheckpointRecord& rec,
                                const Ledger& ledger) {
   if (crashed_) return;
   wal::append(store_->wal, rec);
-  if (crash_pending_checkpoint_) {
+  if (crash_pending_checkpoint_ && !(crash_.mid_snapshot && rec.accepted)) {
     // The checkpoint record made it to the WAL; the snapshot did not.
     crashed_ = true;
     return;
@@ -59,6 +73,11 @@ void Durability::on_checkpoint(const CheckpointRecord& rec,
   snap.kv_digest = kv_.digest();
   store_->snapshot = encode_snapshot(snap);
   ++snapshots_cut_;
+  if (crash_pending_checkpoint_) {
+    // mid_snapshot: the write was in flight when the process died; the
+    // harness tears store->snapshot to model the incomplete overwrite.
+    crashed_ = true;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -92,8 +111,22 @@ TailReplay replay_records(const Ledger::Config& config,
                           std::vector<std::uint8_t>* heal_snapshot) {
   TailReplay out;
   std::uint64_t digest = Ledger::replay_digest(config.seed, state.slots);
+  // The batch blob written just ahead of its slot record (empty span = no
+  // batch pending); views borrow the record's bytes, which outlive the loop.
+  std::uint64_t pending_batch_slot = ~0ull;
+  std::span<const std::uint8_t> pending_batch;
   for (const wal::Record& rec : records) {
-    if (rec.type == wal::RecordType::kSlot) {
+    if (rec.type == wal::RecordType::kBatch) {
+      if (rec.batch_slot < state.slots.size()) continue;  // snapshot-covered
+      // A batch record always immediately precedes its slot record; any
+      // other placement means the log is lying from here on.
+      if (rec.batch_slot != state.slots.size()) {
+        out.structural_stop = rec.offset;
+        break;
+      }
+      pending_batch_slot = rec.batch_slot;
+      pending_batch = rec.batch;
+    } else if (rec.type == wal::RecordType::kSlot) {
       if (rec.slot.slot < state.slots.size()) continue;  // snapshot-covered
       if (rec.slot.slot != state.slots.size()) {
         out.structural_stop = rec.offset;
@@ -105,9 +138,19 @@ TailReplay replay_records(const Ledger::Config& config,
       state.total_words += rec.slot.words;
       state.healthy = state.healthy && rec.slot.agreement;
       if (!rec.slot.skipped) {
-        kv.apply(Command::unpack(rec.slot.value));
+        const auto blob = pending_batch_slot == rec.slot.slot
+                              ? pending_batch
+                              : std::span<const std::uint8_t>();
+        const batch::Resolved what = batch::resolve(rec.slot.value, blob);
+        if (what.batch) {
+          batch::apply(*what.batch, kv);
+        } else if (what.single) {
+          kv.apply(*what.single);
+        }
         if (config.checkpoint_every != 0) ++state.since_checkpoint;
       }
+      pending_batch_slot = ~0ull;
+      pending_batch = {};
     } else {
       if (rec.checkpoint.after_slot <= covered_cut) continue;
       // A checkpoint seals the history it claims: wrong cut or wrong
@@ -242,14 +285,31 @@ bool read_bytes(const fs::path& path, std::vector<std::uint8_t>& out) {
   return true;
 }
 
+// Atomic replace: a truncating ofstream on the target destroys the old
+// file the moment it opens, so a crash mid-write leaves neither the old
+// snapshot nor the new one — exactly the torn-snapshot state the
+// mid_snapshot crash cells exercise. Writing a sibling temp file and
+// renaming over the target means the directory always holds either the
+// complete old bytes or the complete new bytes.
 bool write_bytes(const fs::path& path, const std::vector<std::uint8_t>& bytes) {
-  std::ofstream outf(path, std::ios::binary | std::ios::trunc);
-  if (!outf) return false;
-  if (!bytes.empty()) {
-    outf.write(reinterpret_cast<const char*>(bytes.data()),
-               static_cast<std::streamsize>(bytes.size()));
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream outf(tmp, std::ios::binary | std::ios::trunc);
+    if (!outf) return false;
+    if (!bytes.empty()) {
+      outf.write(reinterpret_cast<const char*>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size()));
+    }
+    outf.flush();
+    if (!outf.good()) return false;
   }
-  return outf.good();
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
 }
 
 }  // namespace

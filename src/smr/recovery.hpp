@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,14 @@ struct CrashPlan {
   /// checkpoint's WAL record and die before the snapshot cut, modeling a
   /// crash between those two writes.
   bool after_checkpoint = false;
+  /// Die while the crash slot's snapshot write is in flight: the
+  /// checkpoint's WAL record is durable and the store's snapshot has been
+  /// replaced by the new cut — the harness then truncates it at a seeded
+  /// offset, modeling a non-atomic overwrite that destroyed the old
+  /// snapshot without completing the new one. Takes precedence over
+  /// after_checkpoint; degrades to a plain crash when the crash slot seals
+  /// no accepted checkpoint.
+  bool mid_snapshot = false;
 
   static constexpr std::uint64_t kNoCrashSlot = ~0ull;
 };
@@ -71,7 +80,8 @@ class Durability final : public DurabilityHook {
   /// Snapshots cut so far (this process lifetime).
   [[nodiscard]] std::uint64_t snapshots_cut() const { return snapshots_cut_; }
 
-  void on_commit(const SlotRecord& rec, const Ledger& ledger) override;
+  void on_commit(const SlotRecord& rec, const Ledger& ledger,
+                 std::span<const std::uint8_t> batch) override;
   void on_checkpoint(const CheckpointRecord& rec,
                      const Ledger& ledger) override;
 

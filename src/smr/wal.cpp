@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "smr/batch.hpp"
 #include "wire/frame.hpp"
 
 namespace mewc::smr::wal {
@@ -33,6 +34,19 @@ std::optional<Record> decode_body(std::span<const std::uint8_t> body) {
       rec.checkpoint.accepted = r.boolean();
       rec.checkpoint.agreement = r.boolean();
       rec.checkpoint.words = r.u64();
+      break;
+    }
+    case static_cast<std::uint8_t>(RecordType::kBatch): {
+      rec.type = RecordType::kBatch;
+      rec.batch_slot = r.u64();
+      const std::uint32_t len = r.u32();
+      if (!r.ok()) return std::nullopt;
+      const auto blob = r.take_bytes(len);
+      if (!r.ok()) return std::nullopt;
+      // Canonical form: the embedded blob must itself parse as a batch
+      // (its own frame checksum re-verifies the bytes).
+      if (!batch::BatchView::parse(blob)) return std::nullopt;
+      rec.batch.assign(blob.begin(), blob.end());
       break;
     }
     default:
@@ -68,12 +82,28 @@ std::vector<std::uint8_t> encode_checkpoint(const CheckpointRecord& rec) {
   return w.take();
 }
 
+std::vector<std::uint8_t> encode_batch(std::uint64_t slot,
+                                       std::span<const std::uint8_t> blob) {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(RecordType::kBatch));
+  w.u64(slot);
+  w.u32(static_cast<std::uint32_t>(blob.size()));
+  std::vector<std::uint8_t> body = w.take();
+  body.insert(body.end(), blob.begin(), blob.end());
+  return body;
+}
+
 void append(std::vector<std::uint8_t>& log, const SlotRecord& rec) {
   wire::append_frame(log, encode_slot(rec));
 }
 
 void append(std::vector<std::uint8_t>& log, const CheckpointRecord& rec) {
   wire::append_frame(log, encode_checkpoint(rec));
+}
+
+void append_batch(std::vector<std::uint8_t>& log, std::uint64_t slot,
+                  std::span<const std::uint8_t> blob) {
+  wire::append_frame(log, encode_batch(slot, blob));
 }
 
 ScanResult scan(std::span<const std::uint8_t> log) {

@@ -21,6 +21,11 @@ namespace mewc::smr::wal {
 enum class RecordType : std::uint8_t {
   kSlot = 1,
   kCheckpoint = 2,
+  /// Out-of-band batch blob for an upcoming slot (src/smr/batch.hpp),
+  /// appended immediately before that slot's kSlot record. Logs written
+  /// before batching existed simply contain no kBatch records, so the
+  /// format stays backward compatible.
+  kBatch = 3,
 };
 
 /// One decoded WAL record plus where its frame starts in the log — the
@@ -30,6 +35,8 @@ struct Record {
   RecordType type = RecordType::kSlot;
   SlotRecord slot;              // valid when type == kSlot
   CheckpointRecord checkpoint;  // valid when type == kCheckpoint
+  std::uint64_t batch_slot = 0;          // valid when type == kBatch
+  std::vector<std::uint8_t> batch;       // valid when type == kBatch
   std::size_t offset = 0;       // frame start within the log
 };
 
@@ -37,10 +44,14 @@ struct Record {
 [[nodiscard]] std::vector<std::uint8_t> encode_slot(const SlotRecord& rec);
 [[nodiscard]] std::vector<std::uint8_t> encode_checkpoint(
     const CheckpointRecord& rec);
+[[nodiscard]] std::vector<std::uint8_t> encode_batch(
+    std::uint64_t slot, std::span<const std::uint8_t> blob);
 
 /// Appends one framed record to the log bytes.
 void append(std::vector<std::uint8_t>& log, const SlotRecord& rec);
 void append(std::vector<std::uint8_t>& log, const CheckpointRecord& rec);
+void append_batch(std::vector<std::uint8_t>& log, std::uint64_t slot,
+                  std::span<const std::uint8_t> blob);
 
 struct ScanResult {
   std::vector<Record> records;

@@ -66,9 +66,12 @@ ThresholdSig get_threshold(Reader& r) {
 
 void put_signer_set(Writer& w, const SignerSet& s) {
   w.u32(s.universe());
-  const auto members = s.members();
-  w.u32(static_cast<std::uint32_t>(members.size()));
-  for (ProcessId p : members) w.u32(p);
+  w.u32(s.count());
+  // Walk the bitset directly — members() would allocate a vector per encode,
+  // which the substrate bench pins at zero on the steady-state path.
+  for (ProcessId p = 0; p < s.universe(); ++p) {
+    if (s.contains(p)) w.u32(p);
+  }
 }
 
 std::optional<SignerSet> get_signer_set(Reader& r) {
@@ -142,7 +145,17 @@ PayloadPtr finish(Reader& r, std::shared_ptr<T> msg) {
 }  // namespace
 
 std::optional<std::vector<std::uint8_t>> encode(const Payload& payload) {
-  Writer w;
+  std::vector<std::uint8_t> out;
+  if (!encode_into(payload, out)) return std::nullopt;
+  return out;
+}
+
+namespace {
+
+/// Dispatch body shared by encode_into and the nested kIcMux encoding.
+/// Writes directly into `w`; on failure the Writer may hold a partial
+/// prefix — the caller discards it.
+bool encode_payload(Writer& w, const Payload& payload) {
   if (const auto* m = dynamic_cast<const wba::ProposeMsg*>(&payload)) {
     w.u8(static_cast<std::uint8_t>(WireType::kWbaPropose));
     w.u64(m->phase);
@@ -236,17 +249,32 @@ std::optional<std::vector<std::uint8_t>> encode(const Payload& payload) {
     put_wire_value(w, m->value);
     put_agg(w, m->chain);
   } else if (const auto* m = dynamic_cast<const ic::MuxMsg*>(&payload)) {
-    if (m->inner == nullptr) return std::nullopt;
-    const auto inner = encode(*m->inner);
-    if (!inner) return std::nullopt;
+    if (m->inner == nullptr) return false;
     w.u8(static_cast<std::uint8_t>(WireType::kIcMux));
     w.u32(m->lane);
-    w.u32(static_cast<std::uint32_t>(inner->size()));
-    for (std::uint8_t b : *inner) w.u8(b);
+    // Length-prefix the nested payload without a temporary buffer: write a
+    // placeholder, encode the inner message straight into this Writer, then
+    // backpatch the real length.
+    const std::size_t len_at = w.size();
+    w.u32(0);
+    const std::size_t body_start = w.size();
+    if (!encode_payload(w, *m->inner)) return false;
+    w.patch_u32(len_at, static_cast<std::uint32_t>(w.size() - body_start));
   } else {
-    return std::nullopt;  // non-protocol payload (test-only types)
+    return false;  // non-protocol payload (test-only types)
   }
-  return w.take();
+  return true;
+}
+
+}  // namespace
+
+bool encode_into(const Payload& payload, std::vector<std::uint8_t>& out) {
+  Writer w(std::move(out));
+  const bool ok = encode_payload(w, payload);
+  // Hand the storage back to the caller on every exit path.
+  out = w.take();
+  if (!ok) out.clear();
+  return ok;
 }
 
 PayloadPtr decode(std::span<const std::uint8_t> bytes) {

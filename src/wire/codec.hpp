@@ -50,6 +50,13 @@ enum class WireType : std::uint8_t {
 [[nodiscard]] std::optional<std::vector<std::uint8_t>> encode(
     const Payload& payload);
 
+/// Serializes into `out`, reusing its storage (cleared first): encoding in
+/// a loop with one long-lived buffer allocates nothing once the buffer has
+/// grown to the working-set size — the encode half of the zero-alloc codec
+/// path. Returns false (with `out` cleared) for non-protocol payloads.
+[[nodiscard]] bool encode_into(const Payload& payload,
+                               std::vector<std::uint8_t>& out);
+
 /// Parses a payload. Returns nullptr on any malformed input: unknown tag,
 /// truncation, trailing garbage, or out-of-range field.
 [[nodiscard]] PayloadPtr decode(std::span<const std::uint8_t> bytes);

@@ -23,6 +23,14 @@ namespace mewc::wire {
 /// Little-endian field writer over a growable byte buffer.
 class Writer {
  public:
+  Writer() = default;
+  /// Adopts `reuse`'s storage (cleared) so a caller encoding in a loop can
+  /// recycle one buffer across iterations instead of allocating per
+  /// message; take() hands the storage back.
+  explicit Writer(std::vector<std::uint8_t> reuse) : buf_(std::move(reuse)) {
+    buf_.clear();
+  }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u32(std::uint32_t v) {
     for (int i = 0; i < 4; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
@@ -31,6 +39,16 @@ class Writer {
     for (int i = 0; i < 8; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
   }
   void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Bytes written so far — pair with patch_u32 for length-prefixed nesting.
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+  /// Overwrites a previously written u32 in place (little-endian). Lets a
+  /// caller emit a placeholder length, encode a nested payload directly into
+  /// this buffer, then fix the prefix up — no temporary allocation.
+  void patch_u32(std::size_t offset, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_[offset + i] = (v >> (8 * i)) & 0xff;
+  }
 
   [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
 

@@ -1,0 +1,203 @@
+#include "wire/view.hpp"
+
+#include "common/check.hpp"
+#include "wire/frame.hpp"
+
+namespace mewc::wire {
+
+namespace {
+
+// Mirrors the compound-field readers in codec.cpp, minus every allocation:
+// the only dynamic structure on the materializing path is the SignerSet,
+// which the view keeps as a borrowed span of encoded pids instead.
+
+Signature get_signature(Reader& r) {
+  Signature s;
+  s.signer = r.u32();
+  s.digest.bits = r.u64();
+  s.tag = r.u64();
+  return s;
+}
+
+PartialSig get_partial(Reader& r) {
+  PartialSig p;
+  p.signer = r.u32();
+  p.digest.bits = r.u64();
+  p.k = r.u32();
+  p.tag = r.u64();
+  return p;
+}
+
+ThresholdSig get_threshold(Reader& r) {
+  ThresholdSig t;
+  t.digest.bits = r.u64();
+  t.k = r.u32();
+  t.tag = r.u64();
+  return t;
+}
+
+std::uint32_t read_u32_at(std::span<const std::uint8_t> bytes,
+                          std::size_t base) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{bytes[base + i]} << (8 * i);
+  return v;
+}
+
+/// Validates the signer-set bytes without building the set: every pid in
+/// range and strictly increasing (what the encoder emits; see the header
+/// note about this deliberate tightening).
+bool get_agg_view(Reader& r, AggSigView& out) {
+  out.digest.bits = r.u64();
+  out.tag = r.u64();
+  out.universe = r.u32();
+  const std::uint32_t count = r.u32();
+  if (!r.ok() || out.universe > 1u << 20 || count > out.universe) return false;
+  out.member_bytes = r.take_bytes(count * 4);
+  if (!r.ok()) return false;
+  std::uint64_t prev = ~0ull;  // sentinel: first pid always passes
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t pid = read_u32_at(out.member_bytes, std::size_t{i} * 4);
+    if (pid >= out.universe) return false;
+    if (prev != ~0ull && pid <= prev) return false;
+    prev = pid;
+  }
+  return true;
+}
+
+bool get_wire_value(Reader& r, WireValue& v) {
+  v.value.raw = r.u64();
+  const std::uint8_t prov = r.u8();
+  if (prov > static_cast<std::uint8_t>(Provenance::kCertified)) return false;
+  v.prov = static_cast<Provenance>(prov);
+  v.aux = r.u64();
+  if (r.boolean()) v.sig = get_signature(r);
+  if (r.boolean()) v.cert = get_threshold(r);
+  if (!r.ok()) return false;
+  // Canonical form: attachments must match the claimed provenance.
+  if ((v.prov == Provenance::kSigned) != v.sig.has_value()) return false;
+  if ((v.prov == Provenance::kCertified) != v.cert.has_value()) return false;
+  return true;
+}
+
+std::optional<PayloadView> finish(const Reader& r, const PayloadView& out) {
+  if (!r.done()) return std::nullopt;
+  return out;
+}
+
+}  // namespace
+
+ProcessId AggSigView::member(std::uint32_t i) const {
+  MEWC_CHECK_MSG(std::size_t{i} * 4 < member_bytes.size(),
+                 "signer index out of range");
+  return read_u32_at(member_bytes, std::size_t{i} * 4);
+}
+
+std::optional<PayloadView> view(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  PayloadView out;
+  out.type = static_cast<WireType>(r.u8());
+  if (!r.ok()) return std::nullopt;
+
+  switch (out.type) {
+    case WireType::kWbaPropose:
+      out.phase = r.u64();
+      if (!get_wire_value(r, out.value)) return std::nullopt;
+      return finish(r, out);
+    case WireType::kWbaVote:
+      out.phase = r.u64();
+      out.partial = get_partial(r);
+      return finish(r, out);
+    case WireType::kWbaCommit:
+      out.phase = r.u64();
+      if (!get_wire_value(r, out.value)) return std::nullopt;
+      out.level = r.u64();
+      out.qc = get_threshold(r);
+      return finish(r, out);
+    case WireType::kWbaDecide:
+      out.phase = r.u64();
+      out.partial = get_partial(r);
+      return finish(r, out);
+    case WireType::kWbaFinalized:
+      out.phase = r.u64();
+      if (!get_wire_value(r, out.value)) return std::nullopt;
+      out.qc = get_threshold(r);
+      return finish(r, out);
+    case WireType::kWbaHelpReq:
+      out.partial = get_partial(r);
+      return finish(r, out);
+    case WireType::kWbaHelp:
+      if (!get_wire_value(r, out.value)) return std::nullopt;
+      out.proof_phase = r.u64();
+      out.qc = get_threshold(r);
+      return finish(r, out);
+    case WireType::kWbaFallback:
+      out.qc = get_threshold(r);  // fallback_qc
+      out.has_decision = r.boolean();
+      if (out.has_decision) {
+        if (!get_wire_value(r, out.value)) return std::nullopt;
+        out.proof_phase = r.u64();
+        out.proof = get_threshold(r);  // decide_proof
+      }
+      return finish(r, out);
+    case WireType::kBbSenderValue:
+      if (!get_wire_value(r, out.value)) return std::nullopt;
+      return finish(r, out);
+    case WireType::kBbHelpReq:
+      out.phase = r.u64();
+      return finish(r, out);
+    case WireType::kBbReplyValue:
+      out.phase = r.u64();
+      if (!get_wire_value(r, out.value)) return std::nullopt;
+      return finish(r, out);
+    case WireType::kBbIdk:
+      out.phase = r.u64();
+      out.partial = get_partial(r);
+      return finish(r, out);
+    case WireType::kBbLeaderValue:
+      out.phase = r.u64();
+      if (!get_wire_value(r, out.value)) return std::nullopt;
+      return finish(r, out);
+    case WireType::kSbaInput:
+      out.raw_value.raw = r.u64();
+      out.partial = get_partial(r);
+      return finish(r, out);
+    case WireType::kSbaProposeCert:
+      out.raw_value.raw = r.u64();
+      out.qc = get_threshold(r);
+      return finish(r, out);
+    case WireType::kSbaDecideVote:
+      out.raw_value.raw = r.u64();
+      out.partial = get_partial(r);
+      return finish(r, out);
+    case WireType::kSbaDecideCert:
+      out.raw_value.raw = r.u64();
+      out.qc = get_threshold(r);
+      return finish(r, out);
+    case WireType::kSbaFallback:
+      out.has_decision = r.boolean();
+      out.raw_value.raw = r.u64();
+      if (out.has_decision) out.qc = get_threshold(r);
+      return finish(r, out);
+    case WireType::kDsRelay:
+      out.instance = r.u32();
+      if (!get_wire_value(r, out.value)) return std::nullopt;
+      if (!get_agg_view(r, out.chain)) return std::nullopt;
+      return finish(r, out);
+    case WireType::kIcMux: {
+      out.lane = r.u32();
+      const std::uint32_t len = r.u32();
+      if (!r.ok() || len > 1u << 20) return std::nullopt;
+      out.inner = r.take_bytes(len);
+      if (!r.ok()) return std::nullopt;
+      // Same anti-recursion rule as decode: lanes carry base messages only.
+      if (out.inner.empty() ||
+          out.inner.front() == static_cast<std::uint8_t>(WireType::kIcMux)) {
+        return std::nullopt;
+      }
+      return finish(r, out);
+    }
+  }
+  return std::nullopt;  // unknown tag
+}
+
+}  // namespace mewc::wire

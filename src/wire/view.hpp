@@ -1,0 +1,90 @@
+// Zero-copy decode: borrowed views over encoded payload bytes.
+//
+// wire::decode materializes a heap payload object per message (pooled, but
+// still a shared_ptr + copy of every field). On the hot receive path that
+// is wasted motion: a receiver usually reads two or three fields and moves
+// on. view() instead validates the byte string in place and returns a
+// PayloadView — a flat, stack-only struct whose fixed-size fields are
+// decoded straight out of the input span and whose variable-size fields
+// (an aggregate signature's signer list, a mux lane's inner message) stay
+// *in* the input span, exposed as sub-spans the caller iterates lazily.
+// Nothing is allocated on this path, which bench_substrate_regression pins
+// at exactly zero steady-state allocations.
+//
+// Lifetime rules (the part that makes zero-copy safe):
+//  - A PayloadView borrows the bytes it was parsed from. The arena
+//    (src/net/arena.*) or the owning buffer must outlive every read
+//    through the view; the view never extends a lifetime.
+//  - Views are values: copy them freely, but a copy borrows the SAME
+//    bytes. Never store a view past the buffer's release point — convert
+//    to an owned payload with wire::decode first if state must persist.
+//  - Sub-views (signers(), inner()) borrow from the same span and follow
+//    the same rule.
+//
+// view() accepts exactly the byte strings wire::decode accepts, with one
+// deliberate tightening: signer bitmaps must list members in strictly
+// increasing order. The encoder always emits them that way (SignerSet
+// iterates ascending), so the only inputs affected are hand-crafted ones —
+// and for those view() returns nullopt, signalling "take the materializing
+// path", never a wrong parse.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "ba/value.hpp"
+#include "wire/codec.hpp"
+
+namespace mewc::wire {
+
+/// Borrowed view of an aggregate signature: fixed fields decoded, the
+/// signer list left in place as 4-byte little-endian pids.
+struct AggSigView {
+  Digest digest;
+  std::uint64_t tag = 0;
+  std::uint32_t universe = 0;
+  std::span<const std::uint8_t> member_bytes;  // count x u32, ascending
+
+  [[nodiscard]] std::uint32_t count() const {
+    return static_cast<std::uint32_t>(member_bytes.size() / 4);
+  }
+  /// Decodes member i out of the borrowed bytes.
+  [[nodiscard]] ProcessId member(std::uint32_t i) const;
+};
+
+/// One parsed payload, fields borrowed from or decoded out of the input
+/// span. Which fields are meaningful depends on type() — the accessors
+/// mirror the per-type field lists in wire/codec.cpp exactly.
+struct PayloadView {
+  WireType type = WireType::kWbaPropose;
+
+  std::uint64_t phase = 0;       // wba/bb phase fields
+  std::uint64_t level = 0;       // kWbaCommit
+  std::uint64_t proof_phase = 0; // kWbaHelp, kWbaFallback
+  std::uint32_t instance = 0;    // kDsRelay
+  std::uint32_t lane = 0;        // kIcMux
+  bool has_decision = false;     // kWbaFallback, kSbaFallback
+
+  Value raw_value{};             // sba one-word values
+  WireValue value;               // value-carrying kinds
+  PartialSig partial{};          // vote-style kinds
+  ThresholdSig qc{};             // primary certificate (qc / fallback_qc /
+                                 // decide_proof when it is the only cert)
+  ThresholdSig proof{};          // second certificate: kWbaFallback's
+                                 // decide_proof beside its fallback_qc
+  AggSigView chain;              // kDsRelay
+
+  /// kIcMux only: the lane's inner encoded message, borrowed. Re-run
+  /// view() on it to read the inner payload (one nesting level, exactly
+  /// like decode).
+  std::span<const std::uint8_t> inner;
+};
+
+/// Parses `bytes` into a borrowed view. Returns nullopt when the bytes are
+/// malformed OR use a non-canonical form the view path does not cover —
+/// callers fall back to wire::decode, which is the arbiter of validity.
+[[nodiscard]] std::optional<PayloadView> view(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace mewc::wire

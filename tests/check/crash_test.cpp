@@ -90,6 +90,37 @@ TEST(CrashCell, AfterCheckpointDegradesWhenNoCheckpointFires) {
   EXPECT_FALSE(record.recovery.used_snapshot);  // nothing was cut yet
 }
 
+TEST(CrashCell, MidSnapshotTearHealsFromWalAlone) {
+  // Die during the snapshot write at the crash slot's checkpoint: the old
+  // snapshot is destroyed and only a seeded prefix of the new one survives
+  // (what a truncate-then-write overwrite leaves). Recovery must reject the
+  // torn blob, heal the snapshot from the WAL, and still converge.
+  for (const std::uint64_t tear_seed : {0ull, 1ull, 2ull, 3ull}) {
+    CrashCellSpec cell = small_cell();
+    cell.mid_snapshot = true;
+    cell.tear_seed = tear_seed;
+    const CrashRunRecord record = run_crash_cell(cell);
+    EXPECT_TRUE(record.snapshot_torn) << cell.label();
+    const auto violations = check_crash_run(record);
+    for (const Violation& v : violations) {
+      ADD_FAILURE() << cell.label() << ": " << v.checker << ": " << v.detail;
+    }
+    EXPECT_EQ(record.final_wal, record.ref_wal) << cell.label();
+    EXPECT_EQ(record.final_kv_digest, record.ref_kv_digest) << cell.label();
+  }
+}
+
+TEST(CrashCell, MidSnapshotDegradesWhenNoCheckpointFires) {
+  // crash_slot 0 with cadence 2 seals no checkpoint, so there is no
+  // snapshot write to die inside: plain crash, nothing torn.
+  CrashCellSpec cell = small_cell();
+  cell.crash_slot = 0;
+  cell.mid_snapshot = true;
+  const CrashRunRecord record = run_crash_cell(cell);
+  EXPECT_TRUE(check_crash_run(record).empty());
+  EXPECT_FALSE(record.snapshot_torn);
+}
+
 TEST(CrashCell, ProposalWorkloadIsPureInSeedAndSlot) {
   for (std::uint64_t slot = 0; slot < 16; ++slot) {
     const smr::Command a = crash_proposal(1455, slot);
@@ -107,6 +138,10 @@ TEST(CrashCell, LabelNamesEveryAxis) {
   EXPECT_NE(label.find("n=4"), std::string::npos) << label;
   EXPECT_NE(label.find("crash@3+cp"), std::string::npos) << label;
   EXPECT_NE(label.find("tear=truncate:0"), std::string::npos) << label;
+  CrashCellSpec snap_cell = small_cell();
+  snap_cell.mid_snapshot = true;
+  EXPECT_NE(snap_cell.label().find("crash@3+snap"), std::string::npos)
+      << snap_cell.label();
 }
 
 TEST(CrashGrid, EnumerateSkipsImpossibleCells) {
@@ -139,7 +174,8 @@ TEST(CrashGrid, FromJsonParsesEveryAxis) {
     "slots": [6], "cadences": [2, 3], "crash_slots": [0, 3],
     "workers": [2], "adversaries": ["none", "crash"], "fs": [0, 1],
     "seeds": [1455], "tears": ["none", "truncate", "corrupt"],
-    "tear_seeds": [0, 1], "after_checkpoint": [false, true]
+    "tear_seeds": [0, 1], "after_checkpoint": [false, true],
+    "mid_snapshot": [false, true]
   })");
   ASSERT_TRUE(v.has_value());
   CrashGridSpec grid;
@@ -150,7 +186,14 @@ TEST(CrashGrid, FromJsonParsesEveryAxis) {
   EXPECT_EQ(grid.cadences.size(), 2u);
   EXPECT_EQ(grid.tears.size(), 3u);
   EXPECT_EQ(grid.after_checkpoint.size(), 2u);
-  EXPECT_FALSE(grid.enumerate().empty());
+  EXPECT_EQ(grid.mid_snapshot.size(), 2u);
+  // after_checkpoint and mid_snapshot never combine in one cell (the
+  // former is subsumed), so no enumerated cell carries both.
+  const auto cells = grid.enumerate();
+  EXPECT_FALSE(cells.empty());
+  for (const CrashCellSpec& cell : cells) {
+    EXPECT_FALSE(cell.after_checkpoint && cell.mid_snapshot);
+  }
 }
 
 TEST(CrashGrid, FromJsonRejectsBadAxes) {
@@ -226,7 +269,7 @@ TEST(CrashShrink, PassingCellReturnsImmediately) {
 TEST(CrashReplayFile, RoundTripsThroughJson) {
   CrashReplay replay;
   replay.cell = small_cell();
-  replay.cell.after_checkpoint = true;
+  replay.cell.mid_snapshot = true;
   replay.cell.tear = TearMode::kCorrupt;
   replay.expected.push_back({"crash-digest", "final digest mismatch"});
 
@@ -239,6 +282,7 @@ TEST(CrashReplayFile, RoundTripsThroughJson) {
   std::string error;
   ASSERT_TRUE(CrashReplay::from_json(*parsed, &loaded, &error)) << error;
   EXPECT_EQ(loaded.cell.label(), replay.cell.label());
+  EXPECT_TRUE(loaded.cell.mid_snapshot);
   ASSERT_EQ(loaded.expected.size(), 1u);
   EXPECT_EQ(loaded.expected[0].checker, "crash-digest");
 }

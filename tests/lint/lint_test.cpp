@@ -60,7 +60,9 @@ TEST(Lexer, RawStringsAndLineNumbers) {
   for (const Token& t : lexed.tokens) {
     saw_getenv = saw_getenv || (t.kind == TokenKind::kIdentifier &&
                                 t.text == "getenv");
-    if (t.text == "x") EXPECT_EQ(t.line, 3u);  // raw string spans 2 lines
+    if (t.text == "x") {
+      EXPECT_EQ(t.line, 3u);  // raw string spans 2 lines
+    }
   }
   EXPECT_FALSE(saw_getenv);
 }
@@ -239,6 +241,46 @@ TEST(RuleQuorum, SilencedByAllow) {
       "// mewc-lint: allow(R-quorum) proof annotation mirrors the paper\n"
       "const auto q = (n + t + 1 + 1) / 2;\n");
   EXPECT_FALSE(fires(diags, "R-quorum"));
+}
+
+// ---------------------------------------------------------------------------
+// R-argparse
+
+TEST(RuleArgparse, FiresOnUncheckedParsersInTools) {
+  EXPECT_TRUE(fires(lint_one("tools/mewc_extra.cpp",
+                             "o.t = std::atoi(argv[++i]);\n"),
+              "R-argparse"));
+  EXPECT_TRUE(fires(lint_one("tools/mewc_extra.cpp",
+                             "o.seed = strtoull(need(), nullptr, 0);\n"),
+              "R-argparse"));
+  EXPECT_TRUE(fires(lint_one("bench/bench_extra.cpp",
+                             "slots = std::stoul(argv[i]);\n"),
+              "R-argparse"));
+}
+
+TEST(RuleArgparse, CheckedParserAndScopesAreFine) {
+  EXPECT_FALSE(fires(lint_one("tools/mewc_extra.cpp",
+                              "o.t = parse_u32(\"--t\", need());\n"),
+               "R-argparse"));
+  // `atoi` as a member/variable name is not a call and must not fire.
+  EXPECT_FALSE(fires(lint_one("tools/mewc_extra.cpp",
+                              "int atoi = 3; use(atoi);\n"),
+               "R-argparse"));
+  // argparse.hpp owns the one audited strtoull; src/ is out of scope.
+  EXPECT_FALSE(fires(lint_one("tools/argparse.hpp",
+                              "const auto v = std::strtoull(text, &end, 0);\n"),
+               "R-argparse"));
+  EXPECT_FALSE(fires(lint_one("src/check/extra.cpp",
+                              "int x = std::atoi(s);\n"),
+               "R-argparse"));
+}
+
+TEST(RuleArgparse, SilencedByAllow) {
+  const auto diags = lint_one(
+      "tools/mewc_extra.cpp",
+      "// mewc-lint: allow(R-argparse) fuzz harness feeds vetted digits\n"
+      "int x = std::atoi(buf);\n");
+  EXPECT_FALSE(fires(diags, "R-argparse"));
 }
 
 // ---------------------------------------------------------------------------

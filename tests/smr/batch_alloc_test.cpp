@@ -1,0 +1,89 @@
+// Borrowed-view decode pin: parsing and iterating a batch blob, and the
+// resolve arbitration, must perform ZERO heap allocations — BatchView
+// borrows the caller's bytes (the WAL buffer, the arena-owned receive
+// buffer) and yields Commands by value. Counted with a global operator new
+// override local to this test binary, mirroring sim/allocation_test.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "smr/batch.hpp"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define MEWC_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define MEWC_SANITIZED 1
+#endif
+#endif
+#ifndef MEWC_SANITIZED
+#define MEWC_SANITIZED 0
+#endif
+
+namespace {
+std::atomic<std::uint64_t> g_news{0};
+}
+
+#if !MEWC_SANITIZED
+// Counting overrides (sanitizer builds keep the instrumented allocator).
+void* operator new(std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif
+
+namespace mewc::smr {
+namespace {
+
+TEST(BatchAllocation, ParseIterateAndResolveAllocateNothing) {
+  if (MEWC_SANITIZED) GTEST_SKIP() << "allocator is instrumented";
+
+  // Setup (allocates freely): one encoded blob, commands spanning every op.
+  std::vector<Command> cmds;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    switch (i % 3) {
+      case 0:
+        cmds.push_back(Command::put(i % 64, 10 * i));
+        break;
+      case 1:
+        cmds.push_back(Command::add(i % 64, i));
+        break;
+      default:
+        cmds.push_back(Command::erase(i % 64));
+        break;
+    }
+  }
+  const std::vector<std::uint8_t> blob = batch::encode(cmds);
+  const Value handle = batch::handle(blob);
+
+  // Measured section: parse + full iteration + resolve, many passes. The
+  // fold keeps the loop observable so nothing is optimized away.
+  std::uint64_t fold = 0;
+  const std::uint64_t before = g_news.load();
+  for (int pass = 0; pass < 100; ++pass) {
+    const auto view = batch::BatchView::parse(blob);
+    ASSERT_TRUE(view.has_value());
+    for (const Command c : *view) {
+      fold = hash_combine(fold, c.pack().raw);
+    }
+    const auto resolved = batch::resolve(handle, blob);
+    ASSERT_TRUE(resolved.batch.has_value());
+    fold = hash_combine(fold, resolved.batch->size());
+  }
+  const std::uint64_t allocs = g_news.load() - before;
+  EXPECT_EQ(allocs, 0u) << "borrowed-view decode must not touch the heap";
+  EXPECT_NE(fold, 0u);
+}
+
+}  // namespace
+}  // namespace mewc::smr

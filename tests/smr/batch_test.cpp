@@ -1,0 +1,179 @@
+// Client-op batching: blob round trips, handle properties, the resolve
+// arbitration every apply path shares, and the headline determinism gate —
+// bit-identical ledgers across worker counts and bit-identical kv digests
+// across batch sizes {1, 4, 32} x workers {1, 8}. Batching changes framing,
+// never the applied history.
+#include "smr/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "check/crash.hpp"
+#include "smr/engine.hpp"
+#include "smr/recovery.hpp"
+
+namespace mewc::smr {
+namespace {
+
+std::vector<Command> fixture_commands(std::uint32_t count) {
+  std::vector<Command> cmds;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    cmds.push_back(check::crash_proposal(0xbeef, i));
+  }
+  return cmds;
+}
+
+TEST(Batch, EncodeParseRoundTripsEveryCommand) {
+  const auto cmds = fixture_commands(37);
+  const auto blob = batch::encode(cmds);
+  const auto view = batch::BatchView::parse(blob);
+  ASSERT_TRUE(view.has_value());
+  ASSERT_EQ(view->size(), cmds.size());
+  for (std::uint32_t i = 0; i < view->size(); ++i) {
+    EXPECT_EQ((*view)[i].op, cmds[i].op);
+    EXPECT_EQ((*view)[i].key, cmds[i].key);
+    EXPECT_EQ((*view)[i].arg, cmds[i].arg);
+  }
+  // Iterator sweep sees the same commands as indexing.
+  std::uint32_t i = 0;
+  for (const Command c : *view) {
+    EXPECT_EQ(c.pack().raw, cmds[i++].pack().raw);
+  }
+  EXPECT_EQ(i, cmds.size());
+}
+
+TEST(Batch, HandleNeverCollidesWithReservedValues) {
+  for (std::uint32_t n : {0u, 1u, 5u, 64u}) {
+    const auto blob = batch::encode(fixture_commands(n));
+    const Value h = batch::handle(blob);
+    EXPECT_NE(h.raw, kBottom.raw);
+    EXPECT_NE(h.raw, Value::kIdkRaw);
+  }
+}
+
+TEST(Batch, ParseRejectsTamperedBlobs) {
+  const auto cmds = fixture_commands(8);
+  const auto blob = batch::encode(cmds);
+  // Truncation at every byte offset: either a valid shorter parse never
+  // happens (checksummed frame) or parse returns nullopt — never a crash,
+  // never a partial batch.
+  for (std::size_t len = 0; len < blob.size(); ++len) {
+    const std::vector<std::uint8_t> cut(blob.begin(),
+                                        blob.begin() + static_cast<long>(len));
+    EXPECT_FALSE(batch::BatchView::parse(cut).has_value()) << "len=" << len;
+  }
+  // Single-bit corruption at every byte.
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    auto bad = blob;
+    bad[i] ^= 0x40;
+    EXPECT_FALSE(batch::BatchView::parse(bad).has_value()) << "byte=" << i;
+  }
+}
+
+TEST(Batch, ApplyMatchesSequentialSingleCommandApply) {
+  const auto cmds = fixture_commands(64);
+  const auto blob = batch::encode(cmds);
+  const auto view = batch::BatchView::parse(blob);
+  ASSERT_TRUE(view.has_value());
+
+  KvState batched;
+  batch::apply(*view, batched);
+  KvState sequential;
+  for (const Command& c : cmds) sequential.apply(c);
+  EXPECT_EQ(batched.digest(), sequential.digest());
+  EXPECT_EQ(batched.entries(), sequential.entries());
+}
+
+TEST(Batch, ResolveArbitratesHandleMatchSingleAndSkip) {
+  const auto cmds = fixture_commands(4);
+  const auto blob = batch::encode(cmds);
+  const Value h = batch::handle(blob);
+
+  // Committed value == handle of the attached blob: the whole batch.
+  const auto as_batch = batch::resolve(h, blob);
+  ASSERT_TRUE(as_batch.batch.has_value());
+  EXPECT_FALSE(as_batch.single.has_value());
+  EXPECT_EQ(as_batch.batch->size(), cmds.size());
+
+  // Any other committed value degrades to a single-command decode, even
+  // with a (stale or malicious) blob attached.
+  const Command put = Command::put(7, 99);
+  const auto as_single = batch::resolve(put.pack(), blob);
+  EXPECT_FALSE(as_single.batch.has_value());
+  ASSERT_TRUE(as_single.single.has_value());
+  EXPECT_EQ(as_single.single->pack().raw, put.pack().raw);
+
+  // Skipped slot: nothing to apply.
+  const auto skipped = batch::resolve(kBottom, {});
+  EXPECT_FALSE(skipped.batch.has_value());
+  EXPECT_FALSE(skipped.single.has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Engine determinism across batch sizes and worker counts. The mirror of
+// the bench_smr_throughput batch_sweep gate, kept in the unit suite so a
+// framing change that perturbs applied state fails in seconds, not in CI's
+// bench step.
+// ---------------------------------------------------------------------------
+
+struct RunResult {
+  std::uint64_t ledger_digest = 0;
+  std::uint64_t kv_digest = 0;
+  std::uint64_t ops_submitted = 0;
+};
+
+RunResult run_engine(std::uint32_t batch, std::uint32_t workers,
+                     std::uint64_t ops) {
+  EngineConfig c;
+  c.n = 9;
+  c.t = 4;
+  c.checkpoint_every = 8;
+  c.workers = workers;
+  Store store;
+  Durability dur(&store);
+  c.durability = &dur;
+  Engine engine(c);
+  std::vector<Command> cmds;
+  for (std::uint64_t i = 0; i < ops;) {
+    if (batch == 1) {
+      engine.submit(check::crash_proposal(c.seed, i).pack());
+      ++i;
+      continue;
+    }
+    cmds.clear();
+    for (std::uint32_t j = 0; j < batch && i < ops; ++j, ++i) {
+      cmds.push_back(check::crash_proposal(c.seed, i));
+    }
+    engine.submit_batch(cmds);
+  }
+  engine.finish();
+  return {engine.ledger().ledger_digest(), dur.kv().digest(),
+          engine.stats().ops_submitted};
+}
+
+TEST(Batch, KvDigestBitIdenticalAcrossBatchSizesAndWorkers) {
+  constexpr std::uint64_t kOps = 64;
+  const RunResult base = run_engine(1, 1, kOps);
+  EXPECT_EQ(base.ops_submitted, kOps);
+  for (const std::uint32_t batch : {1u, 4u, 32u}) {
+    std::uint64_t ledger_at_one = 0;
+    for (const std::uint32_t workers : {1u, 8u}) {
+      const RunResult r = run_engine(batch, workers, kOps);
+      EXPECT_EQ(r.kv_digest, base.kv_digest)
+          << "batch=" << batch << " workers=" << workers;
+      EXPECT_EQ(r.ops_submitted, kOps);
+      // Within a batch size the full ledger transcript is worker-invariant
+      // (across batch sizes it legitimately differs: fewer slots).
+      if (workers == 1) {
+        ledger_at_one = r.ledger_digest;
+      } else {
+        EXPECT_EQ(r.ledger_digest, ledger_at_one) << "batch=" << batch;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mewc::smr

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -370,6 +372,35 @@ TEST(StoreFiles, SaveLoadRoundTrip) {
   ASSERT_TRUE(empty.has_value());
   EXPECT_TRUE(empty->wal.empty());
   EXPECT_TRUE(empty->snapshot.empty());
+}
+
+TEST(StoreFiles, SaveIsAtomicAndIgnoresStaleTempFiles) {
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir() + "mewc_store_atomic";
+  Store store;
+  store.wal = {1, 2, 3};
+  store.snapshot = {4, 5, 6, 7};
+  ASSERT_TRUE(save_store(dir, store));
+
+  // The temp-then-rename protocol must not leave its scratch files behind.
+  EXPECT_FALSE(fs::exists(fs::path(dir) / "wal.bin.tmp"));
+  EXPECT_FALSE(fs::exists(fs::path(dir) / "snapshot.bin.tmp"));
+
+  // A stale temp file — the residue of a crash mid-write — is invisible to
+  // load (the complete old bytes win) and is replaced by the next save.
+  {
+    std::ofstream stale(fs::path(dir) / "snapshot.bin.tmp", std::ios::binary);
+    stale << "torn";
+  }
+  const auto loaded = load_store(dir);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->snapshot, store.snapshot);
+  store.snapshot = {8, 9};
+  ASSERT_TRUE(save_store(dir, store));
+  EXPECT_FALSE(fs::exists(fs::path(dir) / "snapshot.bin.tmp"));
+  const auto reloaded = load_store(dir);
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_EQ(reloaded->snapshot, store.snapshot);
 }
 
 TEST(StoreFiles, FreshDirectoryLoadsEmptyStore) {

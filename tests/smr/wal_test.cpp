@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "smr/batch.hpp"
 #include "smr/recovery.hpp"
 #include "smr/snapshot.hpp"
 #include "wire/frame.hpp"
@@ -171,6 +172,53 @@ void expect_matches_golden(const char* name,
 
 TEST(WalGolden, WalBytesMatchCheckedInFixture) {
   expect_matches_golden("wal_v1.hex", fixture_log().wal);
+}
+
+// ---------------------------------------------------------------------------
+// Batch records: the out-of-band blob a batched slot applies, logged ahead
+// of its slot record so replay can resolve the handle.
+// ---------------------------------------------------------------------------
+
+/// A batched slot preceded by its blob, with fixed commands so the bytes
+/// depend only on the encodings.
+struct BatchFixtureLog {
+  std::vector<smr::Command> commands;
+  std::vector<std::uint8_t> blob;
+  SlotRecord slot;
+  std::vector<std::uint8_t> wal;
+};
+
+BatchFixtureLog batch_fixture_log() {
+  BatchFixtureLog f;
+  f.commands = {Command::put(3, 300), Command::add(3, 45),
+                Command::erase(9)};
+  f.blob = batch::encode(f.commands);
+  f.slot = slot_record(0, batch::handle(f.blob).raw, /*skipped=*/false);
+  wal::append_batch(f.wal, f.slot.slot, f.blob);
+  wal::append(f.wal, f.slot);
+  return f;
+}
+
+TEST(Wal, BatchRecordRoundTripsThroughScan) {
+  const BatchFixtureLog f = batch_fixture_log();
+  const wal::ScanResult scanned = wal::scan(f.wal);
+  EXPECT_FALSE(scanned.torn);
+  EXPECT_EQ(scanned.valid_bytes, f.wal.size());
+  ASSERT_EQ(scanned.records.size(), 2u);
+  ASSERT_EQ(scanned.records[0].type, wal::RecordType::kBatch);
+  EXPECT_EQ(scanned.records[0].batch_slot, f.slot.slot);
+  EXPECT_EQ(scanned.records[0].batch, f.blob);
+  ASSERT_EQ(scanned.records[1].type, wal::RecordType::kSlot);
+  expect_slot_eq(scanned.records[1].slot, f.slot);
+  // The recovered blob still parses and resolves against the slot's value.
+  const auto resolved =
+      batch::resolve(scanned.records[1].slot.value, scanned.records[0].batch);
+  ASSERT_TRUE(resolved.batch.has_value());
+  EXPECT_EQ(resolved.batch->size(), f.commands.size());
+}
+
+TEST(WalGolden, BatchWalBytesMatchCheckedInFixture) {
+  expect_matches_golden("wal_batch_v1.hex", batch_fixture_log().wal);
 }
 
 TEST(WalGolden, SnapshotBytesMatchCheckedInFixture) {

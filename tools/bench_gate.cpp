@@ -1,0 +1,326 @@
+// Perf-trajectory gate over the committed bench history.
+//
+// CI artifacts are ephemeral: a perf win shipped in one PR can silently rot
+// three PRs later and nobody notices until the sweep that needed it. The fix
+// is to make the trajectory durable and enforced — `bench/history/` holds
+// committed `BENCH_*.json` snapshots, and this tool fails the build when the
+// current run regresses >threshold% against the median of the last N entries.
+//
+//   bench_gate --history bench/history BENCH_sim_substrate.json ...
+//   bench_gate --history bench/history --append BENCH_smr_throughput.json
+//
+// Each BENCH file carries a `schema` field ("mewc.bench.<name>.vK"); history
+// entries live under `bench/history/<name>/NNN.json` and are compared only
+// against files of the same schema. Gated metrics are a fixed table per
+// schema, each either higher-is-better (throughput rates) or lower-is-better
+// (words-per-op, allocation counts). A lower-is-better metric whose median
+// is exactly zero is a pin: any nonzero current value fails regardless of
+// the percentage threshold (0 → 1 alloc is an infinite regression).
+//
+// The median — not the latest entry — is the baseline, so one lucky (or
+// unlucky) CI machine cannot ratchet the target. Exit codes: 0 clean,
+// 1 regression (or unseeded history), 2 usage/IO error.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "argparse.hpp"
+#include "check/json.hpp"
+
+namespace fs = std::filesystem;
+namespace json = mewc::check::json;
+using mewc::tools::parse_u32;
+
+namespace {
+
+struct Metric {
+  const char* path;       // dotted path into the BENCH json
+  bool higher_is_better;  // false → lower-is-better (counters, words/op)
+  bool deterministic;     // reproduces exactly on any machine (counters,
+                          // words/op) vs a wall-clock rate. Rates regress
+                          // honestly only on comparable hardware, so
+                          // --rates-advisory demotes them to warnings.
+};
+
+struct SchemaSpec {
+  const char* schema;   // full schema string the BENCH file carries
+  const char* dir;      // subdirectory of --history holding its snapshots
+  std::vector<Metric> metrics;
+};
+
+// The gated metrics deliberately mix wall-clock rates (noisy, guarded by the
+// percentage threshold) with deterministic counters (words per op, steady-
+// state allocations) that must not move at all.
+const std::vector<SchemaSpec> kSchemas = {
+    {"mewc.bench.sim_substrate.v1",
+     "sim_substrate",
+     {
+         {"microbench.rounds_per_sec", true, false},
+         {"microbench.steady_state_allocs", false, true},
+         {"campaign_smoke.cells_per_sec", true, false},
+         {"campaign_smoke.allocs_per_cell", false, true},
+         {"codec.views_per_sec", true, false},
+         {"codec.view_steady_state_allocs", false, true},
+     }},
+    {"mewc.bench.smr_throughput.v1",
+     "smr_throughput",
+     {
+         {"batch_sweep.words_per_op_batch32", false, true},
+         {"batch_sweep.words_per_op_reduction_at_32", true, true},
+         {"durability.wal_bytes", false, true},
+         {"durability.snapshot_bytes", false, true},
+         // Time ratio of durable vs plain sweeps — wall-clock, not a
+         // counter, despite the name.
+         {"durability.wal_overhead_ratio", false, false},
+     }},
+};
+
+[[noreturn]] void usage_and_exit(const char* self) {
+  std::fprintf(stderr,
+               "usage: %s [--history DIR] [--window N] [--threshold PCT]\n"
+               "          [--append] BENCH_*.json...\n"
+               "  --history DIR    committed snapshots root "
+               "(default bench/history)\n"
+               "  --window N       compare against median of last N entries "
+               "(default 8)\n"
+               "  --threshold PCT  max tolerated regression in percent "
+               "(default 10)\n"
+               "  --append         copy each file into history as the next "
+               "entry instead of checking\n"
+               "  --rates-advisory demote wall-clock rate regressions to "
+               "warnings (CI runs on\n"
+               "                   different hardware than the committed "
+               "history; deterministic\n"
+               "                   counters still fail hard)\n",
+               self);
+  std::exit(2);
+}
+
+/// Resolves a dotted path ("microbench.rounds_per_sec") to a number.
+std::optional<double> lookup(const json::Value& root, const char* path) {
+  const json::Value* v = &root;
+  std::string p(path);
+  std::size_t start = 0;
+  while (start <= p.size()) {
+    const std::size_t dot = p.find('.', start);
+    const std::string key =
+        p.substr(start, dot == std::string::npos ? dot : dot - start);
+    v = &(*v)[key];
+    if (dot == std::string::npos) break;
+    start = dot + 1;
+  }
+  if (!v->is_number()) return std::nullopt;
+  return v->as_double();
+}
+
+const SchemaSpec* spec_for(const json::Value& bench) {
+  const auto& schema = bench["schema"];
+  if (!schema.is_string()) return nullptr;
+  for (const auto& s : kSchemas) {
+    if (schema.as_string() == s.schema) return &s;
+  }
+  return nullptr;
+}
+
+/// Last `window` history snapshots for a schema, oldest first. Filenames
+/// under the schema dir sort lexicographically (zero-padded sequence
+/// numbers), so "last" is just the sorted tail.
+std::vector<json::Value> load_history(const fs::path& dir,
+                                      const SchemaSpec& spec,
+                                      std::uint32_t window) {
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir / spec.dir, ec)) {
+    if (entry.path().extension() == ".json") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  if (files.size() > window) {
+    files.erase(files.begin(),
+                files.end() - static_cast<std::ptrdiff_t>(window));
+  }
+  std::vector<json::Value> out;
+  for (const auto& f : files) {
+    std::string error;
+    auto v = json::read_file(f.string(), &error);
+    if (!v) {
+      std::fprintf(stderr, "bench_gate: bad history entry %s: %s\n",
+                   f.string().c_str(), error.c_str());
+      std::exit(2);
+    }
+    const auto& schema = (*v)["schema"];
+    if (!schema.is_string() || schema.as_string() != spec.schema) {
+      std::fprintf(stderr, "bench_gate: %s does not carry schema %s\n",
+                   f.string().c_str(), spec.schema);
+      std::exit(2);
+    }
+    out.push_back(std::move(*v));
+  }
+  return out;
+}
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : (xs[n / 2 - 1] + xs[n / 2]) / 2.0;
+}
+
+/// Checks one BENCH file against history; returns true when clean.
+bool check_file(const std::string& path, const fs::path& history,
+                std::uint32_t window, std::uint32_t threshold_pct,
+                bool rates_advisory) {
+  std::string error;
+  auto bench = json::read_file(path, &error);
+  if (!bench) {
+    std::fprintf(stderr, "bench_gate: cannot read %s: %s\n", path.c_str(),
+                 error.c_str());
+    std::exit(2);
+  }
+  const SchemaSpec* spec = spec_for(*bench);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "bench_gate: %s: unknown or missing schema\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  const auto entries = load_history(history, *spec, window);
+  if (entries.empty()) {
+    std::fprintf(stderr,
+                 "bench_gate: no history for %s under %s — seed it with "
+                 "--append first\n",
+                 spec->schema, (history / spec->dir).string().c_str());
+    return false;
+  }
+
+  std::printf("%s vs %zu history entr%s (threshold %u%%)\n", path.c_str(),
+              entries.size(), entries.size() == 1 ? "y" : "ies",
+              threshold_pct);
+  bool ok = true;
+  for (const auto& m : spec->metrics) {
+    const auto current = lookup(*bench, m.path);
+    if (!current) {
+      std::printf("  MISSING     %-42s not in current run\n", m.path);
+      ok = false;
+      continue;
+    }
+    std::vector<double> history_values;
+    for (const auto& e : entries) {
+      if (const auto v = lookup(e, m.path)) history_values.push_back(*v);
+    }
+    if (history_values.empty()) {
+      // Metric added after the oldest snapshots — nothing to compare yet.
+      std::printf("  new         %-42s %.6g (no history yet)\n", m.path,
+                  *current);
+      continue;
+    }
+    const double med = median(history_values);
+    const double frac = threshold_pct / 100.0;
+    bool regressed = false;
+    if (m.higher_is_better) {
+      regressed = *current < med * (1.0 - frac);
+    } else if (med == 0.0) {
+      regressed = *current > 0.0;  // zero-pinned counter
+    } else {
+      regressed = *current > med * (1.0 + frac);
+    }
+    const bool advisory = regressed && rates_advisory && !m.deterministic;
+    std::printf("  %-11s %-42s %.6g vs median %.6g\n",
+                !regressed  ? "ok"
+                : advisory  ? "SLOWER(adv)"
+                            : "REGRESSION",
+                m.path, *current, med);
+    if (regressed && !advisory) ok = false;
+  }
+  return ok;
+}
+
+/// Copies `path` into history as the next zero-padded sequence entry.
+void append_file(const std::string& path, const fs::path& history) {
+  std::string error;
+  auto bench = json::read_file(path, &error);
+  if (!bench) {
+    std::fprintf(stderr, "bench_gate: cannot read %s: %s\n", path.c_str(),
+                 error.c_str());
+    std::exit(2);
+  }
+  const SchemaSpec* spec = spec_for(*bench);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "bench_gate: %s: unknown or missing schema\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  const fs::path dir = history / spec->dir;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  unsigned next = 1;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string stem = entry.path().stem().string();
+    unsigned seq = 0;
+    if (std::sscanf(stem.c_str(), "%u", &seq) == 1 && seq >= next) {
+      next = seq + 1;
+    }
+  }
+  char name[16];
+  std::snprintf(name, sizeof(name), "%04u.json", next);
+  const fs::path dest = dir / name;
+  if (!json::write_file(dest.string(), *bench)) {
+    std::fprintf(stderr, "bench_gate: cannot write %s\n",
+                 dest.string().c_str());
+    std::exit(2);
+  }
+  std::printf("appended %s -> %s\n", path.c_str(), dest.string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path history = "bench/history";
+  std::uint32_t window = 8;
+  std::uint32_t threshold_pct = 10;
+  bool append = false;
+  bool rates_advisory = false;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need = [&]() -> const char* {
+      if (i + 1 >= argc) usage_and_exit(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--history") {
+      history = need();
+    } else if (arg == "--window") {
+      window = parse_u32("--window", need(), 1000);
+      if (window == 0) usage_and_exit(argv[0]);
+    } else if (arg == "--threshold") {
+      threshold_pct = parse_u32("--threshold", need(), 1000);
+    } else if (arg == "--append") {
+      append = true;
+    } else if (arg == "--rates-advisory") {
+      rates_advisory = true;
+    } else if (arg == "--help" || arg[0] == '-') {
+      usage_and_exit(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) usage_and_exit(argv[0]);
+
+  bool ok = true;
+  for (const auto& f : files) {
+    if (append) {
+      append_file(f, history);
+    } else {
+      ok = check_file(f, history, window, threshold_pct, rates_advisory) &&
+           ok;
+    }
+  }
+  if (!append) {
+    std::printf("%s\n", ok ? "bench gate: PASS" : "bench gate: FAIL");
+  }
+  return ok ? 0 : 1;
+}

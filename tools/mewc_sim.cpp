@@ -38,6 +38,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include "argparse.hpp"
 #include <string>
 
 #include "ba/adversaries/adversaries.hpp"
@@ -50,6 +52,8 @@
 namespace {
 
 using namespace mewc;
+using tools::parse_u32;
+using tools::parse_u64;
 
 struct Options {
   std::string protocol = "bb";
@@ -112,19 +116,19 @@ Options parse(int argc, char** argv) {
     if (!std::strcmp(argv[i], "--protocol")) {
       o.protocol = need("--protocol");
     } else if (!std::strcmp(argv[i], "--t")) {
-      o.t = static_cast<std::uint32_t>(std::atoi(need("--t")));
+      o.t = parse_u32("--t", need("--t"));
     } else if (!std::strcmp(argv[i], "--n")) {
-      o.n = static_cast<std::uint32_t>(std::atoi(need("--n")));
+      o.n = parse_u32("--n", need("--n"));
     } else if (!std::strcmp(argv[i], "--f")) {
-      o.f = static_cast<std::uint32_t>(std::atoi(need("--f")));
+      o.f = parse_u32("--f", need("--f"));
     } else if (!std::strcmp(argv[i], "--adversary")) {
       o.adversary = need("--adversary");
     } else if (!std::strcmp(argv[i], "--value")) {
-      o.value = std::strtoull(need("--value"), nullptr, 0);
+      o.value = parse_u64("--value", need("--value"));
     } else if (!std::strcmp(argv[i], "--sender")) {
-      o.sender = static_cast<ProcessId>(std::atoi(need("--sender")));
+      o.sender = parse_u32("--sender", need("--sender"));
     } else if (!std::strcmp(argv[i], "--seed")) {
-      o.seed = std::strtoull(need("--seed"), nullptr, 0);
+      o.seed = parse_u64("--seed", need("--seed"));
     } else if (!std::strcmp(argv[i], "--backend")) {
       o.backend = need("--backend");
     } else if (!std::strcmp(argv[i], "--by-kind")) {
@@ -134,14 +138,13 @@ Options parse(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--smr")) {
       o.smr = true;
     } else if (!std::strcmp(argv[i], "--slots")) {
-      o.slots = std::strtoull(need("--slots"), nullptr, 0);
+      o.slots = parse_u64("--slots", need("--slots"));
     } else if (!std::strcmp(argv[i], "--workers")) {
-      o.workers = static_cast<std::uint32_t>(std::atoi(need("--workers")));
+      o.workers = parse_u32("--workers", need("--workers"));
     } else if (!std::strcmp(argv[i], "--queue")) {
-      o.queue = static_cast<std::uint32_t>(std::atoi(need("--queue")));
+      o.queue = parse_u32("--queue", need("--queue"));
     } else if (!std::strcmp(argv[i], "--checkpoint-every")) {
-      o.checkpoint_every =
-          static_cast<std::uint32_t>(std::atoi(need("--checkpoint-every")));
+      o.checkpoint_every = parse_u32("--checkpoint-every", need("--checkpoint-every"));
     } else if (!std::strcmp(argv[i], "--wal-dir")) {
       o.wal_dir = need("--wal-dir");
     } else if (!std::strcmp(argv[i], "--recover")) {

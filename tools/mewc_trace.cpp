@@ -19,6 +19,7 @@
 #include <cstring>
 #include <string>
 
+#include "argparse.hpp"
 #include "check/adversary_registry.hpp"
 #include "check/checkers.hpp"
 #include "check/runner.hpp"
@@ -27,6 +28,8 @@
 namespace {
 
 using namespace mewc;
+using tools::parse_u32;
+using tools::parse_u64;
 
 struct Options {
   std::string protocol = "weak-ba";
@@ -60,15 +63,15 @@ Options parse(int argc, char** argv) {
     if (!std::strcmp(argv[i], "--protocol")) {
       o.protocol = need();
     } else if (!std::strcmp(argv[i], "--t")) {
-      o.t = static_cast<std::uint32_t>(std::atoi(need()));
+      o.t = parse_u32("--t", need());
     } else if (!std::strcmp(argv[i], "--n")) {
-      o.n = static_cast<std::uint32_t>(std::atoi(need()));
+      o.n = parse_u32("--n", need());
     } else if (!std::strcmp(argv[i], "--f")) {
-      o.f = static_cast<std::uint32_t>(std::atoi(need()));
+      o.f = parse_u32("--f", need());
     } else if (!std::strcmp(argv[i], "--adversary")) {
       o.adversary = need();
     } else if (!std::strcmp(argv[i], "--seed")) {
-      o.seed = std::strtoull(need(), nullptr, 0);
+      o.seed = parse_u64("--seed", need());
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       usage_and_exit(argv[0]);

@@ -53,6 +53,7 @@
 #include <string>
 #include <thread>
 
+#include "argparse.hpp"
 #include "check/adversary_registry.hpp"
 #include "check/campaign.hpp"
 #include "check/coverage.hpp"
@@ -131,7 +132,7 @@ Options parse(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--replay-out")) {
       o.replay_out = need();
     } else if (!std::strcmp(argv[i], "--jobs")) {
-      o.jobs = static_cast<unsigned>(std::strtoul(need(), nullptr, 0));
+      o.jobs = mewc::tools::parse_u32("--jobs", need());
     } else if (!std::strcmp(argv[i], "--cells")) {
       o.cells = true;
     } else if (!std::strcmp(argv[i], "--no-shrink")) {
@@ -141,22 +142,21 @@ Options parse(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--list")) {
       o.list = true;
     } else if (!std::strcmp(argv[i], "--word-budget-c")) {
-      o.word_budget_c = std::strtoull(need(), nullptr, 0);
+      o.word_budget_c = mewc::tools::parse_u64("--word-budget-c", need());
     } else if (!std::strcmp(argv[i], "--max-shrink-runs")) {
-      o.max_shrink_runs =
-          static_cast<std::uint32_t>(std::strtoul(need(), nullptr, 0));
+      o.max_shrink_runs = mewc::tools::parse_u32("--max-shrink-runs", need());
     } else if (!std::strcmp(argv[i], "--fuzz")) {
       o.fuzz = true;
     } else if (!std::strcmp(argv[i], "--budget")) {
-      o.budget = std::strtoull(need(), nullptr, 0);
+      o.budget = mewc::tools::parse_u64("--budget", need());
     } else if (!std::strcmp(argv[i], "--seed")) {
-      o.fuzz_seed = std::strtoull(need(), nullptr, 0);
+      o.fuzz_seed = mewc::tools::parse_u64("--seed", need());
     } else if (!std::strcmp(argv[i], "--corpus")) {
       o.corpus_dir = need();
     } else if (!std::strcmp(argv[i], "--fuzz-report")) {
       o.fuzz_report_path = need();
     } else if (!std::strcmp(argv[i], "--min-sites")) {
-      o.min_sites = std::strtoull(need(), nullptr, 0);
+      o.min_sites = mewc::tools::parse_u64("--min-sites", need());
     } else if (!std::strcmp(argv[i], "--require-site")) {
       o.require_sites.emplace_back(need());
     } else if (!std::strcmp(argv[i], "--expect-unreachable")) {
