@@ -1,6 +1,7 @@
 #include "lint/lint.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <functional>
 #include <initializer_list>
 #include <map>
@@ -20,6 +21,15 @@ const std::vector<RuleInfo> kRules = {
      "tools parse numeric argv via tools/argparse.hpp (parse_u32/parse_u64), "
      "never atoi/strtoul-style silent parsing",
      "tools/ bench/ (except tools/argparse.hpp)"},
+    {"R-budget",
+     "[--sem] every path that fills a locally-owned Outbox reaches "
+     "word-meter attribution (SyncNetwork::post / forward) before exit",
+     "src/ba/ src/sim/"},
+    {"R-covdrift",
+     "[--sem] MEWC_COV sites: used names are declared, declared names are "
+     "instrumented exactly once each, algN_lineM_* maps to a PAPER.md "
+     "algorithm",
+     "whole corpus (anchored at the MEWC_COV_SITE_LIST declaration)"},
     {"R-determinism",
      "no unordered containers, rand/random_device, wall clocks, getenv, or "
      "pointer-keyed map/set in replay-critical state",
@@ -40,6 +50,10 @@ const std::vector<RuleInfo> kRules = {
      "protocol code sends via Outbox::send/broadcast or "
      "AdversaryControl::send_as, never SyncNetwork::post",
      "src/ba/"},
+    {"R-taint",
+     "[--sem] wire-decoded values pass Pki/certificate verification before "
+     "reaching quorum counters, ledger mutations, or meter attribution",
+     "src/ba/ src/smr/ (except src/ba/adversaries/)"},
 };
 
 [[nodiscard]] bool in_scope(const std::string& path,
@@ -308,21 +322,12 @@ void rule_send(const Tokens& toks, const Emit& emit) {
   }
 }
 
+}  // namespace
+
 // ---------------------------------------------------------------------------
-// Suppressions: `mewc-lint: allow(R-a, R-b) reason...`
+// Suppressions: `mewc-lint: allow(<rule>[, <rule>]) reason...`
 
-struct Suppressions {
-  // line -> rules allowed on that line (and on the next line for comments
-  // that stand on a line of their own).
-  std::map<std::uint32_t, std::set<std::string>> by_line;
-
-  [[nodiscard]] bool covers(std::uint32_t line, const std::string& rule) const {
-    const auto it = by_line.find(line);
-    return it != by_line.end() && it->second.count(rule) != 0;
-  }
-};
-
-Suppressions parse_suppressions(const std::vector<Comment>& comments) {
+Suppressions Suppressions::from_comments(const std::vector<Comment>& comments) {
   Suppressions sup;
   for (const Comment& c : comments) {
     const std::size_t tag = c.text.find("mewc-lint:");
@@ -351,7 +356,68 @@ Suppressions parse_suppressions(const std::vector<Comment>& comments) {
   return sup;
 }
 
-}  // namespace
+std::vector<StaleAllow> audit_allows(const std::vector<SourceFile>& corpus,
+                                     const std::vector<Diagnostic>& diags) {
+  std::set<std::string> known;
+  for (const RuleInfo& r : rules()) known.insert(std::string(r.id));
+  // (rule, file, line) of every finding, active or not: an allow comment is
+  // justified exactly when some finding lands on a line it covers.
+  std::set<std::string> fired;
+  for (const Diagnostic& d : diags) {
+    fired.insert(d.rule + "|" + d.file + "|" + std::to_string(d.line));
+  }
+
+  std::vector<StaleAllow> stale;
+  for (const SourceFile& f : corpus) {
+    const std::string path = normalize_path(f.path);
+    const LexResult lexed = lex(f.content);
+    for (const Comment& c : lexed.comments) {
+      // Re-parse this one comment through the shared parser so the audit
+      // can never disagree with what run() actually suppresses.
+      const Suppressions sup = Suppressions::from_comments({c});
+      const auto it = sup.by_line.find(c.line);
+      if (it == sup.by_line.end()) continue;
+      for (const std::string& rule : it->second) {
+        if (known.count(rule) == 0) {
+          // Only flag names that could plausibly be a rule id. Doc comments
+          // quote the syntax with placeholders — `allow(<rule>)`,
+          // `allow(...)` — and those can never suppress anything, so they
+          // are prose, not stale suppressions.
+          bool plausible = true;
+          for (const char ch : rule) {
+            if (std::isalnum(static_cast<unsigned char>(ch)) == 0 &&
+                ch != '-' && ch != '_') {
+              plausible = false;
+              break;
+            }
+          }
+          if (plausible) {
+            stale.push_back({path, c.line, rule, "names no known rule"});
+          }
+          continue;
+        }
+        const bool here =
+            fired.count(rule + "|" + path + "|" + std::to_string(c.line)) != 0;
+        const bool next =
+            c.own_line && fired.count(rule + "|" + path + "|" +
+                                      std::to_string(c.line + 1)) != 0;
+        if (!here && !next) {
+          stale.push_back(
+              {path, c.line, rule,
+               "the rule no longer fires on the line(s) this comment "
+               "covers — remove the allow or re-justify it"});
+        }
+      }
+    }
+  }
+  std::sort(stale.begin(), stale.end(),
+            [](const StaleAllow& a, const StaleAllow& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return stale;
+}
 
 // ---------------------------------------------------------------------------
 
@@ -429,7 +495,7 @@ std::vector<Diagnostic> run(const std::vector<SourceFile>& corpus,
   for (std::size_t fi = 0; fi < corpus.size(); ++fi) {
     const std::string path = normalize_path(corpus[fi].path);
     const Tokens& toks = lexed[fi].tokens;
-    const Suppressions sup = parse_suppressions(lexed[fi].comments);
+    const Suppressions sup = Suppressions::from_comments(lexed[fi].comments);
 
     const auto emitter = [&](const char* rule) {
       return [&, rule](std::uint32_t line, std::string message) {

@@ -30,6 +30,11 @@
 //   R-meter        src/net src/sim src/ba: no string-keyed breakdown maps
 //                  on the hot path; kind ids are interned (Meter).
 //
+// Three further rule families — R-taint, R-budget, R-covdrift — need flow
+// rather than token patterns and live in the semantic pass (lint/sem/,
+// `mewc_lint --sem`); they share this header's diagnostic, suppression,
+// and baseline machinery and appear in the same rules() table.
+//
 // Suppressions: a comment `mewc-lint: allow(R-rule[, R-rule]) <reason>`
 // silences those rules on its own line, and — when the comment stands on a
 // line of its own — on the next line as well. A checked-in baseline file
@@ -38,10 +43,13 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <set>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "lint/lexer.hpp"
 
 namespace mewc::lint {
 
@@ -89,6 +97,39 @@ struct Baseline {
 };
 
 [[nodiscard]] std::string baseline_key(const Diagnostic& d);
+
+/// Parsed `mewc-lint: allow(...)` comments: line -> rules allowed on that
+/// line (and on the next line for comments standing on a line of their
+/// own). Shared by the token rules, the semantic pass, and --audit-allows.
+struct Suppressions {
+  std::map<std::uint32_t, std::set<std::string>> by_line;
+
+  [[nodiscard]] static Suppressions from_comments(
+      const std::vector<Comment>& comments);
+
+  [[nodiscard]] bool covers(std::uint32_t line, const std::string& rule) const {
+    const auto it = by_line.find(line);
+    return it != by_line.end() && it->second.count(rule) != 0;
+  }
+};
+
+/// A stale suppression: an allow() comment naming a rule that no longer
+/// fires on any line the comment covers (or naming no known rule at all).
+/// Stale allows are dead weight that silently blesses future regressions
+/// on that line, so --audit-allows fails the build on them.
+struct StaleAllow {
+  std::string file;  // normalized path
+  std::uint32_t line = 0;
+  std::string rule;
+  std::string why;
+};
+
+/// Audits every allow() comment in the corpus against `diags` (the full
+/// diagnostic list, including suppressed findings — run all rule passes
+/// first). Results are sorted by (file, line, rule).
+[[nodiscard]] std::vector<StaleAllow> audit_allows(
+    const std::vector<SourceFile>& corpus,
+    const std::vector<Diagnostic>& diags);
 
 /// Runs every rule over the corpus (two passes: payload types are collected
 /// corpus-wide first, then rules run per file). Returns all diagnostics —

@@ -1,0 +1,85 @@
+#include "lint/sarif.hpp"
+
+#include <map>
+
+#include "check/json.hpp"
+
+namespace mewc::lint {
+
+std::string to_sarif(const std::vector<Diagnostic>& diags) {
+  namespace json = check::json;
+
+  json::Array rule_objs;
+  std::map<std::string, std::size_t> rule_index;
+  for (const RuleInfo& r : rules()) {
+    json::Object rule;
+    rule["id"] = json::Value(std::string(r.id));
+    json::Object short_desc;
+    short_desc["text"] = json::Value(std::string(r.what));
+    rule["shortDescription"] = json::Value(std::move(short_desc));
+    json::Object props;
+    props["scope"] = json::Value(std::string(r.scope));
+    rule["properties"] = json::Value(std::move(props));
+    rule_index[std::string(r.id)] = rule_objs.size();
+    rule_objs.push_back(json::Value(std::move(rule)));
+  }
+
+  json::Array results;
+  for (const Diagnostic& d : diags) {
+    json::Object result;
+    result["ruleId"] = json::Value(d.rule);
+    const auto it = rule_index.find(d.rule);
+    if (it != rule_index.end()) {
+      result["ruleIndex"] = json::Value(it->second);
+    }
+    result["level"] = json::Value("error");
+    json::Object message;
+    message["text"] = json::Value(d.message);
+    result["message"] = json::Value(std::move(message));
+
+    json::Object artifact;
+    artifact["uri"] = json::Value(d.file);
+    json::Object region;
+    region["startLine"] = json::Value(d.line);
+    json::Object physical;
+    physical["artifactLocation"] = json::Value(std::move(artifact));
+    physical["region"] = json::Value(std::move(region));
+    json::Object location;
+    location["physicalLocation"] = json::Value(std::move(physical));
+    json::Array locations;
+    locations.push_back(json::Value(std::move(location)));
+    result["locations"] = json::Value(std::move(locations));
+
+    if (d.suppressed || d.baselined) {
+      json::Object sup;
+      // allow() comments are in-source suppressions; baseline entries live
+      // outside the source, which SARIF spells "external".
+      sup["kind"] = json::Value(d.suppressed ? "inSource" : "external");
+      json::Array sups;
+      sups.push_back(json::Value(std::move(sup)));
+      result["suppressions"] = json::Value(std::move(sups));
+    }
+    results.push_back(json::Value(std::move(result)));
+  }
+
+  json::Object driver;
+  driver["name"] = json::Value("mewc_lint");
+  driver["informationUri"] = json::Value("DESIGN.md#9-static-analysis");
+  driver["rules"] = json::Value(std::move(rule_objs));
+  json::Object tool;
+  tool["driver"] = json::Value(std::move(driver));
+  json::Object run;
+  run["tool"] = json::Value(std::move(tool));
+  run["results"] = json::Value(std::move(results));
+  json::Array runs;
+  runs.push_back(json::Value(std::move(run)));
+
+  json::Object root;
+  root["$schema"] =
+      json::Value("https://json.schemastore.org/sarif-2.1.0.json");
+  root["version"] = json::Value("2.1.0");
+  root["runs"] = json::Value(std::move(runs));
+  return json::Value(std::move(root)).dump(2);
+}
+
+}  // namespace mewc::lint

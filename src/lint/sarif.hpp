@@ -1,0 +1,20 @@
+// SARIF 2.1.0 emitter for mewc_lint diagnostics, so the lint job can
+// publish a machine-readable artifact (and code-scanning UIs can ingest
+// it). One run, one driver ("mewc_lint"), one result per diagnostic;
+// suppressed and baselined findings carry a `suppressions` entry instead of
+// being dropped, which is how SARIF consumers are told "known, accepted".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace mewc::lint {
+
+/// Serializes `diags` (token + semantic rules alike) as a SARIF 2.1.0
+/// document. Deterministic: field order is fixed and results follow the
+/// diagnostic sort order.
+[[nodiscard]] std::string to_sarif(const std::vector<Diagnostic>& diags);
+
+}  // namespace mewc::lint

@@ -1,0 +1,245 @@
+// R-budget: word-accounting completeness — the static mirror of Table-1
+// accounting. Metering has exactly one authority in the runtime:
+// SyncNetwork::post calls Meter::record for every message it carries (and
+// LaneOutbox::forward re-posts lane traffic into the caller's metered
+// outbox). So the invariant is a custody discipline: an Outbox this
+// function owns (a local, an owned member like Executor::send_outbox_, or
+// a local alias to one) that gets filled — via send/broadcast directly, or
+// by a callee that fills its Outbox& parameter, like every driver's
+// on_send — must reach post/forward on every path to function exit.
+// Outbox& parameters are the caller's custody and exempt: the driver fills
+// `out`, the executor posts it.
+//
+// The fill/discharge summaries iterate to a fixpoint so chains like
+// on_send -> run_protocol -> Outbox::send resolve, whichever file defines
+// them.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/sem/dataflow.hpp"
+#include "lint/sem/passes.hpp"
+
+namespace mewc::lint::sem {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+[[nodiscard]] bool in_budget_scope(const std::string& path) {
+  return path.rfind("src/ba/", 0) == 0 || path.rfind("src/sim/", 0) == 0;
+}
+
+[[nodiscard]] bool is_fill_tail(const std::string& tail) {
+  return tail == "send" || tail == "broadcast";
+}
+
+[[nodiscard]] bool is_discharge_tail(const std::string& tail) {
+  return tail == "post" || tail == "forward";
+}
+
+// Per-callee-tail bitmasks: which Outbox& parameter slots the callee fills
+// (writes messages into) or discharges (hands to the metering authority).
+struct Summaries {
+  std::map<std::string, std::uint32_t> fills;
+  std::map<std::string, std::uint32_t> discharges;
+};
+
+[[nodiscard]] bool arg_mentions(const Tokens& toks, const CallSite& c,
+                                std::size_t idx, const std::string& name) {
+  if (idx >= c.args.size()) return false;
+  return root_idents(toks, c.args[idx].first, c.args[idx].second)
+             .count(name) != 0;
+}
+
+[[nodiscard]] bool any_arg_mentions(const Tokens& toks, const CallSite& c,
+                                    const std::string& name) {
+  for (std::size_t i = 0; i < c.args.size(); ++i) {
+    if (arg_mentions(toks, c, i, name)) return true;
+  }
+  return false;
+}
+
+[[nodiscard]] Summaries build_summaries(const AnalysisCorpus& ac) {
+  Summaries s;
+  // Fixpoint over one-level-per-iteration propagation; bounded because the
+  // bitmasks only grow. Four rounds cover any realistic helper chain.
+  for (int round = 0; round < 4; ++round) {
+    bool changed = false;
+    for (const Function& fn : ac.sym.functions) {
+      if (!in_budget_scope(ac.files[fn.file].norm_path)) continue;
+      const Tokens& toks = ac.files[fn.file].lexed.tokens;
+      const std::vector<CallSite> calls =
+          find_calls(toks, fn.body_begin, fn.body_end);
+      for (std::size_t p = 0; p < fn.params.size() && p < 32; ++p) {
+        const Param& param = fn.params[p];
+        if (param.name.empty() || param.type_tail != "Outbox") continue;
+        const std::uint32_t bit = std::uint32_t{1} << p;
+        for (const CallSite& c : calls) {
+          if (is_fill_tail(c.tail) && c.recv_root == param.name) {
+            changed = changed || (s.fills[fn.name] & bit) == 0;
+            s.fills[fn.name] |= bit;
+          }
+          if (is_discharge_tail(c.tail) &&
+              any_arg_mentions(toks, c, param.name)) {
+            changed = changed || (s.discharges[fn.name] & bit) == 0;
+            s.discharges[fn.name] |= bit;
+          }
+          const auto fit = s.fills.find(c.tail);
+          if (fit != s.fills.end()) {
+            for (std::size_t i = 0; i < c.args.size() && i < 32; ++i) {
+              if ((fit->second & (std::uint32_t{1} << i)) != 0 &&
+                  arg_mentions(toks, c, i, param.name)) {
+                changed = changed || (s.fills[fn.name] & bit) == 0;
+                s.fills[fn.name] |= bit;
+              }
+            }
+          }
+          const auto dit = s.discharges.find(c.tail);
+          if (dit != s.discharges.end()) {
+            for (std::size_t i = 0; i < c.args.size() && i < 32; ++i) {
+              if ((dit->second & (std::uint32_t{1} << i)) != 0 &&
+                  arg_mentions(toks, c, i, param.name)) {
+                changed = changed || (s.discharges[fn.name] & bit) == 0;
+                s.discharges[fn.name] |= bit;
+              }
+            }
+          }
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return s;
+}
+
+struct BudgetRun {
+  const Tokens* toks = nullptr;
+  const Cfg* cfg = nullptr;
+  const Summaries* sums = nullptr;
+  const std::set<std::string>* owned = nullptr;
+  std::size_t* fill_count = nullptr;
+
+  [[nodiscard]] Facts transfer(std::size_t id, const Facts& in) const {
+    Facts f = in;
+    const CfgNode& node = cfg->nodes[id];
+    if (node.first >= node.last) return f;
+    for (const CallSite& c : find_calls(*toks, node.first, node.last)) {
+      // Fills first, discharges second: a helper that both fills and posts
+      // the same outbox nets out discharged.
+      if (is_fill_tail(c.tail) && owned->count(c.recv_root) != 0) {
+        const std::uint32_t line = (*toks)[c.name_tok].line;
+        const auto it = f.find(c.recv_root);
+        if (it == f.end() || line < it->second) f[c.recv_root] = line;
+        if (fill_count != nullptr) ++*fill_count;
+      }
+      const auto fit = sums->fills.find(c.tail);
+      if (fit != sums->fills.end()) {
+        for (std::size_t i = 0; i < c.args.size() && i < 32; ++i) {
+          if ((fit->second & (std::uint32_t{1} << i)) == 0) continue;
+          for (const std::string& r :
+               root_idents(*toks, c.args[i].first, c.args[i].second)) {
+            if (owned->count(r) == 0) continue;
+            const std::uint32_t line = (*toks)[c.name_tok].line;
+            const auto it = f.find(r);
+            if (it == f.end() || line < it->second) f[r] = line;
+            if (fill_count != nullptr) ++*fill_count;
+          }
+        }
+      }
+      if (is_discharge_tail(c.tail)) {
+        for (const auto& [a_first, a_last] : c.args) {
+          for (const std::string& r : root_idents(*toks, a_first, a_last)) {
+            f.erase(r);
+          }
+        }
+      }
+      const auto dit = sums->discharges.find(c.tail);
+      if (dit != sums->discharges.end()) {
+        for (std::size_t i = 0; i < c.args.size() && i < 32; ++i) {
+          if ((dit->second & (std::uint32_t{1} << i)) == 0) continue;
+          for (const std::string& r :
+               root_idents(*toks, c.args[i].first, c.args[i].second)) {
+            f.erase(r);
+          }
+        }
+      }
+      // clear() resets custody: pending messages are dropped, not sent, so
+      // no words cross the wire unmetered.
+      if (c.tail == "clear" && owned->count(c.recv_root) != 0) {
+        f.erase(c.recv_root);
+      }
+    }
+    return f;
+  }
+};
+
+}  // namespace
+
+void pass_budget(const AnalysisCorpus& ac, SemStats* stats,
+                 const EmitFn& emit) {
+  const Summaries sums = build_summaries(ac);
+
+  for (std::size_t fi = 0; fi < ac.sym.functions.size(); ++fi) {
+    const Function& fn = ac.sym.functions[fi];
+    const FileCtx& file = ac.files[fn.file];
+    if (!in_budget_scope(file.norm_path)) continue;
+    const Cfg& cfg = ac.cfgs[fi];
+    if (!cfg.ok) continue;
+    const Tokens& toks = file.lexed.tokens;
+
+    // Custody set: locals and local aliases declared in this body, plus
+    // owned members from anywhere in the corpus — minus this function's
+    // parameter names, which shadow members and are the caller's custody.
+    std::set<std::string> owned;
+    for (std::size_t j = fn.body_begin; j + 2 < fn.body_end; ++j) {
+      if (toks[j].kind != TokenKind::kIdentifier || toks[j].text != "Outbox") {
+        continue;
+      }
+      if (toks[j + 1].kind == TokenKind::kIdentifier) {
+        owned.insert(toks[j + 1].text);
+      } else if (toks[j + 1].kind == TokenKind::kPunct &&
+                 toks[j + 1].text == "&" && j + 3 < fn.body_end &&
+                 toks[j + 2].kind == TokenKind::kIdentifier &&
+                 toks[j + 3].kind == TokenKind::kPunct &&
+                 toks[j + 3].text == "=") {
+        owned.insert(toks[j + 2].text);
+      }
+    }
+    for (const std::string& m : ac.sym.outbox_vars) owned.insert(m);
+    for (const Param& p : fn.params) owned.erase(p.name);
+    if (owned.empty()) continue;
+
+    BudgetRun run;
+    run.toks = &toks;
+    run.cfg = &cfg;
+    run.sums = &sums;
+    run.owned = &owned;
+    const std::vector<Facts> in = solve_forward(
+        cfg,
+        [&](std::size_t id, const Facts& f) { return run.transfer(id, f); });
+
+    std::size_t fills = 0;
+    run.fill_count = &fills;
+    Facts at_exit = in[cfg.exit];
+    for (std::size_t id = 0; id < cfg.nodes.size(); ++id) {
+      (void)run.transfer(id, in[id]);
+    }
+    if (stats != nullptr) stats->outbox_fills += fills;
+
+    const std::string where =
+        fn.qualified.empty() ? fn.name : fn.qualified;
+    for (const auto& [var, line] : at_exit) {
+      emit("R-budget", fn.file, line,
+           "Outbox '" + var + "' is filled here, but some path through '" +
+               where +
+               "' exits without word-meter attribution "
+               "(SyncNetwork::post / LaneOutbox::forward) — unmetered sends "
+               "break the Table-1 word accounting");
+    }
+  }
+}
+
+}  // namespace mewc::lint::sem

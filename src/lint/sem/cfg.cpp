@@ -1,0 +1,369 @@
+#include "lint/sem/cfg.hpp"
+
+#include <string>
+
+namespace mewc::lint::sem {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+[[nodiscard]] bool is_ident(const Token& t, std::string_view name) {
+  return t.kind == TokenKind::kIdentifier && t.text == name;
+}
+
+[[nodiscard]] bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+// Statements the builder refuses to model. goto breaks the structured
+// recursion, exceptions add edges from everywhere, and coroutines suspend;
+// a wrong CFG is worse than no CFG, so all of them bail the function.
+[[nodiscard]] bool is_bail_keyword(const Token& t) {
+  return is_ident(t, "goto") || is_ident(t, "try") || is_ident(t, "catch") ||
+         is_ident(t, "co_return") || is_ident(t, "co_await") ||
+         is_ident(t, "co_yield") || is_ident(t, "throw");
+}
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+constexpr std::size_t kMaxNodes = 50000;
+
+struct Builder {
+  const Tokens& toks;
+  Cfg cfg;
+  bool failed = false;
+  // break statements become dangling exits of the innermost loop/switch;
+  // continue edges go straight to the innermost loop's re-entry node.
+  std::vector<std::vector<std::size_t>*> break_stack;
+  std::vector<std::size_t> continue_stack;
+
+  explicit Builder(const Tokens& t) : toks(t) {}
+
+  std::size_t node(std::size_t first, std::size_t last) {
+    if (cfg.nodes.size() >= kMaxNodes) failed = true;
+    cfg.nodes.push_back(CfgNode{first, last, {}});
+    return cfg.nodes.size() - 1;
+  }
+
+  void edge(std::size_t from, std::size_t to) {
+    cfg.nodes[from].succ.push_back(to);
+  }
+
+  void connect(const std::vector<std::size_t>& preds, std::size_t to) {
+    for (const std::size_t p : preds) edge(p, to);
+  }
+
+  std::size_t match(std::size_t open) {
+    const std::size_t m = match_bracket(toks, open);
+    if (m == kNpos) failed = true;
+    return m;
+  }
+
+  // Index just past the end of a simple statement starting at i: the first
+  // ';' at bracket depth zero (or `end` if the scan falls off).
+  std::size_t statement_end(std::size_t i, std::size_t end) {
+    int depth = 0;
+    for (std::size_t j = i; j < end; ++j) {
+      const Token& t = toks[j];
+      if (t.kind != TokenKind::kPunct) continue;
+      if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+      if (t.text == ")" || t.text == "]" || t.text == "}") --depth;
+      if (depth < 0) return j;  // stray closer: enclosing construct ends
+      if (depth == 0 && t.text == ";") return j + 1;
+    }
+    return end;
+  }
+
+  struct Parsed {
+    std::size_t next = 0;            // token index after the statement
+    std::vector<std::size_t> exits;  // dangling nodes flowing to whatever
+  };                                 // comes after
+
+  Parsed parse_block(std::size_t i, std::size_t end,
+                     std::vector<std::size_t> preds) {
+    while (i < end && !failed) {
+      Parsed p = parse_statement(i, end, preds);
+      if (p.next <= i) break;  // no progress: give up rather than loop
+      i = p.next;
+      preds = std::move(p.exits);
+    }
+    return {end, std::move(preds)};
+  }
+
+  Parsed parse_statement(std::size_t i, std::size_t end,
+                         const std::vector<std::size_t>& preds) {
+    if (failed || i >= end) return {end, preds};
+    const Token& t = toks[i];
+
+    if (is_bail_keyword(t)) {
+      failed = true;
+      return {end, {}};
+    }
+    if (is_punct(t, "{")) return parse_compound(i, preds);
+    if (is_ident(t, "if")) return parse_if(i, end, preds);
+    if (is_ident(t, "while")) return parse_while(i, end, preds);
+    if (is_ident(t, "do")) return parse_do(i, end, preds);
+    if (is_ident(t, "for")) return parse_for(i, end, preds);
+    if (is_ident(t, "switch")) return parse_switch(i, end, preds);
+    if (is_ident(t, "return")) {
+      const std::size_t stop = statement_end(i, end);
+      const std::size_t n = node(i, stop);
+      connect(preds, n);
+      edge(n, cfg.exit);
+      return {stop, {}};
+    }
+    if (is_ident(t, "break") && !break_stack.empty()) {
+      const std::size_t stop = statement_end(i, end);
+      const std::size_t n = node(i, stop);
+      connect(preds, n);
+      break_stack.back()->push_back(n);
+      return {stop, {}};
+    }
+    if (is_ident(t, "continue") && !continue_stack.empty()) {
+      const std::size_t stop = statement_end(i, end);
+      const std::size_t n = node(i, stop);
+      connect(preds, n);
+      edge(n, continue_stack.back());
+      return {stop, {}};
+    }
+    // Simple statement (expression, declaration, `;`).
+    const std::size_t stop = statement_end(i, end);
+    const std::size_t n = node(i, stop);
+    connect(preds, n);
+    return {stop, {n}};
+  }
+
+  Parsed parse_compound(std::size_t i, const std::vector<std::size_t>& preds) {
+    const std::size_t close = match(i);
+    if (failed) return {i + 1, {}};
+    Parsed body = parse_block(i + 1, close, preds);
+    return {close + 1, std::move(body.exits)};
+  }
+
+  // `if [constexpr] (cond) stmt [else stmt]`. The condition node covers the
+  // whole `if (...)` header, so declarations inside the condition are seen
+  // by the transfer functions before either branch runs.
+  Parsed parse_if(std::size_t i, std::size_t end,
+                  const std::vector<std::size_t>& preds) {
+    std::size_t open = i + 1;
+    if (open < end && is_ident(toks[open], "constexpr")) ++open;
+    if (open >= end || !is_punct(toks[open], "(")) {
+      failed = true;
+      return {end, {}};
+    }
+    const std::size_t close = match(open);
+    if (failed) return {end, {}};
+    const std::size_t cond = node(i, close + 1);
+    connect(preds, cond);
+    Parsed then = parse_statement(close + 1, end, {cond});
+    std::vector<std::size_t> exits = std::move(then.exits);
+    std::size_t next = then.next;
+    if (next < end && is_ident(toks[next], "else")) {
+      Parsed els = parse_statement(next + 1, end, {cond});
+      exits.insert(exits.end(), els.exits.begin(), els.exits.end());
+      next = els.next;
+    } else {
+      exits.push_back(cond);  // false edge falls through
+    }
+    return {next, std::move(exits)};
+  }
+
+  Parsed parse_while(std::size_t i, std::size_t end,
+                     const std::vector<std::size_t>& preds) {
+    const std::size_t open = i + 1;
+    if (open >= end || !is_punct(toks[open], "(")) {
+      failed = true;
+      return {end, {}};
+    }
+    const std::size_t close = match(open);
+    if (failed) return {end, {}};
+    const std::size_t cond = node(i, close + 1);
+    connect(preds, cond);
+    std::vector<std::size_t> breaks;
+    break_stack.push_back(&breaks);
+    continue_stack.push_back(cond);
+    Parsed body = parse_statement(close + 1, end, {cond});
+    break_stack.pop_back();
+    continue_stack.pop_back();
+    connect(body.exits, cond);  // back edge
+    breaks.push_back(cond);     // false edge exits the loop
+    return {body.next, std::move(breaks)};
+  }
+
+  Parsed parse_do(std::size_t i, std::size_t end,
+                  const std::vector<std::size_t>& preds) {
+    const std::size_t head = node(i, i);  // join: loop re-entry point
+    connect(preds, head);
+    const std::size_t cond = node(0, 0);  // range patched once parsed
+    std::vector<std::size_t> breaks;
+    break_stack.push_back(&breaks);
+    continue_stack.push_back(cond);
+    Parsed body = parse_statement(i + 1, end, {head});
+    break_stack.pop_back();
+    continue_stack.pop_back();
+    std::size_t j = body.next;
+    if (j >= end || !is_ident(toks[j], "while") || j + 1 >= end ||
+        !is_punct(toks[j + 1], "(")) {
+      failed = true;
+      return {end, {}};
+    }
+    const std::size_t close = match(j + 1);
+    if (failed) return {end, {}};
+    cfg.nodes[cond].first = j;
+    cfg.nodes[cond].last = close + 1;
+    connect(body.exits, cond);
+    edge(cond, head);  // back edge
+    breaks.push_back(cond);
+    std::size_t next = close + 1;
+    if (next < end && is_punct(toks[next], ";")) ++next;
+    return {next, std::move(breaks)};
+  }
+
+  Parsed parse_for(std::size_t i, std::size_t end,
+                   const std::vector<std::size_t>& preds) {
+    const std::size_t open = i + 1;
+    if (open >= end || !is_punct(toks[open], "(")) {
+      failed = true;
+      return {end, {}};
+    }
+    const std::size_t close = match(open);
+    if (failed) return {end, {}};
+    // Range-for has a ':' at paren depth one; classic-for has two depth-one
+    // semicolons. "::" lexes as its own token, so a bare ':' is unambiguous.
+    std::size_t semi1 = kNpos;
+    std::size_t semi2 = kNpos;
+    std::size_t colon = kNpos;
+    int depth = 0;
+    for (std::size_t j = open + 1; j < close; ++j) {
+      const Token& tk = toks[j];
+      if (tk.kind != TokenKind::kPunct) continue;
+      if (tk.text == "(" || tk.text == "[" || tk.text == "{") ++depth;
+      if (tk.text == ")" || tk.text == "]" || tk.text == "}") --depth;
+      if (depth != 0) continue;
+      if (tk.text == ";") {
+        if (semi1 == kNpos) {
+          semi1 = j;
+        } else if (semi2 == kNpos) {
+          semi2 = j;
+        }
+      }
+      if (tk.text == ":" && semi1 == kNpos && colon == kNpos) colon = j;
+    }
+    if (colon != kNpos) {
+      // Range-for: one header node; body loops back to it.
+      const std::size_t hdr = node(i, close + 1);
+      connect(preds, hdr);
+      std::vector<std::size_t> breaks;
+      break_stack.push_back(&breaks);
+      continue_stack.push_back(hdr);
+      Parsed body = parse_statement(close + 1, end, {hdr});
+      break_stack.pop_back();
+      continue_stack.pop_back();
+      connect(body.exits, hdr);
+      breaks.push_back(hdr);
+      return {body.next, std::move(breaks)};
+    }
+    if (semi1 == kNpos || semi2 == kNpos) {
+      failed = true;
+      return {end, {}};
+    }
+    const std::size_t init = node(i, semi1 + 1);
+    const std::size_t cond = node(semi1 + 1, semi2 + 1);
+    const std::size_t inc = node(semi2 + 1, close + 1);
+    connect(preds, init);
+    edge(init, cond);
+    std::vector<std::size_t> breaks;
+    break_stack.push_back(&breaks);
+    continue_stack.push_back(inc);
+    Parsed body = parse_statement(close + 1, end, {cond});
+    break_stack.pop_back();
+    continue_stack.pop_back();
+    connect(body.exits, inc);
+    edge(inc, cond);  // back edge
+    breaks.push_back(cond);
+    return {body.next, std::move(breaks)};
+  }
+
+  // `switch (expr) { case a: ... default: ... }`. Each label starts a group
+  // reachable from the switch head; a group without a break falls through
+  // into the next label's group, which is exactly the edge fallthrough bugs
+  // live on.
+  Parsed parse_switch(std::size_t i, std::size_t end,
+                      const std::vector<std::size_t>& preds) {
+    const std::size_t open = i + 1;
+    if (open >= end || !is_punct(toks[open], "(")) {
+      failed = true;
+      return {end, {}};
+    }
+    const std::size_t close = match(open);
+    if (failed) return {end, {}};
+    const std::size_t head = node(i, close + 1);
+    connect(preds, head);
+    std::size_t body_open = close + 1;
+    if (body_open >= end || !is_punct(toks[body_open], "{")) {
+      failed = true;
+      return {end, {}};
+    }
+    const std::size_t body_close = match(body_open);
+    if (failed) return {end, {}};
+
+    std::vector<std::size_t> breaks;
+    break_stack.push_back(&breaks);
+    std::vector<std::size_t> dangling;  // fallthrough from the prior group
+    bool has_default = false;
+    std::size_t j = body_open + 1;
+    while (j < body_close && !failed) {
+      if (is_ident(toks[j], "case") || is_ident(toks[j], "default")) {
+        has_default = has_default || is_ident(toks[j], "default");
+        // Label expressions contain no bare ':' (the lexer keeps "::"
+        // whole), so the first ':' ends the label.
+        std::size_t colon = j + 1;
+        while (colon < body_close && !is_punct(toks[colon], ":")) ++colon;
+        const std::size_t lbl = node(j, j);
+        edge(head, lbl);
+        connect(dangling, lbl);  // fallthrough edge
+        dangling = {lbl};
+        j = colon + 1;
+        continue;
+      }
+      Parsed p = parse_statement(j, body_close, dangling);
+      if (p.next <= j) break;
+      j = p.next;
+      dangling = std::move(p.exits);
+    }
+    break_stack.pop_back();
+    breaks.insert(breaks.end(), dangling.begin(), dangling.end());
+    if (!has_default) breaks.push_back(head);
+    return {body_close + 1, std::move(breaks)};
+  }
+};
+
+}  // namespace
+
+std::size_t match_bracket(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t j = open; j < toks.size(); ++j) {
+    const Token& t = toks[j];
+    if (t.kind != TokenKind::kPunct) continue;
+    if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+    if (t.text == ")" || t.text == "]" || t.text == "}") {
+      --depth;
+      if (depth == 0) return j;
+    }
+  }
+  return kNpos;
+}
+
+Cfg build_cfg(const std::vector<Token>& toks, std::size_t body_begin,
+              std::size_t body_end) {
+  Builder b(toks);
+  b.cfg.entry = b.node(0, 0);
+  b.cfg.exit = b.node(0, 0);
+  Builder::Parsed body =
+      b.parse_block(body_begin + 1, body_end, {b.cfg.entry});
+  b.connect(body.exits, b.cfg.exit);
+  b.cfg.ok = !b.failed;
+  return b.cfg;
+}
+
+}  // namespace mewc::lint::sem

@@ -1,0 +1,42 @@
+// Per-function control-flow graph built over the lint lexer's token stream.
+// Nodes are token ranges (a statement, a condition, or an empty join point);
+// edges are the possible successors. The builder is a recursive descent over
+// statements: if/else, while, do/while, for (classic and range), switch with
+// fallthrough, break/continue/return are modeled; anything it cannot parse
+// (goto, try, coroutines, runaway macros) makes it bail with ok == false so
+// dataflow rules skip the function instead of reasoning over a wrong graph.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace mewc::lint::sem {
+
+struct CfgNode {
+  std::size_t first = 0;  // token range [first, last); first == last for
+  std::size_t last = 0;   // synthetic join/entry/exit nodes
+  std::vector<std::size_t> succ;
+};
+
+struct Cfg {
+  std::vector<CfgNode> nodes;
+  std::size_t entry = 0;
+  std::size_t exit = 0;
+  bool ok = false;  // false: builder bailed; callers must skip the function
+};
+
+/// Builds the CFG for a function body. `body_begin` is the token index of
+/// the opening '{', `body_end` the index of its matching '}'. Every path
+/// through the body — including early returns — ends at cfg.exit.
+[[nodiscard]] Cfg build_cfg(const std::vector<Token>& toks,
+                            std::size_t body_begin, std::size_t body_end);
+
+/// Token index of the bracket matching the opener at `open` ('(', '[', or
+/// '{'), or npos when the stream ends first. Shared by the symbol table and
+/// the CFG builder.
+[[nodiscard]] std::size_t match_bracket(const std::vector<Token>& toks,
+                                        std::size_t open);
+
+}  // namespace mewc::lint::sem

@@ -1,0 +1,284 @@
+// R-covdrift: paper-line annotation drift. The coverage map declares every
+// MEWC_COV site once in the MEWC_COV_SITE_LIST X-macro (check/coverage.hpp)
+// and instruments it at exactly the protocol step the paper names; the
+// fuzz gate counts on that mapping being live. This pass cross-checks the
+// three ways it rots:
+//   - a use names a site the list no longer declares (renamed on one side),
+//   - a declared site is never instrumented (orphaned) or declared twice,
+//   - an algN_lineM_* name references an algorithm PAPER.md never defines.
+// All checks are anchored at the site-list declaration: scanning a corpus
+// subset that lacks the list (no ground truth) checks nothing rather than
+// flagging every use.
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/sem/passes.hpp"
+
+namespace mewc::lint::sem {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+[[nodiscard]] bool is_ident(const Token& t, std::string_view name) {
+  return t.kind == TokenKind::kIdentifier && t.text == name;
+}
+
+[[nodiscard]] bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+struct SiteRef {
+  std::string name;
+  std::size_t file = 0;
+  std::uint32_t line = 0;
+};
+
+// Declarations: the `X(site)` entries of the MEWC_COV_SITE_LIST macro body.
+// The lexer keeps '#', 'define', and line-continuation '\' as ordinary
+// tokens, so the body is the maximal run of `X ( ident )` groups (with
+// backslashes interspersed) after the macro name.
+void collect_declared(const Tokens& toks, std::size_t file,
+                      std::vector<SiteRef>* out) {
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "define") ||
+        !is_ident(toks[i + 1], "MEWC_COV_SITE_LIST")) {
+      continue;
+    }
+    std::size_t j = i + 2;
+    if (j + 2 < toks.size() && is_punct(toks[j], "(") &&
+        is_ident(toks[j + 1], "X") && is_punct(toks[j + 2], ")")) {
+      j += 3;  // the macro's own (X) parameter
+    }
+    while (j < toks.size()) {
+      if (is_punct(toks[j], "\\")) {
+        ++j;
+        continue;
+      }
+      if (j + 3 < toks.size() && is_ident(toks[j], "X") &&
+          is_punct(toks[j + 1], "(") &&
+          toks[j + 2].kind == TokenKind::kIdentifier &&
+          is_punct(toks[j + 3], ")")) {
+        out->push_back({toks[j + 2].text, file, toks[j + 2].line});
+        j += 4;
+        continue;
+      }
+      break;  // end of the X-macro body
+    }
+  }
+}
+
+// Uses: `MEWC_COV(site)` instrumentation calls. The macro's own #define is
+// not a use of a site named "site".
+void collect_used(const Tokens& toks, std::size_t file,
+                  std::vector<SiteRef>* out) {
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "MEWC_COV")) continue;
+    if (i >= 1 && is_ident(toks[i - 1], "define")) continue;
+    if (!is_punct(toks[i + 1], "(") ||
+        toks[i + 2].kind != TokenKind::kIdentifier ||
+        !is_punct(toks[i + 3], ")")) {
+      continue;
+    }
+    out->push_back({toks[i + 2].text, file, toks[i].line});
+  }
+}
+
+// Algorithms PAPER.md actually defines: every number reachable from an
+// "Algorithm"/"Algorithms" mention — "Algorithms 1 + 2", "Algorithm 5",
+// and dash ranges ("Algorithms 1-5", en dash included) all parse.
+[[nodiscard]] std::set<int> paper_algorithms(const std::string& text) {
+  std::set<int> algs;
+  std::size_t pos = 0;
+  while ((pos = text.find("Algorithm", pos)) != std::string::npos) {
+    std::size_t i = pos + 9;
+    if (i < text.size() && text[i] == 's') ++i;
+    pos = i;
+    int prev = -1;
+    bool range_pending = false;
+    while (i < text.size()) {
+      const unsigned char ch = text[i];
+      if (std::isspace(ch) != 0 || ch == '+' || ch == ',') {
+        ++i;
+        continue;
+      }
+      if (ch == '-' || text.compare(i, 3, "\xe2\x80\x93") == 0 ||
+          text.compare(i, 3, "\xe2\x80\x94") == 0) {
+        range_pending = prev >= 0;
+        i += ch == '-' ? 1 : 3;
+        continue;
+      }
+      if (text.compare(i, 3, "and") == 0) {
+        i += 3;
+        continue;
+      }
+      if (std::isdigit(ch) == 0) break;
+      int value = 0;
+      while (i < text.size() && std::isdigit(static_cast<unsigned char>(
+                                    text[i])) != 0) {
+        value = value * 10 + (text[i] - '0');
+        ++i;
+      }
+      if (range_pending && prev >= 0) {
+        for (int a = prev; a <= value && a - prev < 64; ++a) algs.insert(a);
+      } else {
+        algs.insert(value);
+      }
+      prev = value;
+      range_pending = false;
+    }
+  }
+  return algs;
+}
+
+// Bounded Levenshtein distance for the "renamed?" suggestion.
+[[nodiscard]] std::size_t edit_distance(const std::string& a,
+                                        const std::string& b) {
+  const std::size_t n = a.size() < 64 ? a.size() : 64;
+  const std::size_t m = b.size() < 64 ? b.size() : 64;
+  std::vector<std::size_t> row(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) row[j] = j;
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::size_t up = row[j];
+      const std::size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      std::size_t best = sub;
+      if (row[j] + 1 < best) best = row[j] + 1;
+      if (row[j - 1] + 1 < best) best = row[j - 1] + 1;
+      row[j] = best;
+      diag = up;
+    }
+  }
+  return row[m];
+}
+
+// algN_lineM_slug naming: returns false unless the name parses; fills the
+// algorithm number when it does.
+[[nodiscard]] bool parse_alg_site(const std::string& name, int* alg,
+                                  int* paper_line) {
+  if (name.rfind("alg", 0) != 0) return false;
+  std::size_t i = 3;
+  int a = 0;
+  std::size_t digits = 0;
+  while (i < name.size() &&
+         std::isdigit(static_cast<unsigned char>(name[i])) != 0) {
+    a = a * 10 + (name[i] - '0');
+    ++i;
+    ++digits;
+  }
+  if (digits == 0 || name.compare(i, 5, "_line") != 0) return false;
+  i += 5;
+  int l = 0;
+  digits = 0;
+  while (i < name.size() &&
+         std::isdigit(static_cast<unsigned char>(name[i])) != 0) {
+    l = l * 10 + (name[i] - '0');
+    ++i;
+    ++digits;
+  }
+  if (digits == 0 || i >= name.size() || name[i] != '_' ||
+      i + 1 >= name.size()) {
+    return false;  // no slug after the line number
+  }
+  *alg = a;
+  *paper_line = l;
+  return true;
+}
+
+}  // namespace
+
+void pass_covdrift(const AnalysisCorpus& ac, const std::string& paper_text,
+                   SemStats* stats, const EmitFn& emit) {
+  std::vector<SiteRef> declared;
+  std::vector<SiteRef> used;
+  for (std::size_t fi = 0; fi < ac.files.size(); ++fi) {
+    collect_declared(ac.files[fi].lexed.tokens, fi, &declared);
+    collect_used(ac.files[fi].lexed.tokens, fi, &used);
+  }
+  if (declared.empty()) return;  // no ground truth in this corpus
+
+  std::map<std::string, const SiteRef*> first_decl;
+  std::set<std::string> used_names;
+  for (const SiteRef& u : used) used_names.insert(u.name);
+  if (stats != nullptr) {
+    stats->cov_sites_used += used_names.size();
+  }
+
+  for (const SiteRef& d : declared) {
+    const auto [it, inserted] = first_decl.emplace(d.name, &d);
+    if (!inserted) {
+      emit("R-covdrift", d.file, d.line,
+           "MEWC_COV site '" + d.name +
+               "' is declared more than once in the site list (first at "
+               "line " +
+               std::to_string(it->second->line) +
+               ") — duplicate entries skew the coverage denominator");
+      continue;
+    }
+    if (stats != nullptr) ++stats->cov_sites_declared;
+    if (used_names.count(d.name) == 0) {
+      emit("R-covdrift", d.file, d.line,
+           "MEWC_COV site '" + d.name +
+               "' is declared in the site list but never instrumented — "
+               "orphaned sites make the fuzz gate's reachable-site floor a "
+               "lie");
+    }
+    int alg = 0;
+    int paper_line = 0;
+    if (parse_alg_site(d.name, &alg, &paper_line)) {
+      if (paper_line < 1 || paper_line > 99) {
+        emit("R-covdrift", d.file, d.line,
+             "MEWC_COV site '" + d.name + "' names paper line " +
+                 std::to_string(paper_line) +
+                 ", outside any plausible algorithm listing");
+      }
+      if (!paper_text.empty()) {
+        const std::set<int> algs = paper_algorithms(paper_text);
+        if (algs.count(alg) == 0) {
+          emit("R-covdrift", d.file, d.line,
+               "MEWC_COV site '" + d.name + "' references Algorithm " +
+                   std::to_string(alg) +
+                   ", which PAPER.md does not define — the paper-line map "
+                   "has drifted");
+        }
+      }
+    } else if (d.name.rfind("bbvalid_", 0) != 0 &&
+               d.name.rfind("afb_", 0) != 0) {
+      emit("R-covdrift", d.file, d.line,
+           "MEWC_COV site '" + d.name +
+               "' matches no naming family (algN_lineM_slug, bbvalid_*, "
+               "afb_*) — undocumented families break the paper-line "
+               "report");
+    }
+  }
+
+  for (const SiteRef& u : used) {
+    if (first_decl.count(u.name) != 0) continue;
+    std::string best;
+    std::size_t best_dist = 6;  // suggest only near misses
+    for (const auto& [name, ref] : first_decl) {
+      if (used_names.count(name) != 0) continue;  // already instrumented
+      const std::size_t dist = edit_distance(u.name, name);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = name;
+      }
+    }
+    std::string msg = "MEWC_COV('" + u.name +
+                      "') names a site the site list does not declare";
+    if (!best.empty()) {
+      msg += " — renamed? nearest unused declared site is '" + best + "'";
+    } else {
+      msg += " — add it to MEWC_COV_SITE_LIST or fix the name";
+    }
+    emit("R-covdrift", u.file, u.line, std::move(msg));
+  }
+}
+
+}  // namespace mewc::lint::sem

@@ -1,0 +1,70 @@
+// Forward may-dataflow over a sem::Cfg. The domain is a finite map from
+// variable name to the line where its fact originated (taint source line,
+// outbox fill line); join is set union keeping the earliest origin, so the
+// fixpoint exists and diagnostics are deterministic. A fact present at a
+// node means "there exists a path on which it holds" — exactly the
+// quantifier both R-taint ("some path reaches the sink unverified") and
+// R-budget ("some path exits without attribution") need.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/sem/cfg.hpp"
+
+namespace mewc::lint::sem {
+
+using Facts = std::map<std::string, std::uint32_t>;
+
+/// Unions `from` into `into`; keeps the smaller origin line on collision.
+/// Returns true when `into` changed (the worklist condition).
+inline bool join_into(Facts& into, const Facts& from) {
+  bool changed = false;
+  for (const auto& [var, line] : from) {
+    auto [it, inserted] = into.emplace(var, line);
+    if (inserted) {
+      changed = true;
+    } else if (line < it->second) {
+      it->second = line;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+/// Worklist fixpoint. `transfer(node_id, in) -> out` must be monotone and
+/// deterministic. Returns the IN set of every node; callers then replay the
+/// transfer once per node in report mode to emit diagnostics exactly once.
+template <typename Transfer>
+[[nodiscard]] std::vector<Facts> solve_forward(const Cfg& cfg,
+                                               Transfer&& transfer) {
+  std::vector<Facts> in(cfg.nodes.size());
+  std::vector<char> queued(cfg.nodes.size(), 1);
+  std::vector<std::size_t> work;
+  // Every node starts on the worklist — facts are *generated* inside
+  // transfers (a decl node gens its own taint with an empty IN set), so
+  // seeding only the entry would never run the node that creates the first
+  // fact. Reverse order makes the first drain roughly topological.
+  work.reserve(cfg.nodes.size());
+  for (std::size_t id = cfg.nodes.size(); id-- > 0;) work.push_back(id);
+  // The lattice height is |vars| per node, so this bound is never hit on
+  // real code; it guards against a non-monotone transfer looping forever.
+  std::size_t fuel = 64 * cfg.nodes.size() + 256;
+  while (!work.empty() && fuel-- > 0) {
+    const std::size_t id = work.back();
+    work.pop_back();
+    queued[id] = 0;
+    const Facts out = transfer(id, in[id]);
+    for (const std::size_t s : cfg.nodes[id].succ) {
+      if (join_into(in[s], out) && queued[s] == 0) {
+        queued[s] = 1;
+        work.push_back(s);
+      }
+    }
+  }
+  return in;
+}
+
+}  // namespace mewc::lint::sem

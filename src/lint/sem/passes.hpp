@@ -1,0 +1,39 @@
+// Internal plumbing between sem.cpp (orchestration, suppressions,
+// baseline) and the three rule passes. Not part of the public surface —
+// include sem.hpp instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+#include "lint/sem/cfg.hpp"
+#include "lint/sem/sem.hpp"
+#include "lint/sem/symtab.hpp"
+
+namespace mewc::lint::sem {
+
+struct FileCtx {
+  std::string norm_path;  // normalized, used for scoping and diagnostics
+  LexResult lexed;
+};
+
+struct AnalysisCorpus {
+  std::vector<FileCtx> files;
+  SymbolTable sym;
+  std::vector<Cfg> cfgs;  // parallel to sym.functions
+};
+
+// emit(rule, file_index, line, message)
+using EmitFn = std::function<void(const char* rule, std::size_t file,
+                                  std::uint32_t line, std::string msg)>;
+
+void pass_taint(const AnalysisCorpus& ac, SemStats* stats, const EmitFn& emit);
+void pass_budget(const AnalysisCorpus& ac, SemStats* stats, const EmitFn& emit);
+void pass_covdrift(const AnalysisCorpus& ac, const std::string& paper_text,
+                   SemStats* stats, const EmitFn& emit);
+
+}  // namespace mewc::lint::sem

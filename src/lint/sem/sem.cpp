@@ -1,0 +1,92 @@
+#include "lint/sem/sem.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <string>
+
+#include "lint/sem/passes.hpp"
+
+namespace mewc::lint::sem {
+
+std::vector<Diagnostic> run_sem(const std::vector<SourceFile>& corpus,
+                                const SemOptions& opts, SemStats* stats,
+                                const Baseline* baseline) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  AnalysisCorpus ac;
+  ac.files.reserve(corpus.size());
+  std::vector<LexResult> lexed;
+  lexed.reserve(corpus.size());
+  for (const SourceFile& f : corpus) lexed.push_back(lex(f.content));
+  ac.sym = build_symtab(lexed);
+  for (std::size_t fi = 0; fi < corpus.size(); ++fi) {
+    FileCtx ctx;
+    ctx.norm_path = normalize_path(corpus[fi].path);
+    ctx.lexed = std::move(lexed[fi]);
+    ac.files.push_back(std::move(ctx));
+  }
+  ac.cfgs.reserve(ac.sym.functions.size());
+  for (const Function& fn : ac.sym.functions) {
+    ac.cfgs.push_back(build_cfg(ac.files[fn.file].lexed.tokens, fn.body_begin,
+                                fn.body_end));
+  }
+
+  if (stats != nullptr) {
+    stats->files += ac.files.size();
+    stats->functions += ac.sym.functions.size();
+    for (const Cfg& cfg : ac.cfgs) {
+      stats->cfg_nodes += cfg.nodes.size();
+      if (!cfg.ok) ++stats->cfg_bailouts;
+    }
+  }
+
+  // Suppressions per file, plus a dedup set: the report replay visits
+  // every node once, but a sink line can be reachable through two nodes.
+  std::vector<Suppressions> sups;
+  sups.reserve(ac.files.size());
+  for (const FileCtx& f : ac.files) {
+    sups.push_back(Suppressions::from_comments(f.lexed.comments));
+  }
+  std::vector<Diagnostic> diags;
+  std::set<std::string> seen;
+  const EmitFn emit = [&](const char* rule, std::size_t file,
+                          std::uint32_t line, std::string msg) {
+    Diagnostic d;
+    d.rule = rule;
+    d.file = ac.files[file].norm_path;
+    d.line = line;
+    d.message = std::move(msg);
+    const std::string key = d.rule + "|" + d.file + "|" +
+                            std::to_string(d.line) + "|" + d.message;
+    if (!seen.insert(key).second) return;
+    d.suppressed = sups[file].covers(line, d.rule);
+    diags.push_back(std::move(d));
+  };
+
+  pass_taint(ac, stats, emit);
+  pass_budget(ac, stats, emit);
+  pass_covdrift(ac, opts.paper_text, stats, emit);
+
+  if (baseline != nullptr) {
+    for (Diagnostic& d : diags) {
+      d.baselined = baseline->entries.count(baseline_key(d)) != 0;
+    }
+  }
+  std::sort(diags.begin(), diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+
+  if (stats != nullptr) {
+    stats->wall_ms +=
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+  return diags;
+}
+
+}  // namespace mewc::lint::sem

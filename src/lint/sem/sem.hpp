@@ -1,0 +1,70 @@
+// Semantic lint pass (`mewc_lint --sem`): three rule families that need
+// flow, not token patterns, built on the symbol table + CFG + dataflow
+// layers in this directory.
+//
+//   R-taint     src/ba/ src/smr/ (except src/ba/adversaries/): values
+//               originating at wire decode/borrow sites (payload_cast,
+//               wire::decode, wire::view, decode_snapshot, decode_body) are
+//               unverified Byzantine input. On every path from the source
+//               to a quorum accumulator (insert/push_back/combine), an SMR
+//               ledger mutation (install_snapshot/commit/append/restore/
+//               apply), or Meter attribution (record), a Pki / certificate
+//               verification call (verify*, valid/validate) must intervene.
+//               One-level call summaries catch sinks behind helpers
+//               (DolevStrongEngine::accept). The adversaries directory is
+//               the Byzantine party itself and is out of scope by design.
+//   R-budget    src/ba/ src/sim/: a locally-owned Outbox (local decl,
+//               owned member, or alias to one) that is filled via
+//               send/broadcast — directly or through a callee that fills
+//               its Outbox& parameter, like on_send — must reach word-meter
+//               attribution (SyncNetwork::post or LaneOutbox::forward) on
+//               every path to function exit. Outbox& parameters are the
+//               caller's custody and are exempt. This is the static mirror
+//               of the Table-1 accounting: no path may create words the
+//               meter never sees.
+//   R-covdrift  MEWC_COV paper-line sites: every use names a declared
+//               site, every declared site is instrumented somewhere and
+//               declared once, and algN_lineM_* names reference an
+//               algorithm PAPER.md actually defines. Catches renamed,
+//               duplicated, and orphaned annotations when protocol code
+//               and the paper map drift apart.
+//
+// Diagnostics share lint.hpp's suppression (`mewc-lint: allow(...)`) and
+// baseline semantics, so --sem composes with the token rules in one gate.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace mewc::lint::sem {
+
+struct SemOptions {
+  // PAPER.md text for R-covdrift's algorithm cross-check; empty skips that
+  // sub-check (declaration/use drift is still verified).
+  std::string paper_text;
+};
+
+struct SemStats {
+  std::size_t files = 0;
+  std::size_t functions = 0;
+  std::size_t cfg_nodes = 0;
+  std::size_t cfg_bailouts = 0;  // functions skipped (goto/try/unparsable)
+  std::size_t taint_sources = 0;
+  std::size_t taint_facts = 0;  // facts live at sink-bearing nodes, summed
+  std::size_t outbox_fills = 0;
+  std::size_t cov_sites_declared = 0;
+  std::size_t cov_sites_used = 0;
+  double wall_ms = 0.0;
+};
+
+/// Runs the semantic rules over the corpus. Same contract as lint::run():
+/// returns all diagnostics — suppressed and baselined ones flagged, not
+/// dropped — sorted by (file, line, rule).
+[[nodiscard]] std::vector<Diagnostic> run_sem(
+    const std::vector<SourceFile>& corpus, const SemOptions& opts,
+    SemStats* stats = nullptr, const Baseline* baseline = nullptr);
+
+}  // namespace mewc::lint::sem

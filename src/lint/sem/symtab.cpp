@@ -1,0 +1,450 @@
+#include "lint/sem/symtab.hpp"
+
+#include <string_view>
+
+#include "lint/sem/cfg.hpp"
+
+namespace mewc::lint::sem {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+[[nodiscard]] bool is_ident(const Token& t, std::string_view name) {
+  return t.kind == TokenKind::kIdentifier && t.text == name;
+}
+
+[[nodiscard]] bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+[[nodiscard]] bool is_any_ident(const Token& t) {
+  return t.kind == TokenKind::kIdentifier;
+}
+
+// Keywords that look like `name (` but are control flow, not calls or
+// function definitions.
+[[nodiscard]] bool is_control_keyword(const std::string& s) {
+  return s == "if" || s == "while" || s == "for" || s == "switch" ||
+         s == "return" || s == "sizeof" || s == "alignof" ||
+         s == "decltype" || s == "static_assert" || s == "catch" ||
+         s == "new" || s == "delete" || s == "noexcept" || s == "case" ||
+         s == "default" || s == "throw" || s == "operator" ||
+         s == "alignas" || s == "co_return" || s == "co_await";
+}
+
+// Backward bracket match: index of the opener matching the ')' or ']' at
+// `close`, or npos.
+[[nodiscard]] std::size_t match_backward(const Tokens& toks,
+                                         std::size_t close) {
+  int depth = 0;
+  for (std::size_t j = close + 1; j-- > 0;) {
+    const Token& t = toks[j];
+    if (t.kind != TokenKind::kPunct) continue;
+    if (t.text == ")" || t.text == "]" || t.text == "}") ++depth;
+    if (t.text == "(" || t.text == "[" || t.text == "{") {
+      --depth;
+      if (depth == 0) return j;
+    }
+  }
+  return kNpos;
+}
+
+// Walks a receiver chain backwards from the callee tail: over '.', '->',
+// and '::' links, through balanced (...) / [...] groups, to the chain's
+// root identifier. Returns "" when the shape is anything fancier.
+[[nodiscard]] std::string receiver_root(const Tokens& toks,
+                                        std::size_t name_tok) {
+  std::size_t j = name_tok;
+  while (j >= 2 && (is_punct(toks[j - 1], ".") || is_punct(toks[j - 1], "->") ||
+                    is_punct(toks[j - 1], "::"))) {
+    std::size_t k = j - 2;
+    if (is_punct(toks[k], ")") || is_punct(toks[k], "]")) {
+      const std::size_t open = match_backward(toks, k);
+      if (open == kNpos || open == 0) return "";
+      k = open - 1;
+    }
+    if (!is_any_ident(toks[k])) return "";
+    j = k;
+  }
+  if (j == name_tok) return "";
+  return toks[j].text;
+}
+
+// ---------------------------------------------------------------------------
+// Function definitions
+
+// Parses a constructor initializer list starting at the ':' token; returns
+// the index of the body '{' or npos. Items are `name(args)` / `name{args}`
+// separated by commas; the body brace is whatever follows the last item.
+[[nodiscard]] std::size_t skip_ctor_init(const Tokens& toks, std::size_t colon,
+                                         std::size_t limit) {
+  std::size_t j = colon + 1;
+  while (j < limit) {
+    // Qualified / templated member or base name.
+    while (j < limit &&
+           (is_any_ident(toks[j]) || is_punct(toks[j], "::"))) {
+      ++j;
+    }
+    if (j < limit && is_punct(toks[j], "<")) {
+      int depth = 0;
+      while (j < limit) {
+        if (is_punct(toks[j], "<")) ++depth;
+        if (is_punct(toks[j], ">")) --depth;
+        if (is_punct(toks[j], ">>")) depth -= 2;
+        ++j;
+        if (depth <= 0) break;
+      }
+    }
+    if (j >= limit || (!is_punct(toks[j], "(") && !is_punct(toks[j], "{"))) {
+      return kNpos;
+    }
+    const std::size_t close = match_bracket(toks, j);
+    if (close == kNpos) return kNpos;
+    j = close + 1;
+    if (j < limit && is_punct(toks[j], ",")) {
+      ++j;
+      continue;
+    }
+    if (j < limit && is_punct(toks[j], "{")) return j;
+    return kNpos;
+  }
+  return kNpos;
+}
+
+// After a candidate parameter list `name ( ... )`, decides whether a
+// function body follows: skips cv/ref qualifiers, noexcept(...), trailing
+// return types, override/final, and a constructor initializer list. Returns
+// the '{' index or npos (declaration, macro use, plain call, ...).
+[[nodiscard]] std::size_t find_body_brace(const Tokens& toks,
+                                          std::size_t close) {
+  std::size_t j = close + 1;
+  bool trailing_type = false;
+  while (j < toks.size()) {
+    const Token& t = toks[j];
+    if (is_punct(t, "{")) return j;
+    if (is_punct(t, ";") || is_punct(t, "=") || is_punct(t, ",")) return kNpos;
+    if (is_ident(t, "const") || is_ident(t, "override") ||
+        is_ident(t, "final") || is_ident(t, "mutable") ||
+        is_ident(t, "volatile") || is_punct(t, "&") || is_punct(t, "&&")) {
+      ++j;
+      continue;
+    }
+    if (is_ident(t, "noexcept")) {
+      ++j;
+      if (j < toks.size() && is_punct(toks[j], "(")) {
+        const std::size_t nc = match_bracket(toks, j);
+        if (nc == kNpos) return kNpos;
+        j = nc + 1;
+      }
+      continue;
+    }
+    if (is_punct(t, "->")) {
+      trailing_type = true;
+      ++j;
+      continue;
+    }
+    if (trailing_type &&
+        (is_any_ident(t) || is_punct(t, "::") || is_punct(t, "<") ||
+         is_punct(t, ">") || is_punct(t, ">>") || is_punct(t, "*"))) {
+      ++j;
+      continue;
+    }
+    if (is_punct(t, ":")) return skip_ctor_init(toks, j, toks.size());
+    return kNpos;
+  }
+  return kNpos;
+}
+
+[[nodiscard]] std::vector<Param> parse_params(const Tokens& toks,
+                                              std::size_t lparen,
+                                              std::size_t rparen) {
+  std::vector<Param> params;
+  std::size_t start = lparen + 1;
+  int depth = 0;
+  for (std::size_t j = lparen + 1; j <= rparen; ++j) {
+    const Token& t = toks[j];
+    const bool splits = j == rparen || (depth == 0 && is_punct(t, ","));
+    if (t.kind == TokenKind::kPunct) {
+      if (t.text == "(" || t.text == "[" || t.text == "{" || t.text == "<") {
+        ++depth;
+      }
+      if (t.text == ")" || t.text == "]" || t.text == "}" || t.text == ">") {
+        if (j != rparen) --depth;
+      }
+      if (t.text == ">>" && j != rparen) depth -= 2;
+    }
+    if (!splits) continue;
+    // Parameter slot [start, j).
+    std::size_t end = start;
+    Param p;
+    for (std::size_t k = start; k < j; ++k) {
+      if (is_punct(toks[k], "=")) break;  // default argument
+      if (is_punct(toks[k], "&") || is_punct(toks[k], "&&")) p.by_ref = true;
+      end = k + 1;
+    }
+    if (end > start) {
+      if (is_any_ident(toks[end - 1]) && !is_ident(toks[end - 1], "void")) {
+        p.name = toks[end - 1].text;
+        for (std::size_t k = start; k + 1 < end; ++k) {
+          if (is_any_ident(toks[k]) && !is_ident(toks[k], "const") &&
+              !is_ident(toks[k], "struct") && !is_ident(toks[k], "typename")) {
+            p.type_tail = toks[k].text;
+          }
+        }
+      }
+      params.push_back(std::move(p));
+    }
+    start = j + 1;
+  }
+  return params;
+}
+
+void collect_functions(const Tokens& toks, std::size_t file,
+                       SymbolTable* sym) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_any_ident(toks[i]) || !is_punct(toks[i + 1], "(")) continue;
+    if (is_control_keyword(toks[i].text)) continue;
+    // Macro definitions (`#define NAME(...)`) are not functions.
+    if (i >= 1 && is_ident(toks[i - 1], "define")) continue;
+    const std::size_t close = match_bracket(toks, i + 1);
+    if (close == kNpos) continue;
+    const std::size_t body = find_body_brace(toks, close);
+    if (body == kNpos) continue;
+    const std::size_t body_end = match_bracket(toks, body);
+    if (body_end == kNpos) continue;
+
+    Function f;
+    f.file = file;
+    f.name = toks[i].text;
+    f.line = toks[i].line;
+    f.body_begin = body;
+    f.body_end = body_end;
+    f.params = parse_params(toks, i + 1, close);
+    // Out-of-line qualification: Class::name, possibly nested.
+    std::string qualified = f.name;
+    for (std::size_t p = i; p >= 2 && is_punct(toks[p - 1], "::") &&
+                            is_any_ident(toks[p - 2]);
+         p -= 2) {
+      qualified = toks[p - 2].text + "::" + qualified;
+    }
+    if (qualified != f.name) f.qualified = qualified;
+
+    sym->by_name[f.name].push_back(sym->functions.size());
+    sym->functions.push_back(std::move(f));
+  }
+}
+
+void collect_outbox_vars(const Tokens& toks, SymbolTable* sym) {
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "Outbox")) continue;
+    // Owned declaration: `Outbox name ;|(|{|=`.
+    if (is_any_ident(toks[i + 1]) && i + 2 < toks.size() &&
+        (is_punct(toks[i + 2], ";") || is_punct(toks[i + 2], "(") ||
+         is_punct(toks[i + 2], "{") || is_punct(toks[i + 2], "="))) {
+      sym->outbox_vars.insert(toks[i + 1].text);
+      continue;
+    }
+    // Local alias with an initializer: `Outbox& name = ...` — custody is
+    // still local (the alias target is an owned member). Reference
+    // *parameters* end in ',' or ')' and stay exempt.
+    if (is_punct(toks[i + 1], "&") && i + 3 < toks.size() &&
+        is_any_ident(toks[i + 2]) && is_punct(toks[i + 3], "=")) {
+      sym->outbox_vars.insert(toks[i + 2].text);
+    }
+  }
+}
+
+// Skips an explicit template-argument list so `payload_cast<Msg>(body)`
+// is recognized as a call to payload_cast. From the `<` at `open`,
+// returns the index one past the matching `>`, or kNpos if this is not a
+// plausible argument list. Content is restricted to type-ish tokens
+// (identifiers, numbers, `::`, `,`, `*`, `&`, nested angles) precisely so
+// comparison chains like `a < b && c > (d)` are not mistaken for calls.
+[[nodiscard]] std::size_t skip_template_args(const Tokens& toks,
+                                             std::size_t open) {
+  int depth = 0;
+  for (std::size_t j = open; j < toks.size() && j < open + 64; ++j) {
+    const Token& t = toks[j];
+    if (is_any_ident(t) || t.kind == TokenKind::kNumber) continue;
+    if (t.kind != TokenKind::kPunct) return kNpos;
+    if (t.text == "<") {
+      ++depth;
+    } else if (t.text == ">") {
+      if (--depth == 0) return j + 1;
+    } else if (t.text == ">>") {
+      depth -= 2;
+      if (depth == 0) return j + 1;
+      if (depth < 0) return kNpos;
+    } else if (t.text != "::" && t.text != "," && t.text != "*" &&
+               t.text != "&") {
+      return kNpos;
+    }
+  }
+  return kNpos;
+}
+
+}  // namespace
+
+SymbolTable build_symtab(const std::vector<LexResult>& lexed) {
+  SymbolTable sym;
+  for (std::size_t fi = 0; fi < lexed.size(); ++fi) {
+    collect_functions(lexed[fi].tokens, fi, &sym);
+    collect_outbox_vars(lexed[fi].tokens, &sym);
+  }
+  return sym;
+}
+
+std::vector<CallSite> find_calls(const std::vector<Token>& toks,
+                                 std::size_t first, std::size_t last) {
+  std::vector<CallSite> calls;
+  for (std::size_t i = first; i + 1 < last && i + 1 < toks.size(); ++i) {
+    if (!is_any_ident(toks[i])) continue;
+    if (is_control_keyword(toks[i].text)) continue;
+    if (i >= 1 && is_ident(toks[i - 1], "define")) continue;
+    std::size_t lparen = kNpos;
+    if (is_punct(toks[i + 1], "(")) {
+      lparen = i + 1;
+    } else if (is_punct(toks[i + 1], "<")) {
+      const std::size_t after = skip_template_args(toks, i + 1);
+      if (after != kNpos && after < toks.size() &&
+          is_punct(toks[after], "(")) {
+        lparen = after;
+      }
+    }
+    if (lparen == kNpos) continue;
+    const std::size_t close = match_bracket(toks, lparen);
+    if (close == kNpos) continue;
+    CallSite c;
+    c.name_tok = i;
+    c.lparen = lparen;
+    c.rparen = close;
+    c.tail = toks[i].text;
+    c.recv_root = receiver_root(toks, i);
+    std::size_t start = lparen + 1;
+    int depth = 0;
+    for (std::size_t j = lparen + 1; j <= close; ++j) {
+      const Token& t = toks[j];
+      const bool splits = j == close || (depth == 0 && is_punct(t, ","));
+      if (t.kind == TokenKind::kPunct) {
+        if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+        if ((t.text == ")" || t.text == "]" || t.text == "}") && j != close) {
+          --depth;
+        }
+      }
+      if (splits) {
+        if (j > start) c.args.emplace_back(start, j);
+        start = j + 1;
+      }
+    }
+    calls.push_back(std::move(c));
+  }
+  return calls;
+}
+
+std::set<std::string> root_idents(const std::vector<Token>& toks,
+                                  std::size_t first, std::size_t last) {
+  std::set<std::string> roots;
+  for (std::size_t i = first; i < last && i < toks.size(); ++i) {
+    if (!is_any_ident(toks[i])) continue;
+    if (i >= 1 && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->") ||
+                   is_punct(toks[i - 1], "::"))) {
+      continue;  // member / qualified tail: the root carries the fact
+    }
+    if (i + 1 < toks.size() &&
+        (is_punct(toks[i + 1], "(") || is_punct(toks[i + 1], "::"))) {
+      continue;  // callee or namespace name, not a variable read
+    }
+    roots.insert(toks[i].text);
+  }
+  return roots;
+}
+
+std::vector<Assignment> find_assignments(const std::vector<Token>& toks,
+                                         std::size_t first, std::size_t last) {
+  std::vector<Assignment> out;
+  const std::size_t lim = last < toks.size() ? last : toks.size();
+  for (std::size_t i = first; i < lim; ++i) {
+    // Range-for binding: `for ( decl : expr )` — treated as a gen-only
+    // assignment of expr into the bound name.
+    if (is_ident(toks[i], "for") && i + 1 < lim && is_punct(toks[i + 1], "(")) {
+      const std::size_t close = match_bracket(toks, i + 1);
+      if (close == kNpos || close > lim) continue;
+      int depth = 0;
+      for (std::size_t j = i + 2; j < close; ++j) {
+        const Token& t = toks[j];
+        if (t.kind != TokenKind::kPunct) continue;
+        if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+        if (t.text == ")" || t.text == "]" || t.text == "}") --depth;
+        if (depth == 0 && t.text == ";") break;  // classic for
+        if (depth == 0 && t.text == ":") {
+          Assignment a;
+          a.eq = j;
+          a.compound = true;
+          a.rhs_first = j + 1;
+          a.rhs_last = close;
+          if (j >= 1 && is_any_ident(toks[j - 1])) {
+            a.lhs_root = toks[j - 1].text;
+          }
+          out.push_back(std::move(a));
+          break;
+        }
+      }
+      continue;
+    }
+
+    if (toks[i].kind != TokenKind::kPunct) continue;
+    const std::string& tx = toks[i].text;
+    const bool plain = tx == "=";
+    const bool compound = tx == "+=" || tx == "-=" || tx == "*=" || tx == "/=";
+    if (!plain && !compound) continue;
+    // `|=`, `&=`, `^=`, `%=` lex as two tokens; fold them into compounds.
+    bool op_prefixed = false;
+    if (plain && i >= 1 && toks[i - 1].kind == TokenKind::kPunct &&
+        (toks[i - 1].text == "|" || toks[i - 1].text == "&" ||
+         toks[i - 1].text == "^" || toks[i - 1].text == "%")) {
+      op_prefixed = true;
+    }
+
+    Assignment a;
+    a.eq = i;
+    a.compound = compound || op_prefixed;
+    // Left side: walk back over one optional subscript to the target name;
+    // member and element writes keep lhs_root empty (tracked vars are whole
+    // variables only — `x.field = tainted` must not taint or clean `x`).
+    std::size_t j = i - (op_prefixed ? 2 : 1);
+    bool subscript = false;
+    if (j < toks.size() && is_punct(toks[j], "]")) {
+      const std::size_t open = match_backward(toks, j);
+      if (open == kNpos || open == 0) continue;
+      j = open - 1;
+      subscript = true;
+    }
+    if (j >= toks.size() || !is_any_ident(toks[j])) continue;
+    const bool member =
+        j >= 1 && (is_punct(toks[j - 1], ".") || is_punct(toks[j - 1], "->") ||
+                   is_punct(toks[j - 1], "::"));
+    if (!member && !subscript) a.lhs_root = toks[j].text;
+    // Right side: up to the first ';' or ',' at depth zero, or the end of
+    // the enclosing bracket (covers init-statements inside `if (...)`).
+    a.rhs_first = i + 1;
+    a.rhs_last = a.rhs_first;
+    int depth = 0;
+    for (std::size_t k = i + 1; k < lim; ++k) {
+      const Token& t = toks[k];
+      if (t.kind == TokenKind::kPunct) {
+        if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+        if (t.text == ")" || t.text == "]" || t.text == "}") --depth;
+        if (depth < 0) break;
+        if (depth == 0 && (t.text == ";" || t.text == ",")) break;
+      }
+      a.rhs_last = k + 1;
+    }
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+}  // namespace mewc::lint::sem

@@ -1,0 +1,89 @@
+// Symbol table for the semantic lint pass: finds function definitions in a
+// token stream (name, parameter list, body range), collects Outbox-typed
+// declarations corpus-wide, and provides the call-site / identifier-root
+// scanners the dataflow rules share. Deliberately a token-level
+// approximation — good enough to anchor intraprocedural dataflow and
+// one-level call summaries without a real C++ front end.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace mewc::lint::sem {
+
+struct Param {
+  std::string name;
+  std::string type_tail;  // last type identifier ("Outbox", "Message", ...)
+  bool by_ref = false;
+};
+
+struct Function {
+  std::size_t file = 0;  // index into the corpus
+  std::string name;      // unqualified tail ("on_receive")
+  std::string qualified;  // "WeakBaProcess::on_receive" for out-of-line defs
+  std::uint32_t line = 0;
+  std::size_t body_begin = 0;  // token index of '{'
+  std::size_t body_end = 0;    // token index of the matching '}'
+  std::vector<Param> params;
+};
+
+struct SymbolTable {
+  std::vector<Function> functions;
+  // Tail name -> indices into `functions` (all overloads, all files).
+  std::map<std::string, std::vector<std::size_t>> by_name;
+  // Names declared with owned `Outbox` type anywhere (members, globals):
+  // the budget rule treats fills of these as local custody.
+  std::set<std::string> outbox_vars;
+};
+
+/// Scans every file's token stream for function definitions and Outbox
+/// declarations. `lexed[i]` corresponds to corpus file i.
+[[nodiscard]] SymbolTable build_symtab(const std::vector<LexResult>& lexed);
+
+// ---------------------------------------------------------------------------
+// Expression scanners shared by the dataflow rules.
+
+struct CallSite {
+  std::size_t name_tok = 0;  // index of the callee's tail identifier
+  std::size_t lparen = 0;
+  std::size_t rparen = 0;
+  std::string tail;       // callee tail name ("verify_partial", "push_back")
+  std::string recv_root;  // root of the receiver chain ("" for free calls):
+                          // ctx_.scheme(q).verify_partial(x) -> "ctx_"
+  std::vector<std::pair<std::size_t, std::size_t>> args;  // token ranges
+};
+
+/// Calls in token range [first, last), in source order. A call is an
+/// identifier directly followed by '(' that is not a control keyword.
+[[nodiscard]] std::vector<CallSite> find_calls(const std::vector<Token>& toks,
+                                               std::size_t first,
+                                               std::size_t last);
+
+/// Root identifiers read in [first, last): identifiers that are not
+/// preceded by '.', '->', or '::' (so members resolve to their object) and
+/// are not themselves callee or namespace names (not followed by '(' or
+/// '::'). These are the variables a dataflow fact can attach to.
+[[nodiscard]] std::set<std::string> root_idents(const std::vector<Token>& toks,
+                                                std::size_t first,
+                                                std::size_t last);
+
+struct Assignment {
+  std::size_t eq = 0;  // token index of '=' (or the range-for ':')
+  std::string lhs_root;  // "" when the lvalue is a member/subscript write —
+                         // those neither gen nor kill whole-variable facts
+  std::size_t rhs_first = 0;
+  std::size_t rhs_last = 0;
+  bool compound = false;  // '+=' family and range-for: gen but never kill
+};
+
+/// Whole-variable assignments and range-for bindings in [first, last).
+[[nodiscard]] std::vector<Assignment> find_assignments(
+    const std::vector<Token>& toks, std::size_t first, std::size_t last);
+
+}  // namespace mewc::lint::sem

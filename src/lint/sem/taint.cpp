@@ -1,0 +1,298 @@
+// R-taint: Byzantine-input taint tracking. Sources are the wire borrow /
+// decode sites; sinks are quorum accumulation, ledger mutation, and meter
+// attribution; sanitizers are Pki / certificate verification calls. The
+// analysis is a forward may-taint over each function's CFG: a diagnostic
+// means "there exists a path on which this value reaches the sink with no
+// verification in between" — exactly the paper's 'only certified values
+// count toward thresholds' invariant, checked mechanically.
+//
+// Deliberate modeling choices, tuned against the real tree:
+//  - Whole-variable facts only. `x.field = tainted` neither taints nor
+//    cleans `x`: the interactive-consistency demux re-wraps an inner
+//    payload into a fresh Message, and flagging that would be noise.
+//  - A sanitizer call kills the taint of every argument root (and its
+//    receiver) regardless of the branch taken: the idiom is
+//    `if (!verify(x)) continue;`, where the verify call dominates every
+//    later use, so post-call flow is verified on all surviving paths.
+//  - One-level call summaries: a parameter that reaches a builtin sink
+//    inside the callee (DolevStrongEngine::accept pushing into the
+//    accepted set) makes the call itself a sink for that argument slot.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/sem/dataflow.hpp"
+#include "lint/sem/passes.hpp"
+
+namespace mewc::lint::sem {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+[[nodiscard]] bool in_taint_scope(const std::string& path) {
+  if (path.rfind("src/ba/adversaries/", 0) == 0) {
+    return false;  // the Byzantine party crafts unverified input on purpose
+  }
+  return path.rfind("src/ba/", 0) == 0 || path.rfind("src/smr/", 0) == 0;
+}
+
+[[nodiscard]] bool is_source(const CallSite& c) {
+  if (c.tail == "payload_cast" || c.tail == "decode_snapshot" ||
+      c.tail == "decode_body") {
+    return true;
+  }
+  return c.recv_root == "wire" && (c.tail == "decode" || c.tail == "view");
+}
+
+[[nodiscard]] bool is_sanitizer(const std::string& tail) {
+  if (tail.find("verify") != std::string::npos) return true;
+  return tail == "valid" || tail == "validate" || tail == "is_valid";
+}
+
+// Builtin sink tails: quorum accumulation, certificate formation, meter
+// attribution, ledger / durable-state mutation.
+[[nodiscard]] bool is_builtin_sink(const std::string& tail) {
+  static const std::set<std::string> kSinks = {
+      "insert",  "push_back", "emplace_back",     "combine", "record",
+      "commit",  "append",    "install_snapshot", "restore", "apply"};
+  return kSinks.count(tail) != 0;
+}
+
+struct TaintFinding {
+  std::uint32_t line = 0;    // sink call line
+  std::uint32_t origin = 0;  // source line (0: source inline in the call)
+  std::string callee;
+  std::string var;  // "" for inline source-to-sink flow
+};
+
+// Everything one taint run needs. `findings`/`sink_hit`/`fact_count` are
+// null except in the mode that wants them, so the same transfer serves the
+// fixpoint, the summary probe, and the report replay.
+struct TaintRun {
+  const Tokens* toks = nullptr;
+  const Cfg* cfg = nullptr;
+  Facts seed;  // injected at the entry node (param facts in summary mode)
+  const std::map<std::string, std::uint32_t>* summary_sinks = nullptr;
+  std::vector<TaintFinding>* findings = nullptr;
+  bool* sink_hit = nullptr;
+  std::size_t* fact_count = nullptr;
+
+  [[nodiscard]] Facts transfer(std::size_t id, const Facts& in) const {
+    Facts f = in;
+    if (id == cfg->entry) join_into(f, seed);
+    const CfgNode& node = cfg->nodes[id];
+    if (node.first >= node.last) return f;
+
+    const std::vector<CallSite> calls =
+        find_calls(*toks, node.first, node.last);
+    const std::vector<Assignment> assigns =
+        find_assignments(*toks, node.first, node.last);
+
+    // Interleave assignments and calls in source order: sanitizer kills,
+    // sink checks, and gen/kill of assignments all happen where they occur.
+    std::size_t ai = 0;
+    std::size_t ci = 0;
+    while (ai < assigns.size() || ci < calls.size()) {
+      const bool take_assign =
+          ci >= calls.size() ||
+          (ai < assigns.size() && assigns[ai].eq < calls[ci].name_tok);
+      if (take_assign) {
+        apply_assignment(assigns[ai], calls, f);
+        ++ai;
+      } else {
+        apply_call(calls[ci], calls, f);
+        ++ci;
+      }
+    }
+    return f;
+  }
+
+  void kill_call_operands(const CallSite& c, Facts* f) const {
+    if (!c.recv_root.empty()) f->erase(c.recv_root);
+    for (const auto& [a_first, a_last] : c.args) {
+      for (const std::string& r : root_idents(*toks, a_first, a_last)) {
+        f->erase(r);
+      }
+    }
+  }
+
+  // Taint state of a token range: reads facts and inline source calls.
+  [[nodiscard]] bool range_tainted(std::size_t first, std::size_t last,
+                                   const std::vector<CallSite>& calls,
+                                   const Facts& f, std::uint32_t* origin,
+                                   std::string* via) const {
+    bool tainted = false;
+    for (const std::string& r : root_idents(*toks, first, last)) {
+      const auto it = f.find(r);
+      if (it == f.end()) continue;
+      if (!tainted || it->second < *origin) {
+        *origin = it->second;
+        *via = r;
+      }
+      tainted = true;
+    }
+    if (!tainted) {
+      for (const CallSite& c : calls) {
+        if (c.name_tok < first || c.name_tok >= last) continue;
+        if (is_source(c)) {
+          *origin = (*toks)[c.name_tok].line;
+          via->clear();
+          return true;
+        }
+      }
+    }
+    return tainted;
+  }
+
+  void apply_assignment(const Assignment& a, const std::vector<CallSite>& calls,
+                        Facts& f) const {
+    // Sanitizers inside the right-hand side run before the value lands:
+    // `x = verify(y) ? y : fallback` must not taint x via y.
+    for (const CallSite& c : calls) {
+      if (c.name_tok >= a.rhs_first && c.name_tok < a.rhs_last &&
+          is_sanitizer(c.tail)) {
+        kill_call_operands(c, &f);
+      }
+    }
+    if (a.lhs_root.empty()) return;
+    std::uint32_t origin = 0;
+    std::string via;
+    if (range_tainted(a.rhs_first, a.rhs_last, calls, f, &origin, &via)) {
+      const auto it = f.find(a.lhs_root);
+      if (it == f.end() || origin < it->second) f[a.lhs_root] = origin;
+      if (fact_count != nullptr) ++*fact_count;
+    } else if (!a.compound) {
+      f.erase(a.lhs_root);  // strong update: a clean rhs launders the var
+    }
+  }
+
+  void apply_call(const CallSite& c, const std::vector<CallSite>& calls,
+                  Facts& f) const {
+    if (is_sanitizer(c.tail)) {
+      kill_call_operands(c, &f);
+      return;
+    }
+    std::uint32_t arg_mask = 0;
+    if (is_builtin_sink(c.tail)) {
+      arg_mask = ~std::uint32_t{0};
+    } else if (summary_sinks != nullptr) {
+      const auto it = summary_sinks->find(c.tail);
+      if (it != summary_sinks->end()) arg_mask = it->second;
+    }
+    if (arg_mask == 0) return;
+    for (std::size_t idx = 0; idx < c.args.size() && idx < 32; ++idx) {
+      if ((arg_mask & (std::uint32_t{1} << idx)) == 0) continue;
+      std::uint32_t origin = 0;
+      std::string via;
+      if (!range_tainted(c.args[idx].first, c.args[idx].second, calls, f,
+                         &origin, &via)) {
+        continue;
+      }
+      if (sink_hit != nullptr) *sink_hit = true;
+      if (findings != nullptr) {
+        findings->push_back(
+            {(*toks)[c.name_tok].line, origin, c.tail, via});
+      }
+    }
+  }
+};
+
+// Probes whether `fn`'s param number `idx` can reach a builtin sink inside
+// the body with no sanitizer in between. One level deep on purpose: the
+// probe itself uses only builtin sinks, so summaries never recurse.
+[[nodiscard]] bool param_reaches_sink(const Tokens& toks, const Cfg& cfg,
+                                      const Function& fn, std::size_t idx) {
+  bool hit = false;
+  TaintRun probe;
+  probe.toks = &toks;
+  probe.cfg = &cfg;
+  probe.seed[fn.params[idx].name] = fn.line;
+  probe.sink_hit = &hit;
+  const std::vector<Facts> in = solve_forward(
+      cfg,
+      [&](std::size_t id, const Facts& f) { return probe.transfer(id, f); });
+  if (hit) return true;  // hit during fixpoint already suffices
+  for (std::size_t id = 0; id < cfg.nodes.size() && !hit; ++id) {
+    (void)probe.transfer(id, in[id]);
+  }
+  return hit;
+}
+
+}  // namespace
+
+void pass_taint(const AnalysisCorpus& ac, SemStats* stats, const EmitFn& emit) {
+  // Phase 1: one-level call summaries — which functions sink which
+  // parameter slots. Keyed by tail name, unioned across overloads: an
+  // over-approximation, but a flagged call still requires a genuinely
+  // tainted argument, and the scope keeps it to protocol code.
+  std::map<std::string, std::uint32_t> summary_sinks;
+  for (std::size_t fi = 0; fi < ac.sym.functions.size(); ++fi) {
+    const Function& fn = ac.sym.functions[fi];
+    if (!in_taint_scope(ac.files[fn.file].norm_path)) continue;
+    const Cfg& cfg = ac.cfgs[fi];
+    if (!cfg.ok) continue;
+    if (is_sanitizer(fn.name)) continue;  // verify helpers clean, not sink
+    const Tokens& toks = ac.files[fn.file].lexed.tokens;
+    for (std::size_t p = 0; p < fn.params.size() && p < 32; ++p) {
+      if (fn.params[p].name.empty()) continue;
+      if (param_reaches_sink(toks, cfg, fn, p)) {
+        summary_sinks[fn.name] |= std::uint32_t{1} << p;
+      }
+    }
+  }
+
+  // Phase 2: per-function taint runs with real sources.
+  for (std::size_t fi = 0; fi < ac.sym.functions.size(); ++fi) {
+    const Function& fn = ac.sym.functions[fi];
+    const FileCtx& file = ac.files[fn.file];
+    if (!in_taint_scope(file.norm_path)) continue;
+    const Cfg& cfg = ac.cfgs[fi];
+    if (!cfg.ok) continue;
+    const Tokens& toks = file.lexed.tokens;
+
+    if (stats != nullptr) {
+      for (const CallSite& c :
+           find_calls(toks, fn.body_begin, fn.body_end)) {
+        if (is_source(c)) ++stats->taint_sources;
+      }
+    }
+
+    TaintRun run;
+    run.toks = &toks;
+    run.cfg = &cfg;
+    run.summary_sinks = &summary_sinks;
+    const std::vector<Facts> in = solve_forward(
+        cfg,
+        [&](std::size_t id, const Facts& f) { return run.transfer(id, f); });
+
+    std::vector<TaintFinding> findings;
+    std::size_t facts = 0;
+    run.findings = &findings;
+    run.fact_count = &facts;
+    for (std::size_t id = 0; id < cfg.nodes.size(); ++id) {
+      (void)run.transfer(id, in[id]);
+    }
+    if (stats != nullptr) stats->taint_facts += facts;
+
+    for (const TaintFinding& f : findings) {
+      std::string msg;
+      if (f.var.empty()) {
+        msg = "wire-decoded value flows into '" + f.callee +
+              "' with no Pki/certificate verification on the path";
+      } else {
+        msg = "'" + f.var + "' originates from unverified wire input (line " +
+              std::to_string(f.origin) + ") and reaches '" + f.callee +
+              "' with no Pki/certificate verification on the path";
+      }
+      msg +=
+          " — only certified values may count toward quorums, the ledger, "
+          "or the meter";
+      emit("R-taint", fn.file, f.line, std::move(msg));
+    }
+  }
+}
+
+}  // namespace mewc::lint::sem

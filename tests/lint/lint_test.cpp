@@ -382,11 +382,69 @@ TEST(PathNormalization, AbsoluteAndRelativeAgree) {
 TEST(Rules, TableCoversEveryImplementedRule) {
   std::vector<std::string> ids;
   for (const RuleInfo& r : rules()) ids.emplace_back(r.id);
-  for (const char* expected : {"R-determinism", "R-meter", "R-pool",
-                               "R-quorum", "R-send"}) {
+  for (const char* expected :
+       {"R-argparse", "R-budget", "R-covdrift", "R-determinism", "R-meter",
+        "R-pool", "R-quorum", "R-send", "R-taint"}) {
     EXPECT_NE(std::find(ids.begin(), ids.end(), expected), ids.end())
         << expected;
   }
+}
+
+// ---------------------------------------------------------------------------
+// allow() audit
+
+TEST(AuditAllows, JustifiedAllowIsNotStale) {
+  const std::vector<SourceFile> corpus = {
+      {"src/ba/bb/extra.hpp",
+       "// mewc-lint: allow(R-determinism) vetted iteration order\n"
+       "std::unordered_map<int, int> m_;\n"}};
+  const auto diags = run(corpus);
+  EXPECT_TRUE(audit_allows(corpus, diags).empty());
+}
+
+TEST(AuditAllows, AllowWithNoFindingIsStale) {
+  const std::vector<SourceFile> corpus = {
+      {"src/ba/bb/extra.hpp",
+       "// mewc-lint: allow(R-determinism) nothing fires here anymore\n"
+       "std::map<int, int> m_;\n"}};
+  const auto diags = run(corpus);
+  const auto stale = audit_allows(corpus, diags);
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].rule, "R-determinism");
+  EXPECT_EQ(stale[0].line, 1u);
+}
+
+TEST(AuditAllows, UnknownRuleNameIsStale) {
+  const std::vector<SourceFile> corpus = {
+      {"src/ba/bb/extra.hpp",
+       "std::map<int, int> m_;  // mewc-lint: allow(R-notarule) huh\n"}};
+  const auto stale = audit_allows(corpus, run(corpus));
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].rule, "R-notarule");
+  EXPECT_EQ(stale[0].why, "names no known rule");
+}
+
+TEST(AuditAllows, DocPlaceholdersAreProseNotSuppressions) {
+  // Comments quoting the syntax — `mewc-lint: allow(<rule>)` — can never
+  // suppress anything and must not be reported as stale.
+  const std::vector<SourceFile> corpus = {
+      {"src/ba/bb/extra.hpp",
+       "// Suppress with `mewc-lint: allow(<rule>)` on the line above.\n"
+       "// The form `mewc-lint: allow(...)` also appears in docs.\n"}};
+  EXPECT_TRUE(audit_allows(corpus, run(corpus)).empty());
+}
+
+TEST(AuditAllows, SuppressedFindingStillJustifiesItsAllow) {
+  // The audit keys on "a finding lands on a covered line", not on the
+  // finding being active — otherwise every working allow would be stale.
+  const std::vector<SourceFile> corpus = {
+      {"src/ba/bb/extra.hpp",
+       "std::unordered_map<int, int> m_;  // mewc-lint: allow(R-determinism) "
+       "ok\n"}};
+  const auto diags = run(corpus);
+  ASSERT_FALSE(diags.empty());
+  EXPECT_TRUE(diags[0].suppressed);
+  EXPECT_TRUE(audit_allows(corpus, diags).empty());
 }
 
 }  // namespace

@@ -1,0 +1,153 @@
+// R-budget fixtures: every path that fills a locally-owned Outbox must
+// reach word-meter attribution (SyncNetwork::post / LaneOutbox::forward)
+// before the function exits. The custody model is the contract under test:
+// reference parameters are the caller's problem, locals and known outbox
+// members are ours, clear() drops the obligation, and helper calls
+// discharge or fill through one level of summaries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/sem/sem.hpp"
+
+namespace mewc::lint::sem {
+namespace {
+
+std::vector<Diagnostic> sem_one(const std::string& path,
+                                const std::string& content) {
+  return run_sem({{path, content}}, SemOptions{});
+}
+
+bool fires(const std::vector<Diagnostic>& diags, const std::string& rule) {
+  return std::any_of(diags.begin(), diags.end(), [&](const Diagnostic& d) {
+    return d.active() && d.rule == rule;
+  });
+}
+
+TEST(SemBudget, LocalFillWithoutPostFires) {
+  const auto diags = sem_one("src/ba/fake/fixture.cpp",
+                             "void S::help_round(int r) {\n"
+                             "  Outbox out;\n"
+                             "  out.send(1, r);\n"
+                             "}\n");
+  ASSERT_TRUE(fires(diags, "R-budget"));
+  EXPECT_EQ(diags[0].line, 3u) << "diagnostic anchors at the fill site";
+}
+
+TEST(SemBudget, FillThenPostIsClean) {
+  const auto diags = sem_one("src/ba/fake/fixture.cpp",
+                             "void S::help_round(int r) {\n"
+                             "  Outbox out;\n"
+                             "  out.send(1, r);\n"
+                             "  network_.post(0, r, out, true);\n"
+                             "}\n");
+  EXPECT_FALSE(fires(diags, "R-budget"));
+}
+
+TEST(SemBudget, EarlyReturnBetweenFillAndPostFires) {
+  const auto diags = sem_one("src/ba/fake/fixture.cpp",
+                             "void S::help_round(int r) {\n"
+                             "  Outbox out;\n"
+                             "  out.broadcast(1, r);\n"
+                             "  if (r == 0) return;\n"
+                             "  network_.post(0, r, out, true);\n"
+                             "}\n");
+  EXPECT_TRUE(fires(diags, "R-budget"))
+      << "the early-return path exits with filled, unmetered words";
+}
+
+TEST(SemBudget, ReferenceParameterIsCallerCustody) {
+  const auto diags = sem_one("src/ba/fake/fixture.cpp",
+                             "void S::on_send(int r, Outbox& out) {\n"
+                             "  out.send(1, r);\n"
+                             "}\n");
+  EXPECT_FALSE(fires(diags, "R-budget"))
+      << "the driver posts the outbox it passed in; on_send is exempt";
+}
+
+TEST(SemBudget, ClearDropsTheObligation) {
+  const auto diags = sem_one("src/ba/fake/fixture.cpp",
+                             "void S::help_round(int r) {\n"
+                             "  Outbox out;\n"
+                             "  out.send(1, r);\n"
+                             "  out.clear();\n"
+                             "}\n");
+  EXPECT_FALSE(fires(diags, "R-budget"))
+      << "dropped words are not sent words; nothing to meter";
+}
+
+TEST(SemBudget, LoopFillPostedAfterTheLoopIsClean) {
+  const auto diags = sem_one("src/ba/fake/fixture.cpp",
+                             "void S::help_round(int n) {\n"
+                             "  Outbox out;\n"
+                             "  for (int i = 0; i < n; ++i) {\n"
+                             "    out.send(i, 1);\n"
+                             "  }\n"
+                             "  network_.post(0, 0, out, true);\n"
+                             "}\n");
+  EXPECT_FALSE(fires(diags, "R-budget"));
+}
+
+TEST(SemBudget, ForwardIsAttributionToo) {
+  const auto diags = sem_one("src/ba/fake/fixture.cpp",
+                             "void S::relay(int lane) {\n"
+                             "  Outbox lane_out;\n"
+                             "  lane_out.send(1, lane);\n"
+                             "  LaneOutbox(out, lane).forward(lane_out);\n"
+                             "}\n");
+  EXPECT_FALSE(fires(diags, "R-budget"))
+      << "LaneOutbox::forward re-posts through the metered path";
+}
+
+TEST(SemBudget, HelperThatFillsCountsAsAFill) {
+  // stuff() fills its Outbox& parameter; the caller owns the outbox and
+  // exits without attribution, so the obligation surfaces at the call.
+  const auto diags = sem_one("src/ba/fake/fixture.cpp",
+                             "void S::stuff(int r, Outbox& out) {\n"
+                             "  out.send(1, r);\n"
+                             "}\n"
+                             "void S::help_round(int r) {\n"
+                             "  Outbox out;\n"
+                             "  stuff(r, out);\n"
+                             "}\n");
+  EXPECT_TRUE(fires(diags, "R-budget")) << "fill through a callee summary";
+}
+
+TEST(SemBudget, HelperThatPostsCountsAsDischarge) {
+  const auto diags = sem_one("src/ba/fake/fixture.cpp",
+                             "void S::flush(int r, Outbox& out) {\n"
+                             "  network_.post(0, r, out, true);\n"
+                             "}\n"
+                             "void S::help_round(int r) {\n"
+                             "  Outbox out;\n"
+                             "  out.send(1, r);\n"
+                             "  flush(r, out);\n"
+                             "}\n");
+  EXPECT_FALSE(fires(diags, "R-budget"))
+      << "discharge through a callee summary";
+}
+
+TEST(SemBudget, OutOfScopePathIsIgnored) {
+  const auto diags = sem_one("src/net/fixture.cpp",
+                             "void S::help_round(int r) {\n"
+                             "  Outbox out;\n"
+                             "  out.send(1, r);\n"
+                             "}\n");
+  EXPECT_FALSE(fires(diags, "R-budget"))
+      << "R-budget is scoped to src/ba/ and src/sim/";
+}
+
+TEST(SemBudget, AllowCommentSilences) {
+  const auto diags = sem_one("src/ba/fake/fixture.cpp",
+                             "void S::help_round(int r) {\n"
+                             "  Outbox out;\n"
+                             "  // mewc-lint: allow(R-budget) fixture\n"
+                             "  out.send(1, r);\n"
+                             "}\n");
+  EXPECT_FALSE(fires(diags, "R-budget"));
+}
+
+}  // namespace
+}  // namespace mewc::lint::sem

@@ -1,0 +1,267 @@
+// CFG builder unit tests. Each fixture plants unique marker identifiers in
+// the source and asserts structural properties of the graph built over the
+// token stream: which markers share a node, which nodes can reach the exit,
+// and where back edges land. Tricky control flow — early return, switch
+// fallthrough, loops with break/continue — is exactly where a broken
+// builder silently merges or drops paths, so these lock the shapes down.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+#include "lint/sem/cfg.hpp"
+#include "lint/sem/symtab.hpp"
+
+namespace mewc::lint::sem {
+namespace {
+
+struct Built {
+  LexResult lexed;
+  Cfg cfg;
+};
+
+// Builds the CFG of the sole function in `src`.
+Built build(const std::string& src) {
+  Built b;
+  b.lexed = lex(src);
+  const SymbolTable sym = build_symtab({b.lexed});
+  EXPECT_EQ(sym.functions.size(), 1u) << src;
+  if (sym.functions.size() != 1) return b;
+  const Function& fn = sym.functions[0];
+  b.cfg = build_cfg(b.lexed.tokens, fn.body_begin, fn.body_end);
+  return b;
+}
+
+// Node containing the marker identifier, or npos.
+std::size_t node_of(const Built& b, const std::string& marker) {
+  for (std::size_t id = 0; id < b.cfg.nodes.size(); ++id) {
+    const CfgNode& n = b.cfg.nodes[id];
+    for (std::size_t t = n.first; t < n.last; ++t) {
+      if (b.lexed.tokens[t].text == marker) return id;
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+// All nodes reachable from `from` by following successor edges.
+std::set<std::size_t> reachable(const Cfg& cfg, std::size_t from) {
+  std::set<std::size_t> seen;
+  std::vector<std::size_t> work{from};
+  while (!work.empty()) {
+    const std::size_t id = work.back();
+    work.pop_back();
+    if (!seen.insert(id).second) continue;
+    for (const std::size_t s : cfg.nodes[id].succ) work.push_back(s);
+  }
+  return seen;
+}
+
+TEST(SemCfg, StraightLineIsASingleChain) {
+  const Built b = build("void f() { aa(); bb(); }\n");
+  ASSERT_TRUE(b.cfg.ok);
+  const std::size_t aa = node_of(b, "aa");
+  const std::size_t bb = node_of(b, "bb");
+  ASSERT_NE(aa, static_cast<std::size_t>(-1));
+  ASSERT_NE(bb, static_cast<std::size_t>(-1));
+  EXPECT_TRUE(reachable(b.cfg, aa).count(bb));
+  EXPECT_TRUE(reachable(b.cfg, bb).count(b.cfg.exit));
+  EXPECT_FALSE(reachable(b.cfg, bb).count(aa)) << "no back edge expected";
+}
+
+TEST(SemCfg, EarlyReturnSkipsTheRestOfTheBody) {
+  const Built b = build(
+      "void f(int x) {\n"
+      "  if (x) { aa(); return; }\n"
+      "  bb();\n"
+      "}\n");
+  ASSERT_TRUE(b.cfg.ok);
+  const std::size_t aa = node_of(b, "aa");
+  const std::size_t bb = node_of(b, "bb");
+  // The return arm flows straight to exit, never into bb's node; the
+  // fall-through arm still reaches bb.
+  EXPECT_TRUE(reachable(b.cfg, aa).count(b.cfg.exit));
+  EXPECT_FALSE(reachable(b.cfg, aa).count(bb));
+  EXPECT_TRUE(reachable(b.cfg, b.cfg.entry).count(bb));
+}
+
+TEST(SemCfg, IfElseBothArmsRejoin) {
+  const Built b = build(
+      "void f(int x) {\n"
+      "  if (x) { aa(); } else { bb(); }\n"
+      "  cc();\n"
+      "}\n");
+  ASSERT_TRUE(b.cfg.ok);
+  const std::size_t aa = node_of(b, "aa");
+  const std::size_t bb = node_of(b, "bb");
+  const std::size_t cc = node_of(b, "cc");
+  EXPECT_TRUE(reachable(b.cfg, aa).count(cc));
+  EXPECT_TRUE(reachable(b.cfg, bb).count(cc));
+  EXPECT_FALSE(reachable(b.cfg, aa).count(bb)) << "arms are exclusive";
+  EXPECT_FALSE(reachable(b.cfg, bb).count(aa)) << "arms are exclusive";
+}
+
+TEST(SemCfg, WhileLoopHasBackEdgeAndSkipPath) {
+  const Built b = build(
+      "void f(int x) {\n"
+      "  while (cond(x)) { aa(); }\n"
+      "  bb();\n"
+      "}\n");
+  ASSERT_TRUE(b.cfg.ok);
+  const std::size_t cond = node_of(b, "cond");
+  const std::size_t aa = node_of(b, "aa");
+  const std::size_t bb = node_of(b, "bb");
+  EXPECT_TRUE(reachable(b.cfg, aa).count(cond)) << "loop back edge";
+  EXPECT_TRUE(reachable(b.cfg, cond).count(bb)) << "loop can be skipped";
+}
+
+TEST(SemCfg, ForLoopBreakAndContinue) {
+  const Built b = build(
+      "void f(int n) {\n"
+      "  for (int i = init(); i < n; inc(i)) {\n"
+      "    if (i == 1) { brk(); break; }\n"
+      "    if (i == 2) { cont(); continue; }\n"
+      "    aa();\n"
+      "  }\n"
+      "  bb();\n"
+      "}\n");
+  ASSERT_TRUE(b.cfg.ok);
+  const std::size_t brk = node_of(b, "brk");
+  const std::size_t cont = node_of(b, "cont");
+  const std::size_t aa = node_of(b, "aa");
+  const std::size_t inc = node_of(b, "inc");
+  const std::size_t bb = node_of(b, "bb");
+  // break leaves the loop without running the increment or the tail.
+  EXPECT_TRUE(reachable(b.cfg, brk).count(bb));
+  EXPECT_FALSE(reachable(b.cfg, brk).count(aa));
+  // continue jumps to the increment, skipping the rest of the body on this
+  // iteration (aa is only reachable again via the back edge through inc).
+  ASSERT_NE(cont, static_cast<std::size_t>(-1));
+  const CfgNode& cont_node = b.cfg.nodes[cont];
+  bool direct_to_inc = false;
+  std::vector<std::size_t> frontier(cont_node.succ.begin(),
+                                    cont_node.succ.end());
+  std::set<std::size_t> seen;
+  while (!frontier.empty()) {
+    const std::size_t id = frontier.back();
+    frontier.pop_back();
+    if (!seen.insert(id).second) continue;
+    if (id == inc) {
+      direct_to_inc = true;
+      break;
+    }
+    // Walk only through joins and the `continue;` node itself: the route
+    // to the increment must not pass through any other statement.
+    const CfgNode& n = b.cfg.nodes[id];
+    const bool is_join = n.first >= n.last;
+    const bool is_continue =
+        n.first < n.last && b.lexed.tokens[n.first].text == "continue";
+    if (is_join || is_continue) {
+      frontier.insert(frontier.end(), n.succ.begin(), n.succ.end());
+    }
+  }
+  EXPECT_TRUE(direct_to_inc) << "continue must route to the increment";
+}
+
+TEST(SemCfg, SwitchFallthroughChainsCases) {
+  const Built b = build(
+      "void f(int x) {\n"
+      "  switch (x) {\n"
+      "    case 0: aa();\n"  // falls through into case 1
+      "    case 1: bb(); break;\n"
+      "    default: cc();\n"
+      "  }\n"
+      "  dd();\n"
+      "}\n");
+  ASSERT_TRUE(b.cfg.ok);
+  const std::size_t aa = node_of(b, "aa");
+  const std::size_t bb = node_of(b, "bb");
+  const std::size_t cc = node_of(b, "cc");
+  const std::size_t dd = node_of(b, "dd");
+  EXPECT_TRUE(reachable(b.cfg, aa).count(bb)) << "fallthrough case 0 -> 1";
+  EXPECT_TRUE(reachable(b.cfg, bb).count(dd)) << "break exits the switch";
+  EXPECT_FALSE(reachable(b.cfg, bb).count(cc)) << "break skips default";
+  EXPECT_TRUE(reachable(b.cfg, cc).count(dd));
+  EXPECT_TRUE(reachable(b.cfg, b.cfg.entry).count(cc));
+}
+
+TEST(SemCfg, SwitchWithoutDefaultCanSkipEveryCase) {
+  const Built b = build(
+      "void f(int x) {\n"
+      "  switch (x) { case 0: aa(); break; }\n"
+      "  bb();\n"
+      "}\n");
+  ASSERT_TRUE(b.cfg.ok);
+  const std::size_t aa = node_of(b, "aa");
+  const std::size_t bb = node_of(b, "bb");
+  // No default: the head must have a path to bb that avoids aa.
+  EXPECT_TRUE(reachable(b.cfg, b.cfg.entry).count(bb));
+  std::set<std::size_t> without_aa;
+  std::vector<std::size_t> work{b.cfg.entry};
+  while (!work.empty()) {
+    const std::size_t id = work.back();
+    work.pop_back();
+    if (id == aa || !without_aa.insert(id).second) continue;
+    for (const std::size_t s : b.cfg.nodes[id].succ) work.push_back(s);
+  }
+  EXPECT_TRUE(without_aa.count(bb)) << "skip path must avoid the case body";
+}
+
+TEST(SemCfg, DoWhileBodyRunsBeforeCondition) {
+  const Built b = build(
+      "void f(int x) {\n"
+      "  do { aa(); } while (cond(x));\n"
+      "  bb();\n"
+      "}\n");
+  ASSERT_TRUE(b.cfg.ok);
+  const std::size_t aa = node_of(b, "aa");
+  const std::size_t cond = node_of(b, "cond");
+  const std::size_t bb = node_of(b, "bb");
+  EXPECT_TRUE(reachable(b.cfg, aa).count(cond));
+  EXPECT_TRUE(reachable(b.cfg, cond).count(aa)) << "back edge to the body";
+  EXPECT_TRUE(reachable(b.cfg, cond).count(bb));
+}
+
+TEST(SemCfg, RangeForBodyIsOptional) {
+  const Built b = build(
+      "void f(const V& vs) {\n"
+      "  for (const auto& v : vs) { aa(v); }\n"
+      "  bb();\n"
+      "}\n");
+  ASSERT_TRUE(b.cfg.ok);
+  const std::size_t aa = node_of(b, "aa");
+  const std::size_t bb = node_of(b, "bb");
+  EXPECT_TRUE(reachable(b.cfg, b.cfg.entry).count(bb));
+  EXPECT_TRUE(reachable(b.cfg, aa).count(bb));
+}
+
+TEST(SemCfg, BailsOnGotoInsteadOfGuessing) {
+  const Built b = build(
+      "void f(int x) {\n"
+      "  if (x) goto done;\n"
+      "  aa();\n"
+      "done:\n"
+      "  bb();\n"
+      "}\n");
+  EXPECT_FALSE(b.cfg.ok) << "goto must bail, not build a wrong graph";
+}
+
+TEST(SemCfg, NestedLoopsBreakBindsToInnermost) {
+  const Built b = build(
+      "void f(int n) {\n"
+      "  while (outer(n)) {\n"
+      "    while (inner(n)) { aa(); break; }\n"
+      "    bb();\n"
+      "  }\n"
+      "  cc();\n"
+      "}\n");
+  ASSERT_TRUE(b.cfg.ok);
+  const std::size_t aa = node_of(b, "aa");
+  const std::size_t bb = node_of(b, "bb");
+  EXPECT_TRUE(reachable(b.cfg, aa).count(bb))
+      << "inner break lands after the inner loop, still inside the outer";
+}
+
+}  // namespace
+}  // namespace mewc::lint::sem

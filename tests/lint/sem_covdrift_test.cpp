@@ -1,0 +1,139 @@
+// R-covdrift fixtures: the MEWC_COV_SITE_LIST X-macro is the ground truth
+// for paper-line coverage, and this rule cross-checks it three ways —
+// every use is declared, every declared site is instrumented exactly once,
+// and algN_lineM_* names reference algorithms PAPER.md actually defines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/sem/sem.hpp"
+
+namespace mewc::lint::sem {
+namespace {
+
+// A miniature coverage header in the in-tree X-macro shape.
+const char* kSiteList =
+    "#define MEWC_COV_SITE_LIST(X) \\\n"
+    "  X(alg1_line3_propose)       \\\n"
+    "  X(alg2_line7_vote)          \\\n"
+    "  X(bbvalid_reply)            \\\n"
+    "  X(afb_accept)\n";
+
+const char* kPaper =
+    "We describe Algorithms 1 + 2 for weak agreement and Algorithm 5 for\n"
+    "the fallback path.\n";
+
+std::vector<Diagnostic> sem_corpus(std::vector<SourceFile> corpus) {
+  SemOptions opts;
+  opts.paper_text = kPaper;
+  return run_sem(corpus, opts);
+}
+
+std::vector<std::string> msgs_of(const std::vector<Diagnostic>& diags) {
+  std::vector<std::string> out;
+  for (const auto& d : diags) {
+    if (d.active() && d.rule == "R-covdrift") out.push_back(d.message);
+  }
+  return out;
+}
+
+bool any_contains(const std::vector<std::string>& msgs,
+                  const std::string& needle) {
+  return std::any_of(msgs.begin(), msgs.end(), [&](const std::string& m) {
+    return m.find(needle) != std::string::npos;
+  });
+}
+
+TEST(SemCovdrift, AllSitesUsedOnceIsClean) {
+  const auto diags = sem_corpus(
+      {{"src/check/coverage.hpp", kSiteList},
+       {"src/ba/a.cpp",
+        "void f() { MEWC_COV(alg1_line3_propose); MEWC_COV(alg2_line7_vote); "
+        "MEWC_COV(bbvalid_reply); MEWC_COV(afb_accept); }\n"}});
+  EXPECT_TRUE(msgs_of(diags).empty());
+}
+
+TEST(SemCovdrift, RenamedUseSuggestsNearestUnusedSite) {
+  const auto diags = sem_corpus(
+      {{"src/check/coverage.hpp", kSiteList},
+       {"src/ba/a.cpp",
+        "void f() { MEWC_COV(alg1_line3_proposal); MEWC_COV(alg2_line7_vote); "
+        "MEWC_COV(bbvalid_reply); MEWC_COV(afb_accept); }\n"}});
+  const auto msgs = msgs_of(diags);
+  EXPECT_TRUE(any_contains(msgs, "does not declare"));
+  EXPECT_TRUE(any_contains(msgs, "alg1_line3_propose"))
+      << "near-miss must suggest the unused declared site";
+  EXPECT_TRUE(any_contains(msgs, "never instrumented"))
+      << "the renamed-away declaration is orphaned";
+}
+
+TEST(SemCovdrift, OrphanedDeclarationFlagged) {
+  const auto diags = sem_corpus(
+      {{"src/check/coverage.hpp", kSiteList},
+       {"src/ba/a.cpp",
+        "void f() { MEWC_COV(alg1_line3_propose); MEWC_COV(alg2_line7_vote); "
+        "MEWC_COV(bbvalid_reply); }\n"}});
+  const auto msgs = msgs_of(diags);
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_TRUE(any_contains(msgs, "afb_accept"));
+  EXPECT_TRUE(any_contains(msgs, "never instrumented"));
+}
+
+TEST(SemCovdrift, DuplicateDeclarationFlagged) {
+  const auto diags = sem_corpus(
+      {{"src/check/coverage.hpp",
+        "#define MEWC_COV_SITE_LIST(X) \\\n"
+        "  X(afb_accept)               \\\n"
+        "  X(afb_accept)\n"},
+       {"src/ba/a.cpp", "void f() { MEWC_COV(afb_accept); }\n"}});
+  EXPECT_TRUE(any_contains(msgs_of(diags), "more than once"));
+}
+
+TEST(SemCovdrift, UnknownAlgorithmFlagged) {
+  const auto diags = sem_corpus(
+      {{"src/check/coverage.hpp",
+        "#define MEWC_COV_SITE_LIST(X) \\\n"
+        "  X(alg9_line2_bogus)\n"},
+       {"src/ba/a.cpp", "void f() { MEWC_COV(alg9_line2_bogus); }\n"}});
+  const auto msgs = msgs_of(diags);
+  EXPECT_TRUE(any_contains(msgs, "Algorithm 9"));
+  EXPECT_TRUE(any_contains(msgs, "does not define"));
+}
+
+TEST(SemCovdrift, PaperAlgorithmListParsesPlusAndRanges) {
+  // "Algorithms 1 + 2" and "Algorithm 5" are in kPaper; 1, 2 and 5 pass,
+  // 3 does not.
+  const auto ok = sem_corpus(
+      {{"src/check/coverage.hpp",
+        "#define MEWC_COV_SITE_LIST(X) \\\n"
+        "  X(alg5_line9_fallback)\n"},
+       {"src/ba/a.cpp", "void f() { MEWC_COV(alg5_line9_fallback); }\n"}});
+  EXPECT_TRUE(msgs_of(ok).empty());
+  const auto bad = sem_corpus(
+      {{"src/check/coverage.hpp",
+        "#define MEWC_COV_SITE_LIST(X) \\\n"
+        "  X(alg3_line1_ghost)\n"},
+       {"src/ba/a.cpp", "void f() { MEWC_COV(alg3_line1_ghost); }\n"}});
+  EXPECT_TRUE(any_contains(msgs_of(bad), "Algorithm 3"));
+}
+
+TEST(SemCovdrift, UnknownNamingFamilyFlagged) {
+  const auto diags = sem_corpus(
+      {{"src/check/coverage.hpp",
+        "#define MEWC_COV_SITE_LIST(X) \\\n"
+        "  X(mystery_site)\n"},
+       {"src/ba/a.cpp", "void f() { MEWC_COV(mystery_site); }\n"}});
+  EXPECT_TRUE(any_contains(msgs_of(diags), "naming family"));
+}
+
+TEST(SemCovdrift, NoSiteListMeansNoGroundTruthMeansSilence) {
+  // Scanning a corpus subset without the site list must not flag every use.
+  const auto diags = sem_corpus(
+      {{"src/ba/a.cpp", "void f() { MEWC_COV(alg1_line3_propose); }\n"}});
+  EXPECT_TRUE(msgs_of(diags).empty());
+}
+
+}  // namespace
+}  // namespace mewc::lint::sem

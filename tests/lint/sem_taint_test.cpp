@@ -1,0 +1,180 @@
+// R-taint fixtures: wire-decoded values must pass verification before
+// reaching quorum/ledger/meter sinks. Each fixture is a small file placed
+// (by path) inside the rule's scope; the assertions pin the taint engine's
+// contract — gen at decode, kill at verify, propagation through assignment
+// and one-level call summaries, and the allow() escape hatch.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint/sem/sem.hpp"
+
+namespace mewc::lint::sem {
+namespace {
+
+std::vector<Diagnostic> sem_one(const std::string& path,
+                                const std::string& content) {
+  return run_sem({{path, content}}, SemOptions{});
+}
+
+bool fires(const std::vector<Diagnostic>& diags, const std::string& rule) {
+  return std::any_of(diags.begin(), diags.end(), [&](const Diagnostic& d) {
+    return d.active() && d.rule == rule;
+  });
+}
+
+TEST(SemTaint, DecodeStraightIntoSinkFires) {
+  const auto diags = sem_one("src/ba/fake/fixture.cpp",
+                             "void S::on(const M& m) {\n"
+                             "  const auto* v = payload_cast<Vote>(m.body);\n"
+                             "  voters.insert(v->signer);\n"
+                             "}\n");
+  ASSERT_TRUE(fires(diags, "R-taint"));
+  EXPECT_EQ(diags[0].line, 3u);
+}
+
+TEST(SemTaint, VerifyBeforeSinkIsClean) {
+  const auto diags =
+      sem_one("src/ba/fake/fixture.cpp",
+              "void S::on(const M& m) {\n"
+              "  const auto* v = payload_cast<Vote>(m.body);\n"
+              "  if (!scheme.verify_partial(v->partial)) return;\n"
+              "  voters.insert(v->signer);\n"
+              "}\n");
+  EXPECT_FALSE(fires(diags, "R-taint"));
+}
+
+TEST(SemTaint, TaintFlowsThroughAssignment) {
+  const auto diags = sem_one("src/ba/fake/fixture.cpp",
+                             "void S::on(const M& m) {\n"
+                             "  const auto* v = payload_cast<Vote>(m.body);\n"
+                             "  auto copy = v;\n"
+                             "  votes.push_back(copy);\n"
+                             "}\n");
+  EXPECT_TRUE(fires(diags, "R-taint")) << "assignment must propagate taint";
+}
+
+TEST(SemTaint, CleanReassignmentLaundersTheVariable) {
+  const auto diags = sem_one("src/ba/fake/fixture.cpp",
+                             "void S::on(const M& m) {\n"
+                             "  auto v = payload_cast<Vote>(m.body);\n"
+                             "  v = trusted_default();\n"
+                             "  votes.push_back(v);\n"
+                             "}\n");
+  EXPECT_FALSE(fires(diags, "R-taint"))
+      << "a strong update with a clean rhs must kill the fact";
+}
+
+TEST(SemTaint, InlineDecodeIntoSinkFires) {
+  const auto diags =
+      sem_one("src/ba/fake/fixture.cpp",
+              "void S::on(const M& m) {\n"
+              "  votes.push_back(payload_cast<Vote>(m.body)->partial);\n"
+              "}\n");
+  EXPECT_TRUE(fires(diags, "R-taint")) << "no variable needed to flow";
+}
+
+TEST(SemTaint, TaintReachesSinkThroughCalleeSummary) {
+  // accept() pushes its parameter into a set; calling it with a tainted
+  // argument must fire even though the sink is one call level away.
+  const auto diags =
+      sem_one("src/ba/fake/fixture.cpp",
+              "void S::accept(const Vote& v) { accepted.push_back(v); }\n"
+              "void S::on(const M& m) {\n"
+              "  const auto* v = payload_cast<Vote>(m.body);\n"
+              "  accept(*v);\n"
+              "}\n");
+  EXPECT_TRUE(fires(diags, "R-taint")) << "one-level call summary";
+}
+
+TEST(SemTaint, VerifiedValueThroughCalleeSummaryIsClean) {
+  const auto diags =
+      sem_one("src/ba/fake/fixture.cpp",
+              "void S::accept(const Vote& v) { accepted.push_back(v); }\n"
+              "void S::on(const M& m) {\n"
+              "  const auto* v = payload_cast<Vote>(m.body);\n"
+              "  if (!aggregate_verify(pki, v->chain)) return;\n"
+              "  accept(*v);\n"
+              "}\n");
+  EXPECT_FALSE(fires(diags, "R-taint"));
+}
+
+TEST(SemTaint, SinkOnOnlyOneBranchStillFires) {
+  // May-analysis: a single unverified path to the sink is a finding even
+  // when the other branch verifies.
+  const auto diags =
+      sem_one("src/ba/fake/fixture.cpp",
+              "void S::on(const M& m, bool fast) {\n"
+              "  const auto* v = payload_cast<Vote>(m.body);\n"
+              "  if (fast) {\n"
+              "    votes.push_back(v->partial);\n"
+              "  } else {\n"
+              "    if (!scheme.verify_partial(v->partial)) return;\n"
+              "    votes.push_back(v->partial);\n"
+              "  }\n"
+              "}\n");
+  EXPECT_TRUE(fires(diags, "R-taint"));
+}
+
+TEST(SemTaint, OutOfScopePathIsIgnored) {
+  const std::string body =
+      "void S::on(const M& m) {\n"
+      "  const auto* v = payload_cast<Vote>(m.body);\n"
+      "  voters.insert(v->signer);\n"
+      "}\n";
+  EXPECT_FALSE(fires(sem_one("src/net/fixture.cpp", body), "R-taint"))
+      << "R-taint is scoped to src/ba/ and src/smr/";
+  EXPECT_FALSE(fires(sem_one("src/ba/adversaries/fixture.cpp", body),
+                     "R-taint"))
+      << "the adversary crafts unverified input on purpose";
+}
+
+TEST(SemTaint, AllowCommentSilences) {
+  const auto diags =
+      sem_one("src/ba/fake/fixture.cpp",
+              "void S::on(const M& m) {\n"
+              "  const auto* v = payload_cast<Vote>(m.body);\n"
+              "  // mewc-lint: allow(R-taint) fixture-pinned false positive\n"
+              "  voters.insert(v->signer);\n"
+              "}\n");
+  EXPECT_FALSE(fires(diags, "R-taint"));
+  const bool suppressed_present = std::any_of(
+      diags.begin(), diags.end(),
+      [](const Diagnostic& d) { return d.rule == "R-taint" && d.suppressed; });
+  EXPECT_TRUE(suppressed_present) << "finding is reported as suppressed";
+}
+
+TEST(SemTaint, MemberWriteDoesNotTaintTheObject) {
+  // The interactive-consistency demux re-wraps an inner payload into a
+  // fresh Message; flagging the wrapper would be noise.
+  const auto diags =
+      sem_one("src/ba/fake/fixture.cpp",
+              "void S::on(const M& m) {\n"
+              "  const auto* mux = payload_cast<Mux>(m.body);\n"
+              "  Message unwrapped;\n"
+              "  unwrapped.body = mux->inner;\n"
+              "  queue.push_back(unwrapped);\n"
+              "}\n");
+  EXPECT_FALSE(fires(diags, "R-taint"));
+}
+
+TEST(SemTaint, BaselineGrandfathersAFinding) {
+  const std::string body =
+      "void S::on(const M& m) {\n"
+      "  const auto* v = payload_cast<Vote>(m.body);\n"
+      "  voters.insert(v->signer);\n"
+      "}\n";
+  auto diags = run_sem({{"src/ba/fake/fixture.cpp", body}}, SemOptions{});
+  ASSERT_TRUE(fires(diags, "R-taint"));
+  const Baseline baseline =
+      Baseline::parse(baseline_key(diags[0]) + "\n");
+  diags = run_sem({{"src/ba/fake/fixture.cpp", body}}, SemOptions{}, nullptr,
+                  &baseline);
+  EXPECT_FALSE(fires(diags, "R-taint"));
+  EXPECT_TRUE(diags[0].baselined);
+}
+
+}  // namespace
+}  // namespace mewc::lint::sem

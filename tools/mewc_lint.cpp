@@ -2,16 +2,23 @@
 //
 // Walks the given files/directories (C++ sources only), runs every lint
 // rule (see src/lint/lint.hpp for the rule table), and reports findings as
-// file:line diagnostics or JSON. A finding is "active" unless an
+// file:line diagnostics, JSON, or SARIF. A finding is "active" unless an
 // `mewc-lint: allow(<rule>)` comment covers its line or the baseline file
 // grandfathers it; any active finding makes the exit code nonzero, which
 // is what CI gates on.
 //
+// --sem adds the semantic pass (src/lint/sem/): R-taint Byzantine-input
+// tracking, R-budget word-accounting completeness, and R-covdrift
+// paper-line drift (give it PAPER.md via --paper for the algorithm
+// cross-check). --audit-allows additionally fails on stale allow()
+// comments — suppressions whose rule no longer fires on the covered line.
+//
 // Usage:
-//   mewc_lint [--baseline FILE] [--write-baseline] [--json] [-v] PATH...
+//   mewc_lint [--baseline FILE] [--write-baseline] [--sem] [--paper FILE]
+//             [--sarif FILE] [--audit-allows] [--json] [-v] PATH...
 //   mewc_lint --list-rules
 //
-// Exit codes: 0 clean, 1 active findings, 2 usage/IO error.
+// Exit codes: 0 clean, 1 active findings / stale allows, 2 usage/IO error.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -23,6 +30,8 @@
 
 #include "check/json.hpp"
 #include "lint/lint.hpp"
+#include "lint/sarif.hpp"
+#include "lint/sem/sem.hpp"
 
 namespace {
 
@@ -32,6 +41,10 @@ using namespace mewc;
 struct Options {
   std::vector<std::string> paths;
   std::string baseline_path;
+  std::string paper_path;
+  std::string sarif_path;
+  bool sem = false;
+  bool audit_allows = false;
   bool write_baseline = false;
   bool json = false;
   bool list_rules = false;
@@ -40,7 +53,8 @@ struct Options {
 
 [[noreturn]] void usage_and_exit(const char* self) {
   std::fprintf(stderr,
-               "usage: %s [--baseline FILE] [--write-baseline] [--json] [-v] "
+               "usage: %s [--baseline FILE] [--write-baseline] [--sem] "
+               "[--paper FILE] [--sarif FILE] [--audit-allows] [--json] [-v] "
                "PATH...\n"
                "       %s --list-rules\n",
                self, self);
@@ -53,6 +67,16 @@ Options parse(int argc, char** argv) {
     if (!std::strcmp(argv[i], "--baseline")) {
       if (i + 1 >= argc) usage_and_exit(argv[0]);
       o.baseline_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--paper")) {
+      if (i + 1 >= argc) usage_and_exit(argv[0]);
+      o.paper_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--sarif")) {
+      if (i + 1 >= argc) usage_and_exit(argv[0]);
+      o.sarif_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--sem")) {
+      o.sem = true;
+    } else if (!std::strcmp(argv[i], "--audit-allows")) {
+      o.audit_allows = true;
     } else if (!std::strcmp(argv[i], "--write-baseline")) {
       o.write_baseline = true;
     } else if (!std::strcmp(argv[i], "--json")) {
@@ -132,7 +156,8 @@ int run_list_rules() {
 }
 
 check::json::Value to_json(const std::vector<lint::Diagnostic>& diags,
-                           std::size_t files, std::size_t active) {
+                           std::size_t files, std::size_t active,
+                           const lint::sem::SemStats* sem_stats) {
   check::json::Object root;
   root["files_scanned"] = check::json::Value(files);
   root["findings_total"] = check::json::Value(diags.size());
@@ -149,6 +174,20 @@ check::json::Value to_json(const std::vector<lint::Diagnostic>& diags,
     out.push_back(check::json::Value(std::move(o)));
   }
   root["findings"] = check::json::Value(std::move(out));
+  if (sem_stats != nullptr) {
+    check::json::Object s;
+    s["functions"] = check::json::Value(sem_stats->functions);
+    s["cfg_nodes"] = check::json::Value(sem_stats->cfg_nodes);
+    s["cfg_bailouts"] = check::json::Value(sem_stats->cfg_bailouts);
+    s["taint_sources"] = check::json::Value(sem_stats->taint_sources);
+    s["taint_facts"] = check::json::Value(sem_stats->taint_facts);
+    s["outbox_fills"] = check::json::Value(sem_stats->outbox_fills);
+    s["cov_sites_declared"] =
+        check::json::Value(sem_stats->cov_sites_declared);
+    s["cov_sites_used"] = check::json::Value(sem_stats->cov_sites_used);
+    s["wall_ms"] = check::json::Value(sem_stats->wall_ms);
+    root["sem"] = check::json::Value(std::move(s));
+  }
   return check::json::Value(std::move(root));
 }
 
@@ -172,7 +211,27 @@ int main(int argc, char** argv) {
     baseline = lint::Baseline::parse(text);
   }
 
-  const std::vector<lint::Diagnostic> diags = lint::run(corpus, &baseline);
+  std::vector<lint::Diagnostic> diags = lint::run(corpus, &baseline);
+
+  lint::sem::SemStats sem_stats;
+  if (o.sem) {
+    lint::sem::SemOptions sem_opts;
+    if (!o.paper_path.empty() &&
+        !read_whole_file(o.paper_path, &sem_opts.paper_text)) {
+      std::fprintf(stderr, "cannot read paper %s\n", o.paper_path.c_str());
+      return 2;
+    }
+    std::vector<lint::Diagnostic> sem_diags =
+        lint::sem::run_sem(corpus, sem_opts, &sem_stats, &baseline);
+    diags.insert(diags.end(), std::make_move_iterator(sem_diags.begin()),
+                 std::make_move_iterator(sem_diags.end()));
+    std::sort(diags.begin(), diags.end(),
+              [](const lint::Diagnostic& a, const lint::Diagnostic& b) {
+                if (a.file != b.file) return a.file < b.file;
+                if (a.line != b.line) return a.line < b.line;
+                return a.rule < b.rule;
+              });
+  }
 
   if (o.write_baseline) {
     if (o.baseline_path.empty()) {
@@ -190,6 +249,15 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (!o.sarif_path.empty()) {
+    std::ofstream out(o.sarif_path, std::ios::binary | std::ios::trunc);
+    out << lint::to_sarif(diags);
+    if (!out) {
+      std::fprintf(stderr, "cannot write sarif %s\n", o.sarif_path.c_str());
+      return 2;
+    }
+  }
+
   std::size_t active = 0;
   std::size_t suppressed = 0;
   std::size_t baselined = 0;
@@ -203,8 +271,14 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::vector<lint::StaleAllow> stale;
+  if (o.audit_allows) stale = lint::audit_allows(corpus, diags);
+
   if (o.json) {
-    std::printf("%s\n", to_json(diags, corpus.size(), active).dump().c_str());
+    std::printf("%s\n", to_json(diags, corpus.size(), active,
+                                o.sem ? &sem_stats : nullptr)
+                            .dump()
+                            .c_str());
   } else {
     for (const lint::Diagnostic& d : diags) {
       if (d.active()) {
@@ -216,11 +290,29 @@ int main(int argc, char** argv) {
                     d.message.c_str());
       }
     }
+    for (const lint::StaleAllow& s : stale) {
+      std::printf("%s:%u: [stale-allow] allow(%s) %s\n", s.file.c_str(),
+                  s.line, s.rule.c_str(), s.why.c_str());
+    }
     std::printf(
         "mewc_lint: %zu file%s, %zu active finding%s (%zu allowed, %zu "
         "baselined)\n",
         corpus.size(), corpus.size() == 1 ? "" : "s", active,
         active == 1 ? "" : "s", suppressed, baselined);
+    if (o.audit_allows) {
+      std::printf("mewc_lint: %zu stale allow comment%s\n", stale.size(),
+                  stale.size() == 1 ? "" : "s");
+    }
+    if (o.sem) {
+      std::printf(
+          "mewc_lint --sem: %zu functions, %zu cfg nodes (%zu bailouts), "
+          "%zu taint sources, %zu taint facts, %zu outbox fills, %zu cov "
+          "sites (%zu used) in %.1f ms\n",
+          sem_stats.functions, sem_stats.cfg_nodes, sem_stats.cfg_bailouts,
+          sem_stats.taint_sources, sem_stats.taint_facts,
+          sem_stats.outbox_fills, sem_stats.cov_sites_declared,
+          sem_stats.cov_sites_used, sem_stats.wall_ms);
+    }
   }
-  return active == 0 ? 0 : 1;
+  return active == 0 && stale.empty() ? 0 : 1;
 }
