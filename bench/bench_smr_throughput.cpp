@@ -480,6 +480,80 @@ int run(int argc, char** argv) {
     root["durability"] = std::move(section);
   }
 
+  // -------------------------------------------------------------------------
+  // Section 4: crypto-backend sweep — what real pairing-based verification
+  // costs end to end, and proof that it changes nothing but wall clock. The
+  // ledger digest is tag-free (slot values, skips, words), so it must be
+  // bit-identical across backends (gated — this is the bench-side mirror of
+  // tests/crypto/differential_test.cpp). The pairing/memo counters quantify
+  // the amortization: batch verification plus per-family memoization keep
+  // cold pairings per instance near-constant while memo hits absorb the
+  // cross-phase and cross-slot repeats.
+  {
+    json::Object section;
+    smr::EngineConfig c;
+    c.n = 5;
+    c.t = 2;
+    c.workers = 4;
+    c.checkpoint_every = 8;
+    section["n"] = c.n;
+    section["t"] = c.t;
+    section["slots"] = slots;
+
+    json::Array points;
+    SweepResult ideal;
+    for (const ThresholdBackend backend :
+         {ThresholdBackend::kSim, ThresholdBackend::kShamir,
+          ThresholdBackend::kReal}) {
+      c.backend = backend;
+      const SweepResult r = run_sweep(c, slots, nullptr);
+      if (backend == ThresholdBackend::kSim) {
+        ideal = r;
+      } else if (r.digest != ideal.digest ||
+                 r.total_words != ideal.total_words) {
+        std::fprintf(stderr,
+                     "FAIL: backend=%s diverged from the ideal ledger\n",
+                     backend_name(backend));
+        ok = false;
+      }
+      json::Object o;
+      o["backend"] = backend_name(backend);
+      o["seconds"] = r.seconds;
+      o["instances_per_sec"] =
+          r.seconds > 0 ? static_cast<double>(slots) / r.seconds : 0.0;
+      o["slowdown_vs_sim"] =
+          ideal.seconds > 0 ? r.seconds / ideal.seconds : 0.0;
+      o["ledger_digest"] = hex64(r.digest);
+      o["total_words"] = r.total_words;
+      o["crypto_pairings"] = r.stats.crypto_pairings;
+      o["crypto_memo_hits"] = r.stats.crypto_memo_hits;
+      std::fprintf(
+          stderr, "backend=%-6s  %.3fs  pairings=%llu memo_hits=%llu\n",
+          backend_name(backend), r.seconds,
+          static_cast<unsigned long long>(r.stats.crypto_pairings),
+          static_cast<unsigned long long>(r.stats.crypto_memo_hits));
+      if (backend == ThresholdBackend::kReal &&
+          (r.stats.crypto_pairings == 0 || r.stats.crypto_memo_hits == 0)) {
+        std::fprintf(stderr,
+                     "FAIL: real backend ran without pairing/memo traffic\n");
+        ok = false;
+      }
+      if (backend == ThresholdBackend::kReal) {
+        // Scalar copies for the perf-trajectory gate: the counters are
+        // deterministic for this fixed workload (any drift means the
+        // amortization changed), the slowdown ratio is wall-clock and runs
+        // advisory in CI.
+        section["real_pairings"] = r.stats.crypto_pairings;
+        section["real_memo_hits"] = r.stats.crypto_memo_hits;
+        section["real_slowdown_vs_sim"] =
+            ideal.seconds > 0 ? r.seconds / ideal.seconds : 0.0;
+      }
+      points.push_back(json::Value(std::move(o)));
+    }
+    section["points"] = std::move(points);
+    root["backend_sweep"] = std::move(section);
+  }
+
   if (!check::json::write_file(out_path, json::Value(std::move(root)))) {
     std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
     return 1;

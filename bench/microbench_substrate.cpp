@@ -36,8 +36,10 @@ void bm_aggregate_verify(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   Pki pki(n);
   const Digest d = DigestBuilder("b").field(1).done();
-  AggSignature agg = aggregate_start(n, pki.issue_key(0).sign(d));
-  for (ProcessId p = 1; p < n; ++p) aggregate_add(agg, pki.issue_key(p).sign(d));
+  AggSignature agg = aggregate_start(pki, pki.issue_key(0).sign(d));
+  for (ProcessId p = 1; p < n; ++p) {
+    aggregate_add(pki, agg, pki.issue_key(p).sign(d));
+  }
   for (auto _ : state) benchmark::DoNotOptimize(aggregate_verify(pki, agg));
 }
 BENCHMARK(bm_aggregate_verify)->Arg(16)->Arg(64)->Arg(256);

@@ -37,9 +37,10 @@ int main() {
 
   // 2. Multisignature aggregation (the Dolev-Strong chains): any set of
   //    signatures on one digest folds into a single tag.
-  AggSignature agg = aggregate_start(kN, bundles[0].signer().sign(d));
+  AggSignature agg =
+      aggregate_start(family.pki(), bundles[0].signer().sign(d));
   for (ProcessId p = 1; p < kN; ++p) {
-    aggregate_add(agg, bundles[p].signer().sign(d));
+    aggregate_add(family.pki(), agg, bundles[p].signer().sign(d));
   }
   std::printf("\n2. aggregate of %u signatures: %zu words on the wire, "
               "verifies = %s\n",

@@ -172,7 +172,7 @@ PayloadPtr Fuzzer::random_payload(Round r, AdversaryControl& ctrl,
       // signer set sometimes inflated.
       const Signature s = ctrl.bundle(as).signer().sign(
           fallback::ds_relay_digest(instance_, m->instance, m->value));
-      m->chain = aggregate_start(n, s);
+      m->chain = aggregate_start(ctrl.crypto().pki(), s);
       if (rng_.chance(1, 2)) {
         m->chain.signers.insert(static_cast<ProcessId>(rng_.below(n)));
       }

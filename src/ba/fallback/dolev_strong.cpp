@@ -44,7 +44,7 @@ void DolevStrongEngine::on_send(Round local_r, Outbox& out) {
     msg->instance = ctx_.id;
     msg->value = input_;
     msg->chain = aggregate_start(
-        ctx_.n, ctx_.sign(relay_digest(ctx_.id, input_)));
+        ctx_.pki(), ctx_.sign(relay_digest(ctx_.id, input_)));
     out.broadcast(msg);
     return;
   }
@@ -71,7 +71,8 @@ void DolevStrongEngine::accept(Round local_r, ProcessId instance,
   msg->value = v;
   msg->chain = chain;
   if (!msg->chain.signers.contains(ctx_.id)) {
-    aggregate_add(msg->chain, ctx_.sign(relay_digest(instance, v)));
+    aggregate_add(ctx_.pki(), msg->chain,
+                  ctx_.sign(relay_digest(instance, v)));
   }
   pending_relays_.push_back(std::move(msg));
 }

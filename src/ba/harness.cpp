@@ -52,6 +52,7 @@ Result run_protocol(const RunSpec& spec, Round rounds, Adversary& adversary,
   if (spec.codec_roundtrip) exec.set_payload_transform(wire::roundtrip);
   if (spec.recorder) exec.set_message_recorder(spec.recorder);
   exec.run(rounds);
+  if (spec.on_teardown) spec.on_teardown(family);
 
   Result res;
   res.meter = exec.meter();
@@ -95,6 +96,14 @@ ThresholdFamily& SetupCache::family(std::uint32_t n, std::uint32_t t,
   return *families_.emplace(key, std::move(family)).first->second;
 }
 
+CryptoVerifyStats SetupCache::crypto_verify_stats() const {
+  CryptoVerifyStats total;
+  for (const auto& [key, family] : families_) {
+    total += family->crypto_verify_stats();
+  }
+  return total;
+}
+
 RunSpec RunSpec::checked(std::uint32_t n, std::uint32_t t) {
   MEWC_CHECK_MSG(n >= 2 * t + 1, "RunSpec requires n >= 2t+1");
   RunSpec s;
@@ -107,6 +116,7 @@ std::string RunSpec::describe() const {
   std::string s = "n=" + std::to_string(n) + " t=" + std::to_string(t) +
                   " seed=" + std::to_string(seed);
   if (backend == ThresholdBackend::kShamir) s += " backend=shamir";
+  if (backend == ThresholdBackend::kReal) s += " backend=real";
   if (codec_roundtrip) s += " roundtrip";
   return s;
 }

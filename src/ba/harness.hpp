@@ -52,6 +52,13 @@ class SetupCache {
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
   [[nodiscard]] std::size_t size() const { return families_.size(); }
 
+  /// Crypto verification work summed over every cached family: pairings
+  /// actually evaluated and verification-memo hits avoided (kReal; all
+  /// zeros under the ideal backends). The memo lives with the family, so a
+  /// cache that spans many runs amortizes verified-cert digests across
+  /// phases and instances — this is where that amortization is observable.
+  [[nodiscard]] CryptoVerifyStats crypto_verify_stats() const;
+
  private:
   using Key = std::tuple<std::uint32_t, std::uint32_t, int, std::uint64_t>;
   std::map<Key, std::unique_ptr<ThresholdFamily>> families_;
@@ -80,6 +87,10 @@ struct RunSpec {
   /// live — the src/check certificate scanner verifies every certificate
   /// crossing the wire against the real schemes through this.
   std::function<void(const ThresholdFamily&)> on_setup;
+  /// Optional hook invoked after the last round, while the family is still
+  /// alive — the last chance to verify anything buffered during the run
+  /// (the certificate scanner drains its kReal batch-verify queue here).
+  std::function<void(const ThresholdFamily&)> on_teardown;
 
   /// The single checked constructor both factories route through: every
   /// RunSpec in the codebase satisfies n >= 2t+1 (paper Section 8; a larger

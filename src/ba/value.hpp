@@ -71,15 +71,21 @@ struct WireValue {
   }
 
   /// Commits to the full content, attachments included, so protocol
-  /// signatures bind the exact object being agreed on.
+  /// signatures bind the exact object being agreed on. Attachments are
+  /// bound by their *identity* — who signed which digest, at which
+  /// threshold — not by their tag bytes: every backend's tag is a
+  /// deterministic function of exactly that identity (and is verified
+  /// before the value is adopted), so this pins the same attestation
+  /// while keeping the digest identical across crypto backends. That
+  /// invariance is what the ideal <-> real differential harness checks.
   [[nodiscard]] Digest content_digest() const {
     DigestBuilder b("mewc.wire_value");
     b.field(value)
         .field(static_cast<std::uint64_t>(prov))
         .field(aux)
-        .field(sig ? sig->tag : 0)
+        .field(sig ? sig->digest.bits : 0)
         .field(sig ? sig->signer : kNoProcess)
-        .field(cert ? cert->tag : 0)
+        .field(cert ? cert->digest.bits : 0)
         .field(cert ? cert->k : 0);
     return b.done();
   }

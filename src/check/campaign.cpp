@@ -36,17 +36,19 @@ std::vector<CellSpec> GridSpec::enumerate() const {
         if (f > size.t) continue;
         for (const std::string& adv : adversaries) {
           for (const std::uint64_t seed : seeds) {
-            CellSpec cell;
-            cell.protocol = proto;
-            cell.n = n;
-            cell.t = size.t;
-            cell.f = f;
-            cell.adversary = adv;
-            cell.seed = seed;
-            cell.backend = backend;
-            cell.codec_roundtrip = codec_roundtrip;
-            cell.value = value;
-            cells.push_back(std::move(cell));
+            for (const ThresholdBackend backend : backends) {
+              CellSpec cell;
+              cell.protocol = proto;
+              cell.n = n;
+              cell.t = size.t;
+              cell.f = f;
+              cell.adversary = adv;
+              cell.seed = seed;
+              cell.backend = backend;
+              cell.codec_roundtrip = codec_roundtrip;
+              cell.value = value;
+              cells.push_back(std::move(cell));
+            }
           }
         }
       }
@@ -138,14 +140,31 @@ bool GridSpec::from_json(const json::Value& v, GridSpec* out,
     }
   }
 
+  if (!v["backend"].is_null() && !v["backends"].is_null()) {
+    return fail(error, "grid.backend and grid.backends are mutually exclusive");
+  }
   if (!v["backend"].is_null()) {
     const std::string& b = v["backend"].as_string();
-    if (b == "sim") {
-      grid.backend = ThresholdBackend::kSim;
-    } else if (b == "shamir") {
-      grid.backend = ThresholdBackend::kShamir;
-    } else {
-      return fail(error, "unknown backend '" + b + "' (expected sim|shamir)");
+    const auto parsed = parse_backend(b);
+    if (!parsed) {
+      return fail(error,
+                  "unknown backend '" + b + "' (expected sim|shamir|real)");
+    }
+    grid.backends = {*parsed};
+  }
+  if (!v["backends"].is_null()) {
+    grid.backends.clear();
+    for (const auto& b : v["backends"].as_array()) {
+      if (!b.is_string()) return fail(error, "backend names are strings");
+      const auto parsed = parse_backend(b.as_string());
+      if (!parsed) {
+        return fail(error, "unknown backend '" + b.as_string() +
+                               "' (expected sim|shamir|real)");
+      }
+      grid.backends.push_back(*parsed);
+    }
+    if (grid.backends.empty()) {
+      return fail(error, "grid.backends must not be empty");
     }
   }
   if (!v["codec_roundtrip"].is_null()) {

@@ -30,7 +30,10 @@ struct GridSpec {
   std::vector<std::uint32_t> fs = {0};
   std::vector<std::string> adversaries = {"none"};
   std::vector<std::uint64_t> seeds = {0x5e7};
-  ThresholdBackend backend = ThresholdBackend::kSim;
+  /// Crypto backends to sweep ("backend": "sim" in JSON, or "backends":
+  /// ["sim", "real"] for a cross-backend axis). Every other axis is crossed
+  /// with this one, so one grid file can pin ideal <-> real equivalence.
+  std::vector<ThresholdBackend> backends = {ThresholdBackend::kSim};
   bool codec_roundtrip = false;
   std::uint64_t value = 7;
   CheckerOptions checkers;

@@ -107,9 +107,17 @@ void apply(Mutator m, CellSpec& cell, const CellSpec& donor, Rng& rng,
       cell.codec_roundtrip = !cell.codec_roundtrip;
       break;
     case Mutator::backend_toggle:
-      cell.backend = cell.backend == ThresholdBackend::kSim
-                         ? ThresholdBackend::kShamir
-                         : ThresholdBackend::kSim;
+      switch (cell.backend) {
+        case ThresholdBackend::kSim:
+          cell.backend = ThresholdBackend::kShamir;
+          break;
+        case ThresholdBackend::kShamir:
+          cell.backend = ThresholdBackend::kReal;
+          break;
+        case ThresholdBackend::kReal:
+          cell.backend = ThresholdBackend::kSim;
+          break;
+      }
       break;
   }
 }

@@ -33,7 +33,7 @@ namespace mewc::check {
   X(splice_donor)   /* graft adversary / seed / f from the donor */     \
   X(value_tweak)    /* new base input value */                          \
   X(codec_toggle)   /* wire round-trip on/off */                        \
-  X(backend_toggle) /* sim <-> shamir threshold backend */
+  X(backend_toggle) /* sim -> shamir -> real -> sim backend cycle */
 
 enum class Mutator : std::uint8_t {
 #define MEWC_MUTATOR_ENUM(name) name,

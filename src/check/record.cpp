@@ -18,23 +18,39 @@ void MessageLog::observe(const Message& m, bool correct) {
   messages.push_back(std::move(r));
 }
 
-Digest MessageLog::stream_digest() const {
+namespace {
+
+Digest digest_stream(const std::vector<RecordedMessage>& messages,
+                     bool semantic) {
   Hasher h;
+  std::vector<std::uint8_t> buf;
   for (const auto& m : messages) {
     h.feed(m.from).feed(m.to).feed(m.round).feed(m.words);
     h.feed(static_cast<std::uint64_t>(m.correct));
     h.feed(m.kind);
     // Byte-level payload content via the wire codec; payload types without
     // a wire form contribute their kind only.
-    if (const auto bytes = wire::encode(*m.body)) {
-      h.feed(std::string_view(reinterpret_cast<const char*>(bytes->data()),
-                              bytes->size()));
+    const bool encoded = semantic ? wire::encode_semantic(*m.body, buf)
+                                  : wire::encode_into(*m.body, buf);
+    if (encoded) {
+      h.feed(std::string_view(reinterpret_cast<const char*>(buf.data()),
+                              buf.size()));
     } else {
       h.feed(std::uint64_t{0});
     }
   }
   h.feed(messages.size());
   return Digest{h.digest()};
+}
+
+}  // namespace
+
+Digest MessageLog::stream_digest() const {
+  return digest_stream(messages, /*semantic=*/false);
+}
+
+Digest MessageLog::semantic_digest() const {
+  return digest_stream(messages, /*semantic=*/true);
 }
 
 std::string CellSpec::label() const {

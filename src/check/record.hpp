@@ -34,6 +34,11 @@ struct MessageLog {
 
   void observe(const Message& m, bool correct);
   [[nodiscard]] Digest stream_digest() const;
+  /// stream_digest with signature/certificate tags masked to zero (see
+  /// wire::encode_semantic): equal semantic digests mean two runs agree on
+  /// every message, field and signer set, differing at most in the tag
+  /// algebra — the property the cross-backend differential harness pins.
+  [[nodiscard]] Digest semantic_digest() const;
   [[nodiscard]] std::size_t size() const { return messages.size(); }
 };
 
@@ -78,6 +83,10 @@ struct RunRecord {
   Meter meter;
   Round rounds = 0;
   bool any_fallback = false;
+  /// Total signatures issued by correct processes. Backend-independent: the
+  /// differential harness pins real == sim here, so a real backend that
+  /// signs more (or fewer) times than the ideal one is caught directly.
+  std::uint64_t signatures_issued = 0;
   MessageLog log;
   std::vector<CertObservation> certs;
 

@@ -1,5 +1,6 @@
 #include "check/runner.hpp"
 
+#include <map>
 #include <utility>
 
 #include "ba/adversaries/adversaries.hpp"
@@ -26,6 +27,12 @@ class CertScanner {
       : n_(n), t_(t), out_(out) {}
 
   void attach(const ThresholdFamily& family) { family_ = &family; }
+
+  /// Verifies everything still queued for batch verification. Must run
+  /// while the family is alive (RunSpec::on_teardown).
+  void flush() {
+    for (auto& [k, group] : pending_) flush_k(k);
+  }
 
   void scan(const Message& m, bool correct) {
     if (!correct) return;
@@ -95,14 +102,56 @@ class CertScanner {
     const bool provisioned = family_ != nullptr &&
                              (sig.k == t_ + 1 ||
                               sig.k == commit_quorum(n_, t_) || sig.k == n_);
+    if (provisioned && family_->backend() == ThresholdBackend::kReal) {
+      // Pairing verification is the expensive path: queue the certificate
+      // and settle a whole batch with one random-weight check (two pairings
+      // per batch instead of two per certificate), falling back to
+      // individual verification only when a batch fails. The observation is
+      // recorded now so out_ keeps wire order; verified lands at flush.
+      out_.push_back(obs);
+      auto& group = pending_[sig.k];
+      group.push_back({sig, out_.size() - 1});
+      if (group.size() >= kBatch) flush_k(sig.k);
+      return;
+    }
     obs.verified = provisioned && family_->scheme(sig.k).verify(sig);
     out_.push_back(obs);
   }
+
+  void flush_k(std::uint32_t k) {
+    auto& group = pending_[k];
+    if (group.empty()) return;
+    const auto* real =
+        dynamic_cast<const RealThreshold*>(&family_->scheme(k));
+    std::vector<ThresholdSig> sigs;
+    sigs.reserve(group.size());
+    for (const Queued& q : group) sigs.push_back(q.sig);
+    if (real != nullptr && real->verify_batch(sigs)) {
+      for (const Queued& q : group) out_[q.index].verified = true;
+    } else {
+      // At least one offender (or no batch path): identify each
+      // certificate individually — same verdicts, just without the
+      // batching discount.
+      for (const Queued& q : group) {
+        out_[q.index].verified = family_->scheme(k).verify(q.sig);
+      }
+    }
+    group.clear();
+  }
+
+  /// A certificate awaiting batch verification and where its observation
+  /// landed in out_.
+  struct Queued {
+    ThresholdSig sig;
+    std::size_t index;
+  };
+  static constexpr std::size_t kBatch = 16;
 
   std::uint32_t n_;
   std::uint32_t t_;
   const ThresholdFamily* family_ = nullptr;
   std::vector<CertObservation>& out_;
+  std::map<std::uint32_t, std::vector<Queued>> pending_;
 };
 
 std::vector<bool> corrupted_mask(std::uint32_t n,
@@ -166,6 +215,7 @@ RunRecord run_cell(const CellSpec& cell, const RunOptions& opts) {
   spec.on_setup = [&scanner](const ThresholdFamily& family) {
     scanner.attach(family);
   };
+  spec.on_teardown = [&scanner](const ThresholdFamily&) { scanner.flush(); };
   const bool keep = opts.record_messages;
   spec.recorder = [&record, &scanner, keep](const Message& m, bool correct) {
     if (keep) record.log.observe(m, correct);
@@ -195,6 +245,7 @@ RunRecord run_cell(const CellSpec& cell, const RunOptions& opts) {
   const harness::RunReport res = driver.run(spec, inputs, *adversary);
   record.meter = res.meter;
   record.rounds = res.rounds;
+  record.signatures_issued = res.signatures_issued;
   record.corrupted = corrupted_mask(cell.n, res.corrupted);
   record.any_fallback = res.any_fallback;
   record.decided = res.decided;

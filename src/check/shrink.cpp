@@ -123,8 +123,7 @@ json::Value Replay::to_json() const {
   cell_json["f"] = json::Value(cell.f);
   cell_json["adversary"] = json::Value(cell.adversary);
   cell_json["seed"] = json::Value(cell.seed);
-  cell_json["backend"] = json::Value(
-      cell.backend == ThresholdBackend::kShamir ? "shamir" : "sim");
+  cell_json["backend"] = json::Value(std::string(backend_name(cell.backend)));
   cell_json["codec_roundtrip"] = json::Value(cell.codec_roundtrip);
   cell_json["value"] = json::Value(cell.value);
 
@@ -167,9 +166,8 @@ bool Replay::from_json(const json::Value& v, Replay* out, std::string* error) {
   replay.cell.f = static_cast<std::uint32_t>(c["f"].as_u64());
   replay.cell.adversary = c["adversary"].as_string();
   replay.cell.seed = c["seed"].as_u64();
-  replay.cell.backend = c["backend"].as_string() == "shamir"
-                            ? ThresholdBackend::kShamir
-                            : ThresholdBackend::kSim;
+  replay.cell.backend =
+      parse_backend(c["backend"].as_string()).value_or(ThresholdBackend::kSim);
   replay.cell.codec_roundtrip = c["codec_roundtrip"].as_bool();
   replay.cell.value = c["value"].as_u64(7);
   if (replay.cell.t == 0 || replay.cell.n < 2 * replay.cell.t + 1) {

@@ -1,0 +1,181 @@
+#include "crypto/agg_threshold.hpp"
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+
+namespace mewc {
+
+namespace {
+
+// Memos hold verification results for the run's working set of digests;
+// clearing (rather than evicting) at the bound keeps the structure trivial
+// and the worst case is re-verification, never a wrong answer.
+constexpr std::size_t kMemoBound = 1u << 16;
+
+}  // namespace
+
+rc::Point bls_message_point(std::string_view domain, std::uint64_t bits) {
+  Hasher h;
+  h.feed(domain);
+  h.feed(bits);
+  return rc::hash_to_point(h.digest());
+}
+
+std::uint64_t bls_sign_at(std::uint64_t sk, rc::Point h) {
+  return rc::compress(rc::scalar_mul(sk, h));
+}
+
+bool bls_verify_at(rc::Point pk, rc::Point h, std::uint64_t tag,
+                   CryptoVerifyStats* stats) {
+  rc::Point sigma;
+  if (!rc::decompress(tag, &sigma)) return false;
+  if (!rc::in_subgroup(sigma)) return false;
+  if (stats != nullptr) stats->pairings += 2;
+  return rc::pairing(sigma, rc::kG) == rc::pairing(h, pk);
+}
+
+RealThreshold::RealThreshold(std::uint32_t k, std::uint32_t n,
+                             std::uint64_t seed)
+    : ThresholdScheme(k, n) {
+  MEWC_CHECK_MSG(k >= 1 && k <= n, "threshold k must be in [1, n]");
+  Rng rng(hash_combine(seed, hash_combine(k, n)) ^ 0xb15b15ULL);
+
+  // Random degree-(k-1) polynomial P over Z_q with nonzero group secret
+  // P(0). The secret and coefficients live only in this scope: what the
+  // scheme keeps are the shares (secret per process) and the public keys.
+  std::vector<std::uint64_t> coeffs(k);
+  do {
+    coeffs[0] = rng.below(rc::kQ);
+  } while (coeffs[0] == 0);
+  for (std::uint32_t i = 1; i < k; ++i) coeffs[i] = rng.below(rc::kQ);
+
+  shares_.resize(n);
+  share_pks_.resize(n);
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    const std::uint64_t x = x_coord(pid);
+    std::uint64_t acc = 0;
+    for (std::uint32_t c = k; c-- > 0;) {
+      acc = rc::q_add(rc::q_mul(acc, x), coeffs[c]);
+    }
+    shares_[pid] = acc;
+    share_pks_[pid] = rc::scalar_mul(acc, rc::kG);
+  }
+  group_pk_ = rc::scalar_mul(coeffs[0], rc::kG);
+}
+
+rc::Point RealThreshold::message_point(Digest d) const {
+  // Domain-separate by k so partials from schemes with different thresholds
+  // can never be mixed, and by a scheme tag so threshold partials can never
+  // be replayed as individual BLS signatures (which hash under "mewc.bls").
+  return bls_message_point("mewc.bls.threshold", hash_combine(d.bits, k()));
+}
+
+PartialSig RealThreshold::make_partial(ProcessId signer, Digest d) const {
+  MEWC_CHECK(signer < n());
+  PartialSig p;
+  p.signer = signer;
+  p.digest = d;
+  p.k = k();
+  p.tag = bls_sign_at(shares_[signer], message_point(d));
+  return p;
+}
+
+bool RealThreshold::verify_partial(const PartialSig& p) const {
+  if (p.signer >= n() || p.k != k()) return false;
+  const auto key = std::make_tuple(p.signer, p.digest.bits, p.tag);
+  if (const auto it = partial_memo_.find(key); it != partial_memo_.end()) {
+    ++stats_.memo_hits;
+    return it->second;
+  }
+  const bool ok =
+      bls_verify_at(share_pks_[p.signer], message_point(p.digest), p.tag,
+                    &stats_);
+  if (partial_memo_.size() >= kMemoBound) partial_memo_.clear();
+  partial_memo_.emplace(key, ok);
+  return ok;
+}
+
+std::uint64_t RealThreshold::combine_tag(
+    std::span<const PartialSig> chosen) const {
+  // Lagrange interpolation at x = 0 in the exponent:
+  //   s * H(d) = sum_i lambda_i * sigma_i,
+  //   lambda_i = prod_{j != i} x_j / (x_j - x_i)  (in Z_q).
+  // The result is the unique group signature, independent of which k shares
+  // were chosen — same BLS property SimThreshold imitates.
+  rc::Point acc;  // infinity
+  for (std::size_t i = 0; i < chosen.size(); ++i) {
+    const std::uint64_t xi = x_coord(chosen[i].signer);
+    std::uint64_t num = 1;
+    std::uint64_t den = 1;
+    for (std::size_t j = 0; j < chosen.size(); ++j) {
+      if (j == i) continue;
+      const std::uint64_t xj = x_coord(chosen[j].signer);
+      num = rc::q_mul(num, xj);
+      den = rc::q_mul(den, rc::q_sub(xj, xi));
+    }
+    const std::uint64_t lambda = rc::q_mul(num, rc::q_inv(den));
+    rc::Point sigma;
+    // combine() only hands us partials that passed verify_partial, so the
+    // tag decodes; the check guards direct combine_tag misuse.
+    MEWC_CHECK_MSG(rc::decompress(chosen[i].tag, &sigma),
+                   "combine over unverified partial");
+    acc = rc::point_add(acc, rc::scalar_mul(lambda, sigma));
+  }
+  return rc::compress(acc);
+}
+
+bool RealThreshold::verify(const ThresholdSig& sig) const {
+  if (sig.k != k()) return false;
+  const auto key = std::make_tuple(sig.digest.bits, sig.tag);
+  if (const auto it = group_memo_.find(key); it != group_memo_.end()) {
+    ++stats_.memo_hits;
+    return it->second;
+  }
+  const bool ok =
+      bls_verify_at(group_pk_, message_point(sig.digest), sig.tag, &stats_);
+  if (group_memo_.size() >= kMemoBound) group_memo_.clear();
+  group_memo_.emplace(key, ok);
+  return ok;
+}
+
+bool RealThreshold::verify_batch(std::span<const ThresholdSig> sigs) const {
+  if (sigs.empty()) return true;
+  // Deterministic Fiat-Shamir weights: r_j is a hash of the batch contents
+  // and the position, nonzero mod q. An adversary controls the signatures
+  // before the weights exist, so a batch with any invalid member passes with
+  // probability ~1/q.
+  Hasher seed;
+  seed.feed("mewc.bls.batch");
+  for (const ThresholdSig& s : sigs) {
+    seed.feed(s.digest.bits);
+    seed.feed(s.k);
+    seed.feed(s.tag);
+  }
+  rc::Point sig_acc;  // sum r_j * sigma_j
+  rc::Point msg_acc;  // sum r_j * H(d_j)
+  for (std::size_t j = 0; j < sigs.size(); ++j) {
+    if (sigs[j].k != k()) return false;
+    rc::Point sigma;
+    if (!rc::decompress(sigs[j].tag, &sigma)) return false;
+    if (!rc::in_subgroup(sigma)) return false;
+    std::uint64_t r = rc::q_reduce(hash_combine(seed.digest(), j));
+    if (r == 0) r = 1;
+    sig_acc = rc::point_add(sig_acc, rc::scalar_mul(r, sigma));
+    msg_acc = rc::point_add(
+        msg_acc, rc::scalar_mul(r, message_point(sigs[j].digest)));
+  }
+  stats_.pairings += 2;
+  if (rc::pairing(sig_acc, rc::kG) != rc::pairing(msg_acc, group_pk_)) {
+    return false;
+  }
+  // The whole batch verified: seed the memo so later individual verifies of
+  // these certificates are hits.
+  for (const ThresholdSig& s : sigs) {
+    if (group_memo_.size() >= kMemoBound) group_memo_.clear();
+    group_memo_.emplace(std::make_tuple(s.digest.bits, s.tag), true);
+  }
+  return true;
+}
+
+}  // namespace mewc

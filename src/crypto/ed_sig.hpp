@@ -1,0 +1,46 @@
+// Ed25519-style deterministic Schnorr signatures over the real curve
+// (crypto/realcurve.hpp), following the RFC 8032 shape at 61-bit scale:
+// derived nonce (no randomness at signing time), the commitment point and
+// public key bound into the challenge, and strict verification — a
+// non-canonical R encoding or s >= q is rejected outright, so signatures are
+// non-malleable (flipping to s' = s + q or re-encoding R cannot yield a
+// second valid encoding of the same signature).
+//
+// In the real backend these certify the BLS public keys at trusted setup
+// (proofs of possession, the standard rogue-key defense) and anchor the
+// known-answer vectors in tests/crypto/golden/.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/realcurve.hpp"
+
+namespace mewc {
+
+struct EdSig {
+  std::uint64_t r_enc = 0;  // compressed commitment point R
+  std::uint64_t s = 0;      // response scalar, canonical in [0, q)
+};
+
+struct EdKeyPair {
+  std::uint64_t sk = 0;      // secret scalar in [1, q)
+  std::uint64_t pk_enc = 0;  // compressed public key sk * G
+};
+
+/// Deterministically derives a key pair from a seed (the trusted-setup
+/// dealer's per-process entropy).
+[[nodiscard]] EdKeyPair ed_keygen(std::uint64_t seed);
+
+/// Signs a byte string. Deterministic: the nonce is a hash of the secret key
+/// and the message, so the same (key, message) always yields the same bytes.
+[[nodiscard]] EdSig ed_sign(const EdKeyPair& kp,
+                            std::span<const std::uint8_t> msg);
+
+/// Strict verification: decodes R and pk canonically, rejects s >= q, and
+/// checks s * G == R + c * pk with c the bound challenge.
+[[nodiscard]] bool ed_verify(std::uint64_t pk_enc,
+                             std::span<const std::uint8_t> msg,
+                             const EdSig& sig);
+
+}  // namespace mewc

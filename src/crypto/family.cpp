@@ -1,20 +1,26 @@
 #include "crypto/family.hpp"
 
+#include "crypto/agg_threshold.hpp"
 #include "crypto/shamir.hpp"
 
 namespace mewc {
 
 ThresholdFamily::ThresholdFamily(std::uint32_t n, std::uint32_t t,
                                  ThresholdBackend backend, std::uint64_t seed)
-    : n_(n), t_(t), pki_(n, seed) {
+    : n_(n), t_(t), backend_(backend), pki_(n, seed, backend) {
   // The paper presents its protocols at the optimal resilience n = 2t+1 and
   // notes (Section 8) that BB and weak BA carry over to any n = αt+β with
   // α > 1, β > 0 without losing the quorum intersection property; we
   // therefore accept any n >= 2t+1 (see tests/ba/resilience_test.cpp).
   MEWC_CHECK_MSG(n >= 2 * t + 1, "model requires n >= 2t + 1");
   auto make = [&](std::uint32_t k) -> std::unique_ptr<ThresholdScheme> {
-    if (backend == ThresholdBackend::kShamir) {
-      return std::make_unique<ShamirThreshold>(k, n, pki_.master_seed());
+    switch (backend) {
+      case ThresholdBackend::kShamir:
+        return std::make_unique<ShamirThreshold>(k, n, pki_.master_seed());
+      case ThresholdBackend::kReal:
+        return std::make_unique<RealThreshold>(k, n, pki_.master_seed());
+      case ThresholdBackend::kSim:
+        break;
     }
     return std::make_unique<SimThreshold>(k, n, pki_.master_seed());
   };
@@ -36,6 +42,25 @@ KeyBundle ThresholdFamily::issue_bundle(ProcessId pid) const {
     bundle.shares.emplace(k, scheme->issue_share(pid));
   }
   return bundle;
+}
+
+CryptoVerifyStats ThresholdFamily::crypto_verify_stats() const {
+  CryptoVerifyStats total = pki_.crypto_verify_stats();
+  if (backend_ == ThresholdBackend::kReal) {
+    for (const auto& [k, scheme] : schemes_) {
+      total += static_cast<const RealThreshold*>(scheme.get())->verify_stats();
+    }
+  }
+  return total;
+}
+
+void ThresholdFamily::reset_crypto_verify_stats() const {
+  pki_.reset_crypto_verify_stats();
+  if (backend_ == ThresholdBackend::kReal) {
+    for (const auto& [k, scheme] : schemes_) {
+      static_cast<const RealThreshold*>(scheme.get())->reset_verify_stats();
+    }
+  }
 }
 
 }  // namespace mewc

@@ -14,10 +14,8 @@
 
 namespace mewc {
 
-enum class ThresholdBackend {
-  kSim,     // ideal registry-enforced scheme
-  kShamir,  // real Shamir shares + Lagrange combination
-};
+// ThresholdBackend (kSim / kShamir / kReal) lives in crypto/keys.hpp so the
+// Pki can dispatch on it; it is re-exported here for existing includers.
 
 /// All signing capabilities of one process: its individual key plus one
 /// share per threshold scheme. Move-only; handed to the process (or the
@@ -48,6 +46,7 @@ class ThresholdFamily {
 
   [[nodiscard]] std::uint32_t n() const { return n_; }
   [[nodiscard]] std::uint32_t t() const { return t_; }
+  [[nodiscard]] ThresholdBackend backend() const { return backend_; }
 
   [[nodiscard]] const Pki& pki() const { return pki_; }
   [[nodiscard]] Pki& pki() { return pki_; }
@@ -59,9 +58,17 @@ class ThresholdFamily {
   /// Issues the full key bundle for one process.
   [[nodiscard]] KeyBundle issue_bundle(ProcessId pid) const;
 
+  /// Sum of the pairing/memo counters across the Pki and every provisioned
+  /// scheme (all zero for the ideal backends). The SMR engine aggregates
+  /// these into EngineStats; reset happens per cached run alongside the
+  /// signature counters.
+  [[nodiscard]] CryptoVerifyStats crypto_verify_stats() const;
+  void reset_crypto_verify_stats() const;
+
  private:
   std::uint32_t n_;
   std::uint32_t t_;
+  ThresholdBackend backend_;
   Pki pki_;
   std::map<std::uint32_t, std::unique_ptr<ThresholdScheme>> schemes_;
 };

@@ -1,23 +1,70 @@
 // Trusted PKI setup and per-process signatures (paper Section 2).
 //
-// Unforgeability model (DESIGN.md SUB-2): the simulation runs in a single
-// address space, so signatures are modeled as keyed MACs whose key material
-// lives exclusively inside the Pki object. A process (or the adversary, for
-// corrupted processes) signs through a PrivateKey handle; the adversary API
-// only ever receives handles for corrupted processes, so within the
-// simulation a signature verifying under pid proves pid's handle produced it
-// — exactly the reliable-authenticated-link guarantee the paper assumes.
+// Two signature models behind one interface (DESIGN.md SUB-2):
+//
+//  * kSim / kShamir — the simulation runs in a single address space, so
+//    signatures are modeled as keyed MACs whose key material lives
+//    exclusively inside the Pki object. A process (or the adversary, for
+//    corrupted processes) signs through a PrivateKey handle; the adversary
+//    API only ever receives handles for corrupted processes, so within the
+//    simulation a signature verifying under pid proves pid's handle produced
+//    it — exactly the reliable-authenticated-link guarantee the paper
+//    assumes.
+//  * kReal — BLS signatures over the pairing curve in crypto/realcurve.hpp:
+//    per-process secret scalars, published public keys certified at setup by
+//    Schnorr proofs of possession (crypto/ed_sig.hpp — the rogue-key
+//    defense), pairing-equation verification, and point-addition aggregation
+//    for multisignatures. Same one-word tags, same wire shapes, same
+//    protocol behavior; only the verification algebra (and its wall-clock
+//    cost) is real.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <optional>
 #include <span>
+#include <string_view>
+#include <tuple>
 #include <vector>
 
 #include "common/types.hpp"
+#include "crypto/agg_threshold.hpp"
 #include "crypto/digest.hpp"
+#include "crypto/ed_sig.hpp"
 
 namespace mewc {
+
+/// Which algebra backs signatures and threshold schemes for a run. Selected
+/// at RunSpec level; behavior is identical across backends by construction
+/// (the differential harness in tests/crypto/differential_test.cpp pins it).
+enum class ThresholdBackend {
+  kSim,     // ideal registry-enforced scheme
+  kShamir,  // real Shamir shares + Lagrange combination, dealer-verified
+  kReal,    // BLS over the real curve: pairing-verified, no trapdoor
+};
+
+/// Canonical lowercase name, the shared vocabulary of grid JSON, replay
+/// files, tool flags and bench labels.
+[[nodiscard]] constexpr const char* backend_name(ThresholdBackend b) {
+  switch (b) {
+    case ThresholdBackend::kShamir:
+      return "shamir";
+    case ThresholdBackend::kReal:
+      return "real";
+    case ThresholdBackend::kSim:
+      break;
+  }
+  return "sim";
+}
+
+[[nodiscard]] constexpr std::optional<ThresholdBackend> parse_backend(
+    std::string_view s) {
+  if (s == "sim") return ThresholdBackend::kSim;
+  if (s == "shamir") return ThresholdBackend::kShamir;
+  if (s == "real") return ThresholdBackend::kReal;
+  return std::nullopt;
+}
 
 class Pki;
 
@@ -57,14 +104,17 @@ class PrivateKey {
 };
 
 /// Trusted setup: mints one key pair per process plus the threshold-scheme
-/// secrets (see crypto/threshold.hpp, crypto/shamir.hpp). One Pki per run.
+/// secrets (see crypto/threshold.hpp, crypto/shamir.hpp,
+/// crypto/agg_threshold.hpp). One Pki per run.
 class Pki {
  public:
-  explicit Pki(std::uint32_t n, std::uint64_t seed = 0x5e7u);
+  explicit Pki(std::uint32_t n, std::uint64_t seed = 0x5e7u,
+               ThresholdBackend backend = ThresholdBackend::kSim);
 
   [[nodiscard]] std::uint32_t n() const {
     return static_cast<std::uint32_t>(secrets_.size());
   }
+  [[nodiscard]] ThresholdBackend backend() const { return backend_; }
 
   /// Hands out the signing handle for `pid`. Call once per identity; the
   /// executor gives it to the process (or to the adversary if corrupted).
@@ -72,10 +122,33 @@ class Pki {
 
   [[nodiscard]] bool verify(const Signature& sig) const;
 
-  /// Verifies an XOR-aggregated MAC over `signers` (see crypto/multisig.hpp).
+  /// Verifies an XOR-aggregated MAC over `signers` (the ideal-backend
+  /// aggregate; see verify_aggregate for the backend-dispatching entry).
   [[nodiscard]] bool verify_mac_xor(Digest d,
                                     std::span<const ProcessId> signers,
                                     std::uint64_t tag) const;
+
+  /// Verifies an aggregate multisignature tag over `signers`: XOR of MACs
+  /// for the ideal backends, one pairing pair against the summed public
+  /// keys for kReal (see crypto/multisig.hpp).
+  [[nodiscard]] bool verify_aggregate(Digest d,
+                                      std::span<const ProcessId> signers,
+                                      std::uint64_t tag) const;
+
+  /// Folds one more signature tag into an aggregate tag: XOR for the ideal
+  /// backends, point addition for kReal. An undecodable real tag poisons
+  /// the aggregate (rc::kBadEncoding), which can never verify.
+  [[nodiscard]] std::uint64_t aggregate_fold(std::uint64_t agg_tag,
+                                             std::uint64_t sig_tag) const;
+
+  /// kReal key material, published at setup (tests and the PoP audit):
+  /// the BLS public key and its Schnorr proof of possession.
+  [[nodiscard]] std::uint64_t bls_pk_enc(ProcessId pid) const;
+  [[nodiscard]] const EdSig& pop_of(ProcessId pid) const;
+  /// Re-checks one process's proof of possession — what an aggregator runs
+  /// before admitting a key into a multisignature universe.
+  [[nodiscard]] bool verify_pop(ProcessId pid, std::uint64_t pk_enc,
+                                const EdSig& pop) const;
 
   /// Total individual signatures issued so far (all signers).
   [[nodiscard]] std::uint64_t signatures_issued() const {
@@ -86,15 +159,34 @@ class Pki {
   }
   void reset_signature_counters();
 
+  /// Pairing/memo counters (kReal; zero for the ideal backends).
+  [[nodiscard]] const CryptoVerifyStats& crypto_verify_stats() const {
+    return crypto_stats_;
+  }
+  void reset_crypto_verify_stats() const { crypto_stats_ = {}; }
+
   /// Master seed for deriving threshold-scheme secrets deterministically.
   [[nodiscard]] std::uint64_t master_seed() const { return master_seed_; }
 
  private:
   friend class PrivateKey;
   [[nodiscard]] std::uint64_t mac(ProcessId signer, Digest d) const;
+  [[nodiscard]] std::uint64_t sign_tag(ProcessId signer, Digest d) const;
 
+  ThresholdBackend backend_ = ThresholdBackend::kSim;
   std::vector<std::uint64_t> secrets_;
   std::uint64_t master_seed_;
+  // kReal: per-process BLS key pairs and their proofs of possession.
+  std::vector<std::uint64_t> bls_sks_;
+  std::vector<rc::Point> bls_pks_;
+  std::vector<std::uint64_t> bls_pk_encs_;
+  std::vector<EdKeyPair> pop_keys_;
+  std::vector<EdSig> pops_;
+  // Verification-result memo for kReal individual signatures (values only;
+  // bounded; not thread-safe — one Pki per worker via SetupCache).
+  mutable std::map<std::tuple<ProcessId, std::uint64_t, std::uint64_t>, bool>
+      verify_memo_;
+  mutable CryptoVerifyStats crypto_stats_;
   mutable std::uint64_t signatures_issued_ = 0;
   mutable std::vector<std::uint64_t> per_signer_issued_;
 };

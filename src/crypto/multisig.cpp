@@ -2,25 +2,25 @@
 
 namespace mewc {
 
-AggSignature aggregate_start(std::uint32_t n, const Signature& sig) {
+AggSignature aggregate_start(const Pki& pki, const Signature& sig) {
   AggSignature agg;
   agg.digest = sig.digest;
-  agg.signers = SignerSet(n);
+  agg.signers = SignerSet(pki.n());
   agg.signers.insert(sig.signer);
   agg.tag = sig.tag;
   return agg;
 }
 
-bool aggregate_add(AggSignature& agg, const Signature& sig) {
+bool aggregate_add(const Pki& pki, AggSignature& agg, const Signature& sig) {
   if (sig.digest != agg.digest) return false;
   if (!agg.signers.insert(sig.signer)) return false;
-  agg.tag ^= sig.tag;
+  agg.tag = pki.aggregate_fold(agg.tag, sig.tag);
   return true;
 }
 
 bool aggregate_verify(const Pki& pki, const AggSignature& agg) {
   const auto members = agg.signers.members();
-  return pki.verify_mac_xor(agg.digest, members, agg.tag);
+  return pki.verify_aggregate(agg.digest, members, agg.tag);
 }
 
 }  // namespace mewc

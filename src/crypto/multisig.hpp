@@ -3,9 +3,13 @@
 //
 // Used by the Dolev-Strong fallback (DESIGN.md SUB-1) to keep signature
 // chains at one tag regardless of chain length; the signer bitmap is metered
-// separately. The aggregate tag is the XOR of the individual MAC tags, which
+// separately. The fold dispatches on the Pki's backend: for the ideal
+// backends the aggregate tag is the XOR of the individual MAC tags (which
 // the adversary cannot produce for a set containing a correct process
-// without that process's handle (XOR of unknown independent MACs).
+// without that process's handle); for ThresholdBackend::kReal it is genuine
+// BLS point addition, verified by one pairing pair against the summed
+// public keys — whose proofs of possession at setup close the rogue-key
+// attack.
 #pragma once
 
 #include <span>
@@ -25,16 +29,16 @@ struct AggSignature {
 };
 
 /// Starts an aggregate from a single signature.
-[[nodiscard]] AggSignature aggregate_start(std::uint32_t n,
+[[nodiscard]] AggSignature aggregate_start(const Pki& pki,
                                            const Signature& sig);
 
 /// Folds one more signature into the aggregate. Returns false (and leaves
 /// the aggregate unchanged) if the digest mismatches or the signer is
 /// already present.
-bool aggregate_add(AggSignature& agg, const Signature& sig);
+bool aggregate_add(const Pki& pki, AggSignature& agg, const Signature& sig);
 
-/// Verifies the aggregate against the PKI: every claimed signer's MAC on the
-/// digest must XOR to the tag.
+/// Verifies the aggregate against the PKI (backend-dispatching: XOR-MAC
+/// recomputation or one aggregate pairing check).
 [[nodiscard]] bool aggregate_verify(const Pki& pki, const AggSignature& agg);
 
 }  // namespace mewc

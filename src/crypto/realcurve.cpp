@@ -1,0 +1,346 @@
+#include "crypto/realcurve.hpp"
+
+namespace mewc::rc {
+
+namespace {
+
+/// Branchless word select: mask is 0 or ~0.
+[[nodiscard]] constexpr std::uint64_t ct_select(std::uint64_t mask,
+                                                std::uint64_t a,
+                                                std::uint64_t b) {
+  return b ^ (mask & (a ^ b));
+}
+
+// Jacobian coordinates for the secret-scalar ladder: (X, Y, Z) with
+// x = X/Z^2, y = Y/Z^3; infinity is Z == 0. The unified add/dbl below always
+// execute the same multiplication sequence and resolve the special cases
+// (either operand at infinity, equal or opposite inputs) with branchless
+// selects, so the ladder's op trace is independent of the scalar.
+struct Jac {
+  std::uint64_t x = 1;
+  std::uint64_t y = 1;
+  std::uint64_t z = 0;
+};
+
+[[nodiscard]] constexpr std::uint64_t is_zero_mask(std::uint64_t v) {
+  // 0 -> ~0, nonzero -> 0.
+  return v == 0 ? ~0ULL : 0ULL;
+}
+
+void ct_swap(std::uint64_t mask, Jac& a, Jac& b) {
+  const std::uint64_t dx = mask & (a.x ^ b.x);
+  const std::uint64_t dy = mask & (a.y ^ b.y);
+  const std::uint64_t dz = mask & (a.z ^ b.z);
+  a.x ^= dx;
+  b.x ^= dx;
+  a.y ^= dy;
+  b.y ^= dy;
+  a.z ^= dz;
+  b.z ^= dz;
+}
+
+[[nodiscard]] Jac jac_dbl(const Jac& p) {
+  // dbl-2007-bl for y^2 = x^3 + a*x with a = 1. A 2-torsion input (Y = 0)
+  // or infinity (Z = 0) both land on Z3 = 0, which is infinity again.
+  const std::uint64_t xx = mul(p.x, p.x);
+  const std::uint64_t yy = mul(p.y, p.y);
+  const std::uint64_t yyyy = mul(yy, yy);
+  const std::uint64_t zz = mul(p.z, p.z);
+  const std::uint64_t xyy = add(p.x, yy);
+  std::uint64_t s = sub(sub(mul(xyy, xyy), xx), yyyy);
+  s = add(s, s);
+  const std::uint64_t m = add(add(add(xx, xx), xx), mul(zz, zz));
+  const std::uint64_t x3 = sub(mul(m, m), add(s, s));
+  std::uint64_t y8 = add(yyyy, yyyy);
+  y8 = add(y8, y8);
+  y8 = add(y8, y8);
+  const std::uint64_t y3 = sub(mul(m, sub(s, x3)), y8);
+  const std::uint64_t yz = add(p.y, p.z);
+  const std::uint64_t z3 = sub(sub(mul(yz, yz), yy), zz);
+  return Jac{x3, y3, z3};
+}
+
+[[nodiscard]] Jac jac_add(const Jac& p, const Jac& q) {
+  // add-2007-bl, with branchless fixups for Z1 = 0 / Z2 = 0 / P == Q /
+  // P == -Q so the ladder never takes a data-dependent branch.
+  const std::uint64_t z1z1 = mul(p.z, p.z);
+  const std::uint64_t z2z2 = mul(q.z, q.z);
+  const std::uint64_t u1 = mul(p.x, z2z2);
+  const std::uint64_t u2 = mul(q.x, z1z1);
+  const std::uint64_t s1 = mul(mul(p.y, q.z), z2z2);
+  const std::uint64_t s2 = mul(mul(q.y, p.z), z1z1);
+  const std::uint64_t h = sub(u2, u1);
+  const std::uint64_t r0 = sub(s2, s1);
+  const std::uint64_t r = add(r0, r0);
+  const std::uint64_t i4 = [&] {
+    const std::uint64_t h2 = add(h, h);
+    return mul(h2, h2);
+  }();
+  const std::uint64_t j = mul(h, i4);
+  const std::uint64_t v = mul(u1, i4);
+  std::uint64_t x3 = sub(sub(mul(r, r), j), add(v, v));
+  const std::uint64_t s1j = mul(s1, j);
+  std::uint64_t y3 = sub(mul(r, sub(v, x3)), add(s1j, s1j));
+  const std::uint64_t zs = add(p.z, q.z);
+  std::uint64_t z3 = mul(sub(sub(mul(zs, zs), z1z1), z2z2), h);
+
+  // P == Q (h == 0, r == 0): substitute the doubling.
+  const Jac dbl = jac_dbl(p);
+  const std::uint64_t same = is_zero_mask(h) & is_zero_mask(r0) &
+                             ~is_zero_mask(p.z) & ~is_zero_mask(q.z);
+  x3 = ct_select(same, dbl.x, x3);
+  y3 = ct_select(same, dbl.y, y3);
+  z3 = ct_select(same, dbl.z, z3);
+  // P == -Q (h == 0, r != 0) already yields z3 == 0 == infinity; fine.
+
+  // Either operand at infinity: return the other.
+  const std::uint64_t p_inf = is_zero_mask(p.z);
+  const std::uint64_t q_inf = is_zero_mask(q.z);
+  x3 = ct_select(q_inf, p.x, ct_select(p_inf, q.x, x3));
+  y3 = ct_select(q_inf, p.y, ct_select(p_inf, q.y, y3));
+  z3 = ct_select(q_inf, p.z, ct_select(p_inf, q.z, z3));
+  return Jac{x3, y3, z3};
+}
+
+[[nodiscard]] Point jac_to_affine(const Jac& p) {
+  if (p.z == 0) return Point{};
+  const std::uint64_t zi = inv(p.z);
+  const std::uint64_t zi2 = mul(zi, zi);
+  return Point{mul(p.x, zi2), mul(p.y, mul(zi2, zi)), false};
+}
+
+}  // namespace
+
+bool on_curve(Point p) {
+  if (p.inf) return true;
+  if (p.x >= kP || p.y >= kP) return false;
+  const std::uint64_t rhs = add(mul(mul(p.x, p.x), p.x), p.x);
+  return mul(p.y, p.y) == rhs;
+}
+
+Point point_neg(Point p) {
+  if (p.inf) return p;
+  return Point{p.x, neg(p.y), false};
+}
+
+Point point_dbl(Point p) {
+  if (p.inf || p.y == 0) return Point{};
+  const std::uint64_t lam =
+      mul(add(mul(3, mul(p.x, p.x)), 1), inv(add(p.y, p.y)));
+  const std::uint64_t x3 = sub(mul(lam, lam), add(p.x, p.x));
+  return Point{x3, sub(mul(lam, sub(p.x, x3)), p.y), false};
+}
+
+Point point_add(Point p, Point q) {
+  if (p.inf) return q;
+  if (q.inf) return p;
+  if (p.x == q.x) {
+    if (add(p.y, q.y) == 0) return Point{};  // q == -p
+    return point_dbl(p);
+  }
+  const std::uint64_t lam = mul(sub(q.y, p.y), inv(sub(q.x, p.x)));
+  const std::uint64_t x3 = sub(sub(mul(lam, lam), p.x), q.x);
+  return Point{x3, sub(mul(lam, sub(p.x, x3)), p.y), false};
+}
+
+Point scalar_mul(std::uint64_t k, Point p) {
+  if (p.inf) return p;
+  Jac r0;  // infinity
+  Jac r1{p.x, p.y, 1};
+  // Montgomery ladder over all 64 bit positions: per bit one add, one
+  // double, two conditional swaps — the trace never depends on k.
+  for (int i = 63; i >= 0; --i) {
+    const std::uint64_t mask = 0 - ((k >> i) & 1);
+    ct_swap(mask, r0, r1);
+    r1 = jac_add(r0, r1);
+    r0 = jac_dbl(r0);
+    ct_swap(mask, r0, r1);
+  }
+  return jac_to_affine(r0);
+}
+
+bool in_subgroup(Point p) {
+  if (p.inf) return true;
+  if (!on_curve(p)) return false;
+  return scalar_mul(kQ, p).inf;
+}
+
+std::uint64_t compress(Point p) {
+  if (p.inf) return kInfBit;
+  MEWC_CHECK_MSG(p.x < kP && p.y < kP, "non-canonical point");
+  return p.x | ((p.y & 1) << 61);
+}
+
+bool decompress(std::uint64_t enc, Point* out) {
+  if ((enc >> 63) != 0) return false;  // reserved bit
+  if (enc & kInfBit) {
+    if (enc != kInfBit) return false;  // canonical infinity has no payload
+    *out = Point{};
+    return true;
+  }
+  const std::uint64_t x = enc & (kSignBit - 1);
+  const std::uint64_t parity = (enc >> 61) & 1;
+  if (x >= kP) return false;
+  const std::uint64_t rhs = add(mul(mul(x, x), x), x);
+  const std::uint64_t y0 = sqrt(rhs);
+  if (mul(y0, y0) != rhs) return false;  // x is not on the curve
+  std::uint64_t y = y0;
+  if ((y & 1) != parity) y = neg(y);
+  if ((y & 1) != parity) return false;  // y == 0 with parity bit set
+  *out = Point{x, y, false};
+  return true;
+}
+
+Point hash_to_point(std::uint64_t h) {
+  std::uint64_t x = reduce(h);
+  for (;;) {
+    const std::uint64_t rhs = add(mul(mul(x, x), x), x);
+    const std::uint64_t y = sqrt(rhs);
+    if (mul(y, y) == rhs) {
+      // Clear the cofactor so the result lands in the order-q subgroup.
+      const Point p4 = point_dbl(point_dbl(Point{x, y, false}));
+      if (!p4.inf) return p4;
+    }
+    x = add(x, 1);
+  }
+}
+
+namespace {
+
+/// Non-adjacent form of kQ, MSB first: q = 2^59 - 2757, so the signed-digit
+/// representation has Hamming weight 7 versus ~52 for plain binary — the
+/// Miller loop runs almost addition-free.
+struct QNaf {
+  signed char digit[64] = {};
+  int len = 0;
+};
+
+[[nodiscard]] QNaf q_naf() {
+  QNaf out;
+  signed char rev[64];
+  int n = 0;
+  std::uint64_t k = kQ;
+  while (k != 0) {
+    if (k & 1) {
+      const signed char d = static_cast<signed char>(2 - (k & 3));
+      rev[n++] = d;
+      k -= static_cast<std::uint64_t>(d);  // d == -1 adds 1
+    } else {
+      rev[n++] = 0;
+    }
+    k >>= 1;
+  }
+  out.len = n;
+  for (int i = 0; i < n; ++i) out.digit[i] = rev[n - 1 - i];
+  return out;
+}
+
+}  // namespace
+
+Fp2 pairing(Point p, Point q) {
+  if (p.inf || q.inf) return fp2_one();
+  // Miller loop for f_{q,P} evaluated at phi(Q) = (-xQ, i*yQ), with three
+  // structural savings compounding:
+  //  1. Denominator elimination: vertical lines evaluate at phi(Q) to
+  //     GF(p) values, and every GF(p) value is killed by the (p - 1) factor
+  //     of the final exponentiation — verticals are skipped outright.
+  //  2. The same argument makes line values scale-invariant under any
+  //     nonzero GF(p) factor, so the accumulator point T stays in Jacobian
+  //     coordinates and lines are evaluated cleared of denominators: the
+  //     whole loop runs without a single field inversion.
+  //  3. The loop walks the NAF of q (weight 7), not its binary expansion.
+  // A chord/tangent line's imaginary part is yQ (times a nonzero scale),
+  // nonzero for affine Q, so line values are never zero mid-loop.
+  static const QNaf kNaf = q_naf();
+  const std::uint64_t xq = q.x;
+  const std::uint64_t yq = q.y;
+  Fp2 f = fp2_one();
+  // T = (X, Y, Z) Jacobian, x = X/Z^2, y = Y/Z^3; Z == 0 is infinity.
+  std::uint64_t tx = p.x;
+  std::uint64_t ty = p.y;
+  std::uint64_t tz = 1;
+
+  const auto dbl_step = [&] {
+    // Tangent at T scaled by 2*Y*Z^3:
+    //   (3X^2 + Z^4)(xQ*Z^2 + X) - 2Y^2  +  2*Y*Z^3*yQ * i
+    const std::uint64_t z2 = mul(tz, tz);
+    const std::uint64_t z3 = mul(tz, z2);
+    const std::uint64_t z4 = mul(z2, z2);
+    const std::uint64_t m = add(mul(3, mul(tx, tx)), z4);
+    const std::uint64_t y2 = mul(ty, ty);
+    const std::uint64_t yz3 = mul(ty, z3);
+    const Fp2 line{sub(mul(m, add(mul(xq, z2), tx)), add(y2, y2)),
+                   mul(add(yz3, yz3), yq)};
+    f = fp2_mul(f, line);
+    // dbl-2007-bl, as in jac_dbl.
+    const std::uint64_t xx = mul(tx, tx);
+    const std::uint64_t yyyy = mul(y2, y2);
+    const std::uint64_t xyy = add(tx, y2);
+    std::uint64_t s = sub(sub(mul(xyy, xyy), xx), yyyy);
+    s = add(s, s);
+    const std::uint64_t mm = add(add(add(xx, xx), xx), mul(z2, z2));
+    const std::uint64_t x3 = sub(mul(mm, mm), add(s, s));
+    std::uint64_t y8 = add(yyyy, yyyy);
+    y8 = add(y8, y8);
+    y8 = add(y8, y8);
+    const std::uint64_t y3 = sub(mul(mm, sub(s, x3)), y8);
+    const std::uint64_t yz = add(ty, tz);
+    const std::uint64_t z3n = sub(sub(mul(yz, yz), y2), z2);
+    tx = x3;
+    ty = y3;
+    tz = z3n;
+  };
+
+  for (int i = 1; i < kNaf.len; ++i) {
+    f = fp2_sq(f);
+    if (tz != 0) {
+      if (ty == 0) {
+        tz = 0;  // vertical tangent: GF(p)-valued line, eliminated
+      } else {
+        dbl_step();
+      }
+    }
+    const signed char d = kNaf.digit[i];
+    if (d != 0) {
+      const std::uint64_t px = p.x;
+      const std::uint64_t py = d == 1 ? p.y : neg(p.y);
+      if (tz == 0) {
+        tx = px;
+        ty = py;
+        tz = 1;
+        continue;
+      }
+      const std::uint64_t z2 = mul(tz, tz);
+      const std::uint64_t z3 = mul(tz, z2);
+      const std::uint64_t u = sub(mul(px, z2), tx);  // H (mixed add)
+      const std::uint64_t s = sub(mul(py, z3), ty);  // r
+      if (u == 0 && s == 0) {
+        // T == +-P: the chord degenerates to the tangent; T + P == 2T.
+        dbl_step();
+      } else if (u == 0) {
+        tz = 0;  // T == -(+-P): vertical chord, eliminated
+      } else {
+        // Chord through T and (px, py) scaled by u*Z:
+        //   s*(xQ + px) - py*u*Z  +  u*Z*yQ * i
+        const std::uint64_t uz = mul(u, tz);
+        f = fp2_mul(f, Fp2{sub(mul(s, add(xq, px)), mul(py, uz)),
+                           mul(uz, yq)});
+        // madd-2007-bl mixed addition.
+        const std::uint64_t h2 = mul(u, u);
+        const std::uint64_t h3 = mul(u, h2);
+        const std::uint64_t v = mul(tx, h2);
+        const std::uint64_t x3 = sub(sub(mul(s, s), h3), add(v, v));
+        const std::uint64_t y3 = sub(mul(s, sub(v, x3)), mul(ty, h3));
+        tx = x3;
+        ty = y3;
+        tz = mul(tz, u);
+      }
+    }
+  }
+  // Final exponentiation by (p^2 - 1)/q = 4(p - 1): f^(p-1) is
+  // conj(f) * f^-1 (Frobenius is conjugation), then square twice.
+  const Fp2 g = fp2_mul(fp2_conj(f), fp2_inv(f));
+  return fp2_sq(fp2_sq(g));
+}
+
+}  // namespace mewc::rc

@@ -139,9 +139,14 @@ void Engine::finish() {
   MEWC_CHECK(next_commit_ == next_slot_);
   stats_.setup_cache_hits = 0;
   stats_.setup_cache_misses = 0;
+  stats_.crypto_pairings = 0;
+  stats_.crypto_memo_hits = 0;
   for (const auto& cache : caches_) {
     stats_.setup_cache_hits += cache->hits();
     stats_.setup_cache_misses += cache->misses();
+    const CryptoVerifyStats crypto = cache->crypto_verify_stats();
+    stats_.crypto_pairings += crypto.pairings;
+    stats_.crypto_memo_hits += crypto.memo_hits;
   }
   stats_.backpressure_waits =
       window_waits_ + scheduler_.stats().backpressure_waits;

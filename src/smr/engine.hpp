@@ -74,6 +74,13 @@ struct EngineStats {
   /// is deterministic.
   std::uint64_t setup_cache_hits = 0;
   std::uint64_t setup_cache_misses = 0;
+  /// kReal crypto verification work summed over the workers' setup caches
+  /// (zero under the ideal backends): pairings actually evaluated, and
+  /// verifications answered from the per-family memo instead. High memo
+  /// traffic is the amortization story — one aggregate verify per quorum
+  /// cert, then cache hits as the same cert recurs across phases and slots.
+  std::uint64_t crypto_pairings = 0;
+  std::uint64_t crypto_memo_hits = 0;
   /// Largest number of completed-but-uncommitted instances observed.
   std::uint64_t max_reorder_depth = 0;
   /// submit() calls that blocked on the pipeline window plus, from the

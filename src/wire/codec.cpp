@@ -16,6 +16,17 @@ namespace {
 // Byte primitives (Writer/Reader) live in wire/frame.hpp, shared with the
 // durable WAL/snapshot formats.
 
+// When set, every signature/certificate tag field encodes as zero. This is
+// the semantic projection behind encode_semantic(): tags are the one wire
+// field that legitimately differs between crypto backends (a MAC vs a
+// compressed curve point over the same digest), so the cross-backend
+// differential harness compares transcripts with tags masked and everything
+// else — values, digests, signer sets, thresholds — byte-exact.
+// Thread-local because campaign workers encode concurrently.
+thread_local bool g_mask_tags = false;
+
+std::uint64_t tag_bits(std::uint64_t tag) { return g_mask_tags ? 0 : tag; }
+
 // ---------------------------------------------------------------------------
 // Compound field codecs.
 // ---------------------------------------------------------------------------
@@ -23,7 +34,7 @@ namespace {
 void put_signature(Writer& w, const Signature& s) {
   w.u32(s.signer);
   w.u64(s.digest.bits);
-  w.u64(s.tag);
+  w.u64(tag_bits(s.tag));
 }
 
 Signature get_signature(Reader& r) {
@@ -38,7 +49,7 @@ void put_partial(Writer& w, const PartialSig& p) {
   w.u32(p.signer);
   w.u64(p.digest.bits);
   w.u32(p.k);
-  w.u64(p.tag);
+  w.u64(tag_bits(p.tag));
 }
 
 PartialSig get_partial(Reader& r) {
@@ -53,7 +64,7 @@ PartialSig get_partial(Reader& r) {
 void put_threshold(Writer& w, const ThresholdSig& t) {
   w.u64(t.digest.bits);
   w.u32(t.k);
-  w.u64(t.tag);
+  w.u64(tag_bits(t.tag));
 }
 
 ThresholdSig get_threshold(Reader& r) {
@@ -88,7 +99,7 @@ std::optional<SignerSet> get_signer_set(Reader& r) {
 
 void put_agg(Writer& w, const AggSignature& a) {
   w.u64(a.digest.bits);
-  w.u64(a.tag);
+  w.u64(tag_bits(a.tag));
   put_signer_set(w, a.signers);
 }
 
@@ -274,6 +285,13 @@ bool encode_into(const Payload& payload, std::vector<std::uint8_t>& out) {
   // Hand the storage back to the caller on every exit path.
   out = w.take();
   if (!ok) out.clear();
+  return ok;
+}
+
+bool encode_semantic(const Payload& payload, std::vector<std::uint8_t>& out) {
+  g_mask_tags = true;
+  const bool ok = encode_into(payload, out);
+  g_mask_tags = false;
   return ok;
 }
 

@@ -57,6 +57,14 @@ enum class WireType : std::uint8_t {
 [[nodiscard]] bool encode_into(const Payload& payload,
                                std::vector<std::uint8_t>& out);
 
+/// Like encode_into, but every signature/certificate tag field encodes as
+/// zero. Tags are the one field whose bytes legitimately differ between
+/// crypto backends (a MAC vs a compressed curve point over the same
+/// digest); this projection is what MessageLog::semantic_digest() hashes to
+/// pin ideal <-> real transcript equivalence on everything else.
+[[nodiscard]] bool encode_semantic(const Payload& payload,
+                                   std::vector<std::uint8_t>& out);
+
 /// Parses a payload. Returns nullptr on any malformed input: unknown tag,
 /// truncation, trailing garbage, or out-of-range field.
 [[nodiscard]] PayloadPtr decode(std::span<const std::uint8_t> bytes);

@@ -87,8 +87,8 @@ class DsEquivocator final : public Adversary {
       msg->instance = who_;
       msg->value = WireValue::plain(v);
       msg->chain = aggregate_start(
-          ctrl.n(), key.sign(fallback::ds_relay_digest(instance_, who_,
-                                                       msg->value)));
+          ctrl.crypto().pki(),
+          key.sign(fallback::ds_relay_digest(instance_, who_, msg->value)));
       return msg;
     };
     const auto m0 = relay_for(v0_);
@@ -209,10 +209,10 @@ class DsEngineUnit : public ::testing::Test {
     for (ProcessId s : signers) {
       const Signature sig = bundles_[s].signer().sign(d);
       if (first) {
-        m->chain = aggregate_start(kN, sig);
+        m->chain = aggregate_start(family_.pki(), sig);
         first = false;
       } else {
-        aggregate_add(m->chain, sig);
+        aggregate_add(family_.pki(), m->chain, sig);
       }
     }
     return m;

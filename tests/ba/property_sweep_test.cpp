@@ -106,7 +106,7 @@ TEST(PropertySweep, ShamirBackendCarriesProtocols) {
   grid.fs = {0, 1, 2};
   grid.adversaries = {"crash"};
   grid.seeds = {5};
-  grid.backend = ThresholdBackend::kShamir;
+  grid.backends = {ThresholdBackend::kShamir};
   expect_all_pass(grid);
 }
 

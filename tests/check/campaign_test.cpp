@@ -35,7 +35,8 @@ TEST(GridSpec, ParsesFullGridJson) {
   EXPECT_EQ(grid.protocols,
             (std::vector<Protocol>{Protocol::kWeakBa, Protocol::kBb}));
   EXPECT_EQ(grid.sizes.size(), 2u);
-  EXPECT_EQ(grid.backend, ThresholdBackend::kShamir);
+  EXPECT_EQ(grid.backends,
+            std::vector<ThresholdBackend>{ThresholdBackend::kShamir});
   EXPECT_TRUE(grid.codec_roundtrip);
   EXPECT_EQ(grid.value, 9u);
   EXPECT_EQ(grid.checkers.word_budget_c, 40u);
@@ -133,7 +134,7 @@ TEST(CampaignSweep, ShamirBackendCarriesTheProtocolsEndToEnd) {
   grid.fs = {0, 1};
   grid.adversaries = {"crash"};
   grid.seeds = {3};
-  grid.backend = ThresholdBackend::kShamir;
+  grid.backends = {ThresholdBackend::kShamir};
   const auto report = run_campaign(grid);
   EXPECT_EQ(report.cells_passed, report.cells_total);
 }

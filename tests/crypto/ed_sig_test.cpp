@@ -1,0 +1,141 @@
+// Schnorr signatures over the real curve: determinism, strictness
+// (non-canonical encodings and s >= q rejected — the non-malleability
+// property), forgery rejection, and known-answer vectors. These signatures
+// certify the BLS keys at trusted setup, so a silent behavioral change here
+// reopens the rogue-key attack.
+#include "crypto/ed_sig.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mewc {
+namespace {
+
+std::vector<std::uint8_t> msg_bytes(std::initializer_list<std::uint8_t> b) {
+  return std::vector<std::uint8_t>(b);
+}
+
+TEST(EdSig, SignVerifyRoundTrip) {
+  const EdKeyPair kp = ed_keygen(42);
+  const auto msg = msg_bytes({1, 2, 3, 4});
+  const EdSig sig = ed_sign(kp, msg);
+  EXPECT_TRUE(ed_verify(kp.pk_enc, msg, sig));
+}
+
+TEST(EdSig, DeterministicPerKeyAndMessage) {
+  const EdKeyPair kp = ed_keygen(7);
+  const auto msg = msg_bytes({9, 9, 9});
+  const EdSig a = ed_sign(kp, msg);
+  const EdSig b = ed_sign(kp, msg);
+  EXPECT_EQ(a.r_enc, b.r_enc);
+  EXPECT_EQ(a.s, b.s);
+  // Different message, different nonce commitment (with overwhelming
+  // probability; equality would mean the nonce ignores the message).
+  const EdSig c = ed_sign(kp, msg_bytes({9, 9, 8}));
+  EXPECT_NE(a.r_enc, c.r_enc);
+}
+
+TEST(EdSig, KeygenIsSeedDeterministicAndSeedSeparated) {
+  const EdKeyPair a1 = ed_keygen(1234);
+  const EdKeyPair a2 = ed_keygen(1234);
+  EXPECT_EQ(a1.sk, a2.sk);
+  EXPECT_EQ(a1.pk_enc, a2.pk_enc);
+  EXPECT_NE(ed_keygen(1235).pk_enc, a1.pk_enc);
+  // sk is canonical and usable: in [1, q).
+  EXPECT_GE(a1.sk, 1u);
+  EXPECT_LT(a1.sk, rc::kQ);
+}
+
+TEST(EdSig, RejectsWrongMessageKeyOrSignature) {
+  const EdKeyPair kp = ed_keygen(42);
+  const EdKeyPair other = ed_keygen(43);
+  const auto msg = msg_bytes({1, 2, 3, 4});
+  const EdSig sig = ed_sign(kp, msg);
+
+  EXPECT_FALSE(ed_verify(kp.pk_enc, msg_bytes({1, 2, 3, 5}), sig));
+  EXPECT_FALSE(ed_verify(other.pk_enc, msg, sig));
+  EXPECT_FALSE(ed_verify(kp.pk_enc, msg_bytes({}), sig));
+}
+
+TEST(EdSig, EveryBitFlipOfTheSignatureIsRejected) {
+  const EdKeyPair kp = ed_keygen(0xfeed);
+  const auto msg = msg_bytes({0xaa, 0xbb, 0xcc});
+  const EdSig sig = ed_sign(kp, msg);
+  ASSERT_TRUE(ed_verify(kp.pk_enc, msg, sig));
+  for (int bit = 0; bit < 64; ++bit) {
+    EdSig r_flip = sig;
+    r_flip.r_enc ^= 1ULL << bit;
+    EXPECT_FALSE(ed_verify(kp.pk_enc, msg, r_flip)) << "R bit " << bit;
+    EdSig s_flip = sig;
+    s_flip.s ^= 1ULL << bit;
+    EXPECT_FALSE(ed_verify(kp.pk_enc, msg, s_flip)) << "s bit " << bit;
+  }
+}
+
+TEST(EdSig, RejectsMalleatedScalar) {
+  const EdKeyPair kp = ed_keygen(5);
+  const auto msg = msg_bytes({1});
+  EdSig sig = ed_sign(kp, msg);
+  ASSERT_LT(sig.s, rc::kQ) << "signer emitted non-canonical s";
+  // s + q is the classic malleation: same algebra mod q, different bytes.
+  // Strict verification must reject it outright.
+  sig.s += rc::kQ;
+  EXPECT_FALSE(ed_verify(kp.pk_enc, msg, sig));
+  sig.s = rc::kQ;  // exactly q (== 0 mod q, but non-canonical)
+  EXPECT_FALSE(ed_verify(kp.pk_enc, msg, sig));
+}
+
+TEST(EdSig, RejectsNonCanonicalCommitmentEncoding) {
+  const EdKeyPair kp = ed_keygen(5);
+  const auto msg = msg_bytes({1});
+  EdSig sig = ed_sign(kp, msg);
+  // Setting the reserved bit re-encodes R without changing any decoded
+  // value a lax decoder would produce; strictness means rejection.
+  sig.r_enc |= 1ULL << 63;
+  EXPECT_FALSE(ed_verify(kp.pk_enc, msg, sig));
+}
+
+TEST(EdSig, RejectsGarbagePublicKey) {
+  const EdKeyPair kp = ed_keygen(11);
+  const auto msg = msg_bytes({1, 2});
+  const EdSig sig = ed_sign(kp, msg);
+  EXPECT_FALSE(ed_verify(rc::kBadEncoding, msg, sig));
+  EXPECT_FALSE(ed_verify(rc::kInfBit, msg, sig));  // identity as pk
+  EXPECT_FALSE(ed_verify(rc::kP, msg, sig));       // non-canonical x
+}
+
+// Known-answer vectors for the setup-certification signatures.
+TEST(EdSigGolden, VectorsMatchCheckedInFixture) {
+  std::ostringstream os;
+  for (std::uint64_t seed : {1ULL, 42ULL, 0xed90bULL}) {
+    const EdKeyPair kp = ed_keygen(seed);
+    const auto msg = msg_bytes({0x6d, 0x65, 0x77, 0x63});  // "mewc"
+    const EdSig sig = ed_sign(kp, msg);
+    os << "seed=" << seed << " pk=" << kp.pk_enc << " R=" << sig.r_enc
+       << " s=" << sig.s << "\n";
+  }
+  const std::string path =
+      std::string(MEWC_CRYPTO_GOLDEN_DIR) + "/ed_sig_v1.txt";
+  if (std::getenv("MEWC_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << os.str();
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (regenerate with MEWC_UPDATE_GOLDEN=1)";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), os.str())
+      << "signature bytes drifted — setup certification is no longer "
+         "reproducible; if deliberate, regenerate with MEWC_UPDATE_GOLDEN=1";
+}
+
+}  // namespace
+}  // namespace mewc

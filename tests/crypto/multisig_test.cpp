@@ -18,44 +18,44 @@ class MultisigTest : public ::testing::Test {
 };
 
 TEST_F(MultisigTest, SingleSignerAggregateVerifies) {
-  const AggSignature agg = aggregate_start(kN, sig(0, 1));
+  const AggSignature agg = aggregate_start(pki_, sig(0, 1));
   EXPECT_EQ(agg.signers.count(), 1u);
   EXPECT_TRUE(aggregate_verify(pki_, agg));
 }
 
 TEST_F(MultisigTest, ManySignersAggregateVerifies) {
-  AggSignature agg = aggregate_start(kN, sig(0, 1));
+  AggSignature agg = aggregate_start(pki_, sig(0, 1));
   for (ProcessId p = 1; p < kN; ++p) {
-    EXPECT_TRUE(aggregate_add(agg, sig(p, 1)));
+    EXPECT_TRUE(aggregate_add(pki_, agg, sig(p, 1)));
   }
   EXPECT_EQ(agg.signers.count(), kN);
   EXPECT_TRUE(aggregate_verify(pki_, agg));
 }
 
 TEST_F(MultisigTest, DuplicateSignerRejected) {
-  AggSignature agg = aggregate_start(kN, sig(0, 1));
-  EXPECT_FALSE(aggregate_add(agg, sig(0, 1)));
+  AggSignature agg = aggregate_start(pki_, sig(0, 1));
+  EXPECT_FALSE(aggregate_add(pki_, agg, sig(0, 1)));
   EXPECT_EQ(agg.signers.count(), 1u);
   EXPECT_TRUE(aggregate_verify(pki_, agg));  // unchanged, still valid
 }
 
 TEST_F(MultisigTest, DigestMismatchRejected) {
-  AggSignature agg = aggregate_start(kN, sig(0, 1));
-  EXPECT_FALSE(aggregate_add(agg, sig(1, 2)));
+  AggSignature agg = aggregate_start(pki_, sig(0, 1));
+  EXPECT_FALSE(aggregate_add(pki_, agg, sig(1, 2)));
 }
 
 TEST_F(MultisigTest, ClaimingExtraSignerFailsVerification) {
   // The forgery the Dolev-Strong chains must resist: adding a signer to the
   // bitmap without folding in its (unknown) MAC.
-  AggSignature agg = aggregate_start(kN, sig(0, 1));
-  aggregate_add(agg, sig(1, 1));
+  AggSignature agg = aggregate_start(pki_, sig(0, 1));
+  aggregate_add(pki_, agg, sig(1, 1));
   agg.signers.insert(2);
   EXPECT_FALSE(aggregate_verify(pki_, agg));
 }
 
 TEST_F(MultisigTest, DroppingSignerFailsVerification) {
-  AggSignature agg = aggregate_start(kN, sig(0, 1));
-  aggregate_add(agg, sig(1, 1));
+  AggSignature agg = aggregate_start(pki_, sig(0, 1));
+  aggregate_add(pki_, agg, sig(1, 1));
   AggSignature shrunk;
   shrunk.digest = agg.digest;
   shrunk.signers = SignerSet(kN);
@@ -65,13 +65,13 @@ TEST_F(MultisigTest, DroppingSignerFailsVerification) {
 }
 
 TEST_F(MultisigTest, TamperedTagFailsVerification) {
-  AggSignature agg = aggregate_start(kN, sig(0, 1));
+  AggSignature agg = aggregate_start(pki_, sig(0, 1));
   agg.tag ^= 0xdead;
   EXPECT_FALSE(aggregate_verify(pki_, agg));
 }
 
 TEST_F(MultisigTest, WordCostIsTagPlusBitmap) {
-  AggSignature agg = aggregate_start(kN, sig(0, 1));
+  AggSignature agg = aggregate_start(pki_, sig(0, 1));
   EXPECT_EQ(agg.words(), 1u + (kN + 63) / 64);
 }
 

@@ -46,6 +46,30 @@ TEST(SemTaint, VerifyBeforeSinkIsClean) {
   EXPECT_FALSE(fires(diags, "R-taint"));
 }
 
+TEST(SemTaint, RealBackendVerifyEntryPointsSanitize) {
+  // The kReal backend introduced new verification surfaces (pairing batch
+  // verification, aggregate checks, proofs of possession). Each must count
+  // as a sanitizer, or real-backend call sites would need allow() noise —
+  // and a rename that drops the "verify" stem would silently stop
+  // sanitizing, which this pin catches.
+  for (const char* call :
+       {"real->verify_batch(v->sigs)", "pki.verify_aggregate(v->d, v->tag)",
+        "pki.verify_pop(v->pid, v->pk, v->pop)",
+        "ed_verify(v->pk, v->msg, v->sig)",
+        "bls_verify_at(v->pk, v->h, v->tag, nullptr)"}) {
+    const auto diags =
+        sem_one("src/ba/fake/fixture.cpp",
+                std::string("void S::on(const M& m) {\n"
+                            "  const auto* v = payload_cast<Vote>(m.body);\n"
+                            "  if (!") +
+                    call +
+                    ") return;\n"
+                    "  voters.insert(v->signer);\n"
+                    "}\n");
+    EXPECT_FALSE(fires(diags, "R-taint")) << call;
+  }
+}
+
 TEST(SemTaint, TaintFlowsThroughAssignment) {
   const auto diags = sem_one("src/ba/fake/fixture.cpp",
                              "void S::on(const M& m) {\n"

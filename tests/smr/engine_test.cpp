@@ -182,9 +182,11 @@ TEST(SmrEngine, EmptyRunFinishesClean) {
 // ---------------------------------------------------------------------------
 // Setup cache: cached and fresh families must be indistinguishable.
 
-harness::RunSpec cache_spec(harness::SetupCache* cache) {
+harness::RunSpec cache_spec(harness::SetupCache* cache,
+                            ThresholdBackend backend) {
   harness::RunSpec spec = harness::RunSpec::with(5, 2);
   spec.seed = 0xcafe;
+  spec.backend = backend;
   spec.setup_cache = cache;
   return spec;
 }
@@ -196,8 +198,9 @@ struct TranscriptResult {
   bool agreement = false;
 };
 
-TranscriptResult run_weak_ba_transcript(harness::SetupCache* cache) {
-  harness::RunSpec spec = cache_spec(cache);
+TranscriptResult run_weak_ba_transcript(harness::SetupCache* cache,
+                                        ThresholdBackend backend) {
+  harness::RunSpec spec = cache_spec(cache, backend);
   check::MessageLog log;
   spec.recorder = [&log](const Message& m, bool correct) {
     log.observe(m, correct);
@@ -215,12 +218,19 @@ TranscriptResult run_weak_ba_transcript(harness::SetupCache* cache) {
   return res;
 }
 
-TEST(SetupCache, CachedRunsMatchFreshRunsBitForBit) {
-  const TranscriptResult fresh = run_weak_ba_transcript(nullptr);
+/// Cached-vs-fresh transcript identity must hold for every backend — under
+/// kReal this additionally proves the verification memos cache values only
+/// (a memo that changed a tag or a decision would split the digests).
+class SetupCacheBackends
+    : public ::testing::TestWithParam<ThresholdBackend> {};
+
+TEST_P(SetupCacheBackends, CachedRunsMatchFreshRunsBitForBit) {
+  const ThresholdBackend backend = GetParam();
+  const TranscriptResult fresh = run_weak_ba_transcript(nullptr, backend);
 
   harness::SetupCache cache;
-  const TranscriptResult first = run_weak_ba_transcript(&cache);
-  const TranscriptResult second = run_weak_ba_transcript(&cache);
+  const TranscriptResult first = run_weak_ba_transcript(&cache, backend);
+  const TranscriptResult second = run_weak_ba_transcript(&cache, backend);
   EXPECT_EQ(cache.misses(), 1u);
   EXPECT_EQ(cache.hits(), 1u);
 
@@ -232,6 +242,14 @@ TEST(SetupCache, CachedRunsMatchFreshRunsBitForBit) {
     EXPECT_EQ(r->agreement, fresh.agreement);
   }
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, SetupCacheBackends,
+    ::testing::Values(ThresholdBackend::kSim, ThresholdBackend::kShamir,
+                      ThresholdBackend::kReal),
+    [](const ::testing::TestParamInfo<ThresholdBackend>& info) {
+      return std::string(backend_name(info.param));
+    });
 
 TEST(SetupCache, DistinctConfigurationsGetDistinctFamilies) {
   harness::SetupCache cache;

@@ -164,8 +164,8 @@ class CodecFuzzTest : public ::testing::Test {
     fallback::DsRelayMsg relay;
     relay.instance = 2;
     relay.value = WireValue::plain(Value(5));
-    relay.chain = aggregate_start(5, sig(2));
-    aggregate_add(relay.chain, sig(3));
+    relay.chain = aggregate_start(family_.pki(), sig(2));
+    aggregate_add(family_.pki(), relay.chain, sig(3));
     add(relay);
 
     auto inner = std::make_shared<bb::ReplyValueMsg>();

@@ -198,8 +198,8 @@ TEST_F(CodecTest, DsRelayRoundTripPreservesChainVerification) {
   fallback::DsRelayMsg m;
   m.instance = 2;
   m.value = WireValue::plain(Value(5));
-  m.chain = aggregate_start(5, sig(2));
-  aggregate_add(m.chain, sig(3));
+  m.chain = aggregate_start(family_.pki(), sig(2));
+  aggregate_add(family_.pki(), m.chain, sig(3));
   auto out = rt(m);
   EXPECT_EQ(out->instance, 2u);
   EXPECT_EQ(out->chain.signers.count(), 2u);
@@ -296,7 +296,7 @@ TEST_F(CodecTest, DecodeRejectsTruncationAtEveryPrefix) {
     fallback::DsRelayMsg m;
     m.instance = 1;
     m.value = WireValue::plain(Value(2));
-    m.chain = aggregate_start(5, sig(1));
+    m.chain = aggregate_start(family_.pki(), sig(1));
     encodings.push_back(*wire::encode(m));
   }
   for (const auto& bytes : encodings) {

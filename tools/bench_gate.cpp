@@ -78,6 +78,13 @@ const std::vector<SchemaSpec> kSchemas = {
          // Time ratio of durable vs plain sweeps — wall-clock, not a
          // counter, despite the name.
          {"durability.wal_overhead_ratio", false, false},
+         // Real-backend amortization counters: pairings and memo hits for
+         // the fixed backend-sweep workload reproduce exactly, so drift
+         // means batching or memoization changed. The slowdown ratio is
+         // wall-clock (advisory under --rates-advisory).
+         {"backend_sweep.real_pairings", false, true},
+         {"backend_sweep.real_memo_hits", true, true},
+         {"backend_sweep.real_slowdown_vs_sim", false, false},
      }},
 };
 

@@ -13,11 +13,11 @@
 //   mewc_sim [--protocol NAME]      (names: mewc_sim --help)
 //            [--t T] [--n N] [--f F]
 //            [--adversary NAME]     (mewc_vopr --list shows all names)
-//            [--value V] [--sender S] [--seed SEED] [--backend sim|shamir]
+//            [--value V] [--sender S] [--seed SEED] [--backend sim|shamir|real]
 //            [--by-kind] [--by-round]
 //   mewc_sim --smr [--slots K] [--workers W] [--queue Q]
 //            [--checkpoint-every C] [--t T] [--n N] [--seed SEED]
-//            [--backend sim|shamir] [--wal-dir DIR] [--recover]
+//            [--backend sim|shamir|real] [--wal-dir DIR] [--recover]
 //
 // In --smr mode the checkpoint cadence defaults to 8 (pass
 // --checkpoint-every 0 to disable), and a run that should have sealed
@@ -95,7 +95,7 @@ std::string driver_names_joined() {
       "          [--t T] [--n N] [--f F]\n"
       "          [--adversary NAME]  (names: see below)\n"
       "          [--value V] [--sender S] [--seed SEED]\n"
-      "          [--backend sim|shamir] [--by-kind] [--by-round]\n"
+      "          [--backend sim|shamir|real] [--by-kind] [--by-round]\n"
       "       %s --smr [--slots K] [--workers W] [--queue Q]\n"
       "          [--checkpoint-every C] [--t T] [--n N] [--seed SEED]\n"
       "          [--wal-dir DIR] [--recover]\n",
@@ -242,7 +242,13 @@ int run_one(const Options& o) {
   harness::RunSpec spec = o.n == 0 ? harness::RunSpec::for_t(o.t)
                                    : harness::RunSpec::with(o.n, o.t);
   spec.seed = o.seed;
-  if (o.backend == "shamir") spec.backend = ThresholdBackend::kShamir;
+  const auto backend = parse_backend(o.backend);
+  if (!backend) {
+    std::fprintf(stderr, "unknown backend '%s' (expected sim|shamir|real)\n",
+                 o.backend.c_str());
+    return 2;
+  }
+  spec.backend = *backend;
 
   std::printf("protocol=%s %s adversary=%s f=%u\n\n", driver->name(),
               spec.describe().c_str(), o.adversary.c_str(), o.f);
@@ -283,7 +289,13 @@ int run_smr(const Options& o) {
   smr::EngineConfig config;
   config.t = o.t;
   config.n = o.n == 0 ? 2 * o.t + 1 : o.n;
-  if (o.backend == "shamir") config.backend = ThresholdBackend::kShamir;
+  const auto backend = parse_backend(o.backend);
+  if (!backend) {
+    std::fprintf(stderr, "unknown backend '%s' (expected sim|shamir|real)\n",
+                 o.backend.c_str());
+    return 2;
+  }
+  config.backend = *backend;
   config.seed = o.seed;
   config.workers = o.workers;
   config.queue_capacity = o.queue;

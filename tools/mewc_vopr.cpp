@@ -78,6 +78,7 @@ struct Options {
   bool cells = false;
   bool shrink = true;
   bool trace = true;
+  std::string backend;  // campaign mode: override the grid's backends axis
   std::optional<std::uint64_t> word_budget_c;
   std::uint32_t max_shrink_runs = 96;
   // Fuzz mode.
@@ -96,7 +97,7 @@ struct Options {
       stderr,
       "usage: %s --grid FILE [--jobs N] [--report FILE] [--cells]\n"
       "          [--no-shrink] [--replay-out FILE] [--word-budget-c C]\n"
-      "          [--max-shrink-runs N]\n"
+      "          [--max-shrink-runs N] [--backend sim|shamir|real]\n"
       "       %s --crash-grid FILE [--jobs N] [--report FILE] [--cells]\n"
       "          [--no-shrink] [--replay-out FILE] [--max-shrink-runs N]\n"
       "       %s --fuzz --budget N [--seed S] [--jobs N] [--corpus DIR]\n"
@@ -141,6 +142,8 @@ Options parse(int argc, char** argv) {
       o.trace = false;
     } else if (!std::strcmp(argv[i], "--list")) {
       o.list = true;
+    } else if (!std::strcmp(argv[i], "--backend")) {
+      o.backend = need();
     } else if (!std::strcmp(argv[i], "--word-budget-c")) {
       o.word_budget_c = mewc::tools::parse_u64("--word-budget-c", need());
     } else if (!std::strcmp(argv[i], "--max-shrink-runs")) {
@@ -211,6 +214,15 @@ int run_campaign_mode(const Options& o) {
     return 2;
   }
   if (o.word_budget_c) grid.checkers.word_budget_c = *o.word_budget_c;
+  if (!o.backend.empty()) {
+    const auto backend = parse_backend(o.backend);
+    if (!backend) {
+      std::fprintf(stderr, "unknown backend '%s' (expected sim|shamir|real)\n",
+                   o.backend.c_str());
+      return 2;
+    }
+    grid.backends = {*backend};
+  }
 
   const auto cells = grid.enumerate();
   std::printf("campaign: %zu cells from %s (C = %llu)\n", cells.size(),
