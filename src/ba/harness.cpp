@@ -48,22 +48,25 @@ Result run_protocol(const RunSpec& spec, Round rounds, Adversary& adversary,
     processes.push_back(make(ctx, family));
   }
 
-  Executor exec(family, std::move(bundles), std::move(processes), adversary);
-  if (spec.codec_roundtrip) exec.set_payload_transform(wire::roundtrip);
-  if (spec.recorder) exec.set_message_recorder(spec.recorder);
-  exec.run(rounds);
+  ExecutorHooks hooks;
+  if (spec.codec_roundtrip) hooks.transform = wire::roundtrip;
+  hooks.recorder = spec.recorder;
+  const std::unique_ptr<IExecutor> exec =
+      make_executor(spec.executor, family, std::move(bundles),
+                    std::move(processes), adversary, std::move(hooks));
+  exec->run(rounds);
   if (spec.on_teardown) spec.on_teardown(family);
 
   Result res;
-  res.meter = exec.meter();
-  res.corrupted = exec.corrupted();
+  res.meter = exec->meter();
+  res.corrupted = exec->corrupted();
   res.signatures_issued = family.pki().signatures_issued();
   res.rounds = rounds;
   for (ProcessId p = 0; p < spec.n; ++p) {
-    if (exec.is_corrupted(p)) {
+    if (exec->is_corrupted(p)) {
       collect(res, p, nullptr);
     } else {
-      collect(res, p, static_cast<const Proc*>(&exec.process(p)));
+      collect(res, p, static_cast<const Proc*>(&exec->process(p)));
     }
   }
   return res;
@@ -118,6 +121,7 @@ std::string RunSpec::describe() const {
   if (backend == ThresholdBackend::kShamir) s += " backend=shamir";
   if (backend == ThresholdBackend::kReal) s += " backend=real";
   if (codec_roundtrip) s += " roundtrip";
+  if (executor == ExecutorKind::kEvent) s += " exec=event";
   return s;
 }
 

@@ -76,6 +76,10 @@ struct RunSpec {
   /// codec (src/wire): proves the run does not depend on in-memory payload
   /// sharing. Off by default (it costs time, not behaviour).
   bool codec_roundtrip = false;
+  /// Which IExecutor implementation drives the run (DESIGN.md §14). Both
+  /// kinds produce bit-identical transcripts, meters and decisions — the
+  /// DST smoke grid pins this — so the choice costs time, not behaviour.
+  ExecutorKind executor = ExecutorKind::kLockstep;
   /// Reuse the trusted setup from this cache instead of regenerating it
   /// (see SetupCache). Borrowed, may be nullptr; the caller keeps the cache
   /// alive for the duration of the run.

@@ -37,17 +37,20 @@ std::vector<CellSpec> GridSpec::enumerate() const {
         for (const std::string& adv : adversaries) {
           for (const std::uint64_t seed : seeds) {
             for (const ThresholdBackend backend : backends) {
-              CellSpec cell;
-              cell.protocol = proto;
-              cell.n = n;
-              cell.t = size.t;
-              cell.f = f;
-              cell.adversary = adv;
-              cell.seed = seed;
-              cell.backend = backend;
-              cell.codec_roundtrip = codec_roundtrip;
-              cell.value = value;
-              cells.push_back(std::move(cell));
+              for (const ExecutorKind executor : executors) {
+                CellSpec cell;
+                cell.protocol = proto;
+                cell.n = n;
+                cell.t = size.t;
+                cell.f = f;
+                cell.adversary = adv;
+                cell.seed = seed;
+                cell.backend = backend;
+                cell.codec_roundtrip = codec_roundtrip;
+                cell.executor = executor;
+                cell.value = value;
+                cells.push_back(std::move(cell));
+              }
             }
           }
         }
@@ -165,6 +168,34 @@ bool GridSpec::from_json(const json::Value& v, GridSpec* out,
     }
     if (grid.backends.empty()) {
       return fail(error, "grid.backends must not be empty");
+    }
+  }
+  if (!v["executor"].is_null() && !v["executors"].is_null()) {
+    return fail(error,
+                "grid.executor and grid.executors are mutually exclusive");
+  }
+  if (!v["executor"].is_null()) {
+    const std::string& e = v["executor"].as_string();
+    const auto parsed = parse_executor_kind(e);
+    if (!parsed) {
+      return fail(error,
+                  "unknown executor '" + e + "' (expected lockstep|event)");
+    }
+    grid.executors = {*parsed};
+  }
+  if (!v["executors"].is_null()) {
+    grid.executors.clear();
+    for (const auto& e : v["executors"].as_array()) {
+      if (!e.is_string()) return fail(error, "executor names are strings");
+      const auto parsed = parse_executor_kind(e.as_string());
+      if (!parsed) {
+        return fail(error, "unknown executor '" + e.as_string() +
+                               "' (expected lockstep|event)");
+      }
+      grid.executors.push_back(*parsed);
+    }
+    if (grid.executors.empty()) {
+      return fail(error, "grid.executors must not be empty");
     }
   }
   if (!v["codec_roundtrip"].is_null()) {

@@ -34,6 +34,11 @@ struct GridSpec {
   /// ["sim", "real"] for a cross-backend axis). Every other axis is crossed
   /// with this one, so one grid file can pin ideal <-> real equivalence.
   std::vector<ThresholdBackend> backends = {ThresholdBackend::kSim};
+  /// Executor implementations to sweep ("executor": "event" in JSON, or
+  /// "executors": ["lockstep", "event"] for a cross-executor axis). Both
+  /// kinds are behaviour-identical by contract; sweeping both turns every
+  /// grid into an equivalence check of the event-driven path.
+  std::vector<ExecutorKind> executors = {ExecutorKind::kLockstep};
   bool codec_roundtrip = false;
   std::uint64_t value = 7;
   CheckerOptions checkers;

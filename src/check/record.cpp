@@ -60,6 +60,7 @@ std::string CellSpec::label() const {
   spec.seed = seed;
   spec.backend = backend;
   spec.codec_roundtrip = codec_roundtrip;
+  spec.executor = executor;
   std::string s = protocol_name(protocol);
   s += " " + spec.describe() + " f=" + std::to_string(f) + " adv=" + adversary;
   return s;

@@ -12,6 +12,7 @@
 #include "crypto/family.hpp"
 #include "net/message.hpp"
 #include "net/meter.hpp"
+#include "sim/executor.hpp"
 
 namespace mewc::check {
 
@@ -66,6 +67,10 @@ struct CellSpec {
   std::uint64_t seed = 0x5e7;
   ThresholdBackend backend = ThresholdBackend::kSim;
   bool codec_roundtrip = false;
+  /// Which IExecutor drives the cell. Behaviour-identical by contract
+  /// (the equivalence suite pins it); an axis here so campaigns can sweep
+  /// the event-driven path through the same grids.
+  ExecutorKind executor = ExecutorKind::kLockstep;
   std::uint64_t value = 7;  // base input value (see derive_inputs)
 
   [[nodiscard]] std::string label() const;

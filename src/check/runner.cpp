@@ -206,6 +206,7 @@ RunRecord run_cell(const CellSpec& cell, const RunOptions& opts) {
   spec.seed = cell.seed;
   spec.backend = cell.backend;
   spec.codec_roundtrip = cell.codec_roundtrip;
+  spec.executor = cell.executor;
 
   // Trace-tool convention: the designated BB sender is the highest id, so
   // crash-style adversaries eating low ids leave it correct.

@@ -125,6 +125,12 @@ json::Value Replay::to_json() const {
   cell_json["seed"] = json::Value(cell.seed);
   cell_json["backend"] = json::Value(std::string(backend_name(cell.backend)));
   cell_json["codec_roundtrip"] = json::Value(cell.codec_roundtrip);
+  // Only serialized when non-default so pre-existing replay files (which
+  // predate the executor axis) keep round-tripping byte-identically.
+  if (cell.executor != ExecutorKind::kLockstep) {
+    cell_json["executor"] =
+        json::Value(std::string(executor_kind_name(cell.executor)));
+  }
   cell_json["value"] = json::Value(cell.value);
 
   json::Object checkers_json;
@@ -169,6 +175,11 @@ bool Replay::from_json(const json::Value& v, Replay* out, std::string* error) {
   replay.cell.backend =
       parse_backend(c["backend"].as_string()).value_or(ThresholdBackend::kSim);
   replay.cell.codec_roundtrip = c["codec_roundtrip"].as_bool();
+  if (!c["executor"].is_null()) {
+    const auto kind = parse_executor_kind(c["executor"].as_string());
+    if (!kind) return fail("unknown executor in replay cell");
+    replay.cell.executor = *kind;
+  }
   replay.cell.value = c["value"].as_u64(7);
   if (replay.cell.t == 0 || replay.cell.n < 2 * replay.cell.t + 1) {
     return fail("replay cell needs t >= 1 and n >= 2t+1");

@@ -1,0 +1,58 @@
+#include "net/loopback.hpp"
+
+#include <chrono>
+
+namespace mewc::net {
+
+LoopbackHub::LoopbackHub(std::uint32_t n) : marks_(n) {
+  endpoints_.reserve(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    endpoints_.emplace_back(new HubEndpoint(*this, p));
+  }
+}
+
+void HubEndpoint::send(Envelope env) {
+  if (env.to >= hub_.n()) return;  // no such endpoint: junk addressing drops
+  env.from = id_;                  // authenticated links: the hub stamps
+  hub_.endpoints_[env.to]->enqueue(std::move(env));
+}
+
+void HubEndpoint::enqueue(Envelope env) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queues_[env.instance].push_back(std::move(env));
+  }
+  cv_.notify_all();
+}
+
+bool HubEndpoint::receive(std::uint64_t instance, Envelope& out,
+                          int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!queues_.empty() && queues_.begin()->first < instance) {
+    dropped_stale_ += queues_.begin()->second.size();
+    queues_.erase(queues_.begin());
+  }
+  auto ready = [&] {
+    auto it = queues_.find(instance);
+    return it != queues_.end() && !it->second.empty();
+  };
+  if (!ready() && timeout_ms > 0) {
+    cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), ready);
+  }
+  if (!ready()) return false;
+  auto& q = queues_[instance];
+  out = std::move(q.front());
+  q.pop_front();
+  return true;
+}
+
+void HubEndpoint::mark(std::uint64_t instance, Round round) {
+  hub_.marks_.advance(id_, instance, round);
+}
+
+std::uint64_t HubEndpoint::dropped_stale() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_stale_;
+}
+
+}  // namespace mewc::net

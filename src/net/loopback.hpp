@@ -1,0 +1,114 @@
+// In-process implementations of the Transport seam.
+//
+//  * LoopbackTransport — a single-threaded FIFO for one EventExecutor
+//    hosting all n processes. Deterministic (no clocks, no threads): the
+//    DST equivalence grid drives every smoke cell through it and pins the
+//    transcripts bit-identical to the lockstep executor.
+//  * LoopbackHub — n endpoints with per-endpoint queues and a shared
+//    watermark table, one executor (thread) per endpoint. The socket
+//    cluster's round dance — marks, watermark closure, timeout fallback —
+//    without sockets; tests use it to exercise the distributed path
+//    deterministically and under TSan.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace mewc::net {
+
+/// Single-threaded FIFO loopback: send() appends, receive() pops in global
+/// post order — exactly the order the lockstep SyncNetwork appends to
+/// inboxes, which is what makes the two executors' delivery orders (and
+/// hence transcripts) bit-identical. NOT thread-safe by design; use
+/// LoopbackHub when more than one executor is involved.
+class LoopbackTransport final : public Transport {
+ public:
+  void send(Envelope env) override { queues_[env.instance].push_back(std::move(env)); }
+
+  bool receive(std::uint64_t instance, Envelope& out, int timeout_ms) override {
+    (void)timeout_ms;  // nothing ever arrives asynchronously
+    drop_stale(instance);
+    auto it = queues_.find(instance);
+    if (it == queues_.end() || it->second.empty()) return false;
+    out = std::move(it->second.front());
+    it->second.pop_front();
+    return true;
+  }
+
+  [[nodiscard]] bool idle() const override {
+    for (const auto& [instance, q] : queues_) {
+      if (!q.empty()) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t dropped_stale() const { return dropped_stale_; }
+
+ private:
+  void drop_stale(std::uint64_t instance) {
+    while (!queues_.empty() && queues_.begin()->first < instance) {
+      dropped_stale_ += queues_.begin()->second.size();
+      queues_.erase(queues_.begin());
+    }
+  }
+
+  std::map<std::uint64_t, std::deque<Envelope>> queues_;
+  std::uint64_t dropped_stale_ = 0;
+};
+
+class LoopbackHub;
+
+/// One endpoint of a LoopbackHub: sends route to the target endpoint's
+/// queue (sender identity stamped by the hub, as a socket transport would
+/// stamp it from the connection), marks advance the shared watermark table.
+class HubEndpoint final : public Transport {
+ public:
+  void send(Envelope env) override;
+  bool receive(std::uint64_t instance, Envelope& out, int timeout_ms) override;
+  void mark(std::uint64_t instance, Round round) override;
+
+  [[nodiscard]] std::uint64_t dropped_stale() const;
+
+ private:
+  friend class LoopbackHub;
+  HubEndpoint(LoopbackHub& hub, ProcessId id) : hub_(hub), id_(id) {}
+
+  void enqueue(Envelope env);
+
+  LoopbackHub& hub_;
+  ProcessId id_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, std::deque<Envelope>> queues_;
+  std::uint64_t dropped_stale_ = 0;
+};
+
+/// Thread-safe n-endpoint in-process message switch with the same contract
+/// a socket deployment provides: FIFO per sender-receiver pair (a single
+/// mutex-protected deque per receiver is FIFO for all senders), stamped
+/// sender identity, and mark-fed watermarks.
+class LoopbackHub {
+ public:
+  explicit LoopbackHub(std::uint32_t n);
+
+  [[nodiscard]] Transport& endpoint(ProcessId id) { return *endpoints_[id]; }
+  [[nodiscard]] const WatermarkTable& watermarks() const { return marks_; }
+  [[nodiscard]] std::uint32_t n() const {
+    return static_cast<std::uint32_t>(endpoints_.size());
+  }
+
+ private:
+  friend class HubEndpoint;
+
+  WatermarkTable marks_;
+  std::vector<std::unique_ptr<HubEndpoint>> endpoints_;
+};
+
+}  // namespace mewc::net

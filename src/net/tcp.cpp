@@ -1,0 +1,566 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "wire/codec.hpp"
+#include "wire/frame.hpp"
+
+namespace mewc::net {
+
+namespace {
+
+constexpr std::uint8_t kFrameHandshake = 0;
+constexpr std::uint8_t kFrameData = 1;
+constexpr std::uint8_t kFrameMark = 2;
+
+/// Inbound envelopes buffered across all instances before the transport
+/// starts shedding load (peers running ahead are bounded by their own
+/// round timeouts, so this is a misbehaving-peer backstop, not a tuning
+/// knob).
+constexpr std::size_t kMaxQueuedEnvelopes = 1u << 16;
+/// Per-peer outbound backlog while a connection is down; beyond this the
+/// whole backlog is dropped on the frame boundary (the peer's round
+/// synchronizer would discard it as late anyway).
+constexpr std::size_t kMaxPendingBytes = 4u << 20;
+
+bool set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+std::vector<std::uint8_t> frame_of(const std::vector<std::uint8_t>& body) {
+  std::vector<std::uint8_t> framed;
+  framed.reserve(wire::kFrameHeader + body.size());
+  wire::append_frame(framed, body);
+  return framed;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(TcpTransportConfig config)
+    : config_(std::move(config)),
+      marks_(config_.n),
+      pending_(config_.n),
+      out_ready_(config_.n, false),
+      in_ready_(config_.n, false) {
+  for (const TcpPeer& p : config_.peers) {
+    if (p.id == config_.self || p.id >= config_.n) continue;
+    OutConn c;
+    c.peer = p.id;
+    c.host = p.host;
+    c.port = p.port;
+    c.backoff_ms = config_.reconnect_min_ms;
+    outs_.push_back(std::move(c));
+  }
+}
+
+TcpTransport::~TcpTransport() { shutdown(); }
+
+bool TcpTransport::start(std::string* error) {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = "socket: " + std::string(strerror(errno));
+    return false;
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(config_.listen_port);
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error != nullptr) *error = "bind: " + std::string(strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  bound_port_ = ntohs(addr.sin_port);
+  if (listen(listen_fd_, 64) != 0 || !set_nonblocking(listen_fd_)) {
+    if (error != nullptr) *error = "listen: " + std::string(strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (pipe(wake_pipe_) != 0 || !set_nonblocking(wake_pipe_[0])) {
+    if (error != nullptr) *error = "pipe: " + std::string(strerror(errno));
+    return false;
+  }
+  running_.store(true);
+  io_thread_ = std::thread([this] { io_loop(); });
+  return true;
+}
+
+void TcpTransport::shutdown() {
+  if (running_.exchange(false)) {
+    wake();
+    if (io_thread_.joinable()) io_thread_.join();
+  } else if (io_thread_.joinable()) {
+    io_thread_.join();
+  }
+  for (OutConn& c : outs_) {
+    if (c.fd >= 0) close(c.fd);
+    c.fd = -1;
+  }
+  for (InConn& c : ins_) {
+    if (c.fd >= 0) close(c.fd);
+  }
+  ins_.clear();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  listen_fd_ = -1;
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) close(fd);
+    fd = -1;
+  }
+}
+
+void TcpTransport::wake() {
+  if (wake_pipe_[1] >= 0) {
+    const std::uint8_t b = 1;
+    [[maybe_unused]] const ssize_t n = write(wake_pipe_[1], &b, 1);
+  }
+}
+
+bool TcpTransport::wait_connected(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    bool all = true;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      for (ProcessId p = 0; p < config_.n; ++p) {
+        if (p == config_.self) continue;
+        if (!out_ready_[p] || !in_ready_[p]) {
+          all = false;
+          break;
+        }
+      }
+    }
+    if (all) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+void TcpTransport::queue_to_peer(ProcessId to,
+                                 const std::vector<std::uint8_t>& framed) {
+  {
+    std::lock_guard<std::mutex> lock(out_mu_);
+    std::vector<std::uint8_t>& buf = pending_[to];
+    if (buf.size() + framed.size() > kMaxPendingBytes) {
+      // Shed the whole backlog on a frame boundary: the peer has been gone
+      // long enough that its synchronizer would drop all of it as late.
+      stats_.overflow_drops.fetch_add(1, std::memory_order_relaxed);
+      buf.clear();
+    }
+    buf.insert(buf.end(), framed.begin(), framed.end());
+  }
+  wake();
+}
+
+void TcpTransport::send(Envelope env) {
+  if (env.to >= config_.n || env.body == nullptr) return;
+  if (env.to == config_.self) {
+    // Self-delivery never crosses a socket; it still goes through the
+    // inbound queue so delivery order is one stream.
+    enqueue(std::move(env));
+    return;
+  }
+  const auto payload = wire::encode(*env.body);
+  if (!payload) {
+    stats_.encode_drops.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  wire::Writer w;
+  w.u8(kFrameData);
+  w.u32(env.to);
+  w.u64(env.instance);
+  w.u32(env.round);
+  w.u32(static_cast<std::uint32_t>(payload->size()));
+  std::vector<std::uint8_t> body = w.take();
+  body.insert(body.end(), payload->begin(), payload->end());
+  queue_to_peer(env.to, frame_of(body));
+  stats_.envelopes_sent.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TcpTransport::mark(std::uint64_t instance, Round round) {
+  wire::Writer w;
+  w.u8(kFrameMark);
+  w.u64(instance);
+  w.u32(round);
+  const std::vector<std::uint8_t> framed = frame_of(w.take());
+  for (ProcessId p = 0; p < config_.n; ++p) {
+    if (p == config_.self) continue;
+    queue_to_peer(p, framed);
+  }
+}
+
+void TcpTransport::enqueue(Envelope env) {
+  {
+    std::lock_guard<std::mutex> lock(in_mu_);
+    if (env.instance < instance_floor_) {
+      stats_.dropped_stale.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (queued_total_ >= kMaxQueuedEnvelopes) {
+      stats_.overflow_drops.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    queues_[env.instance].push_back(std::move(env));
+    ++queued_total_;
+  }
+  in_cv_.notify_all();
+}
+
+bool TcpTransport::receive(std::uint64_t instance, Envelope& out,
+                           int timeout_ms) {
+  std::unique_lock<std::mutex> lock(in_mu_);
+  if (instance > instance_floor_) instance_floor_ = instance;
+  while (!queues_.empty() && queues_.begin()->first < instance_floor_) {
+    stats_.dropped_stale.fetch_add(queues_.begin()->second.size(),
+                                   std::memory_order_relaxed);
+    queued_total_ -= queues_.begin()->second.size();
+    queues_.erase(queues_.begin());
+  }
+  auto ready = [&] {
+    auto it = queues_.find(instance);
+    return it != queues_.end() && !it->second.empty();
+  };
+  if (!ready() && timeout_ms > 0) {
+    in_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), ready);
+  }
+  if (!ready()) return false;
+  auto& q = queues_[instance];
+  out = std::move(q.front());
+  q.pop_front();
+  --queued_total_;
+  return true;
+}
+
+TcpTransportStats TcpTransport::stats() const {
+  TcpTransportStats s;
+  s.envelopes_sent = stats_.envelopes_sent.load(std::memory_order_relaxed);
+  s.envelopes_received =
+      stats_.envelopes_received.load(std::memory_order_relaxed);
+  s.marks_received = stats_.marks_received.load(std::memory_order_relaxed);
+  s.bytes_sent = stats_.bytes_sent.load(std::memory_order_relaxed);
+  s.bytes_received = stats_.bytes_received.load(std::memory_order_relaxed);
+  s.reconnects = stats_.reconnects.load(std::memory_order_relaxed);
+  s.encode_drops = stats_.encode_drops.load(std::memory_order_relaxed);
+  s.decode_drops = stats_.decode_drops.load(std::memory_order_relaxed);
+  s.overflow_drops = stats_.overflow_drops.load(std::memory_order_relaxed);
+  s.dropped_stale = stats_.dropped_stale.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// IO thread
+// ---------------------------------------------------------------------------
+
+void TcpTransport::start_connect(OutConn& c) {
+  c.fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (c.fd < 0) {
+    fail_connection(c);
+    return;
+  }
+  set_nonblocking(c.fd);
+  set_nodelay(c.fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(c.port);
+  if (inet_pton(AF_INET, c.host.c_str(), &addr.sin_addr) != 1) {
+    fail_connection(c);
+    return;
+  }
+  const int rc = connect(c.fd, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof(addr));
+  if (rc == 0) {
+    c.connected = true;
+  } else if (errno == EINPROGRESS) {
+    c.connecting = true;
+  } else {
+    fail_connection(c);
+    return;
+  }
+  if (c.connected) {
+    // First frame on the wire is always the handshake.
+    wire::Writer w;
+    w.u8(kFrameHandshake);
+    w.u32(config_.self);
+    w.u64(config_.cluster_token);
+    c.conn_buf = frame_of(w.take());
+    if (c.ever_connected) {
+      stats_.reconnects.fetch_add(1, std::memory_order_relaxed);
+    }
+    c.ever_connected = true;
+    std::lock_guard<std::mutex> lock(state_mu_);
+    out_ready_[c.peer] = true;
+  }
+}
+
+void TcpTransport::fail_connection(OutConn& c) {
+  if (c.fd >= 0) close(c.fd);
+  c.fd = -1;
+  c.connecting = false;
+  c.connected = false;
+  c.conn_buf.clear();
+  c.retry_at = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(c.backoff_ms);
+  c.backoff_ms = std::min(c.backoff_ms * 2, config_.reconnect_max_ms);
+  std::lock_guard<std::mutex> lock(state_mu_);
+  out_ready_[c.peer] = false;
+}
+
+void TcpTransport::flush(OutConn& c) {
+  if (!c.connected) return;
+  if (c.conn_buf.empty()) {
+    std::lock_guard<std::mutex> lock(out_mu_);
+    c.conn_buf.swap(pending_[c.peer]);
+  }
+  while (!c.conn_buf.empty()) {
+    const ssize_t n = write(c.fd, c.conn_buf.data(), c.conn_buf.size());
+    if (n > 0) {
+      stats_.bytes_sent.fetch_add(static_cast<std::uint64_t>(n),
+                                  std::memory_order_relaxed);
+      c.conn_buf.erase(c.conn_buf.begin(), c.conn_buf.begin() + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    fail_connection(c);
+    return;
+  }
+  // Fully flushed; if more arrived meanwhile the next loop picks it up.
+  c.backoff_ms = config_.reconnect_min_ms;
+}
+
+bool TcpTransport::handle_frame(InConn& c,
+                                std::span<const std::uint8_t> body) {
+  wire::Reader rd(body);
+  const std::uint8_t kind = rd.u8();
+  switch (kind) {
+    case kFrameHandshake: {
+      const ProcessId peer = rd.u32();
+      const std::uint64_t token = rd.u64();
+      if (!rd.done() || peer >= config_.n || peer == config_.self ||
+          token != config_.cluster_token) {
+        return false;  // wrong cluster or malformed: refuse the connection
+      }
+      c.peer = peer;
+      std::lock_guard<std::mutex> lock(state_mu_);
+      in_ready_[peer] = true;
+      return true;
+    }
+    case kFrameData: {
+      if (c.peer == kNoProcess) return false;  // data before handshake
+      Envelope env;
+      env.to = rd.u32();
+      env.instance = rd.u64();
+      env.round = rd.u32();
+      const std::uint32_t len = rd.u32();
+      const auto bytes = rd.take_bytes(len);
+      if (!rd.done()) return false;
+      env.body = wire::decode(bytes);
+      if (env.body == nullptr) {
+        // A malformed payload from an authenticated peer models Byzantine
+        // garbage, not a broken stream: drop the message, keep the link.
+        stats_.decode_drops.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      env.from = c.peer;  // authenticated links: connection identity wins
+      enqueue(std::move(env));
+      stats_.envelopes_received.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    case kFrameMark: {
+      if (c.peer == kNoProcess) return false;
+      const std::uint64_t instance = rd.u64();
+      const Round round = rd.u32();
+      if (!rd.done()) return false;
+      marks_.advance(c.peer, instance, round);
+      stats_.marks_received.fetch_add(1, std::memory_order_relaxed);
+      // A mark can be the event that closes a round for a receive()er
+      // blocked on an empty queue; wake it to re-check its synchronizer.
+      in_cv_.notify_all();
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+void TcpTransport::handle_readable(InConn& c) {
+  std::uint8_t chunk[16384];
+  for (;;) {
+    const ssize_t n = read(c.fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      stats_.bytes_received.fetch_add(static_cast<std::uint64_t>(n),
+                                      std::memory_order_relaxed);
+      c.inbuf.insert(c.inbuf.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // EOF or error: drop the connection; the peer redials.
+    close(c.fd);
+    c.fd = -1;
+    return;
+  }
+
+  std::size_t offset = 0;
+  for (;;) {
+    const auto frame = wire::read_frame(c.inbuf, offset);
+    if (!frame) {
+      // Distinguish "incomplete, wait for more bytes" from "corrupt":
+      // a complete header whose length fits in the buffer but fails to
+      // parse can only be a checksum mismatch or oversized length.
+      if (c.inbuf.size() - offset >= wire::kFrameHeader) {
+        wire::Reader hdr(
+            std::span(c.inbuf).subspan(offset, wire::kFrameHeader));
+        const std::uint32_t len = hdr.u32();
+        if (len > wire::kMaxFrameBody ||
+            c.inbuf.size() - offset - wire::kFrameHeader >= len) {
+          close(c.fd);  // corrupted stream: force a clean reconnect
+          c.fd = -1;
+          return;
+        }
+      }
+      break;
+    }
+    if (!handle_frame(c, frame->body)) {
+      close(c.fd);
+      c.fd = -1;
+      return;
+    }
+    offset += frame->frame_size;
+  }
+  if (offset > 0) {
+    c.inbuf.erase(c.inbuf.begin(),
+                  c.inbuf.begin() + static_cast<std::ptrdiff_t>(offset));
+  }
+}
+
+void TcpTransport::io_loop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    const auto now = std::chrono::steady_clock::now();
+    for (OutConn& c : outs_) {
+      if (c.fd < 0 && now >= c.retry_at) start_connect(c);
+    }
+
+    std::vector<pollfd> fds;
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    fds.push_back({listen_fd_, POLLIN, 0});
+    std::vector<OutConn*> polled_out;
+    {
+      std::lock_guard<std::mutex> lock(out_mu_);
+      for (OutConn& c : outs_) {
+        if (c.fd < 0) continue;
+        short events = 0;
+        if (c.connecting) events |= POLLOUT;
+        if (c.connected &&
+            (!c.conn_buf.empty() || !pending_[c.peer].empty())) {
+          events |= POLLOUT;
+        }
+        if (events == 0) continue;
+        fds.push_back({c.fd, events, 0});
+        polled_out.push_back(&c);
+      }
+    }
+    const std::size_t first_in = fds.size();
+    for (InConn& c : ins_) {
+      fds.push_back({c.fd, POLLIN, 0});
+    }
+
+    poll(fds.data(), fds.size(), 20);
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      std::uint8_t buf[64];
+      while (read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+
+    if ((fds[1].revents & POLLIN) != 0) {
+      for (;;) {
+        const int fd = accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        set_nonblocking(fd);
+        set_nodelay(fd);
+        InConn c;
+        c.fd = fd;
+        ins_.push_back(std::move(c));
+      }
+    }
+
+    for (std::size_t i = 0; i < polled_out.size(); ++i) {
+      OutConn& c = *polled_out[i];
+      const short revents = fds[2 + i].revents;
+      if (c.fd < 0 || revents == 0) continue;
+      if (c.connecting && (revents & (POLLOUT | POLLERR | POLLHUP)) != 0) {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        getsockopt(c.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        c.connecting = false;
+        if (err != 0) {
+          fail_connection(c);
+          continue;
+        }
+        c.connected = true;
+        wire::Writer w;
+        w.u8(kFrameHandshake);
+        w.u32(config_.self);
+        w.u64(config_.cluster_token);
+        c.conn_buf = frame_of(w.take());
+        if (c.ever_connected) {
+          stats_.reconnects.fetch_add(1, std::memory_order_relaxed);
+        }
+        c.ever_connected = true;
+        {
+          std::lock_guard<std::mutex> lock(state_mu_);
+          out_ready_[c.peer] = true;
+        }
+      }
+      if (c.connected) flush(c);
+    }
+    // Connections that became writable-with-backlog only after the poll
+    // snapshot flush on the next iteration (the wake pipe forces one).
+    for (OutConn& c : outs_) {
+      if (c.fd >= 0 && c.connected) flush(c);
+    }
+
+    for (std::size_t i = first_in; i < fds.size(); ++i) {
+      InConn& c = ins_[i - first_in];
+      if (c.fd >= 0 &&
+          (fds[i].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+        handle_readable(c);
+      }
+    }
+    for (auto it = ins_.begin(); it != ins_.end();) {
+      if (it->fd < 0) {
+        if (it->peer != kNoProcess) {
+          std::lock_guard<std::mutex> lock(state_mu_);
+          in_ready_[it->peer] = false;
+        }
+        it = ins_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+}  // namespace mewc::net

@@ -1,0 +1,184 @@
+// TCP implementation of the Transport seam (`mewc_node`, DESIGN.md §14).
+//
+// Topology: every node listens on one port and dials one outbound
+// connection to every peer. An outbound connection carries only this
+// node's traffic (handshake, then data/mark frames); inbound connections
+// only receive. Splitting directions sidesteps simultaneous-connect
+// dedup entirely and gives each ordered byte stream a single writer.
+//
+// Wire format: each frame is the WAL's checksummed container
+// (wire::frame, `u32 len | u64 checksum | body`) holding
+//
+//   handshake  u8 kind=0 | u32 sender id | u64 cluster token
+//   data       u8 kind=1 | u32 to | u64 instance | u32 round |
+//              u32 payload len | wire::encode(payload)
+//   mark       u8 kind=2 | u64 instance | u32 round
+//
+// The first frame on a connection must be a handshake naming the sender
+// and the cluster token (derived from the shared seed/shape, so nodes of
+// different clusters or configs refuse each other). Every later frame is
+// attributed to that identity — `Envelope::from` is stamped from the
+// connection, never from attacker-controllable bytes, which is the
+// authenticated-links half of the model; the synchrony half is the
+// TimeoutRoundSync fed by this transport's mark watermarks.
+//
+// Reconnects: a failed outbound connection backs off exponentially and
+// redials forever; frames queued while disconnected are flushed on
+// reconnect (the receiver's round synchronizer decides whether they are
+// still current, late data is dropped and counted there).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace mewc::net {
+
+struct TcpPeer {
+  ProcessId id = kNoProcess;
+  std::string host;  // IPv4 dotted quad, e.g. "127.0.0.1"
+  std::uint16_t port = 0;
+};
+
+struct TcpTransportConfig {
+  ProcessId self = 0;
+  std::uint32_t n = 0;
+  std::uint16_t listen_port = 0;  // node-to-node port on this host
+  /// All peers except self (entries with id == self are ignored).
+  std::vector<TcpPeer> peers;
+  /// Shared-configuration guard exchanged in the handshake; derive it from
+  /// (seed, n, t) so misconfigured nodes refuse each other at connect time
+  /// instead of diverging silently.
+  std::uint64_t cluster_token = 0;
+  int reconnect_min_ms = 50;
+  int reconnect_max_ms = 1000;
+};
+
+struct TcpTransportStats {
+  std::uint64_t envelopes_sent = 0;
+  std::uint64_t envelopes_received = 0;
+  std::uint64_t marks_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t encode_drops = 0;    // payload the codec cannot serialize
+  std::uint64_t decode_drops = 0;    // frames whose payload failed to parse
+  std::uint64_t overflow_drops = 0;  // inbound queue or outbound buffer full
+  std::uint64_t dropped_stale = 0;   // buffered for an already-passed instance
+};
+
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(TcpTransportConfig config);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// Binds the listen socket and starts the IO thread. On failure returns
+  /// false with a diagnostic in *error.
+  [[nodiscard]] bool start(std::string* error);
+
+  /// Waits until every outbound connection is established and a handshake
+  /// has arrived from every peer — i.e. the full cluster is up in both
+  /// directions. Consensus traffic sent before this returns may race peers
+  /// that have not bound their sockets yet, so `mewc_node` gates on it.
+  [[nodiscard]] bool wait_connected(std::chrono::milliseconds timeout);
+
+  /// Stops the IO thread and closes every socket. Safe to call twice;
+  /// the destructor calls it.
+  void shutdown();
+
+  void send(Envelope env) override;
+  bool receive(std::uint64_t instance, Envelope& out, int timeout_ms) override;
+  void mark(std::uint64_t instance, Round round) override;
+
+  /// Peer round-progress fed by received marks; TimeoutRoundSync reads it.
+  [[nodiscard]] const WatermarkTable& watermarks() const { return marks_; }
+
+  [[nodiscard]] std::uint16_t listen_port() const { return bound_port_; }
+  [[nodiscard]] TcpTransportStats stats() const;
+
+ private:
+  struct OutConn {
+    ProcessId peer = kNoProcess;
+    std::string host;
+    std::uint16_t port = 0;
+    int fd = -1;
+    bool connecting = false;
+    bool connected = false;
+    bool ever_connected = false;
+    int backoff_ms = 0;
+    std::chrono::steady_clock::time_point retry_at{};
+    std::vector<std::uint8_t> conn_buf;  // IO-thread-only flush buffer
+  };
+
+  struct InConn {
+    int fd = -1;
+    ProcessId peer = kNoProcess;  // set by the handshake
+    std::vector<std::uint8_t> inbuf;
+  };
+
+  void io_loop();
+  void wake();
+  void start_connect(OutConn& c);
+  void fail_connection(OutConn& c);
+  void flush(OutConn& c);
+  void handle_readable(InConn& c);
+  bool handle_frame(InConn& c, std::span<const std::uint8_t> body);
+  void enqueue(Envelope env);
+  void queue_to_peer(ProcessId to, const std::vector<std::uint8_t>& framed);
+
+  TcpTransportConfig config_;
+  WatermarkTable marks_;
+
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  int wake_pipe_[2] = {-1, -1};
+  std::thread io_thread_;
+  std::atomic<bool> running_{false};
+
+  // Outbound bytes queued by send()/mark(), drained by the IO thread.
+  std::mutex out_mu_;
+  std::vector<std::vector<std::uint8_t>> pending_;  // indexed by peer id
+
+  // Inbound envelopes demuxed by instance, drained by receive().
+  std::mutex in_mu_;
+  std::condition_variable in_cv_;
+  std::map<std::uint64_t, std::deque<Envelope>> queues_;
+  std::uint64_t instance_floor_ = 0;
+  std::size_t queued_total_ = 0;
+
+  // Cluster liveness for wait_connected().
+  std::mutex state_mu_;
+  std::vector<bool> out_ready_;
+  std::vector<bool> in_ready_;
+
+  std::vector<OutConn> outs_;   // IO-thread-only after start()
+  std::vector<InConn> ins_;     // IO-thread-only
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> envelopes_sent{0};
+    std::atomic<std::uint64_t> envelopes_received{0};
+    std::atomic<std::uint64_t> marks_received{0};
+    std::atomic<std::uint64_t> bytes_sent{0};
+    std::atomic<std::uint64_t> bytes_received{0};
+    std::atomic<std::uint64_t> reconnects{0};
+    std::atomic<std::uint64_t> encode_drops{0};
+    std::atomic<std::uint64_t> decode_drops{0};
+    std::atomic<std::uint64_t> overflow_drops{0};
+    std::atomic<std::uint64_t> dropped_stale{0};
+  };
+  AtomicStats stats_;
+};
+
+}  // namespace mewc::net

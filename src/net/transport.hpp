@@ -1,0 +1,180 @@
+// Transport seam of the event-driven executor (DESIGN.md §14). The
+// lockstep simulator moves messages by writing directly into peer inboxes;
+// everything else — in-process loopback, the multi-endpoint hub, real TCP —
+// moves instance/round-tagged envelopes through this interface instead, and
+// a round-synchronizer policy decides when a round's traffic is complete.
+//
+// Two delivery guarantees every implementation provides, because round
+// closure is built on them:
+//
+//  * FIFO links: two envelopes sent by the same endpoint arrive in order.
+//  * Authenticated senders: `Envelope::from` as received identifies the
+//    true sending endpoint (socket transports stamp it from the connection
+//    identity, never from attacker-controlled bytes).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/payload.hpp"
+
+namespace mewc::net {
+
+/// One message in flight between executors. `instance` scopes concurrent
+/// protocol instances (SMR slots) sharing a transport; `round` is the
+/// protocol round the payload belongs to.
+struct Envelope {
+  ProcessId from = kNoProcess;
+  ProcessId to = kNoProcess;
+  Round round = 0;
+  std::uint64_t instance = 0;
+  PayloadPtr body;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Queues one envelope for delivery (including self- and local-addressed
+  /// envelopes: the executor never bypasses the transport, so the event
+  /// path is exercised even when everything is in-process).
+  virtual void send(Envelope env) = 0;
+
+  /// Dequeues the next inbound envelope tagged `instance`, waiting up to
+  /// `timeout_ms` (0 = poll). Envelopes for later instances stay buffered
+  /// for future calls; once an instance is requested, buffered envelopes
+  /// for earlier instances are dropped as stale.
+  virtual bool receive(std::uint64_t instance, Envelope& out,
+                       int timeout_ms) = 0;
+
+  /// True when no envelope is queued or in flight anywhere in the
+  /// transport. Exact for loopback; socket transports cannot know what a
+  /// peer has in its buffers and must return false.
+  [[nodiscard]] virtual bool idle() const { return false; }
+
+  /// Round-completion beacon: a promise that all of this endpoint's
+  /// `(instance, round)` traffic was sent before the mark. FIFO links then
+  /// guarantee that a peer that has processed the mark already holds every
+  /// envelope it covers. Loopback ignores marks (quiescence is exact).
+  virtual void mark(std::uint64_t instance, Round round) {
+    (void)instance;
+    (void)round;
+  }
+};
+
+/// Policy deciding when the executor may close a round and deliver inboxes.
+class IRoundSync {
+ public:
+  virtual ~IRoundSync() = default;
+  virtual void round_opened(std::uint64_t instance, Round round) {
+    (void)instance;
+    (void)round;
+  }
+  [[nodiscard]] virtual bool closed(std::uint64_t instance, Round round) = 0;
+};
+
+/// Closes a round as soon as the transport is idle. Exact (and clock-free,
+/// hence deterministic) for loopback, where idle means every posted
+/// envelope has been drained; meaningless for sockets.
+class QuiescenceSync final : public IRoundSync {
+ public:
+  explicit QuiescenceSync(const Transport& transport)
+      : transport_(transport) {}
+
+  [[nodiscard]] bool closed(std::uint64_t instance, Round round) override {
+    (void)instance;
+    (void)round;
+    return transport_.idle();
+  }
+
+ private:
+  const Transport& transport_;
+};
+
+/// Thread-safe per-peer round-progress table fed by transport marks.
+/// Watermarks are compared lexicographically on (instance, round): a peer
+/// that moved to a later instance has finished every round of the earlier
+/// ones, which is what lets a lagging executor close its remaining rounds
+/// immediately instead of timing each one out.
+class WatermarkTable {
+ public:
+  explicit WatermarkTable(std::uint32_t n) : marks_(n) {}
+
+  void advance(ProcessId peer, std::uint64_t instance, Round round) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (peer >= marks_.size()) return;
+    Mark& m = marks_[peer];
+    if (instance > m.instance ||
+        (instance == m.instance && round > m.round)) {
+      m.instance = instance;
+      m.round = round;
+    }
+  }
+
+  /// Every peer except `self` has marked (instance, round) or beyond.
+  [[nodiscard]] bool all_at_least(ProcessId self, std::uint64_t instance,
+                                  Round round) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (ProcessId p = 0; p < marks_.size(); ++p) {
+      if (p == self) continue;
+      const Mark& m = marks_[p];
+      if (m.instance > instance) continue;
+      if (m.instance < instance || m.round < round) return false;
+    }
+    return true;
+  }
+
+ private:
+  struct Mark {
+    std::uint64_t instance = 0;
+    Round round = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Mark> marks_;
+};
+
+/// Socket-world round synchronizer: a round closes when every live peer's
+/// watermark covers it (the fast path — one network delay after the
+/// slowest peer sends), or when the timeout expires (the liveness path —
+/// a crashed peer cannot stall the cluster, it just costs one timeout per
+/// round until its silence is priced in). This is the timeout-driven
+/// synchronizer of ROADMAP's `mewc_node` item; the timeout plays the role
+/// of the synchronous model's known delay bound Delta.
+class TimeoutRoundSync final : public IRoundSync {
+ public:
+  TimeoutRoundSync(const WatermarkTable& peers, ProcessId self,
+                   std::chrono::milliseconds timeout)
+      : peers_(peers), self_(self), timeout_(timeout) {}
+
+  void round_opened(std::uint64_t instance, Round round) override {
+    (void)instance;
+    (void)round;
+    deadline_ = std::chrono::steady_clock::now() + timeout_;
+  }
+
+  [[nodiscard]] bool closed(std::uint64_t instance, Round round) override {
+    if (peers_.all_at_least(self_, instance, round)) return true;
+    if (std::chrono::steady_clock::now() >= deadline_) {
+      ++timeouts_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Rounds that closed by deadline instead of peer watermarks — the
+  /// cluster-health diagnostic `mewc_node` reports at exit.
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+
+ private:
+  const WatermarkTable& peers_;
+  ProcessId self_;
+  std::chrono::milliseconds timeout_;
+  std::chrono::steady_clock::time_point deadline_{};
+  std::uint64_t timeouts_ = 0;
+};
+
+}  // namespace mewc::net

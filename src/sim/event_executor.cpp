@@ -1,0 +1,258 @@
+#include "sim/event_executor.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "net/loopback.hpp"
+
+namespace mewc {
+
+/// Capabilities surface for the adversary, mirroring Executor::Control but
+/// injecting through the transport. Corruption is only meaningful for
+/// hosted processes (a socket deployment runs the null adversary; the
+/// rushing position over loopback is exactly the lockstep one because the
+/// rushing view is recorded at post time in both).
+class EventExecutor::Control final : public AdversaryControl {
+ public:
+  explicit Control(EventExecutor& e) : e_(e) {}
+
+  [[nodiscard]] std::uint32_t n() const override { return e_.family_.n(); }
+  [[nodiscard]] std::uint32_t t() const override { return e_.family_.t(); }
+
+  bool corrupt(ProcessId pid) override {
+    if (pid >= n()) return false;
+    if (e_.corrupted_[pid]) return true;
+    if (e_.corrupted_count_ >= t()) return false;
+    e_.corrupted_[pid] = true;
+    ++e_.corrupted_count_;
+    return true;
+  }
+
+  [[nodiscard]] bool is_corrupted(ProcessId pid) const override {
+    return pid < n() && e_.corrupted_[pid];
+  }
+
+  [[nodiscard]] std::uint32_t corrupted_count() const override {
+    return e_.corrupted_count_;
+  }
+
+  [[nodiscard]] const KeyBundle& bundle(ProcessId pid) const override {
+    MEWC_CHECK_MSG(is_corrupted(pid),
+                   "adversary touched uncompromised key material");
+    return e_.bundles_[pid];
+  }
+
+  void send_as(ProcessId pid, ProcessId to, PayloadPtr body) override {
+    if (!is_corrupted(pid) || body == nullptr) return;
+    if (to >= n()) return;  // no such link: junk addressing is dropped
+    Outbox& out = e_.adversary_outbox_;
+    out.clear();
+    out.send(to, std::move(body));
+    e_.post(pid, e_.current_round_, out, /*correct=*/false);
+  }
+
+  void broadcast_as(ProcessId pid, const PayloadPtr& body) override {
+    if (!is_corrupted(pid) || body == nullptr) return;
+    Outbox& out = e_.adversary_outbox_;
+    out.clear();
+    out.broadcast(body);
+    e_.post(pid, e_.current_round_, out, /*correct=*/false);
+  }
+
+  [[nodiscard]] std::span<const Message> posted_this_round() const override {
+    return e_.posted_;
+  }
+
+  [[nodiscard]] const ThresholdFamily& crypto() const override {
+    return e_.family_;
+  }
+
+ private:
+  EventExecutor& e_;
+};
+
+EventExecutor::EventExecutor(const ThresholdFamily& family,
+                             std::vector<KeyBundle> bundles,
+                             std::vector<std::unique_ptr<IProcess>> processes,
+                             Adversary& adversary, ExecutorHooks hooks,
+                             EventExecutorConfig config)
+    : family_(family),
+      bundles_(std::move(bundles)),
+      processes_(std::move(processes)),
+      adversary_(adversary),
+      hooks_(std::move(hooks)),
+      instance_(config.instance),
+      poll_ms_(config.poll_ms),
+      meter_(family.n()),
+      inboxes_(family.n()),
+      corrupted_(family.n(), false),
+      send_outbox_(family.n()),
+      adversary_outbox_(family.n()) {
+  MEWC_CHECK(bundles_.size() == family.n());
+  MEWC_CHECK(processes_.size() == family.n());
+
+  if (config.local.empty()) {
+    for (ProcessId p = 0; p < family.n(); ++p) local_.push_back(p);
+  } else {
+    local_ = config.local;
+  }
+  local_mask_.assign(family.n(), false);
+  for (ProcessId p : local_) {
+    MEWC_CHECK_MSG(p < family.n(), "local process id out of range");
+    local_mask_[p] = true;
+    MEWC_CHECK_MSG(processes_[p] != nullptr, "hosted process is null");
+  }
+
+  if (config.transport == nullptr) {
+    MEWC_CHECK_MSG(config.sync == nullptr,
+                   "a borrowed sync needs a borrowed transport");
+    auto loopback = std::make_unique<net::LoopbackTransport>();
+    owned_sync_ = std::make_unique<net::QuiescenceSync>(*loopback);
+    owned_transport_ = std::move(loopback);
+    transport_ = owned_transport_.get();
+    sync_ = owned_sync_.get();
+  } else {
+    MEWC_CHECK_MSG(config.sync != nullptr,
+                   "a borrowed transport needs an explicit round sync");
+    transport_ = config.transport;
+    sync_ = config.sync;
+  }
+}
+
+EventExecutor::~EventExecutor() = default;
+
+void EventExecutor::post(ProcessId from, Round round, const Outbox& out,
+                         bool correct) {
+  for (const auto& [to, original] : out.sends()) {
+    MEWC_CHECK(original != nullptr);
+    if (to >= family_.n()) continue;  // no such link: dropped
+    const PayloadPtr body =
+        hooks_.transform ? hooks_.transform(original) : original;
+    MEWC_CHECK(body != nullptr);
+    Message m;
+    m.from = from;
+    m.to = to;
+    m.round = round;
+    m.words = Message::cost_of(*body);
+    m.body = body;
+    if (to != from) {
+      meter_.record(from, round, m.words, body->logical_signatures(),
+                    body->kind(), correct);
+      if (hooks_.recorder) hooks_.recorder(m, correct);
+    }
+    if (correct) posted_.push_back(m);
+    net::Envelope env;
+    env.from = from;
+    env.to = to;
+    env.round = round;
+    env.instance = instance_;
+    env.body = std::move(m.body);
+    transport_->send(std::move(env));
+  }
+}
+
+void EventExecutor::accept(net::Envelope env, Round current) {
+  if (!is_local(env.to)) {
+    ++stats_.foreign_drops;
+    return;
+  }
+  if (env.round < current) {
+    // Synchrony: the round closed, its inboxes were consumed. A late
+    // message no longer exists in the model; drop and count.
+    ++stats_.late_drops;
+    return;
+  }
+  Message m;
+  m.from = env.from;
+  m.to = env.to;
+  m.round = env.round;
+  m.words = Message::cost_of(*env.body);
+  m.body = std::move(env.body);
+  if (env.round == current) {
+    inboxes_[m.to].push_back(std::move(m));
+  } else {
+    future_[m.round].push_back(std::move(m));
+    ++stats_.future_buffered;
+  }
+}
+
+void EventExecutor::drain(Round round) {
+  net::Envelope env;
+  for (;;) {
+    if (transport_->receive(instance_, env, 0)) {
+      accept(std::move(env), round);
+      continue;
+    }
+    if (sync_->closed(instance_, round)) break;
+    if (transport_->receive(instance_, env, poll_ms_)) {
+      accept(std::move(env), round);
+    }
+  }
+  // The closing signal (a peer's mark, or the timeout) can race data that
+  // is already queued behind it; FIFO links guarantee everything a mark
+  // covers is queued by the time the mark is visible, so one final
+  // non-blocking sweep collects it.
+  while (transport_->receive(instance_, env, 0)) {
+    accept(std::move(env), round);
+  }
+}
+
+void EventExecutor::run(Round total_rounds) {
+  Control ctrl(*this);
+  adversary_.setup(ctrl);
+
+  for (Round r = 1; r <= total_rounds; ++r) {
+    current_round_ = r;
+    adversary_.pre_round(r, ctrl);
+    // New rushing view for this round (pre_round may still inspect the old
+    // one, matching the lockstep visibility window).
+    posted_.clear();
+
+    // Early arrivals: peers ahead of us already sent round-r traffic.
+    if (auto it = future_.find(r); it != future_.end()) {
+      for (Message& m : it->second) inboxes_[m.to].push_back(std::move(m));
+      future_.erase(it);
+    }
+
+    for (ProcessId pid : local_) {
+      if (corrupted_[pid]) continue;
+      send_outbox_.clear();
+      processes_[pid]->on_send(r, send_outbox_);
+      post(pid, r, send_outbox_, /*correct=*/true);
+    }
+
+    // Byzantine traffic, injected with rushing knowledge of the round's
+    // local correct messages (over loopback: all of them).
+    adversary_.act(r, ctrl);
+
+    // Everything this endpoint will say in round r has been sent.
+    transport_->mark(instance_, r);
+
+    sync_->round_opened(instance_, r);
+    drain(r);
+
+    for (ProcessId pid : local_) {
+      if (corrupted_[pid]) continue;
+      processes_[pid]->on_receive(r, inboxes_[pid]);
+    }
+    for (auto& box : inboxes_) box.clear();
+  }
+}
+
+bool EventExecutor::is_corrupted(ProcessId pid) const {
+  return pid < corrupted_.size() && corrupted_[pid];
+}
+
+std::uint32_t EventExecutor::corrupted_count() const {
+  return corrupted_count_;
+}
+
+std::vector<ProcessId> EventExecutor::corrupted() const {
+  std::vector<ProcessId> out;
+  for (ProcessId p = 0; p < corrupted_.size(); ++p) {
+    if (corrupted_[p]) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace mewc

@@ -1,0 +1,128 @@
+// Event-driven executor (DESIGN.md §14). Where the lockstep Executor is
+// one global loop writing into peer inboxes, an EventExecutor only ever
+// sees two kinds of events: an envelope arriving on its net::Transport,
+// and its net::IRoundSync declaring a round's traffic complete. That seam
+// is what lets the same protocol code run
+//
+//  * all-in-one-process over a loopback transport with quiescence closure
+//    (deterministic, clock-free — bit-identical to the lockstep executor,
+//    pinned by the DST equivalence grid), and
+//  * one-process-per-OS-node over TCP with mark/watermark closure and a
+//    timeout fallback (`mewc_node`), where `config.local` names the single
+//    hosted process and every other `processes` slot is null.
+//
+// Determinism note: this class never reads a clock. All waiting is
+// delegated to Transport::receive(timeout_ms) and IRoundSync::closed();
+// with the loopback/quiescence pair both are clock-free, so the event path
+// stays inside the R-determinism envelope of src/sim.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "sim/executor.hpp"
+
+namespace mewc {
+
+struct EventExecutorConfig {
+  /// Envelope instance tag; multi-instance transports demux on it.
+  std::uint64_t instance = 0;
+  /// Processes hosted by this executor; empty means all of 0..n-1.
+  /// `processes` entries for non-hosted ids may be null.
+  std::vector<ProcessId> local;
+  /// Borrowed transport and round-closure policy; both null means the
+  /// executor owns a LoopbackTransport closed by quiescence. A borrowed
+  /// transport requires a borrowed sync (quiescence is meaningless on a
+  /// transport whose in-flight state is unknowable).
+  net::Transport* transport = nullptr;
+  net::IRoundSync* sync = nullptr;
+  /// Milliseconds a single receive() poll may block while waiting for the
+  /// round to close (bounds closure-detection latency on idle links).
+  int poll_ms = 1;
+};
+
+struct EventExecutorStats {
+  std::uint64_t late_drops = 0;       // arrived for an already-closed round
+  std::uint64_t foreign_drops = 0;    // addressed to a process not hosted here
+  std::uint64_t future_buffered = 0;  // arrived before their round opened
+};
+
+class EventExecutor final : public IExecutor {
+ public:
+  EventExecutor(const ThresholdFamily& family, std::vector<KeyBundle> bundles,
+                std::vector<std::unique_ptr<IProcess>> processes,
+                Adversary& adversary, ExecutorHooks hooks,
+                EventExecutorConfig config);
+  ~EventExecutor() override;
+
+  void run(Round total_rounds) override;
+
+  [[nodiscard]] const Meter& meter() const override { return meter_; }
+  [[nodiscard]] bool is_corrupted(ProcessId pid) const override;
+  [[nodiscard]] std::uint32_t corrupted_count() const override;
+  [[nodiscard]] std::vector<ProcessId> corrupted() const override;
+
+  [[nodiscard]] const KeyBundle& bundle(ProcessId pid) const override {
+    return bundles_[pid];
+  }
+  [[nodiscard]] IProcess& process(ProcessId pid) override {
+    return *processes_[pid];
+  }
+  [[nodiscard]] const IProcess& process(ProcessId pid) const override {
+    return *processes_[pid];
+  }
+
+  [[nodiscard]] const EventExecutorStats& stats() const { return stats_; }
+
+ private:
+  class Control;
+
+  [[nodiscard]] bool is_local(ProcessId pid) const {
+    return pid < local_mask_.size() && local_mask_[pid];
+  }
+
+  /// Posts everything a process sent this step through the transport,
+  /// replicating SyncNetwork::post exactly: transform first, meter and
+  /// record link-crossing traffic, append correct sends to the rushing
+  /// view — all at post time, so the adversary and the meter see the
+  /// bytes as delivered.
+  void post(ProcessId from, Round round, const Outbox& out, bool correct);
+
+  /// Routes one inbound envelope while round `current` is open.
+  void accept(net::Envelope env, Round current);
+
+  /// Pulls events until the sync closes the round, then drains the racing
+  /// tail (data that arrived in the same instant as the closing mark).
+  void drain(Round round);
+
+  const ThresholdFamily& family_;
+  std::vector<KeyBundle> bundles_;
+  std::vector<std::unique_ptr<IProcess>> processes_;
+  Adversary& adversary_;
+  ExecutorHooks hooks_;
+  std::uint64_t instance_;
+  int poll_ms_;
+
+  std::vector<ProcessId> local_;
+  std::vector<bool> local_mask_;
+
+  // Owned defaults when the config borrows nothing (loopback mode).
+  std::unique_ptr<net::Transport> owned_transport_;
+  std::unique_ptr<net::IRoundSync> owned_sync_;
+  net::Transport* transport_ = nullptr;
+  net::IRoundSync* sync_ = nullptr;
+
+  Meter meter_;
+  std::vector<std::vector<Message>> inboxes_;         // hosted pids only
+  std::map<Round, std::vector<Message>> future_;      // early arrivals
+  std::vector<Message> posted_;                       // rushing view
+  std::vector<bool> corrupted_;
+  std::uint32_t corrupted_count_ = 0;
+  Outbox send_outbox_;
+  Outbox adversary_outbox_;
+  Round current_round_ = 0;
+  EventExecutorStats stats_;
+};
+
+}  // namespace mewc

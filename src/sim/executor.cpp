@@ -1,8 +1,19 @@
 #include "sim/executor.hpp"
 
 #include "common/check.hpp"
+#include "sim/event_executor.hpp"
 
 namespace mewc {
+
+const char* executor_kind_name(ExecutorKind kind) {
+  return kind == ExecutorKind::kEvent ? "event" : "lockstep";
+}
+
+std::optional<ExecutorKind> parse_executor_kind(std::string_view name) {
+  if (name == "lockstep") return ExecutorKind::kLockstep;
+  if (name == "event") return ExecutorKind::kEvent;
+  return std::nullopt;
+}
 
 /// Concrete capabilities surface handed to the adversary each round.
 class Executor::Control final : public AdversaryControl {
@@ -70,7 +81,7 @@ class Executor::Control final : public AdversaryControl {
 Executor::Executor(const ThresholdFamily& family,
                    std::vector<KeyBundle> bundles,
                    std::vector<std::unique_ptr<IProcess>> processes,
-                   Adversary& adversary)
+                   Adversary& adversary, ExecutorHooks hooks)
     : family_(family),
       network_(family.n()),
       bundles_(std::move(bundles)),
@@ -81,6 +92,8 @@ Executor::Executor(const ThresholdFamily& family,
       adversary_outbox_(family.n()) {
   MEWC_CHECK(bundles_.size() == family.n());
   MEWC_CHECK(processes_.size() == family.n());
+  if (hooks.transform) network_.set_transform(std::move(hooks.transform));
+  if (hooks.recorder) network_.set_recorder(std::move(hooks.recorder));
 }
 
 void Executor::run(Round total_rounds) {
@@ -129,6 +142,22 @@ std::vector<ProcessId> Executor::corrupted() const {
     if (corrupted_[p]) out.push_back(p);
   }
   return out;
+}
+
+std::unique_ptr<IExecutor> make_executor(
+    ExecutorKind kind, const ThresholdFamily& family,
+    std::vector<KeyBundle> bundles,
+    std::vector<std::unique_ptr<IProcess>> processes, Adversary& adversary,
+    ExecutorHooks hooks) {
+  if (kind == ExecutorKind::kEvent) {
+    return std::make_unique<EventExecutor>(family, std::move(bundles),
+                                           std::move(processes), adversary,
+                                           std::move(hooks),
+                                           EventExecutorConfig{});
+  }
+  return std::make_unique<Executor>(family, std::move(bundles),
+                                    std::move(processes), adversary,
+                                    std::move(hooks));
 }
 
 }  // namespace mewc

@@ -29,6 +29,7 @@ Engine::Engine(const EngineConfig& config)
         c.seed = config.seed;
         c.checkpoint_every = config.checkpoint_every;
         c.base_instance = config.base_instance;
+        c.executor = config.executor;
         c.durability = config.durability;
         return c;
       }()),

@@ -51,6 +51,9 @@ struct EngineConfig {
   std::uint32_t checkpoint_every = 0;
   /// Instance-nonce base, forwarded to the ledger.
   std::uint64_t base_instance = 1000;
+  /// Which executor drives each consensus instance, forwarded to the
+  /// ledger's RunSpecs (DESIGN.md §14; behaviour-identical either way).
+  ExecutorKind executor = ExecutorKind::kLockstep;
   /// Optional durability sink, forwarded to the ledger. Callbacks run under
   /// the commit lock, in slot order (not owned; must outlive the engine).
   DurabilityHook* durability = nullptr;

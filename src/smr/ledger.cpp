@@ -32,6 +32,7 @@ harness::RunSpec Ledger::prepare_spec(std::uint64_t slot) const {
   harness::RunSpec spec = harness::RunSpec::with(config_.n, config_.t);
   spec.backend = config_.backend;
   spec.seed = config_.seed;
+  spec.executor = config_.executor;
   // Distinct instance nonce per slot: checkpoints use the odd lane.
   spec.instance = config_.base_instance + 2 * slot;
   return spec;
@@ -98,22 +99,33 @@ void Ledger::run_checkpoint(const AdversaryFactory& adversary) {
   harness::RunSpec spec = harness::RunSpec::with(config_.n, config_.t);
   spec.backend = config_.backend;
   spec.seed = config_.seed;
-  spec.instance = config_.base_instance + 2 * slots_.size() + 1;
+  spec.executor = config_.executor;
+  // Odd lane *between* the just-committed slot (base + 2k) and the next
+  // one (base + 2k + 2): instance nonces are strictly increasing in
+  // execution order, which the networked deployment relies on (watermarks
+  // and the transport's stale-instance floor both advance monotonically).
+  spec.instance = config_.base_instance + 2 * slots_.size() - 1;
 
   // Every correct replica holds the same log (per-slot agreement), so all
   // propose "my state matches the digest" = 1; the binary strong BA then
   // seals the checkpoint, cheaply when the round is failure-free (Lemma 8).
-  std::unique_ptr<Adversary> adv;
-  if (adversary) adv = adversary(slots_.size(), kNoProcess);
-  adv::NullAdversary null_adv;
-  Adversary& adv_ref = adv ? *adv : static_cast<Adversary&>(null_adv);
-
-  const harness::ProtocolDriver* sba = harness::find_driver("strong-ba");
-  MEWC_CHECK(sba != nullptr);
   harness::RunInputs inputs;
   inputs.values =
       std::vector<WireValue>(config_.n, WireValue::plain(Value(1)));
-  const harness::RunReport res = sba->run(spec, inputs, adv_ref);
+
+  harness::RunReport res;
+  if (config_.checkpoint_runner) {
+    res = config_.checkpoint_runner(spec, inputs);
+  } else {
+    std::unique_ptr<Adversary> adv;
+    if (adversary) adv = adversary(slots_.size(), kNoProcess);
+    adv::NullAdversary null_adv;
+    Adversary& adv_ref = adv ? *adv : static_cast<Adversary&>(null_adv);
+
+    const harness::ProtocolDriver* sba = harness::find_driver("strong-ba");
+    MEWC_CHECK(sba != nullptr);
+    res = sba->run(spec, inputs, adv_ref);
+  }
 
   CheckpointRecord rec;
   rec.after_slot = slots_.size();

@@ -86,8 +86,19 @@ class Ledger {
     /// Instance-nonce base; every slot/checkpoint gets a distinct nonce so
     /// no signature is replayable across instances.
     std::uint64_t base_instance = 1000;
+    /// Which executor drives simulated instances (prepare_spec copies it
+    /// into every slot/checkpoint RunSpec).
+    ExecutorKind executor = ExecutorKind::kLockstep;
     /// Optional durability sink (not owned; must outlive the ledger).
     DurabilityHook* durability = nullptr;
+    /// Replaces the built-in simulated strong-BA when sealing checkpoints.
+    /// `mewc_node` installs a runner that executes the checkpoint instance
+    /// across the real cluster; the spec it receives is the same one the
+    /// simulation would use (odd instance-nonce lane), so the durable
+    /// record stream is shaped identically either way.
+    std::function<harness::RunReport(const harness::RunSpec&,
+                                     const harness::RunInputs&)>
+        checkpoint_runner;
   };
 
   /// Builds a per-slot adversary. An empty function means no corruption.

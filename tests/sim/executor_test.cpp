@@ -39,7 +39,7 @@ class PingProcess final : public IProcess {
 struct Fixture {
   explicit Fixture(std::uint32_t t) : family(n_for_t(t), t) {}
 
-  Executor make(Adversary& adv) {
+  Executor make(Adversary& adv, ExecutorHooks hooks = {}) {
     const std::uint32_t n = family.n();
     std::vector<KeyBundle> bundles;
     std::vector<std::unique_ptr<IProcess>> procs;
@@ -49,7 +49,8 @@ struct Fixture {
       raw.push_back(proc.get());
       procs.push_back(std::move(proc));
     }
-    return Executor(family, std::move(bundles), std::move(procs), adv);
+    return Executor(family, std::move(bundles), std::move(procs), adv,
+                    std::move(hooks));
   }
 
   ThresholdFamily family;
@@ -230,15 +231,19 @@ TEST(Executor, BundleAccessForCorrupted) {
 TEST(Executor, MessageRecorderSeesEveryLinkCrossing) {
   Fixture fx(1);  // n = 3
   adv::NullAdversary adv;
-  Executor exec = fx.make(adv);
   std::size_t recorded = 0;
   Round max_round = 0;
-  exec.set_message_recorder([&](const Message& m, bool correct) {
+  // Hooks are fixed at construction (ExecutorHooks) — there is no way to
+  // install a recorder on a live executor, so the recorder provably sees
+  // the whole run.
+  ExecutorHooks hooks;
+  hooks.recorder = [&](const Message& m, bool correct) {
     EXPECT_TRUE(correct);
     EXPECT_NE(m.from, m.to);  // self-deliveries excluded
     ++recorded;
     max_round = std::max(max_round, m.round);
-  });
+  };
+  Executor exec = fx.make(adv, std::move(hooks));
   exec.run(2);
   // 3 processes x 2 rounds x 2 link-crossing broadcast copies.
   EXPECT_EQ(recorded, 12u);

@@ -1,0 +1,25 @@
+# --help golden check: the tool's --help output must match the checked-in
+# text byte for byte (so flag renames/removals are a deliberate, reviewed
+# diff). Regenerate with:  <tool> --help > tests/tools/<tool>_help.txt
+#   cmake -DTOOL=<binary> -DGOLDEN=<file> -P help_golden.cmake
+
+if(NOT DEFINED TOOL OR NOT DEFINED GOLDEN)
+  message(FATAL_ERROR
+          "usage: cmake -DTOOL=<binary> -DGOLDEN=<file> -P help_golden.cmake")
+endif()
+
+execute_process(COMMAND ${TOOL} --help
+                OUTPUT_VARIABLE actual
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${TOOL} --help exited ${rc}")
+endif()
+
+file(READ "${GOLDEN}" expected)
+if(NOT actual STREQUAL expected)
+  message(FATAL_ERROR
+          "--help output diverged from ${GOLDEN}; regenerate it if the "
+          "change is deliberate.\n--- actual ---\n${actual}")
+endif()
+
+message(STATUS "--help matches ${GOLDEN}")

@@ -14,10 +14,16 @@
 //            [--t T] [--n N] [--f F]
 //            [--adversary NAME]     (mewc_vopr --list shows all names)
 //            [--value V] [--sender S] [--seed SEED] [--backend sim|shamir|real]
-//            [--by-kind] [--by-round]
+//            [--executor lockstep|event] [--by-kind] [--by-round]
 //   mewc_sim --smr [--slots K] [--workers W] [--queue Q]
 //            [--checkpoint-every C] [--t T] [--n N] [--seed SEED]
-//            [--backend sim|shamir|real] [--wal-dir DIR] [--recover]
+//            [--backend sim|shamir|real] [--executor lockstep|event]
+//            [--wal-dir DIR] [--recover]
+//
+// --executor picks the IExecutor implementation (DESIGN.md §14): the
+// round-lockstep loop or the event-driven path over a loopback transport.
+// Both are behaviour-identical; the flag exists to exercise the event path
+// against any workload this tool can express.
 //
 // In --smr mode the checkpoint cadence defaults to 8 (pass
 // --checkpoint-every 0 to disable), and a run that should have sealed
@@ -65,6 +71,7 @@ struct Options {
   ProcessId sender = 0;
   std::uint64_t seed = 0x5e7;
   std::string backend = "sim";
+  std::string executor = "lockstep";
   bool by_kind = false;
   bool by_round = false;
   // --smr mode
@@ -95,10 +102,11 @@ std::string driver_names_joined() {
       "          [--t T] [--n N] [--f F]\n"
       "          [--adversary NAME]  (names: see below)\n"
       "          [--value V] [--sender S] [--seed SEED]\n"
-      "          [--backend sim|shamir|real] [--by-kind] [--by-round]\n"
+      "          [--backend sim|shamir|real] [--executor lockstep|event]\n"
+      "          [--by-kind] [--by-round]\n"
       "       %s --smr [--slots K] [--workers W] [--queue Q]\n"
       "          [--checkpoint-every C] [--t T] [--n N] [--seed SEED]\n"
-      "          [--wal-dir DIR] [--recover]\n",
+      "          [--executor lockstep|event] [--wal-dir DIR] [--recover]\n",
       self, driver_names_joined().c_str(), self);
   std::exit(2);
 }
@@ -131,6 +139,8 @@ Options parse(int argc, char** argv) {
       o.seed = parse_u64("--seed", need("--seed"));
     } else if (!std::strcmp(argv[i], "--backend")) {
       o.backend = need("--backend");
+    } else if (!std::strcmp(argv[i], "--executor")) {
+      o.executor = need("--executor");
     } else if (!std::strcmp(argv[i], "--by-kind")) {
       o.by_kind = true;
     } else if (!std::strcmp(argv[i], "--by-round")) {
@@ -249,6 +259,13 @@ int run_one(const Options& o) {
     return 2;
   }
   spec.backend = *backend;
+  const auto executor = parse_executor_kind(o.executor);
+  if (!executor) {
+    std::fprintf(stderr, "unknown executor '%s' (expected lockstep|event)\n",
+                 o.executor.c_str());
+    return 2;
+  }
+  spec.executor = *executor;
 
   std::printf("protocol=%s %s adversary=%s f=%u\n\n", driver->name(),
               spec.describe().c_str(), o.adversary.c_str(), o.f);
@@ -296,6 +313,13 @@ int run_smr(const Options& o) {
     return 2;
   }
   config.backend = *backend;
+  const auto executor = parse_executor_kind(o.executor);
+  if (!executor) {
+    std::fprintf(stderr, "unknown executor '%s' (expected lockstep|event)\n",
+                 o.executor.c_str());
+    return 2;
+  }
+  config.executor = *executor;
   config.seed = o.seed;
   config.workers = o.workers;
   config.queue_capacity = o.queue;

@@ -38,13 +38,14 @@ struct Options {
   std::uint32_t f = 0;
   std::string adversary = "none";
   std::uint64_t seed = 0x5e7;
+  std::string executor = "lockstep";
 };
 
 [[noreturn]] void usage_and_exit(const char* self) {
   std::fprintf(stderr,
                "usage: %s [--protocol %s]\n"
                "          [--t T] [--n N] [--f F] [--adversary %s]\n"
-               "          [--seed SEED]\n",
+               "          [--seed SEED] [--executor lockstep|event]\n",
                self, check::protocol_names_joined().c_str(),
                check::adversary_names_joined().c_str());
   std::exit(2);
@@ -72,6 +73,8 @@ Options parse(int argc, char** argv) {
       o.adversary = need();
     } else if (!std::strcmp(argv[i], "--seed")) {
       o.seed = parse_u64("--seed", need());
+    } else if (!std::strcmp(argv[i], "--executor")) {
+      o.executor = need();
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       usage_and_exit(argv[0]);
@@ -103,6 +106,13 @@ int run(const Options& o) {
   cell.f = o.f;
   cell.adversary = o.adversary;
   cell.seed = o.seed;
+  const auto executor = parse_executor_kind(o.executor);
+  if (!executor) {
+    std::fprintf(stderr, "unknown executor '%s' (expected lockstep|event)\n",
+                 o.executor.c_str());
+    return 2;
+  }
+  cell.executor = *executor;
   if (cell.t == 0 || cell.n < 2 * cell.t + 1) {
     std::fprintf(stderr, "need t >= 1 and n >= 2t+1\n");
     return 2;

@@ -78,7 +78,8 @@ struct Options {
   bool cells = false;
   bool shrink = true;
   bool trace = true;
-  std::string backend;  // campaign mode: override the grid's backends axis
+  std::string backend;   // campaign mode: override the grid's backends axis
+  std::string executor;  // campaign mode: override the grid's executors axis
   std::optional<std::uint64_t> word_budget_c;
   std::uint32_t max_shrink_runs = 96;
   // Fuzz mode.
@@ -98,6 +99,7 @@ struct Options {
       "usage: %s --grid FILE [--jobs N] [--report FILE] [--cells]\n"
       "          [--no-shrink] [--replay-out FILE] [--word-budget-c C]\n"
       "          [--max-shrink-runs N] [--backend sim|shamir|real]\n"
+      "          [--executor lockstep|event]\n"
       "       %s --crash-grid FILE [--jobs N] [--report FILE] [--cells]\n"
       "          [--no-shrink] [--replay-out FILE] [--max-shrink-runs N]\n"
       "       %s --fuzz --budget N [--seed S] [--jobs N] [--corpus DIR]\n"
@@ -144,6 +146,8 @@ Options parse(int argc, char** argv) {
       o.list = true;
     } else if (!std::strcmp(argv[i], "--backend")) {
       o.backend = need();
+    } else if (!std::strcmp(argv[i], "--executor")) {
+      o.executor = need();
     } else if (!std::strcmp(argv[i], "--word-budget-c")) {
       o.word_budget_c = mewc::tools::parse_u64("--word-budget-c", need());
     } else if (!std::strcmp(argv[i], "--max-shrink-runs")) {
@@ -222,6 +226,15 @@ int run_campaign_mode(const Options& o) {
       return 2;
     }
     grid.backends = {*backend};
+  }
+  if (!o.executor.empty()) {
+    const auto executor = parse_executor_kind(o.executor);
+    if (!executor) {
+      std::fprintf(stderr, "unknown executor '%s' (expected lockstep|event)\n",
+                   o.executor.c_str());
+      return 2;
+    }
+    grid.executors = {*executor};
   }
 
   const auto cells = grid.enumerate();

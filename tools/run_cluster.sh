@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Launches a local n-process mewc_node cluster (plus, optionally, a
+# mewc_loadgen run against it) on localhost.
+#
+#   tools/run_cluster.sh [-b BUILD_DIR] [-n N] [-t T] [-p BASE_PORT]
+#                        [-s SLOTS] [-c CHECKPOINT_EVERY] [-o OPS] [-r RATE]
+#                        [-d OUT_DIR]
+#
+# Node j listens on BASE_PORT+j (consensus) and BASE_PORT+N+j (clients).
+# Per-node logs, the loadgen log, and the latency JSON land in OUT_DIR.
+# Exit status is non-zero if any node fails, the loadgen fails, or the
+# nodes' final kv/ledger digests disagree — the same audit
+# tests/node/node_smoke.sh gates CI on.
+set -u
+
+build_dir=build
+n=4
+t=1
+base_port=$((19000 + RANDOM % 20000))
+slots=64
+checkpoint_every=8
+ops=48
+rate=200
+out_dir=""
+
+while getopts "b:n:t:p:s:c:o:r:d:h" opt; do
+  case "$opt" in
+    b) build_dir=$OPTARG ;;
+    n) n=$OPTARG ;;
+    t) t=$OPTARG ;;
+    p) base_port=$OPTARG ;;
+    s) slots=$OPTARG ;;
+    c) checkpoint_every=$OPTARG ;;
+    o) ops=$OPTARG ;;
+    r) rate=$OPTARG ;;
+    d) out_dir=$OPTARG ;;
+    h|*)
+      sed -n '2,13p' "$0" | sed 's/^# \{0,1\}//'
+      exit 2
+      ;;
+  esac
+done
+
+node_bin=$build_dir/tools/mewc_node
+loadgen_bin=$build_dir/tools/mewc_loadgen
+if [[ ! -x $node_bin || ! -x $loadgen_bin ]]; then
+  echo "error: $node_bin / $loadgen_bin not built (pass -b BUILD_DIR)" >&2
+  exit 1
+fi
+if [[ -z $out_dir ]]; then
+  out_dir=$(mktemp -d /tmp/mewc_cluster.XXXXXX)
+fi
+mkdir -p "$out_dir"
+echo "cluster: n=$n t=$t base_port=$base_port slots=$slots -> $out_dir"
+
+pids=()
+cleanup() {
+  for pid in "${pids[@]}"; do
+    kill "$pid" 2>/dev/null
+  done
+}
+trap cleanup EXIT
+
+for ((i = 0; i < n; ++i)); do
+  "$node_bin" --id "$i" --n "$n" --t "$t" --base-port "$base_port" \
+    --slots "$slots" --checkpoint-every "$checkpoint_every" \
+    > "$out_dir/node$i.log" 2>&1 &
+  pids+=($!)
+done
+
+targets=""
+for ((i = 0; i < n; ++i)); do
+  targets+="${targets:+,}127.0.0.1:$((base_port + n + i))"
+done
+
+loadgen_rc=0
+if ((ops > 0)); then
+  "$loadgen_bin" --targets "$targets" --ops "$ops" --rate "$rate" \
+    --json "$out_dir/latency.json" > "$out_dir/loadgen.log" 2>&1 \
+    || loadgen_rc=$?
+fi
+
+node_rc=0
+for pid in "${pids[@]}"; do
+  wait "$pid" || node_rc=$?
+done
+pids=()
+
+# Cross-node convergence audit: every node must print the same kv digest
+# and the same ledger digest.
+kv_digests=$(grep -h "kv digest:" "$out_dir"/node*.log | awk '{print $NF}' | sort -u)
+ledger_digests=$(grep -h "ledger digest:" "$out_dir"/node*.log | awk '{print $NF}' | sort -u)
+audit_rc=0
+if [[ $(wc -l <<< "$kv_digests") -ne 1 || $(wc -l <<< "$ledger_digests") -ne 1 \
+      || -z $kv_digests || -z $ledger_digests ]]; then
+  echo "DIVERGED: kv=[$kv_digests] ledger=[$ledger_digests]" >&2
+  audit_rc=1
+fi
+
+cat "$out_dir/loadgen.log" 2>/dev/null
+grep -h "slots=\|kv digest:" "$out_dir"/node*.log
+if ((node_rc != 0)); then echo "FAIL: a node exited non-zero" >&2; fi
+if ((loadgen_rc != 0)); then echo "FAIL: loadgen exited $loadgen_rc" >&2; fi
+if ((audit_rc == 0 && node_rc == 0 && loadgen_rc == 0)); then
+  echo "cluster converged (kv $kv_digests)"
+fi
+exit $((audit_rc | node_rc | loadgen_rc))
